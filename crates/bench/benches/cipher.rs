@@ -1,0 +1,65 @@
+//! Criterion bench: the PASTA cipher on this host CPU — the software
+//! baseline corresponding to Tab. II's CPU row (quoted from \[9\] at
+//! 17,041,380 / 1,363,339 cycles on a Xeon E5-2699v4).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pasta_core::{PastaCipher, PastaParams, SecretKey};
+
+fn bench_keystream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keystream_block");
+    group.sample_size(20);
+    for (name, params) in
+        [("pasta3_17bit", PastaParams::pasta3_17bit()), ("pasta4_17bit", PastaParams::pasta4_17bit())]
+    {
+        let cipher = PastaCipher::new(params, SecretKey::from_seed(&params, b"bench"));
+        group.throughput(Throughput::Elements(params.t() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cipher, |b, cipher| {
+            let mut counter = 0u64;
+            b.iter(|| {
+                counter += 1;
+                cipher.keystream_block(black_box(0xBEEF), counter).expect("valid key")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_encrypt_per_element(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encrypt");
+    group.sample_size(20);
+    let params = PastaParams::pasta4_17bit();
+    let cipher = PastaCipher::new(params, SecretKey::from_seed(&params, b"bench"));
+    for elements in [32usize, 128, 1_024] {
+        let message: Vec<u64> = (0..elements as u64).map(|i| i % 65_537).collect();
+        group.throughput(Throughput::Elements(elements as u64));
+        group.bench_with_input(
+            BenchmarkId::new("pasta4_17bit", elements),
+            &message,
+            |b, message| {
+                b.iter(|| cipher.encrypt(black_box(7), message).expect("valid message"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bitwidths(c: &mut Criterion) {
+    // §IV.A "Bitlength Comparison": performance should be width-insensitive
+    // in hardware; in software the wider reductions cost a little more.
+    let mut group = c.benchmark_group("keystream_by_width");
+    group.sample_size(20);
+    for (name, params) in [
+        ("w17", PastaParams::pasta4_17bit()),
+        ("w33", PastaParams::pasta4_33bit()),
+        ("w54", PastaParams::pasta4_54bit()),
+    ] {
+        let cipher = PastaCipher::new(params, SecretKey::from_seed(&params, b"bench"));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cipher, |b, cipher| {
+            b.iter(|| cipher.keystream_block(black_box(5), 0).expect("valid key"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_keystream, bench_encrypt_per_element, bench_bitwidths);
+criterion_main!(benches);

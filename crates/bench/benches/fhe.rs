@@ -1,0 +1,60 @@
+//! Criterion bench: the BFV server substrate — NTT, encryption,
+//! plaintext/scalar multiplication (the affine-layer workhorse of
+//! homomorphic PASTA decryption) and ciphertext multiplication with
+//! relinearization (the S-box workhorse).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pasta_fhe::{BfvContext, BfvParams};
+use pasta_math::Modulus;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt_forward");
+    for logn in [8usize, 10, 12] {
+        let n = 1 << logn;
+        let table = pasta_fhe::ntt::NttTable::new(Modulus::NTT_60_BIT, n).unwrap();
+        let data: Vec<u64> = (0..n as u64).map(|i| i * 7_919 % table.zp().p()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &table, |b, table| {
+            b.iter(|| {
+                let mut a = data.clone();
+                table.forward(black_box(&mut a));
+                a[0]
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bfv_ops(c: &mut Criterion) {
+    let ctx = BfvContext::new(BfvParams::test_tiny()).unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    let sk = ctx.generate_secret_key(&mut rng);
+    let pk = ctx.generate_public_key(&sk, &mut rng);
+    let rk = ctx.generate_relin_key(&sk, &mut rng);
+    let ct_a = ctx.encrypt(&pk, &ctx.encode_scalar(123), &mut rng);
+    let ct_b = ctx.encrypt(&pk, &ctx.encode_scalar(456), &mut rng);
+
+    let mut group = c.benchmark_group("bfv_n256_q200");
+    group.sample_size(20);
+    group.bench_function("encrypt", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| ctx.encrypt(&pk, &ctx.encode_scalar(black_box(7)), &mut rng));
+    });
+    group.bench_function("decrypt", |b| {
+        b.iter(|| ctx.decrypt(&sk, black_box(&ct_a)));
+    });
+    group.bench_function("add", |b| {
+        b.iter(|| ctx.add(black_box(&ct_a), black_box(&ct_b)).expect("compatible"));
+    });
+    group.bench_function("mul_scalar", |b| {
+        b.iter(|| ctx.mul_scalar(black_box(&ct_a), 31_337));
+    });
+    group.bench_function("mul_relin", |b| {
+        b.iter(|| ctx.mul_relin(black_box(&ct_a), black_box(&ct_b), &rk).expect("compatible"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ntt, bench_bfv_ops);
+criterion_main!(benches);

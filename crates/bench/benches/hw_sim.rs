@@ -1,0 +1,46 @@
+//! Criterion bench: throughput of the cycle-accurate cryptoprocessor
+//! simulator itself (how fast the model runs on the host — a property of
+//! the reproduction, not of the paper's hardware).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pasta_core::{PastaParams, SecretKey};
+use pasta_hw::PastaProcessor;
+use pasta_keccak::XofCoreKind;
+
+fn bench_block_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hw_block_sim");
+    group.sample_size(15);
+    for (name, params) in
+        [("pasta4", PastaParams::pasta4_17bit()), ("pasta3", PastaParams::pasta3_17bit())]
+    {
+        let key = SecretKey::from_seed(&params, b"bench");
+        let proc = PastaProcessor::new(params);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &proc, |b, proc| {
+            let mut counter = 0u64;
+            b.iter(|| {
+                counter += 1;
+                proc.keystream_block(black_box(&key), 0xFEED, counter).expect("valid key")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_core_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hw_xof_core");
+    group.sample_size(15);
+    let params = PastaParams::pasta4_17bit();
+    let key = SecretKey::from_seed(&params, b"bench");
+    for (name, core) in
+        [("squeeze_parallel", XofCoreKind::SqueezeParallel), ("naive", XofCoreKind::Naive)]
+    {
+        let proc = PastaProcessor::with_core(params, core);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &proc, |b, proc| {
+            b.iter(|| proc.keystream_block(black_box(&key), 1, 1).expect("valid key"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_simulation, bench_core_variants);
+criterion_main!(benches);

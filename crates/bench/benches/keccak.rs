@@ -1,0 +1,56 @@
+//! Criterion bench: Keccak-f\[1600\] and SHAKE128 stream throughput — the
+//! component §IV.B identifies as the performance bottleneck of the whole
+//! cryptoprocessor.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pasta_keccak::{keccak_f1600, Shake128};
+
+fn bench_permutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keccak");
+    group.throughput(Throughput::Bytes(200));
+    group.bench_function("f1600_permutation", |b| {
+        let mut state = [0x1234_5678_9ABC_DEF0u64; 25];
+        b.iter(|| {
+            keccak_f1600(black_box(&mut state));
+            state[0]
+        });
+    });
+    group.finish();
+}
+
+fn bench_shake_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shake128");
+    // One PASTA-4 block's worth of raw XOF words (~1,280).
+    let words = 1_280usize;
+    group.throughput(Throughput::Bytes(words as u64 * 8));
+    group.bench_function("pasta4_block_words", |b| {
+        b.iter(|| {
+            let mut xof = Shake128::new();
+            xof.absorb(&0xABCDu128.to_le_bytes());
+            xof.absorb(&0u64.to_le_bytes());
+            let mut reader = xof.finalize();
+            let mut acc = 0u64;
+            for _ in 0..words {
+                acc ^= reader.next_u64();
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+fn bench_rejection_sampling(c: &mut Criterion) {
+    use pasta_core::{sampler::XofSampler, PastaParams};
+    let params = PastaParams::pasta4_17bit();
+    c.bench_function("rejection_sampling/640_coeffs_17bit", |b| {
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter += 1;
+            let mut s = XofSampler::for_block(&params, 0xFEED, counter);
+            black_box(s.next_vector(640))
+        });
+    });
+}
+
+criterion_group!(benches, bench_permutation, bench_shake_stream, bench_rejection_sampling);
+criterion_main!(benches);

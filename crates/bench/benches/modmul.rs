@@ -1,0 +1,67 @@
+//! Criterion bench: modular multiplication through the three reduction
+//! circuits (§III.D ablation — add–shift vs Barrett vs naive division).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pasta_math::{Modulus, ReductionKind, Zp};
+
+fn bench_reductions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modmul");
+    for (name, modulus) in [
+        ("17bit", Modulus::PASTA_17_BIT),
+        ("33bit", Modulus::PASTA_33_BIT),
+        ("54bit", Modulus::PASTA_54_BIT),
+    ] {
+        for kind in [ReductionKind::AddShift, ReductionKind::Barrett, ReductionKind::Naive] {
+            let zp = Zp::with_reduction(modulus, kind);
+            let p = zp.p();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), name),
+                &zp,
+                |b, zp| {
+                    let mut x = p / 3;
+                    b.iter(|| {
+                        x = zp.mul(black_box(x), black_box(p - 2));
+                        x
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_montgomery(c: &mut Criterion) {
+    // Montgomery as the classic PKE-accelerator baseline (values stay in
+    // Montgomery form across the chain, as a real datapath would keep them).
+    let mut group = c.benchmark_group("modmul");
+    for (name, modulus) in [
+        ("17bit", Modulus::PASTA_17_BIT),
+        ("33bit", Modulus::PASTA_33_BIT),
+        ("54bit", Modulus::PASTA_54_BIT),
+    ] {
+        let m = pasta_math::mont::Montgomery::new(modulus).unwrap();
+        let p = modulus.value();
+        group.bench_with_input(BenchmarkId::new("Montgomery", name), &m, |b, m| {
+            let mut x = m.to_mont(p / 3);
+            let y = m.to_mont(p - 2);
+            b.iter(|| {
+                x = m.mul(black_box(x), black_box(y));
+                x
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dot_product(c: &mut Criterion) {
+    // The MatMul inner loop: t-element dot product.
+    let zp = Zp::new(Modulus::PASTA_17_BIT).unwrap();
+    let a: Vec<u64> = (0..128u64).map(|i| i * 511 % zp.p()).collect();
+    let b_vec: Vec<u64> = (0..128u64).map(|i| (i * 911 + 3) % zp.p()).collect();
+    c.bench_function("dot_product/t=128", |b| {
+        b.iter(|| pasta_math::linalg::dot(&zp, black_box(&a), black_box(&b_vec)));
+    });
+}
+
+criterion_group!(benches, bench_reductions, bench_montgomery, bench_dot_product);
+criterion_main!(benches);

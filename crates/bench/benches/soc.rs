@@ -1,0 +1,55 @@
+//! Criterion bench: the RISC-V SoC simulator — raw instruction throughput
+//! of the RV32IM core and full firmware-driven PASTA block encryption.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pasta_core::{PastaParams, SecretKey};
+use pasta_soc::asm::assemble;
+use pasta_soc::firmware::encrypt_on_soc;
+use pasta_soc::{RunOutcome, Soc};
+
+fn bench_core_mips(c: &mut Criterion) {
+    // A tight arithmetic loop: 4 instructions per iteration × 10,000.
+    let program = assemble(
+        0,
+        "
+        li   t0, 10000
+    loop:
+        addi t1, t1, 3
+        mul  t2, t1, t1
+        addi t0, t0, -1
+        bnez t0, loop
+        ebreak
+    ",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("rv32_core");
+    group.throughput(Throughput::Elements(40_000));
+    group.bench_function("alu_loop_40k_instr", |b| {
+        b.iter(|| {
+            let mut soc = Soc::new(PastaParams::pasta4_17bit(), 64 * 1024);
+            soc.load_program(0, black_box(&program));
+            assert_eq!(soc.run(100_000).unwrap(), RunOutcome::Halted);
+            soc.cycles()
+        });
+    });
+    group.finish();
+}
+
+fn bench_firmware_encryption(c: &mut Criterion) {
+    let params = PastaParams::pasta4_17bit();
+    let key = SecretKey::from_seed(&params, b"bench");
+    let message: Vec<u64> = (0..32).collect();
+    let mut group = c.benchmark_group("soc_encrypt");
+    group.sample_size(15);
+    group.bench_function("pasta4_one_block", |b| {
+        let mut nonce = 0u128;
+        b.iter(|| {
+            nonce += 1;
+            encrypt_on_soc(params, &key, black_box(nonce), &message).expect("SoC run")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_core_mips, bench_firmware_encryption);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Fault-countermeasure ablation (the paper's §VI future scope, informed
+//! by SASTA \[30\]): detection coverage vs cycle/area overhead of three
+//! redundancy granularities on the cycle-accurate model.
+
+use pasta_bench::report::TextTable;
+use pasta_core::{PastaParams, SecretKey};
+use pasta_hw::fault::{
+    faulty_keystream, Countermeasure, FaultSpec, FaultTarget,
+};
+use pasta_core::permute;
+
+fn main() {
+    let params = PastaParams::pasta4_17bit();
+    let key = SecretKey::from_seed(&params, b"cm-ablation");
+
+    println!("Fault-attack surface (single transient fault, PASTA-4):\n");
+    let clean = permute(&params, key.elements(), 1, 0).expect("valid key");
+    let mut surface = TextTable::new(vec!["fault target", "keystream elements corrupted"]);
+    let cases = [
+        ("matrix seed, first layer", FaultTarget::MatrixSeed { layer: 0, left: true, index: 0 }),
+        ("matrix seed, last layer", FaultTarget::MatrixSeed { layer: 4, left: true, index: 0 }),
+        ("round constant, first layer", FaultTarget::RoundConstant { layer: 0, left: true, index: 3 }),
+        ("round constant, LAST layer", FaultTarget::RoundConstant { layer: 4, left: true, index: 3 }),
+        ("keystream output register", FaultTarget::KeystreamElement { index: 3 }),
+    ];
+    for (name, target) in cases {
+        let faulted =
+            faulty_keystream(&params, &key, 1, 0, &FaultSpec { target, mask: 0x5A }).unwrap();
+        let corrupted = clean.iter().zip(faulted.iter()).filter(|(a, b)| a != b).count();
+        surface.row(vec![name.to_string(), format!("{corrupted}/32")]);
+    }
+    println!("{}", surface.render());
+    println!("Early faults avalanche; LAST-layer faults stay local — the low-diffusion");
+    println!("window single-fault attacks like SASTA exploit.\n");
+
+    println!("Countermeasure cost/coverage ablation:\n");
+    let mut t = TextTable::new(vec![
+        "countermeasure",
+        "latency overhead",
+        "area overhead",
+        "covers DataGen faults",
+        "covers arithmetic/output faults",
+    ]);
+    for cm in [
+        Countermeasure::None,
+        Countermeasure::FullTemporalRedundancy,
+        Countermeasure::MaterialRedundancy,
+        Countermeasure::ArithmeticRedundancy,
+    ] {
+        let latency = cm.overhead_factor(&params, &key).expect("simulation");
+        let datagen = cm.detects(&FaultTarget::MatrixSeed { layer: 0, left: true, index: 0 });
+        let arith = cm.detects(&FaultTarget::KeystreamElement { index: 0 });
+        t.row(vec![
+            format!("{cm:?}"),
+            format!("{latency:.2}x"),
+            format!("{:.2}x", cm.area_factor()),
+            if datagen { "yes" } else { "no" }.to_string(),
+            if arith { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Because the XOF dominates the schedule (§IV.B), duplicating the arithmetic");
+    println!("datapath costs almost no time (it hides under the XOF) but 1.64x area, while");
+    println!("protecting the XOF-derived material costs ~2x time at no extra area — the");
+    println!("countermeasure trade-off the paper's future-work section asks about.");
+}

@@ -1,0 +1,71 @@
+//! Regenerates the **§IV.B analysis**: the Keccak/XOF budget that
+//! dominates the cryptoprocessor — ideal vs rejection-sampled permutation
+//! counts, naive vs squeeze-parallel core, and the measured distribution
+//! over nonces.
+
+use pasta_bench::report::{fmt_f64, TextTable};
+use pasta_core::{derive_block_material, PastaParams, SecretKey};
+use pasta_hw::PastaProcessor;
+use pasta_keccak::{XofCoreKind, XofTiming};
+
+fn main() {
+    println!("§IV.B — Keccak budget analysis\n");
+
+    let mut t = TextTable::new(vec![
+        "Scheme",
+        "coefficients",
+        "ideal permutations",
+        "paper est. (~2x rej.)",
+        "measured permutations",
+        "XOF cc (parallel)",
+        "XOF cc (naive)",
+    ]);
+    for (params, paper_est) in
+        [(PastaParams::pasta4_17bit(), 60u64), (PastaParams::pasta3_17bit(), 186u64)]
+    {
+        let coeffs = params.xof_coefficients_per_block() as u64;
+        let ideal = coeffs.div_ceil(21);
+        // Measure over nonces.
+        let n = 50;
+        let mut perms = 0u64;
+        for counter in 0..n {
+            perms += derive_block_material(&params, 0xF00D, counter).keccak_permutations;
+        }
+        let measured = perms as f64 / n as f64;
+        let parallel = XofTiming::new(XofCoreKind::SqueezeParallel);
+        let naive = XofTiming::new(XofCoreKind::Naive);
+        t.row(vec![
+            params.variant().to_string(),
+            coeffs.to_string(),
+            ideal.to_string(),
+            paper_est.to_string(),
+            fmt_f64(measured),
+            parallel.cycles_for_batches(measured.round() as u64).to_string(),
+            naive.cycles_for_batches(measured.round() as u64).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Paper: PASTA-4 needs >= 31 permutations ideally, ~60 with ~2x rejection;");
+    println!("60·(21+5) = 1,560 cc for the squeeze-parallel core vs ~2x for naive.");
+    println!("(The exact expectation is 640/0.5 = 1,280 words = 61 batches; the paper");
+    println!("rounds down to 60 — our measured average sits between the two.)\n");
+
+    println!("Naive vs squeeze-parallel, full encryption (cycle-accurate simulation):");
+    let mut abl = TextTable::new(vec!["Scheme", "parallel cc", "naive cc", "ratio"]);
+    for params in [PastaParams::pasta4_17bit(), PastaParams::pasta3_17bit()] {
+        let key = SecretKey::from_seed(&params, b"keccak-abl");
+        let fast = PastaProcessor::new(params).average_cycles(&key, 9, 10).unwrap();
+        let slow = PastaProcessor::with_core(params, XofCoreKind::Naive)
+            .average_cycles(&key, 9, 10)
+            .unwrap();
+        abl.row(vec![
+            params.variant().to_string(),
+            fmt_f64(fast),
+            fmt_f64(slow),
+            format!("{:.2}x", slow / fast),
+        ]);
+    }
+    println!("{}", abl.render());
+    println!("'the clock cycle almost doubles for a naive Keccak implementation' — at the");
+    println!("cost of a second 1,600-bit state buffer for the adopted parallel core.");
+}

@@ -1,0 +1,51 @@
+//! On-chip software-vs-accelerator analysis: what the PASTA peripheral
+//! buys compared to running PASTA in software on the SoC's own RV32IM
+//! core (microbenchmark-calibrated estimate).
+
+use pasta_bench::report::{fmt_f64, TextTable};
+use pasta_core::{PastaParams, SecretKey};
+use pasta_soc::baseline::{estimate_software_block, run_microbench, KECCAK_PERMUTATION_RV32_CYCLES};
+use pasta_soc::firmware::encrypt_on_soc;
+use pasta_soc::SOC_CLOCK_MHZ;
+
+fn main() {
+    println!("On-chip baseline: software PASTA on the Ibex-class core vs the peripheral\n");
+    let bench = run_microbench();
+    println!(
+        "Measured on the ISS: modmul = {:.1} cc, modadd = {:.1} cc (loop overhead {:.1} cc);",
+        bench.modmul_cycles, bench.modadd_cycles, bench.loop_overhead_cycles
+    );
+    println!(
+        "assumed Keccak-f[1600] on RV32: {KECCAK_PERMUTATION_RV32_CYCLES} cc/permutation.\n"
+    );
+
+    let mut t = TextTable::new(vec![
+        "Scheme",
+        "sw arithmetic cc",
+        "sw Keccak cc",
+        "sw total cc",
+        "sw ms @100MHz",
+        "accel cc",
+        "on-chip speedup",
+    ]);
+    for params in [PastaParams::pasta4_17bit(), PastaParams::pasta3_17bit()] {
+        let est = estimate_software_block(&params, &bench);
+        let key = SecretKey::from_seed(&params, b"baseline");
+        let message: Vec<u64> = (0..params.t() as u64).collect();
+        let run = encrypt_on_soc(params, &key, 1, &message).expect("SoC run");
+        t.row(vec![
+            params.variant().to_string(),
+            fmt_f64(est.arithmetic_cycles),
+            fmt_f64(est.keccak_cycles),
+            fmt_f64(est.total_cycles),
+            format!("{:.2}", est.total_cycles / SOC_CLOCK_MHZ / 1_000.0),
+            run.accelerator_cycles.to_string(),
+            format!("{:.0}x", est.total_cycles / run.accelerator_cycles as f64),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Context: the Xeon software baseline [9] needs 1.36M/17.0M cycles per block;");
+    println!("a 32-bit in-order core lands in the same decade (64-bit Keccak lanes and");
+    println!("serial modmuls dominate), so attaching the 1.8 mm^2 peripheral buys the");
+    println!("same two-to-three orders of magnitude *within* the edge SoC itself.");
+}

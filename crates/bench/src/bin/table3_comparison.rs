@@ -1,0 +1,106 @@
+//! Regenerates **Table III**: PASTA-4 vs prior FHE public-key client
+//! accelerators (FPGA and ASIC/SoC), with per-element latencies and the
+//! headline speedup ranges.
+
+use pasta_bench::priorwork::{asic_rows, claims, fpga_rows, PriorPlatform};
+use pasta_bench::report::{fmt_f64, TextTable};
+use pasta_core::PastaParams;
+use pasta_hw::area::estimate_fpga;
+use pasta_hw::perf::{measure_row, Platform};
+use pasta_soc::firmware::encrypt_on_soc;
+use pasta_core::SecretKey;
+
+fn main() {
+    let params = PastaParams::pasta4_17bit();
+    let row = measure_row(&params, 25).expect("simulation cannot fail");
+    let area = estimate_fpga(&params);
+    let key = SecretKey::from_seed(&params, b"tab3");
+    let message: Vec<u64> = (0..32).collect();
+    let soc = encrypt_on_soc(params, &key, 3, &message).expect("SoC run");
+    let soc_us = soc.accelerator_cycles as f64 / 100.0;
+
+    println!("Table III — PASTA-4 vs prior FHE client accelerators\n");
+    let mut table = TextTable::new(vec![
+        "Work", "Platform", "kLUT", "kFF", "DSP", "BRAM", "Encr. us", "per-element us",
+    ]);
+    for prior in fpga_rows() {
+        let (klut, kff, dsp, bram) = prior
+            .resources
+            .map_or(("-".into(), "-".into(), "-".into(), "-".into()), |(l, f, d, b)| {
+                (fmt_f64(l), fmt_f64(f), d.to_string(), fmt_f64(b))
+            });
+        let PriorPlatform::Fpga(p) = prior.platform else { continue };
+        table.row(vec![
+            prior.tag.to_string(),
+            p.to_string(),
+            klut,
+            kff,
+            dsp,
+            bram,
+            fmt_f64(prior.encryption_us),
+            fmt_f64(prior.per_element_us),
+        ]);
+    }
+    table.row(vec![
+        "This work (model)".to_string(),
+        "Artix-7".to_string(),
+        fmt_f64(area.luts as f64 / 1_000.0),
+        fmt_f64(area.ffs as f64 / 1_000.0),
+        area.dsps.to_string(),
+        area.brams.to_string(),
+        fmt_f64(row.fpga_us),
+        fmt_f64(row.per_element_us(Platform::Fpga)),
+    ]);
+    println!("{}", table.render());
+
+    let mut asic = TextTable::new(vec!["Work", "Platform", "Encr. us", "per-element us"]);
+    for prior in asic_rows() {
+        let PriorPlatform::Asic(p) = prior.platform else { continue };
+        let tag = if prior.riscv_soc { format!("{} (SoC)", prior.tag) } else { prior.tag.into() };
+        asic.row(vec![
+            tag,
+            p.to_string(),
+            fmt_f64(prior.encryption_us),
+            fmt_f64(prior.per_element_us),
+        ]);
+    }
+    asic.row(vec![
+        "This work (model)".to_string(),
+        "7/28nm @1GHz".to_string(),
+        fmt_f64(row.asic_us),
+        fmt_f64(row.per_element_us(Platform::Asic)),
+    ]);
+    asic.row(vec![
+        "This work (SoC sim)".to_string(),
+        "65/130nm @100MHz".to_string(),
+        fmt_f64(soc_us),
+        fmt_f64(soc_us / 32.0),
+    ]);
+    println!("{}", asic.render());
+
+    println!("Speedups over prior accelerators (per element):\n");
+    let ours_asic = row.per_element_us(Platform::Asic);
+    let ours_soc = soc_us / 32.0;
+    let mut sp = TextTable::new(vec!["Baseline", "vs our ASIC", "vs our SoC"]);
+    for prior in asic_rows() {
+        sp.row(vec![
+            prior.tag.to_string(),
+            format!("{:.0}x", prior.per_element_us / ours_asic),
+            format!("{:.0}x", prior.per_element_us / ours_soc),
+        ]);
+    }
+    println!("{}", sp.render());
+    println!(
+        "Paper claims: {}x headline, {:.0}-{:.0}x standalone ASIC, {:.0}-{:.0}x SoC.",
+        claims::ASIC_SPEEDUP_HEADLINE,
+        claims::ASIC_SPEEDUP_RANGE.0,
+        claims::ASIC_SPEEDUP_RANGE.1,
+        claims::SOC_SPEEDUP_RANGE.0,
+        claims::SOC_SPEEDUP_RANGE.1,
+    );
+    println!(
+        "For 32-coefficient payloads (ML inference), ours: {} us vs FHE's {} us (paper: 21.2 vs 1,884).",
+        fmt_f64(row.fpga_us),
+        fmt_f64(fpga_rows()[2].encryption_us)
+    );
+}

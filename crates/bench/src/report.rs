@@ -1,0 +1,144 @@
+//! Plain-text table/figure rendering for the experiment binaries.
+
+/// A simple fixed-width text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths.iter()) {
+                line.push_str(&format!(" {c:<w$} |", w = w));
+            }
+            line.push('\n');
+            line
+        };
+        let sep = {
+            let mut line = String::from("+");
+            for w in &widths {
+                line.push_str(&"-".repeat(w + 2));
+                line.push('+');
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&sep);
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out.push_str(&sep);
+        out
+    }
+}
+
+/// A horizontal log-scale text bar for the Fig. 8 style plots.
+#[must_use]
+pub fn log_bar(value: f64, max_value: f64, width: usize) -> String {
+    if value <= 0.0 || max_value <= 1.0 {
+        return String::new();
+    }
+    let scale = value.max(1.0).log10() / max_value.log10();
+    let n = ((scale * width as f64).round() as usize).min(width);
+    "█".repeat(n.max(1))
+}
+
+/// Formats a float compactly (3 significant-ish digits).
+#[must_use]
+pub fn fmt_f64(v: f64) -> String {
+    if v >= 1_000.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Formats a paper-vs-measured pair with the relative deviation.
+#[must_use]
+pub fn paper_vs_measured(paper: f64, measured: f64) -> String {
+    let dev = if paper.abs() > f64::EPSILON {
+        (measured - paper) / paper * 100.0
+    } else {
+        0.0
+    };
+    format!("{} vs {} ({dev:+.1}%)", fmt_f64(paper), fmt_f64(measured))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["short", "1"]);
+        t.row(vec!["a much longer name", "123456"]);
+        let s = t.render();
+        assert!(s.contains("| name "));
+        assert!(s.contains("| a much longer name | 123456 |"));
+        let widths: Vec<usize> = s.lines().map(str::len).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "all lines equal width:\n{s}");
+    }
+
+    #[test]
+    fn row_padding() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["only one"]);
+        assert!(t.render().contains("only one"));
+    }
+
+    #[test]
+    fn log_bar_monotone() {
+        let short = log_bar(10.0, 10_000.0, 40).chars().count();
+        let long = log_bar(1_000.0, 10_000.0, 40).chars().count();
+        assert!(long > short);
+        assert!(log_bar(10_000.0, 10_000.0, 40).chars().count() <= 40);
+        assert_eq!(log_bar(0.0, 100.0, 40), "");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(12_345.6), "12346");
+        assert_eq!(fmt_f64(21.24), "21.2");
+        assert_eq!(fmt_f64(1.59), "1.59");
+    }
+
+    #[test]
+    fn paper_vs_measured_shows_deviation() {
+        let s = paper_vs_measured(100.0, 103.0);
+        assert!(s.contains("+3.0%"), "{s}");
+    }
+}

@@ -1,0 +1,259 @@
+//! Argument parsing (dependency-free).
+//!
+//! Grammar: `pasta-edge-cli <command> [--flag value]…` with the commands
+//! documented in [`USAGE`].
+
+use pasta_core::PastaParams;
+use std::collections::HashMap;
+
+/// The usage text.
+pub const USAGE: &str = "\
+pasta-edge-cli — PASTA HHE client toolkit
+
+USAGE:
+  pasta-edge-cli <command> [options]
+
+COMMANDS:
+  keygen     --params <set> --seed <string> [--out <file>]
+  encrypt    --params <set> --key <file> --nonce <int> --input <file> [--output <file>]
+  decrypt    --params <set> --key <file> --nonce <int> --input <file> [--output <file>]
+  keystream  --params <set> --key <file> --nonce <int> --count <n>
+  simulate   --params <set> [--blocks <n>]
+  area       --params <set>
+  info       [--params <set>]
+  help
+
+PARAMETER SETS:
+  pasta3-17  pasta4-17  pasta4-33  pasta4-54
+
+FILES hold one field element per line (decimal).";
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Derive a key from a seed.
+    Keygen {
+        /// Parameter set.
+        params: PastaParams,
+        /// Seed string.
+        seed: String,
+        /// Output path (stdout if absent).
+        out: Option<String>,
+    },
+    /// Encrypt an element file.
+    Encrypt {
+        /// Parameter set.
+        params: PastaParams,
+        /// Key file path.
+        key: String,
+        /// Nonce.
+        nonce: u128,
+        /// Input path.
+        input: String,
+        /// Output path (stdout if absent).
+        output: Option<String>,
+    },
+    /// Decrypt an element file.
+    Decrypt {
+        /// Parameter set.
+        params: PastaParams,
+        /// Key file path.
+        key: String,
+        /// Nonce.
+        nonce: u128,
+        /// Input path.
+        input: String,
+        /// Output path (stdout if absent).
+        output: Option<String>,
+    },
+    /// Print keystream elements.
+    Keystream {
+        /// Parameter set.
+        params: PastaParams,
+        /// Key file path.
+        key: String,
+        /// Nonce.
+        nonce: u128,
+        /// Number of elements.
+        count: usize,
+    },
+    /// Run the cycle-accurate simulator.
+    Simulate {
+        /// Parameter set.
+        params: PastaParams,
+        /// Number of blocks to average over.
+        blocks: u64,
+    },
+    /// Print the FPGA/ASIC cost estimates.
+    Area {
+        /// Parameter set.
+        params: PastaParams,
+    },
+    /// Print parameter-set information.
+    Info {
+        /// Parameter set (defaults to PASTA-4/17-bit).
+        params: PastaParams,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a usage-style error string on malformed input.
+pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, String> {
+    let mut it = argv.iter().map(AsRef::as_ref);
+    let Some(command) = it.next() else {
+        return Ok(Command::Help);
+    };
+    let rest: Vec<&str> = it.collect();
+    let flags = parse_flags(&rest)?;
+    let params = |default_ok: bool| -> Result<PastaParams, String> {
+        match flags.get("params") {
+            Some(name) => parse_params(name),
+            None if default_ok => Ok(PastaParams::pasta4_17bit()),
+            None => Err("missing required --params".into()),
+        }
+    };
+    match command {
+        "keygen" => Ok(Command::Keygen {
+            params: params(false)?,
+            seed: required(&flags, "seed")?.to_string(),
+            out: flags.get("out").map(ToString::to_string),
+        }),
+        "encrypt" | "decrypt" => {
+            let c = (
+                params(false)?,
+                required(&flags, "key")?.to_string(),
+                parse_nonce(required(&flags, "nonce")?)?,
+                required(&flags, "input")?.to_string(),
+                flags.get("output").map(ToString::to_string),
+            );
+            Ok(if command == "encrypt" {
+                Command::Encrypt { params: c.0, key: c.1, nonce: c.2, input: c.3, output: c.4 }
+            } else {
+                Command::Decrypt { params: c.0, key: c.1, nonce: c.2, input: c.3, output: c.4 }
+            })
+        }
+        "keystream" => Ok(Command::Keystream {
+            params: params(false)?,
+            key: required(&flags, "key")?.to_string(),
+            nonce: parse_nonce(required(&flags, "nonce")?)?,
+            count: required(&flags, "count")?
+                .parse()
+                .map_err(|_| "bad --count".to_string())?,
+        }),
+        "simulate" => Ok(Command::Simulate {
+            params: params(false)?,
+            blocks: flags
+                .get("blocks")
+                .map_or(Ok(10), |b| b.parse().map_err(|_| "bad --blocks".to_string()))?,
+        }),
+        "area" => Ok(Command::Area { params: params(false)? }),
+        "info" => Ok(Command::Info { params: params(true)? }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn parse_flags<'a>(rest: &[&'a str]) -> Result<HashMap<String, &'a str>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{}'", rest[i]))?;
+        let value = rest.get(i + 1).ok_or_else(|| format!("--{flag} needs a value"))?;
+        if flags.insert(flag.to_string(), *value).is_some() {
+            return Err(format!("duplicate --{flag}"));
+        }
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn required<'a>(flags: &'a HashMap<String, &'a str>, name: &str) -> Result<&'a str, String> {
+    flags.get(name).copied().ok_or_else(|| format!("missing required --{name}"))
+}
+
+fn parse_nonce(s: &str) -> Result<u128, String> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u128::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    }
+    .map_err(|_| format!("bad --nonce '{s}'"))
+}
+
+/// Resolves a parameter-set name.
+///
+/// # Errors
+///
+/// Returns an error listing the valid names.
+pub fn parse_params(name: &str) -> Result<PastaParams, String> {
+    match name {
+        "pasta3-17" => Ok(PastaParams::pasta3_17bit()),
+        "pasta4-17" => Ok(PastaParams::pasta4_17bit()),
+        "pasta4-33" => Ok(PastaParams::pasta4_33bit()),
+        "pasta4-54" => Ok(PastaParams::pasta4_54bit()),
+        other => Err(format!(
+            "unknown parameter set '{other}' (use pasta3-17, pasta4-17, pasta4-33, pasta4-54)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keygen_parses() {
+        let c = parse(&["keygen", "--params", "pasta4-17", "--seed", "hello"]).unwrap();
+        assert!(matches!(c, Command::Keygen { seed, out: None, .. } if seed == "hello"));
+    }
+
+    #[test]
+    fn encrypt_parses_with_hex_nonce() {
+        let c = parse(&[
+            "encrypt", "--params", "pasta4-17", "--key", "k.txt", "--nonce", "0xABC", "--input",
+            "m.txt", "--output", "c.txt",
+        ])
+        .unwrap();
+        assert!(matches!(c, Command::Encrypt { nonce: 0xABC, .. }));
+    }
+
+    #[test]
+    fn defaults_and_help() {
+        assert!(matches!(parse::<&str>(&[]).unwrap(), Command::Help));
+        assert!(matches!(parse(&["help"]).unwrap(), Command::Help));
+        let c = parse(&["info"]).unwrap();
+        assert!(matches!(c, Command::Info { .. }));
+        let c = parse(&["simulate", "--params", "pasta3-17"]).unwrap();
+        assert!(matches!(c, Command::Simulate { blocks: 10, .. }));
+    }
+
+    #[test]
+    fn errors_are_actionable() {
+        assert!(parse(&["encrypt"]).unwrap_err().contains("--params"));
+        assert!(parse(&["keygen", "--params", "pasta9-99", "--seed", "x"])
+            .unwrap_err()
+            .contains("unknown parameter set"));
+        assert!(parse(&["frobnicate"]).unwrap_err().contains("unknown command"));
+        assert!(parse(&["keygen", "--seed"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["keygen", "oops", "x"]).unwrap_err().contains("expected --flag"));
+        assert!(parse(&["keygen", "--seed", "a", "--seed", "b"])
+            .unwrap_err()
+            .contains("duplicate"));
+        assert!(parse(&["encrypt", "--params", "pasta4-17", "--key", "k", "--nonce", "zzz",
+            "--input", "i"]).unwrap_err().contains("bad --nonce"));
+    }
+
+    #[test]
+    fn all_parameter_sets_resolve() {
+        for name in ["pasta3-17", "pasta4-17", "pasta4-33", "pasta4-54"] {
+            assert!(parse_params(name).is_ok(), "{name}");
+        }
+    }
+}

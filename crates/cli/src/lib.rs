@@ -1,0 +1,26 @@
+//! Command-line interface logic for the PASTA-on-Edge toolkit.
+//!
+//! The binary (`pasta-edge-cli`) wraps the workspace's client-side
+//! functionality for shell use: key generation, encryption/decryption of
+//! element files, keystream generation, cycle-accurate simulation and
+//! cost estimation. The command logic lives here (returning strings) so
+//! it is unit-testable without spawning processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command};
+pub use commands::execute;
+
+/// Top-level entry: parse and execute, returning the printable output.
+///
+/// # Errors
+///
+/// Returns a human-readable error string for bad usage or I/O problems.
+pub fn run<S: AsRef<str>>(argv: &[S]) -> Result<String, String> {
+    let command = args::parse(argv)?;
+    commands::execute(&command)
+}

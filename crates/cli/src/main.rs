@@ -1,0 +1,12 @@
+//! `pasta-edge-cli`: shell access to the PASTA-on-Edge toolkit.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match pasta_cli::run(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

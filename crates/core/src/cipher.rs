@@ -1,0 +1,403 @@
+//! PASTA encryption and decryption (the HHE client side, paper Fig. 1/2).
+//!
+//! PASTA is a stream cipher: block `i` of the plaintext is encrypted as
+//! `c_i = m_i + KS_i (mod p)` where `KS_i = Trunc(π_{nonce,i}(K))`.
+//! Decryption subtracts the keystream. On the server this same decryption
+//! circuit is evaluated *homomorphically* (see the `pasta-hhe` crate).
+
+use crate::params::{PastaError, PastaParams};
+use crate::permutation::permute;
+use pasta_keccak::Shake256;
+
+/// The PASTA secret key `K ∈ F_p^{2t}`.
+///
+/// The key doubles as the initial permutation state (Fig. 2). Create it
+/// from explicit elements or deterministically from a seed.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::{PastaParams, SecretKey};
+/// let params = PastaParams::pasta4_17bit();
+/// let key = SecretKey::from_seed(&params, b"demo seed");
+/// assert_eq!(key.elements().len(), params.state_size());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct SecretKey {
+    elements: Vec<u64>,
+}
+
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        write!(f, "SecretKey({} elements, redacted)", self.elements.len())
+    }
+}
+
+impl SecretKey {
+    /// Builds a key from explicit elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PastaError::InvalidKey`] on wrong length and
+    /// [`PastaError::ElementOutOfRange`] on non-canonical elements.
+    pub fn from_elements(params: &PastaParams, elements: Vec<u64>) -> Result<Self, PastaError> {
+        if elements.len() != params.state_size() {
+            return Err(PastaError::InvalidKey {
+                expected: params.state_size(),
+                found: elements.len(),
+            });
+        }
+        let p = params.modulus().value();
+        if let Some(&bad) = elements.iter().find(|&&x| x >= p) {
+            return Err(PastaError::ElementOutOfRange(bad));
+        }
+        Ok(SecretKey { elements })
+    }
+
+    /// Derives a key deterministically from a byte seed via SHAKE256 with
+    /// rejection sampling (keeps the crate dependency-free; examples that
+    /// want OS randomness pass random seed bytes).
+    #[must_use]
+    pub fn from_seed(params: &PastaParams, seed: &[u8]) -> Self {
+        let mut xof = Shake256::new();
+        xof.absorb(b"pasta-key");
+        xof.absorb(seed);
+        let mut reader = xof.finalize();
+        let p = params.modulus().value();
+        let bits = params.modulus().bits();
+        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mut elements = Vec::with_capacity(params.state_size());
+        while elements.len() < params.state_size() {
+            let candidate = reader.next_u64() & mask;
+            if candidate < p {
+                elements.push(candidate);
+            }
+        }
+        SecretKey { elements }
+    }
+
+    /// The key elements (needed by the HHE client to FHE-encrypt the key
+    /// for the server).
+    #[must_use]
+    pub fn elements(&self) -> &[u64] {
+        &self.elements
+    }
+}
+
+/// A PASTA ciphertext: the nonce plus `len` encrypted elements.
+///
+/// Elements beyond a multiple of `t` form a final partial block (the
+/// keystream is simply truncated further, as in the reference stream
+/// cipher usage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ciphertext {
+    nonce: u128,
+    elements: Vec<u64>,
+}
+
+impl Ciphertext {
+    /// The public nonce the blocks were encrypted under.
+    #[must_use]
+    pub fn nonce(&self) -> u128 {
+        self.nonce
+    }
+
+    /// The encrypted elements.
+    #[must_use]
+    pub fn elements(&self) -> &[u64] {
+        &self.elements
+    }
+
+    /// Number of encrypted elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the ciphertext is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Bit-packs the ciphertext elements at `⌈log2 p⌉` bits each — the
+    /// wire format whose size the paper's §V communication analysis uses
+    /// (one PASTA-4 block at 33 bits = 132 bytes).
+    #[must_use]
+    pub fn to_packed_bytes(&self, params: &PastaParams) -> Vec<u8> {
+        pack_bits(&self.elements, params.modulus().bits())
+    }
+
+    /// Reconstructs a ciphertext from the bit-packed wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PastaError::ElementOutOfRange`] if an unpacked value is
+    /// `≥ p` (corrupt wire data).
+    pub fn from_packed_bytes(
+        params: &PastaParams,
+        nonce: u128,
+        bytes: &[u8],
+        len: usize,
+    ) -> Result<Self, PastaError> {
+        let elements = unpack_bits(bytes, params.modulus().bits(), len);
+        let p = params.modulus().value();
+        if let Some(&bad) = elements.iter().find(|&&x| x >= p) {
+            return Err(PastaError::ElementOutOfRange(bad));
+        }
+        Ok(Ciphertext { nonce, elements })
+    }
+}
+
+/// The PASTA cipher bound to a parameter set and a secret key.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::{PastaCipher, PastaParams, SecretKey};
+/// let params = PastaParams::pasta4_17bit();
+/// let key = SecretKey::from_seed(&params, b"k");
+/// let cipher = PastaCipher::new(params, key);
+/// let message = vec![1u64, 2, 3, 42];
+/// let ct = cipher.encrypt(7, &message)?;
+/// assert_eq!(cipher.decrypt(&ct)?, message);
+/// # Ok::<(), pasta_core::PastaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PastaCipher {
+    params: PastaParams,
+    key: SecretKey,
+}
+
+impl PastaCipher {
+    /// Binds a key to a parameter set.
+    #[must_use]
+    pub fn new(params: PastaParams, key: SecretKey) -> Self {
+        PastaCipher { params, key }
+    }
+
+    /// The parameter set.
+    #[must_use]
+    pub fn params(&self) -> &PastaParams {
+        &self.params
+    }
+
+    /// The secret key (the HHE client needs it to provision the server).
+    #[must_use]
+    pub fn key(&self) -> &SecretKey {
+        &self.key
+    }
+
+    /// Generates keystream block `counter` (`t` elements).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PastaError`] from the permutation (cannot occur for a
+    /// key built through [`SecretKey`]'s validated constructors).
+    pub fn keystream_block(&self, nonce: u128, counter: u64) -> Result<Vec<u64>, PastaError> {
+        permute(&self.params, self.key.elements(), nonce, counter)
+    }
+
+    /// Encrypts `message` (any number of elements in `[0, p)`) under
+    /// `nonce`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PastaError::ElementOutOfRange`] if a message element is
+    /// not canonical.
+    pub fn encrypt(&self, nonce: u128, message: &[u64]) -> Result<Ciphertext, PastaError> {
+        let zp = self.params.field();
+        if let Some(&bad) = message.iter().find(|&&x| x >= zp.p()) {
+            return Err(PastaError::ElementOutOfRange(bad));
+        }
+        let mut elements = Vec::with_capacity(message.len());
+        for (counter, block) in message.chunks(self.params.t()).enumerate() {
+            let ks = self.keystream_block(nonce, counter as u64)?;
+            elements.extend(block.iter().zip(ks.iter()).map(|(&m, &k)| zp.add(m, k)));
+        }
+        Ok(Ciphertext { nonce, elements })
+    }
+
+    /// Decrypts a ciphertext produced by [`PastaCipher::encrypt`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates permutation errors (none for validated keys).
+    pub fn decrypt(&self, ciphertext: &Ciphertext) -> Result<Vec<u64>, PastaError> {
+        let zp = self.params.field();
+        let mut message = Vec::with_capacity(ciphertext.len());
+        for (counter, block) in ciphertext.elements.chunks(self.params.t()).enumerate() {
+            let ks = self.keystream_block(ciphertext.nonce, counter as u64)?;
+            message.extend(block.iter().zip(ks.iter()).map(|(&c, &k)| zp.sub(c, k)));
+        }
+        Ok(message)
+    }
+}
+
+/// Packs `values` at `bits` bits each, little-endian bit order.
+fn pack_bits(values: &[u64], bits: u32) -> Vec<u8> {
+    let total_bits = values.len() * bits as usize;
+    let mut out = vec![0u8; total_bits.div_ceil(8)];
+    let mut bit_pos = 0usize;
+    for &v in values {
+        for b in 0..bits as usize {
+            if (v >> b) & 1 == 1 {
+                out[(bit_pos + b) / 8] |= 1 << ((bit_pos + b) % 8);
+            }
+        }
+        bit_pos += bits as usize;
+    }
+    out
+}
+
+/// Unpacks `len` values of `bits` bits each.
+fn unpack_bits(bytes: &[u8], bits: u32, len: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        let mut v = 0u64;
+        let base = i * bits as usize;
+        for b in 0..bits as usize {
+            let pos = base + b;
+            if pos / 8 < bytes.len() && (bytes[pos / 8] >> (pos % 8)) & 1 == 1 {
+                v |= 1 << b;
+            }
+        }
+        out.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cipher4() -> PastaCipher {
+        let params = PastaParams::pasta4_17bit();
+        PastaCipher::new(params, SecretKey::from_seed(&params, b"test key"))
+    }
+
+    #[test]
+    fn roundtrip_exact_block() {
+        let c = cipher4();
+        let m: Vec<u64> = (0..32).map(|i| i * 2_048 % 65_537).collect();
+        let ct = c.encrypt(1, &m).unwrap();
+        assert_eq!(c.decrypt(&ct).unwrap(), m);
+    }
+
+    #[test]
+    fn roundtrip_multi_block_and_partial() {
+        let c = cipher4();
+        for len in [1usize, 31, 33, 64, 100] {
+            let m: Vec<u64> = (0..len as u64).map(|i| (i * 31 + 5) % 65_537).collect();
+            let ct = c.encrypt(99, &m).unwrap();
+            assert_eq!(ct.len(), len);
+            assert_eq!(c.decrypt(&ct).unwrap(), m, "length {len}");
+        }
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext() {
+        let c = cipher4();
+        let m = vec![0u64; 32];
+        let ct = c.encrypt(1, &m).unwrap();
+        // Encrypting all-zeros yields exactly the keystream — which must
+        // not be all-zeros.
+        assert_ne!(ct.elements(), &m[..]);
+    }
+
+    #[test]
+    fn same_nonce_same_ciphertext_different_nonce_differs() {
+        let c = cipher4();
+        let m: Vec<u64> = (0..32).collect();
+        assert_eq!(c.encrypt(5, &m).unwrap(), c.encrypt(5, &m).unwrap());
+        assert_ne!(c.encrypt(5, &m).unwrap(), c.encrypt(6, &m).unwrap());
+    }
+
+    #[test]
+    fn blocks_use_distinct_keystream() {
+        let c = cipher4();
+        let m = vec![0u64; 64];
+        let ct = c.encrypt(4, &m).unwrap();
+        assert_ne!(ct.elements()[..32], ct.elements()[32..], "block counters must differ");
+    }
+
+    #[test]
+    fn key_validation() {
+        let params = PastaParams::pasta4_17bit();
+        assert!(matches!(
+            SecretKey::from_elements(&params, vec![0; 10]),
+            Err(PastaError::InvalidKey { expected: 64, found: 10 })
+        ));
+        let mut bad = vec![0u64; 64];
+        bad[0] = 70_000;
+        assert!(matches!(
+            SecretKey::from_elements(&params, bad),
+            Err(PastaError::ElementOutOfRange(70_000))
+        ));
+        let ok = SecretKey::from_seed(&params, b"s");
+        assert!(ok.elements().iter().all(|&x| x < 65_537));
+    }
+
+    #[test]
+    fn key_debug_redacts() {
+        let params = PastaParams::pasta4_17bit();
+        let key = SecretKey::from_seed(&params, b"secret");
+        let dbg = format!("{key:?}");
+        assert!(dbg.contains("redacted"));
+        for &e in key.elements().iter().take(4) {
+            assert!(!dbg.contains(&format!("{e}, ")), "debug must not leak elements");
+        }
+    }
+
+    #[test]
+    fn message_validation() {
+        let c = cipher4();
+        assert!(matches!(
+            c.encrypt(0, &[65_537]),
+            Err(PastaError::ElementOutOfRange(65_537))
+        ));
+    }
+
+    #[test]
+    fn packed_wire_format_roundtrip_and_size() {
+        let params = PastaParams::pasta4_33bit();
+        let c = PastaCipher::new(params, SecretKey::from_seed(&params, b"k"));
+        let m: Vec<u64> = (0..32).map(|i| i * 123_456_789 % params.modulus().value()).collect();
+        let ct = c.encrypt(1, &m).unwrap();
+        let bytes = ct.to_packed_bytes(&params);
+        assert_eq!(bytes.len(), 132, "§V: one 33-bit PASTA-4 block is 132 bytes");
+        let back = Ciphertext::from_packed_bytes(&params, ct.nonce(), &bytes, ct.len()).unwrap();
+        assert_eq!(back, ct);
+    }
+
+    #[test]
+    fn corrupt_wire_data_rejected() {
+        let params = PastaParams::pasta4_17bit();
+        let bytes = vec![0xFFu8; 68]; // every 17-bit field = 0x1FFFF >= p
+        assert!(matches!(
+            Ciphertext::from_packed_bytes(&params, 0, &bytes, 32),
+            Err(PastaError::ElementOutOfRange(_))
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_encrypt_decrypt_roundtrip(m in proptest::collection::vec(0u64..65_537, 1..80),
+                                          nonce in 0u128..1000,
+                                          seed in proptest::collection::vec(0u8..=255, 4)) {
+            let params = PastaParams::pasta4_17bit();
+            let c = PastaCipher::new(params, SecretKey::from_seed(&params, &seed));
+            let ct = c.encrypt(nonce, &m).unwrap();
+            prop_assert_eq!(c.decrypt(&ct).unwrap(), m);
+        }
+
+        #[test]
+        fn prop_pack_unpack_roundtrip(v in proptest::collection::vec(0u64..65_537, 0..50)) {
+            let packed = pack_bits(&v, 17);
+            prop_assert_eq!(unpack_bits(&packed, 17, v.len()), v);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Seekable keystream generation.
+//!
+//! PASTA is a counter-mode stream cipher (Fig. 2): block `ctr` of the
+//! keystream is `Trunc(π_{nonce,ctr}(K))`, independently addressable.
+//! [`Keystream`] exposes that as an element-granular, seekable stream —
+//! the access pattern a disk-encryption or random-access-storage client
+//! would use (the HHE workflow's "store data on the cloud" case).
+
+use crate::cipher::SecretKey;
+use crate::params::{PastaError, PastaParams};
+use crate::permutation::permute;
+
+/// A lazily generated, seekable PASTA keystream.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::{keystream::Keystream, PastaParams, SecretKey};
+/// let params = PastaParams::pasta4_17bit();
+/// let key = SecretKey::from_seed(&params, b"ks");
+/// let mut ks = Keystream::new(params, key, 42);
+/// let first_hundred: Vec<u64> = ks.take_elements(100)?;
+/// ks.seek(0);
+/// assert_eq!(ks.take_elements(100)?, first_hundred);
+/// # Ok::<(), pasta_core::PastaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Keystream {
+    params: PastaParams,
+    key: SecretKey,
+    nonce: u128,
+    /// Absolute element position.
+    position: u64,
+    /// Cached block and its counter.
+    cache: Option<(u64, Vec<u64>)>,
+}
+
+impl Keystream {
+    /// Creates a keystream for `(key, nonce)` positioned at element 0.
+    #[must_use]
+    pub fn new(params: PastaParams, key: SecretKey, nonce: u128) -> Self {
+        Keystream { params, key, nonce, position: 0, cache: None }
+    }
+
+    /// Current element position.
+    #[must_use]
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+
+    /// Seeks to an absolute element position (O(1); the block is
+    /// regenerated on the next read).
+    pub fn seek(&mut self, element: u64) {
+        self.position = element;
+    }
+
+    /// Returns the next keystream element.
+    ///
+    /// # Errors
+    ///
+    /// Propagates permutation errors (none for validated keys).
+    pub fn next_element(&mut self) -> Result<u64, PastaError> {
+        let t = self.params.t() as u64;
+        let counter = self.position / t;
+        let offset = (self.position % t) as usize;
+        let need_block = match &self.cache {
+            Some((c, _)) => *c != counter,
+            None => true,
+        };
+        if need_block {
+            let block = permute(&self.params, self.key.elements(), self.nonce, counter)?;
+            self.cache = Some((counter, block));
+        }
+        let value = self.cache.as_ref().expect("cache populated above").1[offset];
+        self.position += 1;
+        Ok(value)
+    }
+
+    /// Returns the next `n` elements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates permutation errors.
+    pub fn take_elements(&mut self, n: usize) -> Result<Vec<u64>, PastaError> {
+        (0..n).map(|_| self.next_element()).collect()
+    }
+
+    /// XORs-like combine: adds the keystream to `data` in place
+    /// (encryption at the current position).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PastaError::ElementOutOfRange`] for non-canonical data.
+    pub fn apply(&mut self, data: &mut [u64]) -> Result<(), PastaError> {
+        let zp = self.params.field();
+        for d in data.iter_mut() {
+            if *d >= zp.p() {
+                return Err(PastaError::ElementOutOfRange(*d));
+            }
+            *d = zp.add(*d, self.next_element()?);
+        }
+        Ok(())
+    }
+
+    /// Inverse of [`Keystream::apply`] (decryption at the current
+    /// position).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PastaError::ElementOutOfRange`] for non-canonical data.
+    pub fn remove(&mut self, data: &mut [u64]) -> Result<(), PastaError> {
+        let zp = self.params.field();
+        for d in data.iter_mut() {
+            if *d >= zp.p() {
+                return Err(PastaError::ElementOutOfRange(*d));
+            }
+            *d = zp.sub(*d, self.next_element()?);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cipher::PastaCipher;
+
+    fn stream() -> Keystream {
+        let params = PastaParams::pasta4_17bit();
+        Keystream::new(params, SecretKey::from_seed(&params, b"seek"), 0xABCD)
+    }
+
+    #[test]
+    fn matches_block_cipher_api() {
+        let params = PastaParams::pasta4_17bit();
+        let key = SecretKey::from_seed(&params, b"seek");
+        let cipher = PastaCipher::new(params, key);
+        let mut ks = stream();
+        let streamed = ks.take_elements(96).unwrap();
+        let mut blocked = Vec::new();
+        for counter in 0..3 {
+            blocked.extend(cipher.keystream_block(0xABCD, counter).unwrap());
+        }
+        assert_eq!(streamed, blocked);
+    }
+
+    #[test]
+    fn seek_is_random_access() {
+        let mut ks = stream();
+        let linear = ks.take_elements(200).unwrap();
+        // Jump straight to element 150.
+        ks.seek(150);
+        assert_eq!(ks.next_element().unwrap(), linear[150]);
+        // Jump backwards across a block boundary.
+        ks.seek(31);
+        assert_eq!(ks.take_elements(3).unwrap(), linear[31..34]);
+        assert_eq!(ks.position(), 34);
+    }
+
+    #[test]
+    fn apply_remove_roundtrip_mid_stream() {
+        let mut enc = stream();
+        let mut dec = stream();
+        enc.seek(1_000);
+        dec.seek(1_000);
+        let original: Vec<u64> = (0..50u64).map(|i| i * 999 % 65_537).collect();
+        let mut data = original.clone();
+        enc.apply(&mut data).unwrap();
+        assert_ne!(data, original);
+        dec.remove(&mut data).unwrap();
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn cache_avoids_regeneration_within_block() {
+        let mut ks = stream();
+        let _ = ks.next_element().unwrap();
+        let cached_counter = ks.cache.as_ref().unwrap().0;
+        let _ = ks.take_elements(30).unwrap(); // still block 0
+        assert_eq!(ks.cache.as_ref().unwrap().0, cached_counter);
+        let _ = ks.take_elements(2).unwrap(); // crosses into block 1
+        assert_eq!(ks.cache.as_ref().unwrap().0, cached_counter + 1);
+    }
+
+    #[test]
+    fn out_of_range_data_rejected() {
+        let mut ks = stream();
+        let mut bad = vec![65_537u64];
+        assert!(matches!(ks.apply(&mut bad), Err(PastaError::ElementOutOfRange(65_537))));
+    }
+}

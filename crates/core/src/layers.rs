@@ -1,0 +1,264 @@
+//! The PASTA round layers: affine, Mix, and the two S-boxes (paper §II.B).
+//!
+//! Every layer is invertible — a requirement for the permutation to be a
+//! bijection of the key state — and the inverses are implemented here too
+//! so the test suite can verify invertibility directly (the hardware only
+//! ever computes the forward direction).
+
+use crate::matrix::RowGenerator;
+use pasta_math::Zp;
+
+/// Affine layer `x ← M·x + rc` with the matrix streamed from its seed row.
+///
+/// # Panics
+///
+/// Panics if `state`, the generator dimension and `rc` disagree in length.
+pub fn affine_streamed(zp: &Zp, gen: &mut RowGenerator, state: &mut [u64], rc: &[u64]) {
+    assert_eq!(state.len(), gen.t(), "state length must equal matrix dimension");
+    assert_eq!(rc.len(), state.len(), "round-constant length must equal state length");
+    let mixed = crate::matrix::streamed_mat_vec(gen, state);
+    for (s, (m, r)) in state.iter_mut().zip(mixed.iter().zip(rc.iter())) {
+        *s = zp.add(*m, *r);
+    }
+}
+
+/// Mix layer: `(X_L, X_R) ← (2·X_L + X_R, 2·X_R + X_L)`.
+///
+/// The hardware computes this with three additions (§III.D):
+/// `s = X_L + X_R`, then `X_L + s` and `X_R + s`.
+///
+/// # Panics
+///
+/// Panics if the two halves differ in length.
+pub fn mix(zp: &Zp, left: &mut [u64], right: &mut [u64]) {
+    assert_eq!(left.len(), right.len(), "state halves must have equal length");
+    for (l, r) in left.iter_mut().zip(right.iter_mut()) {
+        let s = zp.add(*l, *r); // X_L + X_R
+        let new_l = zp.add(*l, s); // 2·X_L + X_R
+        let new_r = zp.add(*r, s); // 2·X_R + X_L
+        *l = new_l;
+        *r = new_r;
+    }
+}
+
+/// Inverse of [`mix`]: solves the 2×2 system with determinant 3.
+///
+/// # Panics
+///
+/// Panics if the halves differ in length or `p = 3` (where Mix is
+/// singular; parameter validation forbids this).
+pub fn mix_inverse(zp: &Zp, left: &mut [u64], right: &mut [u64]) {
+    assert_eq!(left.len(), right.len(), "state halves must have equal length");
+    let inv3 = zp.inv(3 % zp.p()).expect("p > 3 by parameter validation");
+    for (l, r) in left.iter_mut().zip(right.iter_mut()) {
+        // Inverse of [[2,1],[1,2]] is inv3 * [[2,-1],[-1,2]].
+        let new_l = zp.mul(inv3, zp.sub(zp.add(*l, *l), *r));
+        let new_r = zp.mul(inv3, zp.sub(zp.add(*r, *r), *l));
+        *l = new_l;
+        *r = new_r;
+    }
+}
+
+/// Feistel S-box `S'` (all rounds but the last):
+/// `y_0 = x_0`, `y_j = x_j + x_{j-1}²` on the *input* values.
+///
+/// One squaring and one addition per element (§III.D).
+pub fn sbox_feistel(zp: &Zp, state: &mut [u64]) {
+    let mut prev_sq = 0u64; // x_{-1}² treated as 0 for j = 0
+    for x in state.iter_mut() {
+        let this = *x;
+        *x = zp.add(this, prev_sq);
+        prev_sq = zp.square(this);
+    }
+}
+
+/// Inverse of [`sbox_feistel`]: `x_0 = y_0`, `x_j = y_j − x_{j-1}²`
+/// (sequential).
+pub fn sbox_feistel_inverse(zp: &Zp, state: &mut [u64]) {
+    let mut prev_sq = 0u64; // reconstructed x_{j-1}²
+    for y in state.iter_mut() {
+        let x = zp.sub(*y, prev_sq);
+        *y = x;
+        prev_sq = zp.square(x);
+    }
+}
+
+/// Cube S-box `S` (final round): `y_j = x_j³`.
+///
+/// Two multiplications per element (§III.D). Invertible because
+/// `gcd(3, p-1) = 1` for the PASTA moduli (`p ≡ 2 (mod 3)`).
+pub fn sbox_cube(zp: &Zp, state: &mut [u64]) {
+    for x in state.iter_mut() {
+        *x = zp.cube(*x);
+    }
+}
+
+/// Inverse of [`sbox_cube`]: `x = y^d` with `d = 3⁻¹ mod (p-1)`.
+///
+/// # Panics
+///
+/// Panics if `3 | p - 1` (the cube map is not a bijection there; the
+/// PASTA moduli all satisfy `p ≡ 2 (mod 3)`).
+pub fn sbox_cube_inverse(zp: &Zp, state: &mut [u64]) {
+    let d = inv_exponent_mod(3, zp.p() - 1)
+        .expect("cube S-box requires gcd(3, p-1) = 1");
+    for x in state.iter_mut() {
+        *x = zp.pow(*x, d);
+    }
+}
+
+/// Truncation: keep only the left half (paper §II.B).
+#[must_use]
+pub fn truncate(left: &[u64]) -> Vec<u64> {
+    left.to_vec()
+}
+
+/// `e⁻¹ mod m` via the extended Euclidean algorithm, or `None` if
+/// `gcd(e, m) ≠ 1`.
+fn inv_exponent_mod(e: u64, m: u64) -> Option<u64> {
+    let (mut old_r, mut r) = (i128::from(e), i128::from(m));
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    if old_r != 1 {
+        return None;
+    }
+    Some(old_s.rem_euclid(i128::from(m)) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::RowGenerator;
+    use pasta_math::{Modulus, Zp};
+    use proptest::prelude::*;
+
+    fn zp17() -> Zp {
+        Zp::new(Modulus::PASTA_17_BIT).unwrap()
+    }
+
+    #[test]
+    fn mix_roundtrip() {
+        let zp = zp17();
+        let mut l = vec![1u64, 65_536, 30_000, 0];
+        let mut r = vec![9u64, 8, 7, 65_536];
+        let (l0, r0) = (l.clone(), r.clone());
+        mix(&zp, &mut l, &mut r);
+        assert_ne!((l.clone(), r.clone()), (l0.clone(), r0.clone()));
+        mix_inverse(&zp, &mut l, &mut r);
+        assert_eq!((l, r), (l0, r0));
+    }
+
+    #[test]
+    fn mix_matches_three_addition_schedule() {
+        // §III.D: (i) s = X_R + X_L, (ii) X_R + s, (iii) X_L + s.
+        let zp = zp17();
+        let mut l = vec![123u64];
+        let mut r = vec![456u64];
+        mix(&zp, &mut l, &mut r);
+        let s = zp.add(123, 456);
+        assert_eq!(l[0], zp.add(123, s));
+        assert_eq!(r[0], zp.add(456, s));
+    }
+
+    #[test]
+    fn feistel_roundtrip() {
+        let zp = zp17();
+        let mut x = vec![0u64, 1, 2, 65_536, 40_000, 3];
+        let x0 = x.clone();
+        sbox_feistel(&zp, &mut x);
+        sbox_feistel_inverse(&zp, &mut x);
+        assert_eq!(x, x0);
+    }
+
+    #[test]
+    fn feistel_uses_input_values() {
+        // y_2 must use x_1², not the updated y_1².
+        let zp = zp17();
+        let mut x = vec![1u64, 2, 3];
+        sbox_feistel(&zp, &mut x);
+        assert_eq!(x, vec![1, zp.add(2, 1), zp.add(3, 4)]);
+    }
+
+    #[test]
+    fn cube_roundtrip() {
+        let zp = zp17();
+        let mut x = vec![0u64, 1, 2, 65_536, 54_321];
+        let x0 = x.clone();
+        sbox_cube(&zp, &mut x);
+        sbox_cube_inverse(&zp, &mut x);
+        assert_eq!(x, x0);
+    }
+
+    #[test]
+    fn cube_is_a_permutation_on_small_field() {
+        // p = 5: gcd(3, 4) = 1, so cubing permutes F_5.
+        let zp = Zp::new(Modulus::new(5).unwrap()).unwrap();
+        let mut seen = [false; 5];
+        for x in 0..5u64 {
+            let mut v = vec![x];
+            sbox_cube(&zp, &mut v);
+            seen[v[0] as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn affine_streamed_is_matrix_times_x_plus_rc() {
+        let zp = zp17();
+        let seed = vec![2u64, 3, 5, 7];
+        let rc = vec![10u64, 20, 30, 40];
+        let mut state = vec![1u64, 2, 3, 4];
+        let expect = {
+            let m = RowGenerator::new(zp, seed.clone()).into_matrix();
+            let mx = m.mul_vec(&zp, &state).unwrap();
+            pasta_math::linalg::vec_add(&zp, &mx, &rc)
+        };
+        affine_streamed(&zp, &mut RowGenerator::new(zp, seed), &mut state, &rc);
+        assert_eq!(state, expect);
+    }
+
+    #[test]
+    fn inv_exponent() {
+        assert_eq!(inv_exponent_mod(3, 65_536), Some(43_691)); // 3·43691 = 131073 = 2·65536+1
+        assert_eq!(inv_exponent_mod(2, 65_536), None);
+        assert_eq!(inv_exponent_mod(3, 4), Some(3));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mix_invertible(l in proptest::collection::vec(0u64..65_537, 16),
+                               r in proptest::collection::vec(0u64..65_537, 16)) {
+            let zp = zp17();
+            let (mut l2, mut r2) = (l.clone(), r.clone());
+            mix(&zp, &mut l2, &mut r2);
+            mix_inverse(&zp, &mut l2, &mut r2);
+            prop_assert_eq!(l2, l);
+            prop_assert_eq!(r2, r);
+        }
+
+        #[test]
+        fn prop_sboxes_invertible(x in proptest::collection::vec(0u64..65_537, 32)) {
+            let zp = zp17();
+            let mut f = x.clone();
+            sbox_feistel(&zp, &mut f);
+            sbox_feistel_inverse(&zp, &mut f);
+            prop_assert_eq!(&f, &x);
+            let mut c = x.clone();
+            sbox_cube(&zp, &mut c);
+            sbox_cube_inverse(&zp, &mut c);
+            prop_assert_eq!(&c, &x);
+        }
+
+        #[test]
+        fn prop_cube_injective_pairs(a in 0u64..65_537, b in 0u64..65_537) {
+            let zp = zp17();
+            if a != b {
+                prop_assert_ne!(zp.cube(a), zp.cube(b));
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! The PASTA hybrid-homomorphic-encryption stream cipher.
+//!
+//! PASTA [Dobraunig et al., ToSC 2023] is a symmetric cipher over a prime
+//! field `F_p`, designed so that its *decryption* circuit is cheap to
+//! evaluate under fully homomorphic encryption. A client encrypts data
+//! symmetrically (fast, no ciphertext expansion) and the server
+//! transciphers it into FHE ciphertexts — the Hybrid Homomorphic
+//! Encryption (HHE) workflow of the paper's Fig. 1.
+//!
+//! This crate is the *software reference* for the PASTA-on-Edge
+//! cryptoprocessor reproduction:
+//!
+//! - [`params`]: the PASTA-3 (`t = 128`, 3 rounds) and PASTA-4 (`t = 32`,
+//!   4 rounds) parameter sets over structured 17/33/54-bit primes;
+//! - [`sampler`]: SHAKE128 rejection sampling of the public round
+//!   material;
+//! - [`matrix`]: the sequential invertible-matrix generator (Eq. 1) with
+//!   two-row storage, exactly as the hardware streams it;
+//! - [`layers`]: affine, Mix, Feistel/cube S-boxes (and inverses);
+//! - [`permutation`]: the full π with per-layer tracing for
+//!   hardware-model cross-checks;
+//! - [`cipher`]: keys, encryption, decryption, and the bit-packed wire
+//!   format whose sizes drive the paper's §V communication analysis;
+//! - [`counters`]: analytic operation counts and the quoted CPU baseline
+//!   (Tab. II, §I.A).
+//!
+//! # Examples
+//!
+//! ```
+//! use pasta_core::{PastaCipher, PastaParams, SecretKey};
+//!
+//! let params = PastaParams::pasta4_17bit();
+//! let key = SecretKey::from_seed(&params, b"quickstart");
+//! let cipher = PastaCipher::new(params, key);
+//!
+//! let message: Vec<u64> = (0..32).collect();
+//! let ciphertext = cipher.encrypt(0xD00D, &message)?;
+//! assert_eq!(cipher.decrypt(&ciphertext)?, message);
+//! # Ok::<(), pasta_core::PastaError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cipher;
+pub mod counters;
+pub mod keystream;
+pub mod layers;
+pub mod masking;
+pub mod matrix;
+pub mod params;
+pub mod permutation;
+pub mod sampler;
+
+pub use cipher::{Ciphertext, PastaCipher, SecretKey};
+pub use keystream::Keystream;
+pub use params::{PastaError, PastaParams, Variant};
+pub use permutation::{derive_block_material, permute, BlockMaterial};

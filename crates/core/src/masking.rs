@@ -1,0 +1,356 @@
+//! First-order arithmetic masking of the PASTA permutation.
+//!
+//! The paper's future scope (§VI) asks for the cost of side-channel
+//! countermeasures on HHE ciphers vs. on public-key encryption. This
+//! module implements the standard first-order countermeasure — additive
+//! secret sharing over `F_p` — for the PASTA datapath:
+//!
+//! - the secret state `x` is split as `x = a + b (mod p)`; every
+//!   intermediate value exists only as two shares;
+//! - **linear layers are free**: the affine matrix multiplies each share
+//!   independently (the round constant goes to one share), and Mix is
+//!   linear too;
+//! - the **S-boxes need masked multiplication gadgets**: a squaring
+//!   `x² = a² + 2ab + b²` has the cross-term `2ab` re-shared with fresh
+//!   randomness (ISW-style), costing 3 multiplications instead of 1; the
+//!   cube's share-product costs 4.
+//!
+//! The punchline this module quantifies (see the `ablation_masking`
+//! bench): because the cryptoprocessor is XOF-bound (§IV.B) and the XOF
+//! processes only *public* material (nonce/counter-derived), first-order
+//! masking costs ≈3× multiplier *area* for the S-box path but almost no
+//! *latency* — an asymmetry unavailable to PKE accelerators, whose
+//! polynomial arithmetic is all secret-dependent.
+
+use crate::matrix::RowGenerator;
+use crate::params::{PastaError, PastaParams};
+use crate::permutation::BlockMaterial;
+use pasta_math::Zp;
+
+/// A first-order additively shared state: `value = a + b (mod p)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedState {
+    /// First share.
+    pub a: Vec<u64>,
+    /// Second share.
+    pub b: Vec<u64>,
+}
+
+impl SharedState {
+    /// Splits `values` into two shares using the caller's randomness
+    /// stream (one fresh element per value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the randomness callback yields non-canonical values.
+    pub fn share(zp: &Zp, values: &[u64], mut fresh: impl FnMut() -> u64) -> Self {
+        let mut a = Vec::with_capacity(values.len());
+        let mut b = Vec::with_capacity(values.len());
+        for &v in values {
+            let r = fresh();
+            assert!(r < zp.p(), "masking randomness must be canonical");
+            a.push(r);
+            b.push(zp.sub(v, r));
+        }
+        SharedState { a, b }
+    }
+
+    /// Recombines the shares.
+    #[must_use]
+    pub fn unmask(&self, zp: &Zp) -> Vec<u64> {
+        self.a.iter().zip(self.b.iter()).map(|(&x, &y)| zp.add(x, y)).collect()
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Whether the state is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.a.is_empty()
+    }
+}
+
+/// Operation counts of one masked permutation (for the overhead model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaskedOpCount {
+    /// Modular multiplications performed on shares.
+    pub mul: u64,
+    /// Modular additions performed on shares.
+    pub add: u64,
+    /// Fresh masking randomness consumed (field elements).
+    pub randomness: u64,
+}
+
+/// Masked squaring: given `x = a + b`, returns shares of `x²`.
+///
+/// `x² = a² + 2ab + b²`; the cross term is re-shared with fresh `r`:
+/// `y_a = a² + (2ab + r)`, `y_b = b² − r`. Three multiplications.
+fn masked_square(
+    zp: &Zp,
+    a: u64,
+    b: u64,
+    fresh: &mut impl FnMut() -> u64,
+    ops: &mut MaskedOpCount,
+) -> (u64, u64) {
+    let r = fresh();
+    ops.randomness += 1;
+    let a2 = zp.mul(a, a);
+    let b2 = zp.mul(b, b);
+    let cross = zp.mul(zp.add(a, a), b); // 2ab
+    ops.mul += 3;
+    ops.add += 4;
+    (zp.add(a2, zp.add(cross, r)), zp.sub(b2, r))
+}
+
+/// Masked multiplication: shares of `x·y` from `x = (xa, xb)`,
+/// `y = (ya, yb)`. Four multiplications (ISW n = 2).
+fn masked_mul(
+    zp: &Zp,
+    (xa, xb): (u64, u64),
+    (ya, yb): (u64, u64),
+    fresh: &mut impl FnMut() -> u64,
+    ops: &mut MaskedOpCount,
+) -> (u64, u64) {
+    let r = fresh();
+    ops.randomness += 1;
+    // z = xa·ya + xa·yb + xb·ya + xb·yb, re-shared around r.
+    let t00 = zp.mul(xa, ya);
+    let t01 = zp.mul(xa, yb);
+    let t10 = zp.mul(xb, ya);
+    let t11 = zp.mul(xb, yb);
+    ops.mul += 4;
+    ops.add += 4;
+    (zp.add(t00, zp.add(t01, r)), zp.add(t11, zp.sub(t10, r)))
+}
+
+/// Runs the PASTA permutation on a shared key, never recombining.
+///
+/// Returns the shared keystream and the operation counts.
+///
+/// # Errors
+///
+/// Returns [`PastaError::InvalidKey`] if the shared state length is not
+/// `2t`.
+pub fn masked_permute(
+    params: &PastaParams,
+    shared_key: &SharedState,
+    material: &BlockMaterial,
+    mut fresh: impl FnMut() -> u64,
+) -> Result<(SharedState, MaskedOpCount), PastaError> {
+    let t = params.t();
+    if shared_key.len() != params.state_size() {
+        return Err(PastaError::InvalidKey {
+            expected: params.state_size(),
+            found: shared_key.len(),
+        });
+    }
+    let zp = params.field();
+    let mut ops = MaskedOpCount::default();
+    let mut share_a = shared_key.a.clone();
+    let mut share_b = shared_key.b.clone();
+    let r = params.rounds();
+
+    for (i, layer) in material.layers.iter().enumerate() {
+        // Affine layer: matrices act share-wise (linear); the round
+        // constant is added to share a only.
+        for (seed, rc, offset) in [
+            (&layer.seed_left, &layer.rc_left, 0usize),
+            (&layer.seed_right, &layer.rc_right, t),
+        ] {
+            let a_half = crate::matrix::streamed_mat_vec(
+                &mut RowGenerator::new(zp, seed.clone()),
+                &share_a[offset..offset + t],
+            );
+            let b_half = crate::matrix::streamed_mat_vec(
+                &mut RowGenerator::new(zp, seed.clone()),
+                &share_b[offset..offset + t],
+            );
+            ops.mul += 4 * (t as u64) * (t as u64); // two matgens + two matmuls
+            ops.add += 4 * (t as u64) * (t as u64);
+            for j in 0..t {
+                share_a[offset + j] = zp.add(a_half[j], rc[j]);
+                share_b[offset + j] = b_half[j];
+            }
+            ops.add += t as u64;
+        }
+        if i < r {
+            // Mix: linear, applied share-wise.
+            for shares in [&mut share_a, &mut share_b] {
+                let (left, right) = shares.split_at_mut(t);
+                crate::layers::mix(&zp, left, right);
+            }
+            ops.add += 2 * 3 * t as u64;
+            // S-box on the concatenated state.
+            if i < r - 1 {
+                // Feistel: y_j = x_j + x_{j-1}² — masked square + share-wise add.
+                let prev_a = share_a.clone();
+                let prev_b = share_b.clone();
+                for j in (1..2 * t).rev() {
+                    let (sq_a, sq_b) =
+                        masked_square(&zp, prev_a[j - 1], prev_b[j - 1], &mut fresh, &mut ops);
+                    share_a[j] = zp.add(share_a[j], sq_a);
+                    share_b[j] = zp.add(share_b[j], sq_b);
+                    ops.add += 2;
+                }
+            } else {
+                // Cube: x³ = x²·x with masked square then masked mul.
+                for j in 0..2 * t {
+                    let (sq_a, sq_b) =
+                        masked_square(&zp, share_a[j], share_b[j], &mut fresh, &mut ops);
+                    let (c_a, c_b) = masked_mul(
+                        &zp,
+                        (sq_a, sq_b),
+                        (share_a[j], share_b[j]),
+                        &mut fresh,
+                        &mut ops,
+                    );
+                    share_a[j] = c_a;
+                    share_b[j] = c_b;
+                }
+            }
+        }
+    }
+    let ks = SharedState {
+        a: share_a[..t].to_vec(),
+        b: share_b[..t].to_vec(),
+    };
+    Ok((ks, ops))
+}
+
+/// The multiplier-count overhead of first-order masking on the
+/// secret-dependent datapath (S-box path only — the affine path doubles
+/// instead, and the XOF needs no protection at all since its inputs are
+/// public).
+#[must_use]
+pub fn sbox_multiplier_overhead(params: &PastaParams) -> f64 {
+    let r = params.rounds() as u64;
+    let t2 = 2 * params.t() as u64;
+    // Unmasked: Feistel rounds cost 1 mul per element, cube 2.
+    let unmasked = (r - 1) * (t2 - 1) + 2 * t2;
+    // Masked: squares cost 3, cube = square (3) + mul (4) = 7.
+    let masked = 3 * (r - 1) * (t2 - 1) + 7 * t2;
+    masked as f64 / unmasked as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::permutation::{derive_block_material, permute};
+    use crate::SecretKey;
+    use pasta_math::Modulus;
+
+    /// A deterministic randomness stream for tests.
+    fn rng_stream(seed: u64, p: u64) -> impl FnMut() -> u64 {
+        let mut x = seed;
+        move || {
+            // SplitMix64, reduced into the field.
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) % p
+        }
+    }
+
+    #[test]
+    fn share_unmask_roundtrip() {
+        let zp = Zp::new(Modulus::PASTA_17_BIT).unwrap();
+        let values: Vec<u64> = (0..16u64).map(|i| i * 4_099 % 65_537).collect();
+        let shared = SharedState::share(&zp, &values, rng_stream(1, zp.p()));
+        assert_eq!(shared.unmask(&zp), values);
+        assert_ne!(shared.a, values, "share a must not equal the secret");
+    }
+
+    #[test]
+    fn masked_gadgets_correct() {
+        let zp = Zp::new(Modulus::PASTA_17_BIT).unwrap();
+        let mut fresh = rng_stream(7, zp.p());
+        let mut ops = MaskedOpCount::default();
+        for x in [0u64, 1, 2, 65_536, 12_345] {
+            let r = fresh();
+            let (a, b) = (r, zp.sub(x, r));
+            let (sa, sb) = masked_square(&zp, a, b, &mut fresh, &mut ops);
+            assert_eq!(zp.add(sa, sb), zp.square(x), "square of {x}");
+            let (ma, mb) = masked_mul(&zp, (sa, sb), (a, b), &mut fresh, &mut ops);
+            assert_eq!(zp.add(ma, mb), zp.cube(x), "cube of {x}");
+        }
+        assert!(ops.mul > 0 && ops.randomness > 0);
+    }
+
+    #[test]
+    fn masked_permutation_equals_unmasked() {
+        for params in [
+            PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap(),
+            PastaParams::pasta4_17bit(),
+        ] {
+            let key = SecretKey::from_seed(&params, b"mask");
+            let zp = params.field();
+            let material = derive_block_material(&params, 0xAB, 0);
+            let shared =
+                SharedState::share(&zp, key.elements(), rng_stream(3, zp.p()));
+            let (masked_ks, ops) =
+                masked_permute(&params, &shared, &material, rng_stream(4, zp.p())).unwrap();
+            let expect = permute(&params, key.elements(), 0xAB, 0).unwrap();
+            assert_eq!(masked_ks.unmask(&zp), expect, "{params}");
+            assert!(ops.randomness > 0, "S-boxes must consume fresh randomness");
+        }
+    }
+
+    #[test]
+    fn different_maskings_same_result() {
+        // The unmasked output must not depend on the masking randomness.
+        let params = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap();
+        let key = SecretKey::from_seed(&params, b"mask2");
+        let zp = params.field();
+        let material = derive_block_material(&params, 5, 0);
+        let mut results = Vec::new();
+        for seed in [10u64, 20, 30] {
+            let shared = SharedState::share(&zp, key.elements(), rng_stream(seed, zp.p()));
+            let (ks, _) =
+                masked_permute(&params, &shared, &material, rng_stream(seed + 1, zp.p()))
+                    .unwrap();
+            results.push(ks.unmask(&zp));
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn shares_differ_across_maskings() {
+        // While the recombined value is fixed, the individual shares must
+        // change with the randomness (the whole point of masking).
+        let params = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap();
+        let key = SecretKey::from_seed(&params, b"mask3");
+        let zp = params.field();
+        let material = derive_block_material(&params, 6, 0);
+        let run = |seed: u64| {
+            let shared = SharedState::share(&zp, key.elements(), rng_stream(seed, zp.p()));
+            masked_permute(&params, &shared, &material, rng_stream(seed * 7, zp.p()))
+                .unwrap()
+                .0
+        };
+        let x = run(100);
+        let y = run(200);
+        assert_ne!(x.a, y.a, "share a must vary with the masking randomness");
+        assert_eq!(x.unmask(&zp), y.unmask(&zp));
+    }
+
+    #[test]
+    fn overhead_model() {
+        // S-box multiplier overhead ≈ 3–3.5× for PASTA-4 — the number to
+        // weigh against a PKE accelerator masking its entire NTT datapath.
+        let o = sbox_multiplier_overhead(&PastaParams::pasta4_17bit());
+        assert!((2.8..3.6).contains(&o), "overhead {o}");
+        let wrong_key = SharedState { a: vec![0; 3], b: vec![0; 3] };
+        let params = PastaParams::pasta4_17bit();
+        let material = derive_block_material(&params, 0, 0);
+        assert!(matches!(
+            masked_permute(&params, &wrong_key, &material, || 0),
+            Err(PastaError::InvalidKey { .. })
+        ));
+    }
+}

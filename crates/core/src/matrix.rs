@@ -1,0 +1,264 @@
+//! Sequential invertible-matrix generation (paper §II.C, Eq. 1).
+//!
+//! The affine layers of PASTA need fresh *invertible* `t × t` matrices
+//! every block. Sampling a random matrix and testing invertibility would
+//! be far too expensive; instead PASTA (following PHOTON/LED) samples only
+//! the first row `α = (α_0 … α_{t-1})` with `α_0 ≠ 0` and derives row
+//! `j+1` from row `j` by multiplying with the companion matrix
+//!
+//! ```text
+//!       ⎡ 0   1   0  …  0    ⎤
+//!  C =  ⎢ …   …   …  …  …    ⎥     M^{j+1} = M^j · C
+//!       ⎢ 0   0   0  …  1    ⎥
+//!       ⎣ α_0 α_1 α_2 … α_{t-1} ⎦
+//! ```
+//!
+//! so `(M^{j+1})_c = M^j_{c-1} + M^j_{t-1}·α_c` (and
+//! `(M^{j+1})_0 = M^j_{t-1}·α_0`): exactly one multiply-accumulate per
+//! element, which is what the hardware's MAC array exploits (Fig. 5). The
+//! resulting matrix is the Krylov matrix `[α; αC; …; αC^{t-1}]`, which is
+//! invertible whenever `α` is a cyclic vector for `C`; sampling `α_0 ≠ 0`
+//! makes this hold with overwhelming probability, and the generator
+//! verifies it in debug builds for small `t`.
+
+use pasta_math::linalg::Matrix;
+use pasta_math::Zp;
+
+/// Streaming generator of the rows of an invertible matrix.
+///
+/// Holds only the seed row `α` and the most recent row — the same minimal
+/// two-row storage the hardware uses (Fig. 5) so the matrix never needs to
+/// be materialized.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::matrix::RowGenerator;
+/// use pasta_math::{Zp, Modulus};
+/// let zp = Zp::new(Modulus::PASTA_17_BIT)?;
+/// let seed = vec![3u64, 1, 4, 1];
+/// let mut gen = RowGenerator::new(zp, seed.clone());
+/// assert_eq!(gen.next_row().to_vec(), seed); // row 0 is α itself
+/// let row1 = gen.next_row().to_vec();
+/// assert_eq!(row1[0], zp.mul(seed[3], seed[0]));
+/// # Ok::<(), pasta_math::MathError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RowGenerator {
+    zp: Zp,
+    seed: Vec<u64>,
+    current: Vec<u64>,
+    /// Scratch buffer for the next row (avoids per-row allocation).
+    next: Vec<u64>,
+    emitted: usize,
+}
+
+impl RowGenerator {
+    /// Creates a generator from the seed row `α`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seed is empty or `α_0 == 0` (the sampler never
+    /// produces such seeds; see
+    /// [`XofSampler::next_matrix_seed`](crate::sampler::XofSampler::next_matrix_seed)).
+    #[must_use]
+    pub fn new(zp: Zp, seed: Vec<u64>) -> Self {
+        assert!(!seed.is_empty(), "matrix seed row must be nonempty");
+        assert_ne!(seed[0], 0, "matrix seed row must start with a nonzero element");
+        let t = seed.len();
+        RowGenerator { zp, current: seed.clone(), next: vec![0; t], seed, emitted: 0 }
+    }
+
+    /// Dimension `t` of the matrix.
+    #[must_use]
+    pub fn t(&self) -> usize {
+        self.seed.len()
+    }
+
+    /// Number of rows emitted so far.
+    #[must_use]
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Produces the next row (row 0 is the seed itself).
+    ///
+    /// The returned slice is valid until the next call. The generator can
+    /// run past `t` rows (the recurrence is well defined), but a full
+    /// matrix uses exactly rows `0..t`.
+    pub fn next_row(&mut self) -> &[u64] {
+        if self.emitted > 0 {
+            let t = self.t();
+            let last = self.current[t - 1];
+            self.next[0] = self.zp.mul(last, self.seed[0]);
+            for c in 1..t {
+                self.next[c] = self.zp.mac(last, self.seed[c], self.current[c - 1]);
+            }
+            std::mem::swap(&mut self.current, &mut self.next);
+        }
+        self.emitted += 1;
+        &self.current
+    }
+
+    /// Materializes the full `t × t` matrix (software/debug path; the
+    /// hardware never does this).
+    #[must_use]
+    pub fn into_matrix(mut self) -> Matrix {
+        let t = self.t();
+        let mut data = Vec::with_capacity(t * t);
+        // Restart from row 0 regardless of prior iteration.
+        self.current = self.seed.clone();
+        self.emitted = 0;
+        for _ in 0..t {
+            data.extend_from_slice(self.next_row());
+        }
+        Matrix::from_rows(t, t, data).expect("dimensions are consistent by construction")
+    }
+}
+
+/// Streaming matrix–vector product: multiplies the generated matrix by
+/// `x` without materializing the matrix, mirroring the hardware's
+/// generate-row-then-dot-product pipeline (Fig. 5).
+///
+/// # Panics
+///
+/// Panics if `x.len()` differs from the generator dimension.
+#[must_use]
+pub fn streamed_mat_vec(gen: &mut RowGenerator, x: &[u64]) -> Vec<u64> {
+    let t = gen.t();
+    assert_eq!(x.len(), t, "state vector length must equal matrix dimension");
+    let zp = gen.zp;
+    (0..t).map(|_| pasta_math::linalg::dot(&zp, gen.next_row(), x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PastaParams;
+    use crate::sampler::XofSampler;
+    use pasta_math::linalg::Matrix;
+    use pasta_math::{Modulus, Zp};
+    use proptest::prelude::*;
+
+    fn zp17() -> Zp {
+        Zp::new(Modulus::PASTA_17_BIT).unwrap()
+    }
+
+    /// Brute-force reference: explicitly build the companion matrix and
+    /// multiply.
+    fn reference_matrix(zp: &Zp, seed: &[u64]) -> Matrix {
+        let t = seed.len();
+        let mut companion = Matrix::zero(t, t);
+        for r in 0..t - 1 {
+            companion.set(r, r + 1, 1);
+        }
+        for (c, &sc) in seed.iter().enumerate() {
+            companion.set(t - 1, c, sc);
+        }
+        let mut rows = Vec::with_capacity(t * t);
+        let mut row = seed.to_vec();
+        for j in 0..t {
+            rows.extend_from_slice(&row);
+            if j + 1 < t {
+                // row · companion
+                let as_mat = Matrix::from_rows(1, t, row.clone()).unwrap();
+                row = as_mat.mul_mat(zp, &companion).unwrap().row(0).to_vec();
+            }
+        }
+        Matrix::from_rows(t, t, rows).unwrap()
+    }
+
+    #[test]
+    fn generator_matches_companion_reference() {
+        let zp = zp17();
+        let seed = vec![5u64, 0, 65_536, 7, 123, 9_999, 1, 2];
+        let fast = RowGenerator::new(zp, seed.clone()).into_matrix();
+        let slow = reference_matrix(&zp, &seed);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn generated_matrices_are_invertible() {
+        let zp = zp17();
+        let params = PastaParams::pasta4_17bit();
+        for counter in 0..10 {
+            let mut s = XofSampler::for_block(&params, 0xDEADBEEF, counter);
+            let seed = s.next_matrix_seed(16);
+            let m = RowGenerator::new(zp, seed).into_matrix();
+            assert!(m.is_invertible(&zp), "matrix for counter {counter} must be invertible");
+        }
+    }
+
+    #[test]
+    fn full_size_pasta4_matrix_is_invertible() {
+        let zp = zp17();
+        let params = PastaParams::pasta4_17bit();
+        let mut s = XofSampler::for_block(&params, 1, 0);
+        let seed = s.next_matrix_seed(32);
+        let m = RowGenerator::new(zp, seed).into_matrix();
+        assert!(m.is_invertible(&zp));
+    }
+
+    #[test]
+    fn streamed_matvec_equals_materialized() {
+        let zp = zp17();
+        let params = PastaParams::pasta4_17bit();
+        let mut s = XofSampler::for_block(&params, 77, 0);
+        let seed = s.next_matrix_seed(32);
+        let x = s.next_vector(32);
+        let streamed = streamed_mat_vec(&mut RowGenerator::new(zp, seed.clone()), &x);
+        let materialized =
+            RowGenerator::new(zp, seed).into_matrix().mul_vec(&zp, &x).unwrap();
+        assert_eq!(streamed, materialized);
+    }
+
+    #[test]
+    fn two_row_storage_is_enough() {
+        // The generator must not need row j-2: emitting rows one at a time
+        // and collecting equals materializing.
+        let zp = zp17();
+        let seed = vec![9u64, 8, 7, 6, 5];
+        let mut gen = RowGenerator::new(zp, seed.clone());
+        let mut collected = Vec::new();
+        for _ in 0..5 {
+            collected.extend_from_slice(gen.next_row());
+        }
+        let m = RowGenerator::new(zp, seed).into_matrix();
+        let expect: Vec<u64> = (0..5).flat_map(|r| m.row(r).to_vec()).collect();
+        assert_eq!(collected, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_leading_seed_rejected() {
+        let _ = RowGenerator::new(zp17(), vec![0u64, 1, 2, 3]);
+    }
+
+    proptest! {
+        /// Random nonzero-leading seeds of size 8 are invertible in the
+        /// overwhelming majority of cases; we assert it outright for the
+        /// sampled cases (failure probability ~ 1/p per case).
+        #[test]
+        fn prop_random_seeds_invertible(seed0 in 1u64..65_537,
+                                        rest in proptest::collection::vec(0u64..65_537, 7)) {
+            let zp = zp17();
+            let mut seed = vec![seed0];
+            seed.extend(rest);
+            let m = RowGenerator::new(zp, seed).into_matrix();
+            prop_assert!(m.is_invertible(&zp));
+        }
+
+        #[test]
+        fn prop_streamed_matches_materialized(seed0 in 1u64..65_537,
+                                              rest in proptest::collection::vec(0u64..65_537, 7),
+                                              x in proptest::collection::vec(0u64..65_537, 8)) {
+            let zp = zp17();
+            let mut seed = vec![seed0];
+            seed.extend(rest);
+            let streamed = streamed_mat_vec(&mut RowGenerator::new(zp, seed.clone()), &x);
+            let materialized = RowGenerator::new(zp, seed).into_matrix()
+                .mul_vec(&zp, &x).unwrap();
+            prop_assert_eq!(streamed, materialized);
+        }
+    }
+}

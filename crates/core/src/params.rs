@@ -1,0 +1,327 @@
+//! PASTA parameter sets.
+//!
+//! PASTA is a family of stream ciphers over `F_p` with two standard
+//! instantiations (paper §II.B, Tab. II):
+//!
+//! - **PASTA-3**: block size `t = 128` (state `2t = 256`), 3 rounds;
+//! - **PASTA-4**: block size `t = 32` (state `2t = 64`), 4 rounds.
+//!
+//! Each of the `r + 1` affine layers draws four rejection-sampled vectors
+//! of `t` coefficients from SHAKE128 (two invertible-matrix seed rows and
+//! two round constants), so one block consumes `4·t·(r+1)` pseudo-random
+//! coefficients: 2,048 for PASTA-3 and 640 for PASTA-4 (§III.A).
+//!
+//! Note: §II.B of the DATE paper says "for PASTA-3, 2t = 128", which
+//! contradicts its own Tab. II ("128 elements processed") and the original
+//! PASTA specification; we follow Tab. II.
+
+use pasta_math::{MathError, Modulus, Zp};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the PASTA cipher crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PastaError {
+    /// Underlying arithmetic error (bad modulus, dimension mismatch, …).
+    Math(MathError),
+    /// Parameter validation failed.
+    InvalidParams(String),
+    /// A key of the wrong length (or with out-of-range elements) was given.
+    InvalidKey {
+        /// Expected number of key elements (`2t`).
+        expected: usize,
+        /// Number actually supplied.
+        found: usize,
+    },
+    /// Ciphertext/plaintext block length did not match the parameters.
+    InvalidBlock {
+        /// Expected number of elements (`t` or a final partial block).
+        expected: usize,
+        /// Number actually supplied.
+        found: usize,
+    },
+    /// An element was not a canonical residue in `[0, p)`.
+    ElementOutOfRange(u64),
+}
+
+impl fmt::Display for PastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PastaError::Math(e) => write!(f, "arithmetic error: {e}"),
+            PastaError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            PastaError::InvalidKey { expected, found } => {
+                write!(f, "invalid key length: expected {expected} elements, found {found}")
+            }
+            PastaError::InvalidBlock { expected, found } => {
+                write!(f, "invalid block length: expected {expected} elements, found {found}")
+            }
+            PastaError::ElementOutOfRange(v) => {
+                write!(f, "element {v} is not a canonical residue")
+            }
+        }
+    }
+}
+
+impl Error for PastaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PastaError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for PastaError {
+    fn from(e: MathError) -> Self {
+        PastaError::Math(e)
+    }
+}
+
+/// Which standard PASTA instantiation a parameter set corresponds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// `t = 128`, 3 rounds.
+    Pasta3,
+    /// `t = 32`, 4 rounds.
+    Pasta4,
+    /// A non-standard `(t, rounds)` combination.
+    Custom,
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Variant::Pasta3 => write!(f, "PASTA-3"),
+            Variant::Pasta4 => write!(f, "PASTA-4"),
+            Variant::Custom => write!(f, "PASTA-custom"),
+        }
+    }
+}
+
+/// A validated PASTA parameter set.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::PastaParams;
+/// let p = PastaParams::pasta4_17bit();
+/// assert_eq!(p.t(), 32);
+/// assert_eq!(p.rounds(), 4);
+/// assert_eq!(p.xof_coefficients_per_block(), 640);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PastaParams {
+    variant: Variant,
+    t: usize,
+    rounds: usize,
+    modulus: Modulus,
+}
+
+impl PastaParams {
+    /// PASTA-3 over the 17-bit modulus `65537` (the paper's Tab. I row 1).
+    #[must_use]
+    pub fn pasta3_17bit() -> Self {
+        Self::pasta3(Modulus::PASTA_17_BIT)
+    }
+
+    /// PASTA-4 over the 17-bit modulus `65537` (Tab. I row 2, and the
+    /// comparison point for Tab. II/III).
+    #[must_use]
+    pub fn pasta4_17bit() -> Self {
+        Self::pasta4(Modulus::PASTA_17_BIT)
+    }
+
+    /// PASTA-4 over the 33-bit structured modulus (Tab. I row 3).
+    #[must_use]
+    pub fn pasta4_33bit() -> Self {
+        Self::pasta4(Modulus::PASTA_33_BIT)
+    }
+
+    /// PASTA-4 over the 54-bit structured modulus (Tab. I row 4).
+    #[must_use]
+    pub fn pasta4_54bit() -> Self {
+        Self::pasta4(Modulus::PASTA_54_BIT)
+    }
+
+    /// PASTA-3 (`t = 128`, 3 rounds) over an arbitrary modulus.
+    #[must_use]
+    pub fn pasta3(modulus: Modulus) -> Self {
+        PastaParams { variant: Variant::Pasta3, t: 128, rounds: 3, modulus }
+    }
+
+    /// PASTA-4 (`t = 32`, 4 rounds) over an arbitrary modulus.
+    #[must_use]
+    pub fn pasta4(modulus: Modulus) -> Self {
+        PastaParams { variant: Variant::Pasta4, t: 32, rounds: 4, modulus }
+    }
+
+    /// A custom instantiation, e.g. for scaled-down testing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PastaError::InvalidParams`] if `t < 2` or `rounds == 0`,
+    /// or if the modulus is too small for the Mix layer to be invertible
+    /// (`p` must exceed 3).
+    pub fn custom(t: usize, rounds: usize, modulus: Modulus) -> Result<Self, PastaError> {
+        if t < 2 {
+            return Err(PastaError::InvalidParams(format!("block size t = {t} must be >= 2")));
+        }
+        if rounds == 0 {
+            return Err(PastaError::InvalidParams("rounds must be >= 1".into()));
+        }
+        if modulus.value() <= 3 {
+            return Err(PastaError::InvalidParams(
+                "modulus must exceed 3 for Mix to be invertible".into(),
+            ));
+        }
+        let variant = match (t, rounds) {
+            (128, 3) => Variant::Pasta3,
+            (32, 4) => Variant::Pasta4,
+            _ => Variant::Custom,
+        };
+        Ok(PastaParams { variant, t, rounds, modulus })
+    }
+
+    /// The standard variant this parameter set matches.
+    #[must_use]
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// Block size `t` (elements of keystream/plaintext per block).
+    #[must_use]
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Number of rounds `r`.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Number of affine layers (`r + 1`).
+    #[must_use]
+    pub fn affine_layers(&self) -> usize {
+        self.rounds + 1
+    }
+
+    /// State size `2t` (= secret-key length in elements).
+    #[must_use]
+    pub fn state_size(&self) -> usize {
+        2 * self.t
+    }
+
+    /// The modulus descriptor.
+    #[must_use]
+    pub fn modulus(&self) -> Modulus {
+        self.modulus
+    }
+
+    /// A field context for this modulus with the hardware-default reducer.
+    #[must_use]
+    pub fn field(&self) -> Zp {
+        Zp::new(self.modulus).expect("modulus was validated at construction")
+    }
+
+    /// Rejection-sampled XOF coefficients needed per block:
+    /// `4·t·(r+1)` (§III.A: 2,048 for PASTA-3, 640 for PASTA-4).
+    #[must_use]
+    pub fn xof_coefficients_per_block(&self) -> usize {
+        4 * self.t * self.affine_layers()
+    }
+
+    /// Ciphertext size of one block in bits: `t · ⌈log2 p⌉`
+    /// (§V: 32 × 33 bits = 132 bytes for the video benchmark parameters).
+    #[must_use]
+    pub fn ciphertext_block_bits(&self) -> usize {
+        self.t * self.modulus.bits() as usize
+    }
+
+    /// Ciphertext size of one block in bytes (bit-packed, rounded up).
+    #[must_use]
+    pub fn ciphertext_block_bytes(&self) -> usize {
+        self.ciphertext_block_bits().div_ceil(8)
+    }
+
+    /// Acceptance probability of one masked XOF draw
+    /// (`p / 2^⌈log2 p⌉`, ≈0.5 for 65537).
+    #[must_use]
+    pub fn acceptance_rate(&self) -> f64 {
+        self.modulus.value() as f64 / (1u128 << self.modulus.bits()) as f64
+    }
+}
+
+impl fmt::Display for PastaParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (t = {}, rounds = {}, p = {})",
+            self.variant,
+            self.t,
+            self.rounds,
+            self.modulus.value()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_variants_match_paper() {
+        let p3 = PastaParams::pasta3_17bit();
+        assert_eq!(p3.t(), 128);
+        assert_eq!(p3.rounds(), 3);
+        assert_eq!(p3.state_size(), 256);
+        assert_eq!(p3.xof_coefficients_per_block(), 2_048);
+        assert_eq!(p3.variant(), Variant::Pasta3);
+
+        let p4 = PastaParams::pasta4_17bit();
+        assert_eq!(p4.t(), 32);
+        assert_eq!(p4.rounds(), 4);
+        assert_eq!(p4.state_size(), 64);
+        assert_eq!(p4.xof_coefficients_per_block(), 640);
+        assert_eq!(p4.variant(), Variant::Pasta4);
+    }
+
+    #[test]
+    fn ciphertext_sizes_match_paper_section_v() {
+        // §V: one PASTA block of 2^5 = 32 coefficients at 33 bits = 132 B.
+        let p = PastaParams::pasta4_33bit();
+        assert_eq!(p.ciphertext_block_bytes(), 132);
+        // 17-bit variant: 32 × 17 = 544 bits = the "544-bit PASTA state"
+        // the SoC peripheral stores (§IV.A ❸).
+        let p17 = PastaParams::pasta4_17bit();
+        assert_eq!(p17.ciphertext_block_bits(), 544);
+        assert_eq!(p17.ciphertext_block_bytes(), 68);
+    }
+
+    #[test]
+    fn acceptance_rate_for_65537_is_half() {
+        let p = PastaParams::pasta4_17bit();
+        let rate = p.acceptance_rate();
+        assert!((rate - 0.5).abs() < 1e-4, "rate = {rate}");
+    }
+
+    #[test]
+    fn custom_validation() {
+        use pasta_math::Modulus;
+        assert!(PastaParams::custom(1, 3, Modulus::PASTA_17_BIT).is_err());
+        assert!(PastaParams::custom(8, 0, Modulus::PASTA_17_BIT).is_err());
+        assert!(PastaParams::custom(2, 2, Modulus::new(3).unwrap()).is_err());
+        let ok = PastaParams::custom(8, 2, Modulus::PASTA_17_BIT).unwrap();
+        assert_eq!(ok.variant(), Variant::Custom);
+        // Custom constructor recognizes the standard shapes.
+        let p3 = PastaParams::custom(128, 3, Modulus::PASTA_17_BIT).unwrap();
+        assert_eq!(p3.variant(), Variant::Pasta3);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = PastaParams::pasta4_17bit().to_string();
+        assert!(s.contains("PASTA-4") && s.contains("65537"), "{s}");
+    }
+}

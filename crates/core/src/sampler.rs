@@ -1,0 +1,232 @@
+//! Rejection sampling of field elements from the SHAKE128 XOF.
+//!
+//! The XOF unit produces one 64-bit word per clock cycle; a rejection
+//! sampler masks it to `⌈log2 p⌉` bits and discards values `≥ p`
+//! (paper §III.A). For `p = 65537` the acceptance rate is ≈0.5, which is
+//! why the paper's Keccak budget doubles from the ideal 31 permutations to
+//! ≈60 for PASTA-4 (§IV.B).
+//!
+//! The sampler here is shared by the software cipher and by the
+//! cycle-accurate hardware model (which feeds it the same words in the
+//! same order), guaranteeing keystream equality between the two.
+
+use crate::params::PastaParams;
+use pasta_keccak::{Shake128, XofReader};
+
+/// Statistics of one sampling session, feeding the §IV.B analysis bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SamplerStats {
+    /// Raw 64-bit words drawn from the XOF.
+    pub words_drawn: u64,
+    /// Samples accepted (returned to the caller).
+    pub accepted: u64,
+    /// Samples rejected by the `< p` test.
+    pub rejected: u64,
+}
+
+impl SamplerStats {
+    /// Observed acceptance rate (`accepted / words_drawn`).
+    #[must_use]
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.words_drawn == 0 {
+            return 0.0;
+        }
+        self.accepted as f64 / self.words_drawn as f64
+    }
+}
+
+/// A rejection sampler over a SHAKE128 stream seeded with
+/// `nonce ‖ counter`.
+///
+/// One instance corresponds to one block of the PASTA keystream: the
+/// reference design re-seeds the XOF per block so blocks are independently
+/// addressable (the stream-cipher `ctr` input of Fig. 2).
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::{PastaParams, sampler::XofSampler};
+/// let params = PastaParams::pasta4_17bit();
+/// let mut s = XofSampler::for_block(&params, 42, 0);
+/// let x = s.next_element();
+/// assert!(x < params.modulus().value());
+/// ```
+#[derive(Debug, Clone)]
+pub struct XofSampler {
+    reader: XofReader,
+    modulus: u64,
+    mask: u64,
+    stats: SamplerStats,
+}
+
+impl XofSampler {
+    /// Seeds a sampler for block `counter` under `nonce`.
+    ///
+    /// The seeding convention (SHAKE128 over little-endian
+    /// `nonce: u128 ‖ counter: u64`) is fixed by this crate; the paper's
+    /// artifact does not pin one, so equality with other implementations
+    /// is not expected — equality between the software cipher and the
+    /// hardware model is (both use this sampler).
+    #[must_use]
+    pub fn for_block(params: &PastaParams, nonce: u128, counter: u64) -> Self {
+        let mut xof = Shake128::new();
+        xof.absorb(&nonce.to_le_bytes());
+        xof.absorb(&counter.to_le_bytes());
+        let modulus = params.modulus().value();
+        let bits = params.modulus().bits();
+        XofSampler {
+            reader: xof.finalize(),
+            modulus,
+            mask: if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 },
+            stats: SamplerStats::default(),
+        }
+    }
+
+    /// Draws the next accepted field element in `[0, p)`.
+    #[must_use]
+    pub fn next_element(&mut self) -> u64 {
+        loop {
+            let word = self.reader.next_u64();
+            self.stats.words_drawn += 1;
+            let candidate = word & self.mask;
+            if candidate < self.modulus {
+                self.stats.accepted += 1;
+                return candidate;
+            }
+            self.stats.rejected += 1;
+        }
+    }
+
+    /// Draws the next accepted *nonzero* element in `[1, p)`.
+    ///
+    /// The first element of each matrix seed row must be nonzero for the
+    /// sequential construction (Eq. 1) to yield an invertible matrix.
+    #[must_use]
+    pub fn next_nonzero_element(&mut self) -> u64 {
+        loop {
+            let x = self.next_element();
+            if x != 0 {
+                return x;
+            }
+        }
+    }
+
+    /// Draws a vector of `n` accepted elements.
+    #[must_use]
+    pub fn next_vector(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_element()).collect()
+    }
+
+    /// Draws a matrix seed row: first element nonzero, remaining uniform.
+    #[must_use]
+    pub fn next_matrix_seed(&mut self, t: usize) -> Vec<u64> {
+        let mut row = Vec::with_capacity(t);
+        row.push(self.next_nonzero_element());
+        for _ in 1..t {
+            row.push(self.next_element());
+        }
+        row
+    }
+
+    /// Sampling statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> SamplerStats {
+        self.stats
+    }
+
+    /// Keccak permutations executed so far (absorb + squeeze).
+    #[must_use]
+    pub fn permutations(&self) -> u64 {
+        self.reader.permutations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PastaParams;
+
+    #[test]
+    fn samples_are_canonical() {
+        let params = PastaParams::pasta4_17bit();
+        let mut s = XofSampler::for_block(&params, 1, 2);
+        for _ in 0..5_000 {
+            assert!(s.next_element() < params.modulus().value());
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let params = PastaParams::pasta4_17bit();
+        let a: Vec<u64> = XofSampler::for_block(&params, 7, 3).next_vector(100);
+        let b: Vec<u64> = XofSampler::for_block(&params, 7, 3).next_vector(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_nonce_or_counter_changes_stream() {
+        let params = PastaParams::pasta4_17bit();
+        let base = XofSampler::for_block(&params, 7, 3).next_vector(64);
+        assert_ne!(XofSampler::for_block(&params, 8, 3).next_vector(64), base);
+        assert_ne!(XofSampler::for_block(&params, 7, 4).next_vector(64), base);
+    }
+
+    #[test]
+    fn acceptance_rate_near_half_for_65537() {
+        // §IV.B: "we have a high rate of rejection sampling (≈2×) for the
+        // stated prime 65,537".
+        let params = PastaParams::pasta4_17bit();
+        let mut s = XofSampler::for_block(&params, 99, 0);
+        let _ = s.next_vector(20_000);
+        let rate = s.stats().acceptance_rate();
+        assert!((rate - 0.5).abs() < 0.02, "observed acceptance {rate}");
+    }
+
+    #[test]
+    fn acceptance_rate_near_one_for_33bit_prime() {
+        // 2^33 - 2^20 + 1 fills almost the whole 33-bit range.
+        let params = PastaParams::pasta4_33bit();
+        let mut s = XofSampler::for_block(&params, 99, 0);
+        let _ = s.next_vector(20_000);
+        assert!(s.stats().acceptance_rate() > 0.999);
+    }
+
+    #[test]
+    fn matrix_seed_first_element_nonzero() {
+        let params = PastaParams::pasta4_17bit();
+        let mut s = XofSampler::for_block(&params, 0, 0);
+        for _ in 0..50 {
+            let seed = s.next_matrix_seed(32);
+            assert_eq!(seed.len(), 32);
+            assert_ne!(seed[0], 0);
+        }
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let params = PastaParams::pasta4_17bit();
+        let mut s = XofSampler::for_block(&params, 5, 5);
+        let _ = s.next_vector(1_000);
+        let st = s.stats();
+        assert_eq!(st.accepted, 1_000);
+        assert_eq!(st.words_drawn, st.accepted + st.rejected);
+    }
+
+    #[test]
+    fn samples_look_uniform() {
+        // Chi-square-ish sanity: bucket 17-bit samples into 16 buckets.
+        let params = PastaParams::pasta4_17bit();
+        let mut s = XofSampler::for_block(&params, 1234, 0);
+        let n = 64_000;
+        let mut buckets = [0u64; 16];
+        for _ in 0..n {
+            let x = s.next_element();
+            buckets[(x / 4_097).min(15) as usize] += 1;
+        }
+        let expect = n as f64 / 16.0;
+        for (i, &b) in buckets.iter().enumerate() {
+            let dev = (b as f64 - expect).abs() / expect;
+            assert!(dev < 0.10, "bucket {i} deviates {dev}");
+        }
+    }
+}

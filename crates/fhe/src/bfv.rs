@@ -1,0 +1,934 @@
+//! The BFV fully homomorphic encryption scheme (textbook BFV with RNS
+//! ciphertexts, exact big-integer scaled rounding, and RNS-decomposition
+//! relinearization).
+//!
+//! This is the server-side substrate of the HHE workflow (paper Fig. 1):
+//! the client FHE-encrypts the PASTA key once; the server homomorphically
+//! evaluates PASTA decryption to transcipher symmetric ciphertexts into
+//! BFV ciphertexts. Parameters here are chosen for *functional* noise
+//! budgets, not for a security level — the paper's client-side scope does
+//! not depend on server parameters, and we document this substitution in
+//! DESIGN.md.
+
+use crate::bigint::UBig;
+use crate::ring::{generate_ntt_primes, RnsBasis, RnsPoly};
+use pasta_math::{MathError, Modulus, Zp};
+use rand::Rng;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the FHE substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FheError {
+    /// Underlying arithmetic error.
+    Math(MathError),
+    /// Parameter validation failure.
+    InvalidParams(String),
+    /// Operation on incompatible ciphertexts (size/domain).
+    Incompatible(String),
+    /// The noise budget is exhausted (decryption would be wrong).
+    NoiseBudgetExhausted,
+}
+
+impl fmt::Display for FheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FheError::Math(e) => write!(f, "arithmetic error: {e}"),
+            FheError::InvalidParams(m) => write!(f, "invalid parameters: {m}"),
+            FheError::Incompatible(m) => write!(f, "incompatible operands: {m}"),
+            FheError::NoiseBudgetExhausted => write!(f, "noise budget exhausted"),
+        }
+    }
+}
+
+impl Error for FheError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FheError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for FheError {
+    fn from(e: MathError) -> Self {
+        FheError::Math(e)
+    }
+}
+
+/// BFV parameter set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BfvParams {
+    /// Ring degree `N` (power of two).
+    pub n: usize,
+    /// Plaintext modulus `t` (must satisfy `2N | t - 1` for batching).
+    pub plain_modulus: Modulus,
+    /// Bits per RNS ciphertext prime.
+    pub prime_bits: u32,
+    /// Number of RNS ciphertext primes `k`.
+    pub prime_count: usize,
+}
+
+impl BfvParams {
+    /// Demo parameters sized for transciphering PASTA-4 (t = 32, 4
+    /// rounds): `N = 2048`, `t = 65537`, `q ≈ 330` bits.
+    ///
+    /// **Not secure** — `N` is far too small for this `q`; chosen for
+    /// functional end-to-end demonstrations.
+    #[must_use]
+    pub fn transcipher_demo() -> Self {
+        BfvParams {
+            n: 2_048,
+            plain_modulus: Modulus::PASTA_17_BIT,
+            prime_bits: 55,
+            prime_count: 6,
+        }
+    }
+
+    /// Tiny parameters for fast unit tests (`N = 256`, `q ≈ 200` bits).
+    #[must_use]
+    pub fn test_tiny() -> Self {
+        BfvParams { n: 256, plain_modulus: Modulus::PASTA_17_BIT, prime_bits: 50, prime_count: 4 }
+    }
+}
+
+/// The BFV context: basis, plaintext field, Δ, relinearization and
+/// multiplication precomputation.
+#[derive(Debug, Clone)]
+pub struct BfvContext {
+    params: BfvParams,
+    basis: RnsBasis,
+    /// Extended basis for exact tensor products.
+    ext_basis: RnsBasis,
+    plain: Zp,
+    /// `Δ = ⌊q/t⌋`.
+    delta: UBig,
+    /// `Δ mod q_i`.
+    delta_rns: Vec<u64>,
+    /// `γ_j mod q_i` where `γ_j = q̂_j·[q̂_j^{-1}]_{q_j}` (relin bases).
+    gamma_rns: Vec<Vec<u64>>,
+    /// `q/2` for centering.
+    half_q: UBig,
+    /// `Q_ext/2` for centering tensor results.
+    half_ext: UBig,
+}
+
+impl BfvContext {
+    /// Builds a context (generates RNS primes, NTT tables, CRT and
+    /// relinearization constants).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::InvalidParams`] if the ring/moduli are
+    /// inconsistent (e.g. batching impossible or not enough primes).
+    pub fn new(params: BfvParams) -> Result<Self, FheError> {
+        if !params.n.is_power_of_two() || params.n < 8 {
+            return Err(FheError::InvalidParams(format!("bad ring degree {}", params.n)));
+        }
+        let basis = RnsBasis::with_generated_primes(params.n, params.prime_bits, params.prime_count)
+            .map_err(FheError::from)?;
+        // Extended basis: enough extra primes (disjoint from the main
+        // ones, one bit wider so values never collide) to hold the exact
+        // tensor product: 2·bits(q) + log2(N) + 2 bits.
+        let needed_bits = 2 * basis.q().bits() + params.n.trailing_zeros() as usize + 2;
+        let ext_bits = (params.prime_bits + 1).min(60);
+        let ext_count = needed_bits.div_ceil(ext_bits as usize - 1) + 1;
+        let ext_primes = generate_ntt_primes(ext_bits, (2 * params.n).trailing_zeros(), ext_count)
+            .map_err(FheError::from)?;
+        let ext_basis = RnsBasis::new(params.n, ext_primes).map_err(FheError::from)?;
+
+        let plain = Zp::new(params.plain_modulus).map_err(FheError::from)?;
+        let (delta, _) = basis.q().div_rem(&UBig::from_u64(plain.p()));
+        let delta_rns = basis.reduce_bigint(&delta);
+        // γ_j = q̂_j · [q̂_j^{-1}]_{q_j}: reconstruct via CRT of the unit
+        // vector e_j.
+        let k = basis.len();
+        let mut gamma_rns = Vec::with_capacity(k);
+        for j in 0..k {
+            let mut unit = vec![0u64; k];
+            unit[j] = 1;
+            let gamma = basis.crt_reconstruct(&unit);
+            gamma_rns.push(basis.reduce_bigint(&gamma));
+        }
+        let half_q = basis.q().shr(1);
+        let half_ext = ext_basis.q().shr(1);
+        Ok(BfvContext {
+            params,
+            basis,
+            ext_basis,
+            plain,
+            delta,
+            delta_rns,
+            gamma_rns,
+            half_q,
+            half_ext,
+        })
+    }
+
+    /// The parameter set.
+    #[must_use]
+    pub fn params(&self) -> &BfvParams {
+        &self.params
+    }
+
+    /// The RNS basis.
+    #[must_use]
+    pub fn basis(&self) -> &RnsBasis {
+        &self.basis
+    }
+
+    /// Plaintext field `Z_t`.
+    #[must_use]
+    pub fn plain(&self) -> &Zp {
+        &self.plain
+    }
+
+    /// Total ciphertext modulus bits.
+    #[must_use]
+    pub fn q_bits(&self) -> usize {
+        self.basis.q().bits()
+    }
+
+    /// Generates a secret key (ternary).
+    #[must_use]
+    pub fn generate_secret_key<R: Rng>(&self, rng: &mut R) -> BfvSecretKey {
+        let mut s = RnsPoly::random_ternary(&self.basis, rng);
+        s.to_ntt(&self.basis);
+        BfvSecretKey { s }
+    }
+
+    /// Generates a public key for `sk`.
+    #[must_use]
+    pub fn generate_public_key<R: Rng>(&self, sk: &BfvSecretKey, rng: &mut R) -> BfvPublicKey {
+        let mut a = RnsPoly::random_uniform(&self.basis, rng);
+        a.to_ntt(&self.basis);
+        let mut e = RnsPoly::random_error(&self.basis, rng);
+        e.to_ntt(&self.basis);
+        // b = -(a·s + e)
+        let b = a.mul(&self.basis, &sk.s).add(&self.basis, &e).neg(&self.basis);
+        BfvPublicKey { b, a }
+    }
+
+    /// Generates a relinearization key (RNS decomposition, one component
+    /// per ciphertext prime).
+    #[must_use]
+    pub fn generate_relin_key<R: Rng>(&self, sk: &BfvSecretKey, rng: &mut R) -> BfvRelinKey {
+        let s2 = sk.s.mul(&self.basis, &sk.s);
+        let mut components = Vec::with_capacity(self.basis.len());
+        for gamma in &self.gamma_rns {
+            let mut a = RnsPoly::random_uniform(&self.basis, rng);
+            a.to_ntt(&self.basis);
+            let mut e = RnsPoly::random_error(&self.basis, rng);
+            e.to_ntt(&self.basis);
+            // b = -(a·s + e) + γ_j·s²
+            let b = s2
+                .mul_scalar_rns(&self.basis, gamma)
+                .sub(&self.basis, &a.mul(&self.basis, &sk.s).add(&self.basis, &e));
+            components.push((b, a));
+        }
+        BfvRelinKey { components }
+    }
+
+    /// Encodes a scalar into a constant plaintext polynomial.
+    #[must_use]
+    pub fn encode_scalar(&self, value: u64) -> Plaintext {
+        let mut coeffs = vec![0u64; self.params.n];
+        coeffs[0] = value % self.plain.p();
+        Plaintext { coeffs }
+    }
+
+    /// Encrypts a plaintext under the public key.
+    #[must_use]
+    pub fn encrypt<R: Rng>(&self, pk: &BfvPublicKey, pt: &Plaintext, rng: &mut R) -> Ciphertext {
+        let mut u = RnsPoly::random_ternary(&self.basis, rng);
+        u.to_ntt(&self.basis);
+        let mut e1 = RnsPoly::random_error(&self.basis, rng);
+        let mut e2 = RnsPoly::random_error(&self.basis, rng);
+        let mut c0 = pk.b.mul(&self.basis, &u);
+        let mut c1 = pk.a.mul(&self.basis, &u);
+        c0.to_coeff(&self.basis);
+        c1.to_coeff(&self.basis);
+        e1.to_coeff(&self.basis);
+        e2.to_coeff(&self.basis);
+        let dm = self.delta_times_plain(pt);
+        let c0 = c0.add(&self.basis, &e1).add(&self.basis, &dm);
+        let c1 = c1.add(&self.basis, &e2);
+        Ciphertext { polys: vec![c0, c1] }
+    }
+
+    /// Encrypts the zero-noise "trivial" ciphertext `(Δ·m, 0)` — useful
+    /// for injecting public constants into homomorphic computations.
+    #[must_use]
+    pub fn encrypt_trivial(&self, pt: &Plaintext) -> Ciphertext {
+        let c0 = self.delta_times_plain(pt);
+        let c1 = RnsPoly::zero(&self.basis);
+        Ciphertext { polys: vec![c0, c1] }
+    }
+
+    fn delta_times_plain(&self, pt: &Plaintext) -> RnsPoly {
+        RnsPoly::from_u64_coeffs(&self.basis, &pt.coeffs)
+            .mul_scalar_rns(&self.basis, &self.delta_rns)
+    }
+
+    /// Decrypts a ciphertext (2 or 3 components).
+    #[must_use]
+    pub fn decrypt(&self, sk: &BfvSecretKey, ct: &Ciphertext) -> Plaintext {
+        let phase = self.phase(sk, ct);
+        let t = self.plain.p();
+        let coeffs = phase
+            .iter()
+            .map(|x| {
+                // m = round(t·x / q) mod t
+                let scaled = x.mul_u64(t).div_round(self.basis.q());
+                scaled.rem_u64(t)
+            })
+            .collect();
+        Plaintext { coeffs }
+    }
+
+    /// The decryption phase `[c0 + c1·s (+ c2·s²)]_q` as big integers.
+    fn phase(&self, sk: &BfvSecretKey, ct: &Ciphertext) -> Vec<UBig> {
+        assert!(
+            (2..=3).contains(&ct.polys.len()),
+            "ciphertext must have 2 or 3 components"
+        );
+        let mut acc = ct.polys[0].clone();
+        acc.to_ntt(&self.basis);
+        let mut c1 = ct.polys[1].clone();
+        c1.to_ntt(&self.basis);
+        acc = acc.add(&self.basis, &c1.mul(&self.basis, &sk.s));
+        if ct.polys.len() == 3 {
+            let mut c2 = ct.polys[2].clone();
+            c2.to_ntt(&self.basis);
+            let s2 = sk.s.mul(&self.basis, &sk.s);
+            acc = acc.add(&self.basis, &c2.mul(&self.basis, &s2));
+        }
+        acc.to_coeff(&self.basis);
+        acc.to_bigint_coeffs(&self.basis)
+    }
+
+    /// Remaining noise budget in bits (0 = decryption about to fail).
+    ///
+    /// Computed exactly: `log2(q / (2·‖v‖∞)) - 1` where `v` is the
+    /// centered distance of the phase from `Δ·m`.
+    #[must_use]
+    pub fn noise_budget(&self, sk: &BfvSecretKey, ct: &Ciphertext) -> u32 {
+        let phase = self.phase(sk, ct);
+        let pt = self.decrypt(sk, ct);
+        let mut worst = 0usize;
+        for (x, &m) in phase.iter().zip(pt.coeffs.iter()) {
+            let dm = self.delta.mul_u64(m);
+            let diff = if x.cmp_big(&dm) == std::cmp::Ordering::Less {
+                dm.sub(x)
+            } else {
+                x.sub(&dm)
+            };
+            let mag = self.basis.centered_magnitude(&diff.div_rem(self.basis.q()).1);
+            worst = worst.max(mag.bits());
+        }
+        let q_bits = self.basis.q().bits();
+        (q_bits.saturating_sub(worst + 2)) as u32
+    }
+
+    /// Homomorphic addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::Incompatible`] on component-count mismatch.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, FheError> {
+        if a.polys.len() != b.polys.len() {
+            return Err(FheError::Incompatible("component count differs".into()));
+        }
+        let polys = a
+            .polys
+            .iter()
+            .zip(b.polys.iter())
+            .map(|(x, y)| {
+                let (mut x, mut y) = (x.clone(), y.clone());
+                x.to_coeff(&self.basis);
+                y.to_coeff(&self.basis);
+                x.add(&self.basis, &y)
+            })
+            .collect();
+        Ok(Ciphertext { polys })
+    }
+
+    /// Homomorphic subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::Incompatible`] on component-count mismatch.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, FheError> {
+        let neg = Ciphertext { polys: b.polys.iter().map(|p| p.neg(&self.basis)).collect() };
+        self.add(a, &neg)
+    }
+
+    /// Adds a plaintext to a ciphertext (`c0 += Δ·m`).
+    #[must_use]
+    pub fn add_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let mut out = ct.clone();
+        let mut c0 = out.polys[0].clone();
+        c0.to_coeff(&self.basis);
+        out.polys[0] = c0.add(&self.basis, &self.delta_times_plain(pt));
+        out
+    }
+
+    /// Multiplies a ciphertext by a plaintext polynomial.
+    #[must_use]
+    pub fn mul_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let mut m = RnsPoly::from_u64_coeffs(&self.basis, &pt.coeffs);
+        m.to_ntt(&self.basis);
+        let polys = ct
+            .polys
+            .iter()
+            .map(|p| {
+                let mut p = p.clone();
+                p.to_ntt(&self.basis);
+                let mut r = p.mul(&self.basis, &m);
+                r.to_coeff(&self.basis);
+                r
+            })
+            .collect();
+        Ciphertext { polys }
+    }
+
+    /// Multiplies a ciphertext by a plaintext scalar (cheap: no NTT).
+    #[must_use]
+    pub fn mul_scalar(&self, ct: &Ciphertext, scalar: u64) -> Ciphertext {
+        let s = scalar % self.plain.p();
+        Ciphertext { polys: ct.polys.iter().map(|p| p.mul_scalar(&self.basis, s)).collect() }
+    }
+
+    /// Homomorphic multiplication (tensor + exact scaled rounding),
+    /// *without* relinearization: the result has three components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::Incompatible`] unless both inputs have two
+    /// components.
+    pub fn mul(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, FheError> {
+        if a.polys.len() != 2 || b.polys.len() != 2 {
+            return Err(FheError::Incompatible("mul requires 2-component inputs".into()));
+        }
+        // Lift all four polys (centered) into the extended basis, NTT there.
+        let lift = |p: &RnsPoly| -> RnsPoly {
+            let mut p = p.clone();
+            p.to_coeff(&self.basis);
+            let big = p.to_bigint_coeffs(&self.basis);
+            let values: Vec<UBig> = big
+                .iter()
+                .map(|v| {
+                    if v.cmp_big(&self.half_q) == std::cmp::Ordering::Greater {
+                        // negative: Q_ext - (q - v)
+                        self.ext_basis.q().sub(&self.basis.q().sub(v))
+                    } else {
+                        v.clone()
+                    }
+                })
+                .collect();
+            let mut ext = RnsPoly::from_bigint_coeffs(&self.ext_basis, &values);
+            ext.to_ntt(&self.ext_basis);
+            ext
+        };
+        let a0 = lift(&a.polys[0]);
+        let a1 = lift(&a.polys[1]);
+        let b0 = lift(&b.polys[0]);
+        let b1 = lift(&b.polys[1]);
+        let t00 = a0.mul(&self.ext_basis, &b0);
+        let t01 = a0.mul(&self.ext_basis, &b1).add(&self.ext_basis, &a1.mul(&self.ext_basis, &b0));
+        let t11 = a1.mul(&self.ext_basis, &b1);
+        let scale = |mut p: RnsPoly| -> RnsPoly {
+            p.to_coeff(&self.ext_basis);
+            let big = p.to_bigint_coeffs(&self.ext_basis);
+            let t = self.plain.p();
+            let values: Vec<UBig> = big
+                .iter()
+                .map(|w| {
+                    // Center in the extended basis, scale by t/q with
+                    // rounding, then map back into [0, q).
+                    let (mag, negative) =
+                        if w.cmp_big(&self.half_ext) == std::cmp::Ordering::Greater {
+                            (self.ext_basis.q().sub(w), true)
+                        } else {
+                            (w.clone(), false)
+                        };
+                    let rounded = mag.mul_u64(t).div_round(self.basis.q());
+                    let reduced = rounded.div_rem(self.basis.q()).1;
+                    if negative && !reduced.is_zero() {
+                        self.basis.q().sub(&reduced)
+                    } else {
+                        reduced
+                    }
+                })
+                .collect();
+            RnsPoly::from_bigint_coeffs(&self.basis, &values)
+        };
+        Ok(Ciphertext { polys: vec![scale(t00), scale(t01), scale(t11)] })
+    }
+
+    /// Relinearizes a 3-component ciphertext back to 2 components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::Incompatible`] unless the input has exactly
+    /// three components.
+    pub fn relinearize(&self, ct: &Ciphertext, rk: &BfvRelinKey) -> Result<Ciphertext, FheError> {
+        if ct.polys.len() != 3 {
+            return Err(FheError::Incompatible("relinearization needs 3 components".into()));
+        }
+        let mut c2 = ct.polys[2].clone();
+        c2.to_coeff(&self.basis);
+        let mut c0 = ct.polys[0].clone();
+        let mut c1 = ct.polys[1].clone();
+        c0.to_ntt(&self.basis);
+        c1.to_ntt(&self.basis);
+        for (j, (b, a)) in rk.components.iter().enumerate() {
+            // d_j: the j-th RNS digit of c2 as a small-coefficient poly,
+            // represented in every prime.
+            let digits: Vec<u64> = c2.row(j).to_vec();
+            let mut d = RnsPoly::from_u64_coeffs(&self.basis, &digits);
+            d.to_ntt(&self.basis);
+            c0 = c0.add(&self.basis, &d.mul(&self.basis, b));
+            c1 = c1.add(&self.basis, &d.mul(&self.basis, a));
+        }
+        c0.to_coeff(&self.basis);
+        c1.to_coeff(&self.basis);
+        Ok(Ciphertext { polys: vec![c0, c1] })
+    }
+
+    /// Generates a Galois key for the automorphism `X ↦ X^g`
+    /// (RNS decomposition, like the relinearization key but encrypting
+    /// `γ_j·σ(s)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::InvalidParams`] for even `g`.
+    pub fn generate_galois_key<R: Rng>(
+        &self,
+        sk: &BfvSecretKey,
+        g: usize,
+        rng: &mut R,
+    ) -> Result<BfvGaloisKey, FheError> {
+        if g.is_multiple_of(2) {
+            return Err(FheError::InvalidParams(format!("Galois element {g} must be odd")));
+        }
+        let mut s = sk.s.clone();
+        s.to_coeff(&self.basis);
+        let mut sigma_s = s.automorphism(&self.basis, g);
+        sigma_s.to_ntt(&self.basis);
+        let mut components = Vec::with_capacity(self.basis.len());
+        for gamma in &self.gamma_rns {
+            let mut a = RnsPoly::random_uniform(&self.basis, rng);
+            a.to_ntt(&self.basis);
+            let mut e = RnsPoly::random_error(&self.basis, rng);
+            e.to_ntt(&self.basis);
+            let b = sigma_s
+                .mul_scalar_rns(&self.basis, gamma)
+                .sub(&self.basis, &a.mul(&self.basis, &sk.s).add(&self.basis, &e));
+            components.push((b, a));
+        }
+        Ok(BfvGaloisKey { g, components })
+    }
+
+    /// Applies the automorphism `X ↦ X^g` homomorphically: the result
+    /// encrypts `σ_g(m)` — a fixed permutation of the batching slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::Incompatible`] for a mismatched key or a
+    /// 3-component input (relinearize first).
+    pub fn apply_galois(
+        &self,
+        ct: &Ciphertext,
+        gk: &BfvGaloisKey,
+    ) -> Result<Ciphertext, FheError> {
+        if ct.polys.len() != 2 {
+            return Err(FheError::Incompatible("apply_galois needs 2 components".into()));
+        }
+        let mut c0 = ct.polys[0].clone();
+        let mut c1 = ct.polys[1].clone();
+        c0.to_coeff(&self.basis);
+        c1.to_coeff(&self.basis);
+        let sigma_c1 = c1.automorphism(&self.basis, gk.g);
+        let mut out0 = c0.automorphism(&self.basis, gk.g);
+        out0.to_ntt(&self.basis);
+        let mut out1: Option<RnsPoly> = None;
+        // Key-switch σ(c1)·σ(s) onto s via the RNS digits of σ(c1).
+        for (j, (b, a)) in gk.components.iter().enumerate() {
+            let digits: Vec<u64> = sigma_c1.row(j).to_vec();
+            let mut d = RnsPoly::from_u64_coeffs(&self.basis, &digits);
+            d.to_ntt(&self.basis);
+            out0 = out0.add(&self.basis, &d.mul(&self.basis, b));
+            let term = d.mul(&self.basis, a);
+            out1 = Some(match out1 {
+                None => term,
+                Some(acc) => acc.add(&self.basis, &term),
+            });
+        }
+        let mut out1 = out1.expect("basis has at least one prime");
+        out0.to_coeff(&self.basis);
+        out1.to_coeff(&self.basis);
+        Ok(Ciphertext { polys: vec![out0, out1] })
+    }
+
+    /// Generates the Galois key set for [`BfvContext::sum_slots`]:
+    /// powers `3^(2^i)` walking one batching orbit, plus the conjugation
+    /// element `2N − 1` that folds in the second orbit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-generation errors.
+    pub fn generate_sum_keys<R: Rng>(
+        &self,
+        sk: &BfvSecretKey,
+        rng: &mut R,
+    ) -> Result<Vec<BfvGaloisKey>, FheError> {
+        let two_n = 2 * self.params.n;
+        let mut keys = Vec::new();
+        let mut g = 3usize;
+        // N/2 orbit positions -> log2(N/2) doubling steps.
+        let steps = (self.params.n / 2).trailing_zeros();
+        for _ in 0..steps {
+            keys.push(self.generate_galois_key(sk, g, rng)?);
+            g = (g * g) % two_n;
+        }
+        keys.push(self.generate_galois_key(sk, two_n - 1, rng)?);
+        Ok(keys)
+    }
+
+    /// Homomorphically sums *all* batching slots: the result holds
+    /// `Σ_i slots[i]` in every slot — the classic rotate-and-add tree
+    /// (log N rotations), used for encrypted inner products.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rotation errors (wrong key set).
+    pub fn sum_slots(
+        &self,
+        ct: &Ciphertext,
+        sum_keys: &[BfvGaloisKey],
+    ) -> Result<Ciphertext, FheError> {
+        let mut acc = ct.clone();
+        for key in sum_keys {
+            let rotated = self.apply_galois(&acc, key)?;
+            acc = self.add(&acc, &rotated)?;
+        }
+        Ok(acc)
+    }
+
+    /// Multiplication followed by relinearization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BfvContext::mul`]/[`BfvContext::relinearize`] errors.
+    pub fn mul_relin(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        rk: &BfvRelinKey,
+    ) -> Result<Ciphertext, FheError> {
+        self.relinearize(&self.mul(a, b)?, rk)
+    }
+
+    /// Squares a ciphertext (mul with itself) and relinearizes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates multiplication errors.
+    pub fn square_relin(&self, a: &Ciphertext, rk: &BfvRelinKey) -> Result<Ciphertext, FheError> {
+        self.mul_relin(a, a, rk)
+    }
+}
+
+/// A BFV plaintext polynomial (coefficients `< t`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plaintext {
+    /// Coefficients (length `N`, values in `[0, t)`).
+    pub coeffs: Vec<u64>,
+}
+
+impl Plaintext {
+    /// The constant coefficient (the scalar for scalar-encoded values).
+    #[must_use]
+    pub fn scalar(&self) -> u64 {
+        self.coeffs.first().copied().unwrap_or(0)
+    }
+}
+
+/// A BFV secret key (ternary, stored in NTT domain).
+#[derive(Clone)]
+pub struct BfvSecretKey {
+    s: RnsPoly,
+}
+
+impl fmt::Debug for BfvSecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BfvSecretKey(redacted)")
+    }
+}
+
+/// A BFV public key `(b, a) = (-(a·s + e), a)`.
+#[derive(Debug, Clone)]
+pub struct BfvPublicKey {
+    b: RnsPoly,
+    a: RnsPoly,
+}
+
+/// A relinearization key: one `(b_j, a_j)` pair per RNS prime.
+#[derive(Debug, Clone)]
+pub struct BfvRelinKey {
+    components: Vec<(RnsPoly, RnsPoly)>,
+}
+
+/// A Galois key for the automorphism `X ↦ X^g` (slot permutations).
+#[derive(Debug, Clone)]
+pub struct BfvGaloisKey {
+    g: usize,
+    components: Vec<(RnsPoly, RnsPoly)>,
+}
+
+impl BfvGaloisKey {
+    /// The Galois element `g`.
+    #[must_use]
+    pub fn galois_element(&self) -> usize {
+        self.g
+    }
+}
+
+/// A BFV ciphertext (2 components; 3 transiently after multiplication).
+#[derive(Debug, Clone)]
+pub struct Ciphertext {
+    polys: Vec<RnsPoly>,
+}
+
+impl Ciphertext {
+    /// Number of polynomial components.
+    #[must_use]
+    pub fn components(&self) -> usize {
+        self.polys.len()
+    }
+
+    /// Serialized size in bytes: `components · N · Σ_i ⌈log2 q_i⌉ / 8`.
+    ///
+    /// This is the quantity the paper's §V communication analysis uses
+    /// (e.g. RISE's `2 · 2^14 · 390` bits = 1.5 MB per ciphertext).
+    #[must_use]
+    pub fn size_bytes(&self, ctx: &BfvContext) -> usize {
+        let bits_per_coeff: usize =
+            ctx.basis().primes().iter().map(|p| p.bits() as usize).sum();
+        (self.polys.len() * ctx.params().n * bits_per_coeff).div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (BfvContext, BfvSecretKey, BfvPublicKey, BfvRelinKey, StdRng) {
+        let ctx = BfvContext::new(BfvParams::test_tiny()).unwrap();
+        let mut rng = StdRng::seed_from_u64(2024);
+        let sk = ctx.generate_secret_key(&mut rng);
+        let pk = ctx.generate_public_key(&sk, &mut rng);
+        let rk = ctx.generate_relin_key(&sk, &mut rng);
+        (ctx, sk, pk, rk, rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (ctx, sk, pk, _, mut rng) = setup();
+        for v in [0u64, 1, 42, 65_536] {
+            let ct = ctx.encrypt(&pk, &ctx.encode_scalar(v), &mut rng);
+            assert_eq!(ctx.decrypt(&sk, &ct).scalar(), v);
+        }
+    }
+
+    #[test]
+    fn fresh_ciphertext_has_healthy_budget() {
+        let (ctx, sk, pk, _, mut rng) = setup();
+        let ct = ctx.encrypt(&pk, &ctx.encode_scalar(7), &mut rng);
+        let budget = ctx.noise_budget(&sk, &ct);
+        assert!(budget > 100, "fresh budget = {budget} bits");
+        assert!(budget < ctx.q_bits() as u32, "budget bounded by q");
+    }
+
+    #[test]
+    fn trivial_encryption_decrypts_with_full_budget() {
+        let (ctx, sk, _, _, _) = setup();
+        let ct = ctx.encrypt_trivial(&ctx.encode_scalar(123));
+        assert_eq!(ctx.decrypt(&sk, &ct).scalar(), 123);
+        assert!(ctx.noise_budget(&sk, &ct) > ctx.q_bits() as u32 - 25);
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let (ctx, sk, pk, _, mut rng) = setup();
+        let a = ctx.encrypt(&pk, &ctx.encode_scalar(60_000), &mut rng);
+        let b = ctx.encrypt(&pk, &ctx.encode_scalar(10_000), &mut rng);
+        let sum = ctx.add(&a, &b).unwrap();
+        assert_eq!(ctx.decrypt(&sk, &sum).scalar(), (60_000 + 10_000) % 65_537);
+        let diff = ctx.sub(&a, &b).unwrap();
+        assert_eq!(ctx.decrypt(&sk, &diff).scalar(), 50_000);
+    }
+
+    #[test]
+    fn plaintext_operations() {
+        let (ctx, sk, pk, _, mut rng) = setup();
+        let ct = ctx.encrypt(&pk, &ctx.encode_scalar(1_000), &mut rng);
+        let plus = ctx.add_plain(&ct, &ctx.encode_scalar(65_000));
+        assert_eq!(ctx.decrypt(&sk, &plus).scalar(), (1_000 + 65_000) % 65_537);
+        let scaled = ctx.mul_scalar(&ct, 123);
+        assert_eq!(ctx.decrypt(&sk, &scaled).scalar(), 1_000 * 123 % 65_537);
+        let pm = ctx.mul_plain(&ct, &ctx.encode_scalar(65_536));
+        assert_eq!(ctx.decrypt(&sk, &pm).scalar(), 1_000 * 65_536 % 65_537);
+    }
+
+    #[test]
+    fn homomorphic_multiplication_pre_relin() {
+        let (ctx, sk, pk, _, mut rng) = setup();
+        let a = ctx.encrypt(&pk, &ctx.encode_scalar(300), &mut rng);
+        let b = ctx.encrypt(&pk, &ctx.encode_scalar(500), &mut rng);
+        let prod = ctx.mul(&a, &b).unwrap();
+        assert_eq!(prod.components(), 3);
+        assert_eq!(ctx.decrypt(&sk, &prod).scalar(), 300 * 500 % 65_537);
+    }
+
+    #[test]
+    fn relinearization_preserves_plaintext() {
+        let (ctx, sk, pk, rk, mut rng) = setup();
+        let a = ctx.encrypt(&pk, &ctx.encode_scalar(12_345), &mut rng);
+        let b = ctx.encrypt(&pk, &ctx.encode_scalar(54_321), &mut rng);
+        let prod = ctx.mul_relin(&a, &b, &rk).unwrap();
+        assert_eq!(prod.components(), 2);
+        assert_eq!(ctx.decrypt(&sk, &prod).scalar(), 12_345u64 * 54_321 % 65_537);
+    }
+
+    #[test]
+    fn multiplication_chain_with_budget_tracking() {
+        let (ctx, sk, pk, rk, mut rng) = setup();
+        let mut ct = ctx.encrypt(&pk, &ctx.encode_scalar(2), &mut rng);
+        let mut expect = 2u64;
+        let mut prev_budget = ctx.noise_budget(&sk, &ct);
+        for _ in 0..2 {
+            ct = ctx.square_relin(&ct, &rk).unwrap();
+            expect = expect * expect % 65_537;
+            let budget = ctx.noise_budget(&sk, &ct);
+            assert!(budget < prev_budget, "budget must shrink: {budget} < {prev_budget}");
+            assert!(budget > 0, "budget exhausted too early");
+            prev_budget = budget;
+            assert_eq!(ctx.decrypt(&sk, &ct).scalar(), expect);
+        }
+    }
+
+    #[test]
+    fn mixed_plain_and_cipher_pipeline() {
+        // Emulates one PASTA affine step: Σ scalar·ct + const.
+        let (ctx, sk, pk, _, mut rng) = setup();
+        let values = [5u64, 10, 15, 20];
+        let scalars = [3u64, 7, 11, 13];
+        let cts: Vec<Ciphertext> =
+            values.iter().map(|&v| ctx.encrypt(&pk, &ctx.encode_scalar(v), &mut rng)).collect();
+        let mut acc = ctx.encrypt_trivial(&ctx.encode_scalar(0));
+        for (ct, &s) in cts.iter().zip(scalars.iter()) {
+            acc = ctx.add(&acc, &ctx.mul_scalar(ct, s)).unwrap();
+        }
+        acc = ctx.add_plain(&acc, &ctx.encode_scalar(999));
+        let expect = values.iter().zip(scalars.iter()).map(|(&v, &s)| v * s).sum::<u64>() + 999;
+        assert_eq!(ctx.decrypt(&sk, &acc).scalar(), expect % 65_537);
+    }
+
+    #[test]
+    fn incompatible_operations_rejected() {
+        let (ctx, _, pk, _, mut rng) = setup();
+        let a = ctx.encrypt(&pk, &ctx.encode_scalar(1), &mut rng);
+        let b = ctx.encrypt(&pk, &ctx.encode_scalar(2), &mut rng);
+        let three = ctx.mul(&a, &b).unwrap();
+        assert!(matches!(ctx.add(&a, &three), Err(FheError::Incompatible(_))));
+        assert!(matches!(ctx.mul(&a, &three), Err(FheError::Incompatible(_))));
+        assert!(matches!(
+            ctx.relinearize(&a, &ctx.generate_relin_key(&ctx.generate_secret_key(&mut rng), &mut rng)),
+            Err(FheError::Incompatible(_))
+        ));
+    }
+
+    #[test]
+    fn ciphertext_size_accounting() {
+        let (ctx, _, pk, _, mut rng) = setup();
+        let ct = ctx.encrypt(&pk, &ctx.encode_scalar(1), &mut rng);
+        // 2 components × 256 coeffs × 200 bits = 12,800 bytes.
+        assert_eq!(ct.size_bytes(&ctx), 2 * 256 * 200 / 8);
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let bad = BfvParams { n: 100, ..BfvParams::test_tiny() };
+        assert!(matches!(BfvContext::new(bad), Err(FheError::InvalidParams(_))));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        // One shared context: key generation is the expensive part.
+        fn with_world(
+            f: impl FnOnce(&BfvContext, &BfvSecretKey, &BfvPublicKey, &BfvRelinKey, &mut StdRng),
+        ) {
+            let ctx = BfvContext::new(BfvParams::test_tiny()).unwrap();
+            let mut rng = StdRng::seed_from_u64(31337);
+            let sk = ctx.generate_secret_key(&mut rng);
+            let pk = ctx.generate_public_key(&sk, &mut rng);
+            let rk = ctx.generate_relin_key(&sk, &mut rng);
+            f(&ctx, &sk, &pk, &rk, &mut rng);
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+
+            #[test]
+            fn prop_additive_homomorphism(a in 0u64..65_537, b in 0u64..65_537) {
+                with_world(|ctx, sk, pk, _, rng| {
+                    let ca = ctx.encrypt(pk, &ctx.encode_scalar(a), rng);
+                    let cb = ctx.encrypt(pk, &ctx.encode_scalar(b), rng);
+                    assert_eq!(
+                        ctx.decrypt(sk, &ctx.add(&ca, &cb).unwrap()).scalar(),
+                        (a + b) % 65_537
+                    );
+                    assert_eq!(
+                        ctx.decrypt(sk, &ctx.sub(&ca, &cb).unwrap()).scalar(),
+                        (a + 65_537 - b) % 65_537
+                    );
+                });
+            }
+
+            #[test]
+            fn prop_multiplicative_homomorphism(a in 0u64..65_537, b in 0u64..65_537) {
+                with_world(|ctx, sk, pk, rk, rng| {
+                    let ca = ctx.encrypt(pk, &ctx.encode_scalar(a), rng);
+                    let cb = ctx.encrypt(pk, &ctx.encode_scalar(b), rng);
+                    let prod = ctx.mul_relin(&ca, &cb, rk).unwrap();
+                    assert_eq!(
+                        u128::from(ctx.decrypt(sk, &prod).scalar()),
+                        u128::from(a) * u128::from(b) % 65_537
+                    );
+                });
+            }
+
+            #[test]
+            fn prop_plain_ops(a in 0u64..65_537, s in 0u64..65_537) {
+                with_world(|ctx, sk, pk, _, rng| {
+                    let ct = ctx.encrypt(pk, &ctx.encode_scalar(a), rng);
+                    assert_eq!(
+                        ctx.decrypt(sk, &ctx.add_plain(&ct, &ctx.encode_scalar(s))).scalar(),
+                        (a + s) % 65_537
+                    );
+                    assert_eq!(
+                        u128::from(ctx.decrypt(sk, &ctx.mul_scalar(&ct, s)).scalar()),
+                        u128::from(a) * u128::from(s) % 65_537
+                    );
+                });
+            }
+        }
+    }
+}

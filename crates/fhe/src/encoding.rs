@@ -1,0 +1,226 @@
+//! SIMD batch encoding over `Z_t` slots.
+//!
+//! When `2N | t - 1` (true for `t = 65537` and `N ≤ 2^15`), the plaintext
+//! ring `Z_t[X]/(X^N + 1)` splits into `N` copies of `Z_t` by evaluating
+//! at the primitive 2N-th roots of unity — so one BFV ciphertext packs
+//! `N` independent `F_p` values, and homomorphic ring operations act
+//! slot-wise. This is what lets the HHE server transcipher `N` PASTA
+//! blocks in parallel (the original PASTA software does exactly this with
+//! SEAL's `BatchEncoder`).
+//!
+//! Encoding is the inverse negacyclic NTT over `Z_t`; decoding is the
+//! forward transform. The slot order is the transform's internal
+//! (bit-reverse-twisted) order — consistent between encode and decode,
+//! which is all SIMD use requires (we do not implement Galois rotations).
+
+use crate::bfv::Plaintext;
+use crate::ntt::NttTable;
+use pasta_math::{MathError, Modulus};
+
+/// A batch encoder mapping `N` slot values to/from plaintext polynomials.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_fhe::encoding::BatchEncoder;
+/// use pasta_math::Modulus;
+/// let enc = BatchEncoder::new(Modulus::PASTA_17_BIT, 64)?;
+/// let slots: Vec<u64> = (0..64).collect();
+/// let pt = enc.encode(&slots);
+/// assert_eq!(enc.decode(&pt), slots);
+/// # Ok::<(), pasta_math::MathError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchEncoder {
+    table: NttTable,
+    n: usize,
+}
+
+impl BatchEncoder {
+    /// Builds an encoder for plaintext modulus `t` and ring degree `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NotInvertible`] if `2n ∤ t - 1`.
+    pub fn new(plain_modulus: Modulus, n: usize) -> Result<Self, MathError> {
+        Ok(BatchEncoder { table: NttTable::new(plain_modulus, n)?, n })
+    }
+
+    /// Number of slots (`N`).
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.n
+    }
+
+    /// Encodes up to `N` slot values (missing slots are zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `N` values are supplied or a value is `≥ t`.
+    #[must_use]
+    pub fn encode(&self, values: &[u64]) -> Plaintext {
+        assert!(values.len() <= self.n, "too many slot values");
+        let t = self.table.zp().p();
+        let mut slots = vec![0u64; self.n];
+        for (s, &v) in slots.iter_mut().zip(values.iter()) {
+            assert!(v < t, "slot value {v} not canonical mod {t}");
+            *s = v;
+        }
+        self.table.inverse(&mut slots);
+        Plaintext { coeffs: slots }
+    }
+
+    /// Decodes a plaintext polynomial back into its `N` slot values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plaintext degree differs from `N`.
+    #[must_use]
+    pub fn decode(&self, pt: &Plaintext) -> Vec<u64> {
+        assert_eq!(pt.coeffs.len(), self.n, "plaintext degree mismatch");
+        let mut slots = pt.coeffs.clone();
+        self.table.forward(&mut slots);
+        slots
+    }
+
+    /// Applies the Galois automorphism `X ↦ X^g` to a plaintext — the
+    /// reference against which the homomorphic
+    /// [`crate::BfvContext::apply_galois`] is validated. On the slot
+    /// side this is a fixed permutation (see
+    /// [`BatchEncoder::automorphism_permutation`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics for even `g` or degree mismatch.
+    #[must_use]
+    pub fn plaintext_automorphism(&self, pt: &Plaintext, g: usize) -> Plaintext {
+        assert!(g % 2 == 1, "Galois element must be odd");
+        assert_eq!(pt.coeffs.len(), self.n, "plaintext degree mismatch");
+        let zp = self.table.zp();
+        let mut coeffs = vec![0u64; self.n];
+        for (j, &c) in pt.coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let e = (j * g) % (2 * self.n);
+            if e < self.n {
+                coeffs[e] = zp.add(coeffs[e], c);
+            } else {
+                coeffs[e - self.n] = zp.sub(coeffs[e - self.n], c);
+            }
+        }
+        Plaintext { coeffs }
+    }
+
+    /// The slot permutation induced by `σ_g`: returns `π` such that
+    /// `decode(σ_g(pt))[i] = decode(pt)[π[i]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for even `g`, or if `N > t` (cannot build the probe).
+    #[must_use]
+    pub fn automorphism_permutation(&self, g: usize) -> Vec<usize> {
+        let t = self.table.zp().p();
+        assert!((self.n as u64) < t, "probe needs distinct slot values");
+        // Probe with the identity map: slot i holds value i + 1 (nonzero).
+        let probe: Vec<u64> = (0..self.n as u64).map(|i| i + 1).collect();
+        let moved = self.decode(&self.plaintext_automorphism(&self.encode(&probe), g));
+        moved
+            .iter()
+            .map(|&v| {
+                assert!(v >= 1 && v <= self.n as u64, "automorphism must permute slots");
+                (v - 1) as usize
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfv::{BfvContext, BfvParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn encoder(n: usize) -> BatchEncoder {
+        BatchEncoder::new(Modulus::PASTA_17_BIT, n).unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let enc = encoder(128);
+        let values: Vec<u64> = (0..128u64).map(|i| i * 511 % 65_537).collect();
+        assert_eq!(enc.decode(&enc.encode(&values)), values);
+    }
+
+    #[test]
+    fn partial_fill_pads_with_zero() {
+        let enc = encoder(16);
+        let values = vec![7u64, 8, 9];
+        let decoded = enc.decode(&enc.encode(&values));
+        assert_eq!(&decoded[..3], &[7, 8, 9]);
+        assert!(decoded[3..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn addition_is_slotwise() {
+        let enc = encoder(32);
+        let zp = pasta_math::Zp::new(Modulus::PASTA_17_BIT).unwrap();
+        let a: Vec<u64> = (0..32u64).map(|i| i * 999 % 65_537).collect();
+        let b: Vec<u64> = (0..32u64).map(|i| 65_536 - i).collect();
+        let pa = enc.encode(&a);
+        let pb = enc.encode(&b);
+        let sum_coeffs: Vec<u64> =
+            pa.coeffs.iter().zip(pb.coeffs.iter()).map(|(&x, &y)| zp.add(x, y)).collect();
+        let sum = Plaintext { coeffs: sum_coeffs };
+        let expect: Vec<u64> = a.iter().zip(b.iter()).map(|(&x, &y)| zp.add(x, y)).collect();
+        assert_eq!(enc.decode(&sum), expect);
+    }
+
+    #[test]
+    fn polynomial_product_is_slotwise_product() {
+        let enc = encoder(16);
+        let zp = pasta_math::Zp::new(Modulus::PASTA_17_BIT).unwrap();
+        let a: Vec<u64> = (1..=16u64).collect();
+        let b: Vec<u64> = (0..16u64).map(|i| 3 * i + 2).collect();
+        let prod_poly = crate::ntt::negacyclic_mul_schoolbook(
+            &zp,
+            &enc.encode(&a).coeffs,
+            &enc.encode(&b).coeffs,
+        );
+        let decoded = enc.decode(&Plaintext { coeffs: prod_poly });
+        let expect: Vec<u64> = a.iter().zip(b.iter()).map(|(&x, &y)| zp.mul(x, y)).collect();
+        assert_eq!(decoded, expect);
+    }
+
+    #[test]
+    fn end_to_end_simd_through_bfv() {
+        // Encrypt a batch, homomorphically add slot-wise, decrypt+decode.
+        let ctx = BfvContext::new(BfvParams::test_tiny()).unwrap();
+        let enc = BatchEncoder::new(Modulus::PASTA_17_BIT, ctx.params().n).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let sk = ctx.generate_secret_key(&mut rng);
+        let pk = ctx.generate_public_key(&sk, &mut rng);
+        let a: Vec<u64> = (0..256u64).map(|i| i * 31 % 65_537).collect();
+        let b: Vec<u64> = (0..256u64).map(|i| i * 17 % 65_537).collect();
+        let ca = ctx.encrypt(&pk, &enc.encode(&a), &mut rng);
+        let cb = ctx.encrypt(&pk, &enc.encode(&b), &mut rng);
+        let sum = ctx.add(&ca, &cb).unwrap();
+        let decoded = enc.decode(&ctx.decrypt(&sk, &sum));
+        let zp = pasta_math::Zp::new(Modulus::PASTA_17_BIT).unwrap();
+        let expect: Vec<u64> = a.iter().zip(b.iter()).map(|(&x, &y)| zp.add(x, y)).collect();
+        assert_eq!(decoded, expect);
+    }
+
+    #[test]
+    fn rejects_unsupported_degree() {
+        // 2·2^17 does not divide 65537 - 1 = 2^16.
+        assert!(BatchEncoder::new(Modulus::PASTA_17_BIT, 1 << 17).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "too many")]
+    fn too_many_values_panics() {
+        let _ = encoder(8).encode(&[0u64; 9]);
+    }
+}

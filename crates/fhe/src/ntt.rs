@@ -1,0 +1,294 @@
+//! Negacyclic number-theoretic transform over a single RNS prime.
+//!
+//! BFV works in `R_q = Z_q[X]/(X^N + 1)`. Multiplication in `R_q` is a
+//! *negacyclic* convolution, computed by pre-twisting with powers of a
+//! primitive 2N-th root of unity ψ, applying a length-N NTT (ω = ψ²),
+//! pointwise multiplying, and untwisting. We fold the twists into the
+//! butterfly tables as usual (Cooley–Tukey forward / Gentleman–Sande
+//! inverse with ψ-power tables), so one forward + one inverse transform
+//! costs `N log N` butterflies.
+
+use pasta_math::{MathError, Modulus, Zp};
+
+/// Precomputed NTT tables for one prime and ring degree.
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    zp: Zp,
+    n: usize,
+    /// ψ^bitrev(i) powers for the forward transform.
+    fwd: Vec<u64>,
+    /// ψ^{-bitrev(i)} powers for the inverse transform.
+    inv: Vec<u64>,
+    /// N^{-1} mod p.
+    n_inv: u64,
+}
+
+impl NttTable {
+    /// Builds tables for `Z_p[X]/(X^n + 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NotInvertible`] if `2n ∤ p - 1` (no 2N-th
+    /// root of unity exists) or [`MathError::UnsupportedWidth`] if `n` is
+    /// not a power of two.
+    pub fn new(modulus: Modulus, n: usize) -> Result<Self, MathError> {
+        if !n.is_power_of_two() || n < 2 {
+            return Err(MathError::UnsupportedWidth(n as u32));
+        }
+        let zp = Zp::new(modulus)?;
+        let psi = zp.primitive_root_of_unity(2 * n as u64)?;
+        let psi_inv = zp.inv(psi)?;
+        let mut fwd = vec![0u64; n];
+        let mut inv = vec![0u64; n];
+        let log_n = n.trailing_zeros();
+        let mut p_pow = 1u64;
+        let mut pi_pow = 1u64;
+        let mut powers = Vec::with_capacity(n);
+        let mut ipowers = Vec::with_capacity(n);
+        for _ in 0..n {
+            powers.push(p_pow);
+            ipowers.push(pi_pow);
+            p_pow = zp.mul(p_pow, psi);
+            pi_pow = zp.mul(pi_pow, psi_inv);
+        }
+        for (i, (fw, iv)) in fwd.iter_mut().zip(inv.iter_mut()).enumerate() {
+            let r = bit_reverse(i as u32, log_n) as usize;
+            *fw = powers[r];
+            *iv = ipowers[r];
+        }
+        let n_inv = zp.inv(n as u64 % zp.p())?;
+        Ok(NttTable { zp, n, fwd, inv, n_inv })
+    }
+
+    /// Ring degree `N`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The field context.
+    #[must_use]
+    pub fn zp(&self) -> &Zp {
+        &self.zp
+    }
+
+    /// In-place forward negacyclic NTT (standard order in, standard order
+    /// out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "NTT input length mismatch");
+        let zp = &self.zp;
+        let mut t = self.n;
+        let mut m = 1usize;
+        while m < self.n {
+            t /= 2;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let s = self.fwd[m + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = zp.mul(a[j + t], s);
+                    a[j] = zp.add(u, v);
+                    a[j + t] = zp.sub(u, v);
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "NTT input length mismatch");
+        let zp = &self.zp;
+        let mut t = 1usize;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m / 2;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let s = self.inv[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = zp.add(u, v);
+                    a[j + t] = zp.mul(zp.sub(u, v), s);
+                }
+                j1 += 2 * t;
+            }
+            t *= 2;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = zp.mul(*x, self.n_inv);
+        }
+    }
+
+    /// Pointwise product `a ∘ b` into `a` (both in NTT domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn pointwise_mul_assign(&self, a: &mut [u64], b: &[u64]) {
+        assert_eq!(a.len(), b.len(), "pointwise length mismatch");
+        for (x, &y) in a.iter_mut().zip(b.iter()) {
+            *x = self.zp.mul(*x, y);
+        }
+    }
+
+    /// Full negacyclic polynomial product (convenience; transforms both
+    /// inputs).
+    #[must_use]
+    pub fn negacyclic_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.forward(&mut fa);
+        self.forward(&mut fb);
+        self.pointwise_mul_assign(&mut fa, &fb);
+        self.inverse(&mut fa);
+        fa
+    }
+}
+
+fn bit_reverse(x: u32, bits: u32) -> u32 {
+    x.reverse_bits() >> (32 - bits)
+}
+
+/// Schoolbook negacyclic multiplication (reference for tests and for
+/// rings whose modulus lacks NTT structure).
+#[must_use]
+pub fn negacyclic_mul_schoolbook(zp: &Zp, a: &[u64], b: &[u64]) -> Vec<u64> {
+    let n = a.len();
+    assert_eq!(b.len(), n, "length mismatch");
+    let mut out = vec![0u64; n];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        for (j, &bj) in b.iter().enumerate() {
+            let prod = zp.mul(ai, bj);
+            let k = i + j;
+            if k < n {
+                out[k] = zp.add(out[k], prod);
+            } else {
+                out[k - n] = zp.sub(out[k - n], prod); // X^N = -1
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn table(n: usize) -> NttTable {
+        NttTable::new(Modulus::NTT_60_BIT, n).unwrap()
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for n in [2usize, 8, 64, 1024] {
+            let t = table(n);
+            let original: Vec<u64> = (0..n as u64).map(|i| i * 1_234_567 % t.zp().p()).collect();
+            let mut a = original.clone();
+            t.forward(&mut a);
+            assert_ne!(a, original, "transform must not be identity");
+            t.inverse(&mut a);
+            assert_eq!(a, original, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ntt_mul_matches_schoolbook() {
+        let n = 32;
+        let t = table(n);
+        let p = t.zp().p();
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 1) % p).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| p - 1 - i * 53 % p).collect();
+        assert_eq!(t.negacyclic_mul(&a, &b), negacyclic_mul_schoolbook(t.zp(), &a, &b));
+    }
+
+    #[test]
+    fn x_times_x_pow_n_minus_1_wraps_negatively() {
+        // X · X^{N-1} = X^N = -1 in the negacyclic ring.
+        let n = 16;
+        let t = table(n);
+        let mut x = vec![0u64; n];
+        x[1] = 1;
+        let mut xn1 = vec![0u64; n];
+        xn1[n - 1] = 1;
+        let prod = t.negacyclic_mul(&x, &xn1);
+        let mut expect = vec![0u64; n];
+        expect[0] = t.zp().p() - 1; // -1
+        assert_eq!(prod, expect);
+    }
+
+    #[test]
+    fn constant_multiplication_scales() {
+        let n = 8;
+        let t = table(n);
+        let c = vec![7u64, 0, 0, 0, 0, 0, 0, 0];
+        let a: Vec<u64> = (1..=8u64).collect();
+        let prod = t.negacyclic_mul(&c, &a);
+        let expect: Vec<u64> = a.iter().map(|&x| t.zp().mul(7, x)).collect();
+        assert_eq!(prod, expect);
+    }
+
+    #[test]
+    fn plaintext_modulus_ntt_works_for_batching() {
+        // 65537 supports 2N-th roots for N up to 2^15: the batch encoder
+        // relies on this.
+        let t = NttTable::new(Modulus::PASTA_17_BIT, 1024).unwrap();
+        let mut a: Vec<u64> = (0..1024u64).map(|i| i % 65_537).collect();
+        let orig = a.clone();
+        t.forward(&mut a);
+        t.inverse(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(NttTable::new(Modulus::NTT_60_BIT, 3).is_err(), "non power of two");
+        // 2^20-th roots don't exist mod 65537 (p-1 = 2^16).
+        assert!(NttTable::new(Modulus::PASTA_17_BIT, 1 << 19).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_ntt_mul_matches_schoolbook(
+            a in proptest::collection::vec(0u64..65_537, 16),
+            b in proptest::collection::vec(0u64..65_537, 16),
+        ) {
+            let t = NttTable::new(Modulus::PASTA_17_BIT, 16).unwrap();
+            prop_assert_eq!(
+                t.negacyclic_mul(&a, &b),
+                negacyclic_mul_schoolbook(t.zp(), &a, &b)
+            );
+        }
+
+        #[test]
+        fn prop_forward_is_linear(
+            a in proptest::collection::vec(0u64..65_537, 32),
+            b in proptest::collection::vec(0u64..65_537, 32),
+        ) {
+            let t = NttTable::new(Modulus::PASTA_17_BIT, 32).unwrap();
+            let zp = *t.zp();
+            let sum: Vec<u64> = a.iter().zip(b.iter()).map(|(&x, &y)| zp.add(x, y)).collect();
+            let (mut fa, mut fb, mut fs) = (a.clone(), b.clone(), sum);
+            t.forward(&mut fa);
+            t.forward(&mut fb);
+            t.forward(&mut fs);
+            let lin: Vec<u64> = fa.iter().zip(fb.iter()).map(|(&x, &y)| zp.add(x, y)).collect();
+            prop_assert_eq!(fs, lin);
+        }
+    }
+}

@@ -1,0 +1,606 @@
+//! RNS polynomial arithmetic in `R_q = Z_q[X]/(X^N + 1)`.
+//!
+//! The ciphertext modulus `q` is a product of NTT-friendly primes
+//! `q_0 … q_{k-1}`; a polynomial is stored as its residue vectors modulo
+//! each prime ([`RnsPoly`]), so all ring operations are prime-wise and
+//! `u64`-sized. CRT reconstruction into a [`UBig`] is only needed at
+//! decryption scaling and ciphertext-multiplication time.
+
+use crate::bigint::UBig;
+use crate::ntt::NttTable;
+use pasta_math::{is_prime_u64, MathError, Modulus, Zp};
+use rand::Rng;
+
+/// The RNS basis: primes, NTT tables and CRT precomputation.
+#[derive(Debug, Clone)]
+pub struct RnsBasis {
+    n: usize,
+    primes: Vec<Modulus>,
+    tables: Vec<NttTable>,
+    /// `q = Π q_i`.
+    q: UBig,
+    /// `q̂_i = q / q_i`.
+    q_hats: Vec<UBig>,
+    /// `[q̂_i^{-1}]_{q_i}`.
+    q_hat_invs: Vec<u64>,
+}
+
+impl RnsBasis {
+    /// Builds a basis over explicit primes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any modulus lacks a 2N-th root of unity, if
+    /// primes repeat, or if `n` is not a power of two.
+    pub fn new(n: usize, primes: Vec<Modulus>) -> Result<Self, MathError> {
+        let mut tables = Vec::with_capacity(primes.len());
+        for (i, &p) in primes.iter().enumerate() {
+            if primes[..i].contains(&p) {
+                return Err(MathError::NotPrime(p.value()));
+            }
+            tables.push(NttTable::new(p, n)?);
+        }
+        let mut q = UBig::one();
+        for p in &primes {
+            q = q.mul_u64(p.value());
+        }
+        let mut q_hats = Vec::with_capacity(primes.len());
+        let mut q_hat_invs = Vec::with_capacity(primes.len());
+        for (i, p) in primes.iter().enumerate() {
+            let (q_hat, rem) = q.div_rem(&UBig::from_u64(p.value()));
+            debug_assert!(rem.is_zero());
+            let zp = Zp::new(*p)?;
+            let hat_mod = q_hat.rem_u64(p.value());
+            q_hat_invs.push(zp.inv(hat_mod)?);
+            q_hats.push(q_hat);
+            let _ = i;
+        }
+        Ok(RnsBasis { n, primes, tables, q, q_hats, q_hat_invs })
+    }
+
+    /// Picks `count` distinct NTT-friendly primes of `bits` bits
+    /// (scanning downward with step `2^two_adicity`) and builds the basis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors; errors if not enough primes exist.
+    pub fn with_generated_primes(
+        n: usize,
+        bits: u32,
+        count: usize,
+    ) -> Result<Self, MathError> {
+        let two_adicity = (2 * n).trailing_zeros();
+        let primes = generate_ntt_primes(bits, two_adicity, count)?;
+        Self::new(n, primes)
+    }
+
+    /// Ring degree `N`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The RNS primes.
+    #[must_use]
+    pub fn primes(&self) -> &[Modulus] {
+        &self.primes
+    }
+
+    /// Number of primes `k`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.primes.len()
+    }
+
+    /// Whether the basis is empty (never, for a constructed basis).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.primes.is_empty()
+    }
+
+    /// The full modulus `q`.
+    #[must_use]
+    pub fn q(&self) -> &UBig {
+        &self.q
+    }
+
+    /// The NTT table for prime `i`.
+    #[must_use]
+    pub fn table(&self, i: usize) -> &NttTable {
+        &self.tables[i]
+    }
+
+    /// Field context for prime `i`.
+    #[must_use]
+    pub fn zp(&self, i: usize) -> &Zp {
+        self.tables[i].zp()
+    }
+
+    /// CRT-reconstructs one coefficient from its residues into `[0, q)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residues.len() != k`.
+    #[must_use]
+    pub fn crt_reconstruct(&self, residues: &[u64]) -> UBig {
+        assert_eq!(residues.len(), self.len(), "residue count mismatch");
+        let mut acc = UBig::zero();
+        for (i, &r) in residues.iter().enumerate() {
+            let zp = self.zp(i);
+            let coeff = zp.mul(r, self.q_hat_invs[i]);
+            acc = acc.add(&self.q_hats[i].mul_u64(coeff));
+        }
+        let (_, rem) = acc.div_rem(&self.q);
+        rem
+    }
+
+    /// Reduces a non-negative big integer into RNS residues.
+    #[must_use]
+    pub fn reduce_bigint(&self, x: &UBig) -> Vec<u64> {
+        self.primes.iter().map(|p| x.rem_u64(p.value())).collect()
+    }
+
+    /// Centered magnitude of a value in `[0, q)`: `min(x, q - x)`.
+    #[must_use]
+    pub fn centered_magnitude(&self, x: &UBig) -> UBig {
+        let neg = self.q.sub(x);
+        if x.cmp_big(&neg) == std::cmp::Ordering::Greater {
+            neg
+        } else {
+            x.clone()
+        }
+    }
+}
+
+/// Scans downward for `count` distinct primes `≡ 1 (mod 2^two_adicity)`
+/// of exactly `bits` bits.
+pub(crate) fn generate_ntt_primes(
+    bits: u32,
+    two_adicity: u32,
+    count: usize,
+) -> Result<Vec<Modulus>, MathError> {
+    if !(20..=62).contains(&bits) || two_adicity >= bits {
+        return Err(MathError::UnsupportedWidth(bits));
+    }
+    let step = 1u64 << two_adicity;
+    let mut candidate = (((1u64 << bits) - 1) >> two_adicity << two_adicity) + 1;
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count && candidate > (1u64 << (bits - 1)) {
+        if is_prime_u64(candidate) {
+            out.push(Modulus::new(candidate)?);
+        }
+        candidate -= step;
+    }
+    if out.len() < count {
+        return Err(MathError::UnsupportedWidth(bits));
+    }
+    Ok(out)
+}
+
+/// A polynomial in RNS representation.
+///
+/// `coeffs[i][j]` is coefficient `j` modulo prime `i`. The `is_ntt` flag
+/// tracks the domain; mixing domains is a programming error and asserts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsPoly {
+    coeffs: Vec<Vec<u64>>,
+    is_ntt: bool,
+}
+
+impl RnsPoly {
+    /// The zero polynomial (coefficient domain).
+    #[must_use]
+    pub fn zero(basis: &RnsBasis) -> Self {
+        RnsPoly { coeffs: vec![vec![0; basis.n()]; basis.len()], is_ntt: false }
+    }
+
+    /// A constant polynomial with the given value in every prime.
+    #[must_use]
+    pub fn constant(basis: &RnsBasis, value: u64) -> Self {
+        let mut p = Self::zero(basis);
+        for (i, row) in p.coeffs.iter_mut().enumerate() {
+            row[0] = value % basis.zp(i).p();
+        }
+        p
+    }
+
+    /// Builds from per-coefficient non-negative big integers (`< q`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != N`.
+    #[must_use]
+    pub fn from_bigint_coeffs(basis: &RnsBasis, values: &[UBig]) -> Self {
+        assert_eq!(values.len(), basis.n(), "coefficient count mismatch");
+        let mut p = Self::zero(basis);
+        for (j, v) in values.iter().enumerate() {
+            for (i, row) in p.coeffs.iter_mut().enumerate() {
+                row[j] = v.rem_u64(basis.primes()[i].value());
+            }
+        }
+        p
+    }
+
+    /// Builds from small unsigned coefficients (e.g. a plaintext poly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != N`.
+    #[must_use]
+    pub fn from_u64_coeffs(basis: &RnsBasis, values: &[u64]) -> Self {
+        assert_eq!(values.len(), basis.n(), "coefficient count mismatch");
+        let mut p = Self::zero(basis);
+        for (i, row) in p.coeffs.iter_mut().enumerate() {
+            let zp = basis.zp(i);
+            for (j, &v) in values.iter().enumerate() {
+                row[j] = v % zp.p();
+            }
+        }
+        p
+    }
+
+    /// Builds from small signed coefficients (secrets/errors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != N`.
+    #[must_use]
+    pub fn from_signed_coeffs(basis: &RnsBasis, values: &[i64]) -> Self {
+        assert_eq!(values.len(), basis.n(), "coefficient count mismatch");
+        let mut p = Self::zero(basis);
+        for (i, row) in p.coeffs.iter_mut().enumerate() {
+            let zp = basis.zp(i);
+            for (j, &v) in values.iter().enumerate() {
+                row[j] = zp.from_i128(i128::from(v));
+            }
+        }
+        p
+    }
+
+    /// Uniformly random polynomial mod q (the `a` component of keys).
+    #[must_use]
+    pub fn random_uniform<R: Rng>(basis: &RnsBasis, rng: &mut R) -> Self {
+        let mut p = Self::zero(basis);
+        for (i, row) in p.coeffs.iter_mut().enumerate() {
+            let modulus = basis.primes()[i].value();
+            for c in row.iter_mut() {
+                *c = rng.gen_range(0..modulus);
+            }
+        }
+        p
+    }
+
+    /// Random ternary polynomial (coefficients in `{-1, 0, 1}`).
+    #[must_use]
+    pub fn random_ternary<R: Rng>(basis: &RnsBasis, rng: &mut R) -> Self {
+        let signed: Vec<i64> = (0..basis.n()).map(|_| rng.gen_range(-1..=1)).collect();
+        Self::from_signed_coeffs(basis, &signed)
+    }
+
+    /// Random error polynomial: centered binomial with parameter 4
+    /// (range ±4, standard deviation √2).
+    #[must_use]
+    pub fn random_error<R: Rng>(basis: &RnsBasis, rng: &mut R) -> Self {
+        let signed: Vec<i64> = (0..basis.n())
+            .map(|_| {
+                let bits: u8 = rng.gen();
+                i64::from((bits & 0x0F).count_ones()) - i64::from((bits >> 4).count_ones())
+            })
+            .collect();
+        Self::from_signed_coeffs(basis, &signed)
+    }
+
+    /// Whether the polynomial is in NTT (evaluation) domain.
+    #[must_use]
+    pub fn is_ntt(&self) -> bool {
+        self.is_ntt
+    }
+
+    /// Residue row for prime `i`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.coeffs[i]
+    }
+
+    /// Converts to NTT domain in place (no-op if already there).
+    pub fn to_ntt(&mut self, basis: &RnsBasis) {
+        if self.is_ntt {
+            return;
+        }
+        for (i, row) in self.coeffs.iter_mut().enumerate() {
+            basis.table(i).forward(row);
+        }
+        self.is_ntt = true;
+    }
+
+    /// Converts to coefficient domain in place (no-op if already there).
+    pub fn to_coeff(&mut self, basis: &RnsBasis) {
+        if !self.is_ntt {
+            return;
+        }
+        for (i, row) in self.coeffs.iter_mut().enumerate() {
+            basis.table(i).inverse(row);
+        }
+        self.is_ntt = false;
+    }
+
+    /// `self + other` (domains must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics on domain or size mismatch.
+    #[must_use]
+    pub fn add(&self, basis: &RnsBasis, other: &RnsPoly) -> RnsPoly {
+        assert_eq!(self.is_ntt, other.is_ntt, "domain mismatch in add");
+        let mut out = self.clone();
+        for (i, row) in out.coeffs.iter_mut().enumerate() {
+            let zp = basis.zp(i);
+            for (a, &b) in row.iter_mut().zip(other.coeffs[i].iter()) {
+                *a = zp.add(*a, b);
+            }
+        }
+        out
+    }
+
+    /// `self - other` (domains must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics on domain or size mismatch.
+    #[must_use]
+    pub fn sub(&self, basis: &RnsBasis, other: &RnsPoly) -> RnsPoly {
+        assert_eq!(self.is_ntt, other.is_ntt, "domain mismatch in sub");
+        let mut out = self.clone();
+        for (i, row) in out.coeffs.iter_mut().enumerate() {
+            let zp = basis.zp(i);
+            for (a, &b) in row.iter_mut().zip(other.coeffs[i].iter()) {
+                *a = zp.sub(*a, b);
+            }
+        }
+        out
+    }
+
+    /// `-self`.
+    #[must_use]
+    pub fn neg(&self, basis: &RnsBasis) -> RnsPoly {
+        let mut out = self.clone();
+        for (i, row) in out.coeffs.iter_mut().enumerate() {
+            let zp = basis.zp(i);
+            for a in row.iter_mut() {
+                *a = zp.neg(*a);
+            }
+        }
+        out
+    }
+
+    /// `self · other` (both must be in NTT domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is in coefficient domain.
+    #[must_use]
+    pub fn mul(&self, basis: &RnsBasis, other: &RnsPoly) -> RnsPoly {
+        assert!(self.is_ntt && other.is_ntt, "ring mul requires NTT domain");
+        let mut out = self.clone();
+        for (i, row) in out.coeffs.iter_mut().enumerate() {
+            basis.table(i).pointwise_mul_assign(row, &other.coeffs[i]);
+        }
+        out
+    }
+
+    /// `self · c` for a small scalar `c` (domain-agnostic).
+    #[must_use]
+    pub fn mul_scalar(&self, basis: &RnsBasis, c: u64) -> RnsPoly {
+        let mut out = self.clone();
+        for (i, row) in out.coeffs.iter_mut().enumerate() {
+            let zp = basis.zp(i);
+            let cm = c % zp.p();
+            for a in row.iter_mut() {
+                *a = zp.mul(*a, cm);
+            }
+        }
+        out
+    }
+
+    /// `self · c` where `c` is given per prime (e.g. `Δ mod q_i` or a
+    /// CRT-reduced big constant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c.len() != k`.
+    #[must_use]
+    pub fn mul_scalar_rns(&self, basis: &RnsBasis, c: &[u64]) -> RnsPoly {
+        assert_eq!(c.len(), basis.len(), "per-prime scalar count mismatch");
+        let mut out = self.clone();
+        for (i, row) in out.coeffs.iter_mut().enumerate() {
+            let zp = basis.zp(i);
+            for a in row.iter_mut() {
+                *a = zp.mul(*a, c[i]);
+            }
+        }
+        out
+    }
+
+    /// Applies the Galois automorphism `X ↦ X^g` (requires coefficient
+    /// domain; `g` must be odd so it is invertible mod `2N`).
+    ///
+    /// `X^{jg} = ±X^{jg mod N}` with a sign flip whenever
+    /// `⌊jg/N⌋` is odd (negacyclic wraparound).
+    ///
+    /// # Panics
+    ///
+    /// Panics in NTT domain or for even `g`.
+    #[must_use]
+    pub fn automorphism(&self, basis: &RnsBasis, g: usize) -> RnsPoly {
+        assert!(!self.is_ntt, "automorphism requires coefficient domain");
+        assert!(g % 2 == 1, "Galois element must be odd");
+        let n = basis.n();
+        let mut out = RnsPoly::zero(basis);
+        for (i, row) in self.coeffs.iter().enumerate() {
+            let zp = basis.zp(i);
+            for (j, &c) in row.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let e = (j * g) % (2 * n);
+                if e < n {
+                    out.coeffs[i][e] = zp.add(out.coeffs[i][e], c);
+                } else {
+                    out.coeffs[i][e - n] = zp.sub(out.coeffs[i][e - n], c);
+                }
+            }
+        }
+        out
+    }
+
+    /// CRT-reconstructs all coefficients (input must be in coefficient
+    /// domain) into `[0, q)` big integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called in NTT domain.
+    #[must_use]
+    pub fn to_bigint_coeffs(&self, basis: &RnsBasis) -> Vec<UBig> {
+        assert!(!self.is_ntt, "CRT reconstruction requires coefficient domain");
+        (0..basis.n())
+            .map(|j| {
+                let residues: Vec<u64> = (0..basis.len()).map(|i| self.coeffs[i][j]).collect();
+                basis.crt_reconstruct(&residues)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn basis() -> RnsBasis {
+        RnsBasis::with_generated_primes(64, 50, 3).unwrap()
+    }
+
+    #[test]
+    fn prime_generation_distinct_and_ntt_friendly() {
+        let primes = generate_ntt_primes(50, 8, 5).unwrap();
+        assert_eq!(primes.len(), 5);
+        for (i, p) in primes.iter().enumerate() {
+            assert_eq!(p.bits(), 50);
+            assert_eq!((p.value() - 1) % 256, 0);
+            assert!(!primes[..i].contains(p));
+        }
+    }
+
+    #[test]
+    fn crt_roundtrip() {
+        let b = basis();
+        let x = UBig::from_u128(0x1234_5678_9ABC_DEF0_1122_3344u128);
+        let residues = b.reduce_bigint(&x);
+        assert_eq!(b.crt_reconstruct(&residues), x);
+        // Extremes.
+        let top = b.q().sub(&UBig::one());
+        assert_eq!(b.crt_reconstruct(&b.reduce_bigint(&top)), top);
+        assert_eq!(b.crt_reconstruct(&b.reduce_bigint(&UBig::zero())), UBig::zero());
+    }
+
+    #[test]
+    fn ntt_roundtrip_preserves_poly() {
+        let b = basis();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut p = RnsPoly::random_uniform(&b, &mut rng);
+        let orig = p.clone();
+        p.to_ntt(&b);
+        assert!(p.is_ntt());
+        p.to_coeff(&b);
+        assert_eq!(p, orig);
+    }
+
+    #[test]
+    fn ring_mul_matches_bigint_schoolbook() {
+        // Multiply two small polys and verify the negacyclic product via
+        // per-prime schoolbook.
+        let b = basis();
+        let a_coeffs: Vec<u64> = (0..64u64).map(|i| i + 1).collect();
+        let c_coeffs: Vec<u64> = (0..64u64).map(|i| 2 * i + 3).collect();
+        let mut a = RnsPoly::from_u64_coeffs(&b, &a_coeffs);
+        let mut c = RnsPoly::from_u64_coeffs(&b, &c_coeffs);
+        a.to_ntt(&b);
+        c.to_ntt(&b);
+        let mut prod = a.mul(&b, &c);
+        prod.to_coeff(&b);
+        for i in 0..b.len() {
+            let zp = b.zp(i);
+            let reference = crate::ntt::negacyclic_mul_schoolbook(
+                zp,
+                &a_coeffs.iter().map(|&x| x % zp.p()).collect::<Vec<_>>(),
+                &c_coeffs.iter().map(|&x| x % zp.p()).collect::<Vec<_>>(),
+            );
+            assert_eq!(prod.row(i), &reference[..], "prime {i}");
+        }
+    }
+
+    #[test]
+    fn signed_coeffs_centered() {
+        let b = basis();
+        let p = RnsPoly::from_signed_coeffs(&b, &vec![-1i64; 64]);
+        for i in 0..b.len() {
+            assert!(p.row(i).iter().all(|&c| c == b.zp(i).p() - 1));
+        }
+        // CRT of -1 must be q - 1.
+        let big = p.to_bigint_coeffs(&b);
+        assert_eq!(big[0], b.q().sub(&UBig::one()));
+    }
+
+    #[test]
+    fn ternary_and_error_ranges() {
+        let b = basis();
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = RnsPoly::random_ternary(&b, &mut rng);
+        let q0 = b.zp(0).p();
+        for &c in t.row(0) {
+            assert!(c == 0 || c == 1 || c == q0 - 1, "ternary out of range: {c}");
+        }
+        let e = RnsPoly::random_error(&b, &mut rng);
+        for &c in e.row(0) {
+            let centered = if c > q0 / 2 { (q0 - c) as i64 } else { c as i64 };
+            assert!(centered.abs() <= 4, "error out of range: {centered}");
+        }
+    }
+
+    #[test]
+    fn add_sub_neg_identities() {
+        let b = basis();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = RnsPoly::random_uniform(&b, &mut rng);
+        let y = RnsPoly::random_uniform(&b, &mut rng);
+        assert_eq!(x.add(&b, &y).sub(&b, &y), x);
+        assert_eq!(x.add(&b, &x.neg(&b)), RnsPoly::zero(&b));
+    }
+
+    #[test]
+    fn scalar_mul_matches_repeated_add() {
+        let b = basis();
+        let x = RnsPoly::from_u64_coeffs(&b, &(0..64u64).collect::<Vec<_>>());
+        let tripled = x.mul_scalar(&b, 3);
+        assert_eq!(tripled, x.add(&b, &x).add(&b, &x));
+    }
+
+    #[test]
+    #[should_panic(expected = "domain mismatch")]
+    fn domain_mismatch_asserts() {
+        let b = basis();
+        let x = RnsPoly::constant(&b, 1);
+        let mut y = RnsPoly::constant(&b, 2);
+        y.to_ntt(&b);
+        let _ = x.add(&b, &y);
+    }
+
+    #[test]
+    fn centered_magnitude() {
+        let b = basis();
+        assert_eq!(b.centered_magnitude(&UBig::one()), UBig::one());
+        let near_q = b.q().sub(&UBig::from_u64(5));
+        assert_eq!(b.centered_magnitude(&near_q), UBig::from_u64(5));
+    }
+}

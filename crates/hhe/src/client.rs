@@ -1,0 +1,147 @@
+//! The HHE client (paper §II.A, Fig. 1, left side).
+//!
+//! The client:
+//!
+//! 1. FHE-encrypts its PASTA secret key once and ships it to the server
+//!    (key provisioning);
+//! 2. encrypts its data with plain PASTA (fast, 1:1 ciphertext size —
+//!    this is the operation the cryptoprocessor accelerates);
+//! 3. later retrieves FHE ciphertexts of computation results and decrypts
+//!    them with its FHE secret key.
+
+use pasta_core::{Ciphertext as PastaCiphertext, PastaCipher, PastaError, PastaParams, SecretKey};
+use pasta_fhe::{BfvContext, BfvPublicKey, BfvSecretKey, Ciphertext as FheCiphertext};
+use rand::Rng;
+
+/// The FHE-encrypted PASTA key: one scalar BFV ciphertext per key element
+/// (`2t` in total). Sent to the server once at setup.
+#[derive(Debug, Clone)]
+pub struct EncryptedPastaKey {
+    /// Ciphertexts of `K_0 … K_{2t-1}`.
+    pub elements: Vec<FheCiphertext>,
+}
+
+impl EncryptedPastaKey {
+    /// Total wire size in bytes (the one-time provisioning cost the HHE
+    /// deployment amortizes).
+    #[must_use]
+    pub fn size_bytes(&self, ctx: &BfvContext) -> usize {
+        self.elements.iter().map(|c| c.size_bytes(ctx)).sum()
+    }
+}
+
+/// An HHE client: a PASTA cipher plus the server's FHE public key.
+#[derive(Debug)]
+pub struct HheClient {
+    cipher: PastaCipher,
+}
+
+impl HheClient {
+    /// Creates a client with a fresh PASTA key derived from `seed`.
+    #[must_use]
+    pub fn new(params: PastaParams, seed: &[u8]) -> Self {
+        let key = SecretKey::from_seed(&params, seed);
+        HheClient { cipher: PastaCipher::new(params, key) }
+    }
+
+    /// The PASTA parameter set.
+    #[must_use]
+    pub fn params(&self) -> &PastaParams {
+        self.cipher.params()
+    }
+
+    /// The underlying cipher (exposed for benchmarking the client cost).
+    #[must_use]
+    pub fn cipher(&self) -> &PastaCipher {
+        &self.cipher
+    }
+
+    /// FHE-encrypts the PASTA key under the FHE public key — the one-time
+    /// provisioning step of Fig. 1.
+    #[must_use]
+    pub fn provision_key<R: Rng>(
+        &self,
+        ctx: &BfvContext,
+        pk: &BfvPublicKey,
+        rng: &mut R,
+    ) -> EncryptedPastaKey {
+        let elements = self
+            .cipher
+            .key()
+            .elements()
+            .iter()
+            .map(|&k| ctx.encrypt(pk, &ctx.encode_scalar(k), rng))
+            .collect();
+        EncryptedPastaKey { elements }
+    }
+
+    /// Symmetrically encrypts `message` under `nonce` — the hot path the
+    /// cryptoprocessor accelerates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PastaError`] for non-canonical message elements.
+    pub fn encrypt(&self, nonce: u128, message: &[u64]) -> Result<PastaCiphertext, PastaError> {
+        self.cipher.encrypt(nonce, message)
+    }
+
+    /// Decrypts an FHE result returned by the server.
+    #[must_use]
+    pub fn retrieve(
+        &self,
+        ctx: &BfvContext,
+        fhe_sk: &BfvSecretKey,
+        results: &[FheCiphertext],
+    ) -> Vec<u64> {
+        results.iter().map(|ct| ctx.decrypt(fhe_sk, ct).scalar()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_fhe::BfvParams;
+    use pasta_math::Modulus;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_params() -> PastaParams {
+        PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap()
+    }
+
+    #[test]
+    fn provisioning_produces_2t_ciphertexts() {
+        let ctx = BfvContext::new(BfvParams::test_tiny()).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let sk = ctx.generate_secret_key(&mut rng);
+        let pk = ctx.generate_public_key(&sk, &mut rng);
+        let client = HheClient::new(tiny_params(), b"client");
+        let ek = client.provision_key(&ctx, &pk, &mut rng);
+        assert_eq!(ek.elements.len(), 8);
+        // Each provisioned element decrypts to the PASTA key element.
+        for (ct, &k) in ek.elements.iter().zip(client.cipher().key().elements()) {
+            assert_eq!(ctx.decrypt(&sk, ct).scalar(), k);
+        }
+        assert!(ek.size_bytes(&ctx) > 0);
+    }
+
+    #[test]
+    fn client_pasta_encryption_roundtrips_locally() {
+        let client = HheClient::new(tiny_params(), b"c2");
+        let msg = vec![1u64, 2, 3, 4, 5];
+        let ct = client.encrypt(42, &msg).unwrap();
+        assert_eq!(client.cipher().decrypt(&ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn retrieve_decrypts_scalars() {
+        let ctx = BfvContext::new(BfvParams::test_tiny()).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let sk = ctx.generate_secret_key(&mut rng);
+        let pk = ctx.generate_public_key(&sk, &mut rng);
+        let client = HheClient::new(tiny_params(), b"c3");
+        let cts: Vec<_> =
+            [5u64, 6, 7].iter().map(|&v| ctx.encrypt(&pk, &ctx.encode_scalar(v), &mut rng)).collect();
+        assert_eq!(client.retrieve(&ctx, &sk, &cts), vec![5, 6, 7]);
+    }
+}

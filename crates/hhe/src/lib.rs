@@ -1,0 +1,58 @@
+//! End-to-end Hybrid Homomorphic Encryption (paper Fig. 1).
+//!
+//! Ties the PASTA client cipher (`pasta-core`) to the BFV server
+//! substrate (`pasta-fhe`):
+//!
+//! - [`client`]: key provisioning (FHE-encrypt the PASTA key once),
+//!   symmetric data encryption, and FHE result retrieval;
+//! - [`server`]: homomorphic evaluation of the PASTA decryption circuit —
+//!   the *transciphering* step that turns compact symmetric ciphertexts
+//!   into FHE ciphertexts the cloud can compute on;
+//! - [`batched`]: the SIMD throughput mode (`N` blocks per ciphertext);
+//! - [`packed`]: the latency mode (one block per ciphertext via the
+//!   rotation/diagonal method);
+//! - [`link`]: the §V communication model (ciphertext sizes, 5G
+//!   bandwidths, video frames/s) regenerating Fig. 8.
+//!
+//! # Examples
+//!
+//! A complete HHE round trip with a scaled-down PASTA instance:
+//!
+//! ```
+//! use pasta_core::PastaParams;
+//! use pasta_fhe::{BfvContext, BfvParams};
+//! use pasta_hhe::{HheClient, HheServer};
+//! use pasta_math::Modulus;
+//! use rand::SeedableRng;
+//!
+//! let params = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT)?;
+//! let ctx = BfvContext::new(BfvParams::test_tiny())?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let fhe_sk = ctx.generate_secret_key(&mut rng);
+//! let fhe_pk = ctx.generate_public_key(&fhe_sk, &mut rng);
+//! let relin = ctx.generate_relin_key(&fhe_sk, &mut rng);
+//!
+//! let client = HheClient::new(params, b"seed");
+//! let server = HheServer::new(params, relin, client.provision_key(&ctx, &fhe_pk, &mut rng))?;
+//!
+//! let message = vec![1u64, 2, 3, 4];
+//! let pasta_ct = client.encrypt(42, &message)?;          // tiny, fast
+//! let fhe_cts = server.transcipher(&ctx, &pasta_ct)?;    // heavy, on the server
+//! assert_eq!(client.retrieve(&ctx, &fhe_sk, &fhe_cts), message);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batched;
+pub mod client;
+pub mod link;
+pub mod packed;
+pub mod server;
+
+pub use batched::{provision_batched_key, BatchedHheServer};
+pub use client::{EncryptedPastaKey, HheClient};
+pub use link::{figure8, Fig8Point, PastaLink, Resolution, RiseReference};
+pub use packed::PackedHheServer;
+pub use server::HheServer;

@@ -1,0 +1,243 @@
+//! Communication/link model for the §V application benchmark (Fig. 8).
+//!
+//! The paper's application is video-surveillance frame encryption: frames
+//! are encrypted on the edge device and streamed to the cloud over a
+//! mid-band 5G link (12.5–112.5 MB/s). HHE's whole advantage is that the
+//! PASTA ciphertext has *no expansion* beyond the `⌈log2 p⌉/8` bits per
+//! pixel, while the FHE client baseline (RISE \[19\]) ships 1.5 MB
+//! RLWE ciphertexts. Frames-per-second here is bandwidth-limited, exactly
+//! as in the paper's analysis.
+
+use pasta_core::PastaParams;
+
+/// Video resolutions of the §V benchmark (8-bit grayscale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resolution {
+    /// 160 × 120.
+    Qqvga,
+    /// 320 × 240.
+    Qvga,
+    /// 640 × 480.
+    Vga,
+}
+
+impl Resolution {
+    /// All benchmark resolutions, smallest first.
+    pub const ALL: [Resolution; 3] = [Resolution::Qqvga, Resolution::Qvga, Resolution::Vga];
+
+    /// Pixels per frame.
+    #[must_use]
+    pub fn pixels(&self) -> usize {
+        match self {
+            Resolution::Qqvga => 160 * 120,
+            Resolution::Qvga => 320 * 240,
+            Resolution::Vga => 640 * 480,
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Resolution::Qqvga => "QQVGA",
+            Resolution::Qvga => "QVGA",
+            Resolution::Vga => "VGA",
+        }
+    }
+}
+
+/// Minimum mid-band 5G bandwidth (§V), bytes per second.
+pub const MIN_5G_BPS: f64 = 12.5e6;
+/// Maximum mid-band 5G bandwidth (§V), bytes per second.
+pub const MAX_5G_BPS: f64 = 112.5e6;
+
+/// Link model for a PASTA-encrypted video stream.
+#[derive(Debug, Clone, Copy)]
+pub struct PastaLink {
+    params: PastaParams,
+}
+
+impl PastaLink {
+    /// Creates a link model for a PASTA parameter set.
+    #[must_use]
+    pub fn new(params: PastaParams) -> Self {
+        PastaLink { params }
+    }
+
+    /// Ciphertext bytes for one frame: `⌈pixels/t⌉` blocks of
+    /// `⌈t·ω/8⌉` bytes (e.g. 132 B per block for `t = 32`, `ω = 33`).
+    #[must_use]
+    pub fn bytes_per_frame(&self, res: Resolution) -> usize {
+        let blocks = res.pixels().div_ceil(self.params.t());
+        blocks * self.params.ciphertext_block_bytes()
+    }
+
+    /// Bandwidth-limited frames per second.
+    #[must_use]
+    pub fn frames_per_second(&self, res: Resolution, bandwidth_bps: f64) -> f64 {
+        bandwidth_bps / self.bytes_per_frame(res) as f64
+    }
+
+    /// Ciphertext expansion over the 8-bit raw frame.
+    #[must_use]
+    pub fn expansion_factor(&self, res: Resolution) -> f64 {
+        self.bytes_per_frame(res) as f64 / res.pixels() as f64
+    }
+}
+
+/// The RISE \[19\] FHE-client baseline as described in §V: one RLWE
+/// ciphertext of `2 · 2^14 · 390` bits (1.5 MB) per QQVGA frame, three per
+/// QVGA frame (and proportionally 12 per VGA frame).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RiseReference;
+
+impl RiseReference {
+    /// Ciphertext size in bytes (`2 · 2^14 · 390 / 8`).
+    #[must_use]
+    pub fn ciphertext_bytes(&self) -> usize {
+        2 * (1 << 14) * 390 / 8
+    }
+
+    /// Ciphertexts needed per frame (§V: 1 for QQVGA, 3 for QVGA).
+    #[must_use]
+    pub fn ciphertexts_per_frame(&self, res: Resolution) -> usize {
+        match res {
+            Resolution::Qqvga => 1,
+            Resolution::Qvga => 3,
+            Resolution::Vga => 12,
+        }
+    }
+
+    /// Bytes per frame.
+    #[must_use]
+    pub fn bytes_per_frame(&self, res: Resolution) -> usize {
+        self.ciphertexts_per_frame(res) * self.ciphertext_bytes()
+    }
+
+    /// Bandwidth-limited frames per second.
+    #[must_use]
+    pub fn frames_per_second(&self, res: Resolution, bandwidth_bps: f64) -> f64 {
+        bandwidth_bps / self.bytes_per_frame(res) as f64
+    }
+}
+
+/// One Fig. 8 data point: ours vs RISE at a bandwidth/resolution.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8Point {
+    /// Resolution of the frame.
+    pub resolution: Resolution,
+    /// Link bandwidth in bytes/s.
+    pub bandwidth_bps: f64,
+    /// Our frames/s.
+    pub pasta_fps: f64,
+    /// RISE frames/s.
+    pub rise_fps: f64,
+}
+
+impl Fig8Point {
+    /// The frames/s advantage of PASTA-based HHE.
+    #[must_use]
+    pub fn advantage(&self) -> f64 {
+        self.pasta_fps / self.rise_fps
+    }
+}
+
+/// Computes the full Fig. 8 grid (both bandwidths × three resolutions).
+#[must_use]
+pub fn figure8(params: PastaParams) -> Vec<Fig8Point> {
+    let ours = PastaLink::new(params);
+    let rise = RiseReference;
+    let mut out = Vec::new();
+    for &bw in &[MAX_5G_BPS, MIN_5G_BPS] {
+        for res in Resolution::ALL {
+            out.push(Fig8Point {
+                resolution: res,
+                bandwidth_bps: bw,
+                pasta_fps: ours.frames_per_second(res, bw),
+                rise_fps: rise.frames_per_second(res, bw),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_bytes_match_section_v() {
+        // §V: "our ciphertext ... is only 132 Bytes in size" for the
+        // 33-bit PASTA-4 block.
+        let link = PastaLink::new(PastaParams::pasta4_33bit());
+        assert_eq!(PastaParams::pasta4_33bit().ciphertext_block_bytes(), 132);
+        // One QQVGA frame = 600 blocks.
+        assert_eq!(link.bytes_per_frame(Resolution::Qqvga), 600 * 132);
+    }
+
+    #[test]
+    fn rise_reference_matches_section_v() {
+        let rise = RiseReference;
+        // "One ciphertext size is 1.5MB (2^14 · 2 · 390)".
+        assert_eq!(rise.ciphertext_bytes(), 1_597_440);
+        // "they can send 70 QQVGA frames per second at the maximum 5G
+        // bandwidth".
+        let fps = rise.frames_per_second(Resolution::Qqvga, MAX_5G_BPS);
+        assert!((fps - 70.4).abs() < 1.0, "RISE QQVGA fps = {fps}");
+    }
+
+    #[test]
+    fn rise_cannot_send_vga_at_min_bandwidth() {
+        // §V: "[19] cannot send a VGA frame at minimum bandwidth" —
+        // i.e. under one frame per second.
+        let rise = RiseReference;
+        assert!(rise.frames_per_second(Resolution::Vga, MIN_5G_BPS) < 1.0);
+        // While our link still sustains full-motion VGA video.
+        let ours = PastaLink::new(PastaParams::pasta4_33bit());
+        assert!(ours.frames_per_second(Resolution::Vga, MIN_5G_BPS) > 9.0);
+    }
+
+    #[test]
+    fn pasta_advantage_is_large_everywhere() {
+        for point in figure8(PastaParams::pasta4_33bit()) {
+            let adv = point.advantage();
+            assert!(
+                adv > 10.0,
+                "{} at {:.1} MB/s: advantage only {adv:.1}×",
+                point.resolution.name(),
+                point.bandwidth_bps / 1e6
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_factors() {
+        // PASTA at 33 bits: 132/32 = 4.125 bytes per 1-byte pixel.
+        let ours = PastaLink::new(PastaParams::pasta4_33bit());
+        let e = ours.expansion_factor(Resolution::Qqvga);
+        assert!((e - 4.125).abs() < 0.01, "expansion = {e}");
+        // 17-bit variant: 68/32 = 2.125×.
+        let small = PastaLink::new(PastaParams::pasta4_17bit());
+        assert!((small.expansion_factor(Resolution::Qqvga) - 2.125).abs() < 0.01);
+        // RISE QQVGA: ≈83× expansion — the 10,000–100,000× story of §I is
+        // tamed by packing, but still two orders worse than HHE.
+        let rise = RiseReference;
+        let re = rise.bytes_per_frame(Resolution::Qqvga) as f64
+            / Resolution::Qqvga.pixels() as f64;
+        assert!(re > 80.0 && re < 86.0, "RISE expansion = {re}");
+    }
+
+    #[test]
+    fn fps_scales_linearly_with_bandwidth() {
+        let ours = PastaLink::new(PastaParams::pasta4_33bit());
+        let hi = ours.frames_per_second(Resolution::Qvga, MAX_5G_BPS);
+        let lo = ours.frames_per_second(Resolution::Qvga, MIN_5G_BPS);
+        assert!((hi / lo - 9.0).abs() < 1e-9, "112.5/12.5 = 9×");
+    }
+
+    #[test]
+    fn figure8_has_six_points() {
+        let grid = figure8(PastaParams::pasta4_33bit());
+        assert_eq!(grid.len(), 6);
+    }
+}

@@ -1,0 +1,449 @@
+//! Packed transciphering: one PASTA block in a *single* BFV ciphertext,
+//! with the affine layers evaluated by the rotation/diagonal method.
+//!
+//! Where [`crate::batched`] spreads `N` blocks across the slots
+//! (throughput), this module packs the `2t` state elements of **one**
+//! block into `2t` *lanes* of one ciphertext (latency/minimum ciphertext
+//! count — the original PASTA-SEAL evaluation strategy):
+//!
+//! - lanes are consecutive positions along one orbit of the Galois
+//!   element `g = 3` on the batching slots, so `σ_{3^k}` acts as a
+//!   cyclic lane shift by `k`;
+//! - a matrix–vector product becomes the **diagonal method**:
+//!   `M·v = Σ_k diag_k ⊙ rot_k(v)` — `2t` plaintext multiplications and
+//!   `2t − 1` rotations per affine layer (vs `(2t)²` scalar
+//!   multiplications in scalar mode);
+//! - Mix and the Feistel shift are lane rotations against a maintained
+//!   *duplicate* copy of the state at lanes `2t..4t`;
+//! - the Feistel S-box masks lane 0 with an indicator plaintext.
+//!
+//! Correctness leans on one invariant: after every affine layer the
+//! state is **masked** (zero outside lanes `0..2t`), so the garbage that
+//! rotations drag in from other lanes/orbits is always cleared before it
+//! can reach the output.
+
+use crate::client::EncryptedPastaKey;
+use pasta_core::matrix::RowGenerator;
+use pasta_core::permutation::derive_block_material;
+use pasta_core::{Ciphertext as PastaCiphertext, PastaParams};
+use pasta_fhe::{
+    BatchEncoder, BfvContext, BfvGaloisKey, BfvRelinKey, BfvSecretKey,
+    Ciphertext as FheCiphertext, FheError, Plaintext,
+};
+use std::collections::HashMap;
+
+/// The lane coordinate system: consecutive positions along the orbit of
+/// slot 0 under `σ_3`.
+#[derive(Debug, Clone)]
+pub struct LaneLayout {
+    /// `order[j]` = slot index of lane `j`.
+    order: Vec<usize>,
+    orbit_len: usize,
+}
+
+impl LaneLayout {
+    /// Builds the layout from the encoder's `σ_3` slot permutation.
+    #[must_use]
+    pub fn new(encoder: &BatchEncoder) -> Self {
+        let pi = encoder.automorphism_permutation(3);
+        let mut order = vec![0usize];
+        let mut pos = pi[0];
+        while pos != 0 {
+            order.push(pos);
+            pos = pi[pos];
+        }
+        let orbit_len = order.len();
+        LaneLayout { order, orbit_len }
+    }
+
+    /// Number of usable lanes (the orbit length).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.orbit_len
+    }
+
+    /// Encodes values into lanes `offset..offset+values.len()`
+    /// (all other slots zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the values run past the orbit.
+    #[must_use]
+    pub fn encode_lanes(&self, encoder: &BatchEncoder, values: &[u64], offset: usize) -> Plaintext {
+        assert!(offset + values.len() <= self.orbit_len, "values exceed the lane orbit");
+        let mut slots = vec![0u64; encoder.slots()];
+        for (j, &v) in values.iter().enumerate() {
+            slots[self.order[offset + j]] = v;
+        }
+        encoder.encode(&slots)
+    }
+
+    /// Reads lanes `0..n` out of decoded slot values.
+    #[must_use]
+    pub fn decode_lanes(&self, slots: &[u64], n: usize) -> Vec<u64> {
+        (0..n).map(|j| slots[self.order[j]]).collect()
+    }
+}
+
+/// A transciphering server evaluating one block per ciphertext via
+/// rotations.
+#[derive(Debug)]
+pub struct PackedHheServer {
+    params: PastaParams,
+    relin_key: BfvRelinKey,
+    rot_keys: HashMap<usize, BfvGaloisKey>,
+    encrypted_key: FheCiphertext,
+    layout: LaneLayout,
+    encoder: BatchEncoder,
+}
+
+/// The Galois elements (`3^k mod 2N`) the packed evaluation needs for a
+/// block size `t` on an orbit of `orbit_len` lanes: shifts `1..2t` plus
+/// the duplicate-refresh shift `orbit_len − 2t`.
+#[must_use]
+pub fn required_shifts(t: usize, orbit_len: usize) -> Vec<usize> {
+    let mut shifts: Vec<usize> = (1..2 * t).collect();
+    shifts.push(orbit_len - 2 * t);
+    shifts.sort_unstable();
+    shifts.dedup();
+    shifts
+}
+
+impl PackedHheServer {
+    /// Sets up the packed server: provisions the packed key ciphertext
+    /// and generates the rotation key set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::Incompatible`] if `4t` exceeds the lane orbit
+    /// (the duplicate would not fit), or propagates key errors.
+    pub fn new<R: rand::Rng>(
+        params: PastaParams,
+        ctx: &BfvContext,
+        fhe_sk: &BfvSecretKey,
+        key_elements: &[u64],
+        rng: &mut R,
+    ) -> Result<Self, FheError> {
+        let encoder = BatchEncoder::new(ctx.params().plain_modulus, ctx.params().n)
+            .map_err(FheError::from)?;
+        let layout = LaneLayout::new(&encoder);
+        let t = params.t();
+        if 4 * t > layout.lanes() {
+            return Err(FheError::Incompatible(format!(
+                "state 2t = {} needs 4t lanes but the orbit has only {}",
+                2 * t,
+                layout.lanes()
+            )));
+        }
+        if key_elements.len() != params.state_size() {
+            return Err(FheError::Incompatible("key length mismatch".into()));
+        }
+        let relin_key = ctx.generate_relin_key(fhe_sk, rng);
+        let pk = ctx.generate_public_key(fhe_sk, rng);
+        let packed = layout.encode_lanes(&encoder, key_elements, 0);
+        let encrypted_key = ctx.encrypt(&pk, &packed, rng);
+        let two_n = 2 * ctx.params().n;
+        let mut rot_keys = HashMap::new();
+        for k in required_shifts(t, layout.lanes()) {
+            let mut g = 1usize;
+            for _ in 0..k {
+                g = (g * 3) % two_n;
+            }
+            rot_keys.insert(k, ctx.generate_galois_key(fhe_sk, g, rng)?);
+        }
+        Ok(PackedHheServer { params, relin_key, rot_keys, encrypted_key, layout, encoder })
+    }
+
+    /// The packed, FHE-encrypted key as shipped by the client (exposed
+    /// for size accounting: it is ONE ciphertext, vs `2t` in scalar
+    /// mode).
+    #[must_use]
+    pub fn encrypted_key_size_bytes(&self, ctx: &BfvContext) -> usize {
+        self.encrypted_key.size_bytes(ctx)
+    }
+
+    fn rotate(&self, ctx: &BfvContext, ct: &FheCiphertext, k: usize) -> Result<FheCiphertext, FheError> {
+        if k == 0 {
+            return Ok(ct.clone());
+        }
+        let key = self
+            .rot_keys
+            .get(&k)
+            .ok_or_else(|| FheError::Incompatible(format!("no rotation key for shift {k}")))?;
+        ctx.apply_galois(ct, key)
+    }
+
+    /// Mask to lanes `0..range` (indicator plaintext).
+    fn mask(&self, ctx: &BfvContext, ct: &FheCiphertext, from: usize, range: usize) -> FheCiphertext {
+        let ones = vec![1u64; range - from];
+        let pt = self.layout.encode_lanes(&self.encoder, &ones, from);
+        ctx.mul_plain(ct, &pt)
+    }
+
+    /// `state + rot_{-(2t)}(state)`: refresh the duplicate copy at lanes
+    /// `2t..4t` (valid only for a masked state).
+    fn with_duplicate(&self, ctx: &BfvContext, masked: &FheCiphertext) -> Result<FheCiphertext, FheError> {
+        let neg = self.layout.lanes() - 2 * self.params.t();
+        ctx.add(masked, &self.rotate(ctx, masked, neg)?)
+    }
+
+    /// Homomorphically computes the keystream of one block, packed into
+    /// lanes `0..t` of a single ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FHE errors.
+    #[allow(clippy::too_many_lines)]
+    pub fn keystream_packed(
+        &self,
+        ctx: &BfvContext,
+        nonce: u128,
+        counter: u64,
+    ) -> Result<FheCiphertext, FheError> {
+        let t = self.params.t();
+        let r = self.params.rounds();
+        let zp = self.params.field();
+        let material = derive_block_material(&self.params, nonce, counter);
+
+        // The provisioned key ciphertext is already masked to lanes 0..2t.
+        let mut state = self.encrypted_key.clone();
+        for (i, layer) in material.layers.iter().enumerate() {
+            // Block-diagonal matrix BD = diag(M_L, M_R) evaluated by the
+            // diagonal method over a window of 2t lanes.
+            let m_left = RowGenerator::new(zp, layer.seed_left.clone()).into_matrix();
+            let m_right = RowGenerator::new(zp, layer.seed_right.clone()).into_matrix();
+            let bd = |row: usize, col: usize| -> u64 {
+                if row < t && col < t {
+                    m_left.get(row, col)
+                } else if row >= t && col >= t {
+                    m_right.get(row - t, col - t)
+                } else {
+                    0
+                }
+            };
+            let dup = self.with_duplicate(ctx, &state)?;
+            let mut acc: Option<FheCiphertext> = None;
+            for k in 0..2 * t {
+                // diag_k[lane j] = BD[j][(j + k) mod 2t].
+                let diag: Vec<u64> = (0..2 * t).map(|j| bd(j, (j + k) % (2 * t))).collect();
+                if diag.iter().all(|&d| d == 0) {
+                    continue;
+                }
+                let pt = self.layout.encode_lanes(&self.encoder, &diag, 0);
+                let rotated = self.rotate(ctx, &dup, k)?;
+                let term = ctx.mul_plain(&rotated, &pt);
+                acc = Some(match acc {
+                    None => term,
+                    Some(a) => ctx.add(&a, &term)?,
+                });
+            }
+            let mut rc = layer.rc_left.clone();
+            rc.extend_from_slice(&layer.rc_right);
+            state = ctx.add_plain(
+                &acc.expect("matrices are nonzero"),
+                &self.layout.encode_lanes(&self.encoder, &rc, 0),
+            );
+            // state is masked here: every diagonal plaintext is zero
+            // outside lanes 0..2t.
+
+            if i < r {
+                // Mix: (2L + R, 2R + L) = 2·state + rot_t(dup(state)).
+                let dup = self.with_duplicate(ctx, &state)?;
+                let swapped = self.rotate(ctx, &dup, t)?;
+                state = ctx.add(&ctx.add(&state, &state)?, &swapped)?;
+                // Mix dragged garbage into lanes >= 2t: re-mask before
+                // the shift-dependent S-box.
+                state = self.mask(ctx, &state, 0, 2 * t);
+                if i < r - 1 {
+                    // Feistel: y_j = x_j + x_{j-1}² (y_0 = x_0): shift
+                    // the duplicate by 2t - 1 so lane j holds x_{j-1},
+                    // square it, mask off lane 0, add.
+                    let dup = self.with_duplicate(ctx, &state)?;
+                    let shifted = self.rotate(ctx, &dup, 2 * t - 1)?;
+                    let squared = ctx.square_relin(&shifted, &self.relin_key)?;
+                    let masked_sq = self.mask(ctx, &squared, 1, 2 * t);
+                    state = ctx.add(&state, &masked_sq)?;
+                } else {
+                    // Cube on all lanes (garbage outside 0..2t is
+                    // cleared by the next affine layer's diagonals).
+                    let sq = ctx.square_relin(&state, &self.relin_key)?;
+                    state = ctx.mul_relin(&sq, &state, &self.relin_key)?;
+                }
+            }
+        }
+        // Truncation: keep lanes 0..t.
+        Ok(self.mask(ctx, &state, 0, t))
+    }
+
+    /// Transciphers one PASTA block: returns a single FHE ciphertext
+    /// whose lanes `0..len` hold the message elements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FHE errors.
+    pub fn transcipher_packed(
+        &self,
+        ctx: &BfvContext,
+        pasta_ct: &PastaCiphertext,
+        counter: u64,
+    ) -> Result<FheCiphertext, FheError> {
+        let t = self.params.t();
+        let start = counter as usize * t;
+        let block: Vec<u64> =
+            pasta_ct.elements()[start..(start + t).min(pasta_ct.len())].to_vec();
+        let ks = self.keystream_packed(ctx, pasta_ct.nonce(), counter)?;
+        let trivial =
+            ctx.encrypt_trivial(&self.layout.encode_lanes(&self.encoder, &block, 0));
+        ctx.sub(&trivial, &ks)
+    }
+
+    /// Client-side: decode lanes `0..n` of a packed result.
+    #[must_use]
+    pub fn decode(
+        &self,
+        ctx: &BfvContext,
+        sk: &BfvSecretKey,
+        ct: &FheCiphertext,
+        n: usize,
+    ) -> Vec<u64> {
+        let slots = self.encoder.decode(&ctx.decrypt(sk, ct));
+        self.layout.decode_lanes(&slots, n)
+    }
+
+    /// Rotation-key count (the setup cost this mode trades for its
+    /// single-ciphertext states).
+    #[must_use]
+    pub fn rotation_key_count(&self) -> usize {
+        self.rot_keys.len()
+    }
+}
+
+/// Provisions nothing extra: the packed server carries its own key
+/// ciphertext. This helper exists so callers can compare provisioning
+/// sizes against the scalar mode's `2t` ciphertexts.
+#[must_use]
+pub fn scalar_provisioning_size(ctx: &BfvContext, key: &EncryptedPastaKey) -> usize {
+    key.size_bytes(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HheClient;
+    use pasta_fhe::BfvParams;
+    use pasta_math::Modulus;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct World {
+        ctx: BfvContext,
+        sk: BfvSecretKey,
+        client: HheClient,
+        server: PackedHheServer,
+    }
+
+    fn setup() -> World {
+        let params = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap();
+        // Generous modulus: rotations add key-switch noise and the
+        // packed S-boxes spend extra plaintext masks.
+        let bfv = BfvParams { prime_count: 8, ..BfvParams::test_tiny() };
+        let ctx = BfvContext::new(bfv).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xACED);
+        let sk = ctx.generate_secret_key(&mut rng);
+        let client = HheClient::new(params, b"packed");
+        let server = PackedHheServer::new(
+            params,
+            &ctx,
+            &sk,
+            client.cipher().key().elements(),
+            &mut rng,
+        )
+        .unwrap();
+        World { ctx, sk, client, server }
+    }
+
+    #[test]
+    fn lane_layout_walks_one_orbit() {
+        let encoder = BatchEncoder::new(Modulus::PASTA_17_BIT, 256).unwrap();
+        let layout = LaneLayout::new(&encoder);
+        assert!(layout.lanes() >= 16, "orbit of 3 must be large enough");
+        // Lanes are distinct slots.
+        let mut sorted = layout.order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), layout.lanes());
+        // encode/decode round-trip through lanes.
+        let values = vec![5u64, 6, 7, 8];
+        let pt = layout.encode_lanes(&encoder, &values, 2);
+        let decoded = encoder.decode(&pt);
+        assert_eq!(layout.decode_lanes(&decoded, 2), vec![0, 0]);
+        let got: Vec<u64> = (2..6).map(|j| decoded[layout.order[j]]).collect();
+        assert_eq!(got, values);
+    }
+
+    #[test]
+    fn rotation_is_a_lane_shift() {
+        let w = setup();
+        let values = vec![10u64, 20, 30, 40, 50, 60, 70, 80];
+        let pt = w.server.layout.encode_lanes(&w.server.encoder, &values, 0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let pk = w.ctx.generate_public_key(&w.sk, &mut rng);
+        let ct = w.ctx.encrypt(&pk, &pt, &mut rng);
+        let rotated = w.server.rotate(&w.ctx, &ct, 3).unwrap();
+        let lanes = w.server.decode(&w.ctx, &w.sk, &rotated, 5);
+        // Lane j now holds the old lane j+3.
+        assert_eq!(lanes, vec![40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn packed_keystream_matches_plain() {
+        let w = setup();
+        let ks = w.server.keystream_packed(&w.ctx, 0xFEED, 0).unwrap();
+        let decoded = w.server.decode(&w.ctx, &w.sk, &ks, 4);
+        let expect = w.client.cipher().keystream_block(0xFEED, 0).unwrap();
+        assert_eq!(decoded, expect, "packed evaluation must equal the plain keystream");
+        let budget = w.ctx.noise_budget(&w.sk, &ks);
+        assert!(budget > 5, "noise budget after packed evaluation: {budget}");
+    }
+
+    #[test]
+    fn packed_transcipher_roundtrip() {
+        let w = setup();
+        let message = vec![101u64, 202, 303, 404];
+        let pasta_ct = w.client.encrypt(0xBEAD, &message).unwrap();
+        let fhe_ct = w.server.transcipher_packed(&w.ctx, &pasta_ct, 0).unwrap();
+        assert_eq!(w.server.decode(&w.ctx, &w.sk, &fhe_ct, 4), message);
+        // The whole block is ONE ciphertext (vs t in scalar mode).
+        assert_eq!(fhe_ct.components(), 2);
+    }
+
+    #[test]
+    fn setup_validates_capacity() {
+        // The orbit of 3 in (Z/2N)* has length 2^(log2(2N) - 2) = N/2,
+        // so N = 256 gives 128 lanes: t = 64 (needs 4t = 256) must be
+        // rejected, while PASTA-4's t = 32 (exactly 128) just fits.
+        let bfv = BfvParams { prime_count: 4, ..BfvParams::test_tiny() }; // N = 256
+        let ctx = BfvContext::new(bfv).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let sk = ctx.generate_secret_key(&mut rng);
+        let too_big = PastaParams::custom(64, 4, Modulus::PASTA_17_BIT).unwrap();
+        let key = vec![0u64; too_big.state_size()];
+        assert!(matches!(
+            PackedHheServer::new(too_big, &ctx, &sk, &key, &mut rng),
+            Err(FheError::Incompatible(_))
+        ));
+        // And a key-length mismatch is caught too.
+        let ok_params = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap();
+        assert!(matches!(
+            PackedHheServer::new(ok_params, &ctx, &sk, &[1, 2, 3], &mut rng),
+            Err(FheError::Incompatible(_))
+        ));
+    }
+
+    #[test]
+    fn rotation_key_budget() {
+        let w = setup();
+        // shifts 1..2t plus the duplicate refresh = 2t keys.
+        assert_eq!(w.server.rotation_key_count(), 2 * 4);
+    }
+}

@@ -1,0 +1,289 @@
+//! The HHE server: homomorphic PASTA decryption (paper Fig. 1, right).
+//!
+//! Given the FHE-encrypted PASTA key and a symmetric PASTA ciphertext,
+//! the server recomputes the *public* per-block randomness (matrices and
+//! round constants are functions of the nonce/counter only) and evaluates
+//! the PASTA decryption circuit under FHE:
+//!
+//! - affine layers become plaintext-scalar multiplications and additions
+//!   on key ciphertexts;
+//! - Mix is additions;
+//! - the Feistel/cube S-boxes are the expensive part — each squaring is a
+//!   ciphertext–ciphertext multiplication plus relinearization;
+//! - finally `Enc(m) = Δ·c − Enc(KS)`: the symmetric ciphertext enters as
+//!   a public constant.
+//!
+//! The result is a vector of FHE ciphertexts of the client's message —
+//! the transciphering step that lets the client avoid FHE encryption
+//! entirely.
+
+use crate::client::EncryptedPastaKey;
+use pasta_core::matrix::RowGenerator;
+use pasta_core::permutation::{derive_block_material, AffineMaterial};
+use pasta_core::{Ciphertext as PastaCiphertext, PastaParams};
+use pasta_fhe::{BfvContext, BfvRelinKey, Ciphertext as FheCiphertext, FheError};
+
+/// The HHE server state: FHE context, relinearization key, and the
+/// client's encrypted PASTA key.
+#[derive(Debug)]
+pub struct HheServer {
+    params: PastaParams,
+    relin_key: BfvRelinKey,
+    encrypted_key: EncryptedPastaKey,
+}
+
+impl HheServer {
+    /// Sets up a server for one client.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::Incompatible`] if the encrypted key length is
+    /// not `2t`.
+    pub fn new(
+        params: PastaParams,
+        relin_key: BfvRelinKey,
+        encrypted_key: EncryptedPastaKey,
+    ) -> Result<Self, FheError> {
+        if encrypted_key.elements.len() != params.state_size() {
+            return Err(FheError::Incompatible(format!(
+                "encrypted key has {} elements, expected {}",
+                encrypted_key.elements.len(),
+                params.state_size()
+            )));
+        }
+        Ok(HheServer { params, relin_key, encrypted_key })
+    }
+
+    /// Homomorphically computes the keystream block for
+    /// `(nonce, counter)`: FHE ciphertexts of `KS_0 … KS_{t-1}`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FHE errors (relinearization on malformed keys).
+    pub fn keystream_encrypted(
+        &self,
+        ctx: &BfvContext,
+        nonce: u128,
+        counter: u64,
+    ) -> Result<Vec<FheCiphertext>, FheError> {
+        let t = self.params.t();
+        let r = self.params.rounds();
+        let material = derive_block_material(&self.params, nonce, counter);
+        let mut left = self.encrypted_key.elements[..t].to_vec();
+        let mut right = self.encrypted_key.elements[t..].to_vec();
+        for (i, layer) in material.layers.iter().enumerate() {
+            left = self.affine_half(ctx, &left, layer, true)?;
+            right = self.affine_half(ctx, &right, layer, false)?;
+            if i < r {
+                self.mix(ctx, &mut left, &mut right)?;
+                let is_final_round = i == r - 1;
+                self.sbox(ctx, &mut left, &mut right, is_final_round)?;
+            }
+        }
+        Ok(left) // truncation
+    }
+
+    /// Transciphers one PASTA ciphertext into FHE ciphertexts of the
+    /// message: `Enc(m_i) = Δ·c_i − Enc(KS_i)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FHE errors from the keystream evaluation.
+    pub fn transcipher(
+        &self,
+        ctx: &BfvContext,
+        pasta_ct: &PastaCiphertext,
+    ) -> Result<Vec<FheCiphertext>, FheError> {
+        let t = self.params.t();
+        let mut out = Vec::with_capacity(pasta_ct.len());
+        for (counter, block) in pasta_ct.elements().chunks(t).enumerate() {
+            let ks = self.keystream_encrypted(ctx, pasta_ct.nonce(), counter as u64)?;
+            for (c_elem, ks_ct) in block.iter().zip(ks.iter()) {
+                let c_trivial = ctx.encrypt_trivial(&ctx.encode_scalar(*c_elem));
+                out.push(ctx.sub(&c_trivial, ks_ct)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// One affine layer on one half: `out_i = Σ_j M_ij·ct_j + rc_i`.
+    fn affine_half(
+        &self,
+        ctx: &BfvContext,
+        half: &[FheCiphertext],
+        layer: &AffineMaterial,
+        is_left: bool,
+    ) -> Result<Vec<FheCiphertext>, FheError> {
+        let zp = self.params.field();
+        let (seed, rc) = if is_left {
+            (&layer.seed_left, &layer.rc_left)
+        } else {
+            (&layer.seed_right, &layer.rc_right)
+        };
+        let matrix = RowGenerator::new(zp, seed.clone()).into_matrix();
+        let t = half.len();
+        let mut out = Vec::with_capacity(t);
+        for (i, &rc_i) in rc.iter().enumerate().take(t) {
+            let row = matrix.row(i);
+            let mut acc: Option<FheCiphertext> = None;
+            for (j, ct) in half.iter().enumerate() {
+                let term = ctx.mul_scalar(ct, row[j]);
+                acc = Some(match acc {
+                    None => term,
+                    Some(a) => ctx.add(&a, &term)?,
+                });
+            }
+            let mut result = acc.expect("t >= 2 by parameter validation");
+            result = ctx.add_plain(&result, &ctx.encode_scalar(rc_i));
+            out.push(result);
+        }
+        Ok(out)
+    }
+
+    /// Mix: `(2L + R, 2R + L)` element-wise with additions only.
+    fn mix(
+        &self,
+        ctx: &BfvContext,
+        left: &mut [FheCiphertext],
+        right: &mut [FheCiphertext],
+    ) -> Result<(), FheError> {
+        for (l, r) in left.iter_mut().zip(right.iter_mut()) {
+            let sum = ctx.add(l, r)?;
+            let new_l = ctx.add(l, &sum)?;
+            let new_r = ctx.add(r, &sum)?;
+            *l = new_l;
+            *r = new_r;
+        }
+        Ok(())
+    }
+
+    /// S-box over the concatenated state.
+    fn sbox(
+        &self,
+        ctx: &BfvContext,
+        left: &mut [FheCiphertext],
+        right: &mut [FheCiphertext],
+        is_final_round: bool,
+    ) -> Result<(), FheError> {
+        let t = left.len();
+        let mut full: Vec<FheCiphertext> = left.iter().chain(right.iter()).cloned().collect();
+        if is_final_round {
+            // Cube: x³ = relin(x²)·x, relinearized again.
+            for x in full.iter_mut() {
+                let sq = ctx.square_relin(x, &self.relin_key)?;
+                *x = ctx.mul_relin(&sq, x, &self.relin_key)?;
+            }
+        } else {
+            // Feistel: y_0 = x_0, y_j = x_j + x_{j-1}² on input values.
+            let squares: Vec<FheCiphertext> = full[..2 * t - 1]
+                .iter()
+                .map(|x| ctx.square_relin(x, &self.relin_key))
+                .collect::<Result<_, _>>()?;
+            for j in (1..2 * t).rev() {
+                full[j] = ctx.add(&full[j], &squares[j - 1])?;
+            }
+        }
+        left.clone_from_slice(&full[..t]);
+        right.clone_from_slice(&full[t..]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HheClient;
+    use pasta_fhe::{BfvParams, BfvSecretKey};
+    use pasta_math::Modulus;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct World {
+        ctx: BfvContext,
+        fhe_sk: BfvSecretKey,
+        client: HheClient,
+        server: HheServer,
+    }
+
+    fn setup() -> World {
+        let params = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap();
+        let ctx = BfvContext::new(BfvParams::test_tiny()).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let fhe_sk = ctx.generate_secret_key(&mut rng);
+        let fhe_pk = ctx.generate_public_key(&fhe_sk, &mut rng);
+        let relin = ctx.generate_relin_key(&fhe_sk, &mut rng);
+        let client = HheClient::new(params, b"hhe test");
+        let encrypted_key = client.provision_key(&ctx, &fhe_pk, &mut rng);
+        let server = HheServer::new(params, relin, encrypted_key).unwrap();
+        World { ctx, fhe_sk, client, server }
+    }
+
+    #[test]
+    fn homomorphic_keystream_matches_plain_keystream() {
+        let w = setup();
+        let expected = w.client.cipher().keystream_block(99, 0).unwrap();
+        let encrypted = w.server.keystream_encrypted(&w.ctx, 99, 0).unwrap();
+        let decrypted: Vec<u64> =
+            encrypted.iter().map(|ct| w.ctx.decrypt(&w.fhe_sk, ct).scalar()).collect();
+        assert_eq!(decrypted, expected, "server must reproduce KS under encryption");
+    }
+
+    #[test]
+    fn transciphering_recovers_the_message() {
+        let w = setup();
+        let message = vec![11u64, 22, 33, 44];
+        let pasta_ct = w.client.encrypt(1234, &message).unwrap();
+        let fhe_cts = w.server.transcipher(&w.ctx, &pasta_ct).unwrap();
+        let recovered = w.client.retrieve(&w.ctx, &w.fhe_sk, &fhe_cts);
+        assert_eq!(recovered, message);
+    }
+
+    #[test]
+    fn transciphering_multi_block() {
+        let w = setup();
+        let message: Vec<u64> = (0..10u64).map(|i| i * 1000 + 7).collect();
+        let pasta_ct = w.client.encrypt(5, &message).unwrap();
+        let fhe_cts = w.server.transcipher(&w.ctx, &pasta_ct).unwrap();
+        assert_eq!(fhe_cts.len(), 10);
+        assert_eq!(w.client.retrieve(&w.ctx, &w.fhe_sk, &fhe_cts), message);
+    }
+
+    #[test]
+    fn noise_budget_survives_the_whole_circuit() {
+        let w = setup();
+        let encrypted = w.server.keystream_encrypted(&w.ctx, 3, 0).unwrap();
+        for (i, ct) in encrypted.iter().enumerate() {
+            let budget = w.ctx.noise_budget(&w.fhe_sk, ct);
+            assert!(budget > 5, "keystream ct {i} nearly exhausted: {budget} bits");
+        }
+    }
+
+    #[test]
+    fn server_can_compute_on_transciphered_data() {
+        // The whole point of HHE: after transciphering the server holds
+        // ordinary FHE ciphertexts it can compute on.
+        let w = setup();
+        let message = vec![100u64, 200, 300, 400];
+        let pasta_ct = w.client.encrypt(8, &message).unwrap();
+        let fhe_cts = w.server.transcipher(&w.ctx, &pasta_ct).unwrap();
+        // Server-side: sum all elements homomorphically.
+        let mut acc = fhe_cts[0].clone();
+        for ct in &fhe_cts[1..] {
+            acc = w.ctx.add(&acc, ct).unwrap();
+        }
+        assert_eq!(w.ctx.decrypt(&w.fhe_sk, &acc).scalar(), 1_000);
+    }
+
+    #[test]
+    fn wrong_key_length_rejected() {
+        let w = setup();
+        let short = EncryptedPastaKey {
+            elements: w.server.encrypted_key.elements[..3].to_vec(),
+        };
+        let params = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sk = w.ctx.generate_secret_key(&mut rng);
+        let rk = w.ctx.generate_relin_key(&sk, &mut rng);
+        assert!(matches!(HheServer::new(params, rk, short), Err(FheError::Incompatible(_))));
+    }
+}

@@ -1,0 +1,296 @@
+//! FPGA resource model (paper Tab. I and Fig. 7).
+//!
+//! Vivado synthesis is not available in this environment, so the FPGA
+//! cost is reproduced by a *parametric model* calibrated to the paper's
+//! four reported design points on the Artix-7 AC701 (`xc7a200t`):
+//!
+//! | design        | LUT    | FF     | DSP |
+//! |---------------|--------|--------|-----|
+//! | PASTA-3, ω=17 | 65,468 | 36,275 | 256 |
+//! | PASTA-4, ω=17 | 23,736 | 11,132 | 64  |
+//! | PASTA-4, ω=33 | 42,330 | 20,783 | 256 |
+//! | PASTA-4, ω=54 | 67,324 | 32,711 | 576 |
+//!
+//! The model is structural where structure determines the number exactly —
+//! DSPs are `2t · ⌈ω/18⌉²` (two sets of `t` multipliers, 18-bit limb
+//! tiling on the DSP48E1), which reproduces the entire DSP column with
+//! zero error — and interpolated where it cannot be (LUT/FF split into a
+//! `t`-independent base `K` plus a per-lane cost `u(ω)` fitted through the
+//! three ω anchor points). The design uses no BRAM/URAM (Tab. I note).
+
+use pasta_core::params::PastaParams;
+
+/// Artix-7 AC701 (`xc7a200tfbg676-2`) capacities, for utilization
+/// percentages (§IV.A ❶).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpgaDevice {
+    /// Look-up tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// DSP slices.
+    pub dsps: u64,
+    /// 36 kb block RAMs.
+    pub brams: u64,
+}
+
+/// The paper's target FPGA: Artix-7 AC701.
+pub const ARTIX7_AC701: FpgaDevice =
+    FpgaDevice { luts: 134_000, ffs: 269_000, dsps: 740, brams: 365 };
+
+/// An FPGA resource estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpgaArea {
+    /// Look-up tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// DSP slices.
+    pub dsps: u64,
+    /// Block RAMs (always 0 for this design, Tab. I).
+    pub brams: u64,
+}
+
+impl FpgaArea {
+    /// Utilization percentages on a device, `(lut%, ff%, dsp%)`.
+    #[must_use]
+    pub fn utilization(&self, device: &FpgaDevice) -> (f64, f64, f64) {
+        (
+            self.luts as f64 / device.luts as f64 * 100.0,
+            self.ffs as f64 / device.ffs as f64 * 100.0,
+            self.dsps as f64 / device.dsps as f64 * 100.0,
+        )
+    }
+}
+
+/// DSP slices per modular multiplier: `⌈ω/18⌉²` limb tiling.
+#[must_use]
+pub fn dsps_per_multiplier(omega: u32) -> u64 {
+    let limbs = u64::from(omega.div_ceil(18));
+    limbs * limbs
+}
+
+/// LUT-per-lane cost `u(ω)` from the Tab. I anchors (piecewise-linear).
+fn lut_per_lane(omega: u32) -> f64 {
+    // Anchors: u(17) = 434.7, u(33) = 1015.8, u(54) = 1796.9 derived from
+    // Tab. I with K_lut = 9,826 (see module docs).
+    interpolate(omega, &[(17, 434.7), (33, 1_015.8), (54, 1_796.9)])
+}
+
+/// FF-per-lane cost from the Tab. I anchors.
+fn ff_per_lane(omega: u32) -> f64 {
+    // Anchors: u(17) = 261.9, u(33) = 563.5, u(54) = 936.3 with K_ff = 2,751.
+    interpolate(omega, &[(17, 261.9), (33, 563.5), (54, 936.3)])
+}
+
+/// `t`-independent base cost (Keccak core with its two 1,600-bit buffers,
+/// sampler, control FSM).
+const K_LUT: f64 = 9_826.0;
+const K_FF: f64 = 2_751.0;
+
+fn interpolate(omega: u32, anchors: &[(u32, f64)]) -> f64 {
+    let x = f64::from(omega);
+    if omega <= anchors[0].0 {
+        // Scale below the first anchor proportionally to ω.
+        return anchors[0].1 * x / f64::from(anchors[0].0);
+    }
+    for pair in anchors.windows(2) {
+        let (x0, y0) = (f64::from(pair[0].0), pair[0].1);
+        let (x1, y1) = (f64::from(pair[1].0), pair[1].1);
+        if x <= x1 {
+            return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+        }
+    }
+    // Extrapolate beyond the last anchor on the final segment slope.
+    let (x0, y0) = (f64::from(anchors[anchors.len() - 2].0), anchors[anchors.len() - 2].1);
+    let (x1, y1) = (f64::from(anchors[anchors.len() - 1].0), anchors[anchors.len() - 1].1);
+    y1 + (y1 - y0) * (x - x1) / (x1 - x0)
+}
+
+/// Estimates the FPGA resources of the cryptoprocessor for a parameter
+/// set.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::PastaParams;
+/// use pasta_hw::area::estimate_fpga;
+/// let a = estimate_fpga(&PastaParams::pasta4_17bit());
+/// assert_eq!(a.dsps, 64); // Tab. I
+/// assert_eq!(a.brams, 0); // the design needs no BRAM
+/// ```
+#[must_use]
+pub fn estimate_fpga(params: &PastaParams) -> FpgaArea {
+    let t = params.t() as f64;
+    let omega = params.modulus().bits();
+    FpgaArea {
+        luts: (K_LUT + t * lut_per_lane(omega)).round() as u64,
+        ffs: (K_FF + t * ff_per_lane(omega)).round() as u64,
+        dsps: 2 * params.t() as u64 * dsps_per_multiplier(omega),
+        brams: 0,
+    }
+}
+
+/// A named module share of the total area (Fig. 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleShare {
+    /// Module name as in Fig. 7.
+    pub name: &'static str,
+    /// Fraction of total area (0..1).
+    pub fraction: f64,
+}
+
+/// Module-wise FPGA area distribution (Fig. 7, first pie).
+///
+/// Transcribed from the paper's figure: MatGen dominates at 33.3%,
+/// followed by the SHAKE-based DataGen and the modular multipliers.
+#[must_use]
+pub fn fpga_breakdown() -> Vec<ModuleShare> {
+    vec![
+        ModuleShare { name: "MatGen", fraction: 0.333 },
+        ModuleShare { name: "DataGen (SHAKE)", fraction: 0.174 },
+        ModuleShare { name: "ModMul", fraction: 0.162 },
+        ModuleShare { name: "ModAdd", fraction: 0.095 },
+        ModuleShare { name: "MixCol", fraction: 0.048 },
+        ModuleShare { name: "Remaining", fraction: 0.188 },
+    ]
+}
+
+/// Module-wise ASIC area distribution (Fig. 7, second pie).
+#[must_use]
+pub fn asic_breakdown() -> Vec<ModuleShare> {
+    vec![
+        ModuleShare { name: "MatGen", fraction: 0.211 },
+        ModuleShare { name: "DataGen (SHAKE)", fraction: 0.192 },
+        ModuleShare { name: "ModMul", fraction: 0.154 },
+        ModuleShare { name: "ModAdd", fraction: 0.091 },
+        ModuleShare { name: "MixCol", fraction: 0.082 },
+        ModuleShare { name: "Remaining", fraction: 0.270 },
+    ]
+}
+
+/// The four Tab. I design points with the paper's reported values, for
+/// validation and for the `table1_fpga_area` bench binary.
+#[must_use]
+pub fn table1_reference() -> Vec<(PastaParams, FpgaArea)> {
+    vec![
+        (
+            PastaParams::pasta3_17bit(),
+            FpgaArea { luts: 65_468, ffs: 36_275, dsps: 256, brams: 0 },
+        ),
+        (
+            PastaParams::pasta4_17bit(),
+            FpgaArea { luts: 23_736, ffs: 11_132, dsps: 64, brams: 0 },
+        ),
+        (
+            PastaParams::pasta4_33bit(),
+            FpgaArea { luts: 42_330, ffs: 20_783, dsps: 256, brams: 0 },
+        ),
+        (
+            PastaParams::pasta4_54bit(),
+            FpgaArea { luts: 67_324, ffs: 32_711, dsps: 576, brams: 0 },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_core::PastaParams;
+
+    #[test]
+    fn dsp_column_reproduced_exactly() {
+        for (params, reference) in table1_reference() {
+            assert_eq!(
+                estimate_fpga(&params).dsps,
+                reference.dsps,
+                "DSP count for {params}"
+            );
+        }
+    }
+
+    #[test]
+    fn lut_ff_within_one_percent_of_table1() {
+        for (params, reference) in table1_reference() {
+            let est = estimate_fpga(&params);
+            let lut_err = (est.luts as f64 - reference.luts as f64).abs() / reference.luts as f64;
+            let ff_err = (est.ffs as f64 - reference.ffs as f64).abs() / reference.ffs as f64;
+            assert!(lut_err < 0.01, "{params}: LUT {} vs {} ({lut_err:.4})", est.luts, reference.luts);
+            assert!(ff_err < 0.01, "{params}: FF {} vs {} ({ff_err:.4})", est.ffs, reference.ffs);
+        }
+    }
+
+    #[test]
+    fn no_brams_needed() {
+        for (params, _) in table1_reference() {
+            assert_eq!(estimate_fpga(&params).brams, 0);
+        }
+    }
+
+    #[test]
+    fn utilization_matches_table1_percentages() {
+        // Tab. I: PASTA-4 ω=17 = 18% LUT, 4% FF, 9% DSP on the AC701.
+        let a = estimate_fpga(&PastaParams::pasta4_17bit());
+        let (lut, ff, dsp) = a.utilization(&ARTIX7_AC701);
+        assert!((lut - 18.0).abs() < 1.0, "LUT% = {lut}");
+        assert!((ff - 4.0).abs() < 1.0, "FF% = {ff}");
+        assert!((dsp - 9.0).abs() < 1.0, "DSP% = {dsp}");
+        // PASTA-4 ω=54 = 50% LUT, 12% FF, 78% DSP.
+        let a54 = estimate_fpga(&PastaParams::pasta4_54bit());
+        let (lut, ff, dsp) = a54.utilization(&ARTIX7_AC701);
+        assert!((lut - 50.0).abs() < 1.5, "LUT% = {lut}");
+        assert!((ff - 12.0).abs() < 1.0, "FF% = {ff}");
+        assert!((dsp - 78.0).abs() < 1.0, "DSP% = {dsp}");
+    }
+
+    #[test]
+    fn pasta3_is_about_3x_pasta4_area() {
+        // §IV.B comparison: "PASTA-3 consumes approximately 3× more area".
+        let p3 = estimate_fpga(&PastaParams::pasta3_17bit());
+        let p4 = estimate_fpga(&PastaParams::pasta4_17bit());
+        let ratio = p3.luts as f64 / p4.luts as f64;
+        assert!(ratio > 2.5 && ratio < 3.2, "LUT ratio = {ratio}");
+        assert_eq!(p3.dsps / p4.dsps, 4, "DSP scales with t exactly");
+    }
+
+    #[test]
+    fn breakdowns_sum_to_one() {
+        for shares in [fpga_breakdown(), asic_breakdown()] {
+            let total: f64 = shares.iter().map(|s| s.fraction).sum();
+            assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+        }
+    }
+
+    #[test]
+    fn matgen_dominates_fpga_area() {
+        // Fig. 7 headline: MatGen is the largest module on FPGA (33.3%).
+        let shares = fpga_breakdown();
+        let max = shares.iter().max_by(|a, b| a.fraction.total_cmp(&b.fraction)).unwrap();
+        assert_eq!(max.name, "MatGen");
+    }
+
+    #[test]
+    fn dsp_tiling_model() {
+        assert_eq!(dsps_per_multiplier(17), 1);
+        assert_eq!(dsps_per_multiplier(18), 1);
+        assert_eq!(dsps_per_multiplier(19), 4);
+        assert_eq!(dsps_per_multiplier(33), 4);
+        assert_eq!(dsps_per_multiplier(54), 9);
+        assert_eq!(dsps_per_multiplier(60), 16);
+    }
+
+    #[test]
+    fn custom_width_interpolation_monotone() {
+        use pasta_math::Modulus;
+        let mut last = 0u64;
+        for bits in [17u32, 20, 25, 33, 40, 54, 60] {
+            let m = Modulus::find_structured_prime(bits)
+                .or_else(|_| Modulus::find_ntt_prime(bits, 4))
+                .unwrap();
+            let params = PastaParams::custom(32, 4, m).unwrap();
+            let a = estimate_fpga(&params);
+            assert!(a.luts > last, "LUTs must grow with ω (bits={bits})");
+            last = a.luts;
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! ASIC area and power model (paper §IV.A ❷/❸).
+//!
+//! Cadence Genus synthesis on TSMC 28nm and ASAP7 7nm is replaced by an
+//! anchored scaling model:
+//!
+//! - PASTA-4, ω = 17 at 1 GHz: **0.24 mm²** (28nm) and **0.03 mm²** (7nm),
+//!   maximum power **1.2 W**;
+//! - doubling the bit width to 33/54 bits multiplies the area by ≈2.1×
+//!   and ≈4.3× ("Bitlength Comparison");
+//! - PASTA-3 consumes ≈3× the PASTA-4 area (§IV.B);
+//! - the RISC-V SoC peripheral occupies **1.8 mm²** on 130nm
+//!   (4.6 mm² including the Ibex core) at 100 MHz.
+
+use pasta_core::params::{PastaParams, Variant};
+
+/// A silicon technology node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechNode {
+    /// ASAP7 predictive 7nm.
+    Asap7,
+    /// TSMC 28nm.
+    Tsmc28,
+    /// 65nm (older node used for the SoC discussion).
+    Node65,
+    /// 130nm (the low-end SoC node).
+    Node130,
+}
+
+impl TechNode {
+    /// Anchor area in mm² for the PASTA-4 ω=17 accelerator on this node.
+    #[must_use]
+    pub fn base_area_mm2(&self) -> f64 {
+        match self {
+            // §IV.A ❷ anchors.
+            TechNode::Asap7 => 0.03,
+            TechNode::Tsmc28 => 0.24,
+            // §IV.A ❸: the 130nm peripheral is 1.8 mm²; 65nm scaled by
+            // the squared feature-size ratio.
+            TechNode::Node130 => 1.8,
+            TechNode::Node65 => 1.8 * (65.0 / 130.0) * (65.0 / 130.0),
+        }
+    }
+
+    /// Nominal clock target on this node (§IV.A: 1 GHz for 28/7nm,
+    /// 100 MHz for the low-power SoC nodes).
+    #[must_use]
+    pub fn clock_mhz(&self) -> f64 {
+        match self {
+            TechNode::Asap7 | TechNode::Tsmc28 => 1_000.0,
+            TechNode::Node65 | TechNode::Node130 => 100.0,
+        }
+    }
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TechNode::Asap7 => "7nm (ASAP7)",
+            TechNode::Tsmc28 => "28nm (TSMC)",
+            TechNode::Node65 => "65nm",
+            TechNode::Node130 => "130nm",
+        }
+    }
+}
+
+/// Area scaling with modulus width: ≈1× at 17 bits, ≈2.1× at 33,
+/// ≈4.3× at 54 (paper "Bitlength Comparison"), linearly interpolated.
+#[must_use]
+pub fn width_factor(omega: u32) -> f64 {
+    let anchors = [(17u32, 1.0f64), (33, 2.1), (54, 4.3)];
+    let x = f64::from(omega);
+    if omega <= 17 {
+        return x / 17.0;
+    }
+    for pair in anchors.windows(2) {
+        let (x0, y0) = (f64::from(pair[0].0), pair[0].1);
+        let (x1, y1) = (f64::from(pair[1].0), pair[1].1);
+        if x <= x1 {
+            return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+        }
+    }
+    4.3 * x / 54.0
+}
+
+/// Variant area factor: PASTA-3 ≈ 3× PASTA-4 (§IV.B); custom variants
+/// scale with `t` relative to PASTA-4's 32 lanes (the lane-parallel units
+/// dominate).
+#[must_use]
+pub fn variant_factor(params: &PastaParams) -> f64 {
+    match params.variant() {
+        Variant::Pasta4 => 1.0,
+        Variant::Pasta3 => 3.0,
+        Variant::Custom => {
+            // Lane-dominated scaling with a fixed Keccak/control floor.
+            let lanes = params.t() as f64 / 32.0;
+            0.25 + 0.75 * lanes
+        }
+    }
+}
+
+/// An ASIC estimate for a design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsicEstimate {
+    /// Technology node.
+    pub node: TechNode,
+    /// Core area in mm².
+    pub area_mm2: f64,
+    /// Maximum power in W at the node's nominal clock.
+    pub power_w: f64,
+    /// Nominal clock in MHz.
+    pub clock_mhz: f64,
+}
+
+/// Maximum power anchor: 1.2 W for PASTA-4 ω=17 at 1 GHz on 28nm.
+const POWER_ANCHOR_W: f64 = 1.2;
+
+/// Estimates area and power for a parameter set on a node.
+///
+/// Power scales with area (switching capacitance) and clock frequency
+/// relative to the 28nm anchor; the 7nm node gets a 0.35× capacitance
+/// credit (typical 28→7nm dynamic-power scaling).
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::PastaParams;
+/// use pasta_hw::asic::{estimate_asic, TechNode};
+/// let e = estimate_asic(&PastaParams::pasta4_17bit(), TechNode::Tsmc28);
+/// assert!((e.area_mm2 - 0.24).abs() < 1e-9);
+/// assert!((e.power_w - 1.2).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn estimate_asic(params: &PastaParams, node: TechNode) -> AsicEstimate {
+    let area = node.base_area_mm2()
+        * width_factor(params.modulus().bits())
+        * variant_factor(params);
+    let area_ratio = area / TechNode::Tsmc28.base_area_mm2();
+    let freq_ratio = node.clock_mhz() / 1_000.0;
+    let node_power_credit = match node {
+        TechNode::Asap7 => 0.35 / (TechNode::Asap7.base_area_mm2() / TechNode::Tsmc28.base_area_mm2()),
+        _ => 1.0,
+    };
+    AsicEstimate {
+        node,
+        area_mm2: area,
+        power_w: POWER_ANCHOR_W * area_ratio * freq_ratio * node_power_credit,
+        clock_mhz: node.clock_mhz(),
+    }
+}
+
+/// SoC-level area on 130nm: peripheral + Ibex core (§IV.A ❸: "1.8 mm²
+/// (4.6 mm² with Ibex core)").
+#[must_use]
+pub fn soc_area_mm2(params: &PastaParams) -> (f64, f64) {
+    let peripheral = estimate_asic(params, TechNode::Node130).area_mm2;
+    const IBEX_AND_UNCORE_MM2: f64 = 4.6 - 1.8;
+    (peripheral, peripheral + IBEX_AND_UNCORE_MM2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_core::PastaParams;
+
+    #[test]
+    fn anchors_reproduced() {
+        let p4 = PastaParams::pasta4_17bit();
+        assert!((estimate_asic(&p4, TechNode::Tsmc28).area_mm2 - 0.24).abs() < 1e-12);
+        assert!((estimate_asic(&p4, TechNode::Asap7).area_mm2 - 0.03).abs() < 1e-12);
+        assert!((estimate_asic(&p4, TechNode::Node130).area_mm2 - 1.8).abs() < 1e-12);
+        assert!((estimate_asic(&p4, TechNode::Tsmc28).power_w - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn width_scaling_matches_paper() {
+        assert!((width_factor(17) - 1.0).abs() < 1e-12);
+        assert!((width_factor(33) - 2.1).abs() < 1e-12);
+        assert!((width_factor(54) - 4.3).abs() < 1e-12);
+        let p33 = estimate_asic(&PastaParams::pasta4_33bit(), TechNode::Tsmc28);
+        assert!((p33.area_mm2 - 0.24 * 2.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pasta3_is_3x() {
+        let p3 = estimate_asic(&PastaParams::pasta3_17bit(), TechNode::Tsmc28);
+        let p4 = estimate_asic(&PastaParams::pasta4_17bit(), TechNode::Tsmc28);
+        assert!((p3.area_mm2 / p4.area_mm2 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn soc_totals() {
+        let (peripheral, total) = soc_area_mm2(&PastaParams::pasta4_17bit());
+        assert!((peripheral - 1.8).abs() < 1e-9);
+        assert!((total - 4.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_stays_within_paper_envelope() {
+        // "The maximum power consumed by the design is 1.2W" — no design
+        // point at the paper's widths/variants should exceed it except
+        // wider/bigger configurations.
+        for params in [PastaParams::pasta4_17bit()] {
+            for node in [TechNode::Asap7, TechNode::Tsmc28, TechNode::Node130, TechNode::Node65] {
+                let e = estimate_asic(&params, node);
+                assert!(e.power_w <= 1.2 + 1e-9, "{:?}: {} W", node, e.power_w);
+            }
+        }
+    }
+
+    #[test]
+    fn custom_variant_scales_with_t() {
+        use pasta_math::Modulus;
+        let small = PastaParams::custom(16, 4, Modulus::PASTA_17_BIT).unwrap();
+        let big = PastaParams::custom(64, 4, Modulus::PASTA_17_BIT).unwrap();
+        let a_small = estimate_asic(&small, TechNode::Tsmc28).area_mm2;
+        let a_big = estimate_asic(&big, TechNode::Tsmc28).area_mm2;
+        assert!(a_small < 0.24 && a_big > 0.24);
+    }
+
+    #[test]
+    fn node_65_between_28_and_130() {
+        let p4 = PastaParams::pasta4_17bit();
+        let a28 = estimate_asic(&p4, TechNode::Tsmc28).area_mm2;
+        let a65 = estimate_asic(&p4, TechNode::Node65).area_mm2;
+        let a130 = estimate_asic(&p4, TechNode::Node130).area_mm2;
+        assert!(a28 < a65 && a65 < a130);
+    }
+}

@@ -1,0 +1,350 @@
+//! Fault injection and countermeasure analysis.
+//!
+//! The paper's future scope (§VI) asks to "analyze the effect of adding
+//! countermeasures against side-channel or fault analysis \[30\]" — \[30\]
+//! being SASTA, which breaks HHE schemes with a *single* fault in the
+//! final rounds. This module provides:
+//!
+//! - a fault injector over the block computation (targets: XOF-derived
+//!   material, intermediate state, the truncated keystream), modelling
+//!   transient datapath faults at the value level;
+//! - countermeasures with cycle-cost models derived from the
+//!   cycle-accurate simulator:
+//!   - **full temporal redundancy** — compute the block twice and
+//!     compare (≈2× latency, detects any single transient fault);
+//!   - **material redundancy** — recompute only the XOF expansion and
+//!     compare (the material is *public and deterministic*, so this
+//!     needs no secrets; it covers DataGen faults at ≈1.97× latency for
+//!     PASTA-4, since the XOF dominates the schedule);
+//!   - **arithmetic redundancy** — duplicate only the MatGen/MatMul/
+//!     vector datapath while streaming the XOF once (covers arithmetic
+//!     faults at only ≈1.03× latency, because arithmetic hides under the
+//!     XOF anyway — the interesting asymmetry this analysis surfaces).
+
+use crate::processor::PastaProcessor;
+use pasta_core::params::{PastaError, PastaParams};
+use pasta_core::permutation::{derive_block_material, permute_with_trace, BlockMaterial};
+use pasta_core::SecretKey;
+
+/// Where a single transient fault strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// A coefficient of a matrix seed row (DataGen output).
+    MatrixSeed {
+        /// Affine layer index.
+        layer: usize,
+        /// Left (`false` = right) half.
+        left: bool,
+        /// Coefficient index within the seed row.
+        index: usize,
+    },
+    /// A coefficient of a round constant vector.
+    RoundConstant {
+        /// Affine layer index.
+        layer: usize,
+        /// Left (`false` = right) half.
+        left: bool,
+        /// Coefficient index.
+        index: usize,
+    },
+    /// An element of the final keystream (output register fault).
+    KeystreamElement {
+        /// Element index within the block.
+        index: usize,
+    },
+}
+
+/// A single transient fault: XOR `mask` into the targeted value
+/// (reduced back into the field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The fault location.
+    pub target: FaultTarget,
+    /// The XOR difference injected.
+    pub mask: u64,
+}
+
+/// Applies a fault to the public block material (DataGen-side faults).
+fn fault_material(params: &PastaParams, material: &mut BlockMaterial, fault: &FaultSpec) {
+    let p = params.modulus().value();
+    match fault.target {
+        FaultTarget::MatrixSeed { layer, left, index } => {
+            let layer = &mut material.layers[layer];
+            let seed = if left { &mut layer.seed_left } else { &mut layer.seed_right };
+            seed[index] = (seed[index] ^ fault.mask) % p;
+            if index == 0 && seed[0] == 0 {
+                seed[0] = 1; // keep the generator's invariant; still a fault
+            }
+        }
+        FaultTarget::RoundConstant { layer, left, index } => {
+            let layer = &mut material.layers[layer];
+            let rc = if left { &mut layer.rc_left } else { &mut layer.rc_right };
+            rc[index] = (rc[index] ^ fault.mask) % p;
+        }
+        FaultTarget::KeystreamElement { .. } => {}
+    }
+}
+
+/// Computes the keystream of one block with a transient fault injected.
+///
+/// # Errors
+///
+/// Propagates [`PastaError`] for invalid keys.
+///
+/// # Panics
+///
+/// Panics if the fault indices are out of range for the parameter set.
+pub fn faulty_keystream(
+    params: &PastaParams,
+    key: &SecretKey,
+    nonce: u128,
+    counter: u64,
+    fault: &FaultSpec,
+) -> Result<Vec<u64>, PastaError> {
+    let mut material = derive_block_material(params, nonce, counter);
+    fault_material(params, &mut material, fault);
+    let mut ks = permute_with_trace(params, key.elements(), &material)?.keystream;
+    if let FaultTarget::KeystreamElement { index } = fault.target {
+        let p = params.modulus().value();
+        ks[index] = (ks[index] ^ fault.mask) % p;
+    }
+    Ok(ks)
+}
+
+/// A fault countermeasure with its detection scope and cycle cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Countermeasure {
+    /// No protection.
+    None,
+    /// Compute the whole block twice and compare the keystreams.
+    FullTemporalRedundancy,
+    /// Recompute the XOF expansion and compare the sampled material
+    /// (public-data integrity; covers DataGen/sampler faults only).
+    MaterialRedundancy,
+    /// Duplicate the arithmetic datapath (MatGen/MatMul/vector units)
+    /// against one shared XOF stream (covers arithmetic faults only).
+    ArithmeticRedundancy,
+}
+
+impl Countermeasure {
+    /// Whether the countermeasure detects a fault at `target` (transient,
+    /// i.e. it does not recur identically in the redundant computation).
+    #[must_use]
+    pub fn detects(&self, target: &FaultTarget) -> bool {
+        match self {
+            Countermeasure::None => false,
+            Countermeasure::FullTemporalRedundancy => true,
+            Countermeasure::MaterialRedundancy => matches!(
+                target,
+                FaultTarget::MatrixSeed { .. } | FaultTarget::RoundConstant { .. }
+            ),
+            Countermeasure::ArithmeticRedundancy => {
+                matches!(target, FaultTarget::KeystreamElement { .. })
+            }
+        }
+    }
+
+    /// Latency overhead factor, measured against the cycle-accurate
+    /// simulator's unprotected block latency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (none for valid keys).
+    pub fn overhead_factor(
+        &self,
+        params: &PastaParams,
+        key: &SecretKey,
+    ) -> Result<f64, PastaError> {
+        let proc = PastaProcessor::new(*params);
+        let base = proc.keystream_block(key, 0xFA17, 0)?.cycles;
+        let comparison_cycles = 3.0; // t-wide comparator, pipelined
+        let total = base.total as f64;
+        Ok(match self {
+            Countermeasure::None => 1.0,
+            // Re-run everything, then compare.
+            Countermeasure::FullTemporalRedundancy => (2.0 * total + comparison_cycles) / total,
+            // Re-run the XOF+sampling span only; arithmetic of the second
+            // pass is not needed (material equality implies the inputs to
+            // the arithmetic were correct).
+            Countermeasure::MaterialRedundancy => {
+                (total + base.xof_last_word as f64 + comparison_cycles) / total
+            }
+            // Second arithmetic datapath works in lockstep off the same
+            // XOF stream: only the final comparison is added.
+            Countermeasure::ArithmeticRedundancy => (total + comparison_cycles) / total,
+        })
+    }
+
+    /// Area overhead factor, from the Fig. 7 module shares: duplicating a
+    /// subset of modules costs their combined share again.
+    #[must_use]
+    pub fn area_factor(&self) -> f64 {
+        // Fig. 7 FPGA shares (see pasta_hw::area::fpga_breakdown).
+        let arithmetic = 0.333 + 0.162 + 0.095 + 0.048; // MatGen+Mul+Add+Mix
+        let datagen = 0.174;
+        match self {
+            Countermeasure::None => 1.0,
+            // Temporal redundancy reuses the same hardware.
+            Countermeasure::FullTemporalRedundancy => 1.0,
+            Countermeasure::MaterialRedundancy => 1.0 + datagen,
+            Countermeasure::ArithmeticRedundancy => 1.0 + arithmetic,
+        }
+    }
+}
+
+/// Runs a protected block computation: returns the keystream if accepted,
+/// or `None` if the countermeasure detected the (simulated) fault.
+///
+/// # Errors
+///
+/// Propagates [`PastaError`] for invalid keys.
+pub fn protected_keystream(
+    params: &PastaParams,
+    key: &SecretKey,
+    nonce: u128,
+    counter: u64,
+    fault: Option<&FaultSpec>,
+    countermeasure: Countermeasure,
+) -> Result<Option<Vec<u64>>, PastaError> {
+    let clean = pasta_core::permute(params, key.elements(), nonce, counter)?;
+    let Some(fault) = fault else {
+        return Ok(Some(clean)); // no fault: every countermeasure accepts
+    };
+    let faulted = faulty_keystream(params, key, nonce, counter, fault)?;
+    if countermeasure.detects(&fault.target) {
+        // The redundant computation (unfaulted — transient model)
+        // disagrees, so the block is rejected.
+        Ok(None)
+    } else {
+        Ok(Some(faulted))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_core::permute;
+
+    fn setup() -> (PastaParams, SecretKey) {
+        let params = PastaParams::pasta4_17bit();
+        (params, SecretKey::from_seed(&params, b"fault"))
+    }
+
+    #[test]
+    fn faults_corrupt_the_keystream() {
+        let (params, key) = setup();
+        let clean = permute(&params, key.elements(), 1, 0).unwrap();
+        for target in [
+            FaultTarget::MatrixSeed { layer: 0, left: true, index: 3 },
+            FaultTarget::RoundConstant { layer: 2, left: false, index: 7 },
+            FaultTarget::KeystreamElement { index: 5 },
+        ] {
+            let fault = FaultSpec { target, mask: 0x55 };
+            let faulted = faulty_keystream(&params, &key, 1, 0, &fault).unwrap();
+            assert_ne!(faulted, clean, "{target:?} must corrupt the keystream");
+        }
+    }
+
+    #[test]
+    fn matrix_seed_fault_diffuses_widely() {
+        // A single seed fault perturbs the whole matrix (every row depends
+        // on α), so almost all keystream elements change — the avalanche
+        // SASTA exploits.
+        let (params, key) = setup();
+        let clean = permute(&params, key.elements(), 2, 0).unwrap();
+        let fault = FaultSpec {
+            target: FaultTarget::MatrixSeed { layer: 0, left: true, index: 0 },
+            mask: 2,
+        };
+        let faulted = faulty_keystream(&params, &key, 2, 0, &fault).unwrap();
+        let differing = clean.iter().zip(faulted.iter()).filter(|(a, b)| a != b).count();
+        assert!(differing >= 30, "only {differing}/32 elements changed");
+    }
+
+    #[test]
+    fn late_round_constant_fault_is_local_before_truncation() {
+        // A fault in the FINAL affine layer's round constant changes
+        // exactly one keystream element — the low-diffusion window SASTA
+        // targets.
+        let (params, key) = setup();
+        let clean = permute(&params, key.elements(), 3, 0).unwrap();
+        let fault = FaultSpec {
+            target: FaultTarget::RoundConstant { layer: 4, left: true, index: 9 },
+            mask: 0xFF,
+        };
+        let faulted = faulty_keystream(&params, &key, 3, 0, &fault).unwrap();
+        let differing: Vec<usize> = (0..32).filter(|&i| clean[i] != faulted[i]).collect();
+        assert_eq!(differing, vec![9], "final-layer RC fault must stay local");
+    }
+
+    #[test]
+    fn detection_coverage_matrix() {
+        let targets = [
+            FaultTarget::MatrixSeed { layer: 1, left: true, index: 2 },
+            FaultTarget::RoundConstant { layer: 1, left: false, index: 2 },
+            FaultTarget::KeystreamElement { index: 0 },
+        ];
+        for target in targets {
+            assert!(!Countermeasure::None.detects(&target));
+            assert!(Countermeasure::FullTemporalRedundancy.detects(&target));
+        }
+        assert!(Countermeasure::MaterialRedundancy.detects(&targets[0]));
+        assert!(Countermeasure::MaterialRedundancy.detects(&targets[1]));
+        assert!(!Countermeasure::MaterialRedundancy.detects(&targets[2]));
+        assert!(!Countermeasure::ArithmeticRedundancy.detects(&targets[0]));
+        assert!(Countermeasure::ArithmeticRedundancy.detects(&targets[2]));
+    }
+
+    #[test]
+    fn protected_pipeline_accepts_clean_and_rejects_faulted() {
+        let (params, key) = setup();
+        let clean = permute(&params, key.elements(), 4, 0).unwrap();
+        // Clean run is accepted.
+        let ok = protected_keystream(&params, &key, 4, 0, None, Countermeasure::FullTemporalRedundancy)
+            .unwrap();
+        assert_eq!(ok, Some(clean.clone()));
+        // Faulted run is rejected by a covering countermeasure…
+        let fault = FaultSpec {
+            target: FaultTarget::MatrixSeed { layer: 0, left: true, index: 1 },
+            mask: 2,
+        };
+        let rejected =
+            protected_keystream(&params, &key, 4, 0, Some(&fault), Countermeasure::MaterialRedundancy)
+                .unwrap();
+        assert_eq!(rejected, None);
+        // …but slips past a non-covering one.
+        let slipped = protected_keystream(
+            &params,
+            &key,
+            4,
+            0,
+            Some(&fault),
+            Countermeasure::ArithmeticRedundancy,
+        )
+        .unwrap();
+        assert!(slipped.is_some());
+        assert_ne!(slipped.unwrap(), clean);
+    }
+
+    #[test]
+    fn overhead_asymmetry() {
+        // The XOF dominates the schedule, so protecting the arithmetic is
+        // nearly free while protecting the material nearly doubles time.
+        let (params, key) = setup();
+        let full = Countermeasure::FullTemporalRedundancy.overhead_factor(&params, &key).unwrap();
+        let material = Countermeasure::MaterialRedundancy.overhead_factor(&params, &key).unwrap();
+        let arith = Countermeasure::ArithmeticRedundancy.overhead_factor(&params, &key).unwrap();
+        assert!((full - 2.0).abs() < 0.01, "full redundancy {full}");
+        assert!(material > 1.9 && material < 2.0, "material redundancy {material}");
+        assert!(arith < 1.01, "arithmetic redundancy {arith}");
+        assert_eq!(Countermeasure::None.overhead_factor(&params, &key).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn area_overheads_from_fig7() {
+        assert_eq!(Countermeasure::None.area_factor(), 1.0);
+        assert_eq!(Countermeasure::FullTemporalRedundancy.area_factor(), 1.0);
+        assert!((Countermeasure::MaterialRedundancy.area_factor() - 1.174).abs() < 1e-9);
+        assert!((Countermeasure::ArithmeticRedundancy.area_factor() - 1.638).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,57 @@
+//! Cycle-accurate model of the PASTA-on-Edge cryptoprocessor.
+//!
+//! This crate is the systems half of the reproduction: a unit-level,
+//! cycle-stepped simulator of the hardware design in the paper's
+//! Figs. 3–6, together with the FPGA/ASIC cost models that regenerate
+//! Tab. I, Tab. II, Tab. III and Fig. 7.
+//!
+//! - [`units::xof`]: the SHAKE128 core with the squeeze-parallel timing
+//!   (24-cycle permutations hidden behind 21-word squeeze windows plus a
+//!   5-cycle gap) and the naive baseline;
+//! - [`units::datagen`]: rejection sampling + ping-pong vector assembly;
+//! - [`units::adder_tree`]: the pipelined `⌈log2 t⌉`-level adder tree,
+//!   modelled register-by-register;
+//! - [`units::affine`]: the MatGen MAC array + MatMul multiplier array
+//!   (latency `6 + t + ⌈log2 t⌉`, two-row matrix storage);
+//! - [`units::vecunit`]: RC-add/Mix/S-box with shared adders/multipliers;
+//! - [`schedule`]: the Fig. 3 overlap schedule;
+//! - [`processor`]: the Fig. 6 top level with exact cycle accounting;
+//! - [`area`]/[`asic`]: FPGA and ASIC cost models calibrated to Tab. I and
+//!   §IV.A (the DSP column is reproduced *exactly* by `2t·⌈ω/18⌉²`);
+//! - [`perf`]: Tab. II latencies and the 857–3,439× / 43–171× headline
+//!   speedups.
+//!
+//! The simulator's keystream is bit-identical to the software cipher in
+//! `pasta-core` — the test suites of both crates enforce it.
+//!
+//! # Examples
+//!
+//! ```
+//! use pasta_core::{PastaParams, SecretKey};
+//! use pasta_hw::PastaProcessor;
+//!
+//! let params = PastaParams::pasta4_17bit();
+//! let key = SecretKey::from_seed(&params, b"doc");
+//! let result = PastaProcessor::new(params).keystream_block(&key, 1, 0)?;
+//! // Tab. II: one PASTA-4 block is ≈1,591 cycles (nonce-dependent).
+//! assert!((1_400..1_850).contains(&result.cycles.total));
+//! # Ok::<(), pasta_core::PastaError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod asic;
+pub mod fault;
+pub mod perf;
+pub mod power;
+pub mod processor;
+pub mod schedule;
+pub mod trace;
+pub mod units;
+
+pub use area::{estimate_fpga, FpgaArea};
+pub use asic::{estimate_asic, AsicEstimate, TechNode};
+pub use perf::{measure_row, PerformanceRow, Platform};
+pub use processor::{CycleBreakdown, HwBlockResult, PastaProcessor, StreamResult};

@@ -1,0 +1,244 @@
+//! Performance aggregation across evaluation platforms (paper Tab. II).
+//!
+//! The cycle counts come from the cycle-accurate simulator; this module
+//! converts them to wall-clock latencies at the paper's platform clocks
+//! and computes the headline speedups:
+//!
+//! - FPGA (Artix-7) at **75 MHz**;
+//! - ASIC (TSMC 28nm / ASAP7 7nm) at **1 GHz**;
+//! - RISC-V SoC (130nm/65nm) at **100 MHz**;
+//! - CPU baseline: Intel Xeon E5-2699 v4 at **2.2 GHz** with the cycle
+//!   counts quoted from the PASTA software \[9\].
+
+use crate::processor::PastaProcessor;
+use pasta_core::counters::{
+    REFERENCE_CPU_CYCLES_PASTA3, REFERENCE_CPU_CYCLES_PASTA4, REFERENCE_CPU_HZ,
+};
+use pasta_core::params::{PastaError, PastaParams, Variant};
+use pasta_core::SecretKey;
+
+/// The evaluation platforms of Tab. II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Artix-7 AC701 at 75 MHz.
+    Fpga,
+    /// 28nm/7nm ASIC at 1 GHz.
+    Asic,
+    /// RISC-V SoC on 130nm/65nm at 100 MHz.
+    RiscVSoc,
+}
+
+impl Platform {
+    /// Clock frequency in MHz (§IV.A).
+    #[must_use]
+    pub fn clock_mhz(&self) -> f64 {
+        match self {
+            Platform::Fpga => 75.0,
+            Platform::Asic => 1_000.0,
+            Platform::RiscVSoc => 100.0,
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Platform::Fpga => "FPGA (Artix-7, 75 MHz)",
+            Platform::Asic => "ASIC (28/7nm, 1 GHz)",
+            Platform::RiscVSoc => "RISC-V SoC (130/65nm, 100 MHz)",
+        }
+    }
+}
+
+/// Converts an accelerator cycle count to microseconds on a platform.
+#[must_use]
+pub fn cycles_to_micros(cycles: f64, platform: Platform) -> f64 {
+    cycles / platform.clock_mhz()
+}
+
+/// One Tab. II row, as measured by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerformanceRow {
+    /// Elements processed per block (`t`).
+    pub elements: usize,
+    /// Measured average clock cycles per block.
+    pub cycles: f64,
+    /// FPGA latency in µs.
+    pub fpga_us: f64,
+    /// ASIC latency in µs.
+    pub asic_us: f64,
+    /// RISC-V SoC latency in µs (pure accelerator at 100 MHz; the SoC
+    /// simulator in `pasta-soc` adds bus overheads on top).
+    pub riscv_us: f64,
+    /// Quoted CPU cycles from \[9\], if a standard variant.
+    pub cpu_reference_cycles: Option<u64>,
+}
+
+impl PerformanceRow {
+    /// Clock-cycle reduction vs the quoted CPU baseline
+    /// (Tab. II note: 857–3,439×).
+    #[must_use]
+    pub fn cycle_reduction_vs_cpu(&self) -> Option<f64> {
+        self.cpu_reference_cycles.map(|c| c as f64 / self.cycles)
+    }
+
+    /// Wall-clock speedup vs CPU at a platform clock
+    /// (§IV.C: 43–171× after the ≈20× CPU clock advantage).
+    #[must_use]
+    pub fn speedup_vs_cpu(&self, platform: Platform) -> Option<f64> {
+        let cpu_us = self.cpu_reference_cycles? as f64 / REFERENCE_CPU_HZ * 1e6;
+        let ours_us = cycles_to_micros(self.cycles, platform);
+        Some(cpu_us / ours_us)
+    }
+
+    /// Latency per encrypted element in µs (Tab. III bracket figures).
+    #[must_use]
+    pub fn per_element_us(&self, platform: Platform) -> f64 {
+        cycles_to_micros(self.cycles, platform) / self.elements as f64
+    }
+}
+
+/// Measures a Tab. II row by simulating `n` blocks.
+///
+/// # Errors
+///
+/// Propagates simulator errors (none for validated keys).
+pub fn measure_row(params: &PastaParams, n: u64) -> Result<PerformanceRow, PastaError> {
+    let key = SecretKey::from_seed(params, b"tab2-row");
+    let proc = PastaProcessor::new(*params);
+    let cycles = proc.average_cycles(&key, 0x7AB2_2024, n)?;
+    let cpu_reference_cycles = match params.variant() {
+        Variant::Pasta3 => Some(REFERENCE_CPU_CYCLES_PASTA3),
+        Variant::Pasta4 => Some(REFERENCE_CPU_CYCLES_PASTA4),
+        Variant::Custom => None,
+    };
+    Ok(PerformanceRow {
+        elements: params.t(),
+        cycles,
+        fpga_us: cycles_to_micros(cycles, Platform::Fpga),
+        asic_us: cycles_to_micros(cycles, Platform::Asic),
+        riscv_us: cycles_to_micros(cycles, Platform::RiscVSoc),
+        cpu_reference_cycles,
+    })
+}
+
+/// Paper values for Tab. II, used by the bench harness to print
+/// paper-vs-measured columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Reference {
+    /// Variant name.
+    pub name: &'static str,
+    /// Elements per block.
+    pub elements: usize,
+    /// Paper's measured hardware clock cycles.
+    pub cycles: u64,
+    /// Paper FPGA µs.
+    pub fpga_us: f64,
+    /// Paper ASIC µs.
+    pub asic_us: f64,
+    /// Paper RISC-V µs.
+    pub riscv_us: f64,
+    /// Paper's quoted CPU cycles \[9\].
+    pub cpu_cycles: u64,
+}
+
+/// Tab. II as printed in the paper.
+#[must_use]
+pub fn table2_reference() -> Vec<Table2Reference> {
+    vec![
+        Table2Reference {
+            name: "PASTA-3",
+            elements: 128,
+            cycles: 4_955,
+            fpga_us: 66.1,
+            asic_us: 4.96,
+            riscv_us: 45.5,
+            cpu_cycles: REFERENCE_CPU_CYCLES_PASTA3,
+        },
+        Table2Reference {
+            name: "PASTA-4",
+            elements: 32,
+            cycles: 1_591,
+            fpga_us: 21.2,
+            asic_us: 1.59,
+            riscv_us: 15.9,
+            cpu_cycles: REFERENCE_CPU_CYCLES_PASTA4,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table2_is_internally_consistent() {
+        // Sanity of the transcription: cycles / clock = µs columns.
+        for row in table2_reference() {
+            let fpga = row.cycles as f64 / 75.0;
+            assert!((fpga - row.fpga_us).abs() / row.fpga_us < 0.01, "{}", row.name);
+            let asic = row.cycles as f64 / 1_000.0;
+            assert!((asic - row.asic_us).abs() / row.asic_us < 0.01, "{}", row.name);
+            // Note: the paper's PASTA-3 RISC-V column (45.5 µs) does NOT
+            // equal 4,955 cc / 100 MHz = 49.6 µs — a known inconsistency
+            // we document rather than hide. PASTA-4's 15.9 µs does match.
+        }
+        let p4 = &table2_reference()[1];
+        assert!((p4.cycles as f64 / 100.0 - p4.riscv_us).abs() < 0.1);
+    }
+
+    #[test]
+    fn measured_rows_land_near_paper() {
+        for (params, reference) in [
+            (PastaParams::pasta3_17bit(), 4_955.0),
+            (PastaParams::pasta4_17bit(), 1_591.0),
+        ] {
+            let row = measure_row(&params, 8).unwrap();
+            let err = (row.cycles - reference).abs() / reference;
+            assert!(err < 0.05, "{params}: {} vs {reference} ({err:.3})", row.cycles);
+        }
+    }
+
+    #[test]
+    fn cycle_reduction_in_paper_range() {
+        // Tab. II note: "857–3,439× reduction in clock cycles".
+        let p4 = measure_row(&PastaParams::pasta4_17bit(), 8).unwrap();
+        let red4 = p4.cycle_reduction_vs_cpu().unwrap();
+        assert!(red4 > 780.0 && red4 < 900.0, "PASTA-4 reduction = {red4}");
+        let p3 = measure_row(&PastaParams::pasta3_17bit(), 8).unwrap();
+        let red3 = p3.cycle_reduction_vs_cpu().unwrap();
+        assert!(red3 > 3_100.0 && red3 < 3_600.0, "PASTA-3 reduction = {red3}");
+    }
+
+    #[test]
+    fn wall_clock_speedups_in_paper_range() {
+        // §IV.C: "a speedup of 43–171×" (RISC-V SoC at 100 MHz vs CPU) —
+        // spanning PASTA-4 (~39–43×) to PASTA-3 (~156–171×).
+        let p4 = measure_row(&PastaParams::pasta4_17bit(), 8).unwrap();
+        let s4 = p4.speedup_vs_cpu(Platform::RiscVSoc).unwrap();
+        assert!(s4 > 35.0 && s4 < 50.0, "PASTA-4 SoC speedup = {s4}");
+        let p3 = measure_row(&PastaParams::pasta3_17bit(), 8).unwrap();
+        let s3 = p3.speedup_vs_cpu(Platform::RiscVSoc).unwrap();
+        assert!(s3 > 140.0 && s3 < 180.0, "PASTA-3 SoC speedup = {s3}");
+    }
+
+    #[test]
+    fn per_element_latency_matches_table3_bracket() {
+        // Tab. III: PASTA-4 on Artix-7 = 21.2 µs (0.67 µs/element).
+        let p4 = measure_row(&PastaParams::pasta4_17bit(), 8).unwrap();
+        let per_el = p4.per_element_us(Platform::Fpga);
+        assert!((per_el - 0.67).abs() < 0.05, "per-element = {per_el}");
+        // And 0.05 µs/element on ASIC.
+        assert!((p4.per_element_us(Platform::Asic) - 0.05).abs() < 0.005);
+    }
+
+    #[test]
+    fn pasta3_beats_pasta4_per_element() {
+        // §IV.B: "PASTA-3 reports 22% less processing time than PASTA-4
+        // for the same amount of data".
+        let p3 = measure_row(&PastaParams::pasta3_17bit(), 8).unwrap();
+        let p4 = measure_row(&PastaParams::pasta4_17bit(), 8).unwrap();
+        let gain = 1.0 - p3.per_element_us(Platform::Fpga) / p4.per_element_us(Platform::Fpga);
+        assert!(gain > 0.15 && gain < 0.30, "per-element gain = {gain:.3}");
+    }
+}

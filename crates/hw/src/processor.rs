@@ -1,0 +1,555 @@
+//! The top-level PASTA cryptoprocessor model (paper Fig. 6).
+//!
+//! The user supplies a nonce, counter and message block; the processor
+//! returns the ciphertext together with an exact clock-cycle accounting.
+//! The DataGen, modular multiplier and adder banks are shared between the
+//! MatMul and RC-Add/Mix/S-box paths exactly as in the paper's wrapper
+//! design; the schedule is the Fig. 3 overlap.
+
+use crate::schedule::BlockSchedule;
+use crate::units::datagen::DataGen;
+use crate::units::xof::XofUnit;
+use pasta_core::params::{PastaError, PastaParams};
+use pasta_core::SecretKey;
+use pasta_keccak::XofCoreKind;
+use pasta_math::linalg;
+
+/// Exact cycle accounting for one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Total cycles from start to ciphertext-ready.
+    pub total: u64,
+    /// Cycle at which the XOF emitted its last word.
+    pub xof_last_word: u64,
+    /// Cycles the XOF spent stalled on DataGen backpressure.
+    pub xof_stall: u64,
+    /// Keccak permutations executed.
+    pub keccak_permutations: u64,
+    /// Raw 64-bit words drawn.
+    pub words_drawn: u64,
+    /// Words accepted by rejection sampling.
+    pub accepted: u64,
+    /// Words rejected.
+    pub rejected: u64,
+    /// Cycles the MatGen MAC array was busy.
+    pub matgen_busy: u64,
+    /// Cycles the affine (MatGen+MatMul+tree) pipeline was busy.
+    pub affine_busy: u64,
+}
+
+impl CycleBreakdown {
+    /// Trailing compute cycles after the final XOF word
+    /// (the paper's "+t for the last remaining Mix", §IV.B).
+    #[must_use]
+    pub fn trailing(&self) -> u64 {
+        self.total.saturating_sub(self.xof_last_word)
+    }
+
+    /// Observed rejection-sampling acceptance rate.
+    #[must_use]
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.words_drawn == 0 {
+            return 0.0;
+        }
+        self.accepted as f64 / self.words_drawn as f64
+    }
+
+    /// XOF utilization: fraction of the block the XOF was producing
+    /// (absorb/permute/squeeze — everything up to its last word).
+    #[must_use]
+    pub fn xof_utilization(&self) -> f64 {
+        (self.xof_last_word + 1) as f64 / self.total as f64
+    }
+
+    /// MatGen MAC-array utilization (fraction of total cycles busy).
+    #[must_use]
+    pub fn matgen_utilization(&self) -> f64 {
+        self.matgen_busy as f64 / self.total as f64
+    }
+
+    /// Affine-pipeline utilization (MatGen + MatMul + adder tree).
+    #[must_use]
+    pub fn affine_utilization(&self) -> f64 {
+        self.affine_busy as f64 / self.total as f64
+    }
+}
+
+/// Result of a multi-block streaming encryption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamResult {
+    /// All ciphertext elements.
+    pub ciphertext: Vec<u64>,
+    /// Total cycles under the selected scheduling mode.
+    pub total_cycles: u64,
+    /// Per-block cycle accounting (always the standalone per-block view).
+    pub per_block: Vec<CycleBreakdown>,
+}
+
+/// Result of one hardware block operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HwBlockResult {
+    /// The keystream block `KS = Trunc(π(K))`.
+    pub keystream: Vec<u64>,
+    /// The ciphertext block (`m + KS`), when a message was supplied.
+    pub ciphertext: Option<Vec<u64>>,
+    /// Cycle accounting.
+    pub cycles: CycleBreakdown,
+}
+
+/// The PASTA cryptoprocessor.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_core::{PastaParams, SecretKey};
+/// use pasta_hw::PastaProcessor;
+///
+/// let params = PastaParams::pasta4_17bit();
+/// let key = SecretKey::from_seed(&params, b"hw");
+/// let proc = PastaProcessor::new(params);
+/// let message: Vec<u64> = (0..32).collect();
+/// let result = proc.encrypt_block(&key, 7, 0, &message)?;
+/// assert_eq!(result.ciphertext.as_ref().unwrap().len(), 32);
+/// // Tab. II ballpark: ~1.6k cycles for one PASTA-4 block.
+/// assert!(result.cycles.total < 2_000);
+/// # Ok::<(), pasta_core::PastaError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PastaProcessor {
+    params: PastaParams,
+    core: XofCoreKind,
+}
+
+impl PastaProcessor {
+    /// A processor with the paper's squeeze-parallel XOF core.
+    #[must_use]
+    pub fn new(params: PastaParams) -> Self {
+        PastaProcessor { params, core: XofCoreKind::SqueezeParallel }
+    }
+
+    /// A processor with an explicit XOF core variant (for the §IV.B
+    /// naive-vs-parallel ablation).
+    #[must_use]
+    pub fn with_core(params: PastaParams, core: XofCoreKind) -> Self {
+        PastaProcessor { params, core }
+    }
+
+    /// The parameter set.
+    #[must_use]
+    pub fn params(&self) -> &PastaParams {
+        &self.params
+    }
+
+    /// The XOF core variant.
+    #[must_use]
+    pub fn core(&self) -> XofCoreKind {
+        self.core
+    }
+
+    /// Computes keystream block `counter` with exact cycle accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PastaError::InvalidKey`] if the key does not match the
+    /// parameter set.
+    pub fn keystream_block(
+        &self,
+        key: &SecretKey,
+        nonce: u128,
+        counter: u64,
+    ) -> Result<HwBlockResult, PastaError> {
+        self.run_block(key, nonce, counter, None)
+    }
+
+    /// Encrypts one message block (up to `t` elements) with exact cycle
+    /// accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PastaError::InvalidKey`] for a mismatched key,
+    /// [`PastaError::InvalidBlock`] if the message exceeds `t` elements,
+    /// or [`PastaError::ElementOutOfRange`] for non-canonical elements.
+    pub fn encrypt_block(
+        &self,
+        key: &SecretKey,
+        nonce: u128,
+        counter: u64,
+        message: &[u64],
+    ) -> Result<HwBlockResult, PastaError> {
+        if message.len() > self.params.t() {
+            return Err(PastaError::InvalidBlock {
+                expected: self.params.t(),
+                found: message.len(),
+            });
+        }
+        let p = self.params.modulus().value();
+        if let Some(&bad) = message.iter().find(|&&x| x >= p) {
+            return Err(PastaError::ElementOutOfRange(bad));
+        }
+        self.run_block(key, nonce, counter, Some(message))
+    }
+
+    /// Runs one keystream block and returns the result together with the
+    /// schedule's execution trace (see [`crate::trace`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PastaProcessor::keystream_block`].
+    pub fn trace_block(
+        &self,
+        key: &SecretKey,
+        nonce: u128,
+        counter: u64,
+    ) -> Result<(HwBlockResult, Vec<crate::schedule::TraceEvent>), PastaError> {
+        self.run_block_traced(key, nonce, counter, None)
+    }
+
+    fn run_block(
+        &self,
+        key: &SecretKey,
+        nonce: u128,
+        counter: u64,
+        message: Option<&[u64]>,
+    ) -> Result<HwBlockResult, PastaError> {
+        Ok(self.run_block_traced(key, nonce, counter, message)?.0)
+    }
+
+    fn run_block_traced(
+        &self,
+        key: &SecretKey,
+        nonce: u128,
+        counter: u64,
+        message: Option<&[u64]>,
+    ) -> Result<(HwBlockResult, Vec<crate::schedule::TraceEvent>), PastaError> {
+        if key.elements().len() != self.params.state_size() {
+            return Err(PastaError::InvalidKey {
+                expected: self.params.state_size(),
+                found: key.elements().len(),
+            });
+        }
+        let mut xof = XofUnit::new(self.core, nonce, counter);
+        let mut datagen = DataGen::new(
+            self.params.t(),
+            self.params.modulus().value(),
+            self.params.modulus().bits(),
+            self.params.affine_layers(),
+        );
+        let mut schedule = BlockSchedule::new(self.params, key.elements());
+        let mut cycle = 0u64;
+        let mut xof_last_word = 0u64;
+        loop {
+            schedule.tick(cycle, &mut datagen);
+            if !datagen.all_produced() {
+                let ready = datagen.ready_for_word();
+                if let Some(word) = xof.tick(ready) {
+                    datagen.push_word(word, cycle);
+                    xof_last_word = cycle;
+                }
+            }
+            if schedule.is_done(cycle) {
+                break;
+            }
+            cycle += 1;
+            assert!(cycle < 100_000_000, "cryptoprocessor simulation runaway");
+        }
+        let keystream = schedule
+            .keystream()
+            .expect("schedule reported done with keystream available")
+            .to_vec();
+        let (words, accepted, rejected) = datagen.stats();
+        let cycles = CycleBreakdown {
+            total: schedule.done_at().expect("done"),
+            xof_last_word,
+            xof_stall: xof.stall_cycles(),
+            keccak_permutations: xof.permutations(),
+            words_drawn: words,
+            accepted,
+            rejected,
+            matgen_busy: schedule.matgen_busy_cycles(),
+            affine_busy: schedule.affine_busy_cycles(),
+        };
+        let zp = self.params.field();
+        let ciphertext = message.map(|m| {
+            linalg::vec_add(&zp, m, &keystream[..m.len()])
+        });
+        let events = schedule.events().to_vec();
+        Ok((HwBlockResult { keystream, ciphertext, cycles }, events))
+    }
+
+    /// Encrypts a multi-block message, modelling the two deployment
+    /// styles the paper discusses:
+    ///
+    /// - `overlap = false`: blocks strictly serialized, as forced by the
+    ///   SoC's single shared bus (§IV.A ❸);
+    /// - `overlap = true`: the standalone accelerator hides the next
+    ///   block's XOF re-seed (absorb + initial permutation) and the
+    ///   current block's trailing compute under each other, the natural
+    ///   streaming mode of the Fig. 3 schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-block errors ([`PastaError::ElementOutOfRange`] for
+    /// non-canonical message elements, key mismatches).
+    pub fn encrypt_stream(
+        &self,
+        key: &SecretKey,
+        nonce: u128,
+        message: &[u64],
+        overlap: bool,
+    ) -> Result<StreamResult, PastaError> {
+        let t = self.params.t();
+        let mut ciphertext = Vec::with_capacity(message.len());
+        let mut per_block = Vec::new();
+        let mut total = 0u64;
+        let blocks = message.chunks(t).count();
+        for (counter, block) in message.chunks(t).enumerate() {
+            let r = self.encrypt_block(key, nonce, counter as u64, block)?;
+            ciphertext.extend(r.ciphertext.expect("message supplied"));
+            let cycles = if overlap {
+                // Steady state: only the XOF squeeze span is exposed —
+                // the re-seed (absorb + initial permutation) hides under
+                // the previous block's final squeeze window, and trailing
+                // compute hides under the next block's XOF. Boundary
+                // blocks pay their un-hideable ends.
+                let init = crate::units::xof::ABSORB_CYCLES
+                    + pasta_keccak::timing::CYCLES_PER_PERMUTATION;
+                let mut c = r.cycles.xof_last_word + 1;
+                if counter > 0 {
+                    c -= init;
+                }
+                if counter + 1 == blocks {
+                    c += r.cycles.trailing();
+                }
+                c
+            } else {
+                r.cycles.total
+            };
+            per_block.push(r.cycles);
+            total += cycles;
+        }
+        Ok(StreamResult { ciphertext, total_cycles: total, per_block })
+    }
+
+    /// Average total cycles over `n` consecutive counters (the paper's
+    /// Tab. II methodology: experimental average with nonce-dependent
+    /// deviation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first block error, if any.
+    pub fn average_cycles(
+        &self,
+        key: &SecretKey,
+        nonce: u128,
+        n: u64,
+    ) -> Result<f64, PastaError> {
+        let mut total = 0u64;
+        for counter in 0..n {
+            total += self.keystream_block(key, nonce, counter)?.cycles.total;
+        }
+        Ok(total as f64 / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_core::{permute, PastaParams};
+
+    fn key(params: &PastaParams, seed: &[u8]) -> SecretKey {
+        SecretKey::from_seed(params, seed)
+    }
+
+    #[test]
+    fn hardware_equals_software_across_nonces() {
+        let params = PastaParams::pasta4_17bit();
+        let k = key(&params, b"equiv");
+        let proc = PastaProcessor::new(params);
+        for (nonce, counter) in [(0u128, 0u64), (1, 0), (0xFFFF_FFFF, 42), (u128::MAX, 7)] {
+            let hw = proc.keystream_block(&k, nonce, counter).unwrap();
+            let sw = permute(&params, k.elements(), nonce, counter).unwrap();
+            assert_eq!(hw.keystream, sw, "nonce={nonce} counter={counter}");
+        }
+    }
+
+    #[test]
+    fn encryption_adds_keystream() {
+        let params = PastaParams::pasta4_17bit();
+        let k = key(&params, b"enc");
+        let proc = PastaProcessor::new(params);
+        let msg: Vec<u64> = (0..32).map(|i| i * 999 % 65_537).collect();
+        let r = proc.encrypt_block(&k, 3, 0, &msg).unwrap();
+        let ct = r.ciphertext.unwrap();
+        let zp = params.field();
+        for i in 0..32 {
+            assert_eq!(ct[i], zp.add(msg[i], r.keystream[i]));
+        }
+    }
+
+    #[test]
+    fn partial_message_block() {
+        let params = PastaParams::pasta4_17bit();
+        let k = key(&params, b"part");
+        let proc = PastaProcessor::new(params);
+        let r = proc.encrypt_block(&k, 3, 0, &[1, 2, 3]).unwrap();
+        assert_eq!(r.ciphertext.unwrap().len(), 3);
+    }
+
+    #[test]
+    fn input_validation() {
+        let params = PastaParams::pasta4_17bit();
+        let p3 = PastaParams::pasta3_17bit();
+        let wrong_key = key(&p3, b"wrong");
+        let proc = PastaProcessor::new(params);
+        assert!(matches!(
+            proc.keystream_block(&wrong_key, 0, 0),
+            Err(PastaError::InvalidKey { expected: 64, found: 256 })
+        ));
+        let k = key(&params, b"ok");
+        assert!(matches!(
+            proc.encrypt_block(&k, 0, 0, &vec![0u64; 33]),
+            Err(PastaError::InvalidBlock { expected: 32, found: 33 })
+        ));
+        assert!(matches!(
+            proc.encrypt_block(&k, 0, 0, &[70_000]),
+            Err(PastaError::ElementOutOfRange(70_000))
+        ));
+    }
+
+    #[test]
+    fn breakdown_is_self_consistent() {
+        let params = PastaParams::pasta4_17bit();
+        let k = key(&params, b"bd");
+        let proc = PastaProcessor::new(params);
+        let r = proc.keystream_block(&k, 11, 0).unwrap();
+        let c = r.cycles;
+        assert_eq!(c.words_drawn, c.accepted + c.rejected);
+        assert!(c.accepted >= 640, "PASTA-4 needs >= 640 accepted coefficients");
+        assert!(c.total > c.xof_last_word);
+        assert!(c.trailing() < 64, "trailing compute must be short, got {}", c.trailing());
+        assert!((c.acceptance_rate() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn schedule_never_stalls_the_xof() {
+        // §III.B's design goal: "the on-time completion of each
+        // computation before the next round of data is generated,
+        // enabling a balance between parallelism and throughput" — i.e.
+        // the compute side must never back-pressure the XOF. Verify the
+        // stall counter stays at zero across every parameter shape.
+        use pasta_math::Modulus;
+        let shapes = [
+            PastaParams::pasta4_17bit(),
+            PastaParams::pasta3_17bit(),
+            PastaParams::pasta4_33bit(),
+            PastaParams::pasta4_54bit(),
+            PastaParams::custom(16, 5, Modulus::PASTA_17_BIT).unwrap(),
+            PastaParams::custom(128, 5, Modulus::PASTA_33_BIT).unwrap(),
+        ];
+        for params in shapes {
+            let k = key(&params, b"stall");
+            for counter in 0..3 {
+                let r = PastaProcessor::new(params).keystream_block(&k, 0x57A, counter).unwrap();
+                assert_eq!(
+                    r.cycles.xof_stall, 0,
+                    "{params}: XOF stalled {} cycles at counter {counter}",
+                    r.cycles.xof_stall
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_block_size() {
+        // t = 5 exercises the odd-width adder tree through the whole
+        // pipeline; hardware and software must still agree.
+        use pasta_math::Modulus;
+        let params = PastaParams::custom(5, 3, Modulus::PASTA_17_BIT).unwrap();
+        let k = key(&params, b"odd");
+        let hw = PastaProcessor::new(params).keystream_block(&k, 0xF00, 2).unwrap();
+        let sw = permute(&params, k.elements(), 0xF00, 2).unwrap();
+        assert_eq!(hw.keystream, sw);
+    }
+
+    #[test]
+    fn xof_dominates_utilization() {
+        // §III.B: matrix generation/multiplication hide under the XOF —
+        // quantify it: the XOF is busy nearly the whole block while the
+        // arithmetic engine idles most of the time.
+        let params = PastaParams::pasta4_17bit();
+        let k = key(&params, b"util");
+        let r = PastaProcessor::new(params).keystream_block(&k, 7, 0).unwrap();
+        let xof = r.cycles.xof_utilization();
+        let affine = r.cycles.affine_utilization();
+        let matgen = r.cycles.matgen_utilization();
+        assert!(xof > 0.95, "XOF utilization {xof:.3}");
+        assert!(affine < 0.45, "affine utilization {affine:.3}");
+        assert!(matgen < affine, "MatGen occupancy is a subset of the pipeline");
+        // PASTA-3 (t = 128) loads the engine harder but still under the
+        // XOF: fill time ≈ 2t cycles vs job time ≈ t + log t + 6.
+        let p3 = PastaParams::pasta3_17bit();
+        let k3 = key(&p3, b"util3");
+        let r3 = PastaProcessor::new(p3).keystream_block(&k3, 7, 0).unwrap();
+        assert!(r3.cycles.affine_utilization() < 0.60);
+    }
+
+    #[test]
+    fn stream_overlap_saves_init_and_trailing() {
+        let params = PastaParams::pasta4_17bit();
+        let k = key(&params, b"stream");
+        let proc = PastaProcessor::new(params);
+        let message: Vec<u64> = (0..128).map(|i| i % 65_537).collect(); // 4 blocks
+        let serial = proc.encrypt_stream(&k, 5, &message, false).unwrap();
+        let overlapped = proc.encrypt_stream(&k, 5, &message, true).unwrap();
+        assert_eq!(serial.ciphertext, overlapped.ciphertext, "scheduling must not change data");
+        assert!(overlapped.total_cycles < serial.total_cycles);
+        // Savings per non-final block: init (3 + 24) + trailing (~5).
+        let saved = serial.total_cycles - overlapped.total_cycles;
+        assert!((60..150).contains(&saved), "saved {saved} cycles over 3 boundaries");
+        // Per-block view matches the serialized sum.
+        let sum: u64 = serial.per_block.iter().map(|c| c.total).sum();
+        assert_eq!(sum, serial.total_cycles);
+    }
+
+    #[test]
+    fn stream_matches_software_cipher() {
+        use pasta_core::PastaCipher;
+        let params = PastaParams::pasta4_17bit();
+        let k = key(&params, b"stream-sw");
+        let message: Vec<u64> = (0..70).map(|i| (i * 123) % 65_537).collect(); // partial tail
+        let hw = PastaProcessor::new(params).encrypt_stream(&k, 9, &message, true).unwrap();
+        let sw = PastaCipher::new(params, k).encrypt(9, &message).unwrap();
+        assert_eq!(hw.ciphertext, sw.elements());
+    }
+
+    #[test]
+    fn naive_core_costs_nearly_double() {
+        // §IV.B ablation: naive Keccak ≈ 2× the squeeze-parallel cycles.
+        let params = PastaParams::pasta4_17bit();
+        let k = key(&params, b"abl");
+        let fast = PastaProcessor::new(params).average_cycles(&k, 5, 5).unwrap();
+        let slow = PastaProcessor::with_core(params, XofCoreKind::Naive)
+            .average_cycles(&k, 5, 5)
+            .unwrap();
+        let ratio = slow / fast;
+        assert!(ratio > 1.6 && ratio < 2.0, "naive/parallel cycle ratio = {ratio}");
+    }
+
+    #[test]
+    fn wider_moduli_do_not_change_cycle_count_much() {
+        // §IV.A "Bitlength Comparison": performance stays the same across
+        // bit widths (the datapath widens, the schedule does not).
+        // 33-/54-bit primes have ≈1.0 acceptance, so they need *fewer*
+        // XOF words than the 17-bit prime (≈0.5 acceptance).
+        let k17 = key(&PastaParams::pasta4_17bit(), b"w");
+        let c17 = PastaProcessor::new(PastaParams::pasta4_17bit())
+            .average_cycles(&k17, 9, 5)
+            .unwrap();
+        let k33 = key(&PastaParams::pasta4_33bit(), b"w");
+        let c33 = PastaProcessor::new(PastaParams::pasta4_33bit())
+            .average_cycles(&k33, 9, 5)
+            .unwrap();
+        assert!(c33 < c17, "near-1.0 acceptance must reduce cycles ({c33} vs {c17})");
+        assert!(c33 > 600.0, "still dominated by XOF");
+    }
+}

@@ -1,0 +1,174 @@
+//! Execution-trace rendering: a textual waveform of the Fig. 3 schedule.
+//!
+//! Hardware debugging lives and dies by waveforms; the cycle-accurate
+//! model exposes its event stream ([`crate::schedule::TraceEvent`]) and
+//! this module renders it as a chronological listing (and offers
+//! structural checks used by the tests — e.g. that matrix jobs for layer
+//! `i+1` never start before layer `i`'s round tail).
+
+use crate::schedule::TraceEvent;
+use crate::units::datagen::VectorRole;
+use std::fmt::Write as _;
+
+/// Renders the event stream as a chronological text listing.
+#[must_use]
+pub fn render(events: &[TraceEvent]) -> String {
+    let mut rows: Vec<(u64, String)> = events
+        .iter()
+        .map(|e| match *e {
+            TraceEvent::VectorTaken { cycle, layer, role } => {
+                (cycle, format!("DataGen -> {} (layer {layer})", role_name(role)))
+            }
+            TraceEvent::JobStart { cycle, layer, left, done_at } => (
+                cycle,
+                format!(
+                    "MatGen+MatMul start: layer {layer} {} (done @{done_at})",
+                    half(left)
+                ),
+            ),
+            TraceEvent::RcAddDone { at, layer, left } => {
+                (at, format!("RC-add done: layer {layer} {}", half(left)))
+            }
+            TraceEvent::RoundTailDone { at, layer, cube } => (
+                at,
+                format!(
+                    "Mix + {} S-box done: round {layer}",
+                    if cube { "cube" } else { "Feistel" }
+                ),
+            ),
+            TraceEvent::BlockDone { at } => (at, "block done (ciphertext ready)".to_string()),
+        })
+        .collect();
+    rows.sort_by_key(|(cycle, _)| *cycle);
+    let mut out = String::new();
+    for (cycle, text) in rows {
+        let _ = writeln!(out, "@{cycle:>6}  {text}");
+    }
+    out
+}
+
+fn role_name(role: VectorRole) -> &'static str {
+    match role {
+        VectorRole::MatrixSeedLeft => "seed L",
+        VectorRole::MatrixSeedRight => "seed R",
+        VectorRole::RoundConstantLeft => "RC L",
+        VectorRole::RoundConstantRight => "RC R",
+    }
+}
+
+fn half(left: bool) -> &'static str {
+    if left {
+        "L"
+    } else {
+        "R"
+    }
+}
+
+/// Structural validation of a trace: data dependencies respected, the
+/// expected event counts present, completion recorded. Returns a list of
+/// violations (empty = valid).
+#[must_use]
+pub fn validate(events: &[TraceEvent], affine_layers: usize, rounds: usize) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut round_tail_done = vec![u64::MAX; rounds];
+    let mut job_starts = 0usize;
+    let mut vectors = 0usize;
+    let mut block_done = None;
+    for e in events {
+        match *e {
+            TraceEvent::RoundTailDone { at, layer, .. } => {
+                if layer < rounds {
+                    round_tail_done[layer] = at;
+                } else {
+                    violations.push(format!("round tail for out-of-range layer {layer}"));
+                }
+            }
+            TraceEvent::JobStart { layer, .. } => {
+                job_starts += 1;
+                if layer > affine_layers {
+                    violations.push(format!("job for out-of-range layer {layer}"));
+                }
+            }
+            TraceEvent::VectorTaken { .. } => vectors += 1,
+            TraceEvent::BlockDone { at } => block_done = Some(at),
+            TraceEvent::RcAddDone { .. } => {}
+        }
+    }
+    // Dependency: layer i+1 jobs start only after round i's tail.
+    for e in events {
+        if let TraceEvent::JobStart { cycle, layer, .. } = *e {
+            if layer > 0 && layer <= rounds {
+                let prior = round_tail_done[layer - 1];
+                if prior == u64::MAX {
+                    violations.push(format!("layer {layer} job without prior round tail"));
+                } else if cycle < prior {
+                    violations.push(format!(
+                        "layer {layer} job at {cycle} before round {} tail at {prior}",
+                        layer - 1
+                    ));
+                }
+            }
+        }
+    }
+    if job_starts != 2 * affine_layers {
+        violations.push(format!("expected {} jobs, saw {job_starts}", 2 * affine_layers));
+    }
+    if vectors != 4 * affine_layers {
+        violations.push(format!("expected {} vectors, saw {vectors}", 4 * affine_layers));
+    }
+    if block_done.is_none() {
+        violations.push("no BlockDone event".into());
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processor::PastaProcessor;
+    use pasta_core::{PastaParams, SecretKey};
+
+    fn traced_events() -> Vec<TraceEvent> {
+        let params = PastaParams::pasta4_17bit();
+        let key = SecretKey::from_seed(&params, b"trace");
+        PastaProcessor::new(params).trace_block(&key, 0x7ACE, 0).unwrap().1
+    }
+
+    #[test]
+    fn trace_is_structurally_valid() {
+        let events = traced_events();
+        let violations = validate(&events, 5, 4);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn render_is_chronological_and_complete() {
+        let events = traced_events();
+        let text = render(&events);
+        assert!(text.contains("seed L"));
+        assert!(text.contains("cube S-box"));
+        assert!(text.contains("block done"));
+        // Chronological: extract the cycle column and check sortedness.
+        let cycles: Vec<u64> = text
+            .lines()
+            .map(|l| l[1..7].trim().parse().expect("cycle column"))
+            .collect();
+        assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "trace must be sorted");
+    }
+
+    #[test]
+    fn validator_catches_missing_events() {
+        let events = traced_events();
+        // Drop the completion event: must be flagged.
+        let truncated: Vec<TraceEvent> = events
+            .iter()
+            .copied()
+            .filter(|e| !matches!(e, TraceEvent::BlockDone { .. }))
+            .collect();
+        let violations = validate(&truncated, 5, 4);
+        assert!(violations.iter().any(|v| v.contains("BlockDone")));
+        // Wrong layer count: must be flagged.
+        let violations = validate(&events, 6, 4);
+        assert!(violations.iter().any(|v| v.contains("expected 12 jobs")));
+    }
+}

@@ -1,0 +1,198 @@
+//! Pipelined adder tree (paper Fig. 4).
+//!
+//! The MatMul unit reduces the `t` lane products of one matrix row to a
+//! single dot product through a binary adder tree of depth `⌈log2 t⌉`,
+//! pipelined with one register stage per level, initiation interval 1.
+//! This module models the tree register-by-register so its latency and
+//! throughput are structural, not assumed.
+
+use pasta_math::Zp;
+
+/// A pipelined modular adder tree over `F_p`.
+///
+/// Feed one `t`-wide vector of terms per cycle with [`AdderTree::tick`];
+/// the reduced sum appears [`AdderTree::latency`] cycles later.
+#[derive(Debug, Clone)]
+pub struct AdderTree {
+    zp: Zp,
+    width: usize,
+    /// One pipeline register per level: `stages[l]` holds the vector of
+    /// partial sums that entered level `l` last cycle (None = bubble).
+    stages: Vec<Option<Vec<u64>>>,
+}
+
+impl AdderTree {
+    /// Creates a tree reducing `width` terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn new(zp: Zp, width: usize) -> Self {
+        assert!(width > 0, "adder tree width must be positive");
+        let levels = Self::depth_for(width);
+        AdderTree { zp, width, stages: vec![None; levels] }
+    }
+
+    /// Tree depth `⌈log2 width⌉` (pipeline latency in cycles).
+    #[must_use]
+    pub fn depth_for(width: usize) -> usize {
+        usize::BITS as usize - (width.max(1) - 1).leading_zeros() as usize
+    }
+
+    /// Pipeline latency in cycles.
+    #[must_use]
+    pub fn latency(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Advances one cycle: optionally inserts a new term vector and
+    /// returns the sum exiting the pipeline this cycle (if any).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` has the wrong width.
+    pub fn tick(&mut self, input: Option<Vec<u64>>) -> Option<u64> {
+        if let Some(v) = &input {
+            assert_eq!(v.len(), self.width, "adder tree input width mismatch");
+        }
+        // Shift the pipeline from the back: each level halves its vector.
+        let zp = self.zp;
+        let mut carry = input;
+        for stage in self.stages.iter_mut() {
+            let incoming = carry.take();
+            let outgoing = stage.take();
+            *stage = incoming.map(|v| reduce_level(&zp, &v));
+            carry = outgoing;
+        }
+        carry.map(|v| {
+            debug_assert_eq!(v.len(), 1, "final stage must hold a single sum");
+            v[0]
+        })
+    }
+
+    /// Runs the pipeline until empty, returning any remaining outputs in
+    /// order (used at end-of-row-stream).
+    pub fn drain(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for _ in 0..self.latency() {
+            if let Some(s) = self.tick(None) {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+}
+
+/// One tree level: pairwise modular addition (odd tail passes through).
+fn reduce_level(zp: &Zp, v: &[u64]) -> Vec<u64> {
+    if v.len() == 1 {
+        return v.to_vec();
+    }
+    let mut out = Vec::with_capacity(v.len().div_ceil(2));
+    for pair in v.chunks(2) {
+        out.push(if pair.len() == 2 { zp.add(pair[0], pair[1]) } else { pair[0] });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_math::{Modulus, Zp};
+    use proptest::prelude::*;
+
+    fn zp17() -> Zp {
+        Zp::new(Modulus::PASTA_17_BIT).unwrap()
+    }
+
+    fn direct_sum(zp: &Zp, v: &[u64]) -> u64 {
+        v.iter().fold(0u64, |acc, &x| zp.add(acc, x))
+    }
+
+    #[test]
+    fn depth_matches_log2() {
+        assert_eq!(AdderTree::depth_for(1), 0);
+        assert_eq!(AdderTree::depth_for(2), 1);
+        assert_eq!(AdderTree::depth_for(3), 2);
+        assert_eq!(AdderTree::depth_for(32), 5);
+        assert_eq!(AdderTree::depth_for(128), 7);
+        assert_eq!(AdderTree::depth_for(129), 8);
+    }
+
+    #[test]
+    fn single_vector_latency_and_value() {
+        let zp = zp17();
+        let mut tree = AdderTree::new(zp, 32);
+        let v: Vec<u64> = (0..32).map(|i| i * 2_000 % 65_537).collect();
+        let expect = direct_sum(&zp, &v);
+        let mut out = tree.tick(Some(v));
+        let mut cycles = 1;
+        while out.is_none() {
+            out = tree.tick(None);
+            cycles += 1;
+            assert!(cycles <= 6, "latency must be depth = 5 (+1 issue cycle)");
+        }
+        assert_eq!(cycles, tree.latency() + 1);
+        assert_eq!(out.unwrap(), expect);
+    }
+
+    #[test]
+    fn initiation_interval_one() {
+        // Issue a new vector every cycle; outputs must emerge every cycle
+        // after the fill latency, in order.
+        let zp = zp17();
+        let mut tree = AdderTree::new(zp, 8);
+        let inputs: Vec<Vec<u64>> =
+            (0..20).map(|k| (0..8).map(|i| (k * 8 + i) % 65_537).collect()).collect();
+        let expects: Vec<u64> = inputs.iter().map(|v| direct_sum(&zp, v)).collect();
+        let mut outputs = Vec::new();
+        for v in inputs {
+            if let Some(s) = tree.tick(Some(v)) {
+                outputs.push(s);
+            }
+        }
+        outputs.extend(tree.drain());
+        assert_eq!(outputs, expects);
+    }
+
+    #[test]
+    fn odd_width_handled() {
+        let zp = zp17();
+        let mut tree = AdderTree::new(zp, 5);
+        let v = vec![65_536u64, 65_536, 65_536, 1, 2];
+        let expect = direct_sum(&zp, &v);
+        let mut out = tree.tick(Some(v));
+        while out.is_none() {
+            out = tree.tick(None);
+        }
+        assert_eq!(out.unwrap(), expect);
+    }
+
+    #[test]
+    fn width_one_passthrough() {
+        let zp = zp17();
+        let mut tree = AdderTree::new(zp, 1);
+        assert_eq!(tree.latency(), 0);
+        assert_eq!(tree.tick(Some(vec![42])), Some(42));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_tree_equals_direct_sum(v in proptest::collection::vec(0u64..65_537, 1..130)) {
+            let zp = zp17();
+            let width = v.len();
+            let mut tree = AdderTree::new(zp, width);
+            let expect = direct_sum(&zp, &v);
+            let mut out = tree.tick(Some(v));
+            let mut guard = 0;
+            while out.is_none() {
+                out = tree.tick(None);
+                guard += 1;
+                prop_assert!(guard <= 10);
+            }
+            prop_assert_eq!(out.unwrap(), expect);
+        }
+    }
+}

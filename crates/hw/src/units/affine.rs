@@ -1,0 +1,155 @@
+//! The invertible matrix generation & multiplication engine
+//! (paper §III.C, Fig. 5).
+//!
+//! Two sets of `t` modular multipliers work in lockstep:
+//!
+//! - the **MatGen** set is a MAC array producing one matrix row per cycle
+//!   from the seed row `α` and the previous row (Eq. 1), storing only
+//!   those two rows;
+//! - the **MatMul** set multiplies each freshly generated row with the
+//!   state vector, lane-wise, feeding the pipelined adder tree (Fig. 4)
+//!   that reduces the `t` products to one dot-product per cycle.
+//!
+//! Total latency for one `t × t` matrix generation *and* multiplication:
+//! `6 + t + ⌈log2 t⌉` cycles (paper §III.C) — `3` cycles of input/seed
+//! registering and MAC pipeline fill, `t` row-stream cycles, `2` cycles of
+//! multiplier pipeline, `⌈log2 t⌉` adder-tree levels and `1` output
+//! register.
+
+use super::adder_tree::AdderTree;
+use pasta_core::matrix::RowGenerator;
+use pasta_math::Zp;
+
+/// Input/seed registering + MAC array pipeline fill.
+pub const START_OVERHEAD_CYCLES: u64 = 3;
+/// Modular multiplier pipeline depth (DSP + add–shift reduction stage).
+pub const MUL_PIPELINE_CYCLES: u64 = 2;
+/// Output register stage.
+pub const OUTPUT_REG_CYCLES: u64 = 1;
+
+/// Latency in cycles of one matrix generation + multiplication
+/// (`6 + t + ⌈log2 t⌉`, §III.C).
+#[must_use]
+pub fn affine_job_cycles(t: usize) -> u64 {
+    START_OVERHEAD_CYCLES
+        + t as u64
+        + MUL_PIPELINE_CYCLES
+        + AdderTree::depth_for(t) as u64
+        + OUTPUT_REG_CYCLES
+}
+
+/// Cycles the MatGen MAC array is occupied per job (it frees before the
+/// multiplier/tree pipeline drains, letting the next matrix start early —
+/// the Fig. 3 overlap of `MatGen V1→M1` with `MatMul M0·X_L`).
+#[must_use]
+pub fn matgen_occupancy_cycles(t: usize) -> u64 {
+    START_OVERHEAD_CYCLES + t as u64
+}
+
+/// The result of one affine-engine job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineJobResult {
+    /// `M · x` where `M` is generated from the seed row.
+    pub product: Vec<u64>,
+    /// Cycles the job took (always [`affine_job_cycles`]).
+    pub cycles: u64,
+}
+
+/// Executes one matrix generation + multiplication job, streaming each
+/// generated row's lane products through a real pipelined [`AdderTree`].
+///
+/// The data path is exercised row-by-row exactly as the hardware would:
+/// the returned product is cross-checked by tests against the
+/// materialized-matrix reference in `pasta-core`.
+///
+/// # Panics
+///
+/// Panics if `state.len() != seed.len()`.
+#[must_use]
+pub fn run_affine_job(zp: &Zp, seed: &[u64], state: &[u64]) -> AffineJobResult {
+    let t = seed.len();
+    assert_eq!(state.len(), t, "state width must match matrix dimension");
+    let mut gen = RowGenerator::new(*zp, seed.to_vec());
+    let mut tree = AdderTree::new(*zp, t);
+    let mut product = Vec::with_capacity(t);
+    for _ in 0..t {
+        let row = gen.next_row();
+        // MatMul lane stage: t parallel modular multiplications.
+        let lanes: Vec<u64> = row.iter().zip(state.iter()).map(|(&a, &b)| zp.mul(a, b)).collect();
+        if let Some(done) = tree.tick(Some(lanes)) {
+            product.push(done);
+        }
+    }
+    product.extend(tree.drain());
+    debug_assert_eq!(product.len(), t);
+    AffineJobResult { product, cycles: affine_job_cycles(t) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_core::matrix::RowGenerator;
+    use pasta_math::{Modulus, Zp};
+    use proptest::prelude::*;
+
+    fn zp17() -> Zp {
+        Zp::new(Modulus::PASTA_17_BIT).unwrap()
+    }
+
+    #[test]
+    fn latency_formula_matches_paper() {
+        // §III.C: "6 + t + log2 t clock cycles".
+        assert_eq!(affine_job_cycles(32), 6 + 32 + 5);
+        assert_eq!(affine_job_cycles(128), 6 + 128 + 7);
+    }
+
+    #[test]
+    fn matgen_frees_before_job_completes() {
+        assert!(matgen_occupancy_cycles(32) < affine_job_cycles(32));
+    }
+
+    #[test]
+    fn product_matches_materialized_matrix() {
+        let zp = zp17();
+        let seed: Vec<u64> = (1..=32u64).map(|i| i * 999 % 65_537 + 1).collect();
+        let state: Vec<u64> = (0..32u64).map(|i| i * 31_337 % 65_537).collect();
+        let fast = run_affine_job(&zp, &seed, &state);
+        let reference = RowGenerator::new(zp, seed)
+            .into_matrix()
+            .mul_vec(&zp, &state)
+            .unwrap();
+        assert_eq!(fast.product, reference);
+        assert_eq!(fast.cycles, affine_job_cycles(32));
+    }
+
+    #[test]
+    fn pasta3_dimension_works() {
+        let zp = zp17();
+        let seed: Vec<u64> = (0..128u64).map(|i| (i * 7 + 1) % 65_537).collect();
+        let state: Vec<u64> = (0..128u64).map(|i| (i * 13) % 65_537).collect();
+        let fast = run_affine_job(&zp, &seed, &state);
+        let reference = RowGenerator::new(zp, seed)
+            .into_matrix()
+            .mul_vec(&zp, &state)
+            .unwrap();
+        assert_eq!(fast.product, reference);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_streamed_job_equals_reference(
+            seed0 in 1u64..65_537,
+            rest in proptest::collection::vec(0u64..65_537, 15),
+            state in proptest::collection::vec(0u64..65_537, 16),
+        ) {
+            let zp = zp17();
+            let mut seed = vec![seed0];
+            seed.extend(rest);
+            let fast = run_affine_job(&zp, &seed, &state);
+            let reference = RowGenerator::new(zp, seed).into_matrix()
+                .mul_vec(&zp, &state).unwrap();
+            prop_assert_eq!(fast.product, reference);
+        }
+    }
+}

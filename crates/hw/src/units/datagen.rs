@@ -1,0 +1,311 @@
+//! The DataGen unit: rejection sampling plus ping-pong vector assembly
+//! (paper §III.A, Fig. 4).
+//!
+//! Raw 64-bit XOF words are masked to `⌈log2 p⌉` bits and rejected when
+//! `≥ p`. Accepted coefficients are assembled into the four vectors each
+//! affine layer needs — two matrix seed rows (whose first coefficient is
+//! additionally resampled until nonzero) and two round constants — in the
+//! Fig. 3 order. Two `t`-element buffers operate in ping-pong
+//! configuration: "while one vector is used to generate the matrix, the
+//! other stores XOF results for the subsequent computation".
+
+/// What a completed vector is destined for (the Fig. 3 schedule roles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VectorRole {
+    /// Seed row for the left-half matrix (`V_0`-style vectors).
+    MatrixSeedLeft,
+    /// Seed row for the right-half matrix (`V_1`).
+    MatrixSeedRight,
+    /// Round constant for the left half (`V_2`).
+    RoundConstantLeft,
+    /// Round constant for the right half (`V_3`).
+    RoundConstantRight,
+}
+
+impl VectorRole {
+    /// The role of the `k`-th vector within an affine layer (`k in 0..4`).
+    #[must_use]
+    pub fn of_index(k: usize) -> Self {
+        match k {
+            0 => VectorRole::MatrixSeedLeft,
+            1 => VectorRole::MatrixSeedRight,
+            2 => VectorRole::RoundConstantLeft,
+            3 => VectorRole::RoundConstantRight,
+            _ => panic!("vector index {k} out of range"),
+        }
+    }
+
+    /// Whether the first coefficient must be nonzero (matrix seeds).
+    #[must_use]
+    pub fn requires_nonzero_head(&self) -> bool {
+        matches!(self, VectorRole::MatrixSeedLeft | VectorRole::MatrixSeedRight)
+    }
+}
+
+/// A vector completed by the DataGen unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadyVector {
+    /// Which affine layer (0-based) this vector belongs to.
+    pub layer: usize,
+    /// Role within the layer.
+    pub role: VectorRole,
+    /// The `t` accepted coefficients.
+    pub coefficients: Vec<u64>,
+    /// Cycle at which the last coefficient was accepted (set by caller).
+    pub ready_at: u64,
+}
+
+/// Rejection sampler + ping-pong vector assembler.
+#[derive(Debug, Clone)]
+pub struct DataGen {
+    t: usize,
+    modulus: u64,
+    mask: u64,
+    layers: usize,
+    /// Index of the vector currently being filled (0..4·layers).
+    vector_index: usize,
+    current: Vec<u64>,
+    /// Completed vectors not yet taken (ping-pong: capacity 2).
+    ready: Vec<ReadyVector>,
+    words_seen: u64,
+    accepted: u64,
+    rejected: u64,
+}
+
+/// Ping-pong depth: two vector buffers (Fig. 4).
+pub const PING_PONG_DEPTH: usize = 2;
+
+impl DataGen {
+    /// Creates a DataGen for `layers` affine layers of four `t`-vectors
+    /// each over modulus `p` of width `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or > 63.
+    #[must_use]
+    pub fn new(t: usize, modulus: u64, bits: u32, layers: usize) -> Self {
+        assert!((1..=63).contains(&bits), "unsupported modulus width {bits}");
+        DataGen {
+            t,
+            modulus,
+            mask: (1u64 << bits) - 1,
+            layers,
+            vector_index: 0,
+            current: Vec::with_capacity(t),
+            ready: Vec::with_capacity(PING_PONG_DEPTH),
+            words_seen: 0,
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Whether the unit can accept a word this cycle (ping-pong buffers
+    /// not both full, and vectors still needed).
+    #[must_use]
+    pub fn ready_for_word(&self) -> bool {
+        !self.complete() && self.ready.len() < PING_PONG_DEPTH
+    }
+
+    /// Feeds one raw XOF word; `cycle` is the current clock for
+    /// timestamping completed vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while not [`DataGen::ready_for_word`] (the
+    /// scheduler must respect backpressure).
+    pub fn push_word(&mut self, word: u64, cycle: u64) {
+        assert!(self.ready_for_word(), "DataGen overrun: scheduler ignored backpressure");
+        self.words_seen += 1;
+        let candidate = word & self.mask;
+        let role = VectorRole::of_index(self.vector_index % 4);
+        let needs_nonzero = role.requires_nonzero_head() && self.current.is_empty();
+        if candidate >= self.modulus || (needs_nonzero && candidate == 0) {
+            self.rejected += 1;
+            return;
+        }
+        self.accepted += 1;
+        self.current.push(candidate);
+        if self.current.len() == self.t {
+            let layer = self.vector_index / 4;
+            self.ready.push(ReadyVector {
+                layer,
+                role,
+                coefficients: std::mem::take(&mut self.current),
+                ready_at: cycle,
+            });
+            self.vector_index += 1;
+        }
+    }
+
+    /// Takes the oldest completed vector, if any.
+    pub fn take_ready(&mut self) -> Option<ReadyVector> {
+        if self.ready.is_empty() {
+            None
+        } else {
+            Some(self.ready.remove(0))
+        }
+    }
+
+    /// Peeks at the oldest completed vector's role without taking it.
+    #[must_use]
+    pub fn peek_role(&self) -> Option<(usize, VectorRole)> {
+        self.ready.first().map(|v| (v.layer, v.role))
+    }
+
+    /// Whether all `4·layers` vectors have been produced and taken.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.vector_index == 4 * self.layers
+    }
+
+    /// Whether all vectors have been *produced* (some may still be queued).
+    #[must_use]
+    pub fn all_produced(&self) -> bool {
+        self.vector_index == 4 * self.layers
+    }
+
+    /// (words seen, accepted, rejected).
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.words_seen, self.accepted, self.rejected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_all(dg: &mut DataGen, mut word: impl FnMut() -> u64) -> Vec<ReadyVector> {
+        let mut out = Vec::new();
+        let mut cycle = 0u64;
+        while !dg.complete() {
+            if dg.ready_for_word() {
+                dg.push_word(word(), cycle);
+            }
+            while let Some(v) = dg.take_ready() {
+                out.push(v);
+            }
+            cycle += 1;
+            assert!(cycle < 1_000_000, "runaway");
+        }
+        out
+    }
+
+    #[test]
+    fn produces_vectors_in_schedule_order() {
+        let mut dg = DataGen::new(4, 65_537, 17, 2);
+        let mut x = 0u64;
+        let vectors = feed_all(&mut dg, || {
+            x += 1;
+            x // all small values accepted
+        });
+        assert_eq!(vectors.len(), 8);
+        let roles: Vec<VectorRole> = vectors.iter().map(|v| v.role).collect();
+        assert_eq!(
+            roles[..4],
+            [
+                VectorRole::MatrixSeedLeft,
+                VectorRole::MatrixSeedRight,
+                VectorRole::RoundConstantLeft,
+                VectorRole::RoundConstantRight
+            ]
+        );
+        assert_eq!(vectors[0].layer, 0);
+        assert_eq!(vectors[4].layer, 1);
+    }
+
+    #[test]
+    fn rejects_out_of_range_candidates() {
+        let mut dg = DataGen::new(2, 65_537, 17, 1);
+        dg.push_word(0x1FFFF, 0); // masked candidate 0x1FFFF >= p: rejected
+        assert_eq!(dg.stats(), (1, 0, 1));
+        dg.push_word(65_537, 1); // masked = 65537 >= p: rejected
+        assert_eq!(dg.stats(), (2, 0, 2));
+        dg.push_word(65_536, 2); // accepted (nonzero, < p)
+        assert_eq!(dg.stats(), (3, 1, 2));
+    }
+
+    #[test]
+    fn masks_high_bits_before_comparison() {
+        let mut dg = DataGen::new(2, 65_537, 17, 1);
+        // Word with garbage above bit 17 but small masked value: accepted.
+        dg.push_word(0xFFFF_FFFF_FFFE_0005, 0);
+        assert_eq!(dg.stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn matrix_seed_head_rejects_zero_but_rc_accepts() {
+        let mut dg = DataGen::new(2, 65_537, 17, 1);
+        dg.push_word(0, 0); // head of MatrixSeedLeft: zero rejected
+        assert_eq!(dg.stats(), (1, 0, 1));
+        dg.push_word(5, 1);
+        dg.push_word(0, 2); // non-head zero accepted
+        let v = dg.take_ready().unwrap();
+        assert_eq!(v.coefficients, vec![5, 0]);
+        // Fill seedR then reach RC: zero head accepted for RC.
+        dg.push_word(1, 3);
+        dg.push_word(2, 4);
+        let _ = dg.take_ready().unwrap();
+        dg.push_word(0, 5); // RC head zero: accepted
+        dg.push_word(0, 6);
+        let rc = dg.take_ready().unwrap();
+        assert_eq!(rc.role, VectorRole::RoundConstantLeft);
+        assert_eq!(rc.coefficients, vec![0, 0]);
+    }
+
+    #[test]
+    fn ping_pong_backpressure() {
+        let mut dg = DataGen::new(1, 65_537, 17, 2);
+        dg.push_word(1, 0);
+        dg.push_word(2, 1);
+        assert!(!dg.ready_for_word(), "two completed buffers: must stall");
+        let first = dg.take_ready().unwrap();
+        assert_eq!(first.coefficients, vec![1]);
+        assert!(dg.ready_for_word(), "one slot freed");
+    }
+
+    #[test]
+    #[should_panic(expected = "backpressure")]
+    fn overrun_panics() {
+        let mut dg = DataGen::new(1, 65_537, 17, 2);
+        dg.push_word(1, 0);
+        dg.push_word(2, 1);
+        dg.push_word(3, 2);
+    }
+
+    #[test]
+    fn matches_software_sampler_stream() {
+        // Feeding the DataGen the same XOF words as pasta-core's sampler
+        // must reproduce the exact same vectors.
+        use pasta_core::{derive_block_material, PastaParams};
+        use pasta_keccak::Shake128;
+        let params = PastaParams::pasta4_17bit();
+        let (nonce, counter) = (0xABCDu128, 3u64);
+        let sw = derive_block_material(&params, nonce, counter);
+
+        let mut xof = Shake128::new();
+        xof.absorb(&nonce.to_le_bytes());
+        xof.absorb(&counter.to_le_bytes());
+        let mut reader = xof.finalize();
+        let mut dg = DataGen::new(32, 65_537, 17, 5);
+        let mut collected: Vec<ReadyVector> = Vec::new();
+        let mut cycle = 0u64;
+        while !dg.complete() {
+            if dg.ready_for_word() {
+                dg.push_word(reader.next_u64(), cycle);
+            }
+            while let Some(v) = dg.take_ready() {
+                collected.push(v);
+            }
+            cycle += 1;
+            assert!(cycle < 1_000_000);
+        }
+        assert_eq!(collected.len(), 20);
+        for (i, layer) in sw.layers.iter().enumerate() {
+            assert_eq!(collected[4 * i].coefficients, layer.seed_left, "layer {i} seedL");
+            assert_eq!(collected[4 * i + 1].coefficients, layer.seed_right, "layer {i} seedR");
+            assert_eq!(collected[4 * i + 2].coefficients, layer.rc_left, "layer {i} rcL");
+            assert_eq!(collected[4 * i + 3].coefficients, layer.rc_right, "layer {i} rcR");
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! The hardware units of the cryptoprocessor (paper Figs. 4–6).
+
+pub mod adder_tree;
+pub mod affine;
+pub mod datagen;
+pub mod vecunit;
+pub mod xof;

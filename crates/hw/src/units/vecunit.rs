@@ -1,0 +1,103 @@
+//! The vector unit: round-constant addition, Mix, and S-box
+//! (paper §III.D).
+//!
+//! `t` modular adders are instantiated so a full-vector addition is a
+//! single-issue operation ("this unit barely consumes three clock cycles"
+//! with pipelining); the multipliers of the affine engine are *reused* for
+//! the S-box squarings/cubes (resource sharing, §III.D). This module
+//! provides the functional operations together with their latency
+//! constants; the scheduler composes them.
+
+use pasta_core::layers;
+use pasta_math::Zp;
+
+/// Latency of one vector addition through the pipelined adder bank
+/// (input reg + add + output reg).
+pub const VEC_ADD_CYCLES: u64 = 3;
+/// Latency of the Mix operation: three chained vector additions
+/// `s = X_L + X_R`, `X_L + s`, `X_R + s` — but the last two are
+/// independent and issue back-to-back on the shared adder bank.
+pub const MIX_CYCLES: u64 = 3;
+/// Latency of the Feistel S-box `S'`: one (2-stage) squaring + one add.
+pub const SBOX_FEISTEL_CYCLES: u64 = 3;
+/// Latency of the cube S-box `S`: two chained 2-stage multiplications.
+pub const SBOX_CUBE_CYCLES: u64 = 4;
+/// Latency of the final keystream-to-message addition.
+pub const MESSAGE_ADD_CYCLES: u64 = 1;
+
+/// Applies the round-constant addition to one state half.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[must_use]
+pub fn rc_add(zp: &Zp, half: &[u64], rc: &[u64]) -> Vec<u64> {
+    pasta_math::linalg::vec_add(zp, half, rc)
+}
+
+/// Applies Mix to the two halves (in place), returning the latency.
+pub fn mix(zp: &Zp, left: &mut [u64], right: &mut [u64]) -> u64 {
+    layers::mix(zp, left, right);
+    MIX_CYCLES
+}
+
+/// Applies the round-appropriate S-box to the full state (in place),
+/// returning the latency. `is_final_round` selects cube vs Feistel.
+pub fn sbox(zp: &Zp, state: &mut [u64], is_final_round: bool) -> u64 {
+    if is_final_round {
+        layers::sbox_cube(zp, state);
+        SBOX_CUBE_CYCLES
+    } else {
+        layers::sbox_feistel(zp, state);
+        SBOX_FEISTEL_CYCLES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_math::{Modulus, Zp};
+
+    fn zp17() -> Zp {
+        Zp::new(Modulus::PASTA_17_BIT).unwrap()
+    }
+
+    #[test]
+    fn rc_add_matches_reference() {
+        let zp = zp17();
+        let half = vec![65_530u64, 1, 2];
+        let rc = vec![10u64, 20, 65_536];
+        assert_eq!(rc_add(&zp, &half, &rc), vec![3, 21, 1]);
+    }
+
+    #[test]
+    fn mix_and_sbox_delegate_to_reference_layers() {
+        let zp = zp17();
+        let mut l = vec![5u64, 6];
+        let mut r = vec![7u64, 8];
+        let (mut l2, mut r2) = (l.clone(), r.clone());
+        assert_eq!(mix(&zp, &mut l, &mut r), MIX_CYCLES);
+        pasta_core::layers::mix(&zp, &mut l2, &mut r2);
+        assert_eq!((l, r), (l2, r2));
+
+        let mut s = vec![2u64, 3, 4];
+        let mut s2 = s.clone();
+        assert_eq!(sbox(&zp, &mut s, false), SBOX_FEISTEL_CYCLES);
+        pasta_core::layers::sbox_feistel(&zp, &mut s2);
+        assert_eq!(s, s2);
+
+        let mut c = vec![2u64, 3, 4];
+        let mut c2 = c.clone();
+        assert_eq!(sbox(&zp, &mut c, true), SBOX_CUBE_CYCLES);
+        pasta_core::layers::sbox_cube(&zp, &mut c2);
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn latencies_are_small_relative_to_xof() {
+        // §III.B: vector ops must hide under the generation of the next
+        // t-element XOF vector (t cycles minimum).
+        let worst_round_tail = VEC_ADD_CYCLES + MIX_CYCLES + SBOX_CUBE_CYCLES;
+        assert!(worst_round_tail < 32, "round tail {worst_round_tail} must hide under t = 32");
+    }
+}

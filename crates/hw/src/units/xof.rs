@@ -1,0 +1,240 @@
+//! Cycle-stepped model of the hardware XOF unit (paper §III.A).
+//!
+//! The unit absorbs the nonce and counter, then alternates Keccak-f\[1600\]
+//! permutations with squeeze windows that emit one 64-bit word per clock
+//! cycle. Two core variants are modelled:
+//!
+//! - **Naive**: permutation (24 cc) and squeeze (21 cc) strictly
+//!   alternate;
+//! - **Squeeze-parallel** (the design the paper adopts, after KaLi): a
+//!   second 1,600-bit state buffer lets the next permutation run *during*
+//!   the current squeeze window, leaving only a 5-cycle gap between
+//!   windows.
+//!
+//! The words produced are the real SHAKE128 stream (via
+//! [`pasta_keccak::Sponge`]), so everything downstream is functionally
+//! exact, and the emission cycle of every word is modelled exactly.
+
+use pasta_keccak::timing::{CYCLES_PER_PERMUTATION, SQUEEZE_PARALLEL_GAP, WORDS_PER_BATCH};
+use pasta_keccak::{Sponge, XofCoreKind};
+
+/// Cycles to absorb the nonce (128 bits) and counter (64 bits): three
+/// 64-bit words, one per cycle, into the rate portion of the state.
+pub const ABSORB_CYCLES: u64 = 3;
+
+/// One-word-per-cycle XOF front end with exact batch timing.
+#[derive(Debug, Clone)]
+pub struct XofUnit {
+    sponge: Sponge,
+    core: XofCoreKind,
+    state: XofState,
+    /// Words remaining in the current squeeze window.
+    words_left_in_window: u64,
+    /// Total words emitted.
+    words_emitted: u64,
+    /// Cycles spent stalled by downstream backpressure.
+    stall_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum XofState {
+    /// Absorbing the seed words (counts down).
+    Absorb(u64),
+    /// Running a blocking permutation (counts down) — initial permutation
+    /// for both cores, and every permutation for the naive core.
+    Permute(u64),
+    /// Emitting one word per cycle.
+    Squeeze,
+    /// Inter-window gap of the squeeze-parallel core (counts down).
+    Gap(u64),
+}
+
+impl XofUnit {
+    /// Seeds the unit with `nonce ‖ counter` (the same convention as
+    /// `pasta_core::sampler::XofSampler`, guaranteeing identical streams).
+    #[must_use]
+    pub fn new(core: XofCoreKind, nonce: u128, counter: u64) -> Self {
+        let mut sponge = Sponge::new(168, 0x1F);
+        sponge.absorb(&nonce.to_le_bytes());
+        sponge.absorb(&counter.to_le_bytes());
+        sponge.pad_and_switch();
+        XofUnit {
+            sponge,
+            core,
+            state: XofState::Absorb(ABSORB_CYCLES),
+            words_left_in_window: 0,
+            words_emitted: 0,
+            stall_cycles: 0,
+        }
+    }
+
+    /// Advances one clock cycle. Returns the word emitted this cycle, if
+    /// any. `ready` is the downstream ready signal: when false during a
+    /// squeeze window the unit stalls (the word is *not* emitted and the
+    /// cycle is counted as a stall).
+    pub fn tick(&mut self, ready: bool) -> Option<u64> {
+        match self.state {
+            XofState::Absorb(n) => {
+                self.state = if n > 1 {
+                    XofState::Absorb(n - 1)
+                } else {
+                    XofState::Permute(CYCLES_PER_PERMUTATION)
+                };
+                None
+            }
+            XofState::Permute(n) => {
+                self.state = if n > 1 {
+                    XofState::Permute(n - 1)
+                } else {
+                    self.words_left_in_window = WORDS_PER_BATCH;
+                    XofState::Squeeze
+                };
+                None
+            }
+            XofState::Squeeze => {
+                if !ready {
+                    self.stall_cycles += 1;
+                    return None;
+                }
+                let word = self.sponge.squeeze_u64();
+                self.words_emitted += 1;
+                self.words_left_in_window -= 1;
+                if self.words_left_in_window == 0 {
+                    self.state = match self.core {
+                        XofCoreKind::Naive => XofState::Permute(CYCLES_PER_PERMUTATION),
+                        // The permutation already ran in the shadow of this
+                        // window; only the buffer swap gap remains.
+                        XofCoreKind::SqueezeParallel => XofState::Gap(SQUEEZE_PARALLEL_GAP),
+                    };
+                }
+                Some(word)
+            }
+            XofState::Gap(n) => {
+                self.state = if n > 1 {
+                    XofState::Gap(n - 1)
+                } else {
+                    self.words_left_in_window = WORDS_PER_BATCH;
+                    XofState::Squeeze
+                };
+                None
+            }
+        }
+    }
+
+    /// Total words emitted so far.
+    #[must_use]
+    pub fn words_emitted(&self) -> u64 {
+        self.words_emitted
+    }
+
+    /// Keccak permutations executed so far (functional count from the
+    /// sponge; the timing model's shadow permutations coincide with it).
+    #[must_use]
+    pub fn permutations(&self) -> u64 {
+        self.sponge.permutations()
+    }
+
+    /// Cycles lost to downstream backpressure.
+    #[must_use]
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// The modelled core variant.
+    #[must_use]
+    pub fn core(&self) -> XofCoreKind {
+        self.core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_keccak::Shake128;
+
+    fn drain(unit: &mut XofUnit, n: usize) -> (Vec<u64>, u64) {
+        let mut words = Vec::with_capacity(n);
+        let mut cycles = 0u64;
+        while words.len() < n {
+            if let Some(w) = unit.tick(true) {
+                words.push(w);
+            }
+            cycles += 1;
+            assert!(cycles < 1_000_000, "simulation runaway");
+        }
+        (words, cycles)
+    }
+
+    #[test]
+    fn stream_matches_software_shake() {
+        let mut unit = XofUnit::new(XofCoreKind::SqueezeParallel, 0xFEED, 7);
+        let (words, _) = drain(&mut unit, 50);
+        let mut xof = Shake128::new();
+        xof.absorb(&0xFEEDu128.to_le_bytes());
+        xof.absorb(&7u64.to_le_bytes());
+        let mut reader = xof.finalize();
+        let expect: Vec<u64> = (0..50).map(|_| reader.next_u64()).collect();
+        assert_eq!(words, expect);
+    }
+
+    #[test]
+    fn first_word_latency() {
+        // absorb (3) + permutation (24): word 0 arrives on cycle 28.
+        let mut unit = XofUnit::new(XofCoreKind::SqueezeParallel, 0, 0);
+        let (_, cycles) = drain(&mut unit, 1);
+        assert_eq!(cycles, ABSORB_CYCLES + CYCLES_PER_PERMUTATION + 1);
+    }
+
+    #[test]
+    fn squeeze_parallel_window_cadence() {
+        // After the first window, each subsequent batch of 21 words costs
+        // 21 + 5 cycles (§IV.B).
+        let mut unit = XofUnit::new(XofCoreKind::SqueezeParallel, 1, 1);
+        let (_, to_21) = drain(&mut unit, 21);
+        let mut unit2 = XofUnit::new(XofCoreKind::SqueezeParallel, 1, 1);
+        let (_, to_42) = drain(&mut unit2, 42);
+        assert_eq!(to_42 - to_21, WORDS_PER_BATCH + SQUEEZE_PARALLEL_GAP);
+    }
+
+    #[test]
+    fn naive_window_cadence() {
+        // Naive core: 24 + 21 cycles per batch.
+        let mut unit = XofUnit::new(XofCoreKind::Naive, 1, 1);
+        let (_, to_21) = drain(&mut unit, 21);
+        let mut unit2 = XofUnit::new(XofCoreKind::Naive, 1, 1);
+        let (_, to_42) = drain(&mut unit2, 42);
+        assert_eq!(to_42 - to_21, CYCLES_PER_PERMUTATION + WORDS_PER_BATCH);
+    }
+
+    #[test]
+    fn backpressure_stalls_without_losing_words() {
+        let mut stalled = XofUnit::new(XofCoreKind::SqueezeParallel, 3, 3);
+        let mut free = XofUnit::new(XofCoreKind::SqueezeParallel, 3, 3);
+        // Stall every other cycle.
+        let mut words_stalled = Vec::new();
+        let mut toggle = false;
+        let mut cycles = 0;
+        while words_stalled.len() < 30 {
+            toggle = !toggle;
+            if let Some(w) = stalled.tick(toggle) {
+                words_stalled.push(w);
+            }
+            cycles += 1;
+            assert!(cycles < 10_000);
+        }
+        let (words_free, _) = drain(&mut free, 30);
+        assert_eq!(words_stalled, words_free, "stalling must not corrupt the stream");
+        assert!(stalled.stall_cycles() > 0);
+        assert_eq!(free.stall_cycles(), 0);
+    }
+
+    #[test]
+    fn core_variants_produce_identical_data() {
+        let mut a = XofUnit::new(XofCoreKind::Naive, 9, 9);
+        let mut b = XofUnit::new(XofCoreKind::SqueezeParallel, 9, 9);
+        let (wa, ca) = drain(&mut a, 100);
+        let (wb, cb) = drain(&mut b, 100);
+        assert_eq!(wa, wb);
+        assert!(ca > cb, "naive core must be slower (got {ca} vs {cb})");
+    }
+}

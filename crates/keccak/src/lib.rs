@@ -1,0 +1,45 @@
+//! Keccak-f\[1600\] and the SHAKE extendable-output functions.
+//!
+//! PASTA (and every modern HHE-enabling cipher) derives its round material
+//! — invertible matrices and round constants — from SHAKE128, "a giant
+//! building block even in post-quantum schemes" (paper §I.A). The
+//! cryptoprocessor's performance is dominated by this XOF: one Keccak
+//! permutation takes 24 clock cycles and yields 21 usable 64-bit words at
+//! the SHAKE128 rate of 1,344 bits (§IV.B).
+//!
+//! This crate provides:
+//!
+//! - [`permutation`]: the bit-exact Keccak-f\[1600\] permutation;
+//! - [`sponge`]: a generic incremental sponge;
+//! - [`shake`]: [`Shake128`]/[`Shake256`] with incremental absorb and an
+//!   unbounded [`XofReader`] squeeze phase;
+//! - [`timing`]: the clock-cycle model of the two hardware XOF variants the
+//!   paper discusses — the naive serial core and the squeeze-parallel core
+//!   (KaLi-style) that the design adopts (21 + 5 cycles between squeeze
+//!   batches, at the cost of two 1,600-bit state buffers).
+//!
+//! # Examples
+//!
+//! ```
+//! use pasta_keccak::Shake128;
+//!
+//! let mut xof = Shake128::new();
+//! xof.absorb(b"nonce and counter");
+//! let mut reader = xof.finalize();
+//! let word: u64 = reader.next_u64();
+//! let more: u64 = reader.next_u64();
+//! assert_ne!(word, more);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod permutation;
+pub mod shake;
+pub mod sponge;
+pub mod timing;
+
+pub use permutation::{keccak_f1600, KECCAK_ROUNDS};
+pub use shake::{Shake128, Shake256, XofReader};
+pub use sponge::Sponge;
+pub use timing::{XofCoreKind, XofTiming};

@@ -1,0 +1,147 @@
+//! The Keccak-f\[1600\] permutation (FIPS 202).
+//!
+//! The state is 25 lanes of 64 bits, indexed `A[x + 5y]`. One permutation
+//! is 24 rounds of θ, ρ, π, χ, ι — which the hardware executes in 24 clock
+//! cycles (one round per cycle, paper §IV.B).
+
+/// Number of rounds in Keccak-f\[1600\] (and clock cycles per permutation in
+/// the one-round-per-cycle hardware core).
+pub const KECCAK_ROUNDS: usize = 24;
+
+/// Round constants for the ι step.
+const RC: [u64; KECCAK_ROUNDS] = [
+    0x0000_0000_0000_0001,
+    0x0000_0000_0000_8082,
+    0x8000_0000_0000_808a,
+    0x8000_0000_8000_8000,
+    0x0000_0000_0000_808b,
+    0x0000_0000_8000_0001,
+    0x8000_0000_8000_8081,
+    0x8000_0000_0000_8009,
+    0x0000_0000_0000_008a,
+    0x0000_0000_0000_0088,
+    0x0000_0000_8000_8009,
+    0x0000_0000_8000_000a,
+    0x0000_0000_8000_808b,
+    0x8000_0000_0000_008b,
+    0x8000_0000_0000_8089,
+    0x8000_0000_0000_8003,
+    0x8000_0000_0000_8002,
+    0x8000_0000_0000_0080,
+    0x0000_0000_0000_800a,
+    0x8000_0000_8000_000a,
+    0x8000_0000_8000_8081,
+    0x8000_0000_0000_8080,
+    0x0000_0000_8000_0001,
+    0x8000_0000_8000_8008,
+];
+
+/// Rotation offsets `r[x][y]` for the ρ step.
+const RHO: [[u32; 5]; 5] = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+];
+
+/// Applies one Keccak-f\[1600\] round (θ, ρ, π, χ, ι) in place.
+///
+/// Exposed so the cycle-accurate hardware model can step the core one
+/// round (= one clock cycle) at a time.
+pub fn keccak_round(state: &mut [u64; 25], round: usize) {
+    debug_assert!(round < KECCAK_ROUNDS);
+    // θ
+    let mut c = [0u64; 5];
+    for (x, cx) in c.iter_mut().enumerate() {
+        *cx = state[x] ^ state[x + 5] ^ state[x + 10] ^ state[x + 15] ^ state[x + 20];
+    }
+    for x in 0..5 {
+        let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+        for y in 0..5 {
+            state[x + 5 * y] ^= d;
+        }
+    }
+    // ρ and π
+    let mut b = [0u64; 25];
+    for x in 0..5 {
+        for y in 0..5 {
+            let nx = y;
+            let ny = (2 * x + 3 * y) % 5;
+            b[nx + 5 * ny] = state[x + 5 * y].rotate_left(RHO[x][y]);
+        }
+    }
+    // χ
+    for y in 0..5 {
+        for x in 0..5 {
+            state[x + 5 * y] = b[x + 5 * y] ^ (!b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+        }
+    }
+    // ι
+    state[0] ^= RC[round];
+}
+
+/// Applies the full 24-round Keccak-f\[1600\] permutation in place.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_keccak::keccak_f1600;
+/// let mut state = [0u64; 25];
+/// keccak_f1600(&mut state);
+/// assert_eq!(state[0], 0xF125_8F79_40E1_DDE7);
+/// ```
+pub fn keccak_f1600(state: &mut [u64; 25]) {
+    for round in 0..KECCAK_ROUNDS {
+        keccak_round(state, round);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Known-answer test: Keccak-f\[1600\] applied to the all-zero state
+    /// (the standard KAT distributed with the Keccak reference code).
+    #[test]
+    fn zero_state_known_answer() {
+        let mut state = [0u64; 25];
+        keccak_f1600(&mut state);
+        assert_eq!(state[0], 0xF125_8F79_40E1_DDE7);
+        assert_eq!(state[1], 0x84D5_CCF9_33C0_478A);
+        assert_eq!(state[2], 0xD598_261E_A65A_A9EE);
+        assert_eq!(state[3], 0xBD15_4730_6F80_494D);
+        assert_eq!(state[4], 0x8B28_4E05_6253_D057);
+    }
+
+    #[test]
+    fn permutation_is_not_identity_and_diffuses() {
+        let mut a = [0u64; 25];
+        let mut b = [0u64; 25];
+        b[0] = 1; // single-bit difference
+        keccak_f1600(&mut a);
+        keccak_f1600(&mut b);
+        let differing_lanes = a.iter().zip(b.iter()).filter(|(x, y)| x != y).count();
+        assert_eq!(differing_lanes, 25, "one input bit must diffuse to all lanes");
+    }
+
+    #[test]
+    fn stepping_rounds_equals_full_permutation() {
+        let mut full = [0x1234_5678_9abc_def0u64; 25];
+        let mut stepped = full;
+        keccak_f1600(&mut full);
+        for round in 0..KECCAK_ROUNDS {
+            keccak_round(&mut stepped, round);
+        }
+        assert_eq!(full, stepped);
+    }
+
+    #[test]
+    fn double_permutation_differs_from_single() {
+        let mut once = [7u64; 25];
+        keccak_f1600(&mut once);
+        let mut twice = once;
+        keccak_f1600(&mut twice);
+        assert_ne!(once, twice);
+    }
+}

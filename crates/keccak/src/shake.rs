@@ -1,0 +1,176 @@
+//! SHAKE128 and SHAKE256 extendable-output functions (FIPS 202).
+
+use crate::sponge::Sponge;
+
+/// SHAKE128 rate in bytes (1,344 bits — 21 words of 64 bits, the squeeze
+/// batch size the paper's throughput analysis is built on).
+pub const SHAKE128_RATE: usize = 168;
+/// SHAKE256 rate in bytes (1,088 bits).
+pub const SHAKE256_RATE: usize = 136;
+/// SHAKE domain-separation byte.
+const SHAKE_DOMAIN: u8 = 0x1F;
+
+/// The SHAKE128 XOF in its absorb phase.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_keccak::Shake128;
+/// let mut xof = Shake128::new();
+/// xof.absorb(b"");
+/// let mut out = [0u8; 32];
+/// xof.finalize().read(&mut out);
+/// assert_eq!(out[..4], [0x7f, 0x9c, 0x2b, 0xa4]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Shake128 {
+    sponge: Option<Sponge>,
+}
+
+/// The SHAKE256 XOF in its absorb phase.
+#[derive(Debug, Clone, Default)]
+pub struct Shake256 {
+    sponge: Option<Sponge>,
+}
+
+macro_rules! impl_shake {
+    ($name:ident, $rate:expr) => {
+        impl $name {
+            /// Creates a fresh XOF instance.
+            #[must_use]
+            pub fn new() -> Self {
+                $name { sponge: Some(Sponge::new($rate, SHAKE_DOMAIN)) }
+            }
+
+            /// Absorbs input bytes (may be called repeatedly).
+            pub fn absorb(&mut self, data: &[u8]) {
+                self.sponge
+                    .as_mut()
+                    .expect("XOF already finalized")
+                    .absorb(data);
+            }
+
+            /// Finalizes the absorb phase and returns an unbounded reader.
+            #[must_use]
+            pub fn finalize(mut self) -> XofReader {
+                let mut sponge = self.sponge.take().expect("XOF already finalized");
+                sponge.pad_and_switch();
+                XofReader { sponge }
+            }
+
+            /// One-shot convenience: absorb `data`, squeeze `n` bytes.
+            #[must_use]
+            pub fn digest(data: &[u8], n: usize) -> Vec<u8> {
+                let mut xof = Self::new();
+                xof.absorb(data);
+                let mut out = vec![0u8; n];
+                xof.finalize().read(&mut out);
+                out
+            }
+        }
+    };
+}
+
+impl_shake!(Shake128, SHAKE128_RATE);
+impl_shake!(Shake256, SHAKE256_RATE);
+
+/// The squeeze phase of a SHAKE XOF: an unbounded byte/word stream.
+#[derive(Debug, Clone)]
+pub struct XofReader {
+    sponge: Sponge,
+}
+
+impl XofReader {
+    /// Fills `out` with the next output bytes.
+    pub fn read(&mut self, out: &mut [u8]) {
+        self.sponge.squeeze(out);
+    }
+
+    /// Returns the next 64-bit little-endian word — the granularity at
+    /// which the hardware rejection sampler consumes the XOF (§III.A).
+    #[must_use]
+    pub fn next_u64(&mut self) -> u64 {
+        self.sponge.squeeze_u64()
+    }
+
+    /// Number of Keccak permutations executed so far (absorb + squeeze),
+    /// feeding the §IV.B Keccak-call statistics.
+    #[must_use]
+    pub fn permutations(&self) -> u64 {
+        self.sponge.permutations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// FIPS 202 known-answer: SHAKE128 of the empty string.
+    #[test]
+    fn shake128_empty_kat() {
+        let out = Shake128::digest(b"", 32);
+        assert_eq!(hex(&out), "7f9c2ba4e88f827d616045507605853ed73b8093f6efbc88eb1a6eacfa66ef26");
+    }
+
+    /// FIPS 202 known-answer: SHAKE256 of the empty string.
+    #[test]
+    fn shake256_empty_kat() {
+        let out = Shake256::digest(b"", 64);
+        assert_eq!(
+            hex(&out),
+            "46b9dd2b0ba88d13233b3feb743eeb243fcd52ea62b81b82b50c27646ed5762f\
+             d75dc4ddd8c0f200cb05019d67b592f6fc821c49479ab48640292eacb3b7c4be"
+        );
+    }
+
+    #[test]
+    fn reading_in_pieces_matches_oneshot() {
+        let oneshot = Shake128::digest(b"pasta", 100);
+        let mut xof = Shake128::new();
+        xof.absorb(b"pas");
+        xof.absorb(b"ta");
+        let mut reader = xof.finalize();
+        let mut pieces = Vec::new();
+        for n in [1usize, 2, 3, 10, 84] {
+            let mut buf = vec![0u8; n];
+            reader.read(&mut buf);
+            pieces.extend_from_slice(&buf);
+        }
+        assert_eq!(pieces, oneshot);
+    }
+
+    #[test]
+    fn next_u64_is_little_endian_prefix() {
+        let bytes = Shake128::digest(b"seed", 8);
+        let mut xof = Shake128::new();
+        xof.absorb(b"seed");
+        let word = xof.finalize().next_u64();
+        assert_eq!(word, u64::from_le_bytes(bytes.try_into().unwrap()));
+    }
+
+    #[test]
+    fn distinct_inputs_give_distinct_streams() {
+        assert_ne!(Shake128::digest(b"a", 32), Shake128::digest(b"b", 32));
+        assert_ne!(Shake128::digest(b"", 32), Shake256::digest(b"", 32));
+    }
+
+    #[test]
+    fn one_permutation_per_21_words() {
+        // SHAKE128 rate = 21 × 64-bit words: squeezing word 22 must cost a
+        // second squeeze permutation (the §IV.B accounting).
+        let mut xof = Shake128::new();
+        xof.absorb(b"x");
+        let mut reader = xof.finalize();
+        assert_eq!(reader.permutations(), 1);
+        for _ in 0..21 {
+            let _ = reader.next_u64();
+        }
+        assert_eq!(reader.permutations(), 1);
+        let _ = reader.next_u64();
+        assert_eq!(reader.permutations(), 2);
+    }
+}

@@ -1,0 +1,206 @@
+//! A generic incremental Keccak sponge.
+
+use crate::permutation::keccak_f1600;
+
+/// An incremental Keccak\[1600\] sponge with a configurable rate.
+///
+/// The sponge absorbs bytes into the rate portion of the state, permuting
+/// whenever the rate block fills, and squeezes bytes out of the rate
+/// portion, permuting whenever it is exhausted.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_keccak::Sponge;
+/// let mut s = Sponge::new(168, 0x1F); // SHAKE128 parameters
+/// s.absorb(b"seed");
+/// s.pad_and_switch();
+/// let mut out = [0u8; 16];
+/// s.squeeze(&mut out);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sponge {
+    state: [u64; 25],
+    rate: usize,
+    domain: u8,
+    /// Byte position within the current rate block.
+    position: usize,
+    squeezing: bool,
+    /// Number of Keccak permutations executed so far (for the timing model
+    /// and the paper's §IV.B Keccak-call statistics).
+    permutations: u64,
+}
+
+impl Sponge {
+    /// Creates a sponge with the given `rate` in bytes and domain
+    /// separation byte (`0x1F` for SHAKE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is zero, not a multiple of 8, or ≥ 200 bytes.
+    #[must_use]
+    pub fn new(rate: usize, domain: u8) -> Self {
+        assert!(rate > 0 && rate < 200 && rate.is_multiple_of(8), "invalid sponge rate {rate}");
+        Sponge { state: [0; 25], rate, domain, position: 0, squeezing: false, permutations: 0 }
+    }
+
+    /// Absorbs `data` into the sponge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`Sponge::pad_and_switch`].
+    pub fn absorb(&mut self, data: &[u8]) {
+        assert!(!self.squeezing, "cannot absorb after switching to squeeze phase");
+        for &byte in data {
+            self.xor_byte(self.position, byte);
+            self.position += 1;
+            if self.position == self.rate {
+                self.permute();
+            }
+        }
+    }
+
+    /// Applies the pad10*1 padding (with the domain byte) and switches to
+    /// the squeeze phase.
+    pub fn pad_and_switch(&mut self) {
+        assert!(!self.squeezing, "already in squeeze phase");
+        self.xor_byte(self.position, self.domain);
+        self.xor_byte(self.rate - 1, 0x80);
+        self.permute();
+        self.squeezing = true;
+    }
+
+    /// Squeezes `out.len()` bytes from the sponge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Sponge::pad_and_switch`].
+    pub fn squeeze(&mut self, out: &mut [u8]) {
+        assert!(self.squeezing, "must pad_and_switch before squeezing");
+        for byte in out.iter_mut() {
+            if self.position == self.rate {
+                self.permute();
+            }
+            *byte = self.read_byte(self.position);
+            self.position += 1;
+        }
+    }
+
+    /// Squeezes the next 64-bit word (little-endian), the granularity the
+    /// hardware rejection sampler consumes.
+    #[must_use]
+    pub fn squeeze_u64(&mut self) -> u64 {
+        let mut buf = [0u8; 8];
+        self.squeeze(&mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Number of Keccak-f\[1600\] permutations executed so far.
+    #[must_use]
+    pub fn permutations(&self) -> u64 {
+        self.permutations
+    }
+
+    /// The sponge rate in bytes.
+    #[must_use]
+    pub fn rate(&self) -> usize {
+        self.rate
+    }
+
+    fn permute(&mut self) {
+        keccak_f1600(&mut self.state);
+        self.permutations += 1;
+        self.position = 0;
+    }
+
+    fn xor_byte(&mut self, pos: usize, byte: u8) {
+        let lane = pos / 8;
+        let shift = (pos % 8) * 8;
+        self.state[lane] ^= u64::from(byte) << shift;
+    }
+
+    fn read_byte(&self, pos: usize) -> u8 {
+        let lane = pos / 8;
+        let shift = (pos % 8) * 8;
+        (self.state[lane] >> shift) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_absorb_equals_oneshot() {
+        let data = (0u8..=255).collect::<Vec<_>>();
+        let mut oneshot = Sponge::new(168, 0x1F);
+        oneshot.absorb(&data);
+        oneshot.pad_and_switch();
+        let mut a = [0u8; 64];
+        oneshot.squeeze(&mut a);
+
+        let mut incremental = Sponge::new(168, 0x1F);
+        for chunk in data.chunks(7) {
+            incremental.absorb(chunk);
+        }
+        incremental.pad_and_switch();
+        let mut b = [0u8; 64];
+        incremental.squeeze(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn incremental_squeeze_equals_oneshot() {
+        let mut oneshot = Sponge::new(168, 0x1F);
+        oneshot.absorb(b"x");
+        oneshot.pad_and_switch();
+        let mut a = vec![0u8; 400]; // crosses two rate boundaries
+        oneshot.squeeze(&mut a);
+
+        let mut incremental = Sponge::new(168, 0x1F);
+        incremental.absorb(b"x");
+        incremental.pad_and_switch();
+        let mut b = Vec::new();
+        for _ in 0..40 {
+            let mut chunk = [0u8; 10];
+            incremental.squeeze(&mut chunk);
+            b.extend_from_slice(&chunk);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rate_boundary_absorption_permutes() {
+        let mut s = Sponge::new(168, 0x1F);
+        s.absorb(&[0u8; 167]);
+        assert_eq!(s.permutations(), 0);
+        s.absorb(&[0u8]);
+        assert_eq!(s.permutations(), 1);
+    }
+
+    #[test]
+    fn permutation_count_during_squeeze() {
+        let mut s = Sponge::new(168, 0x1F);
+        s.pad_and_switch();
+        assert_eq!(s.permutations(), 1);
+        let mut buf = vec![0u8; 168];
+        s.squeeze(&mut buf); // exactly one block: no extra permutation yet
+        assert_eq!(s.permutations(), 1);
+        s.squeeze(&mut [0u8]);
+        assert_eq!(s.permutations(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot absorb")]
+    fn absorb_after_squeeze_panics() {
+        let mut s = Sponge::new(168, 0x1F);
+        s.pad_and_switch();
+        s.absorb(b"late");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sponge rate")]
+    fn bad_rate_panics() {
+        let _ = Sponge::new(7, 0x1F);
+    }
+}

@@ -1,0 +1,167 @@
+//! Clock-cycle model of the hardware XOF core.
+//!
+//! §IV.B of the paper develops the XOF cost model that dominates the whole
+//! design:
+//!
+//! - one Keccak permutation = **24 clock cycles** (one round per cycle);
+//! - one permutation yields **21 usable 64-bit words** (SHAKE128 rate
+//!   1,344 bits);
+//! - a *naive* core serializes permutation and squeeze: each 21-word batch
+//!   costs 24 + 21 cycles;
+//! - the adopted *squeeze-parallel* core (KaLi-style, two 1,600-bit state
+//!   buffers) hides the permutation behind the squeeze of the previous
+//!   batch, leaving only **21 + 5 cycles** per batch.
+//!
+//! With the ≈2× rejection rate of `p = 65537`, PASTA-4 needs on average 60
+//! permutations → `60 × (21 + 5) = 1,560` cycles of XOF time, and PASTA-3
+//! needs ≈186 → `4,836` cycles. These formulas are exposed here and
+//! cross-checked against the cycle-accurate simulator in `pasta-hw`.
+
+/// Words of usable output per SHAKE128 squeeze batch.
+pub const WORDS_PER_BATCH: u64 = 21;
+/// Clock cycles per Keccak-f\[1600\] permutation in the hardware core.
+pub const CYCLES_PER_PERMUTATION: u64 = 24;
+/// Extra cycles between squeeze batches in the squeeze-parallel core.
+pub const SQUEEZE_PARALLEL_GAP: u64 = 5;
+
+/// Which hardware XOF core variant is modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum XofCoreKind {
+    /// Permutation and squeeze serialized: `24 + 21` cycles per batch.
+    Naive,
+    /// Permutation overlapped with the previous squeeze: `21 + 5` cycles
+    /// per batch (requires a second 1,600-bit state buffer).
+    SqueezeParallel,
+}
+
+/// Cycle cost model for a given XOF core variant.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_keccak::{XofCoreKind, XofTiming};
+/// let t = XofTiming::new(XofCoreKind::SqueezeParallel);
+/// // The paper's PASTA-4 estimate: 60 batches -> 1,560 cycles.
+/// assert_eq!(t.cycles_for_batches(60), 1_560);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XofTiming {
+    kind: XofCoreKind,
+}
+
+impl XofTiming {
+    /// Creates a timing model for the chosen core.
+    #[must_use]
+    pub fn new(kind: XofCoreKind) -> Self {
+        XofTiming { kind }
+    }
+
+    /// The modelled core variant.
+    #[must_use]
+    pub fn kind(&self) -> XofCoreKind {
+        self.kind
+    }
+
+    /// Cycles per squeeze batch of 21 words.
+    #[must_use]
+    pub fn cycles_per_batch(&self) -> u64 {
+        match self.kind {
+            XofCoreKind::Naive => CYCLES_PER_PERMUTATION + WORDS_PER_BATCH,
+            XofCoreKind::SqueezeParallel => WORDS_PER_BATCH + SQUEEZE_PARALLEL_GAP,
+        }
+    }
+
+    /// Cycles to produce `batches` squeeze batches.
+    #[must_use]
+    pub fn cycles_for_batches(&self, batches: u64) -> u64 {
+        batches * self.cycles_per_batch()
+    }
+
+    /// Cycles to produce at least `words` raw 64-bit words.
+    #[must_use]
+    pub fn cycles_for_words(&self, words: u64) -> u64 {
+        self.cycles_for_batches(words.div_ceil(WORDS_PER_BATCH))
+    }
+
+    /// Expected number of raw words (before rejection) needed for
+    /// `coefficients` accepted samples at the given acceptance rate, and
+    /// the resulting expected cycle count.
+    ///
+    /// `acceptance` is the probability that one masked draw lands below
+    /// `p` (e.g. ≈0.5 for `p = 65537`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acceptance` is not within `(0, 1]`.
+    #[must_use]
+    pub fn expected_cycles_for_samples(&self, coefficients: u64, acceptance: f64) -> u64 {
+        assert!(acceptance > 0.0 && acceptance <= 1.0, "acceptance must be in (0, 1]");
+        let words = (coefficients as f64 / acceptance).ceil() as u64;
+        self.cycles_for_words(words)
+    }
+
+    /// Area overhead of the core in 1,600-bit state buffers.
+    #[must_use]
+    pub fn state_buffers(&self) -> u32 {
+        match self.kind {
+            XofCoreKind::Naive => 1,
+            XofCoreKind::SqueezeParallel => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pasta4_xof_budget() {
+        // §IV.B: "the Keccak round function alone consumes 1,440 cc
+        // (60 × 24)" for the naive permutation time, and the parallel core
+        // leaves 60 · (21 + 5) = 1,560 cc.
+        assert_eq!(60 * CYCLES_PER_PERMUTATION, 1_440);
+        let parallel = XofTiming::new(XofCoreKind::SqueezeParallel);
+        assert_eq!(parallel.cycles_for_batches(60), 1_560);
+    }
+
+    #[test]
+    fn paper_pasta3_xof_budget() {
+        // §IV.B: 186 Keccak calls -> 186 · (21 + 5) = 4,836 cc.
+        let parallel = XofTiming::new(XofCoreKind::SqueezeParallel);
+        assert_eq!(parallel.cycles_for_batches(186), 4_836);
+    }
+
+    #[test]
+    fn naive_core_nearly_doubles_cost() {
+        // §IV.B: "the clock cycle almost doubles for a naive Keccak
+        // implementation".
+        let naive = XofTiming::new(XofCoreKind::Naive);
+        let parallel = XofTiming::new(XofCoreKind::SqueezeParallel);
+        let ratio = naive.cycles_for_batches(60) as f64 / parallel.cycles_for_batches(60) as f64;
+        assert!(ratio > 1.7 && ratio < 1.8, "naive/parallel = {ratio}");
+        assert_eq!(naive.state_buffers(), 1);
+        assert_eq!(parallel.state_buffers(), 2);
+    }
+
+    #[test]
+    fn words_round_up_to_batches() {
+        let t = XofTiming::new(XofCoreKind::SqueezeParallel);
+        assert_eq!(t.cycles_for_words(1), t.cycles_per_batch());
+        assert_eq!(t.cycles_for_words(21), t.cycles_per_batch());
+        assert_eq!(t.cycles_for_words(22), 2 * t.cycles_per_batch());
+    }
+
+    #[test]
+    fn rejection_doubles_word_demand() {
+        let t = XofTiming::new(XofCoreKind::SqueezeParallel);
+        let ideal = t.expected_cycles_for_samples(640, 1.0);
+        let rejected = t.expected_cycles_for_samples(640, 0.5);
+        assert!(rejected >= 2 * ideal - t.cycles_per_batch());
+    }
+
+    #[test]
+    #[should_panic(expected = "acceptance")]
+    fn invalid_acceptance_panics() {
+        let _ = XofTiming::new(XofCoreKind::Naive).expected_cycles_for_samples(10, 0.0);
+    }
+}

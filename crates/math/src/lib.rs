@@ -1,0 +1,83 @@
+//! Modular arithmetic substrate for HHE-enabling symmetric ciphers.
+//!
+//! HHE-enabling ciphers such as PASTA operate over prime fields `F_p` with
+//! `p` between 17 and 60 bits, in contrast to traditional symmetric ciphers
+//! defined over `Z_2`. The PASTA-on-Edge cryptoprocessor exploits moduli
+//! with *Mersenne structure* (`2^a ± 2^b ± 1`) to replace generic modular
+//! reduction with a few shifts and additions after every multiplication
+//! (paper §III.D). This crate provides:
+//!
+//! - [`prime`]: deterministic Miller–Rabin primality testing for `u64` and a
+//!   structured-prime search mirroring the parameter selection of the paper;
+//! - [`reduce`]: the add–shift reduction used by the hardware, next to a
+//!   Barrett reducer and a naive `u128 %` baseline used for cross-checking
+//!   and for the ablation benches;
+//! - [`zp`]: a prime-field context [`Zp`] with the full set of field
+//!   operations (including inversion and exponentiation) on bare `u64`
+//!   residues, as the hardware datapath would see them;
+//! - [`linalg`]: small dense vector/matrix helpers over `F_p` shared by the
+//!   cipher, the hardware model and the FHE substrate.
+//!
+//! # Examples
+//!
+//! ```
+//! use pasta_math::{Zp, Modulus};
+//!
+//! let zp = Zp::new(Modulus::PASTA_17_BIT)?;
+//! let a = zp.mul(65_536, 65_536); // (p-1)^2 mod p
+//! assert_eq!(a, 1);
+//! assert_eq!(zp.inv(3)?, zp.pow(3, zp.modulus().value() - 2));
+//! # Ok::<(), pasta_math::MathError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod linalg;
+pub mod mont;
+pub mod prime;
+pub mod reduce;
+pub mod zp;
+
+pub use prime::{is_prime_u64, Modulus, StructuredForm};
+pub use reduce::{ReductionKind, Reducer};
+pub use zp::Zp;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the arithmetic substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MathError {
+    /// The requested modulus is not a prime number.
+    NotPrime(u64),
+    /// The modulus does not fit the supported bit range (2..=62 bits).
+    UnsupportedWidth(u32),
+    /// An inverse of a non-invertible element (zero) was requested.
+    NotInvertible,
+    /// Vector/matrix dimensions do not agree.
+    DimensionMismatch {
+        /// Dimension expected by the operation.
+        expected: usize,
+        /// Dimension actually supplied.
+        found: usize,
+    },
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::NotPrime(p) => write!(f, "modulus {p} is not prime"),
+            MathError::UnsupportedWidth(w) => {
+                write!(f, "modulus width {w} bits is outside the supported 2..=62 range")
+            }
+            MathError::NotInvertible => write!(f, "element is not invertible"),
+            MathError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl Error for MathError {}

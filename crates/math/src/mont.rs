@@ -1,0 +1,171 @@
+//! Montgomery multiplication — the classic alternative to the paper's
+//! add–shift reduction, included as an ablation baseline.
+//!
+//! Hardware PKE accelerators (the Tab. III comparison points) typically
+//! use Montgomery or Barrett multipliers for arbitrary moduli. PASTA's
+//! structured ("Mersenne-like") moduli make the add–shift unit cheaper —
+//! this module lets the `modmul` bench quantify what that choice buys on
+//! the software side too.
+
+use crate::prime::Modulus;
+use crate::MathError;
+
+/// A Montgomery multiplication context with `R = 2^64`.
+///
+/// Values are kept in Montgomery form (`x·R mod n`) between
+/// [`Montgomery::to_mont`] and [`Montgomery::from_mont`].
+///
+/// # Examples
+///
+/// ```
+/// use pasta_math::{mont::Montgomery, Modulus};
+/// let m = Montgomery::new(Modulus::PASTA_17_BIT)?;
+/// let a = m.to_mont(12_345);
+/// let b = m.to_mont(54_321);
+/// let prod = m.from_mont(m.mul(a, b));
+/// assert_eq!(prod, 12_345u64 * 54_321 % 65_537);
+/// # Ok::<(), pasta_math::MathError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Montgomery {
+    n: u64,
+    /// `-n^{-1} mod 2^64`.
+    n_prime: u64,
+    /// `R² mod n` (for conversion into Montgomery form).
+    r2: u64,
+}
+
+impl Montgomery {
+    /// Builds the context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NotInvertible`] for even moduli (Montgomery
+    /// requires `gcd(n, R) = 1`).
+    pub fn new(modulus: Modulus) -> Result<Self, MathError> {
+        let n = modulus.value();
+        if n.is_multiple_of(2) {
+            return Err(MathError::NotInvertible);
+        }
+        // Newton iteration for n^{-1} mod 2^64 (5 steps double precision).
+        let mut inv: u64 = n; // seed: correct mod 2^3 for odd n
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n.wrapping_mul(inv), 1);
+        let n_prime = inv.wrapping_neg();
+        // R² mod n via u128 arithmetic: (2^64 mod n)² mod n.
+        let r_mod_n = (u128::from(u64::MAX) + 1) % u128::from(n);
+        let r2 = (r_mod_n * r_mod_n % u128::from(n)) as u64;
+        Ok(Montgomery { n, n_prime, r2 })
+    }
+
+    /// The modulus.
+    #[must_use]
+    pub fn modulus(&self) -> u64 {
+        self.n
+    }
+
+    /// Montgomery reduction of a 128-bit product: `t·R^{-1} mod n`.
+    #[inline]
+    #[must_use]
+    pub fn redc(&self, t: u128) -> u64 {
+        let m = (t as u64).wrapping_mul(self.n_prime);
+        let u = (t.wrapping_add(u128::from(m) * u128::from(self.n)) >> 64) as u64;
+        if u >= self.n {
+            u - self.n
+        } else {
+            u
+        }
+    }
+
+    /// Multiplication of two Montgomery-form values.
+    #[inline]
+    #[must_use]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        self.redc(u128::from(a) * u128::from(b))
+    }
+
+    /// Converts into Montgomery form.
+    #[must_use]
+    pub fn to_mont(&self, x: u64) -> u64 {
+        self.mul(x % self.n, self.r2)
+    }
+
+    /// Converts out of Montgomery form.
+    #[must_use]
+    pub fn from_mont(&self, x: u64) -> u64 {
+        self.redc(u128::from(x))
+    }
+
+    /// `base^exp mod n` entirely in Montgomery arithmetic.
+    #[must_use]
+    pub fn pow(&self, base: u64, mut exp: u64) -> u64 {
+        let mut acc = self.to_mont(1);
+        let mut base = self.to_mont(base);
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        self.from_mont(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zp::Zp;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_plain_arithmetic() {
+        for modulus in [Modulus::PASTA_17_BIT, Modulus::PASTA_33_BIT, Modulus::PASTA_54_BIT] {
+            let m = Montgomery::new(modulus).unwrap();
+            let zp = Zp::new(modulus).unwrap();
+            let p = modulus.value();
+            for (a, b) in [(0u64, 0u64), (1, p - 1), (p - 1, p - 1), (12_345, 678_901 % p)] {
+                let got = m.from_mont(m.mul(m.to_mont(a), m.to_mont(b)));
+                assert_eq!(got, zp.mul(a, b), "{a}·{b} mod {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_conversion() {
+        let m = Montgomery::new(Modulus::PASTA_17_BIT).unwrap();
+        for x in [0u64, 1, 2, 65_535, 65_536] {
+            assert_eq!(m.from_mont(m.to_mont(x)), x);
+        }
+    }
+
+    #[test]
+    fn pow_matches_zp() {
+        let modulus = Modulus::PASTA_33_BIT;
+        let m = Montgomery::new(modulus).unwrap();
+        let zp = Zp::new(modulus).unwrap();
+        for (b, e) in [(3u64, 1_000u64), (65_537, 2), (2, modulus.value() - 1)] {
+            assert_eq!(m.pow(b, e), zp.pow(b, e));
+        }
+    }
+
+    #[test]
+    fn even_modulus_rejected() {
+        // No even prime above 2 exists, but the guard matters for the
+        // API contract; use the only even prime.
+        let two = Modulus::new(2).unwrap();
+        assert_eq!(Montgomery::new(two).unwrap_err(), MathError::NotInvertible);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_zp(a in 0u64..65_537, b in 0u64..65_537) {
+            let m = Montgomery::new(Modulus::PASTA_17_BIT).unwrap();
+            let zp = Zp::new(Modulus::PASTA_17_BIT).unwrap();
+            let got = m.from_mont(m.mul(m.to_mont(a), m.to_mont(b)));
+            prop_assert_eq!(got, zp.mul(a, b));
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Primality testing and structured ("Mersenne-like") prime selection.
+//!
+//! The moduli used by PASTA instantiations have the shape `2^a ± 2^b + 1`
+//! (e.g. the 17-bit prime `65_537 = 2^16 + 1`, written `0x10001` in the
+//! paper). This module provides a deterministic Miller–Rabin test for
+//! 64-bit integers, recognition and search of structured primes, and the
+//! [`Modulus`] type carrying both the value and its structure so the
+//! reduction unit (and the hardware area model) can pick the add–shift
+//! datapath.
+
+use crate::MathError;
+
+/// Deterministic Miller–Rabin primality test for `u64`.
+///
+/// Uses the witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}`,
+/// which is known to be deterministic for all `n < 3.3 × 10^24`, far beyond
+/// the `u64` range.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_math::is_prime_u64;
+/// assert!(is_prime_u64(65_537));
+/// assert!(!is_prime_u64(65_536));
+/// ```
+#[must_use]
+pub fn is_prime_u64(n: u64) -> bool {
+    const WITNESSES: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+    if n < 2 {
+        return false;
+    }
+    for &p in &WITNESSES {
+        if n.is_multiple_of(p) {
+            return n == p;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for &a in &WITNESSES {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// `base^exp mod modulus` by square-and-multiply (u128 intermediate).
+#[must_use]
+pub(crate) fn pow_mod(mut base: u64, mut exp: u64, modulus: u64) -> u64 {
+    let mut acc: u64 = 1 % modulus;
+    base %= modulus;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, modulus);
+        }
+        base = mul_mod(base, base, modulus);
+        exp >>= 1;
+    }
+    acc
+}
+
+#[inline]
+pub(crate) fn mul_mod(a: u64, b: u64, modulus: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(modulus)) as u64
+}
+
+/// The structural shape of a modulus, used to select the reduction circuit.
+///
+/// The hardware (paper §III.D) uses an add–shift reduction unit after each
+/// multiplier, which only works for moduli of these shapes. Generic moduli
+/// fall back to Barrett reduction (and cost more area, see
+/// `pasta_hw::area`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StructuredForm {
+    /// `p = 2^k + 1` (a Fermat-style prime such as `65_537 = 2^16 + 1`).
+    PowPlusOne {
+        /// Exponent `k`.
+        k: u32,
+    },
+    /// `p = 2^k - 1` (a true Mersenne prime such as `2^31 - 1`).
+    PowMinusOne {
+        /// Exponent `k`.
+        k: u32,
+    },
+    /// `p = 2^a - 2^b + 1` with `a > b > 0` (e.g. the NTT-friendly
+    /// `2^33 - 2^20 + 1` and `2^54 - 2^24 + 1`).
+    TwoTermMinus {
+        /// Leading exponent `a`.
+        a: u32,
+        /// Trailing exponent `b`.
+        b: u32,
+    },
+    /// `p = 2^a + 2^b + 1` with `a > b > 0`.
+    TwoTermPlus {
+        /// Leading exponent `a`.
+        a: u32,
+        /// Trailing exponent `b`.
+        b: u32,
+    },
+    /// No recognized structure; reduction must be generic.
+    Generic,
+}
+
+impl StructuredForm {
+    /// Recognizes the structure of `p`, preferring the fewest-term form.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pasta_math::StructuredForm;
+    /// assert_eq!(StructuredForm::of(65_537), StructuredForm::PowPlusOne { k: 16 });
+    /// assert_eq!(
+    ///     StructuredForm::of((1 << 33) - (1 << 20) + 1),
+    ///     StructuredForm::TwoTermMinus { a: 33, b: 20 }
+    /// );
+    /// ```
+    #[must_use]
+    pub fn of(p: u64) -> Self {
+        if p < 3 {
+            return StructuredForm::Generic;
+        }
+        if (p - 1).is_power_of_two() {
+            return StructuredForm::PowPlusOne { k: (p - 1).trailing_zeros() };
+        }
+        if (p + 1).is_power_of_two() {
+            return StructuredForm::PowMinusOne { k: (p + 1).trailing_zeros() };
+        }
+        // p - 1 = 2^a - 2^b  =>  p - 1 = 2^b (2^(a-b) - 1)
+        let m = p - 1;
+        let b = m.trailing_zeros();
+        let q = m >> b;
+        if q > 1 && (q + 1).is_power_of_two() {
+            let a = b + (q + 1).trailing_zeros();
+            if a < 64 {
+                return StructuredForm::TwoTermMinus { a, b };
+            }
+        }
+        // p - 1 = 2^a + 2^b  =>  q = 2^(a-b) + 1
+        if q > 1 && (q - 1).is_power_of_two() {
+            let a = b + (q - 1).trailing_zeros();
+            if a < 64 && a != b {
+                return StructuredForm::TwoTermPlus { a, b };
+            }
+        }
+        StructuredForm::Generic
+    }
+
+    /// Whether this form admits the hardware add–shift reduction.
+    #[must_use]
+    pub fn is_add_shift_friendly(&self) -> bool {
+        !matches!(self, StructuredForm::Generic)
+    }
+}
+
+/// A validated prime modulus together with its recognized structure.
+///
+/// Construct with [`Modulus::new`] (validates primality and width) or use
+/// one of the paper's parameter constants.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_math::{Modulus, StructuredForm};
+/// let m = Modulus::new(65_537)?;
+/// assert_eq!(m.bits(), 17);
+/// assert_eq!(m.form(), StructuredForm::PowPlusOne { k: 16 });
+/// # Ok::<(), pasta_math::MathError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Modulus {
+    value: u64,
+    bits: u32,
+    form: StructuredForm,
+}
+
+impl Modulus {
+    /// The 17-bit modulus `65_537 = 2^16 + 1` (`0x10001`), the paper's
+    /// default comparison point (Tab. I, §III.D).
+    pub const PASTA_17_BIT: Modulus = Modulus {
+        value: 65_537,
+        bits: 17,
+        form: StructuredForm::PowPlusOne { k: 16 },
+    };
+
+    /// A structured 33-bit modulus `2^33 - 2^20 + 1` for the Tab. I
+    /// bit-width sweep.
+    pub const PASTA_33_BIT: Modulus = Modulus {
+        value: (1 << 33) - (1 << 20) + 1,
+        bits: 33,
+        form: StructuredForm::TwoTermMinus { a: 33, b: 20 },
+    };
+
+    /// A structured 54-bit modulus `2^54 - 2^24 + 1` for the Tab. I
+    /// bit-width sweep ("up to 54-bit", §IV.A).
+    pub const PASTA_54_BIT: Modulus = Modulus {
+        value: (1 << 54) - (1 << 24) + 1,
+        bits: 54,
+        form: StructuredForm::TwoTermMinus { a: 54, b: 24 },
+    };
+
+    /// A 60-bit NTT-friendly ciphertext modulus `2^60 - 2^18 + 1`
+    /// (`0xFFFFFFFFFFC0001`) used by the BFV substrate RNS basis.
+    pub const NTT_60_BIT: Modulus = Modulus {
+        value: (1 << 60) - (1 << 18) + 1,
+        bits: 60,
+        form: StructuredForm::TwoTermMinus { a: 60, b: 18 },
+    };
+
+    /// Validates `p` and recognizes its structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NotPrime`] if `p` fails Miller–Rabin, or
+    /// [`MathError::UnsupportedWidth`] if `p` needs more than 62 bits
+    /// (products must fit in `u128` with headroom) or fewer than 2.
+    pub fn new(p: u64) -> Result<Self, MathError> {
+        let bits = 64 - p.leading_zeros();
+        if !(2..=62).contains(&bits) {
+            return Err(MathError::UnsupportedWidth(bits));
+        }
+        if !is_prime_u64(p) {
+            return Err(MathError::NotPrime(p));
+        }
+        Ok(Modulus { value: p, bits, form: StructuredForm::of(p) })
+    }
+
+    /// The modulus value `p`.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Bit width `⌈log2 p⌉` (the paper's `ω`).
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The recognized structural form.
+    #[must_use]
+    pub fn form(&self) -> StructuredForm {
+        self.form
+    }
+
+    /// Searches downward from `2^bits - 1` for a prime `p ≡ 1 (mod 2^two_adicity)`.
+    ///
+    /// NTT-based substrates require `2N | p - 1`; this helper finds such
+    /// primes of exactly `bits` bits, as SEAL-style parameter pickers do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::UnsupportedWidth`] if no such prime of that
+    /// exact width exists (or the width is out of range).
+    pub fn find_ntt_prime(bits: u32, two_adicity: u32) -> Result<Self, MathError> {
+        if !(2..=62).contains(&bits) || two_adicity >= bits {
+            return Err(MathError::UnsupportedWidth(bits));
+        }
+        let step = 1u64 << two_adicity;
+        let top = (1u64 << bits) - 1;
+        let mut candidate = (top >> two_adicity << two_adicity) + 1;
+        while candidate > (1u64 << (bits - 1)) {
+            if is_prime_u64(candidate) {
+                return Modulus::new(candidate);
+            }
+            candidate -= step;
+        }
+        Err(MathError::UnsupportedWidth(bits))
+    }
+
+    /// Searches for a structured prime `2^a ± 2^b + 1` of exactly `bits`
+    /// bits, scanning `b` from high to low (largest two-adicity first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::UnsupportedWidth`] if none exists at that width
+    /// or the width is out of range.
+    pub fn find_structured_prime(bits: u32) -> Result<Self, MathError> {
+        if !(2..=62).contains(&bits) {
+            return Err(MathError::UnsupportedWidth(bits));
+        }
+        // 2^(bits-1) + 1 (Fermat-style) first: matches 65537 for bits = 17.
+        let base = 1u64 << (bits - 1);
+        if is_prime_u64(base + 1) {
+            return Modulus::new(base + 1);
+        }
+        // 2^bits - 2^b + 1, highest b first.
+        for b in (1..bits).rev() {
+            let p = (1u64 << bits) - (1u64 << b) + 1;
+            if p >= base && is_prime_u64(p) {
+                return Modulus::new(p);
+            }
+        }
+        // 2^(bits-1) + 2^b + 1.
+        for b in (1..bits - 1).rev() {
+            let p = base + (1u64 << b) + 1;
+            if is_prime_u64(p) {
+                return Modulus::new(p);
+            }
+        }
+        Err(MathError::UnsupportedWidth(bits))
+    }
+}
+
+impl std::fmt::Display for Modulus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({}-bit, {:?})", self.value, self.bits, self.form)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_recognized() {
+        for p in [2u64, 3, 5, 7, 11, 13, 17, 65_537] {
+            assert!(is_prime_u64(p), "{p} should be prime");
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        for n in [0u64, 1, 4, 6, 9, 15, 21, 25, 65_535, 65_536] {
+            assert!(!is_prime_u64(n), "{n} should be composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        for n in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825_265] {
+            assert!(!is_prime_u64(n), "Carmichael number {n} should be composite");
+        }
+    }
+
+    #[test]
+    fn large_known_primes() {
+        assert!(is_prime_u64((1 << 31) - 1)); // Mersenne M31
+        assert!(is_prime_u64((1 << 61) - 1)); // Mersenne M61
+        assert!(is_prime_u64(0x0FFF_FFFF_FFFC_0001)); // SEAL-style 60-bit
+    }
+
+    #[test]
+    fn paper_constants_are_valid() {
+        for m in [
+            Modulus::PASTA_17_BIT,
+            Modulus::PASTA_33_BIT,
+            Modulus::PASTA_54_BIT,
+            Modulus::NTT_60_BIT,
+        ] {
+            let rebuilt = Modulus::new(m.value()).expect("constant must be prime");
+            assert_eq!(rebuilt, m, "constant {m} must round-trip through validation");
+        }
+        assert_eq!(Modulus::PASTA_17_BIT.value(), 0x10001);
+        assert_eq!(Modulus::NTT_60_BIT.value(), 0x0FFF_FFFF_FFFC_0001);
+    }
+
+    #[test]
+    fn form_recognition() {
+        assert_eq!(StructuredForm::of(65_537), StructuredForm::PowPlusOne { k: 16 });
+        assert_eq!(StructuredForm::of((1 << 31) - 1), StructuredForm::PowMinusOne { k: 31 });
+        assert_eq!(
+            StructuredForm::of((1 << 33) - (1 << 20) + 1),
+            StructuredForm::TwoTermMinus { a: 33, b: 20 }
+        );
+        assert_eq!(StructuredForm::of(0x20001000000001), StructuredForm::TwoTermPlus { a: 53, b: 36 });
+        assert_eq!(StructuredForm::of(1_000_003), StructuredForm::Generic);
+    }
+
+    #[test]
+    fn modulus_rejects_composite_and_wide() {
+        assert_eq!(Modulus::new(65_536).unwrap_err(), MathError::NotPrime(65_536));
+        assert!(matches!(Modulus::new(u64::MAX).unwrap_err(), MathError::UnsupportedWidth(_)));
+        assert!(matches!(Modulus::new(1).unwrap_err(), MathError::UnsupportedWidth(_)));
+    }
+
+    #[test]
+    fn ntt_prime_search_has_requested_two_adicity() {
+        let m = Modulus::find_ntt_prime(50, 15).expect("prime exists");
+        assert_eq!(m.bits(), 50);
+        assert_eq!((m.value() - 1) % (1 << 15), 0);
+    }
+
+    #[test]
+    fn structured_prime_search_matches_paper_widths() {
+        assert_eq!(Modulus::find_structured_prime(17).unwrap().value(), 65_537);
+        let m33 = Modulus::find_structured_prime(33).unwrap();
+        assert_eq!(m33.bits(), 33);
+        assert!(m33.form().is_add_shift_friendly());
+        let m54 = Modulus::find_structured_prime(54).unwrap();
+        assert_eq!(m54.bits(), 54);
+        assert!(m54.form().is_add_shift_friendly());
+    }
+
+    #[test]
+    fn pow_mod_basics() {
+        assert_eq!(pow_mod(2, 16, 65_537), 65_536);
+        assert_eq!(pow_mod(2, 32, 65_537), 1);
+        assert_eq!(pow_mod(0, 0, 7), 1);
+    }
+}

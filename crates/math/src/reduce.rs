@@ -1,0 +1,318 @@
+//! Modular reduction strategies.
+//!
+//! The cryptoprocessor places an add–shift reduction unit after every
+//! modular multiplier (paper §III.D): for moduli of Mersenne structure the
+//! wide product can be folded with shifts and additions instead of a
+//! division. This module implements that datapath bit-exactly, plus a
+//! Barrett reducer and a naive `%` reducer used as baselines for
+//! correctness cross-checks and for the `modmul` ablation bench.
+
+use crate::prime::{Modulus, StructuredForm};
+
+/// Which reduction circuit a [`Reducer`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReductionKind {
+    /// Shift-and-add folding exploiting `2^a ≡ ±2^b ∓ 1 (mod p)`; what the
+    /// hardware instantiates for structured primes.
+    AddShift,
+    /// Barrett reduction with a precomputed `⌊2^128 / p⌋`-style constant.
+    Barrett,
+    /// Direct `u128 %` division (software reference).
+    Naive,
+}
+
+/// A reduction context for a fixed modulus.
+///
+/// All strategies accept any `u128` input below `p^2 · 4` (comfortably
+/// covering sums of a few products) and return the canonical residue in
+/// `[0, p)`.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_math::{Modulus, Reducer, ReductionKind};
+/// let r = Reducer::for_modulus(Modulus::PASTA_17_BIT);
+/// assert_eq!(r.kind(), ReductionKind::AddShift);
+/// let p = 65_537u128;
+/// assert_eq!(r.reduce((p - 1) * (p - 1)), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reducer {
+    modulus: u64,
+    kind: ReductionKind,
+    form: StructuredForm,
+    /// Barrett constant `⌊2^s / p⌋` with `s = 64 + bits`.
+    barrett_factor: u128,
+    barrett_shift: u32,
+}
+
+impl Reducer {
+    /// Builds the reducer the hardware would instantiate for this modulus:
+    /// add–shift when the structure allows it, Barrett otherwise.
+    #[must_use]
+    pub fn for_modulus(modulus: Modulus) -> Self {
+        let kind = if modulus.form().is_add_shift_friendly() {
+            ReductionKind::AddShift
+        } else {
+            ReductionKind::Barrett
+        };
+        Self::with_kind(modulus, kind)
+    }
+
+    /// Builds a reducer with an explicit strategy (for baselines/ablations).
+    ///
+    /// If `AddShift` is requested for a modulus without structure, the
+    /// reducer silently falls back to Barrett — the hardware simply cannot
+    /// instantiate an add–shift unit there.
+    #[must_use]
+    pub fn with_kind(modulus: Modulus, kind: ReductionKind) -> Self {
+        let form = modulus.form();
+        let kind = if kind == ReductionKind::AddShift && !form.is_add_shift_friendly() {
+            ReductionKind::Barrett
+        } else {
+            kind
+        };
+        // s = 64 + bits guarantees x / 2^s < p for x < p^2 * 4 while the
+        // factor still fits u128.
+        let barrett_shift = 64 + modulus.bits();
+        let barrett_factor = (1u128 << barrett_shift) / u128::from(modulus.value());
+        Reducer { modulus: modulus.value(), kind, form, barrett_factor, barrett_shift }
+    }
+
+    /// The reduction strategy in use.
+    #[must_use]
+    pub fn kind(&self) -> ReductionKind {
+        self.kind
+    }
+
+    /// The modulus value.
+    #[must_use]
+    pub fn modulus(&self) -> u64 {
+        self.modulus
+    }
+
+    /// Reduces `x` to the canonical residue in `[0, p)`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `x < 4·p²` (the widest value the datapath ever
+    /// produces: one product plus a few accumulated terms).
+    #[must_use]
+    pub fn reduce(&self, x: u128) -> u64 {
+        debug_assert!(
+            x < 4 * u128::from(self.modulus) * u128::from(self.modulus),
+            "input exceeds the datapath width contract"
+        );
+        match self.kind {
+            ReductionKind::AddShift => self.reduce_add_shift(x),
+            ReductionKind::Barrett => self.reduce_barrett(x),
+            ReductionKind::Naive => (x % u128::from(self.modulus)) as u64,
+        }
+    }
+
+    /// Reduces the product `a · b` (both already in `[0, p)`).
+    #[must_use]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        self.reduce(u128::from(a) * u128::from(b))
+    }
+
+    fn reduce_barrett(&self, x: u128) -> u64 {
+        let p = u128::from(self.modulus);
+        // q = floor(x * factor / 2^s) <= floor(x / p); error at most 2.
+        let q = mul_hi_shifted(x, self.barrett_factor, self.barrett_shift);
+        let mut r = x - q * p;
+        while r >= p {
+            r -= p;
+        }
+        r as u64
+    }
+
+    fn reduce_add_shift(&self, x: u128) -> u64 {
+        let p = u128::from(self.modulus);
+        let r = match self.form {
+            // p = 2^k + 1: fold k-bit chunks with alternating signs
+            // (2^k ≡ -1 mod p).
+            StructuredForm::PowPlusOne { k } => {
+                let mask = (1u128 << k) - 1;
+                let mut acc: i128 = 0;
+                let mut sign = 1i128;
+                let mut v = x;
+                while v > 0 {
+                    acc += sign * (v & mask) as i128;
+                    v >>= k;
+                    sign = -sign;
+                }
+                acc.rem_euclid(p as i128) as u128
+            }
+            // p = 2^k - 1: fold k-bit chunks with positive sign
+            // (2^k ≡ 1 mod p).
+            StructuredForm::PowMinusOne { k } => {
+                let mask = (1u128 << k) - 1;
+                let mut v = x;
+                while v >> k != 0 {
+                    v = (v & mask) + (v >> k);
+                }
+                v
+            }
+            // p = 2^a - 2^b + 1: 2^a ≡ 2^b - 1, so
+            // hi·2^a + lo ≡ hi·(2^b - 1) + lo, which strictly shrinks.
+            StructuredForm::TwoTermMinus { a, b } => {
+                let mask = (1u128 << a) - 1;
+                let factor = (1u128 << b) - 1;
+                let mut v = x;
+                while v >> a != 0 {
+                    v = (v & mask) + (v >> a) * factor;
+                }
+                v
+            }
+            // p = 2^a + 2^b + 1: 2^a ≡ -(2^b + 1); chunk j carries weight
+            // (-(2^b + 1))^j. Inputs are < 4p² < 2^(2a+4), so j <= 2 and
+            // the signed accumulator stays within i128.
+            StructuredForm::TwoTermPlus { a, b } => {
+                let mask = (1u128 << a) - 1;
+                let factor = (1i128 << b) + 1;
+                let mut acc: i128 = 0;
+                let mut v = x;
+                let mut weight = 1i128;
+                while v > 0 {
+                    acc += weight * (v & mask) as i128;
+                    v >>= a;
+                    weight = -weight * factor;
+                }
+                acc.rem_euclid(p as i128) as u128
+            }
+            StructuredForm::Generic => return self.reduce_barrett(x),
+        };
+        let mut r = r;
+        while r >= p {
+            r -= p;
+        }
+        r as u64
+    }
+}
+
+/// `floor(x * f / 2^s)` where the full product may exceed 128 bits.
+#[inline]
+fn mul_hi_shifted(x: u128, f: u128, s: u32) -> u128 {
+    // Split x into 64-bit halves: x = x1·2^64 + x0.
+    let x0 = x & u128::from(u64::MAX);
+    let x1 = x >> 64;
+    // f fits in (s - bits(p) + 1) <= 65 bits, but may exceed 64; split too.
+    let f0 = f & u128::from(u64::MAX);
+    let f1 = f >> 64;
+    // x*f = x1*f1·2^128 + (x1*f0 + x0*f1)·2^64 + x0*f0
+    let lo = x0 * f0;
+    let mid = x1 * f0 + x0 * f1 + (lo >> 64);
+    let hi = x1 * f1 + (mid >> 64);
+    let mid_lo = mid & u128::from(u64::MAX);
+    // value = hi·2^128 + mid_lo·2^64 + (lo & 2^64-1); shift right by s = 64 + s_rem.
+    let s_rem = s - 64;
+    (hi << (64 - s_rem)) + (mid_lo >> s_rem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::Modulus;
+
+    fn all_reducers(m: Modulus) -> Vec<Reducer> {
+        vec![
+            Reducer::with_kind(m, ReductionKind::AddShift),
+            Reducer::with_kind(m, ReductionKind::Barrett),
+            Reducer::with_kind(m, ReductionKind::Naive),
+        ]
+    }
+
+    fn check_agreement(m: Modulus) {
+        let p = u128::from(m.value());
+        let rs = all_reducers(m);
+        let probes: Vec<u128> = vec![
+            0,
+            1,
+            p - 1,
+            p,
+            p + 1,
+            2 * p - 1,
+            (p - 1) * (p - 1),
+            (p - 1) * (p - 1) + p - 1,
+            3 * (p - 1) * (p - 1),
+            p * p - 1,
+        ];
+        for x in probes {
+            let expect = (x % p) as u64;
+            for r in &rs {
+                assert_eq!(r.reduce(x), expect, "kind {:?} modulus {} input {x}", r.kind(), m);
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_agree_17_bit() {
+        check_agreement(Modulus::PASTA_17_BIT);
+    }
+
+    #[test]
+    fn strategies_agree_33_bit() {
+        check_agreement(Modulus::PASTA_33_BIT);
+    }
+
+    #[test]
+    fn strategies_agree_54_bit() {
+        check_agreement(Modulus::PASTA_54_BIT);
+    }
+
+    #[test]
+    fn strategies_agree_60_bit_ntt() {
+        check_agreement(Modulus::NTT_60_BIT);
+    }
+
+    #[test]
+    fn strategies_agree_mersenne() {
+        check_agreement(Modulus::new((1 << 31) - 1).unwrap());
+    }
+
+    #[test]
+    fn strategies_agree_two_term_plus() {
+        check_agreement(Modulus::new(0x20001000000001).unwrap()); // 2^53 + 2^36 + 1
+    }
+
+    #[test]
+    fn generic_modulus_falls_back_to_barrett() {
+        let m = Modulus::new(1_000_003).unwrap();
+        let r = Reducer::with_kind(m, ReductionKind::AddShift);
+        assert_eq!(r.kind(), ReductionKind::Barrett);
+        check_agreement(m);
+    }
+
+    #[test]
+    fn hardware_default_picks_add_shift_for_paper_primes() {
+        assert_eq!(Reducer::for_modulus(Modulus::PASTA_17_BIT).kind(), ReductionKind::AddShift);
+        assert_eq!(Reducer::for_modulus(Modulus::PASTA_33_BIT).kind(), ReductionKind::AddShift);
+        assert_eq!(Reducer::for_modulus(Modulus::PASTA_54_BIT).kind(), ReductionKind::AddShift);
+    }
+
+    #[test]
+    fn mul_matches_wide_product() {
+        let m = Modulus::PASTA_33_BIT;
+        let r = Reducer::for_modulus(m);
+        let p = m.value();
+        for (a, b) in [(p - 1, p - 1), (12_345, 987_654_321), (p / 2, p / 3)] {
+            assert_eq!(r.mul(a, b), ((u128::from(a) * u128::from(b)) % u128::from(p)) as u64);
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_prime_cross_check() {
+        // p = 257 = 2^8 + 1: exhaustively reduce every product.
+        let m = Modulus::new(257).unwrap();
+        let rs = all_reducers(m);
+        for a in 0..257u128 {
+            for b in 0..257u128 {
+                let expect = ((a * b) % 257) as u64;
+                for r in &rs {
+                    assert_eq!(r.reduce(a * b), expect);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! The RASTA-family binary cipher.
+//!
+//! RASTA [Dobraunig et al., CRYPTO 2018] is the binary ancestor of PASTA
+//! (paper §I): a keyed permutation over `F_2^n` built from *fully random*
+//! invertible affine layers (sampled per nonce/counter from an XOF) and
+//! the χ S-box, with a key feed-forward:
+//!
+//! ```text
+//! KS = K ⊕ (A_r ∘ χ ∘ A_{r-1} ∘ … ∘ χ ∘ A_0)(K)
+//! ```
+//!
+//! The state width `n` is odd so χ is invertible. This implementation
+//! follows the RASTA *structure*; the exact matrix-sampling procedure of
+//! the original artifact is not pinned by the DATE paper, so we use the
+//! straightforward rejection method (draw `n²` bits, test invertibility,
+//! retry — acceptance ≈ 28.9%), which is also what makes the
+//! binary-vs-integer XOF-cost comparison so stark: a RASTA affine layer
+//! consumes ~3.5·n² XOF bits where PASTA's Eq. 1 needs only `n` field
+//! elements.
+
+use crate::f2::{BitMatrix, BitVec};
+use pasta_keccak::{Shake128, XofReader};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the binary cipher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RastaError {
+    /// Parameter validation failed.
+    InvalidParams(String),
+    /// Key length mismatch.
+    InvalidKey {
+        /// Expected bits.
+        expected: usize,
+        /// Supplied bits.
+        found: usize,
+    },
+}
+
+impl fmt::Display for RastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RastaError::InvalidParams(m) => write!(f, "invalid parameters: {m}"),
+            RastaError::InvalidKey { expected, found } => {
+                write!(f, "invalid key: expected {expected} bits, found {found}")
+            }
+        }
+    }
+}
+
+impl Error for RastaError {}
+
+/// RASTA parameters: state width `n` (odd) and round count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RastaParams {
+    n: usize,
+    rounds: usize,
+}
+
+impl RastaParams {
+    /// A scaled instance comparable to PASTA-4's 544-bit block at
+    /// security-irrelevant size (`n = 65`, 5 rounds) — used for the
+    /// hardware-cost comparison, not for security claims.
+    #[must_use]
+    pub fn toy_65() -> Self {
+        RastaParams { n: 65, rounds: 5 }
+    }
+
+    /// The RASTA paper's smallest "agressive" shape (`n = 219`,
+    /// 6 rounds).
+    #[must_use]
+    pub fn rasta_219() -> Self {
+        RastaParams { n: 219, rounds: 6 }
+    }
+
+    /// Custom parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RastaError::InvalidParams`] unless `n` is odd and `≥ 5`
+    /// (χ invertibility) and `rounds ≥ 1`.
+    pub fn custom(n: usize, rounds: usize) -> Result<Self, RastaError> {
+        if n.is_multiple_of(2) || n < 5 {
+            return Err(RastaError::InvalidParams(format!(
+                "state width {n} must be odd and >= 5 for invertible chi"
+            )));
+        }
+        if rounds == 0 {
+            return Err(RastaError::InvalidParams("rounds must be >= 1".into()));
+        }
+        Ok(RastaParams { n, rounds })
+    }
+
+    /// State width in bits.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Rounds.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Affine layers (`rounds + 1`).
+    #[must_use]
+    pub fn affine_layers(&self) -> usize {
+        self.rounds + 1
+    }
+}
+
+/// Statistics of one block's XOF consumption — the quantity that dooms
+/// binary HHE ciphers in hardware (paper §I.A).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RastaXofStats {
+    /// 64-bit words drawn from SHAKE128.
+    pub words_drawn: u64,
+    /// Matrices rejected as singular.
+    pub matrices_rejected: u64,
+    /// Keccak permutations consumed.
+    pub keccak_permutations: u64,
+}
+
+/// The public per-block material: `r + 1` random invertible matrices and
+/// round constants.
+#[derive(Debug, Clone)]
+pub struct RastaMaterial {
+    /// Affine matrices `A_0 … A_r`.
+    pub matrices: Vec<BitMatrix>,
+    /// Round constants.
+    pub constants: Vec<BitVec>,
+    /// XOF consumption statistics.
+    pub stats: RastaXofStats,
+}
+
+/// Derives the block material from `(nonce, counter)` — public, exactly
+/// as in PASTA's Fig. 2 split.
+#[must_use]
+pub fn derive_material(params: &RastaParams, nonce: u128, counter: u64) -> RastaMaterial {
+    let mut xof = Shake128::new();
+    xof.absorb(b"rasta");
+    xof.absorb(&nonce.to_le_bytes());
+    xof.absorb(&counter.to_le_bytes());
+    let mut reader = xof.finalize();
+    let mut stats = RastaXofStats::default();
+    let n = params.n();
+    let words_per_row = n.div_ceil(64);
+    let mut matrices = Vec::with_capacity(params.affine_layers());
+    let mut constants = Vec::with_capacity(params.affine_layers());
+    for _ in 0..params.affine_layers() {
+        // Rejection-sample an invertible matrix.
+        let matrix = loop {
+            let rows: Vec<BitVec> = (0..n)
+                .map(|_| {
+                    let words: Vec<u64> =
+                        (0..words_per_row).map(|_| next_word(&mut reader, &mut stats)).collect();
+                    BitVec::from_words(n, &words)
+                })
+                .collect();
+            let m = BitMatrix::from_rows(rows);
+            if m.is_invertible() {
+                break m;
+            }
+            stats.matrices_rejected += 1;
+        };
+        matrices.push(matrix);
+        let words: Vec<u64> =
+            (0..words_per_row).map(|_| next_word(&mut reader, &mut stats)).collect();
+        constants.push(BitVec::from_words(n, &words));
+    }
+    stats.keccak_permutations = reader.permutations();
+    RastaMaterial { matrices, constants, stats }
+}
+
+fn next_word(reader: &mut XofReader, stats: &mut RastaXofStats) -> u64 {
+    stats.words_drawn += 1;
+    reader.next_u64()
+}
+
+/// The χ transformation: `y_i = x_i ⊕ (x_{i+1} ⊕ 1)·x_{i+2}` (indices
+/// mod n) — invertible for odd `n` (Keccak's S-box).
+#[must_use]
+pub fn chi(x: &BitVec) -> BitVec {
+    let n = x.len();
+    let bits: Vec<bool> =
+        (0..n).map(|i| x.get(i) ^ (!x.get((i + 1) % n) & x.get((i + 2) % n))).collect();
+    BitVec::from_bits(&bits)
+}
+
+/// The RASTA keyed permutation: keystream block for `(key, material)`.
+#[must_use]
+pub fn keystream_block(key: &BitVec, material: &RastaMaterial) -> BitVec {
+    let mut state = key.clone();
+    let layers = material.matrices.len();
+    for (i, (matrix, constant)) in
+        material.matrices.iter().zip(material.constants.iter()).enumerate()
+    {
+        state = matrix.mul_vec(&state);
+        state.xor_assign(constant);
+        if i + 1 < layers {
+            state = chi(&state);
+        }
+    }
+    // Feed-forward: KS = K ⊕ π(K).
+    state.xor_assign(key);
+    state
+}
+
+/// A RASTA cipher instance bound to a key.
+#[derive(Clone)]
+pub struct RastaCipher {
+    params: RastaParams,
+    key: BitVec,
+}
+
+impl fmt::Debug for RastaCipher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RastaCipher(n = {}, key redacted)", self.params.n())
+    }
+}
+
+impl RastaCipher {
+    /// Binds a key (as bits) to the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RastaError::InvalidKey`] on a length mismatch.
+    pub fn new(params: RastaParams, key: BitVec) -> Result<Self, RastaError> {
+        if key.len() != params.n() {
+            return Err(RastaError::InvalidKey { expected: params.n(), found: key.len() });
+        }
+        Ok(RastaCipher { params, key })
+    }
+
+    /// Derives a key from seed bytes via SHAKE256.
+    #[must_use]
+    pub fn from_seed(params: RastaParams, seed: &[u8]) -> Self {
+        let mut xof = pasta_keccak::Shake256::new();
+        xof.absorb(b"rasta-key");
+        xof.absorb(seed);
+        let mut reader = xof.finalize();
+        let words: Vec<u64> =
+            (0..params.n().div_ceil(64)).map(|_| reader.next_u64()).collect();
+        RastaCipher { params, key: BitVec::from_words(params.n(), &words) }
+    }
+
+    /// The parameters.
+    #[must_use]
+    pub fn params(&self) -> &RastaParams {
+        &self.params
+    }
+
+    /// Encrypts (= decrypts) one block by XOR with the keystream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n`.
+    #[must_use]
+    pub fn apply_block(&self, nonce: u128, counter: u64, data: &BitVec) -> BitVec {
+        assert_eq!(data.len(), self.params.n(), "block width mismatch");
+        let material = derive_material(&self.params, nonce, counter);
+        let mut out = keystream_block(&self.key, &material);
+        out.xor_assign(data);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(RastaParams::custom(64, 4).is_err(), "even n rejected");
+        assert!(RastaParams::custom(3, 4).is_err(), "tiny n rejected");
+        assert!(RastaParams::custom(65, 0).is_err(), "zero rounds rejected");
+        assert!(RastaParams::custom(65, 5).is_ok());
+    }
+
+    #[test]
+    fn chi_is_invertible_for_odd_n() {
+        // Exhaustive bijection check for n = 5.
+        let n = 5;
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..(1u32 << n) {
+            let bits: Vec<bool> = (0..n).map(|i| (v >> i) & 1 == 1).collect();
+            let y = chi(&BitVec::from_bits(&bits));
+            let packed: u32 =
+                (0..n).map(|i| u32::from(y.get(i)) << i).sum();
+            assert!(seen.insert(packed), "chi collision at input {v}");
+        }
+        assert_eq!(seen.len(), 1 << n);
+    }
+
+    #[test]
+    fn material_matrices_are_invertible() {
+        let params = RastaParams::toy_65();
+        let material = derive_material(&params, 7, 0);
+        assert_eq!(material.matrices.len(), 6);
+        for (i, m) in material.matrices.iter().enumerate() {
+            assert!(m.is_invertible(), "matrix {i}");
+        }
+    }
+
+    #[test]
+    fn encryption_roundtrip() {
+        let params = RastaParams::toy_65();
+        let cipher = RastaCipher::from_seed(params, b"rt");
+        let data = BitVec::from_bits(&(0..65).map(|i| i % 3 == 0).collect::<Vec<_>>());
+        let ct = cipher.apply_block(42, 0, &data);
+        assert_ne!(ct, data);
+        let back = cipher.apply_block(42, 0, &ct);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn keystream_depends_on_inputs() {
+        let params = RastaParams::toy_65();
+        let a = RastaCipher::from_seed(params, b"a");
+        let b = RastaCipher::from_seed(params, b"b");
+        let zero = BitVec::zeros(65);
+        let base = a.apply_block(1, 0, &zero);
+        assert_ne!(a.apply_block(2, 0, &zero), base, "nonce matters");
+        assert_ne!(a.apply_block(1, 1, &zero), base, "counter matters");
+        assert_ne!(b.apply_block(1, 0, &zero), base, "key matters");
+    }
+
+    #[test]
+    fn xof_demand_is_enormous() {
+        // The §I.A story quantified: a single toy-65 block needs tens of
+        // Keccak permutations for its matrices alone (vs PASTA-4's ~60
+        // for a 17x-wider payload).
+        let params = RastaParams::toy_65();
+        let material = derive_material(&params, 3, 0);
+        // 6 layers x >= 65 rows x 2 words minimum.
+        assert!(material.stats.words_drawn >= 6 * 65 * 2);
+        assert!(material.stats.keccak_permutations > 30);
+    }
+
+    #[test]
+    fn rejection_rate_near_theory() {
+        // ~28.9% of random F2 matrices are invertible -> ~2.46 rejected
+        // per accepted on average.
+        let params = RastaParams::toy_65();
+        let mut rejected = 0u64;
+        let mut accepted = 0u64;
+        for counter in 0..6 {
+            let m = derive_material(&params, 9, counter);
+            rejected += m.stats.matrices_rejected;
+            accepted += m.matrices.len() as u64;
+        }
+        let ratio = rejected as f64 / accepted as f64;
+        assert!((0.8..6.0).contains(&ratio), "rejected/accepted = {ratio}");
+    }
+
+    #[test]
+    fn key_length_validated() {
+        let params = RastaParams::toy_65();
+        assert!(matches!(
+            RastaCipher::new(params, BitVec::zeros(64)),
+            Err(RastaError::InvalidKey { expected: 65, found: 64 })
+        ));
+    }
+}

@@ -1,0 +1,98 @@
+//! Hardware cost model for the binary cipher, in the same terms as the
+//! PASTA cryptoprocessor — enabling the §I.A binary-vs-integer
+//! comparison "post-hardware realization" (the paper's future scope).
+//!
+//! A RASTA-style datapath replaces modular multipliers with AND gates
+//! and adder trees with XOR trees (cheap!), but the XOF demand explodes:
+//! every affine layer needs `n²` *uniform* bits (times ≈3.46 for the
+//! invertibility rejection), where PASTA needs `4·t` field elements per
+//! layer. Since the XOF is the bottleneck in both designs (paper §IV.B),
+//! the binary cipher's hardware latency is dominated by Keccak runs.
+
+use crate::cipher::RastaParams;
+use pasta_keccak::timing::{XofTiming, WORDS_PER_BATCH};
+use pasta_keccak::XofCoreKind;
+
+/// Probability that a uniform `n × n` matrix over `F_2` is invertible
+/// (`∏_{k≥1} (1 − 2^{-k}) ≈ 0.2888` for moderate `n`).
+pub const F2_INVERTIBLE_PROBABILITY: f64 = 0.2888;
+
+/// Expected XOF words for one block of RASTA material.
+#[must_use]
+pub fn expected_xof_words(params: &RastaParams) -> f64 {
+    let n = params.n() as f64;
+    let words_per_row = (params.n().div_ceil(64)) as f64;
+    let words_per_matrix = n * words_per_row;
+    let layers = params.affine_layers() as f64;
+    layers * (words_per_matrix / F2_INVERTIBLE_PROBABILITY + words_per_row)
+}
+
+/// Expected XOF cycles for one block on the squeeze-parallel core.
+#[must_use]
+pub fn expected_xof_cycles(params: &RastaParams) -> f64 {
+    let words = expected_xof_words(params);
+    let batches = words / WORDS_PER_BATCH as f64;
+    batches * XofTiming::new(XofCoreKind::SqueezeParallel).cycles_per_batch() as f64
+}
+
+/// Expected cycles per *plaintext bit* — the throughput figure to put
+/// against PASTA's cycles per element × bits-per-element.
+#[must_use]
+pub fn cycles_per_plaintext_bit(params: &RastaParams) -> f64 {
+    // The XOF dominates just as in PASTA; the XOR-tree affine layer
+    // (one row per cycle, as the MAC array does) hides beneath it.
+    expected_xof_cycles(params) / params.n() as f64
+}
+
+/// Binary-datapath gate estimate (relative area): an `n`-wide affine row
+/// evaluation is `n` AND + `n−1` XOR per cycle — tiny next to PASTA's
+/// `t` modular multipliers. Returned as (and_gates, xor_gates) for the
+/// row-parallel unit.
+#[must_use]
+pub fn affine_row_gates(params: &RastaParams) -> (usize, usize) {
+    (params.n(), params.n() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cipher::derive_material;
+
+    #[test]
+    fn expected_words_match_measured() {
+        let params = RastaParams::toy_65();
+        let expected = expected_xof_words(&params);
+        let mut total = 0u64;
+        let n = 20u64;
+        for counter in 0..n {
+            total += derive_material(&params, 0xC0575, counter).stats.words_drawn;
+        }
+        let measured = total as f64 / n as f64;
+        let err = (measured - expected).abs() / expected;
+        assert!(err < 0.30, "expected {expected:.0}, measured {measured:.0} ({err:.2})");
+    }
+
+    #[test]
+    fn binary_cipher_loses_the_xof_battle() {
+        // Per plaintext bit, the binary cipher costs far more XOF cycles
+        // than PASTA-4 (≈1,600 cc for 32×17 = 544 bits ≈ 2.9 cc/bit).
+        let pasta4_cycles_per_bit = 1_591.0 / (32.0 * 17.0);
+        let rasta = cycles_per_plaintext_bit(&RastaParams::toy_65());
+        assert!(
+            rasta > 10.0 * pasta4_cycles_per_bit,
+            "binary: {rasta:.1} cc/bit vs PASTA-4 {pasta4_cycles_per_bit:.1}"
+        );
+        // And the full-size RASTA-219 is worse still per block (though
+        // the wider state amortizes a little).
+        let rasta219 = cycles_per_plaintext_bit(&RastaParams::rasta_219());
+        assert!(rasta219 > 5.0 * pasta4_cycles_per_bit);
+    }
+
+    #[test]
+    fn gate_counts_scale_linearly() {
+        let (and65, xor65) = affine_row_gates(&RastaParams::toy_65());
+        assert_eq!((and65, xor65), (65, 64));
+        let (and219, _) = affine_row_gates(&RastaParams::rasta_219());
+        assert_eq!(and219, 219);
+    }
+}

@@ -1,0 +1,309 @@
+//! Dense linear algebra over `F_2` (bit-packed).
+//!
+//! RASTA-family ciphers use *fully random* invertible `n × n` binary
+//! matrices in every affine layer — in contrast to PASTA's seed-row
+//! construction. Rows are packed 64 bits per limb so the matrix–vector
+//! product is word-parallel AND/XOR/popcount, exactly like a hardware
+//! XOR-tree datapath.
+
+/// A bit vector of fixed length (little-endian bit order within limbs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    len: usize,
+    limbs: Vec<u64>,
+}
+
+impl BitVec {
+    /// An all-zero vector of `len` bits.
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        BitVec { len, limbs: vec![0; len.div_ceil(64)] }
+    }
+
+    /// Builds from individual bits.
+    #[must_use]
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut v = BitVec::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Builds `len` bits from a `u64` word stream (low bits first).
+    #[must_use]
+    pub fn from_words(len: usize, words: &[u64]) -> Self {
+        assert!(words.len() >= len.div_ceil(64), "not enough words");
+        let mut limbs = words[..len.div_ceil(64)].to_vec();
+        let tail_bits = len % 64;
+        if tail_bits != 0 {
+            *limbs.last_mut().expect("len > 0") &= (1u64 << tail_bits) - 1;
+        }
+        BitVec { len, limbs }
+    }
+
+    /// Length in bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero length.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index out of range");
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Bit setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index out of range");
+        if value {
+            self.limbs[i / 64] |= 1 << (i % 64);
+        } else {
+            self.limbs[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// In-place XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.limbs.iter_mut().zip(other.limbs.iter()) {
+            *a ^= b;
+        }
+    }
+
+    /// Dot product over `F_2` (AND then parity).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn dot(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch");
+        let mut parity = 0u32;
+        for (a, b) in self.limbs.iter().zip(other.limbs.iter()) {
+            parity ^= (a & b).count_ones() & 1;
+        }
+        parity == 1
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn weight(&self) -> usize {
+        self.limbs.iter().map(|l| l.count_ones() as usize).sum()
+    }
+}
+
+/// A dense binary matrix (row-major bit-packed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    n: usize,
+    rows: Vec<BitVec>,
+}
+
+impl BitMatrix {
+    /// The `n × n` identity.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut r = BitVec::zeros(n);
+            r.set(i, true);
+            rows.push(r);
+        }
+        BitMatrix { n, rows }
+    }
+
+    /// Builds from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths.
+    #[must_use]
+    pub fn from_rows(rows: Vec<BitVec>) -> Self {
+        let n = rows.len();
+        assert!(rows.iter().all(|r| r.len() == n), "matrix must be square");
+        BitMatrix { n, rows }
+    }
+
+    /// Dimension.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Row accessor.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &BitVec {
+        &self.rows[i]
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn mul_vec(&self, x: &BitVec) -> BitVec {
+        assert_eq!(x.len(), self.n, "dimension mismatch");
+        let bits: Vec<bool> = self.rows.iter().map(|r| r.dot(x)).collect();
+        BitVec::from_bits(&bits)
+    }
+
+    /// Rank over `F_2` by Gaussian elimination on packed rows.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        let mut rows = self.rows.clone();
+        let mut rank = 0;
+        for col in 0..self.n {
+            let Some(pivot) = (rank..self.n).find(|&r| rows[r].get(col)) else {
+                continue;
+            };
+            rows.swap(rank, pivot);
+            let pivot_row = rows[rank].clone();
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r != rank && row.get(col) {
+                    row.xor_assign(&pivot_row);
+                }
+            }
+            rank += 1;
+            if rank == self.n {
+                break;
+            }
+        }
+        rank
+    }
+
+    /// Whether the matrix is invertible.
+    #[must_use]
+    pub fn is_invertible(&self) -> bool {
+        self.rank() == self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bitvec_basics() {
+        let mut v = BitVec::zeros(100);
+        assert_eq!(v.len(), 100);
+        assert_eq!(v.weight(), 0);
+        v.set(0, true);
+        v.set(63, true);
+        v.set(64, true);
+        v.set(99, true);
+        assert!(v.get(0) && v.get(63) && v.get(64) && v.get(99));
+        assert!(!v.get(1));
+        assert_eq!(v.weight(), 4);
+        v.set(63, false);
+        assert_eq!(v.weight(), 3);
+    }
+
+    #[test]
+    fn from_words_masks_tail() {
+        let v = BitVec::from_words(65, &[u64::MAX, u64::MAX]);
+        assert_eq!(v.weight(), 65, "tail bits beyond len must be cleared");
+    }
+
+    #[test]
+    fn dot_is_parity_of_and() {
+        let a = BitVec::from_bits(&[true, true, false, true]);
+        let b = BitVec::from_bits(&[true, false, true, true]);
+        // AND = 1001 -> parity 0.
+        assert!(!a.dot(&b));
+        let c = BitVec::from_bits(&[true, false, false, false]);
+        assert!(a.dot(&c));
+    }
+
+    #[test]
+    fn identity_preserves() {
+        let x = BitVec::from_bits(&[true, false, true, true, false]);
+        assert_eq!(BitMatrix::identity(5).mul_vec(&x), x);
+        assert!(BitMatrix::identity(5).is_invertible());
+    }
+
+    #[test]
+    fn rank_detects_dependence() {
+        let rows = vec![
+            BitVec::from_bits(&[true, false, true]),
+            BitVec::from_bits(&[false, true, true]),
+            BitVec::from_bits(&[true, true, false]), // = row0 + row1
+        ];
+        let m = BitMatrix::from_rows(rows);
+        assert_eq!(m.rank(), 2);
+        assert!(!m.is_invertible());
+    }
+
+    #[test]
+    fn random_matrix_invertibility_rate() {
+        // Over F2, a uniformly random n×n matrix is invertible with
+        // probability ~28.9% (for n >= ~10): check the ballpark.
+        use pasta_keccak::Shake128;
+        let mut xof = Shake128::new();
+        xof.absorb(b"rate test");
+        let mut reader = xof.finalize();
+        let n = 63;
+        let mut invertible = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let rows: Vec<BitVec> = (0..n)
+                .map(|_| {
+                    let words: Vec<u64> = (0..1).map(|_| reader.next_u64()).collect();
+                    BitVec::from_words(n, &words)
+                })
+                .collect();
+            if BitMatrix::from_rows(rows).is_invertible() {
+                invertible += 1;
+            }
+        }
+        let rate = f64::from(invertible) / f64::from(trials);
+        assert!((rate - 0.289).abs() < 0.1, "invertibility rate {rate}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matvec_linear(a in proptest::collection::vec(any::<bool>(), 32),
+                              b in proptest::collection::vec(any::<bool>(), 32),
+                              seed in any::<u64>()) {
+            // M(a ^ b) = M(a) ^ M(b).
+            use pasta_keccak::Shake128;
+            let mut xof = Shake128::new();
+            xof.absorb(&seed.to_le_bytes());
+            let mut reader = xof.finalize();
+            let rows: Vec<BitVec> =
+                (0..32).map(|_| BitVec::from_words(32, &[reader.next_u64()])).collect();
+            let m = BitMatrix::from_rows(rows);
+            let va = BitVec::from_bits(&a);
+            let vb = BitVec::from_bits(&b);
+            let mut sum = va.clone();
+            sum.xor_assign(&vb);
+            let mut rhs = m.mul_vec(&va);
+            rhs.xor_assign(&m.mul_vec(&vb));
+            prop_assert_eq!(m.mul_vec(&sum), rhs);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! A RASTA-family binary HHE cipher, for the binary-vs-integer
+//! comparison the PASTA-on-Edge paper motivates.
+//!
+//! §I of the paper traces HHE-enabling ciphers from the binary
+//! generation (RASTA, FLIP, Kreyvium) to the integer generation (MASTA,
+//! PASTA, HERA, RUBATO), and §VI asks what the *hardware* impact of those
+//! design changes is. This crate implements the binary side — the RASTA
+//! structure over `F_2^n` with fully random invertible affine layers and
+//! the χ S-box — plus a hardware cost model in the same terms as the
+//! PASTA cryptoprocessor, so the comparison can be run
+//! (`cargo run -p pasta-bench --bin binary_vs_integer`).
+//!
+//! The headline the comparison surfaces: both designs are XOF-bound, but
+//! RASTA's *unstructured* matrices need ≈3.5·n² uniform bits per layer
+//! where PASTA's sequential construction (Eq. 1) needs only `n` field
+//! elements — the single biggest reason integer HHE ciphers won.
+//!
+//! # Examples
+//!
+//! ```
+//! use pasta_rasta::{RastaCipher, RastaParams};
+//! use pasta_rasta::f2::BitVec;
+//!
+//! let params = RastaParams::toy_65();
+//! let cipher = RastaCipher::from_seed(params, b"demo");
+//! let data = BitVec::from_bits(&[true; 65]);
+//! let ct = cipher.apply_block(1, 0, &data);
+//! assert_eq!(cipher.apply_block(1, 0, &ct), data); // XOR stream: involutive
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cipher;
+pub mod cost;
+pub mod f2;
+
+pub use cipher::{
+    chi, derive_material, keystream_block, RastaCipher, RastaError, RastaParams,
+};

@@ -1,0 +1,593 @@
+//! A small RV32IM assembler for the bundled firmware.
+//!
+//! Supports the instructions the firmware needs, labels, `.word` data,
+//! decimal/hex immediates, ABI register names, and the common
+//! pseudo-instructions (`li`, `mv`, `nop`, `j`, `ret`, `beqz`, `bnez`).
+//! Two-pass: the first pass resolves label addresses (accounting for
+//! `li`'s one-or-two-instruction expansion), the second encodes.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Assembly errors, with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+/// Assembles `source` into little-endian instruction words, starting at
+/// `base` (label arithmetic is relative to it).
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the first offending line.
+///
+/// # Examples
+///
+/// ```
+/// use pasta_soc::asm::assemble;
+/// let words = assemble(0, "
+///     li   a0, 42
+///     nop
+/// loop:
+///     addi a0, a0, -1
+///     bnez a0, loop
+///     ebreak
+/// ")?;
+/// assert!(words.len() >= 5);
+/// # Ok::<(), pasta_soc::asm::AsmError>(())
+/// ```
+pub fn assemble(base: u32, source: &str) -> Result<Vec<u32>, AsmError> {
+    let lines = parse_lines(source)?;
+    // Pass 1: label addresses.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut addr = base;
+    for l in &lines {
+        for label in &l.labels {
+            if labels.insert(label.clone(), addr).is_some() {
+                return Err(AsmError { line: l.line, message: format!("duplicate label {label}") });
+            }
+        }
+        if let Some(stmt) = &l.stmt {
+            addr += 4 * words_for(stmt, l.line)? as u32;
+        }
+    }
+    // Pass 2: encode.
+    let mut out = Vec::new();
+    let mut addr = base;
+    for l in &lines {
+        if let Some(stmt) = &l.stmt {
+            let words = encode(stmt, addr, &labels, l.line)?;
+            addr += 4 * words.len() as u32;
+            out.extend(words);
+        }
+    }
+    Ok(out)
+}
+
+struct Line {
+    line: usize,
+    labels: Vec<String>,
+    stmt: Option<Stmt>,
+}
+
+struct Stmt {
+    mnemonic: String,
+    operands: Vec<String>,
+}
+
+fn parse_lines(source: &str) -> Result<Vec<Line>, AsmError> {
+    let mut out = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut text = raw;
+        if let Some(pos) = text.find(['#', ';']) {
+            text = &text[..pos];
+        }
+        let mut text = text.trim();
+        let mut labels = Vec::new();
+        while let Some(pos) = text.find(':') {
+            let label = text[..pos].trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(AsmError { line: line_no, message: "malformed label".into() });
+            }
+            labels.push(label.to_string());
+            text = text[pos + 1..].trim();
+        }
+        let stmt = if text.is_empty() {
+            None
+        } else {
+            let (mnemonic, rest) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
+            let operands: Vec<String> = rest
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            Some(Stmt { mnemonic: mnemonic.to_lowercase(), operands })
+        };
+        if !labels.is_empty() || stmt.is_some() {
+            out.push(Line { line: line_no, labels, stmt });
+        }
+    }
+    Ok(out)
+}
+
+/// How many words a statement expands to (pass 1).
+fn words_for(stmt: &Stmt, line: usize) -> Result<usize, AsmError> {
+    match stmt.mnemonic.as_str() {
+        "li" => {
+            let imm = parse_imm(stmt.operands.get(1).map_or("", |s| s), line)?;
+            Ok(if fits_i12(imm) || imm & 0xFFF == 0 { 1 } else { 2 })
+        }
+        ".word" => Ok(stmt.operands.len()),
+        _ => Ok(1),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn encode(
+    stmt: &Stmt,
+    addr: u32,
+    labels: &HashMap<String, u32>,
+    line: usize,
+) -> Result<Vec<u32>, AsmError> {
+    let err = |message: String| AsmError { line, message };
+    let op = |i: usize| -> Result<&str, AsmError> {
+        stmt.operands
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| err(format!("missing operand {i} for {}", stmt.mnemonic)))
+    };
+    let reg = |i: usize| -> Result<u32, AsmError> { parse_reg(op(i)?, line) };
+    let imm = |i: usize| -> Result<i64, AsmError> { parse_imm(op(i)?, line) };
+    let target = |i: usize| -> Result<u32, AsmError> {
+        let name = op(i)?;
+        labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(format!("unknown label {name}")))
+    };
+    let branch_off = |t: u32| -> Result<i32, AsmError> {
+        let off = t.wrapping_sub(addr) as i32;
+        if off % 2 != 0 || !(-4096..4096).contains(&off) {
+            return Err(err(format!("branch offset {off} out of range")));
+        }
+        Ok(off)
+    };
+
+    let m = stmt.mnemonic.as_str();
+    let one = |w: u32| Ok(vec![w]);
+    match m {
+        ".word" => {
+            let mut ws = Vec::new();
+            for i in 0..stmt.operands.len() {
+                ws.push(imm(i)? as u32);
+            }
+            Ok(ws)
+        }
+        "nop" => one(enc_i(0x13, 0, 0, 0, 0)),
+        "mv" => one(enc_i(0x13, 0, reg(0)?, reg(1)?, 0)),
+        "li" => {
+            let v = imm(1)? as i32;
+            let rd = reg(0)?;
+            if fits_i12(i64::from(v)) {
+                one(enc_i(0x13, 0, rd, 0, v))
+            } else {
+                // lui + addi with carry correction for negative low part.
+                let low = (v << 20) >> 20;
+                let high = (v.wrapping_sub(low)) as u32;
+                let lui = (high & 0xFFFF_F000) | (rd << 7) | 0x37;
+                if low == 0 {
+                    one(lui)
+                } else {
+                    Ok(vec![lui, enc_i(0x13, 0, rd, rd, low)])
+                }
+            }
+        }
+        "lui" => {
+            let v = imm(1)?;
+            one(((v as u32) << 12) | (reg(0)? << 7) | 0x37)
+        }
+        "auipc" => {
+            let v = imm(1)?;
+            one(((v as u32) << 12) | (reg(0)? << 7) | 0x17)
+        }
+        "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and" | "mul"
+        | "mulh" | "mulhsu" | "mulhu" | "div" | "divu" | "rem" | "remu" => {
+            let (f7, f3) = match m {
+                "add" => (0b000_0000, 0b000),
+                "sub" => (0b010_0000, 0b000),
+                "sll" => (0b000_0000, 0b001),
+                "slt" => (0b000_0000, 0b010),
+                "sltu" => (0b000_0000, 0b011),
+                "xor" => (0b000_0000, 0b100),
+                "srl" => (0b000_0000, 0b101),
+                "sra" => (0b010_0000, 0b101),
+                "or" => (0b000_0000, 0b110),
+                "and" => (0b000_0000, 0b111),
+                "mul" => (0b000_0001, 0b000),
+                "mulh" => (0b000_0001, 0b001),
+                "mulhsu" => (0b000_0001, 0b010),
+                "mulhu" => (0b000_0001, 0b011),
+                "div" => (0b000_0001, 0b100),
+                "divu" => (0b000_0001, 0b101),
+                "rem" => (0b000_0001, 0b110),
+                _ => (0b000_0001, 0b111),
+            };
+            one(f7 << 25 | reg(2)? << 20 | reg(1)? << 15 | f3 << 12 | reg(0)? << 7 | 0x33)
+        }
+        "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" => {
+            let f3 = match m {
+                "addi" => 0b000,
+                "slti" => 0b010,
+                "sltiu" => 0b011,
+                "xori" => 0b100,
+                "ori" => 0b110,
+                _ => 0b111,
+            };
+            let v = imm(2)?;
+            if !fits_i12(v) {
+                return Err(err(format!("immediate {v} out of I-range")));
+            }
+            one(enc_i(0x13, f3, reg(0)?, reg(1)?, v as i32))
+        }
+        "slli" | "srli" | "srai" => {
+            let f3 = if m == "slli" { 0b001 } else { 0b101 };
+            let f7 = if m == "srai" { 0b010_0000 } else { 0 };
+            let sh = imm(2)?;
+            if !(0..32).contains(&sh) {
+                return Err(err(format!("shift amount {sh} out of range")));
+            }
+            one(f7 << 25 | (sh as u32) << 20 | reg(1)? << 15 | f3 << 12 | reg(0)? << 7 | 0x13)
+        }
+        "lb" | "lh" | "lw" | "lbu" | "lhu" => {
+            let f3 = match m {
+                "lb" => 0b000,
+                "lh" => 0b001,
+                "lw" => 0b010,
+                "lbu" => 0b100,
+                _ => 0b101,
+            };
+            let (off, rs1) = parse_mem(op(1)?, line)?;
+            one(enc_i(0x03, f3, reg(0)?, rs1, off))
+        }
+        "sb" | "sh" | "sw" => {
+            let f3 = match m {
+                "sb" => 0b000,
+                "sh" => 0b001,
+                _ => 0b010,
+            };
+            let (off, rs1) = parse_mem(op(1)?, line)?;
+            let rs2 = reg(0)?;
+            let u = off as u32;
+            one(((u >> 5) & 0x7F) << 25
+                | rs2 << 20
+                | rs1 << 15
+                | f3 << 12
+                | (u & 0x1F) << 7
+                | 0x23)
+        }
+        "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+            let f3 = match m {
+                "beq" => 0b000,
+                "bne" => 0b001,
+                "blt" => 0b100,
+                "bge" => 0b101,
+                "bltu" => 0b110,
+                _ => 0b111,
+            };
+            let off = branch_off(target(2)?)?;
+            one(enc_b(f3, reg(0)?, reg(1)?, off))
+        }
+        "beqz" => {
+            let off = branch_off(target(1)?)?;
+            one(enc_b(0b000, reg(0)?, 0, off))
+        }
+        "bnez" => {
+            let off = branch_off(target(1)?)?;
+            one(enc_b(0b001, reg(0)?, 0, off))
+        }
+        "jal" => {
+            // jal rd, label  |  jal label (rd = ra)
+            let (rd, t) = if stmt.operands.len() == 2 {
+                (reg(0)?, target(1)?)
+            } else {
+                (1, target(0)?)
+            };
+            one(enc_j(rd, t.wrapping_sub(addr) as i32, line)?)
+        }
+        "j" => one(enc_j(0, target(0)?.wrapping_sub(addr) as i32, line)?),
+        "jalr" => {
+            // jalr rd, off(rs1)  |  jalr rs1
+            if stmt.operands.len() == 1 {
+                one(enc_i(0x67, 0, 1, reg(0)?, 0))
+            } else {
+                let (off, rs1) = parse_mem(op(1)?, line)?;
+                one(enc_i(0x67, 0, reg(0)?, rs1, off))
+            }
+        }
+        "ret" => one(enc_i(0x67, 0, 0, 1, 0)),
+        "ecall" => one(0x0000_0073),
+        "ebreak" => one(0x0010_0073),
+        "fence" => one(0x0000_000F),
+        // Performance-counter pseudo-instructions (CSRRS rd, csr, x0).
+        "rdcycle" => one(0xC00 << 20 | 0b010 << 12 | reg(0)? << 7 | 0x73),
+        "rdcycleh" => one(0xC80 << 20 | 0b010 << 12 | reg(0)? << 7 | 0x73),
+        "rdinstret" => one(0xC02 << 20 | 0b010 << 12 | reg(0)? << 7 | 0x73),
+        // CSR pseudo-instructions and machine-mode control.
+        "csrw" => {
+            let csr = parse_csr(op(0)?, line)?;
+            one(csr << 20 | reg(1)? << 15 | 0b001 << 12 | 0x73)
+        }
+        "csrr" => {
+            let csr = parse_csr(op(1)?, line)?;
+            one(csr << 20 | 0b010 << 12 | reg(0)? << 7 | 0x73)
+        }
+        "csrs" => {
+            let csr = parse_csr(op(0)?, line)?;
+            one(csr << 20 | reg(1)? << 15 | 0b010 << 12 | 0x73)
+        }
+        "mret" => one(0x3020_0073),
+        "wfi" => one(0x1050_0073),
+        _ => Err(err(format!("unknown mnemonic {m}"))),
+    }
+}
+
+fn enc_i(opcode: u32, f3: u32, rd: u32, rs1: u32, imm: i32) -> u32 {
+    ((imm as u32) << 20) | rs1 << 15 | f3 << 12 | rd << 7 | opcode
+}
+
+fn enc_b(f3: u32, rs1: u32, rs2: u32, off: i32) -> u32 {
+    let u = off as u32;
+    ((u >> 12) & 1) << 31
+        | ((u >> 5) & 0x3F) << 25
+        | rs2 << 20
+        | rs1 << 15
+        | f3 << 12
+        | ((u >> 1) & 0xF) << 8
+        | ((u >> 11) & 1) << 7
+        | 0x63
+}
+
+fn enc_j(rd: u32, off: i32, line: usize) -> Result<u32, AsmError> {
+    if off % 2 != 0 || !(-(1 << 20)..(1 << 20)).contains(&off) {
+        return Err(AsmError { line, message: format!("jump offset {off} out of range") });
+    }
+    let u = off as u32;
+    Ok(((u >> 20) & 1) << 31
+        | ((u >> 1) & 0x3FF) << 21
+        | ((u >> 11) & 1) << 20
+        | ((u >> 12) & 0xFF) << 12
+        | rd << 7
+        | 0x6F)
+}
+
+fn fits_i12(v: i64) -> bool {
+    (-2048..2048).contains(&v)
+}
+
+/// `off(reg)` memory operand.
+fn parse_mem(s: &str, line: usize) -> Result<(i32, u32), AsmError> {
+    let err = |m: String| AsmError { line, message: m };
+    let open = s.find('(').ok_or_else(|| err(format!("expected off(reg), got {s}")))?;
+    if !s.ends_with(')') {
+        return Err(err(format!("expected off(reg), got {s}")));
+    }
+    let off_str = s[..open].trim();
+    let off = if off_str.is_empty() { 0 } else { parse_imm(off_str, line)? };
+    if !fits_i12(off) {
+        return Err(err(format!("memory offset {off} out of range")));
+    }
+    let r = parse_reg(s[open + 1..s.len() - 1].trim(), line)?;
+    Ok((off as i32, r))
+}
+
+/// CSR operand: a known name or a numeric value.
+fn parse_csr(s: &str, line: usize) -> Result<u32, AsmError> {
+    let named = match s {
+        "mstatus" => Some(0x300),
+        "mie" => Some(0x304),
+        "mtvec" => Some(0x305),
+        "mepc" => Some(0x341),
+        "mcause" => Some(0x342),
+        "cycle" => Some(0xC00),
+        "instret" => Some(0xC02),
+        _ => None,
+    };
+    if let Some(v) = named {
+        return Ok(v);
+    }
+    parse_imm(s, line).ok().and_then(|v| u32::try_from(v).ok()).ok_or(AsmError {
+        line,
+        message: format!("unknown CSR {s}"),
+    })
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<u32, AsmError> {
+    const ABI: [&str; 32] = [
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+        "t3", "t4", "t5", "t6",
+    ];
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix('x') {
+        if let Ok(n) = rest.parse::<u32>() {
+            if n < 32 {
+                return Ok(n);
+            }
+        }
+    }
+    if s == "fp" {
+        return Ok(8);
+    }
+    if let Some(i) = ABI.iter().position(|&a| a == s) {
+        return Ok(i as u32);
+    }
+    Err(AsmError { line, message: format!("unknown register {s}") })
+}
+
+fn parse_imm(s: &str, line: usize) -> Result<i64, AsmError> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| AsmError { line, message: format!("bad immediate {s}") })?;
+    Ok(if neg { -value } else { value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_known_words() {
+        // Cross-checked against the standard encodings.
+        assert_eq!(assemble(0, "nop").unwrap(), vec![0x0000_0013]);
+        assert_eq!(assemble(0, "ebreak").unwrap(), vec![0x0010_0073]);
+        assert_eq!(assemble(0, "ecall").unwrap(), vec![0x0000_0073]);
+        assert_eq!(assemble(0, "addi a0, zero, 1").unwrap(), vec![0x0010_0513]);
+        assert_eq!(assemble(0, "add a0, a1, a2").unwrap(), vec![0x00C5_8533]);
+        assert_eq!(assemble(0, "lw t0, 8(sp)").unwrap(), vec![0x0081_2283]);
+        assert_eq!(assemble(0, "sw t0, 8(sp)").unwrap(), vec![0x0051_2423]);
+        assert_eq!(assemble(0, "ret").unwrap(), vec![0x0000_8067]);
+    }
+
+    #[test]
+    fn li_expansion() {
+        // Small immediates: one addi.
+        assert_eq!(assemble(0, "li a0, 5").unwrap().len(), 1);
+        // Page-aligned: one lui.
+        assert_eq!(assemble(0, "li a0, 0x10000000").unwrap().len(), 1);
+        // General 32-bit: lui + addi.
+        let words = assemble(0, "li a0, 0x12345678").unwrap();
+        assert_eq!(words.len(), 2);
+        // Negative low part needs the +1 carry in lui.
+        let words = assemble(0, "li a0, 0x12345FFF").unwrap();
+        assert_eq!(words.len(), 2);
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let words = assemble(
+            0x100,
+            "
+            li   t0, 3
+        loop:
+            addi t0, t0, -1
+            bnez t0, loop
+            j    end
+            nop
+        end:
+            ebreak
+        ",
+        )
+        .unwrap();
+        assert_eq!(words.len(), 6);
+    }
+
+    #[test]
+    fn word_directive() {
+        assert_eq!(
+            assemble(0, ".word 0xDEADBEEF, 1, -1").unwrap(),
+            vec![0xDEAD_BEEF, 1, 0xFFFF_FFFF]
+        );
+    }
+
+    #[test]
+    fn error_reporting() {
+        let e = assemble(0, "frobnicate a0").unwrap_err();
+        assert!(e.message.contains("unknown mnemonic"));
+        assert_eq!(e.line, 1);
+        assert!(assemble(0, "addi a0, a0, 5000").is_err(), "imm out of range");
+        assert!(assemble(0, "beq a0, a1, nowhere").is_err(), "unknown label");
+        assert!(assemble(0, "x: nop\nx: nop").is_err(), "duplicate label");
+        assert!(assemble(0, "lw a0, a1").is_err(), "bad mem operand");
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let words = assemble(0, "# full line\n nop # trailing\n ; semicolon style\n").unwrap();
+        assert_eq!(words.len(), 1);
+    }
+
+    #[test]
+    fn abi_and_numeric_registers_agree() {
+        assert_eq!(assemble(0, "add x10, x11, x12").unwrap(), assemble(0, "add a0, a1, a2").unwrap());
+        assert_eq!(assemble(0, "add s0, s0, s0").unwrap(), assemble(0, "add fp, fp, fp").unwrap());
+    }
+
+    /// The assembler's encodings must round-trip through the CPU decoder:
+    /// assemble a program, run it, check the result.
+    #[test]
+    fn assembled_program_runs_on_the_core() {
+        use crate::rv32::{AccessWidth, Bus, Cpu, Trap};
+        struct Ram(Vec<u8>);
+        impl Bus for Ram {
+            fn read(&mut self, addr: u32, width: AccessWidth) -> Result<u32, Trap> {
+                let a = addr as usize;
+                Ok(match width {
+                    AccessWidth::Byte => u32::from(self.0[a]),
+                    AccessWidth::Half => u32::from(self.0[a]) | u32::from(self.0[a + 1]) << 8,
+                    AccessWidth::Word => {
+                        u32::from_le_bytes([self.0[a], self.0[a + 1], self.0[a + 2], self.0[a + 3]])
+                    }
+                })
+            }
+            fn write(&mut self, addr: u32, v: u32, width: AccessWidth) -> Result<(), Trap> {
+                let a = addr as usize;
+                match width {
+                    AccessWidth::Byte => self.0[a] = v as u8,
+                    AccessWidth::Half => self.0[a..a + 2].copy_from_slice(&(v as u16).to_le_bytes()),
+                    AccessWidth::Word => self.0[a..a + 4].copy_from_slice(&v.to_le_bytes()),
+                }
+                Ok(())
+            }
+        }
+        // Compute 10! iteratively.
+        let words = assemble(
+            0,
+            "
+            li   a0, 1      # acc
+            li   t0, 10     # n
+        fact:
+            mul  a0, a0, t0
+            addi t0, t0, -1
+            bnez t0, fact
+            ebreak
+        ",
+        )
+        .unwrap();
+        let mut mem = vec![0u8; 4096];
+        for (i, w) in words.iter().enumerate() {
+            mem[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        let mut cpu = Cpu::new(0);
+        let mut ram = Ram(mem);
+        loop {
+            match cpu.step(&mut ram) {
+                Ok(()) => {}
+                Err(Trap::Ebreak) => break,
+                Err(t) => panic!("trap: {t}"),
+            }
+        }
+        assert_eq!(cpu.reg(10), 3_628_800);
+    }
+}

@@ -1,0 +1,262 @@
+//! The SoC system bus: RAM, UART, and the PASTA peripheral.
+//!
+//! A single shared data bus (as in the paper's SoC, §IV.A ❸): the core is
+//! the bus master for its loads/stores; the PASTA peripheral's DMA port
+//! reaches RAM through the same fabric, which is why block processing is
+//! fully serialized.
+//!
+//! ## Memory map
+//!
+//! | base          | device              |
+//! |---------------|---------------------|
+//! | `0x0000_0000` | RAM (program + data)|
+//! | `0x1000_0000` | UART (TX register)  |
+//! | `0x4000_0000` | PASTA peripheral    |
+
+use crate::peripheral::{PastaPeripheral, PeripheralAction};
+use crate::rv32::{AccessWidth, Bus, Trap};
+use pasta_core::PastaParams;
+
+/// RAM base address.
+pub const RAM_BASE: u32 = 0x0000_0000;
+/// UART base address (write a byte to TX).
+pub const UART_BASE: u32 = 0x1000_0000;
+/// PASTA peripheral base address.
+pub const PASTA_BASE: u32 = 0x4000_0000;
+/// Size of the peripheral register window.
+const PASTA_WINDOW: u32 = 0x100;
+
+/// Byte-addressable RAM.
+#[derive(Debug, Clone)]
+pub struct Ram {
+    bytes: Vec<u8>,
+}
+
+impl Ram {
+    /// Creates zeroed RAM of `size` bytes.
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        Ram { bytes: vec![0; size] }
+    }
+
+    /// RAM size in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the RAM is empty (zero-sized).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Word read (little-endian), `None` when out of range.
+    #[must_use]
+    pub fn read_u32(&self, addr: u32) -> Option<u32> {
+        let a = addr as usize;
+        if a + 4 > self.bytes.len() {
+            return None;
+        }
+        Some(u32::from_le_bytes([
+            self.bytes[a],
+            self.bytes[a + 1],
+            self.bytes[a + 2],
+            self.bytes[a + 3],
+        ]))
+    }
+
+    /// Word write (little-endian); `false` when out of range.
+    pub fn write_u32(&mut self, addr: u32, value: u32) -> bool {
+        let a = addr as usize;
+        if a + 4 > self.bytes.len() {
+            return false;
+        }
+        self.bytes[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        true
+    }
+}
+
+/// A write-only console UART that captures output for the harness.
+#[derive(Debug, Clone, Default)]
+pub struct Uart {
+    output: Vec<u8>,
+}
+
+impl Uart {
+    /// Everything written to TX so far, lossily decoded.
+    #[must_use]
+    pub fn output(&self) -> String {
+        String::from_utf8_lossy(&self.output).into_owned()
+    }
+}
+
+/// The system bus with all devices and the global cycle reference.
+#[derive(Debug, Clone)]
+pub struct SystemBus {
+    /// Main memory.
+    pub ram: Ram,
+    /// Console.
+    pub uart: Uart,
+    /// The PASTA accelerator.
+    pub pasta: PastaPeripheral,
+    /// Current absolute cycle (maintained by the SoC stepper).
+    pub now: u64,
+}
+
+impl SystemBus {
+    /// Builds the bus with `ram_size` bytes of RAM and a PASTA peripheral
+    /// configured for `params`.
+    #[must_use]
+    pub fn new(params: PastaParams, ram_size: usize) -> Self {
+        SystemBus {
+            ram: Ram::new(ram_size),
+            uart: Uart::default(),
+            pasta: PastaPeripheral::new(params),
+            now: 0,
+        }
+    }
+
+    fn pasta_write(&mut self, offset: u32, value: u32) {
+        if self.pasta.write_reg(offset, value) == PeripheralAction::Start {
+            // Service the DMA job immediately; latency is modelled via
+            // the peripheral's done_at cycle.
+            let ram = &mut self.ram;
+            let now = self.now;
+            let _cycles = {
+                // Split borrows: the closure captures only `ram`.
+                let ram_ptr: &mut Ram = ram;
+                let ram_cell = std::cell::RefCell::new(ram_ptr);
+                self.pasta.start(
+                    now,
+                    |addr| ram_cell.borrow().read_u32(addr),
+                    |addr, v| ram_cell.borrow_mut().write_u32(addr, v),
+                )
+            };
+        }
+    }
+}
+
+impl Bus for SystemBus {
+    fn read(&mut self, addr: u32, width: AccessWidth) -> Result<u32, Trap> {
+        if (addr as usize) < self.ram.len() {
+            let a = addr as usize;
+            let bytes = &self.ram.bytes;
+            return Ok(match width {
+                AccessWidth::Byte => u32::from(bytes[a]),
+                AccessWidth::Half => {
+                    if a + 2 > bytes.len() {
+                        return Err(Trap::BusFault(addr));
+                    }
+                    u32::from(u16::from_le_bytes([bytes[a], bytes[a + 1]]))
+                }
+                AccessWidth::Word => self.ram.read_u32(addr).ok_or(Trap::BusFault(addr))?,
+            });
+        }
+        if (PASTA_BASE..PASTA_BASE + PASTA_WINDOW).contains(&addr) {
+            if width != AccessWidth::Word || !addr.is_multiple_of(4) {
+                return Err(Trap::Misaligned(addr));
+            }
+            return Ok(self.pasta.read_reg(addr - PASTA_BASE, self.now));
+        }
+        if addr == UART_BASE {
+            return Ok(0); // TX always ready
+        }
+        Err(Trap::BusFault(addr))
+    }
+
+    fn write(&mut self, addr: u32, value: u32, width: AccessWidth) -> Result<(), Trap> {
+        if (addr as usize) < self.ram.len() {
+            let a = addr as usize;
+            match width {
+                AccessWidth::Byte => self.ram.bytes[a] = value as u8,
+                AccessWidth::Half => {
+                    if a + 2 > self.ram.bytes.len() {
+                        return Err(Trap::BusFault(addr));
+                    }
+                    self.ram.bytes[a..a + 2].copy_from_slice(&(value as u16).to_le_bytes());
+                }
+                AccessWidth::Word => {
+                    if !self.ram.write_u32(addr, value) {
+                        return Err(Trap::BusFault(addr));
+                    }
+                }
+            }
+            return Ok(());
+        }
+        if (PASTA_BASE..PASTA_BASE + PASTA_WINDOW).contains(&addr) {
+            if width != AccessWidth::Word || !addr.is_multiple_of(4) {
+                return Err(Trap::Misaligned(addr));
+            }
+            self.pasta_write(addr - PASTA_BASE, value);
+            return Ok(());
+        }
+        if addr == UART_BASE {
+            self.uart.output.push(value as u8);
+            return Ok(());
+        }
+        Err(Trap::BusFault(addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rv32::{AccessWidth, Bus};
+
+    fn bus() -> SystemBus {
+        SystemBus::new(PastaParams::pasta4_17bit(), 64 * 1024)
+    }
+
+    #[test]
+    fn ram_read_write_widths() {
+        let mut b = bus();
+        b.write(0x100, 0xDEAD_BEEF, AccessWidth::Word).unwrap();
+        assert_eq!(b.read(0x100, AccessWidth::Word).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(b.read(0x100, AccessWidth::Byte).unwrap(), 0xEF);
+        assert_eq!(b.read(0x102, AccessWidth::Half).unwrap(), 0xDEAD);
+        b.write(0x103, 0x12, AccessWidth::Byte).unwrap();
+        assert_eq!(b.read(0x100, AccessWidth::Word).unwrap(), 0x12AD_BEEF);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut b = bus();
+        assert!(matches!(
+            b.read(0x2000_0000, AccessWidth::Word),
+            Err(Trap::BusFault(0x2000_0000))
+        ));
+        assert!(matches!(
+            b.write(0xFFFF_0000, 0, AccessWidth::Word),
+            Err(Trap::BusFault(_))
+        ));
+    }
+
+    #[test]
+    fn uart_collects_output() {
+        let mut b = bus();
+        for &c in b"ok\n" {
+            b.write(UART_BASE, u32::from(c), AccessWidth::Byte).unwrap();
+        }
+        assert_eq!(b.uart.output(), "ok\n");
+    }
+
+    #[test]
+    fn peripheral_visible_through_bus() {
+        let mut b = bus();
+        // STATUS reads idle initially.
+        assert_eq!(b.read(PASTA_BASE + 0x04, AccessWidth::Word).unwrap(), 0);
+        // Nonce registers are write-through.
+        b.write(PASTA_BASE + 0x14, 0x55, AccessWidth::Word).unwrap();
+        assert_eq!(b.pasta.nonce(), 0x55);
+    }
+
+    #[test]
+    fn peripheral_requires_word_access() {
+        let mut b = bus();
+        assert!(matches!(
+            b.read(PASTA_BASE + 0x04, AccessWidth::Byte),
+            Err(Trap::Misaligned(_))
+        ));
+    }
+}

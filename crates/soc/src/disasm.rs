@@ -1,0 +1,258 @@
+//! RV32IM disassembler.
+//!
+//! The inverse of [`crate::asm`]: turns instruction words back into
+//! assembly text, for firmware debugging and trace dumps. The test suite
+//! round-trips the entire supported ISA through
+//! assembler → disassembler → assembler.
+
+/// Disassembles one instruction word. Unknown encodings come back as
+/// `.word 0x…` (re-assemblable).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn disassemble(inst: u32) -> String {
+    let opcode = inst & 0x7F;
+    let rd = ((inst >> 7) & 0x1F) as usize;
+    let rs1 = ((inst >> 15) & 0x1F) as usize;
+    let rs2 = ((inst >> 20) & 0x1F) as usize;
+    let funct3 = (inst >> 12) & 0x7;
+    let funct7 = inst >> 25;
+    let r = reg_name;
+    match opcode {
+        0x37 => format!("lui {}, 0x{:X}", r(rd), inst >> 12),
+        0x17 => format!("auipc {}, 0x{:X}", r(rd), inst >> 12),
+        0x6F => {
+            let imm = imm_j(inst);
+            format!("jal {}, {}", r(rd), imm)
+        }
+        0x67 if funct3 == 0 => format!("jalr {}, {}({})", r(rd), imm_i(inst), r(rs1)),
+        0x63 => {
+            let name = match funct3 {
+                0b000 => "beq",
+                0b001 => "bne",
+                0b100 => "blt",
+                0b101 => "bge",
+                0b110 => "bltu",
+                0b111 => "bgeu",
+                _ => return raw(inst),
+            };
+            format!("{name} {}, {}, {}", r(rs1), r(rs2), imm_b(inst))
+        }
+        0x03 => {
+            let name = match funct3 {
+                0b000 => "lb",
+                0b001 => "lh",
+                0b010 => "lw",
+                0b100 => "lbu",
+                0b101 => "lhu",
+                _ => return raw(inst),
+            };
+            format!("{name} {}, {}({})", r(rd), imm_i(inst), r(rs1))
+        }
+        0x23 => {
+            let name = match funct3 {
+                0b000 => "sb",
+                0b001 => "sh",
+                0b010 => "sw",
+                _ => return raw(inst),
+            };
+            format!("{name} {}, {}({})", r(rs2), imm_s(inst), r(rs1))
+        }
+        0x13 => {
+            let shamt = (inst >> 20) & 0x1F;
+            match funct3 {
+                0b000 => format!("addi {}, {}, {}", r(rd), r(rs1), imm_i(inst)),
+                0b010 => format!("slti {}, {}, {}", r(rd), r(rs1), imm_i(inst)),
+                0b011 => format!("sltiu {}, {}, {}", r(rd), r(rs1), imm_i(inst)),
+                0b100 => format!("xori {}, {}, {}", r(rd), r(rs1), imm_i(inst)),
+                0b110 => format!("ori {}, {}, {}", r(rd), r(rs1), imm_i(inst)),
+                0b111 => format!("andi {}, {}, {}", r(rd), r(rs1), imm_i(inst)),
+                0b001 if funct7 == 0 => format!("slli {}, {}, {shamt}", r(rd), r(rs1)),
+                0b101 if funct7 == 0 => format!("srli {}, {}, {shamt}", r(rd), r(rs1)),
+                0b101 if funct7 == 0b010_0000 => format!("srai {}, {}, {shamt}", r(rd), r(rs1)),
+                _ => raw(inst),
+            }
+        }
+        0x33 => {
+            let name = match (funct7, funct3) {
+                (0b000_0000, 0b000) => "add",
+                (0b010_0000, 0b000) => "sub",
+                (0b000_0000, 0b001) => "sll",
+                (0b000_0000, 0b010) => "slt",
+                (0b000_0000, 0b011) => "sltu",
+                (0b000_0000, 0b100) => "xor",
+                (0b000_0000, 0b101) => "srl",
+                (0b010_0000, 0b101) => "sra",
+                (0b000_0000, 0b110) => "or",
+                (0b000_0000, 0b111) => "and",
+                (0b000_0001, 0b000) => "mul",
+                (0b000_0001, 0b001) => "mulh",
+                (0b000_0001, 0b010) => "mulhsu",
+                (0b000_0001, 0b011) => "mulhu",
+                (0b000_0001, 0b100) => "div",
+                (0b000_0001, 0b101) => "divu",
+                (0b000_0001, 0b110) => "rem",
+                (0b000_0001, 0b111) => "remu",
+                _ => return raw(inst),
+            };
+            format!("{name} {}, {}, {}", r(rd), r(rs1), r(rs2))
+        }
+        0x0F => "fence".to_string(),
+        0x73 => match inst {
+            0x0000_0073 => "ecall".to_string(),
+            0x0010_0073 => "ebreak".to_string(),
+            _ if funct3 == 0b010 && rs1 == 0 => match inst >> 20 {
+                0xC00 => format!("rdcycle {}", r(rd)),
+                0xC02 => format!("rdinstret {}", r(rd)),
+                0xC80 => format!("rdcycleh {}", r(rd)),
+                _ => raw(inst),
+            },
+            _ => raw(inst),
+        },
+        _ => raw(inst),
+    }
+}
+
+/// Disassembles a program with addresses.
+#[must_use]
+pub fn disassemble_program(base: u32, words: &[u32]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, &w) in words.iter().enumerate() {
+        let _ = writeln!(out, "{:#010x}: {:08x}  {}", base + 4 * i as u32, w, disassemble(w));
+    }
+    out
+}
+
+fn raw(inst: u32) -> String {
+    format!(".word 0x{inst:08X}")
+}
+
+fn reg_name(i: usize) -> &'static str {
+    const ABI: [&str; 32] = [
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+        "t3", "t4", "t5", "t6",
+    ];
+    ABI[i]
+}
+
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+fn imm_i(inst: u32) -> i32 {
+    (inst as i32) >> 20
+}
+
+fn imm_s(inst: u32) -> i32 {
+    (((inst & 0xFE00_0000) as i32) >> 20) | (((inst >> 7) & 0x1F) as i32)
+}
+
+fn imm_b(inst: u32) -> i32 {
+    let imm = ((inst >> 31) & 1) << 12
+        | ((inst >> 7) & 1) << 11
+        | ((inst >> 25) & 0x3F) << 5
+        | ((inst >> 8) & 0xF) << 1;
+    sign_extend(imm, 13)
+}
+
+fn imm_j(inst: u32) -> i32 {
+    let imm = ((inst >> 31) & 1) << 20
+        | ((inst >> 12) & 0xFF) << 12
+        | ((inst >> 20) & 1) << 11
+        | ((inst >> 21) & 0x3FF) << 1;
+    sign_extend(imm, 21)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn known_words() {
+        assert_eq!(disassemble(0x0000_0013), "addi zero, zero, 0");
+        assert_eq!(disassemble(0x0010_0073), "ebreak");
+        assert_eq!(disassemble(0x00C5_8533), "add a0, a1, a2");
+        assert_eq!(disassemble(0x0081_2283), "lw t0, 8(sp)");
+        assert_eq!(disassemble(0x0051_2423), "sw t0, 8(sp)");
+        assert_eq!(disassemble(0xFFFF_FFFF), ".word 0xFFFFFFFF");
+    }
+
+    /// Every supported instruction survives asm → disasm → asm.
+    #[test]
+    fn full_isa_roundtrip() {
+        let programs = [
+            "addi a0, a1, -17",
+            "slti a0, a1, 5",
+            "sltiu a0, a1, 5",
+            "xori a0, a1, 0x7F",
+            "ori a0, a1, 1",
+            "andi a0, a1, 15",
+            "slli a0, a1, 7",
+            "srli a0, a1, 7",
+            "srai a0, a1, 7",
+            "add a0, a1, a2",
+            "sub a0, a1, a2",
+            "sll a0, a1, a2",
+            "slt a0, a1, a2",
+            "sltu a0, a1, a2",
+            "xor a0, a1, a2",
+            "srl a0, a1, a2",
+            "sra a0, a1, a2",
+            "or a0, a1, a2",
+            "and a0, a1, a2",
+            "mul a0, a1, a2",
+            "mulh a0, a1, a2",
+            "mulhsu a0, a1, a2",
+            "mulhu a0, a1, a2",
+            "div a0, a1, a2",
+            "divu a0, a1, a2",
+            "rem a0, a1, a2",
+            "remu a0, a1, a2",
+            "lb a0, -4(sp)",
+            "lh a0, 2(sp)",
+            "lw a0, 8(sp)",
+            "lbu a0, 1(sp)",
+            "lhu a0, 2(sp)",
+            "sb a0, -4(sp)",
+            "sh a0, 2(sp)",
+            "sw a0, 8(sp)",
+            "jalr a0, 12(t0)",
+            "lui a0, 0xFEDCB",
+            "auipc a0, 0x123",
+            "ecall",
+            "ebreak",
+            "fence",
+            "rdcycle a0",
+            "rdcycleh a0",
+            "rdinstret s5",
+        ];
+        for src in programs {
+            let word = assemble(0, src).unwrap()[0];
+            let text = disassemble(word);
+            let word2 = assemble(0, &text).unwrap()[0];
+            assert_eq!(word, word2, "{src} -> {text}");
+        }
+    }
+
+    #[test]
+    fn branch_and_jump_offsets_render() {
+        // Branches/jumps disassemble with numeric offsets (no labels);
+        // verify the offset arithmetic is right.
+        let words = assemble(0, "x: beq a0, a1, x").unwrap();
+        assert_eq!(disassemble(words[0]), "beq a0, a1, 0");
+        let words = assemble(0, "nop\nj target\nnop\ntarget: nop").unwrap();
+        assert_eq!(disassemble(words[1]), "jal zero, 8");
+    }
+
+    #[test]
+    fn program_listing() {
+        let words = assemble(0x100, "li a0, 5\nebreak").unwrap();
+        let listing = disassemble_program(0x100, &words);
+        assert!(listing.contains("0x00000100"));
+        assert!(listing.contains("addi a0, zero, 5"));
+        assert!(listing.contains("ebreak"));
+    }
+}

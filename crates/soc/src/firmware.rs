@@ -1,0 +1,432 @@
+//! Firmware for driving the PASTA peripheral, and a high-level harness
+//! that measures the paper's Tab. II "RISC-V" column.
+//!
+//! The driver program loads the key and nonce into the peripheral's
+//! registers, points it at the plaintext buffer, starts it, polls STATUS
+//! until DONE and halts. The harness assembles it, lays out the data
+//! sections, runs the SoC and verifies the ciphertext against the
+//! software cipher.
+
+use crate::asm::{assemble, AsmError};
+use crate::bus::PASTA_BASE;
+use crate::soc::{RunOutcome, Soc};
+use pasta_core::{PastaError, PastaParams, SecretKey};
+
+/// Memory layout used by the bundled driver.
+#[derive(Debug, Clone, Copy)]
+pub struct Layout {
+    /// Where the program is loaded.
+    pub text: u32,
+    /// Key elements as (lo, hi) u32 pairs.
+    pub key: u32,
+    /// Nonce as four u32 words.
+    pub nonce: u32,
+    /// Plaintext elements (u32 each).
+    pub src: u32,
+    /// Ciphertext destination (u32 each).
+    pub dst: u32,
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Layout { text: 0x0000, key: 0x4000, nonce: 0x4800, src: 0x5000, dst: 0xA000 }
+    }
+}
+
+/// Generates the driver program for `n_key_elements` and `n_elements`.
+#[must_use]
+pub fn driver_source(layout: &Layout, n_key_elements: usize, n_elements: usize) -> String {
+    format!(
+        "
+        li   s0, {base}          # peripheral base
+        # --- load key: {nk} (lo, hi) pairs ---
+        li   t0, {key}
+        li   t1, {nk}
+        sw   zero, 0x24(s0)      # KEY_IDX = 0
+    key_loop:
+        lw   t2, 0(t0)
+        sw   t2, 0x28(s0)        # KEY_LO
+        lw   t2, 4(t0)
+        sw   t2, 0x2C(s0)        # KEY_HI commits
+        addi t0, t0, 8
+        addi t1, t1, -1
+        bnez t1, key_loop
+        # --- nonce ---
+        li   t0, {nonce}
+        lw   t2, 0(t0)
+        sw   t2, 0x14(s0)
+        lw   t2, 4(t0)
+        sw   t2, 0x18(s0)
+        lw   t2, 8(t0)
+        sw   t2, 0x1C(s0)
+        lw   t2, 12(t0)
+        sw   t2, 0x20(s0)
+        # --- job configuration ---
+        li   t0, {src}
+        sw   t0, 0x08(s0)        # SRC
+        li   t0, {dst}
+        sw   t0, 0x0C(s0)        # DST
+        li   t0, {nel}
+        sw   t0, 0x10(s0)        # NELEMS
+        # --- start and poll ---
+        li   t0, 1
+        sw   t0, 0x00(s0)        # CTRL.start
+    poll:
+        lw   t0, 0x04(s0)        # STATUS
+        addi t1, t0, -2          # DONE?
+        beqz t1, done
+        addi t1, t0, -4          # ERROR?
+        beqz t1, fail
+        j    poll
+    done:
+        lw   a0, 0x30(s0)        # accelerator cycles -> a0
+        li   a1, 0
+        ebreak
+    fail:
+        li   a0, -1
+        li   a1, 1
+        ebreak
+        ",
+        base = PASTA_BASE,
+        key = layout.key,
+        nonce = layout.nonce,
+        src = layout.src,
+        dst = layout.dst,
+        nk = n_key_elements,
+        nel = n_elements,
+    )
+}
+
+/// Result of one firmware-driven encryption run.
+#[derive(Debug, Clone)]
+pub struct SocEncryption {
+    /// The ciphertext elements read back from RAM.
+    pub ciphertext: Vec<u64>,
+    /// Total SoC cycles (core setup + polling until DONE).
+    pub soc_cycles: u64,
+    /// Accelerator-only cycles reported by the peripheral.
+    pub accelerator_cycles: u64,
+    /// Wall-clock at 100 MHz in µs.
+    pub micros: f64,
+}
+
+/// Errors from the firmware harness.
+#[derive(Debug)]
+pub enum FirmwareError {
+    /// The driver failed to assemble (a bug in the generator).
+    Asm(AsmError),
+    /// The PASTA inputs were invalid.
+    Pasta(PastaError),
+    /// The SoC trapped or reported failure.
+    Run(String),
+}
+
+impl std::fmt::Display for FirmwareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FirmwareError::Asm(e) => write!(f, "assembly error: {e}"),
+            FirmwareError::Pasta(e) => write!(f, "pasta error: {e}"),
+            FirmwareError::Run(m) => write!(f, "run error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FirmwareError {}
+
+impl From<AsmError> for FirmwareError {
+    fn from(e: AsmError) -> Self {
+        FirmwareError::Asm(e)
+    }
+}
+
+impl From<PastaError> for FirmwareError {
+    fn from(e: PastaError) -> Self {
+        FirmwareError::Pasta(e)
+    }
+}
+
+/// Runs a complete firmware-driven encryption on the SoC and returns the
+/// measured latencies (the Tab. II "RISC-V" methodology).
+///
+/// # Errors
+///
+/// Returns [`FirmwareError`] on invalid inputs or SoC failure.
+pub fn encrypt_on_soc(
+    params: PastaParams,
+    key: &SecretKey,
+    nonce: u128,
+    message: &[u64],
+) -> Result<SocEncryption, FirmwareError> {
+    let layout = Layout::default();
+    let source = driver_source(&layout, params.state_size(), message.len());
+    let program = assemble(layout.text, &source)?;
+
+    let ram_size = 1 << 20;
+    let mut soc = Soc::new(params, ram_size);
+    soc.load_program(layout.text, &program);
+
+    // Key as (lo, hi) pairs.
+    let key_words: Vec<u32> = key
+        .elements()
+        .iter()
+        .flat_map(|&k| [k as u32, (k >> 32) as u32])
+        .collect();
+    soc.write_words(layout.key, &key_words);
+    // Nonce as four words.
+    let nonce_words: Vec<u32> =
+        (0..4).map(|i| (nonce >> (32 * i)) as u32).collect();
+    soc.write_words(layout.nonce, &nonce_words);
+    // Plaintext elements.
+    let msg_words: Vec<u32> = message.iter().map(|&m| m as u32).collect();
+    soc.write_words(layout.src, &msg_words);
+
+    let blocks = message.len().div_ceil(params.t()).max(1) as u64;
+    let budget = 200_000 + blocks * 50_000;
+    match soc.run(budget) {
+        Ok(RunOutcome::Halted) => {}
+        Ok(other) => return Err(FirmwareError::Run(format!("unexpected outcome {other:?}"))),
+        Err(t) => return Err(FirmwareError::Run(format!("trap: {t}"))),
+    }
+    if soc.cpu().reg(11) != 0 {
+        return Err(FirmwareError::Run("firmware reported peripheral error".into()));
+    }
+    let ciphertext =
+        soc.read_words(layout.dst, message.len()).into_iter().map(u64::from).collect();
+    Ok(SocEncryption {
+        ciphertext,
+        soc_cycles: soc.cycles(),
+        accelerator_cycles: u64::from(soc.cpu().reg(10)),
+        micros: soc.micros(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_core::PastaCipher;
+
+    #[test]
+    fn firmware_encryption_matches_software() {
+        let params = PastaParams::pasta4_17bit();
+        let key = SecretKey::from_seed(&params, b"fw");
+        let message: Vec<u64> = (0..32u64).map(|i| i * 1_999 % 65_537).collect();
+        let run = encrypt_on_soc(params, &key, 0xFACE_F00D, &message).unwrap();
+        let sw = PastaCipher::new(params, key).encrypt(0xFACE_F00D, &message).unwrap();
+        assert_eq!(run.ciphertext, sw.elements());
+    }
+
+    #[test]
+    fn soc_latency_near_table2() {
+        // Tab. II: PASTA-4 RISC-V = 15.9 µs (accelerator cycles at
+        // 100 MHz). The full-SoC number adds driver setup + polling.
+        let params = PastaParams::pasta4_17bit();
+        let key = SecretKey::from_seed(&params, b"lat");
+        let message: Vec<u64> = (0..32).collect();
+        let run = encrypt_on_soc(params, &key, 0x7AB2, &message).unwrap();
+        let accel_us = run.accelerator_cycles as f64 / 100.0;
+        assert!(
+            (accel_us - 15.9).abs() / 15.9 < 0.10,
+            "accelerator latency {accel_us} µs vs paper 15.9 µs"
+        );
+        assert!(run.soc_cycles > run.accelerator_cycles, "SoC adds driver overhead");
+        let overhead = run.soc_cycles - run.accelerator_cycles;
+        assert!(overhead < 3_000, "driver overhead {overhead} cycles should be small");
+    }
+
+    #[test]
+    fn multi_block_scales_linearly() {
+        let params = PastaParams::pasta4_17bit();
+        let key = SecretKey::from_seed(&params, b"mb");
+        let m1: Vec<u64> = (0..32).collect();
+        let m4: Vec<u64> = (0..128).collect();
+        let r1 = encrypt_on_soc(params, &key, 1, &m1).unwrap();
+        let r4 = encrypt_on_soc(params, &key, 1, &m4).unwrap();
+        let ratio = r4.accelerator_cycles as f64 / r1.accelerator_cycles as f64;
+        assert!((3.5..4.5).contains(&ratio), "4 blocks should be ≈4×, got {ratio}");
+        // And the 4-block ciphertext's first block matches the 1-block run.
+        assert_eq!(&r4.ciphertext[..32], &r1.ciphertext[..]);
+    }
+
+    #[test]
+    fn pasta3_on_soc() {
+        let params = PastaParams::pasta3_17bit();
+        let key = SecretKey::from_seed(&params, b"p3");
+        let message: Vec<u64> = (0..128).collect();
+        let run = encrypt_on_soc(params, &key, 2, &message).unwrap();
+        let sw = PastaCipher::new(params, key).encrypt(2, &message).unwrap();
+        assert_eq!(run.ciphertext, sw.elements());
+        // Tab. II: ≈4,955 cc + bus transfers at 100 MHz ≈ 50 µs (the
+        // paper prints 45.5 µs; see EXPERIMENTS.md for the discrepancy).
+        let accel_us = run.accelerator_cycles as f64 / 100.0;
+        assert!((45.0..56.0).contains(&accel_us), "PASTA-3 SoC latency {accel_us} µs");
+    }
+
+    #[test]
+    fn partial_block_on_soc() {
+        let params = PastaParams::pasta4_17bit();
+        let key = SecretKey::from_seed(&params, b"pb");
+        let message = vec![7u64, 8, 9];
+        let run = encrypt_on_soc(params, &key, 3, &message).unwrap();
+        let sw = PastaCipher::new(params, key).encrypt(3, &message).unwrap();
+        assert_eq!(run.ciphertext, sw.elements());
+    }
+
+    #[test]
+    fn interrupt_driven_driver() {
+        // Instead of polling STATUS, the firmware parks in wfi; the
+        // peripheral's DONE level wakes it through the machine external
+        // interrupt, and the handler acknowledges and records the result.
+        use crate::asm::assemble;
+        use crate::soc::{RunOutcome, Soc};
+        let params = PastaParams::pasta4_17bit();
+        let key = SecretKey::from_seed(&params, b"irq");
+        let layout = Layout::default();
+        // Handler at a fixed address past the main program.
+        let source = format!(
+            "
+            li   s0, {base}
+            # --- key ---
+            li   t0, {key}
+            li   t1, {nk}
+            sw   zero, 0x24(s0)
+        key_loop:
+            lw   t2, 0(t0)
+            sw   t2, 0x28(s0)
+            lw   t2, 4(t0)
+            sw   t2, 0x2C(s0)
+            addi t0, t0, 8
+            addi t1, t1, -1
+            bnez t1, key_loop
+            # --- nonce (low word only) + job ---
+            li   t0, 77
+            sw   t0, 0x14(s0)
+            sw   zero, 0x18(s0)
+            sw   zero, 0x1C(s0)
+            sw   zero, 0x20(s0)
+            li   t0, {src}
+            sw   t0, 0x08(s0)
+            li   t0, {dst}
+            sw   t0, 0x0C(s0)
+            li   t0, 32
+            sw   t0, 0x10(s0)
+            # --- interrupt setup ---
+            li   t3, 0x200    # handler address (loaded separately below)
+            csrw mtvec, t3
+            li   t1, 2048     # mie.MEIE (bit 11)
+            csrw mie, t1
+            li   t2, 8        # mstatus.MIE (bit 3)
+            csrw mstatus, t2
+            # --- start and wait ---
+            li   t0, 1
+            sw   t0, 0x00(s0)
+        idle:
+            wfi
+            beqz a5, idle     # a5 set by the handler
+            ebreak
+            ",
+            base = crate::bus::PASTA_BASE,
+            key = layout.key,
+            src = layout.src,
+            dst = layout.dst,
+            nk = params.state_size(),
+        );
+        let handler = "
+            lw   a0, 0x30(s0)    # accelerator cycles
+            li   t0, 2
+            sw   t0, 0x00(s0)    # CTRL.ack: clear DONE (deassert IRQ)
+            li   a5, 1           # signal the main loop
+            mret
+        ";
+        let program = assemble(layout.text, &source).unwrap();
+        assert!(4 * program.len() < 0x200, "main program must fit below the handler");
+        let handler_words = assemble(0x200, handler).unwrap();
+
+        let mut soc = Soc::new(params, 1 << 20);
+        soc.load_program(layout.text, &program);
+        soc.load_program(0x200, &handler_words);
+        let key_words: Vec<u32> =
+            key.elements().iter().flat_map(|&k| [k as u32, (k >> 32) as u32]).collect();
+        soc.write_words(layout.key, &key_words);
+        let msg: Vec<u32> = (0..32).collect();
+        soc.write_words(layout.src, &msg);
+
+        assert_eq!(soc.run(1_000_000).unwrap(), RunOutcome::Halted);
+        // The handler ran: a5 = 1, a0 holds the accelerator cycle count,
+        // and mcause records the machine external interrupt.
+        assert_eq!(soc.cpu().reg(15), 1, "handler must have signalled completion");
+        assert!(soc.cpu().reg(10) > 1_500, "cycles reported: {}", soc.cpu().reg(10));
+        assert_eq!(soc.cpu().csrs().mcause, 0x8000_000B);
+        // Ciphertext landed in RAM and matches software.
+        let sw = PastaCipher::new(params, key)
+            .encrypt(77, &msg.iter().map(|&m| u64::from(m)).collect::<Vec<_>>())
+            .unwrap();
+        let got = soc.read_words(layout.dst, 32);
+        for (i, &c) in sw.elements().iter().enumerate() {
+            assert_eq!(u64::from(got[i]), c, "element {i}");
+        }
+    }
+
+    #[test]
+    fn firmware_self_measures_latency_with_rdcycle() {
+        // Firmware brackets the start+poll window with rdcycle and
+        // reports its own measurement — which must agree with the
+        // harness's accounting.
+        use crate::asm::assemble;
+        use crate::bus::PASTA_BASE;
+        use crate::soc::{RunOutcome, Soc};
+        let params = PastaParams::pasta4_17bit();
+        let key = SecretKey::from_seed(&params, b"rdcycle");
+        let layout = Layout::default();
+        let mut source = driver_source(&layout, params.state_size(), 32);
+        // Wrap the CTRL.start + polling section: patch the generated
+        // driver by prepending a timestamp before start and replacing the
+        // done path.
+        source = source.replace(
+            "        li   t0, 1\n        sw   t0, 0x00(s0)        # CTRL.start",
+            "        rdcycle s2\n        li   t0, 1\n        sw   t0, 0x00(s0)        # CTRL.start",
+        );
+        source = source.replace(
+            "        lw   a0, 0x30(s0)        # accelerator cycles -> a0",
+            "        rdcycle s3\n        sub  a0, s3, s2          # self-measured cycles",
+        );
+        let program = assemble(layout.text, &source).unwrap();
+        let mut soc = Soc::new(params, 1 << 20);
+        soc.load_program(layout.text, &program);
+        let key_words: Vec<u32> =
+            key.elements().iter().flat_map(|&k| [k as u32, (k >> 32) as u32]).collect();
+        soc.write_words(layout.key, &key_words);
+        soc.write_words(layout.nonce, &[1, 0, 0, 0]);
+        let msg: Vec<u32> = (0..32).collect();
+        soc.write_words(layout.src, &msg);
+        assert_eq!(soc.run(1_000_000).unwrap(), RunOutcome::Halted);
+        assert_eq!(soc.cpu().reg(11), 0, "peripheral must not error");
+        let self_measured = u64::from(soc.cpu().reg(10));
+        // Self-measured window = accelerator latency + a few polling
+        // instructions of slack.
+        let accel = u64::from(soc.bus().pasta.read_reg(0x30, u64::MAX));
+        let _ = PASTA_BASE; // (register window base, for reference)
+        assert!(
+            self_measured >= accel && self_measured < accel + 50,
+            "self-measured {self_measured} vs accelerator {accel}"
+        );
+    }
+
+    #[test]
+    fn driver_reports_peripheral_error() {
+        // An out-of-range plaintext element must surface as an error.
+        let params = PastaParams::pasta4_17bit();
+        let key = SecretKey::from_seed(&params, b"err");
+        let layout = Layout::default();
+        let source = driver_source(&layout, params.state_size(), 1);
+        let program = assemble(layout.text, &source).unwrap();
+        let mut soc = Soc::new(params, 1 << 20);
+        soc.load_program(layout.text, &program);
+        let key_words: Vec<u32> =
+            key.elements().iter().flat_map(|&k| [k as u32, (k >> 32) as u32]).collect();
+        soc.write_words(layout.key, &key_words);
+        soc.write_words(layout.nonce, &[0, 0, 0, 0]);
+        soc.write_words(layout.src, &[70_000]); // >= p
+        assert_eq!(soc.run(100_000).unwrap(), RunOutcome::Halted);
+        assert_eq!(soc.cpu().reg(11), 1, "firmware must take the fail path");
+    }
+}

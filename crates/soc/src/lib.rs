@@ -1,0 +1,48 @@
+//! RISC-V SoC simulator with the PASTA accelerator peripheral.
+//!
+//! The paper's third evaluation platform (§IV.A ❸) integrates the PASTA
+//! cryptoprocessor into a 32-bit RISC-V SoC (Ibex core, 130nm/65nm,
+//! 100 MHz) as a loosely-coupled peripheral with a DMA master port. This
+//! crate rebuilds that platform in software:
+//!
+//! - [`rv32`]: an RV32IM instruction-set simulator;
+//! - [`asm`]: a two-pass RV32IM assembler for the bundled firmware;
+//! - [`bus`]: the shared system bus (RAM, UART, peripheral window);
+//! - [`peripheral`]: the memory-mapped PASTA accelerator, whose per-block
+//!   latency comes from the cycle-accurate `pasta-hw` model plus the
+//!   serialized bus transfers the paper describes;
+//! - [`soc`]: the assembled system with cycle accounting;
+//! - [`firmware`]: the driver program and a harness measuring the
+//!   Tab. II "RISC-V" column end to end.
+//!
+//! # Examples
+//!
+//! ```
+//! use pasta_core::{PastaParams, SecretKey};
+//! use pasta_soc::firmware::encrypt_on_soc;
+//!
+//! let params = PastaParams::pasta4_17bit();
+//! let key = SecretKey::from_seed(&params, b"doc");
+//! let message: Vec<u64> = (0..32).collect();
+//! let run = encrypt_on_soc(params, &key, 7, &message)?;
+//! // Tab. II: ≈15.9 µs per PASTA-4 block at 100 MHz.
+//! assert!(run.micros < 25.0);
+//! # Ok::<(), pasta_soc::firmware::FirmwareError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod baseline;
+pub mod bus;
+pub mod disasm;
+pub mod firmware;
+pub mod peripheral;
+pub mod rv32;
+pub mod soc;
+
+pub use firmware::{encrypt_on_soc, SocEncryption};
+pub use peripheral::PastaPeripheral;
+pub use rv32::{Cpu, Trap};
+pub use soc::{RunOutcome, Soc, SOC_CLOCK_MHZ};

@@ -1,0 +1,353 @@
+//! The memory-mapped PASTA accelerator peripheral (paper §IV.A ❸).
+//!
+//! The peripheral hangs off the core's data bus as a *slave* (control and
+//! status registers, key/nonce loading) and owns a *master* port to RAM
+//! through which it fetches plaintext elements and writes back ciphertext
+//! (the "loosely coupled design" with direct read access of the paper).
+//! Because the single data bus serializes everything, "the processing of
+//! one block must be completed before the next block can be started" —
+//! the latency model reflects exactly that: per block, the accelerator
+//! cycle count (from the cycle-accurate `pasta-hw` model) plus one bus
+//! transfer per element in and out.
+//!
+//! ## Register map (offsets from the peripheral base)
+//!
+//! | offset | name      | access | function                                   |
+//! |--------|-----------|--------|--------------------------------------------|
+//! | 0x00   | CTRL      | W      | write 1 to start                           |
+//! | 0x04   | STATUS    | R      | 0 idle, 1 busy, 2 done, 4 error            |
+//! | 0x08   | SRC       | W      | RAM address of plaintext (u32 per element) |
+//! | 0x0C   | DST       | W      | RAM address for ciphertext                 |
+//! | 0x10   | NELEMS    | W      | number of elements                         |
+//! | 0x14   | NONCE0    | W      | nonce bits 31:0                            |
+//! | 0x18   | NONCE1    | W      | nonce bits 63:32                           |
+//! | 0x1C   | NONCE2    | W      | nonce bits 95:64                           |
+//! | 0x20   | NONCE3    | W      | nonce bits 127:96                          |
+//! | 0x24   | KEY_IDX   | W      | index of the next key element              |
+//! | 0x28   | KEY_LO    | W      | key element bits 31:0                      |
+//! | 0x2C   | KEY_HI    | W      | bits 63:32; commits element, bumps KEY_IDX |
+//! | 0x30   | CYCLES_LO | R      | accelerator cycles of the last run         |
+//! | 0x34   | CYCLES_HI | R      | —                                          |
+//! | 0x38   | BLOCKS    | R      | blocks processed in the last run           |
+
+use pasta_core::{PastaParams, SecretKey};
+use pasta_hw::PastaProcessor;
+
+/// Bus-transfer overhead per element moved over the shared data bus
+/// (one read of the plaintext word, one write of the ciphertext word).
+pub const BUS_CYCLES_PER_ELEMENT: u64 = 2;
+/// Fixed per-block handshake overhead (address setup, start/ack).
+pub const BLOCK_SETUP_CYCLES: u64 = 8;
+
+/// STATUS register values.
+pub mod status {
+    /// Nothing started yet.
+    pub const IDLE: u32 = 0;
+    /// A run is in progress.
+    pub const BUSY: u32 = 1;
+    /// The last run completed.
+    pub const DONE: u32 = 2;
+    /// The last start was rejected (bad key/config).
+    pub const ERROR: u32 = 4;
+}
+
+/// What a register write asks the SoC to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeripheralAction {
+    /// Nothing; the write only updated state.
+    None,
+    /// CTRL start was written: the SoC must run the DMA job.
+    Start,
+}
+
+/// The PASTA peripheral state.
+#[derive(Debug, Clone)]
+pub struct PastaPeripheral {
+    params: PastaParams,
+    processor: PastaProcessor,
+    src: u32,
+    dst: u32,
+    nelems: u32,
+    nonce: [u32; 4],
+    key_idx: u32,
+    key_lo: u32,
+    key: Vec<u64>,
+    status: u32,
+    /// Absolute cycle at which the current run completes.
+    done_at: u64,
+    last_cycles: u64,
+    last_blocks: u32,
+}
+
+impl PastaPeripheral {
+    /// Creates a peripheral for a PASTA parameter set.
+    #[must_use]
+    pub fn new(params: PastaParams) -> Self {
+        PastaPeripheral {
+            params,
+            processor: PastaProcessor::new(params),
+            src: 0,
+            dst: 0,
+            nelems: 0,
+            nonce: [0; 4],
+            key_idx: 0,
+            key_lo: 0,
+            key: vec![0; params.state_size()],
+            status: status::IDLE,
+            done_at: 0,
+            last_cycles: 0,
+            last_blocks: 0,
+        }
+    }
+
+    /// The parameter set the peripheral is configured for.
+    #[must_use]
+    pub fn params(&self) -> &PastaParams {
+        &self.params
+    }
+
+    /// Level of the interrupt line at absolute cycle `now` (high while
+    /// STATUS reads DONE, until acknowledged via CTRL bit 1).
+    #[must_use]
+    pub fn irq_level(&self, now: u64) -> bool {
+        self.read_reg(0x04, now) == status::DONE
+    }
+
+    /// Slave register read at word `offset`, at absolute cycle `now`.
+    #[must_use]
+    pub fn read_reg(&self, offset: u32, now: u64) -> u32 {
+        match offset {
+            0x04 => {
+                if self.status == status::BUSY && now >= self.done_at {
+                    status::DONE
+                } else {
+                    self.status
+                }
+            }
+            0x30 => self.last_cycles as u32,
+            0x34 => (self.last_cycles >> 32) as u32,
+            0x38 => self.last_blocks,
+            _ => 0,
+        }
+    }
+
+    /// Slave register write at word `offset`.
+    #[must_use]
+    pub fn write_reg(&mut self, offset: u32, value: u32) -> PeripheralAction {
+        match offset {
+            0x00 if value & 1 == 1 => return PeripheralAction::Start,
+            // CTRL bit 1: acknowledge/clear (deasserts the DONE level,
+            // i.e. the interrupt line).
+            0x00 if value & 2 == 2 => self.status = status::IDLE,
+            0x08 => self.src = value,
+            0x0C => self.dst = value,
+            0x10 => self.nelems = value,
+            0x14..=0x20 => self.nonce[((offset - 0x14) / 4) as usize] = value,
+            0x24 => self.key_idx = value,
+            0x28 => self.key_lo = value,
+            0x2C => {
+                let element = u64::from(self.key_lo) | u64::from(value) << 32;
+                if (self.key_idx as usize) < self.key.len() {
+                    self.key[self.key_idx as usize] = element;
+                    self.key_idx += 1;
+                }
+            }
+            _ => {}
+        }
+        PeripheralAction::None
+    }
+
+    /// The assembled nonce.
+    #[must_use]
+    pub fn nonce(&self) -> u128 {
+        u128::from(self.nonce[0])
+            | u128::from(self.nonce[1]) << 32
+            | u128::from(self.nonce[2]) << 64
+            | u128::from(self.nonce[3]) << 96
+    }
+
+    /// Executes the DMA job (called by the SoC when CTRL start fires).
+    ///
+    /// `read_elem`/`write_elem` are the master-port accessors into RAM
+    /// (u32 per field element). Returns the number of cycles the run
+    /// occupies; STATUS reads as BUSY until `now + cycles`.
+    pub fn start<RE, WE>(
+        &mut self,
+        now: u64,
+        mut read_elem: RE,
+        mut write_elem: WE,
+    ) -> u64
+    where
+        RE: FnMut(u32) -> Option<u32>,
+        WE: FnMut(u32, u32) -> bool,
+    {
+        let key = match SecretKey::from_elements(&self.params, self.key.clone()) {
+            Ok(k) => k,
+            Err(_) => {
+                self.status = status::ERROR;
+                return 0;
+            }
+        };
+        let t = self.params.t();
+        let nonce = self.nonce();
+        let mut total_cycles = 0u64;
+        let mut blocks = 0u32;
+        let nelems = self.nelems as usize;
+        let p = self.params.modulus().value();
+        let mut ok = true;
+        'blocks: for (counter, start) in (0..nelems).step_by(t).enumerate() {
+            let len = t.min(nelems - start);
+            let mut message = Vec::with_capacity(len);
+            for i in 0..len {
+                match read_elem(self.src + 4 * (start + i) as u32) {
+                    Some(v) if u64::from(v) < p => message.push(u64::from(v)),
+                    _ => {
+                        ok = false;
+                        break 'blocks;
+                    }
+                }
+            }
+            let result = match self.processor.encrypt_block(&key, nonce, counter as u64, &message)
+            {
+                Ok(r) => r,
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            };
+            let ct = result.ciphertext.expect("message was supplied");
+            for (i, &c) in ct.iter().enumerate() {
+                if !write_elem(self.dst + 4 * (start + i) as u32, c as u32) {
+                    ok = false;
+                    break 'blocks;
+                }
+            }
+            // Single shared bus: accelerator compute + element transfers
+            // are fully serialized per block (§IV.A ❸).
+            total_cycles += result.cycles.total
+                + BUS_CYCLES_PER_ELEMENT * len as u64
+                + BLOCK_SETUP_CYCLES;
+            blocks += 1;
+        }
+        if !ok {
+            self.status = status::ERROR;
+            return 0;
+        }
+        self.status = status::BUSY;
+        self.done_at = now + total_cycles;
+        self.last_cycles = total_cycles;
+        self.last_blocks = blocks;
+        total_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_core::{PastaCipher, PastaParams};
+    use std::collections::HashMap;
+
+    fn load_key(p: &mut PastaPeripheral, key: &[u64]) {
+        let _ = p.write_reg(0x24, 0);
+        for &k in key {
+            let _ = p.write_reg(0x28, k as u32);
+            let _ = p.write_reg(0x2C, (k >> 32) as u32);
+        }
+    }
+
+    #[test]
+    fn register_interface_and_encryption_match_software() {
+        let params = PastaParams::pasta4_17bit();
+        let key = SecretKey::from_seed(&params, b"periph");
+        let mut p = PastaPeripheral::new(params);
+        load_key(&mut p, key.elements());
+        let _ = p.write_reg(0x14, 0xDEAD_BEEF);
+        let _ = p.write_reg(0x18, 0x0000_CAFE);
+        assert_eq!(p.nonce(), 0x0000_CAFE_DEAD_BEEF);
+        let _ = p.write_reg(0x08, 0x100);
+        let _ = p.write_reg(0x0C, 0x800);
+        let _ = p.write_reg(0x10, 32);
+        assert_eq!(p.write_reg(0x00, 1), PeripheralAction::Start);
+
+        let mut ram: HashMap<u32, u32> = HashMap::new();
+        let message: Vec<u64> = (0..32u64).map(|i| i * 321 % 65_537).collect();
+        for (i, &m) in message.iter().enumerate() {
+            ram.insert(0x100 + 4 * i as u32, m as u32);
+        }
+        let ram_cell = std::cell::RefCell::new(ram);
+        let cycles = p.start(
+            1_000,
+            |addr| ram_cell.borrow().get(&addr).copied(),
+            |addr, v| {
+                ram_cell.borrow_mut().insert(addr, v);
+                true
+            },
+        );
+        assert!(cycles > 1_500, "one PASTA-4 block is >1,500 cycles, got {cycles}");
+        // Busy until done_at, done afterwards.
+        assert_eq!(p.read_reg(0x04, 1_000), status::BUSY);
+        assert_eq!(p.read_reg(0x04, 1_000 + cycles), status::DONE);
+        // Ciphertext matches the software cipher.
+        let sw = PastaCipher::new(params, key).encrypt(0x0000_CAFE_DEAD_BEEF, &message).unwrap();
+        let ram = ram_cell.borrow();
+        for (i, &c) in sw.elements().iter().enumerate() {
+            assert_eq!(ram.get(&(0x800 + 4 * i as u32)).copied(), Some(c as u32));
+        }
+        assert_eq!(p.read_reg(0x38, 2_000 + cycles), 1);
+        assert_eq!(u64::from(p.read_reg(0x30, 0)), cycles);
+    }
+
+    #[test]
+    fn multi_block_latency_is_serialized() {
+        // §IV.A ❸: one block must complete before the next starts — the
+        // two-block latency must be at least twice the single-block one.
+        let params = PastaParams::pasta4_17bit();
+        let key = SecretKey::from_seed(&params, b"serial");
+        let run = |nelems: u32| -> u64 {
+            let mut p = PastaPeripheral::new(params);
+            load_key(&mut p, key.elements());
+            let _ = p.write_reg(0x10, nelems);
+            p.start(0, |_| Some(1), |_, _| true)
+        };
+        let one = run(32);
+        let two = run(64);
+        assert!(two >= 2 * one - 200, "two-block {two} vs single {one}");
+    }
+
+    #[test]
+    fn bad_key_sets_error() {
+        let params = PastaParams::pasta4_17bit();
+        let mut p = PastaPeripheral::new(params);
+        let _ = p.write_reg(0x24, 0);
+        let _ = p.write_reg(0x28, 0xFFFF_FFFF);
+        let _ = p.write_reg(0x2C, 0xFFFF_FFFF); // element >= p
+        let _ = p.write_reg(0x10, 4);
+        let cycles = p.start(0, |_| Some(0), |_, _| true);
+        assert_eq!(cycles, 0);
+        assert_eq!(p.read_reg(0x04, 99), status::ERROR);
+    }
+
+    #[test]
+    fn dma_fault_sets_error() {
+        let params = PastaParams::pasta4_17bit();
+        let key = SecretKey::from_seed(&params, b"fault");
+        let mut p = PastaPeripheral::new(params);
+        load_key(&mut p, key.elements());
+        let _ = p.write_reg(0x10, 4);
+        let cycles = p.start(0, |_| None, |_, _| true);
+        assert_eq!(cycles, 0);
+        assert_eq!(p.read_reg(0x04, 0), status::ERROR);
+    }
+
+    #[test]
+    fn out_of_range_plaintext_rejected() {
+        let params = PastaParams::pasta4_17bit();
+        let key = SecretKey::from_seed(&params, b"range");
+        let mut p = PastaPeripheral::new(params);
+        load_key(&mut p, key.elements());
+        let _ = p.write_reg(0x10, 1);
+        let cycles = p.start(0, |_| Some(70_000), |_, _| true);
+        assert_eq!(cycles, 0);
+        assert_eq!(p.read_reg(0x04, 0), status::ERROR);
+    }
+}

@@ -1,0 +1,765 @@
+//! An RV32IM instruction-set simulator (the Ibex-class core of the SoC,
+//! paper §IV.A ❸).
+//!
+//! The paper integrates the PASTA peripheral into a 32-bit RISC-V SoC
+//! built around the Ibex core. This module implements the RV32I base ISA
+//! plus the M extension — everything the bundled firmware needs — with a
+//! one-instruction-per-cycle timing model (Ibex runs close to 1 CPI on
+//! the polling-loop workloads used here; the SoC latency is dominated by
+//! the peripheral anyway).
+
+use std::error::Error;
+use std::fmt;
+
+/// Memory/bus access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessWidth {
+    /// 8-bit.
+    Byte,
+    /// 16-bit.
+    Half,
+    /// 32-bit.
+    Word,
+}
+
+/// Bus interface the core drives.
+pub trait Bus {
+    /// Reads `width` bits from `addr` (zero-extended into the `u32`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::BusFault`] for unmapped addresses.
+    fn read(&mut self, addr: u32, width: AccessWidth) -> Result<u32, Trap>;
+
+    /// Writes the low `width` bits of `value` to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::BusFault`] for unmapped addresses.
+    fn write(&mut self, addr: u32, value: u32, width: AccessWidth) -> Result<(), Trap>;
+}
+
+/// Core traps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Trap {
+    /// `ecall` executed (a7 = syscall number by convention).
+    Ecall,
+    /// `ebreak` executed (the firmware's halt).
+    Ebreak,
+    /// Undecodable instruction word.
+    IllegalInstruction(u32),
+    /// Unmapped bus access.
+    BusFault(u32),
+    /// Misaligned load/store/jump.
+    Misaligned(u32),
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::Ecall => write!(f, "environment call"),
+            Trap::Ebreak => write!(f, "breakpoint"),
+            Trap::IllegalInstruction(w) => write!(f, "illegal instruction {w:#010x}"),
+            Trap::BusFault(a) => write!(f, "bus fault at {a:#010x}"),
+            Trap::Misaligned(a) => write!(f, "misaligned access at {a:#010x}"),
+        }
+    }
+}
+
+impl Error for Trap {}
+
+/// Machine-mode CSR state (the subset an interrupt-driven firmware
+/// needs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Csrs {
+    /// `mstatus` (bit 3 = MIE, bit 7 = MPIE).
+    pub mstatus: u32,
+    /// `mie` (bit 11 = MEIE, machine external interrupt enable).
+    pub mie: u32,
+    /// `mtvec` — trap vector base.
+    pub mtvec: u32,
+    /// `mepc` — PC saved on trap entry.
+    pub mepc: u32,
+    /// `mcause` — trap cause.
+    pub mcause: u32,
+}
+
+/// The RV32IM hart state.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// General-purpose registers (`x0` hardwired to zero).
+    regs: [u32; 32],
+    /// Program counter.
+    pc: u32,
+    /// Retired instruction count (= cycles at CPI 1).
+    instret: u64,
+    /// Machine CSRs.
+    csrs: Csrs,
+    /// Level of the external interrupt line (driven by the platform).
+    irq_line: bool,
+    /// Core parked by `wfi`.
+    waiting: bool,
+}
+
+impl Cpu {
+    /// Creates a hart with `pc` at the reset vector.
+    #[must_use]
+    pub fn new(reset_pc: u32) -> Self {
+        Cpu {
+            regs: [0; 32],
+            pc: reset_pc,
+            instret: 0,
+            csrs: Csrs::default(),
+            irq_line: false,
+            waiting: false,
+        }
+    }
+
+    /// Drives the external interrupt line (level-sensitive).
+    pub fn set_irq(&mut self, level: bool) {
+        self.irq_line = level;
+    }
+
+    /// The machine CSRs (for test inspection).
+    #[must_use]
+    pub fn csrs(&self) -> &Csrs {
+        &self.csrs
+    }
+
+    /// Register read (`x0` reads zero).
+    #[must_use]
+    pub fn reg(&self, i: usize) -> u32 {
+        if i == 0 {
+            0
+        } else {
+            self.regs[i]
+        }
+    }
+
+    /// Register write (`x0` writes are ignored).
+    pub fn set_reg(&mut self, i: usize, v: u32) {
+        if i != 0 {
+            self.regs[i] = v;
+        }
+    }
+
+    /// The program counter.
+    #[must_use]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// Retired instructions (cycles at the modelled CPI of 1).
+    #[must_use]
+    pub fn instret(&self) -> u64 {
+        self.instret
+    }
+
+    /// Fetches, decodes and executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] raised by the instruction, leaving `pc` at
+    /// the trapping instruction (so the harness can report it).
+    pub fn step(&mut self, bus: &mut impl Bus) -> Result<(), Trap> {
+        // External interrupt: taken when the line is high, MIE and MEIE
+        // are set. Entry pushes MIE into MPIE and clears MIE, so a level
+        // interrupt cannot re-enter until `mret` (after the handler has
+        // acknowledged the device).
+        let mie_set = self.csrs.mstatus & (1 << 3) != 0;
+        let meie_set = self.csrs.mie & (1 << 11) != 0;
+        if self.irq_line && mie_set && meie_set {
+            self.waiting = false;
+            self.csrs.mepc = self.pc;
+            self.csrs.mcause = 0x8000_000B; // machine external interrupt
+            let mie_bit = (self.csrs.mstatus >> 3) & 1;
+            self.csrs.mstatus = (self.csrs.mstatus & !(1 << 3)) | (mie_bit << 7);
+            self.pc = self.csrs.mtvec & !0x3;
+            self.instret += 1; // trap entry costs a cycle
+            return Ok(());
+        }
+        if self.waiting {
+            // Parked by wfi: time passes, nothing retires architecturally
+            // (modelled as one idle cycle).
+            self.instret += 1;
+            return Ok(());
+        }
+        if !self.pc.is_multiple_of(4) {
+            return Err(Trap::Misaligned(self.pc));
+        }
+        let inst = bus.read(self.pc, AccessWidth::Word)?;
+        let next_pc = self.execute(inst, bus)?;
+        self.pc = next_pc;
+        self.instret += 1;
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn execute(&mut self, inst: u32, bus: &mut impl Bus) -> Result<u32, Trap> {
+        let opcode = inst & 0x7F;
+        let rd = ((inst >> 7) & 0x1F) as usize;
+        let rs1 = ((inst >> 15) & 0x1F) as usize;
+        let rs2 = ((inst >> 20) & 0x1F) as usize;
+        let funct3 = (inst >> 12) & 0x7;
+        let funct7 = inst >> 25;
+        let pc = self.pc;
+        let next = pc.wrapping_add(4);
+
+        match opcode {
+            0x37 => {
+                // LUI
+                self.set_reg(rd, inst & 0xFFFF_F000);
+                Ok(next)
+            }
+            0x17 => {
+                // AUIPC
+                self.set_reg(rd, pc.wrapping_add(inst & 0xFFFF_F000));
+                Ok(next)
+            }
+            0x6F => {
+                // JAL
+                let imm = imm_j(inst);
+                let target = pc.wrapping_add(imm as u32);
+                if !target.is_multiple_of(4) {
+                    return Err(Trap::Misaligned(target));
+                }
+                self.set_reg(rd, next);
+                Ok(target)
+            }
+            0x67 if funct3 == 0 => {
+                // JALR
+                let imm = imm_i(inst);
+                let target = self.reg(rs1).wrapping_add(imm as u32) & !1;
+                if !target.is_multiple_of(4) {
+                    return Err(Trap::Misaligned(target));
+                }
+                self.set_reg(rd, next);
+                Ok(target)
+            }
+            0x63 => {
+                // Branches
+                let imm = imm_b(inst);
+                let (a, b) = (self.reg(rs1), self.reg(rs2));
+                let taken = match funct3 {
+                    0b000 => a == b,
+                    0b001 => a != b,
+                    0b100 => (a as i32) < (b as i32),
+                    0b101 => (a as i32) >= (b as i32),
+                    0b110 => a < b,
+                    0b111 => a >= b,
+                    _ => return Err(Trap::IllegalInstruction(inst)),
+                };
+                if taken {
+                    let target = pc.wrapping_add(imm as u32);
+                    if !target.is_multiple_of(4) {
+                        return Err(Trap::Misaligned(target));
+                    }
+                    Ok(target)
+                } else {
+                    Ok(next)
+                }
+            }
+            0x03 => {
+                // Loads
+                let addr = self.reg(rs1).wrapping_add(imm_i(inst) as u32);
+                let value = match funct3 {
+                    0b000 => sign_extend(bus.read(addr, AccessWidth::Byte)?, 8),
+                    0b001 => {
+                        check_align(addr, 2)?;
+                        sign_extend(bus.read(addr, AccessWidth::Half)?, 16)
+                    }
+                    0b010 => {
+                        check_align(addr, 4)?;
+                        bus.read(addr, AccessWidth::Word)?
+                    }
+                    0b100 => bus.read(addr, AccessWidth::Byte)?,
+                    0b101 => {
+                        check_align(addr, 2)?;
+                        bus.read(addr, AccessWidth::Half)?
+                    }
+                    _ => return Err(Trap::IllegalInstruction(inst)),
+                };
+                self.set_reg(rd, value);
+                Ok(next)
+            }
+            0x23 => {
+                // Stores
+                let addr = self.reg(rs1).wrapping_add(imm_s(inst) as u32);
+                let value = self.reg(rs2);
+                match funct3 {
+                    0b000 => bus.write(addr, value, AccessWidth::Byte)?,
+                    0b001 => {
+                        check_align(addr, 2)?;
+                        bus.write(addr, value, AccessWidth::Half)?;
+                    }
+                    0b010 => {
+                        check_align(addr, 4)?;
+                        bus.write(addr, value, AccessWidth::Word)?;
+                    }
+                    _ => return Err(Trap::IllegalInstruction(inst)),
+                }
+                Ok(next)
+            }
+            0x13 => {
+                // ALU immediate
+                let imm = imm_i(inst);
+                let a = self.reg(rs1);
+                let shamt = (inst >> 20) & 0x1F;
+                let value = match funct3 {
+                    0b000 => a.wrapping_add(imm as u32),
+                    0b010 => u32::from((a as i32) < imm),
+                    0b011 => u32::from(a < imm as u32),
+                    0b100 => a ^ imm as u32,
+                    0b110 => a | imm as u32,
+                    0b111 => a & imm as u32,
+                    0b001 if funct7 == 0 => a << shamt,
+                    0b101 if funct7 == 0 => a >> shamt,
+                    0b101 if funct7 == 0b010_0000 => ((a as i32) >> shamt) as u32,
+                    _ => return Err(Trap::IllegalInstruction(inst)),
+                };
+                self.set_reg(rd, value);
+                Ok(next)
+            }
+            0x33 => {
+                // ALU register (incl. M extension)
+                let (a, b) = (self.reg(rs1), self.reg(rs2));
+                let value = match (funct7, funct3) {
+                    (0b000_0000, 0b000) => a.wrapping_add(b),
+                    (0b010_0000, 0b000) => a.wrapping_sub(b),
+                    (0b000_0000, 0b001) => a << (b & 0x1F),
+                    (0b000_0000, 0b010) => u32::from((a as i32) < (b as i32)),
+                    (0b000_0000, 0b011) => u32::from(a < b),
+                    (0b000_0000, 0b100) => a ^ b,
+                    (0b000_0000, 0b101) => a >> (b & 0x1F),
+                    (0b010_0000, 0b101) => ((a as i32) >> (b & 0x1F)) as u32,
+                    (0b000_0000, 0b110) => a | b,
+                    (0b000_0000, 0b111) => a & b,
+                    // M extension
+                    (0b000_0001, 0b000) => a.wrapping_mul(b),
+                    (0b000_0001, 0b001) => {
+                        ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32
+                    }
+                    (0b000_0001, 0b010) => {
+                        ((i64::from(a as i32) * i64::from(b)) >> 32) as u32
+                    }
+                    (0b000_0001, 0b011) => ((u64::from(a) * u64::from(b)) >> 32) as u32,
+                    (0b000_0001, 0b100) => match b as i32 {
+                        0 => u32::MAX,
+                        -1 if a as i32 == i32::MIN => a,
+                        d => ((a as i32) / d) as u32,
+                    },
+                    (0b000_0001, 0b101) => a.checked_div(b).unwrap_or(u32::MAX),
+                    (0b000_0001, 0b110) => match b as i32 {
+                        0 => a,
+                        -1 if a as i32 == i32::MIN => 0,
+                        d => ((a as i32) % d) as u32,
+                    },
+                    (0b000_0001, 0b111) => {
+                        if b == 0 {
+                            a
+                        } else {
+                            a % b
+                        }
+                    }
+                    _ => return Err(Trap::IllegalInstruction(inst)),
+                };
+                self.set_reg(rd, value);
+                Ok(next)
+            }
+            0x0F => Ok(next), // FENCE: no-op on this single-hart SoC
+            0x73 => match inst {
+                0x0000_0073 => Err(Trap::Ecall),
+                0x0010_0073 => Err(Trap::Ebreak),
+                0x3020_0073 => {
+                    // MRET: restore MIE from MPIE, return to mepc.
+                    let mpie = (self.csrs.mstatus >> 7) & 1;
+                    self.csrs.mstatus =
+                        (self.csrs.mstatus & !(1 << 3)) | (mpie << 3) | (1 << 7);
+                    Ok(self.csrs.mepc)
+                }
+                0x1050_0073 => {
+                    // WFI: park until an interrupt is pending.
+                    if !self.irq_line {
+                        self.waiting = true;
+                    }
+                    Ok(next)
+                }
+                // CSRRW/CSRRS on the supported machine CSRs and the
+                // read-only performance counters.
+                _ if funct3 == 0b001 || funct3 == 0b010 => {
+                    let csr = inst >> 20;
+                    let old = self.read_csr(csr, inst)?;
+                    if funct3 == 0b001 {
+                        // CSRRW: write rs1.
+                        self.write_csr(csr, self.reg(rs1), inst)?;
+                    } else if rs1 != 0 {
+                        // CSRRS with rs1 != 0: set bits.
+                        self.write_csr(csr, old | self.reg(rs1), inst)?;
+                    }
+                    self.set_reg(rd, old);
+                    Ok(next)
+                }
+                _ => Err(Trap::IllegalInstruction(inst)),
+            },
+            _ => Err(Trap::IllegalInstruction(inst)),
+        }
+    }
+}
+
+impl Cpu {
+    fn read_csr(&self, csr: u32, inst: u32) -> Result<u32, Trap> {
+        Ok(match csr {
+            0x300 => self.csrs.mstatus,
+            0x304 => self.csrs.mie,
+            0x305 => self.csrs.mtvec,
+            0x341 => self.csrs.mepc,
+            0x342 => self.csrs.mcause,
+            0xC00 | 0xC02 => self.instret as u32,
+            0xC80 | 0xC82 => (self.instret >> 32) as u32,
+            _ => return Err(Trap::IllegalInstruction(inst)),
+        })
+    }
+
+    fn write_csr(&mut self, csr: u32, value: u32, inst: u32) -> Result<(), Trap> {
+        match csr {
+            0x300 => self.csrs.mstatus = value,
+            0x304 => self.csrs.mie = value,
+            0x305 => self.csrs.mtvec = value,
+            0x341 => self.csrs.mepc = value,
+            0x342 => self.csrs.mcause = value,
+            0xC00 | 0xC02 | 0xC80 | 0xC82 => {
+                return Err(Trap::IllegalInstruction(inst)); // read-only
+            }
+            _ => return Err(Trap::IllegalInstruction(inst)),
+        }
+        Ok(())
+    }
+}
+
+fn check_align(addr: u32, align: u32) -> Result<(), Trap> {
+    if !addr.is_multiple_of(align) {
+        Err(Trap::Misaligned(addr))
+    } else {
+        Ok(())
+    }
+}
+
+fn sign_extend(value: u32, bits: u32) -> u32 {
+    let shift = 32 - bits;
+    (((value << shift) as i32) >> shift) as u32
+}
+
+/// I-type immediate (sign-extended).
+fn imm_i(inst: u32) -> i32 {
+    (inst as i32) >> 20
+}
+
+/// S-type immediate.
+fn imm_s(inst: u32) -> i32 {
+    (((inst & 0xFE00_0000) as i32) >> 20) | (((inst >> 7) & 0x1F) as i32)
+}
+
+/// B-type immediate.
+fn imm_b(inst: u32) -> i32 {
+    let imm = (((inst & 0x8000_0000) as i32) >> 19) as u32 & 0xFFFF_F000
+        | ((inst >> 7) & 0x1) << 11
+        | ((inst >> 25) & 0x3F) << 5
+        | ((inst >> 8) & 0xF) << 1;
+    sign_extend(imm, 13) as i32
+}
+
+/// J-type immediate.
+fn imm_j(inst: u32) -> i32 {
+    let imm = ((inst >> 31) & 0x1) << 20
+        | ((inst >> 12) & 0xFF) << 12
+        | ((inst >> 20) & 0x1) << 11
+        | ((inst >> 21) & 0x3FF) << 1;
+    sign_extend(imm, 21) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial flat-RAM bus for core tests.
+    struct TestBus {
+        mem: Vec<u8>,
+    }
+
+    impl TestBus {
+        fn with_program(words: &[u32]) -> Self {
+            let mut mem = vec![0u8; 0x1_0000];
+            for (i, w) in words.iter().enumerate() {
+                mem[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
+            }
+            TestBus { mem }
+        }
+    }
+
+    impl Bus for TestBus {
+        fn read(&mut self, addr: u32, width: AccessWidth) -> Result<u32, Trap> {
+            let a = addr as usize;
+            if a >= self.mem.len() {
+                return Err(Trap::BusFault(addr));
+            }
+            Ok(match width {
+                AccessWidth::Byte => u32::from(self.mem[a]),
+                AccessWidth::Half => {
+                    u32::from(u16::from_le_bytes([self.mem[a], self.mem[a + 1]]))
+                }
+                AccessWidth::Word => u32::from_le_bytes([
+                    self.mem[a],
+                    self.mem[a + 1],
+                    self.mem[a + 2],
+                    self.mem[a + 3],
+                ]),
+            })
+        }
+
+        fn write(&mut self, addr: u32, value: u32, width: AccessWidth) -> Result<(), Trap> {
+            let a = addr as usize;
+            if a >= self.mem.len() {
+                return Err(Trap::BusFault(addr));
+            }
+            match width {
+                AccessWidth::Byte => self.mem[a] = value as u8,
+                AccessWidth::Half => {
+                    self.mem[a..a + 2].copy_from_slice(&(value as u16).to_le_bytes());
+                }
+                AccessWidth::Word => {
+                    self.mem[a..a + 4].copy_from_slice(&value.to_le_bytes());
+                }
+            }
+            Ok(())
+        }
+    }
+
+    fn run(words: &[u32], steps: usize) -> (Cpu, TestBus) {
+        let mut cpu = Cpu::new(0);
+        let mut bus = TestBus::with_program(words);
+        for _ in 0..steps {
+            match cpu.step(&mut bus) {
+                Ok(()) => {}
+                Err(Trap::Ebreak) => break,
+                Err(t) => panic!("unexpected trap: {t}"),
+            }
+        }
+        (cpu, bus)
+    }
+
+    // Hand-encoded instruction helpers for tests (cross-checked against
+    // the assembler in `asm.rs`).
+    fn addi(rd: u32, rs1: u32, imm: i32) -> u32 {
+        ((imm as u32) << 20) | (rs1 << 15) | (rd << 7) | 0x13
+    }
+    fn add(rd: u32, rs1: u32, rs2: u32) -> u32 {
+        (rs2 << 20) | (rs1 << 15) | (rd << 7) | 0x33
+    }
+    fn mul(rd: u32, rs1: u32, rs2: u32) -> u32 {
+        (1 << 25) | (rs2 << 20) | (rs1 << 15) | (rd << 7) | 0x33
+    }
+    const EBREAK: u32 = 0x0010_0073;
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let (cpu, _) = run(&[addi(0, 0, 42), addi(1, 0, 7), EBREAK], 10);
+        assert_eq!(cpu.reg(0), 0);
+        assert_eq!(cpu.reg(1), 7);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let (cpu, _) = run(
+            &[addi(1, 0, 100), addi(2, 0, -3), add(3, 1, 2), mul(4, 1, 2), EBREAK],
+            10,
+        );
+        assert_eq!(cpu.reg(3), 97);
+        assert_eq!(cpu.reg(4) as i32, -300);
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        // div by zero = -1, rem by zero = dividend, overflow case.
+        fn divi(rd: u32, rs1: u32, rs2: u32) -> u32 {
+            (1 << 25) | (rs2 << 20) | (rs1 << 15) | (0b100 << 12) | (rd << 7) | 0x33
+        }
+        fn remi(rd: u32, rs1: u32, rs2: u32) -> u32 {
+            (1 << 25) | (rs2 << 20) | (rs1 << 15) | (0b110 << 12) | (rd << 7) | 0x33
+        }
+        let (cpu, _) = run(
+            &[addi(1, 0, 7), divi(2, 1, 0), remi(3, 1, 0), EBREAK],
+            10,
+        );
+        assert_eq!(cpu.reg(2), u32::MAX, "div by zero yields -1");
+        assert_eq!(cpu.reg(3), 7, "rem by zero yields dividend");
+    }
+
+    #[test]
+    fn loads_and_stores_roundtrip() {
+        // sw x1, 0x100(x0); lw x2, 0x100(x0)
+        let sw = ((0x100u32 >> 5) << 25 | 1 << 20 | (0b010 << 12)) | 0x23;
+        let lw = 0x100u32 << 20 | (0b010 << 12) | (2 << 7) | 0x03;
+        let (cpu, bus) = run(&[addi(1, 0, 0x555), sw, lw, EBREAK], 10);
+        assert_eq!(cpu.reg(2), 0x555);
+        assert_eq!(bus.mem[0x100], 0x55);
+    }
+
+    #[test]
+    fn byte_load_sign_extends() {
+        // sb then lb of 0xFF -> -1; lbu -> 255.
+        let sb = ((0x80u32 >> 5) << 25 | 1 << 20) | 0x23; // sb x1, 0x80(x0)
+        let lb = (0x80u32 << 20) | (2 << 7) | 0x03;
+        let lbu = 0x80u32 << 20 | (0b100 << 12) | (3 << 7) | 0x03;
+        let (cpu, _) = run(&[addi(1, 0, 0xFF), sb, lb, lbu, EBREAK], 10);
+        assert_eq!(cpu.reg(2), u32::MAX);
+        assert_eq!(cpu.reg(3), 0xFF);
+    }
+
+    #[test]
+    fn branch_loop_counts() {
+        // x1 = 0; loop: x1 += 1; blt x1, 10 -> loop; (count to 10)
+        let blt_back = {
+            // blt x1, x2, -4
+            let imm: i32 = -4;
+            let u = imm as u32;
+            ((u >> 12) & 1) << 31
+                | ((u >> 5) & 0x3F) << 25
+                | 2 << 20
+                | 1 << 15
+                | 0b100 << 12
+                | ((u >> 1) & 0xF) << 8
+                | ((u >> 11) & 1) << 7
+                | 0x63
+        };
+        let (cpu, _) = run(&[addi(2, 0, 10), addi(1, 1, 1), blt_back, EBREAK], 100);
+        assert_eq!(cpu.reg(1), 10);
+    }
+
+    #[test]
+    fn jal_links_return_address() {
+        // jal x1, +8 ; ebreak (skipped) ; ebreak
+        let jal = (8u32 >> 1) << 21 | (1 << 7) | 0x6F;
+        let (cpu, _) = run(&[jal, EBREAK, EBREAK], 10);
+        assert_eq!(cpu.reg(1), 4);
+        assert_eq!(cpu.pc(), 8);
+    }
+
+    #[test]
+    fn illegal_instruction_traps() {
+        let mut cpu = Cpu::new(0);
+        let mut bus = TestBus::with_program(&[0xFFFF_FFFF]);
+        assert!(matches!(cpu.step(&mut bus), Err(Trap::IllegalInstruction(_))));
+    }
+
+    #[test]
+    fn misaligned_load_traps() {
+        // lw x1, 1(x0)
+        let lw = 1u32 << 20 | (0b010 << 12) | (1 << 7) | 0x03;
+        let mut cpu = Cpu::new(0);
+        let mut bus = TestBus::with_program(&[lw]);
+        assert!(matches!(cpu.step(&mut bus), Err(Trap::Misaligned(1))));
+    }
+
+    #[test]
+    fn instret_counts_retired() {
+        let (cpu, _) = run(&[addi(1, 0, 1), addi(2, 0, 2), EBREAK], 10);
+        assert_eq!(cpu.instret(), 2, "ebreak does not retire");
+    }
+
+    /// Assemble-and-run coverage of the full RV32IM ALU/branch matrix
+    /// (cross-validates the decoder against the assembler).
+    #[test]
+    fn full_alu_matrix_via_assembler() {
+        use crate::asm::assemble;
+        let cases: &[(&str, u32)] = &[
+            ("li a1, -7\nli a2, 3\nadd a0, a1, a2", (-4i32) as u32),
+            ("li a1, -7\nli a2, 3\nsub a0, a1, a2", (-10i32) as u32),
+            ("li a1, 1\nli a2, 31\nsll a0, a1, a2", 1 << 31),
+            ("li a1, -8\nli a2, 2\nsra a0, a1, a2", (-2i32) as u32),
+            ("li a1, -8\nli a2, 2\nsrl a0, a1, a2", 0xFFFF_FFF8u32 >> 2),
+            ("li a1, -1\nli a2, 1\nslt a0, a1, a2", 1),
+            ("li a1, -1\nli a2, 1\nsltu a0, a1, a2", 0),
+            ("li a1, 0xF0\nli a2, 0x0F\nxor a0, a1, a2", 0xFF),
+            ("li a1, 0xF0\nli a2, 0x1F\nand a0, a1, a2", 0x10),
+            ("li a1, 0xF0\nli a2, 0x0F\nor a0, a1, a2", 0xFF),
+            ("li a1, -1\nli a2, -1\nmulh a0, a1, a2", 0),
+            ("li a1, -1\nli a2, -1\nmulhu a0, a1, a2", 0xFFFF_FFFE),
+            ("li a1, -1\nli a2, 2\nmulhsu a0, a1, a2", 0xFFFF_FFFF),
+            ("li a1, -7\nli a2, 2\ndiv a0, a1, a2", (-3i32) as u32),
+            ("li a1, -7\nli a2, 2\nrem a0, a1, a2", (-1i32) as u32),
+            ("li a1, 7\nli a2, 2\ndivu a0, a1, a2", 3),
+            ("li a1, 7\nli a2, 2\nremu a0, a1, a2", 1),
+            ("li a1, 5\nslti a0, a1, 6", 1),
+            ("li a1, 5\nsltiu a0, a1, 5", 0),
+            ("li a1, 5\nxori a0, a1, -1", !5u32),
+            ("li a1, 0x70\nori a0, a1, 0x0F", 0x7F),
+            ("li a1, 0x73\nandi a0, a1, 0x0F", 0x03),
+            ("li a1, 3\nslli a0, a1, 4", 48),
+            ("li a1, -16\nsrai a0, a1, 2", (-4i32) as u32),
+            ("lui a0, 0xABCDE", 0xABCD_E000),
+            ("auipc a0, 1", 0x1000), // pc = 0 at the auipc
+        ];
+        for (src, expect) in cases {
+            let source = format!("{src}\nebreak");
+            let words = assemble(0, &source).unwrap();
+            let (cpu, _) = run(&words, 50);
+            assert_eq!(cpu.reg(10), *expect, "case: {src}");
+        }
+    }
+
+    #[test]
+    fn signed_division_overflow_case() {
+        use crate::asm::assemble;
+        // i32::MIN / -1 must yield i32::MIN; rem yields 0 (RISC-V spec).
+        let words = assemble(
+            0,
+            "
+            li a1, -2147483648
+            li a2, -1
+            div a0, a1, a2
+            rem a3, a1, a2
+            ebreak
+            ",
+        )
+        .unwrap();
+        let (cpu, _) = run(&words, 20);
+        assert_eq!(cpu.reg(10), i32::MIN as u32);
+        assert_eq!(cpu.reg(13), 0);
+    }
+
+    #[test]
+    fn branch_matrix_via_assembler() {
+        use crate::asm::assemble;
+        // Each case sets a0 = 1 iff the branch is taken.
+        let cases: &[(&str, bool)] = &[
+            ("li t1, 5\nli t2, 5\nbeq t1, t2, yes", true),
+            ("li t1, 5\nli t2, 6\nbne t1, t2, yes", true),
+            ("li t1, -1\nli t2, 0\nblt t1, t2, yes", true),
+            ("li t1, -1\nli t2, 0\nbltu t1, t2, yes", false), // -1 unsigned is max
+            ("li t1, 0\nli t2, -1\nbge t1, t2, yes", true),
+            ("li t1, 0\nli t2, -1\nbgeu t1, t2, yes", false),
+        ];
+        for (prelude, taken) in cases {
+            let source = format!(
+                "{prelude}\n li a0, 0\n j out\nyes: li a0, 1\nout: ebreak"
+            );
+            let words = assemble(0, &source).unwrap();
+            let (cpu, _) = run(&words, 50);
+            assert_eq!(cpu.reg(10) == 1, *taken, "case: {prelude}");
+        }
+    }
+
+    #[test]
+    fn fence_is_a_nop() {
+        use crate::asm::assemble;
+        let words = assemble(0, "fence\nli a0, 9\nebreak").unwrap();
+        let (cpu, _) = run(&words, 10);
+        assert_eq!(cpu.reg(10), 9);
+    }
+}

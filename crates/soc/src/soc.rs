@@ -1,0 +1,196 @@
+//! The assembled SoC: RV32IM core + system bus + PASTA peripheral.
+//!
+//! Mirrors the paper's 130nm/65nm SoC (§IV.A ❸): an Ibex-class core at
+//! 100 MHz drives the accelerator through memory-mapped registers; the
+//! peripheral masters the shared bus for its data. The simulator counts
+//! cycles (CPI 1) so Tab. II's "RISC-V" column can be measured rather
+//! than asserted.
+
+use crate::bus::SystemBus;
+use crate::rv32::{Cpu, Trap};
+use pasta_core::PastaParams;
+
+/// SoC clock frequency (paper §IV.A ❸: "targets 100MHz").
+pub const SOC_CLOCK_MHZ: f64 = 100.0;
+
+/// Why a run stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Firmware executed `ebreak` (normal halt).
+    Halted,
+    /// Firmware executed `ecall` (exit with `a0` as code).
+    Exited(u32),
+    /// The step budget ran out.
+    OutOfSteps,
+}
+
+/// The system-on-chip simulator.
+#[derive(Debug)]
+pub struct Soc {
+    cpu: Cpu,
+    bus: SystemBus,
+}
+
+impl Soc {
+    /// Builds a SoC with `ram_size` bytes of RAM and a PASTA peripheral
+    /// for `params`; reset vector is address 0.
+    #[must_use]
+    pub fn new(params: PastaParams, ram_size: usize) -> Self {
+        Soc { cpu: Cpu::new(0), bus: SystemBus::new(params, ram_size) }
+    }
+
+    /// Loads instruction words at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program does not fit in RAM.
+    pub fn load_program(&mut self, base: u32, words: &[u32]) {
+        for (i, &w) in words.iter().enumerate() {
+            assert!(
+                self.bus.ram.write_u32(base + 4 * i as u32, w),
+                "program does not fit in RAM"
+            );
+        }
+    }
+
+    /// Writes data words at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of RAM.
+    pub fn write_words(&mut self, addr: u32, words: &[u32]) {
+        for (i, &w) in words.iter().enumerate() {
+            assert!(self.bus.ram.write_u32(addr + 4 * i as u32, w), "write outside RAM");
+        }
+    }
+
+    /// Reads `n` data words at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of RAM.
+    #[must_use]
+    pub fn read_words(&self, addr: u32, n: usize) -> Vec<u32> {
+        (0..n)
+            .map(|i| self.bus.ram.read_u32(addr + 4 * i as u32).expect("read outside RAM"))
+            .collect()
+    }
+
+    /// Runs until halt/exit or `max_steps` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns unexpected traps (illegal instruction, bus fault, …).
+    pub fn run(&mut self, max_steps: u64) -> Result<RunOutcome, Trap> {
+        for _ in 0..max_steps {
+            self.bus.now = self.cpu.instret();
+            self.cpu.set_irq(self.bus.pasta.irq_level(self.bus.now));
+            match self.cpu.step(&mut self.bus) {
+                Ok(()) => {}
+                Err(Trap::Ebreak) => return Ok(RunOutcome::Halted),
+                Err(Trap::Ecall) => return Ok(RunOutcome::Exited(self.cpu.reg(10))),
+                Err(t) => return Err(t),
+            }
+        }
+        Ok(RunOutcome::OutOfSteps)
+    }
+
+    /// Cycles elapsed (CPI 1 → retired instructions). While firmware
+    /// polls the peripheral, these advance in lockstep with the
+    /// accelerator's modelled latency.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cpu.instret()
+    }
+
+    /// Microseconds at the SoC clock.
+    #[must_use]
+    pub fn micros(&self) -> f64 {
+        self.cycles() as f64 / SOC_CLOCK_MHZ
+    }
+
+    /// Captured UART output.
+    #[must_use]
+    pub fn uart_output(&self) -> String {
+        self.bus.uart.output()
+    }
+
+    /// The CPU (for register inspection in tests).
+    #[must_use]
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// The bus (for device inspection in tests).
+    #[must_use]
+    pub fn bus(&self) -> &SystemBus {
+        &self.bus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn runs_a_program_to_halt() {
+        let mut soc = Soc::new(PastaParams::pasta4_17bit(), 64 * 1024);
+        let prog = assemble(
+            0,
+            "
+            li a0, 6
+            li a1, 7
+            mul a0, a0, a1
+            ebreak
+        ",
+        )
+        .unwrap();
+        soc.load_program(0, &prog);
+        assert_eq!(soc.run(100).unwrap(), RunOutcome::Halted);
+        assert_eq!(soc.cpu().reg(10), 42);
+    }
+
+    #[test]
+    fn ecall_exits_with_code() {
+        let mut soc = Soc::new(PastaParams::pasta4_17bit(), 64 * 1024);
+        let prog = assemble(0, "li a0, 3\necall").unwrap();
+        soc.load_program(0, &prog);
+        assert_eq!(soc.run(100).unwrap(), RunOutcome::Exited(3));
+    }
+
+    #[test]
+    fn uart_hello() {
+        let mut soc = Soc::new(PastaParams::pasta4_17bit(), 64 * 1024);
+        let prog = assemble(
+            0,
+            "
+            li t0, 0x10000000
+            li t1, 72     # 'H'
+            sb t1, 0(t0)
+            li t1, 105    # 'i'
+            sb t1, 0(t0)
+            ebreak
+        ",
+        )
+        .unwrap();
+        soc.load_program(0, &prog);
+        soc.run(100).unwrap();
+        assert_eq!(soc.uart_output(), "Hi");
+    }
+
+    #[test]
+    fn out_of_steps_reported() {
+        let mut soc = Soc::new(PastaParams::pasta4_17bit(), 64 * 1024);
+        let prog = assemble(0, "spin: j spin").unwrap();
+        soc.load_program(0, &prog);
+        assert_eq!(soc.run(50).unwrap(), RunOutcome::OutOfSteps);
+    }
+
+    #[test]
+    fn data_words_roundtrip() {
+        let mut soc = Soc::new(PastaParams::pasta4_17bit(), 64 * 1024);
+        soc.write_words(0x400, &[1, 2, 3]);
+        assert_eq!(soc.read_words(0x400, 3), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,85 @@
+//! A tour of the cryptoprocessor model: cycle breakdowns, the XOF-core
+//! ablation, bit-width scaling, and the FPGA/ASIC cost models — the
+//! design-space exploration of §III/§IV in one binary.
+//!
+//! ```text
+//! cargo run --release --example hardware_tour
+//! ```
+
+use pasta_edge::cipher::{PastaParams, SecretKey};
+use pasta_edge::hw::area::{estimate_fpga, ARTIX7_AC701};
+use pasta_edge::hw::asic::{estimate_asic, TechNode};
+use pasta_edge::hw::PastaProcessor;
+use pasta_edge::keccak::XofCoreKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Cycle anatomy of one PASTA-4 block ==");
+    let params = PastaParams::pasta4_17bit();
+    let key = SecretKey::from_seed(&params, b"tour");
+    let proc = PastaProcessor::new(params);
+    for counter in 0..3 {
+        let r = proc.keystream_block(&key, 0xA11CE, counter)?;
+        println!(
+            "block {counter}: {} cc total | last XOF word at {} | trailing compute {} cc | \
+             {} permutations | {} words drawn, {} rejected",
+            r.cycles.total,
+            r.cycles.xof_last_word,
+            r.cycles.trailing(),
+            r.cycles.keccak_permutations,
+            r.cycles.words_drawn,
+            r.cycles.rejected,
+        );
+    }
+    println!("(Tab. II: 1,591 cc — nonce-dependent, as the paper notes.)\n");
+
+    println!("== XOF core ablation (§IV.B) ==");
+    for (name, core) in
+        [("squeeze-parallel", XofCoreKind::SqueezeParallel), ("naive", XofCoreKind::Naive)]
+    {
+        let avg = PastaProcessor::with_core(params, core).average_cycles(&key, 1, 10)?;
+        println!("{name:>17}: {avg:.0} cc/block");
+    }
+    println!();
+
+    println!("== Bit-width scaling (§IV.A 'Bitlength Comparison') ==");
+    println!("{:<22} {:>9} {:>9} {:>7} {:>6} {:>11}", "design", "LUT", "FF", "DSP", "cc", "LUT x cc");
+    for p in [
+        PastaParams::pasta4_17bit(),
+        PastaParams::pasta4_33bit(),
+        PastaParams::pasta4_54bit(),
+        PastaParams::pasta3_17bit(),
+    ] {
+        let k = SecretKey::from_seed(&p, b"tour");
+        let cc = PastaProcessor::new(p).average_cycles(&k, 1, 5)?;
+        let a = estimate_fpga(&p);
+        println!(
+            "{:<22} {:>9} {:>9} {:>7} {:>6.0} {:>11.2e}",
+            format!("{} w={}", p.variant(), p.modulus().bits()),
+            a.luts,
+            a.ffs,
+            a.dsps,
+            cc,
+            a.luts as f64 * cc
+        );
+    }
+    println!("Performance is width-insensitive; area (and area-time) grows with width,");
+    println!("so the paper standardizes on 17-bit for comparisons.\n");
+
+    println!("== Technology sweep (ASIC model) ==");
+    for node in [TechNode::Asap7, TechNode::Tsmc28, TechNode::Node65, TechNode::Node130] {
+        let e = estimate_asic(&params, node);
+        println!(
+            "{:<14} {:>7.3} mm^2 @ {:>5.0} MHz, {:>5.2} W max",
+            node.name(),
+            e.area_mm2,
+            e.clock_mhz,
+            e.power_w
+        );
+    }
+    let (lut, ff, dsp) = estimate_fpga(&params).utilization(&ARTIX7_AC701);
+    println!(
+        "\nArtix-7 utilization: {lut:.0}% LUT, {ff:.0}% FF, {dsp:.0}% DSP — fits the low-cost\n\
+         client FPGA the paper targets (prior PKE accelerators need 2-10x larger parts)."
+    );
+    Ok(())
+}

@@ -1,0 +1,182 @@
+//! The reproduction scoreboard: every quantitative claim of the paper we
+//! reproduce, asserted as a test. EXPERIMENTS.md is the prose version of
+//! this file.
+
+use pasta_edge::cipher::counters::{
+    encryption_op_count, fhe_pke_mul_estimate, REFERENCE_CPU_CYCLES_PASTA3,
+    REFERENCE_CPU_CYCLES_PASTA4,
+};
+use pasta_edge::cipher::{derive_block_material, PastaParams, SecretKey};
+use pasta_edge::hhe::link::{figure8, RiseReference, MAX_5G_BPS, MIN_5G_BPS};
+use pasta_edge::hhe::Resolution;
+use pasta_edge::hw::area::{estimate_fpga, table1_reference};
+use pasta_edge::hw::asic::{estimate_asic, soc_area_mm2, TechNode};
+use pasta_edge::hw::perf::{measure_row, Platform};
+use pasta_edge::soc::firmware::encrypt_on_soc;
+
+/// Tab. I: the DSP column is reproduced exactly; LUT/FF within 1%.
+#[test]
+fn table1_fpga_area() {
+    for (params, reference) in table1_reference() {
+        let est = estimate_fpga(&params);
+        assert_eq!(est.dsps, reference.dsps, "{params} DSP");
+        assert_eq!(est.brams, 0, "{params} BRAM");
+        let lut_err = (est.luts as f64 - reference.luts as f64).abs() / reference.luts as f64;
+        let ff_err = (est.ffs as f64 - reference.ffs as f64).abs() / reference.ffs as f64;
+        assert!(lut_err < 0.01 && ff_err < 0.01, "{params}: {lut_err:.4}/{ff_err:.4}");
+    }
+}
+
+/// Tab. II: cycle counts within 5% of 4,955 / 1,591; µs columns follow.
+#[test]
+fn table2_cycles_and_latency() {
+    for (params, cc, fpga_us, asic_us) in [
+        (PastaParams::pasta3_17bit(), 4_955.0, 66.1, 4.96),
+        (PastaParams::pasta4_17bit(), 1_591.0, 21.2, 1.59),
+    ] {
+        let row = measure_row(&params, 12).unwrap();
+        assert!((row.cycles - cc).abs() / cc < 0.05, "{params}: {} vs {cc}", row.cycles);
+        assert!((row.fpga_us - fpga_us).abs() / fpga_us < 0.05);
+        assert!((row.asic_us - asic_us).abs() / asic_us < 0.05);
+    }
+}
+
+/// §I.B / Tab. II note: 857–3,439× fewer clock cycles than the CPU \[9\].
+#[test]
+fn cpu_cycle_reduction_range() {
+    let p4 = measure_row(&PastaParams::pasta4_17bit(), 12).unwrap();
+    let p3 = measure_row(&PastaParams::pasta3_17bit(), 12).unwrap();
+    let low = REFERENCE_CPU_CYCLES_PASTA4 as f64 / p4.cycles;
+    let high = REFERENCE_CPU_CYCLES_PASTA3 as f64 / p3.cycles;
+    // Paper: 857 and 3,439. Our exact-rejection model sits within ±6%.
+    assert!((low - 857.0).abs() / 857.0 < 0.06, "low end {low}");
+    assert!((high - 3_439.0).abs() / 3_439.0 < 0.06, "high end {high}");
+}
+
+/// Abstract: "43–171× speedup compared to a CPU" (SoC at 100 MHz).
+#[test]
+fn cpu_wall_clock_speedup_range() {
+    let p4 = measure_row(&PastaParams::pasta4_17bit(), 12).unwrap();
+    let p3 = measure_row(&PastaParams::pasta3_17bit(), 12).unwrap();
+    let s4 = p4.speedup_vs_cpu(Platform::RiscVSoc).unwrap();
+    let s3 = p3.speedup_vs_cpu(Platform::RiscVSoc).unwrap();
+    // 857/22 ≈ 39 and 3,439/22 ≈ 156 at the true 22× clock ratio; the
+    // paper divides by ≈20×. Accept the bracket [35, 180].
+    assert!(s4 > 35.0 && s4 < 50.0, "PASTA-4 speedup {s4}");
+    assert!(s3 > 140.0 && s3 < 180.0, "PASTA-3 speedup {s3}");
+}
+
+/// Abstract / Tab. III: "97× speedup over prior public-key client
+/// accelerators" — per element vs RISE on our 1 GHz ASIC.
+#[test]
+fn asic_speedup_97x() {
+    let p4 = measure_row(&PastaParams::pasta4_17bit(), 12).unwrap();
+    let ours = p4.per_element_us(Platform::Asic);
+    let rise_per_element = 4.88;
+    let speedup = rise_per_element / ours;
+    assert!((speedup - 97.0).abs() < 8.0, "speedup {speedup}");
+}
+
+/// §IV.C ❷: 98–338× vs RISE/RACE standalone; 10–34× from the SoC.
+#[test]
+fn soc_and_asic_speedup_ranges() {
+    let p4 = measure_row(&PastaParams::pasta4_17bit(), 12).unwrap();
+    let ours_asic = p4.per_element_us(Platform::Asic);
+    let key = SecretKey::from_seed(&PastaParams::pasta4_17bit(), b"claims");
+    let soc = encrypt_on_soc(PastaParams::pasta4_17bit(), &key, 1, &(0..32).collect::<Vec<_>>())
+        .unwrap();
+    let ours_soc = soc.accelerator_cycles as f64 / 100.0 / 32.0;
+    let (rise, race) = (4.88, 16.9);
+    assert!((rise / ours_asic) > 90.0 && (race / ours_asic) < 355.0);
+    assert!((rise / ours_soc) > 8.5 && (race / ours_soc) < 36.0);
+}
+
+/// §IV.A ❷: ASIC anchors 0.24 mm² (28nm), 0.03 mm² (7nm), ≤1.2 W;
+/// bit-width scaling ≈2.1× / ≈4.3×; §IV.B: PASTA-3 ≈3× PASTA-4 area.
+#[test]
+fn asic_area_claims() {
+    let p4 = PastaParams::pasta4_17bit();
+    assert!((estimate_asic(&p4, TechNode::Tsmc28).area_mm2 - 0.24).abs() < 1e-9);
+    assert!((estimate_asic(&p4, TechNode::Asap7).area_mm2 - 0.03).abs() < 1e-9);
+    assert!(estimate_asic(&p4, TechNode::Tsmc28).power_w <= 1.2);
+    let r33 = estimate_asic(&PastaParams::pasta4_33bit(), TechNode::Tsmc28).area_mm2 / 0.24;
+    let r54 = estimate_asic(&PastaParams::pasta4_54bit(), TechNode::Tsmc28).area_mm2 / 0.24;
+    assert!((r33 - 2.1).abs() < 0.01 && (r54 - 4.3).abs() < 0.01);
+    let p3_ratio = estimate_asic(&PastaParams::pasta3_17bit(), TechNode::Tsmc28).area_mm2 / 0.24;
+    assert!((p3_ratio - 3.0).abs() < 0.01);
+    // §IV.A ❸: 1.8 mm² peripheral, 4.6 mm² with the Ibex core.
+    let (peri, total) = soc_area_mm2(&p4);
+    assert!((peri - 1.8).abs() < 1e-9 && (total - 4.6).abs() < 1e-9);
+}
+
+/// §I.A: FHE PKE ≈2¹⁹ multiplications, PASTA-3 exactly 2¹⁸.
+#[test]
+fn section_1a_mul_counts() {
+    assert_eq!(encryption_op_count(&PastaParams::pasta3_17bit()).mul, 1 << 18);
+    let fhe = fhe_pke_mul_estimate(13);
+    assert!(fhe > (1 << 18) && fhe < (1 << 20));
+}
+
+/// §III.A: PASTA-3/-4 demand 2,048/640 XOF coefficients.
+#[test]
+fn section_3a_xof_demand() {
+    assert_eq!(PastaParams::pasta3_17bit().xof_coefficients_per_block(), 2_048);
+    assert_eq!(PastaParams::pasta4_17bit().xof_coefficients_per_block(), 640);
+}
+
+/// §IV.B: ≈60 (PASTA-4) and ≈186–196 (PASTA-3) Keccak permutations per
+/// block under ≈2× rejection for p = 65537.
+#[test]
+fn section_4b_keccak_calls() {
+    let mut perms4 = 0u64;
+    let mut perms3 = 0u64;
+    let n = 12;
+    for counter in 0..n {
+        perms4 += derive_block_material(&PastaParams::pasta4_17bit(), 0xBEE, counter)
+            .keccak_permutations;
+        perms3 += derive_block_material(&PastaParams::pasta3_17bit(), 0xBEE, counter)
+            .keccak_permutations;
+    }
+    let avg4 = perms4 as f64 / n as f64;
+    let avg3 = perms3 as f64 / n as f64;
+    assert!((58.0..66.0).contains(&avg4), "PASTA-4 permutations {avg4}");
+    // Paper estimates 186; the exact expectation is 196 (see DESIGN.md).
+    assert!((183.0..203.0).contains(&avg3), "PASTA-3 permutations {avg3}");
+}
+
+/// §V / Fig. 8: ciphertext sizes (132 B vs 1.5 MB), RISE's 70 fps QQVGA
+/// ceiling, and the VGA-at-minimum-bandwidth qualitative claim.
+#[test]
+fn section_5_video_claims() {
+    let params = PastaParams::pasta4_33bit();
+    assert_eq!(params.ciphertext_block_bytes(), 132);
+    let rise = RiseReference;
+    assert_eq!(rise.ciphertext_bytes(), 1_597_440);
+    assert!((rise.frames_per_second(Resolution::Qqvga, MAX_5G_BPS) - 70.4).abs() < 1.0);
+    assert!(rise.frames_per_second(Resolution::Vga, MIN_5G_BPS) < 1.0);
+    let grid = figure8(params);
+    for point in &grid {
+        assert!(point.pasta_fps > point.rise_fps * 10.0, "HHE must dominate everywhere");
+    }
+    let vga_min = grid
+        .iter()
+        .find(|p| p.resolution == Resolution::Vga && (p.bandwidth_bps - MIN_5G_BPS).abs() < 1.0)
+        .unwrap();
+    assert!(vga_min.pasta_fps > 9.0, "PASTA sustains VGA at minimum bandwidth");
+}
+
+/// Tab. II discussion: PASTA-3 is ≈22% faster per element than PASTA-4 in
+/// hardware, but PASTA-4 wins area-time — "preferred for client-side
+/// devices".
+#[test]
+fn pasta3_vs_pasta4_tradeoff() {
+    let p3 = measure_row(&PastaParams::pasta3_17bit(), 12).unwrap();
+    let p4 = measure_row(&PastaParams::pasta4_17bit(), 12).unwrap();
+    let per_el_gain = 1.0 - p3.per_element_us(Platform::Fpga) / p4.per_element_us(Platform::Fpga);
+    assert!((0.15..0.30).contains(&per_el_gain), "per-element gain {per_el_gain}");
+    let a3 = estimate_fpga(&PastaParams::pasta3_17bit()).luts as f64;
+    let a4 = estimate_fpga(&PastaParams::pasta4_17bit()).luts as f64;
+    let area_time_3 = a3 * p3.cycles / 128.0;
+    let area_time_4 = a4 * p4.cycles / 32.0;
+    assert!(area_time_3 > area_time_4, "PASTA-4 must win the area-time product per element");
+}

@@ -1,0 +1,110 @@
+//! Workspace-level property tests: invariants that must hold across crate
+//! boundaries for randomized inputs.
+
+use pasta_edge::cipher::{PastaCipher, PastaParams, SecretKey};
+use pasta_edge::hw::PastaProcessor;
+use pasta_edge::math::{linalg::Matrix, Modulus, Zp};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Hardware model == software cipher for random keys/nonces/counters.
+    #[test]
+    fn prop_hw_equals_sw(seed in proptest::collection::vec(any::<u8>(), 8),
+                         nonce in any::<u64>(),
+                         counter in 0u64..1000) {
+        let params = PastaParams::pasta4_17bit();
+        let key = SecretKey::from_seed(&params, &seed);
+        let sw = PastaCipher::new(params, key.clone())
+            .keystream_block(u128::from(nonce), counter).unwrap();
+        let hw = PastaProcessor::new(params)
+            .keystream_block(&key, u128::from(nonce), counter).unwrap().keystream;
+        prop_assert_eq!(sw, hw);
+    }
+
+    /// Encrypt/decrypt round-trips for random messages of random lengths.
+    #[test]
+    fn prop_roundtrip(seed in proptest::collection::vec(any::<u8>(), 4),
+                      message in proptest::collection::vec(0u64..65_537, 0..100),
+                      nonce in any::<u128>()) {
+        let params = PastaParams::pasta4_17bit();
+        let cipher = PastaCipher::new(params, SecretKey::from_seed(&params, &seed));
+        let ct = cipher.encrypt(nonce, &message).unwrap();
+        prop_assert_eq!(cipher.decrypt(&ct).unwrap(), message);
+    }
+
+    /// The wire format round-trips for random ciphertexts.
+    #[test]
+    fn prop_wire_format(message in proptest::collection::vec(0u64..65_537, 1..50),
+                        nonce in any::<u128>()) {
+        let params = PastaParams::pasta4_17bit();
+        let cipher = PastaCipher::new(params, SecretKey::from_seed(&params, b"wire"));
+        let ct = cipher.encrypt(nonce, &message).unwrap();
+        let bytes = ct.to_packed_bytes(&params);
+        let back = pasta_edge::cipher::Ciphertext::from_packed_bytes(
+            &params, nonce, &bytes, message.len()).unwrap();
+        prop_assert_eq!(back, ct);
+    }
+
+    /// Every matrix the real XOF generates is invertible (the Eq. 1
+    /// guarantee that gives the affine layer its bijectivity).
+    #[test]
+    fn prop_generated_matrices_invertible(nonce in any::<u64>(), counter in 0u64..50) {
+        let params = PastaParams::custom(8, 2, Modulus::PASTA_17_BIT).unwrap();
+        let material = pasta_edge::cipher::derive_block_material(
+            &params, u128::from(nonce), counter);
+        let zp = Zp::new(Modulus::PASTA_17_BIT).unwrap();
+        for layer in &material.layers {
+            for seed in [&layer.seed_left, &layer.seed_right] {
+                let m = pasta_edge::cipher::matrix::RowGenerator::new(zp, seed.clone())
+                    .into_matrix();
+                prop_assert!(m.is_invertible(&zp));
+            }
+        }
+    }
+
+    /// Distinct keys produce distinct keystreams (truncation collisions
+    /// are information-theoretically negligible).
+    #[test]
+    fn prop_keystream_key_sensitivity(a in proptest::collection::vec(any::<u8>(), 4),
+                                      b in proptest::collection::vec(any::<u8>(), 4)) {
+        prop_assume!(a != b);
+        let params = PastaParams::custom(8, 2, Modulus::PASTA_17_BIT).unwrap();
+        let ka = SecretKey::from_seed(&params, &a);
+        let kb = SecretKey::from_seed(&params, &b);
+        prop_assume!(ka.elements() != kb.elements());
+        let sa = PastaCipher::new(params, ka).keystream_block(1, 0).unwrap();
+        let sb = PastaCipher::new(params, kb).keystream_block(1, 0).unwrap();
+        prop_assert_ne!(sa, sb);
+    }
+
+    /// The full permutation (pre-truncation) is injective in the key for
+    /// fixed public material: different states never collide through the
+    /// invertible layers.
+    #[test]
+    fn prop_state_injectivity(x in proptest::collection::vec(0u64..65_537, 8),
+                              y in proptest::collection::vec(0u64..65_537, 8)) {
+        prop_assume!(x != y);
+        let params = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap();
+        let material = pasta_edge::cipher::derive_block_material(&params, 42, 0);
+        let tx = pasta_edge::cipher::permutation::permute_with_trace(&params, &x, &material)
+            .unwrap();
+        let ty = pasta_edge::cipher::permutation::permute_with_trace(&params, &y, &material)
+            .unwrap();
+        // Compare the full final state (both halves after the last
+        // affine layer), which must differ because π is a bijection.
+        prop_assert_ne!(tx.after_affine.last(), ty.after_affine.last());
+    }
+}
+
+/// Deterministic cross-check: the rank function and the matrix generator
+/// agree on hand-built singular inputs.
+#[test]
+fn singular_matrices_detected() {
+    let zp = Zp::new(Modulus::PASTA_17_BIT).unwrap();
+    // Duplicate rows are singular.
+    let singular = Matrix::from_rows(3, 3, vec![1, 2, 3, 1, 2, 3, 4, 5, 6]).unwrap();
+    assert!(!singular.is_invertible(&zp));
+    assert_eq!(singular.rank(&zp), 2);
+}
