@@ -20,11 +20,17 @@ COMMANDS:
   keystream  --params <set> --key <file> --nonce <int> --count <n>
   simulate   --params <set> [--blocks <n>]
   area       --params <set>
+  pipeline   [--params <set>] [--loss <p>] [--ber <p>] [--bandwidth <MB/s>]
+             [--seed <n>] [--frames <n>] [--resolution <name>] [--fps <n>]
+             [--pixels <n>] [--mtu <bytes>]
   info       [--params <set>]
   help
 
 PARAMETER SETS:
   pasta3-17  pasta4-17  pasta4-33  pasta4-54
+
+RESOLUTIONS:
+  qqvga  qvga  vga
 
 FILES hold one field element per line (decimal).";
 
@@ -89,6 +95,30 @@ pub enum Command {
         /// Parameter set.
         params: PastaParams,
     },
+    /// Run the resilient edge→cloud pipeline simulation.
+    Pipeline {
+        /// Parameter set.
+        params: PastaParams,
+        /// Packet-drop probability per wire frame.
+        loss: f64,
+        /// Bit-error rate on the link.
+        ber: f64,
+        /// Link bandwidth in MB/s.
+        bandwidth_mbps: f64,
+        /// Simulation seed (replays bit-for-bit).
+        seed: u64,
+        /// Frames the camera offers.
+        frames: u32,
+        /// Starting resolution.
+        resolution: pasta_hhe::link::Resolution,
+        /// Camera frame rate (frames/s).
+        fps: f64,
+        /// Per-frame pixel override (tiny frames for quick runs).
+        pixels: Option<usize>,
+        /// Wire MTU in bytes (stop-and-wait throughput caps near
+        /// mtu/RTT, so jumbo frames help on high-latency links).
+        mtu: usize,
+    },
     /// Print parameter-set information.
     Info {
         /// Parameter set (defaults to PASTA-4/17-bit).
@@ -152,6 +182,31 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, String> {
                 .map_or(Ok(10), |b| b.parse().map_err(|_| "bad --blocks".to_string()))?,
         }),
         "area" => Ok(Command::Area { params: params(false)? }),
+        "pipeline" => Ok(Command::Pipeline {
+            params: params(true)?,
+            loss: parse_prob(&flags, "loss", 0.0)?,
+            ber: parse_prob(&flags, "ber", 0.0)?,
+            bandwidth_mbps: parse_f64(&flags, "bandwidth", 12.5)?,
+            seed: flags
+                .get("seed")
+                .map_or(Ok(0), |s| s.parse().map_err(|_| format!("bad --seed '{s}'")))?,
+            frames: flags
+                .get("frames")
+                .map_or(Ok(20), |s| s.parse().map_err(|_| format!("bad --frames '{s}'")))?,
+            resolution: flags
+                .get("resolution")
+                .map_or(Ok(pasta_hhe::link::Resolution::Qqvga), |s| {
+                    pasta_hhe::link::Resolution::parse(s)
+                })?,
+            fps: parse_f64(&flags, "fps", 15.0)?,
+            pixels: flags
+                .get("pixels")
+                .map(|s| s.parse().map_err(|_| format!("bad --pixels '{s}'")))
+                .transpose()?,
+            mtu: flags
+                .get("mtu")
+                .map_or(Ok(1_400), |s| s.parse().map_err(|_| format!("bad --mtu '{s}'")))?,
+        }),
         "info" => Ok(Command::Info { params: params(true)? }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
@@ -176,6 +231,29 @@ fn parse_flags<'a>(rest: &[&'a str]) -> Result<HashMap<String, &'a str>, String>
 
 fn required<'a>(flags: &'a HashMap<String, &'a str>, name: &str) -> Result<&'a str, String> {
     flags.get(name).copied().ok_or_else(|| format!("missing required --{name}"))
+}
+
+fn parse_f64(flags: &HashMap<String, &str>, name: &str, default: f64) -> Result<f64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(s) => {
+            let v: f64 = s.parse().map_err(|_| format!("bad --{name} '{s}'"))?;
+            if v.is_finite() && v >= 0.0 {
+                Ok(v)
+            } else {
+                Err(format!("--{name} must be a non-negative number, got '{s}'"))
+            }
+        }
+    }
+}
+
+fn parse_prob(flags: &HashMap<String, &str>, name: &str, default: f64) -> Result<f64, String> {
+    let v = parse_f64(flags, name, default)?;
+    if v <= 1.0 {
+        Ok(v)
+    } else {
+        Err(format!("--{name} is a probability and must be <= 1, got {v}"))
+    }
 }
 
 fn parse_nonce(s: &str) -> Result<u128, String> {
@@ -248,6 +326,42 @@ mod tests {
             .contains("duplicate"));
         assert!(parse(&["encrypt", "--params", "pasta4-17", "--key", "k", "--nonce", "zzz",
             "--input", "i"]).unwrap_err().contains("bad --nonce"));
+    }
+
+    #[test]
+    fn pipeline_parses_with_defaults_and_flags() {
+        let c = parse(&["pipeline"]).unwrap();
+        assert!(matches!(
+            c,
+            Command::Pipeline { frames: 20, seed: 0, pixels: None, mtu: 1_400, .. }
+        ));
+        let c = parse(&[
+            "pipeline", "--loss", "0.01", "--ber", "1e-6", "--bandwidth", "50", "--seed", "7",
+            "--frames", "5", "--resolution", "vga", "--fps", "30", "--pixels", "16", "--mtu",
+            "9000",
+        ])
+        .unwrap();
+        match c {
+            Command::Pipeline {
+                loss, ber, bandwidth_mbps, seed, frames, resolution, fps, pixels, mtu, ..
+            } => {
+                assert!((loss - 0.01).abs() < 1e-12);
+                assert!((ber - 1e-6).abs() < 1e-18);
+                assert!((bandwidth_mbps - 50.0).abs() < 1e-12);
+                assert_eq!(seed, 7);
+                assert_eq!(frames, 5);
+                assert_eq!(resolution, pasta_hhe::link::Resolution::Vga);
+                assert!((fps - 30.0).abs() < 1e-12);
+                assert_eq!(pixels, Some(16));
+                assert_eq!(mtu, 9_000);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&["pipeline", "--loss", "2"]).unwrap_err().contains("probability"));
+        assert!(parse(&["pipeline", "--resolution", "8k"])
+            .unwrap_err()
+            .contains("unknown resolution"));
+        assert!(parse(&["pipeline", "--bandwidth", "-3"]).unwrap_err().contains("non-negative"));
     }
 
     #[test]

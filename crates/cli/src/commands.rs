@@ -90,6 +90,47 @@ pub fn execute(command: &Command) -> Result<String, String> {
             }
             Ok(out)
         }
+        Command::Pipeline {
+            params,
+            loss,
+            ber,
+            bandwidth_mbps,
+            seed,
+            frames,
+            resolution,
+            fps,
+            pixels,
+            mtu,
+        } => {
+            let cfg = pasta_pipeline::SessionConfig {
+                params: *params,
+                resolution: *resolution,
+                frames: *frames,
+                target_fps: *fps,
+                mtu: *mtu,
+                channel: pasta_pipeline::ChannelConfig {
+                    drop_prob: *loss,
+                    bit_error_rate: *ber,
+                    bandwidth_bps: bandwidth_mbps * 1e6,
+                    seed: *seed,
+                    ..pasta_pipeline::ChannelConfig::default()
+                },
+                pixels_override: *pixels,
+                ..pasta_pipeline::SessionConfig::default()
+            };
+            let report = pasta_pipeline::run_session(&cfg).map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            let _ = writeln!(out, "{params}");
+            let _ = writeln!(
+                out,
+                "link: {:.1} MB/s, loss {:.2}%, BER {:.0e}, seed {seed}",
+                bandwidth_mbps,
+                loss * 100.0,
+                ber
+            );
+            let _ = writeln!(out, "{}", report.summary());
+            Ok(out)
+        }
         Command::Info { params } => {
             let mut out = String::new();
             let _ = writeln!(out, "{params}");
@@ -217,6 +258,26 @@ mod tests {
         assert!(area.contains("0.240 mm^2"), "{area}");
         let info = run(&["info"]).unwrap();
         assert!(info.contains("640/block"), "{info}");
+    }
+
+    #[test]
+    fn pipeline_prints_delivery_summary() {
+        // Tiny frames keep this fast: 8 pixels/frame through a lossy link.
+        let out = run(&[
+            "pipeline", "--params", "pasta4-17", "--loss", "0.1", "--ber", "1e-5", "--seed",
+            "3", "--frames", "4", "--pixels", "8", "--fps", "30",
+        ])
+        .unwrap();
+        assert!(out.contains("delivered"), "{out}");
+        assert!(out.contains("fps effective"), "{out}");
+        assert!(out.contains("seed 3"), "{out}");
+        // Determinism: the same seed prints the same report.
+        let again = run(&[
+            "pipeline", "--params", "pasta4-17", "--loss", "0.1", "--ber", "1e-5", "--seed",
+            "3", "--frames", "4", "--pixels", "8", "--fps", "30",
+        ])
+        .unwrap();
+        assert_eq!(out, again);
     }
 
     #[test]

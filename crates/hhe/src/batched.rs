@@ -132,19 +132,21 @@ impl BatchedHheServer {
                         RowGenerator::new(zp, seed.clone()).into_matrix()
                     })
                     .collect();
+                let Some(first) = half.first() else {
+                    return Err(FheError::Incompatible(
+                        "affine layer applied to an empty state half".into(),
+                    ));
+                };
                 let mut out = Vec::with_capacity(t);
                 for i in 0..t {
-                    let mut acc: Option<FheCiphertext> = None;
-                    for (j, ct) in half.iter().enumerate() {
-                        // Slot s carries block s's matrix entry (i, j).
+                    // Slot s carries block s's matrix entry (i, j).
+                    let first_slot: Vec<u64> = matrices.iter().map(|m| m.get(i, 0)).collect();
+                    let mut acc = ctx.mul_plain(first, &self.encoder.encode(&first_slot));
+                    for (j, ct) in half.iter().enumerate().skip(1) {
                         let per_slot: Vec<u64> =
                             matrices.iter().map(|m| m.get(i, j)).collect();
                         let pt = self.encoder.encode(&per_slot);
-                        let term = ctx.mul_plain(ct, &pt);
-                        acc = Some(match acc {
-                            None => term,
-                            Some(a) => ctx.add(&a, &term)?,
-                        });
+                        acc = ctx.add(&acc, &ctx.mul_plain(ct, &pt))?;
                     }
                     // Batched round constant.
                     let rc_slots: Vec<u64> = materials
@@ -158,9 +160,7 @@ impl BatchedHheServer {
                             rc[i]
                         })
                         .collect();
-                    let result =
-                        ctx.add_plain(&acc.expect("t >= 2"), &self.encoder.encode(&rc_slots));
-                    out.push(result);
+                    out.push(ctx.add_plain(&acc, &self.encoder.encode(&rc_slots)));
                 }
                 if is_left {
                     left = out;

@@ -44,6 +44,32 @@ impl Resolution {
             Resolution::Vga => "VGA",
         }
     }
+
+    /// The next lower resolution, if any — the graceful-degradation
+    /// ladder (VGA → QVGA → QQVGA) the resilient pipeline walks when
+    /// effective goodput can no longer carry the frame deadline.
+    #[must_use]
+    pub fn downshift(&self) -> Option<Resolution> {
+        match self {
+            Resolution::Vga => Some(Resolution::Qvga),
+            Resolution::Qvga => Some(Resolution::Qqvga),
+            Resolution::Qqvga => None,
+        }
+    }
+
+    /// Parses a resolution name (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error listing the valid names.
+    pub fn parse(name: &str) -> Result<Resolution, String> {
+        match name.to_ascii_lowercase().as_str() {
+            "qqvga" => Ok(Resolution::Qqvga),
+            "qvga" => Ok(Resolution::Qvga),
+            "vga" => Ok(Resolution::Vga),
+            other => Err(format!("unknown resolution '{other}' (use qqvga, qvga, vga)")),
+        }
+    }
 }
 
 /// Minimum mid-band 5G bandwidth (§V), bytes per second.

@@ -237,12 +237,14 @@ impl PackedHheServer {
                     Some(a) => ctx.add(&a, &term)?,
                 });
             }
+            let acc = acc.ok_or_else(|| {
+                // Unreachable for the invertible matrices Eq. 1 generates,
+                // but an all-zero layer must not panic the server.
+                FheError::Incompatible("affine layer matrix has no nonzero diagonal".into())
+            })?;
             let mut rc = layer.rc_left.clone();
             rc.extend_from_slice(&layer.rc_right);
-            state = ctx.add_plain(
-                &acc.expect("matrices are nonzero"),
-                &self.layout.encode_lanes(&self.encoder, &rc, 0),
-            );
+            state = ctx.add_plain(&acc, &self.layout.encode_lanes(&self.encoder, &rc, 0));
             // state is masked here: every diagonal plaintext is zero
             // outside lanes 0..2t.
 

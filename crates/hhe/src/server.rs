@@ -122,20 +122,17 @@ impl HheServer {
         };
         let matrix = RowGenerator::new(zp, seed.clone()).into_matrix();
         let t = half.len();
+        let Some(first) = half.first() else {
+            return Err(FheError::Incompatible("affine layer applied to an empty state half".into()));
+        };
         let mut out = Vec::with_capacity(t);
         for (i, &rc_i) in rc.iter().enumerate().take(t) {
             let row = matrix.row(i);
-            let mut acc: Option<FheCiphertext> = None;
-            for (j, ct) in half.iter().enumerate() {
-                let term = ctx.mul_scalar(ct, row[j]);
-                acc = Some(match acc {
-                    None => term,
-                    Some(a) => ctx.add(&a, &term)?,
-                });
+            let mut acc = ctx.mul_scalar(first, row[0]);
+            for (j, ct) in half.iter().enumerate().skip(1) {
+                acc = ctx.add(&acc, &ctx.mul_scalar(ct, row[j]))?;
             }
-            let mut result = acc.expect("t >= 2 by parameter validation");
-            result = ctx.add_plain(&result, &ctx.encode_scalar(rc_i));
-            out.push(result);
+            out.push(ctx.add_plain(&acc, &ctx.encode_scalar(rc_i)));
         }
         Ok(out)
     }

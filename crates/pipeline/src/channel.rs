@@ -1,0 +1,221 @@
+//! Deterministic lossy-link simulator.
+//!
+//! Layers the real-world failure modes of the §V 5G uplink on top of the
+//! ideal bandwidth model in `pasta_hhe::link`: packet drop, independent
+//! bit flips (a bit-error rate), reordering delay, and a time-varying
+//! bandwidth that breathes around the configured base rate. Everything
+//! is driven by one seeded RNG, so a session replays bit-for-bit from
+//! its seed — the property the end-to-end tests and the CLI `--seed`
+//! flag rely on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Channel configuration. Probabilities are per-transmission.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelConfig {
+    /// Probability an entire frame is dropped.
+    pub drop_prob: f64,
+    /// Independent per-bit flip probability (e.g. `1e-6`).
+    pub bit_error_rate: f64,
+    /// Probability a frame is held back long enough to arrive after its
+    /// successor.
+    pub reorder_prob: f64,
+    /// Base link bandwidth in bytes/s (cf. `pasta_hhe::link::MIN_5G_BPS`).
+    pub bandwidth_bps: f64,
+    /// Fractional amplitude of the slow bandwidth oscillation
+    /// (`0.0` = constant link, `0.5` = swings between 50% and 150%).
+    pub bandwidth_swing: f64,
+    /// One-way propagation latency in milliseconds.
+    pub latency_ms: f64,
+    /// RNG seed for loss/corruption/reordering decisions.
+    pub seed: u64,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig {
+            drop_prob: 0.0,
+            bit_error_rate: 0.0,
+            reorder_prob: 0.0,
+            bandwidth_bps: pasta_hhe::link::MIN_5G_BPS,
+            bandwidth_swing: 0.0,
+            latency_ms: 5.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of pushing one frame through the channel.
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// Virtual arrival time at the far end (ms).
+    pub arrive_ms: f64,
+    /// Time the sender's radio was busy putting the bytes on the air
+    /// (ms) — the sender is free again at `send_time + serialize_ms`,
+    /// before the frame has arrived.
+    pub serialize_ms: f64,
+    /// The received bytes, or `None` when the frame was dropped.
+    pub data: Option<Vec<u8>>,
+    /// Number of bits the channel flipped (0 for clean deliveries).
+    pub bits_flipped: u32,
+}
+
+/// A seeded, stateful unreliable link.
+#[derive(Debug, Clone)]
+pub struct LossyChannel {
+    cfg: ChannelConfig,
+    rng: StdRng,
+}
+
+/// Period of the slow bandwidth oscillation (ms).
+const BANDWIDTH_PERIOD_MS: f64 = 2_000.0;
+
+impl LossyChannel {
+    /// Creates a channel from its configuration.
+    #[must_use]
+    pub fn new(cfg: ChannelConfig) -> Self {
+        LossyChannel { cfg, rng: StdRng::seed_from_u64(cfg.seed ^ 0xC4A9_9E1D_0B5F_7A33) }
+    }
+
+    /// The configuration the channel was built with.
+    #[must_use]
+    pub fn config(&self) -> &ChannelConfig {
+        &self.cfg
+    }
+
+    /// Instantaneous bandwidth at virtual time `now_ms` (bytes/s).
+    #[must_use]
+    pub fn bandwidth_at(&self, now_ms: f64) -> f64 {
+        let phase = (now_ms / BANDWIDTH_PERIOD_MS) * core::f64::consts::TAU;
+        self.cfg.bandwidth_bps * (1.0 + self.cfg.bandwidth_swing * phase.sin())
+    }
+
+    /// Transmits `bytes` at virtual time `now_ms`, returning what (and
+    /// when) the far end receives.
+    pub fn transmit(&mut self, bytes: &[u8], now_ms: f64) -> Delivery {
+        let serialize_ms = bytes.len() as f64 / self.bandwidth_at(now_ms) * 1_000.0;
+        let mut arrive_ms = now_ms + serialize_ms + self.cfg.latency_ms;
+        if self.cfg.reorder_prob > 0.0 && self.rng.gen_bool(self.cfg.reorder_prob) {
+            // Held in a queue somewhere: arrives roughly one extra
+            // frame-time late, i.e. after its successor.
+            arrive_ms += 2.0 * serialize_ms + self.cfg.latency_ms;
+        }
+        if self.cfg.drop_prob > 0.0 && self.rng.gen_bool(self.cfg.drop_prob) {
+            return Delivery { arrive_ms, serialize_ms, data: None, bits_flipped: 0 };
+        }
+        let mut data = bytes.to_vec();
+        let bits_flipped = self.corrupt(&mut data);
+        Delivery { arrive_ms, serialize_ms, data: Some(data), bits_flipped }
+    }
+
+    /// Applies independent bit flips at the configured BER. The flip
+    /// count is sampled once (Poisson approximation of the binomial —
+    /// exact enough for BER ≤ 1e-3) so megabyte frames don't cost a
+    /// random draw per bit.
+    fn corrupt(&mut self, data: &mut [u8]) -> u32 {
+        let ber = self.cfg.bit_error_rate;
+        if ber <= 0.0 || data.is_empty() {
+            return 0;
+        }
+        let bits = data.len() as f64 * 8.0;
+        let flips = self.sample_poisson(bits * ber);
+        for _ in 0..flips {
+            let bit = self.rng.gen_range(0..data.len() * 8);
+            data[bit / 8] ^= 1 << (bit % 8);
+        }
+        flips
+    }
+
+    /// Knuth's product method; `lambda` is tiny here (expected flips per
+    /// frame), so the loop terminates after a couple of iterations.
+    fn sample_poisson(&mut self, lambda: f64) -> u32 {
+        let threshold = (-lambda).exp();
+        let mut product: f64 = self.rng.gen();
+        let mut count = 0u32;
+        while product > threshold {
+            product *= self.rng.gen::<f64>();
+            count += 1;
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64) -> ChannelConfig {
+        ChannelConfig {
+            drop_prob: 0.2,
+            bit_error_rate: 1e-4,
+            reorder_prob: 0.1,
+            bandwidth_bps: 12.5e6,
+            bandwidth_swing: 0.3,
+            latency_ms: 5.0,
+            seed,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_story() {
+        let mut a = LossyChannel::new(cfg(9));
+        let mut b = LossyChannel::new(cfg(9));
+        let frame = vec![0xAB; 4096];
+        for i in 0..50 {
+            let da = a.transmit(&frame, f64::from(i) * 10.0);
+            let db = b.transmit(&frame, f64::from(i) * 10.0);
+            assert_eq!(da.data, db.data, "transmission {i} diverged");
+            assert!((da.arrive_ms - db.arrive_ms).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn drop_rate_tracks_configuration() {
+        let mut ch = LossyChannel::new(ChannelConfig { drop_prob: 0.25, ..cfg(3) });
+        let frame = vec![1u8; 64];
+        let dropped = (0..4000).filter(|_| ch.transmit(&frame, 0.0).data.is_none()).count();
+        let rate = dropped as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.04, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn ber_flips_roughly_expected_bits() {
+        let mut ch = LossyChannel::new(ChannelConfig {
+            drop_prob: 0.0,
+            bit_error_rate: 1e-4,
+            ..cfg(4)
+        });
+        let frame = vec![0u8; 10_000]; // 80k bits -> ~8 flips expected
+        let mut total = 0u32;
+        for _ in 0..100 {
+            total += ch.transmit(&frame, 0.0).bits_flipped;
+        }
+        assert!((400..=1_600).contains(&total), "{total} flips over 100 frames");
+    }
+
+    #[test]
+    fn clean_channel_is_transparent_and_bandwidth_limited() {
+        let mut ch = LossyChannel::new(ChannelConfig::default());
+        let frame = vec![7u8; 12_500]; // 1 ms at 12.5 MB/s
+        let d = ch.transmit(&frame, 100.0);
+        assert_eq!(d.data.as_deref(), Some(&frame[..]));
+        assert!((d.arrive_ms - 106.0).abs() < 1e-9, "arrival {}", d.arrive_ms);
+    }
+
+    #[test]
+    fn bandwidth_swings_around_base() {
+        let ch = LossyChannel::new(ChannelConfig {
+            bandwidth_swing: 0.5,
+            ..ChannelConfig::default()
+        });
+        let base = ChannelConfig::default().bandwidth_bps;
+        let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+        for t in 0..200 {
+            let bw = ch.bandwidth_at(f64::from(t) * 25.0);
+            lo = lo.min(bw);
+            hi = hi.max(bw);
+        }
+        assert!(lo < 0.6 * base && hi > 1.4 * base, "swing [{lo}, {hi}]");
+    }
+}

@@ -1,0 +1,232 @@
+//! The edge-side encryptor with an on-device fault countermeasure.
+//!
+//! SASTA-style fault attacks (paper §VI, \[30\]) break HHE schemes with
+//! a *single* transient datapath fault: a corrupted keystream block that
+//! leaves the device hands the attacker a plaintext/faulty-ciphertext
+//! pair. The countermeasure therefore belongs **on the device, before
+//! the link**: every keystream block is computed under one of the
+//! `pasta_hw::fault` redundancy schemes, and a detected fault triggers
+//! an on-device recomputation — the corrupted block is never
+//! transmitted. The session layer sees only clean blocks plus a
+//! `faults_detected` counter.
+
+use crate::error::PipelineError;
+use crate::pack::pack_bits;
+use pasta_core::{PastaParams, SecretKey};
+use pasta_hw::fault::{protected_keystream, Countermeasure, FaultSpec};
+
+/// A transient fault scheduled against a specific block of a specific
+/// video frame (the deterministic injection hook for tests and the CLI).
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduledFault {
+    /// Video frame to strike.
+    pub frame_id: u32,
+    /// PASTA block counter within the frame.
+    pub counter: u64,
+    /// The datapath fault to inject.
+    pub fault: FaultSpec,
+}
+
+/// On-device recomputation budget per block: beyond this many detected
+/// faults the fault is treated as permanent (redundancy can only detect,
+/// not mask, a stuck-at datapath).
+const MAX_RECOMPUTES: u32 = 4;
+
+/// The edge device: PASTA cipher + fault countermeasure.
+#[derive(Debug)]
+pub struct EdgeEncryptor {
+    params: PastaParams,
+    key: SecretKey,
+    countermeasure: Countermeasure,
+    scheduled: Vec<ScheduledFault>,
+    /// Faults detected (and masked by recomputation) on this device.
+    pub faults_detected: u64,
+    /// Injected faults the configured countermeasure did *not* cover —
+    /// the corrupted block left the device (the SASTA scenario).
+    pub faults_escaped: u64,
+}
+
+impl EdgeEncryptor {
+    /// Creates a device with the given countermeasure.
+    #[must_use]
+    pub fn new(params: PastaParams, key: SecretKey, countermeasure: Countermeasure) -> Self {
+        EdgeEncryptor {
+            params,
+            key,
+            countermeasure,
+            scheduled: Vec::new(),
+            faults_detected: 0,
+            faults_escaped: 0,
+        }
+    }
+
+    /// The parameter set.
+    #[must_use]
+    pub fn params(&self) -> &PastaParams {
+        &self.params
+    }
+
+    /// The secret key (the cloud-verification side of the simulation
+    /// shares it; a real deployment would not).
+    #[must_use]
+    pub fn key(&self) -> &SecretKey {
+        &self.key
+    }
+
+    /// Schedules a transient fault.
+    pub fn schedule_fault(&mut self, fault: ScheduledFault) {
+        self.scheduled.push(fault);
+    }
+
+    /// Encrypts one video frame under `nonce`, computing every keystream
+    /// block through the fault countermeasure. Returns the ciphertext
+    /// *elements* (the session layer packs and frames them).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::PersistentFault`] if a block keeps failing
+    /// detection beyond the recomputation budget (cannot happen for the
+    /// transient faults the simulator schedules — by definition they do
+    /// not recur).
+    pub fn encrypt_frame(
+        &mut self,
+        frame_id: u32,
+        nonce: u128,
+        pixels: &[u64],
+    ) -> Result<Vec<u64>, PipelineError> {
+        let t = self.params.t();
+        let p = self.params.modulus().value();
+        let mut ct = Vec::with_capacity(pixels.len());
+        for (counter, block) in pixels.chunks(t).enumerate() {
+            let counter = counter as u64;
+            let fault = self
+                .scheduled
+                .iter()
+                .find(|s| s.frame_id == frame_id && s.counter == counter)
+                .map(|s| s.fault);
+            let ks = self.protected_block(nonce, counter, fault)?;
+            for (&m, &k) in block.iter().zip(ks.iter()) {
+                ct.push((m + k) % p);
+            }
+        }
+        Ok(ct)
+    }
+
+    /// Convenience: encrypt and bit-pack a whole frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EdgeEncryptor::encrypt_frame`] failures.
+    pub fn encrypt_frame_packed(
+        &mut self,
+        frame_id: u32,
+        nonce: u128,
+        pixels: &[u64],
+    ) -> Result<Vec<u8>, PipelineError> {
+        let elements = self.encrypt_frame(frame_id, nonce, pixels)?;
+        Ok(pack_bits(&elements, self.params.modulus().bits()))
+    }
+
+    /// One keystream block through the countermeasure, recomputing on
+    /// detection (transient faults do not recur).
+    fn protected_block(
+        &mut self,
+        nonce: u128,
+        counter: u64,
+        fault: Option<FaultSpec>,
+    ) -> Result<Vec<u64>, PipelineError> {
+        let mut injected = fault;
+        for _attempt in 0..MAX_RECOMPUTES {
+            match protected_keystream(
+                &self.params,
+                &self.key,
+                nonce,
+                counter,
+                injected.as_ref(),
+                self.countermeasure,
+            )? {
+                Some(ks) => {
+                    if injected.is_some() {
+                        // The countermeasure did not cover this fault
+                        // class: the faulty block is about to leave the
+                        // device. Count it — the e2e tests assert this
+                        // stays zero under MaterialRedundancy for
+                        // DataGen faults.
+                        self.faults_escaped += 1;
+                    }
+                    return Ok(ks);
+                }
+                None => {
+                    self.faults_detected += 1;
+                    injected = None; // transient: gone on recomputation
+                }
+            }
+        }
+        Err(PipelineError::PersistentFault { counter, attempts: MAX_RECOMPUTES })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_core::PastaCipher;
+    use pasta_hw::fault::FaultTarget;
+    use pasta_math::Modulus;
+
+    fn setup(cm: Countermeasure) -> EdgeEncryptor {
+        let params = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap();
+        let key = SecretKey::from_seed(&params, b"edge");
+        EdgeEncryptor::new(params, key, cm)
+    }
+
+    fn seed_fault(frame_id: u32, counter: u64) -> ScheduledFault {
+        ScheduledFault {
+            frame_id,
+            counter,
+            fault: FaultSpec {
+                target: FaultTarget::MatrixSeed { layer: 0, left: true, index: 1 },
+                mask: 0x2A,
+            },
+        }
+    }
+
+    #[test]
+    fn clean_frames_match_the_reference_cipher() {
+        let mut edge = setup(Countermeasure::MaterialRedundancy);
+        let pixels: Vec<u64> = (0..10).collect();
+        let ct = edge.encrypt_frame(0, 77, &pixels).unwrap();
+        let reference = PastaCipher::new(*edge.params(), edge.key().clone())
+            .encrypt(77, &pixels)
+            .unwrap();
+        assert_eq!(ct, reference.elements());
+        assert_eq!(edge.faults_detected, 0);
+        assert_eq!(edge.faults_escaped, 0);
+    }
+
+    #[test]
+    fn covered_fault_is_detected_and_masked() {
+        let mut edge = setup(Countermeasure::MaterialRedundancy);
+        edge.schedule_fault(seed_fault(3, 1));
+        let pixels: Vec<u64> = (0..10).collect();
+        let ct = edge.encrypt_frame(3, 9, &pixels).unwrap();
+        // Detected once, recomputed, output clean.
+        assert_eq!(edge.faults_detected, 1);
+        assert_eq!(edge.faults_escaped, 0);
+        let reference =
+            PastaCipher::new(*edge.params(), edge.key().clone()).encrypt(9, &pixels).unwrap();
+        assert_eq!(ct, reference.elements());
+    }
+
+    #[test]
+    fn uncovered_fault_escapes_and_corrupts() {
+        let mut edge = setup(Countermeasure::None);
+        edge.schedule_fault(seed_fault(0, 0));
+        let pixels: Vec<u64> = (0..10).collect();
+        let ct = edge.encrypt_frame(0, 5, &pixels).unwrap();
+        assert_eq!(edge.faults_detected, 0);
+        assert_eq!(edge.faults_escaped, 1);
+        let reference =
+            PastaCipher::new(*edge.params(), edge.key().clone()).encrypt(5, &pixels).unwrap();
+        assert_ne!(ct, reference.elements(), "an unprotected fault must corrupt the block");
+    }
+}

@@ -1,0 +1,136 @@
+//! The pipeline error taxonomy.
+//!
+//! Every failure mode of the edge→cloud session layer gets a structured
+//! variant, so callers (the CLI, the benches, the cloud service this
+//! grows into) can distinguish *retryable* link conditions from
+//! *configuration* problems from *cryptographic* failures — instead of
+//! unwinding through `unwrap()` as the seed code did.
+
+use crate::wire::FrameError;
+use pasta_core::PastaError;
+use pasta_fhe::FheError;
+use std::fmt;
+
+/// Any failure of the resilient transciphering pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// A symmetric-cipher failure (bad key material, non-canonical
+    /// elements).
+    Cipher(PastaError),
+    /// An FHE-side failure during transciphering.
+    Fhe(FheError),
+    /// A wire-protocol decode failure that was *not* recoverable by
+    /// retransmission (e.g. a malformed frame built locally).
+    Frame(FrameError),
+    /// The noise-budget guard predicts the transciphering circuit would
+    /// exhaust the BFV noise budget: transciphering is refused rather
+    /// than silently producing garbage.
+    NoiseBudget {
+        /// Predicted remaining budget (bits) at circuit end.
+        predicted_bits: f64,
+        /// Budget margin (bits) the receiver requires.
+        required_bits: f64,
+        /// The RNS prime count of the rejected parameter set.
+        prime_count: usize,
+        /// The smallest prime count the model predicts would survive.
+        suggested_prime_count: usize,
+    },
+    /// A wire frame exhausted its retransmission budget.
+    RetriesExhausted {
+        /// The video frame the wire frame belonged to.
+        frame_id: u32,
+        /// First block counter of the abandoned wire frame.
+        counter_base: u32,
+        /// Attempts made (initial send + retransmissions).
+        attempts: u32,
+    },
+    /// The edge device's fault countermeasure kept detecting faults on
+    /// the same block beyond the recomputation budget (a *permanent*
+    /// fault, which redundancy cannot mask).
+    PersistentFault {
+        /// The affected block counter.
+        counter: u64,
+        /// On-device recomputations attempted.
+        attempts: u32,
+    },
+    /// Invalid session configuration.
+    Config(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Cipher(e) => write!(f, "cipher error: {e}"),
+            PipelineError::Fhe(e) => write!(f, "FHE error: {e}"),
+            PipelineError::Frame(e) => write!(f, "wire frame error: {e}"),
+            PipelineError::NoiseBudget {
+                predicted_bits,
+                required_bits,
+                prime_count,
+                suggested_prime_count,
+            } => write!(
+                f,
+                "noise-budget guard: predicted {predicted_bits:.1} bits of budget \
+                 (< required {required_bits:.1}) with {prime_count} RNS primes; \
+                 use at least {suggested_prime_count} primes"
+            ),
+            PipelineError::RetriesExhausted { frame_id, counter_base, attempts } => write!(
+                f,
+                "frame {frame_id} (blocks from {counter_base}): \
+                 gave up after {attempts} attempts"
+            ),
+            PipelineError::PersistentFault { counter, attempts } => write!(
+                f,
+                "block {counter}: fault detected on every one of {attempts} \
+                 recomputations (permanent fault?)"
+            ),
+            PipelineError::Config(msg) => write!(f, "pipeline config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<PastaError> for PipelineError {
+    fn from(e: PastaError) -> Self {
+        PipelineError::Cipher(e)
+    }
+}
+
+impl From<FheError> for PipelineError {
+    fn from(e: FheError) -> Self {
+        PipelineError::Fhe(e)
+    }
+}
+
+impl From<FrameError> for PipelineError {
+    fn from(e: FrameError) -> Self {
+        PipelineError::Frame(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_suggested_prime_count() {
+        let e = PipelineError::NoiseBudget {
+            predicted_bits: 0.0,
+            required_bits: 12.0,
+            prime_count: 2,
+            suggested_prime_count: 5,
+        };
+        let text = e.to_string();
+        assert!(text.contains("at least 5 primes"), "{text}");
+        assert!(text.contains("2 RNS primes"), "{text}");
+    }
+
+    #[test]
+    fn conversions_wrap_sources() {
+        let e: PipelineError = PastaError::ElementOutOfRange(9).into();
+        assert!(matches!(e, PipelineError::Cipher(_)));
+        let e: PipelineError = FheError::NoiseBudgetExhausted.into();
+        assert!(matches!(e, PipelineError::Fhe(_)));
+    }
+}

@@ -1,0 +1,96 @@
+//! Bit-packing of field elements — the same `⌈log2 p⌉`-bits-per-element
+//! wire layout as `pasta_core::Ciphertext::to_packed_bytes`, exposed for
+//! per-chunk packing (a wire frame carries whole ciphertext blocks, not
+//! necessarily a whole video frame).
+
+use pasta_core::{Ciphertext, PastaError, PastaParams};
+
+/// Packs elements LSB-first at `bits` per element.
+#[must_use]
+pub fn pack_bits(elements: &[u64], bits: u32) -> Vec<u8> {
+    let bits = bits as usize;
+    let mut out = vec![0u8; (elements.len() * bits).div_ceil(8)];
+    for (i, &value) in elements.iter().enumerate() {
+        for b in 0..bits {
+            if (value >> b) & 1 == 1 {
+                let pos = i * bits + b;
+                out[pos / 8] |= 1 << (pos % 8);
+            }
+        }
+    }
+    out
+}
+
+/// Unpacks `count` elements at `bits` per element.
+#[must_use]
+pub fn unpack_bits(bytes: &[u8], bits: u32, count: usize) -> Vec<u64> {
+    let bits = bits as usize;
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let mut value = 0u64;
+        for b in 0..bits {
+            let pos = i * bits + b;
+            if pos / 8 < bytes.len() && (bytes[pos / 8] >> (pos % 8)) & 1 == 1 {
+                value |= 1 << b;
+            }
+        }
+        out.push(value);
+    }
+    out
+}
+
+/// Number of whole elements a packed byte buffer holds (the padding in
+/// the final byte is under 8 bits, and elements are ≥ 17 bits wide, so
+/// the count is unambiguous).
+#[must_use]
+pub fn elements_in(bytes_len: usize, bits: u32) -> usize {
+    bytes_len * 8 / bits as usize
+}
+
+/// Rebuilds a [`pasta_core::Ciphertext`] from raw elements, via the
+/// canonical wire format (validates canonicity as a side effect).
+///
+/// # Errors
+///
+/// [`PastaError::ElementOutOfRange`] when an element is not a canonical
+/// residue.
+pub fn ciphertext_from_elements(
+    params: &PastaParams,
+    nonce: u128,
+    elements: &[u64],
+) -> Result<Ciphertext, PastaError> {
+    let packed = pack_bits(elements, params.modulus().bits());
+    Ciphertext::from_packed_bytes(params, nonce, &packed, elements.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let elements = vec![0u64, 1, 65_536, 12_345, 99_999];
+        for bits in [17u32, 33, 54] {
+            let packed = pack_bits(&elements, bits);
+            assert_eq!(packed.len(), (elements.len() * bits as usize).div_ceil(8));
+            assert_eq!(unpack_bits(&packed, bits, elements.len()), elements);
+            assert_eq!(elements_in(packed.len(), bits), elements.len());
+        }
+    }
+
+    #[test]
+    fn matches_core_wire_format() {
+        let params = PastaParams::pasta4_17bit();
+        let cipher = pasta_core::PastaCipher::new(
+            params,
+            pasta_core::SecretKey::from_seed(&params, b"pack"),
+        );
+        let ct = cipher.encrypt(3, &[5, 6, 7, 8, 9]).unwrap();
+        assert_eq!(
+            pack_bits(ct.elements(), params.modulus().bits()),
+            ct.to_packed_bytes(&params)
+        );
+        let rebuilt = ciphertext_from_elements(&params, 3, ct.elements()).unwrap();
+        assert_eq!(rebuilt, ct);
+    }
+}

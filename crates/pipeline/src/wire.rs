@@ -1,0 +1,284 @@
+//! The framed wire protocol of the session layer.
+//!
+//! PASTA ciphertext blocks travel the lossy link inside self-describing
+//! frames, so the receiver can (a) detect corruption before feeding
+//! bytes to the transciphering circuit, and (b) reassemble a video frame
+//! from independently retransmittable chunks. Layout (little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic "PE"
+//! 2       1     version (1)
+//! 3       1     kind (0 = Data, 1 = Ack, 2 = Nack)
+//! 4       16    PASTA nonce of the video frame
+//! 20      4     video frame id
+//! 24      4     block counter base (PASTA counter of the first block)
+//! 28      4     payload length in bytes
+//! 32      len   payload (whole ciphertext blocks)
+//! 32+len  4     CRC-32 over everything before it
+//! ```
+//!
+//! Every decode failure is a typed [`FrameError`]; the session layer
+//! maps them to nack-and-retransmit, never to a panic.
+
+use crate::crc::crc32;
+use std::fmt;
+
+/// Frame magic: "PE" (Pasta/Edge).
+pub const MAGIC: [u8; 2] = *b"PE";
+/// Wire protocol version.
+pub const VERSION: u8 = 1;
+/// Fixed header length in bytes (before payload).
+pub const HEADER_LEN: usize = 32;
+/// Trailing CRC length in bytes.
+pub const CRC_LEN: usize = 4;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Ciphertext blocks, edge → cloud.
+    Data,
+    /// Positive acknowledgement, cloud → edge.
+    Ack,
+    /// Negative acknowledgement (corruption detected), cloud → edge.
+    Nack,
+}
+
+impl FrameKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameKind::Data => 0,
+            FrameKind::Ack => 1,
+            FrameKind::Nack => 2,
+        }
+    }
+
+    fn from_byte(byte: u8) -> Result<Self, FrameError> {
+        match byte {
+            0 => Ok(FrameKind::Data),
+            1 => Ok(FrameKind::Ack),
+            2 => Ok(FrameKind::Nack),
+            other => Err(FrameError::UnknownKind(other)),
+        }
+    }
+}
+
+/// Wire-frame decode failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than header + CRC.
+    TooShort {
+        /// Bytes received.
+        got: usize,
+    },
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown frame kind byte.
+    UnknownKind(u8),
+    /// Buffer length disagrees with the length field.
+    LengthMismatch {
+        /// Length the header claims the whole frame has.
+        expected: usize,
+        /// Bytes actually received.
+        got: usize,
+    },
+    /// CRC-32 check failed — the frame was corrupted in flight.
+    CrcMismatch {
+        /// CRC carried by the frame.
+        stored: u32,
+        /// CRC computed over the received bytes.
+        computed: u32,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooShort { got } => write!(f, "frame too short: {got} bytes"),
+            FrameError::BadMagic => write!(f, "bad magic bytes"),
+            FrameError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::LengthMismatch { expected, got } => {
+                write!(f, "length mismatch: header says {expected} bytes, got {got}")
+            }
+            FrameError::CrcMismatch { stored, computed } => {
+                write!(f, "CRC mismatch: stored {stored:08x}, computed {computed:08x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One frame of the session layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFrame {
+    /// What the frame carries.
+    pub kind: FrameKind,
+    /// PASTA nonce of the video frame the payload belongs to.
+    pub nonce: u128,
+    /// Video frame id.
+    pub frame_id: u32,
+    /// PASTA counter of the first ciphertext block in the payload.
+    pub counter_base: u32,
+    /// Ciphertext bytes (empty for Ack/Nack).
+    pub payload: Vec<u8>,
+}
+
+impl WireFrame {
+    /// Builds a data frame.
+    #[must_use]
+    pub fn data(nonce: u128, frame_id: u32, counter_base: u32, payload: Vec<u8>) -> Self {
+        WireFrame { kind: FrameKind::Data, nonce, frame_id, counter_base, payload }
+    }
+
+    /// Builds the acknowledgement for a received data frame.
+    #[must_use]
+    pub fn ack(of: &WireFrame) -> Self {
+        WireFrame {
+            kind: FrameKind::Ack,
+            nonce: of.nonce,
+            frame_id: of.frame_id,
+            counter_base: of.counter_base,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Builds a negative acknowledgement for a (possibly undecodable)
+    /// frame; the sender matches it against its in-flight frame.
+    #[must_use]
+    pub fn nack(frame_id: u32, counter_base: u32) -> Self {
+        WireFrame {
+            kind: FrameKind::Nack,
+            nonce: 0,
+            frame_id,
+            counter_base,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Serialized size in bytes.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + self.payload.len() + CRC_LEN
+    }
+
+    /// Encodes the frame: header, payload, trailing CRC-32.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.kind.to_byte());
+        out.extend_from_slice(&self.nonce.to_le_bytes());
+        out.extend_from_slice(&self.frame_id.to_le_bytes());
+        out.extend_from_slice(&self.counter_base.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes and integrity-checks a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FrameError`] describing the first check that failed;
+    /// any in-flight corruption surfaces as *some* error (the property
+    /// tests assert single-bit-flip coverage).
+    pub fn decode(bytes: &[u8]) -> Result<Self, FrameError> {
+        if bytes.len() < HEADER_LEN + CRC_LEN {
+            return Err(FrameError::TooShort { got: bytes.len() });
+        }
+        // CRC first: a corrupted length field must not redirect the
+        // check window.
+        let payload_len =
+            u32::from_le_bytes([bytes[28], bytes[29], bytes[30], bytes[31]]) as usize;
+        let expected_total = HEADER_LEN + payload_len + CRC_LEN;
+        if bytes.len() != expected_total {
+            return Err(FrameError::LengthMismatch { expected: expected_total, got: bytes.len() });
+        }
+        let body = &bytes[..bytes.len() - CRC_LEN];
+        let stored = u32::from_le_bytes([
+            bytes[bytes.len() - 4],
+            bytes[bytes.len() - 3],
+            bytes[bytes.len() - 2],
+            bytes[bytes.len() - 1],
+        ]);
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(FrameError::CrcMismatch { stored, computed });
+        }
+        if bytes[..2] != MAGIC {
+            return Err(FrameError::BadMagic);
+        }
+        if bytes[2] != VERSION {
+            return Err(FrameError::BadVersion(bytes[2]));
+        }
+        let kind = FrameKind::from_byte(bytes[3])?;
+        let mut nonce_bytes = [0u8; 16];
+        nonce_bytes.copy_from_slice(&bytes[4..20]);
+        Ok(WireFrame {
+            kind,
+            nonce: u128::from_le_bytes(nonce_bytes),
+            frame_id: u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]),
+            counter_base: u32::from_le_bytes([bytes[24], bytes[25], bytes[26], bytes[27]]),
+            payload: bytes[32..32 + payload_len].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WireFrame {
+        WireFrame::data(0xDEAD_BEEF_0123, 7, 600, vec![1, 2, 3, 4, 5, 6, 7, 8])
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let frame = sample();
+        assert_eq!(WireFrame::decode(&frame.encode()).unwrap(), frame);
+        let ack = WireFrame::ack(&frame);
+        assert_eq!(WireFrame::decode(&ack.encode()).unwrap(), ack);
+        let nack = WireFrame::nack(7, 600);
+        assert_eq!(WireFrame::decode(&nack.encode()).unwrap(), nack);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let encoded = sample().encode();
+        for byte in 0..encoded.len() {
+            for bit in 0..8 {
+                let mut bad = encoded.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    WireFrame::decode(&bad).is_err(),
+                    "flip at {byte}:{bit} slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_typed_errors() {
+        assert!(matches!(WireFrame::decode(&[]), Err(FrameError::TooShort { got: 0 })));
+        let encoded = sample().encode();
+        assert!(matches!(
+            WireFrame::decode(&encoded[..encoded.len() - 1]),
+            Err(FrameError::LengthMismatch { .. })
+        ));
+        let mut wrong_version = encoded.clone();
+        wrong_version[2] = 9;
+        // Version flip also breaks the CRC; rebuild the CRC to reach the
+        // version check itself.
+        let body_len = wrong_version.len() - CRC_LEN;
+        let crc = crate::crc::crc32(&wrong_version[..body_len]).to_le_bytes();
+        wrong_version[body_len..].copy_from_slice(&crc);
+        assert!(matches!(WireFrame::decode(&wrong_version), Err(FrameError::BadVersion(9))));
+    }
+}

@@ -14,7 +14,9 @@
 //! - [`fhe`] — a from-scratch BFV substrate;
 //! - [`hhe`] — the end-to-end hybrid homomorphic encryption protocol;
 //! - [`soc`] — an RV32IM SoC simulator with the PASTA peripheral;
-//! - [`rasta`] — a binary HHE cipher for the binary-vs-integer study.
+//! - [`rasta`] — a binary HHE cipher for the binary-vs-integer study;
+//! - [`pipeline`] — the fault-tolerant edge→cloud transciphering
+//!   pipeline over a simulated lossy link.
 //!
 //! # Examples
 //!
@@ -37,5 +39,6 @@ pub use pasta_hhe as hhe;
 pub use pasta_hw as hw;
 pub use pasta_keccak as keccak;
 pub use pasta_math as math;
+pub use pasta_pipeline as pipeline;
 pub use pasta_rasta as rasta;
 pub use pasta_soc as soc;

@@ -4,6 +4,7 @@
 use pasta_edge::cipher::{PastaCipher, PastaParams, SecretKey};
 use pasta_edge::hw::PastaProcessor;
 use pasta_edge::math::{linalg::Matrix, Modulus, Zp};
+use pasta_edge::pipeline::WireFrame;
 use proptest::prelude::*;
 
 proptest! {
@@ -77,6 +78,32 @@ proptest! {
         let sa = PastaCipher::new(params, ka).keystream_block(1, 0).unwrap();
         let sb = PastaCipher::new(params, kb).keystream_block(1, 0).unwrap();
         prop_assert_ne!(sa, sb);
+    }
+
+    /// The pipeline wire protocol round-trips any payload exactly.
+    #[test]
+    fn prop_wire_frame_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..256),
+                                 nonce in any::<u128>(),
+                                 frame_id in any::<u32>(),
+                                 counter_base in any::<u32>()) {
+        let frame = WireFrame::data(nonce, frame_id, counter_base, payload);
+        let decoded = WireFrame::decode(&frame.encode()).unwrap();
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Any single-bit flip anywhere in an encoded wire frame is detected:
+    /// the decoder must reject it, never hand back different content.
+    #[test]
+    fn prop_wire_single_bit_flip_detected(payload in proptest::collection::vec(any::<u8>(), 0..128),
+                                          nonce in any::<u128>(),
+                                          frame_id in any::<u32>(),
+                                          flip in any::<u32>()) {
+        let frame = WireFrame::data(nonce, frame_id, 0, payload);
+        let mut encoded = frame.encode();
+        let bit = flip as usize % (encoded.len() * 8);
+        encoded[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(WireFrame::decode(&encoded).is_err(),
+                     "flip of bit {} went undetected", bit);
     }
 
     /// The full permutation (pre-truncation) is injective in the key for
