@@ -1,0 +1,219 @@
+//! Machine-readable perf baseline for the transciphering hot path.
+//!
+//! Measures the NTT forward+inverse kernel and the scalar/batched
+//! transciphering servers, then renders `BENCH_ntt.json` and
+//! `BENCH_transcipher.json` via [`pasta_bench::report::BenchReport`].
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_hotpath --phase before          # record pre-optimization baseline
+//! bench_hotpath --phase after           # re-measure, merge committed baseline
+//! bench_hotpath --phase after --quick   # CI smoke mode (short windows)
+//! bench_hotpath --out-dir target/bench  # write JSON elsewhere (default .)
+//! ```
+//!
+//! The `after` phase re-reads any existing JSON in the output directory
+//! and carries its `before` entries forward, so the committed files hold
+//! before/after pairs plus computed speedup factors.
+
+use pasta_bench::report::BenchReport;
+use pasta_core::PastaParams;
+use pasta_fhe::ntt::NttTable;
+use pasta_fhe::{BfvContext, BfvParams};
+use pasta_hhe::{provision_batched_key, BatchedHheServer, HheClient, HheServer};
+use pasta_math::Modulus;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Options {
+    phase: String,
+    quick: bool,
+    out_dir: String,
+}
+
+fn parse_args() -> Options {
+    let mut opts =
+        Options { phase: "after".to_string(), quick: false, out_dir: ".".to_string() };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--phase" => opts.phase = args.next().unwrap_or_else(|| "after".to_string()),
+            "--quick" => opts.quick = true,
+            "--out-dir" => {
+                if let Some(d) = args.next() {
+                    opts.out_dir = d;
+                }
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.phase != "before" && opts.phase != "after" {
+        eprintln!("--phase must be 'before' or 'after', got '{}'", opts.phase);
+        std::process::exit(2);
+    }
+    opts
+}
+
+/// Times `f`, calibrating the iteration count to roughly fill
+/// `window_ms` of wall clock. Returns ns/iter.
+fn time_ns<F: FnMut()>(window_ms: u64, mut f: F) -> f64 {
+    f(); // warm-up
+    let probe = Instant::now();
+    f();
+    let per_call = probe.elapsed().as_nanos().max(1);
+    let iters = ((u128::from(window_ms) * 1_000_000) / per_call).clamp(1, 1_000_000) as u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn bench_ntt(report: &mut BenchReport, phase: &str, quick: bool) {
+    let window = if quick { 30 } else { 400 };
+    let cases: &[(&str, Modulus, usize)] = &[
+        ("ntt_fwd_inv/60bit/n=1024", Modulus::NTT_60_BIT, 1024),
+        ("ntt_fwd_inv/60bit/n=4096", Modulus::NTT_60_BIT, 4096),
+        ("ntt_fwd_inv/17bit/n=1024", Modulus::PASTA_17_BIT, 1024),
+    ];
+    for &(id, modulus, n) in cases {
+        let table = NttTable::new(modulus, n).expect("NTT table");
+        let p = table.zp().p();
+        let mut buf: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9) % p).collect();
+        let ns = time_ns(window, || {
+            table.forward(black_box(&mut buf));
+            table.inverse(black_box(&mut buf));
+        });
+        println!("{id}: {ns:.0} ns/iter [{phase}]");
+        report.push(id, phase, ns);
+    }
+}
+
+fn bench_transcipher(report: &mut BenchReport, phase: &str, quick: bool) {
+    let pasta = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).expect("params");
+    let t = pasta.t();
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+
+    // Scalar server (the pipeline crate's per-frame path).
+    let ctx = BfvContext::new(BfvParams::test_tiny()).expect("context");
+    let sk = ctx.generate_secret_key(&mut rng);
+    let pk = ctx.generate_public_key(&sk, &mut rng);
+    let relin = ctx.generate_relin_key(&sk, &mut rng);
+    let client = HheClient::new(pasta, b"bench hotpath");
+    let scalar = HheServer::new(pasta, relin.clone(), client.provision_key(&ctx, &pk, &mut rng))
+        .expect("scalar server");
+    let message: Vec<u64> = (0..(2 * t) as u64).map(|i| (i * 991 + 5) % 65_537).collect();
+
+    let reps: u64 = if quick { 1 } else { 3 };
+    // Cold: a fresh nonce every call, so per-block material can never be
+    // reused across iterations.
+    let mut nonce = 0x1000u128;
+    let warm_up = client.encrypt(nonce, &message).expect("encrypt");
+    black_box(scalar.transcipher(&ctx, &warm_up).expect("transcipher"));
+    let start = Instant::now();
+    for _ in 0..reps {
+        nonce += 1;
+        let ct = client.encrypt(nonce, &message).expect("encrypt");
+        black_box(scalar.transcipher(&ctx, &ct).expect("transcipher"));
+    }
+    let scalar_cold = start.elapsed().as_nanos() as f64 / reps as f64;
+    println!("transcipher/scalar/2blocks/cold: {scalar_cold:.0} ns/iter [{phase}]");
+    report.push("transcipher/scalar/2blocks/cold", phase, scalar_cold);
+
+    // Warm: repeated nonce — models the pipeline crate's ARQ
+    // retransmissions, where the same frame is transciphered again.
+    let warm_ct = client.encrypt(0xF1F1, &message).expect("encrypt");
+    black_box(scalar.transcipher(&ctx, &warm_ct).expect("transcipher"));
+    let start = Instant::now();
+    for _ in 0..reps {
+        black_box(scalar.transcipher(&ctx, &warm_ct).expect("transcipher"));
+    }
+    let scalar_warm = start.elapsed().as_nanos() as f64 / reps as f64;
+    println!("transcipher/scalar/2blocks/warm: {scalar_warm:.0} ns/iter [{phase}]");
+    report.push("transcipher/scalar/2blocks/warm", phase, scalar_warm);
+
+    // Batched server: 8 blocks per SIMD pass (extra prime for the
+    // batched noise growth, mirroring the batched server tests).
+    let bctx = BfvContext::new(BfvParams { prime_count: 5, ..BfvParams::test_tiny() })
+        .expect("context");
+    let bsk = bctx.generate_secret_key(&mut rng);
+    let bpk = bctx.generate_public_key(&bsk, &mut rng);
+    let brelin = bctx.generate_relin_key(&bsk, &mut rng);
+    let batched = BatchedHheServer::new(
+        pasta,
+        &bctx,
+        brelin,
+        provision_batched_key(client.cipher().key().elements(), &bctx, &bpk, &mut rng),
+    )
+    .expect("batched server");
+    let blocks = 8usize;
+    let long_message: Vec<u64> = (0..(t * blocks) as u64).map(|i| i % 65_537).collect();
+
+    let mut bnonce = 0x2000u128;
+    let mut run_batched = |fresh_nonce: bool| -> f64 {
+        let fixed = client.encrypt(0xAB42, &long_message).expect("encrypt");
+        black_box(batched.transcipher_batched(&bctx, &fixed).expect("transcipher"));
+        let start = Instant::now();
+        for _ in 0..reps {
+            let ct = if fresh_nonce {
+                bnonce += 1;
+                client.encrypt(bnonce, &long_message).expect("encrypt")
+            } else {
+                fixed.clone()
+            };
+            black_box(batched.transcipher_batched(&bctx, &ct).expect("transcipher"));
+        }
+        start.elapsed().as_nanos() as f64 / reps as f64
+    };
+    let batched_cold = run_batched(true);
+    println!("transcipher/batched/8blocks/cold: {batched_cold:.0} ns/iter [{phase}]");
+    report.push("transcipher/batched/8blocks/cold", phase, batched_cold);
+    let batched_warm = run_batched(false);
+    println!("transcipher/batched/8blocks/warm: {batched_warm:.0} ns/iter [{phase}]");
+    report.push("transcipher/batched/8blocks/warm", phase, batched_warm);
+}
+
+fn emit(report: &BenchReport, path: &str) {
+    std::fs::write(path, report.to_json()).expect("write bench report");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let opts = parse_args();
+    let ntt_path = format!("{}/BENCH_ntt.json", opts.out_dir);
+    let tc_path = format!("{}/BENCH_transcipher.json", opts.out_dir);
+
+    let mut ntt = BenchReport::new(
+        "ntt",
+        "negacyclic NTT forward+inverse, ns per roundtrip (single prime row)",
+    );
+    let mut tc = BenchReport::new(
+        "transcipher",
+        "HHE server transcipher wall time, ns per call (PASTA t=4 r=2, BFV N=256)",
+    );
+    if opts.phase == "after" {
+        if let Ok(prev) = std::fs::read_to_string(&ntt_path) {
+            ntt.merge_phase_from(&prev, "before");
+        }
+        if let Ok(prev) = std::fs::read_to_string(&tc_path) {
+            tc.merge_phase_from(&prev, "before");
+        }
+    }
+
+    bench_ntt(&mut ntt, &opts.phase, opts.quick);
+    emit(&ntt, &ntt_path);
+    bench_transcipher(&mut tc, &opts.phase, opts.quick);
+    emit(&tc, &tc_path);
+
+    for (name, report) in [("ntt", &ntt), ("transcipher", &tc)] {
+        for (id, factor) in report.speedups() {
+            println!("speedup [{name}] {id}: {factor:.2}x");
+        }
+    }
+}

@@ -97,9 +97,160 @@ pub fn paper_vs_measured(paper: f64, measured: f64) -> String {
     format!("{} vs {} ({dev:+.1}%)", fmt_f64(paper), fmt_f64(measured))
 }
 
+/// One measurement of a machine-readable benchmark report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Benchmark identifier, e.g. `ntt_fwd_inv/60bit/n=1024`.
+    pub id: String,
+    /// Measurement phase: `before` (pre-optimization baseline) or `after`.
+    pub phase: String,
+    /// Nanoseconds per iteration.
+    pub ns: f64,
+}
+
+/// A machine-readable benchmark report (`BENCH_*.json` trajectory files).
+///
+/// The format is deliberately line-oriented — one entry object per line —
+/// so the merge path can re-read committed baselines without a JSON
+/// dependency (the build environment is offline; see `vendor/`).
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Report name (`ntt`, `transcipher`, …).
+    pub bench: String,
+    /// Free-text description of what is measured.
+    pub description: String,
+    /// Entries, in insertion order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new(bench: impl Into<String>, description: impl Into<String>) -> Self {
+        BenchReport { bench: bench.into(), description: description.into(), entries: Vec::new() }
+    }
+
+    /// Appends one measurement, replacing any existing entry with the same
+    /// `(id, phase)` so re-runs update in place.
+    pub fn push(&mut self, id: impl Into<String>, phase: impl Into<String>, ns: f64) {
+        let (id, phase) = (id.into(), phase.into());
+        self.entries.retain(|e| !(e.id == id && e.phase == phase));
+        self.entries.push(BenchEntry { id, phase, ns });
+    }
+
+    /// Imports all entries of `phase` from a previously rendered report
+    /// (e.g. carry the committed `before` baseline into a fresh `after`
+    /// run). Unparsable lines are ignored.
+    pub fn merge_phase_from(&mut self, json: &str, phase: &str) {
+        for e in Self::parse_entries(json) {
+            if e.phase == phase {
+                self.push(e.id, e.phase, e.ns);
+            }
+        }
+    }
+
+    /// `before/after` speedup factors for every id present in both phases.
+    #[must_use]
+    pub fn speedups(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for e in &self.entries {
+            if e.phase != "after" {
+                continue;
+            }
+            if let Some(before) =
+                self.entries.iter().find(|b| b.phase == "before" && b.id == e.id)
+            {
+                if e.ns > 0.0 {
+                    out.push((e.id.clone(), before.ns / e.ns));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the report as JSON (one entry per line).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", self.bench));
+        out.push_str(&format!("  \"description\": \"{}\",\n", self.description));
+        out.push_str("  \"unit\": \"ns/iter\",\n");
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"phase\": \"{}\", \"ns\": {:.1}}}{comma}\n",
+                e.id, e.phase, e.ns
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"speedup\": [\n");
+        let ups = self.speedups();
+        for (i, (id, factor)) in ups.iter().enumerate() {
+            let comma = if i + 1 < ups.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"id\": \"{id}\", \"factor\": {factor:.2}}}{comma}\n"
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Extracts the `entries` objects from a rendered report. Tolerant:
+    /// scans line by line for the three known keys.
+    #[must_use]
+    pub fn parse_entries(json: &str) -> Vec<BenchEntry> {
+        fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+            let start = line.find(&format!("\"{key}\":"))? + key.len() + 3;
+            let rest = line[start..].trim_start();
+            let rest = rest.strip_prefix('"').unwrap_or(rest);
+            let end = rest.find(['"', ',', '}'])?;
+            Some(rest[..end].trim())
+        }
+        json.lines()
+            .filter(|l| l.contains("\"phase\"") && l.contains("\"ns\""))
+            .filter_map(|l| {
+                Some(BenchEntry {
+                    id: field(l, "id")?.to_string(),
+                    phase: field(l, "phase")?.to_string(),
+                    ns: field(l, "ns")?.parse().ok()?,
+                })
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_report_roundtrips_through_json() {
+        let mut r = BenchReport::new("ntt", "forward+inverse");
+        r.push("ntt/n=1024", "before", 1234.5);
+        r.push("ntt/n=1024", "after", 400.0);
+        r.push("ntt/n=4096", "before", 9000.0);
+        let json = r.to_json();
+        let parsed = BenchReport::parse_entries(&json);
+        assert_eq!(parsed, r.entries);
+        assert!(json.contains("\"factor\": 3.09"), "{json}");
+    }
+
+    #[test]
+    fn bench_report_push_replaces_and_merges() {
+        let mut old = BenchReport::new("x", "");
+        old.push("a", "before", 100.0);
+        old.push("a", "after", 50.0);
+        let mut fresh = BenchReport::new("x", "");
+        fresh.push("a", "after", 25.0);
+        fresh.merge_phase_from(&old.to_json(), "before");
+        assert_eq!(fresh.entries.len(), 2);
+        assert_eq!(fresh.speedups(), vec![("a".to_string(), 4.0)]);
+        // Re-pushing the same (id, phase) replaces.
+        fresh.push("a", "after", 20.0);
+        assert_eq!(fresh.entries.iter().filter(|e| e.phase == "after").count(), 1);
+    }
 
     #[test]
     fn table_renders_aligned() {

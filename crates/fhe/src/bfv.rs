@@ -267,8 +267,30 @@ impl BfvContext {
     }
 
     fn delta_times_plain(&self, pt: &Plaintext) -> RnsPoly {
-        RnsPoly::from_u64_coeffs(&self.basis, &pt.coeffs)
-            .mul_scalar_rns(&self.basis, &self.delta_rns)
+        let mut m = RnsPoly::from_u64_coeffs(&self.basis, &pt.coeffs);
+        m.mul_scalar_rns_assign(&self.basis, &self.delta_rns);
+        m
+    }
+
+    /// Pre-encodes a plaintext for repeated homomorphic use: the
+    /// NTT-domain polynomial (for multiplications) and `Δ·m` in
+    /// coefficient domain (for additions and trivial encryptions).
+    ///
+    /// The encode + forward-NTT cost is paid once here instead of on
+    /// every [`BfvContext::mul_plain`]/[`BfvContext::add_plain`] call —
+    /// the contract the `pasta-hhe` material cache is built on.
+    #[must_use]
+    pub fn prepare_plaintext(&self, pt: &Plaintext) -> PreparedPlaintext {
+        let mut ntt = RnsPoly::from_u64_coeffs(&self.basis, &pt.coeffs);
+        ntt.to_ntt(&self.basis);
+        PreparedPlaintext { ntt, delta_m: self.delta_times_plain(pt) }
+    }
+
+    /// [`BfvContext::encrypt_trivial`] from a prepared plaintext (no
+    /// re-encoding).
+    #[must_use]
+    pub fn encrypt_trivial_prepared(&self, prep: &PreparedPlaintext) -> Ciphertext {
+        Ciphertext { polys: vec![prep.delta_m.clone(), RnsPoly::zero(&self.basis)] }
     }
 
     /// Decrypts a ciphertext (2 or 3 components).
@@ -364,14 +386,93 @@ impl BfvContext {
         self.add(a, &neg)
     }
 
+    /// In-place homomorphic addition `a += b` — no per-component clones
+    /// of `a`. (`b` is only cloned per component if it needs a domain
+    /// conversion, which the server hot paths never trigger.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::Incompatible`] on component-count mismatch.
+    pub fn add_assign(&self, a: &mut Ciphertext, b: &Ciphertext) -> Result<(), FheError> {
+        if a.polys.len() != b.polys.len() {
+            return Err(FheError::Incompatible("component count differs".into()));
+        }
+        for (x, y) in a.polys.iter_mut().zip(b.polys.iter()) {
+            x.to_coeff(&self.basis);
+            if y.is_ntt() {
+                let mut y = y.clone();
+                y.to_coeff(&self.basis);
+                x.add_assign(&self.basis, &y);
+            } else {
+                x.add_assign(&self.basis, y);
+            }
+        }
+        Ok(())
+    }
+
+    /// In-place homomorphic subtraction `a -= b` (see
+    /// [`BfvContext::add_assign`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::Incompatible`] on component-count mismatch.
+    pub fn sub_assign(&self, a: &mut Ciphertext, b: &Ciphertext) -> Result<(), FheError> {
+        if a.polys.len() != b.polys.len() {
+            return Err(FheError::Incompatible("component count differs".into()));
+        }
+        for (x, y) in a.polys.iter_mut().zip(b.polys.iter()) {
+            x.to_coeff(&self.basis);
+            if y.is_ntt() {
+                let mut y = y.clone();
+                y.to_coeff(&self.basis);
+                x.sub_assign(&self.basis, &y);
+            } else {
+                x.sub_assign(&self.basis, y);
+            }
+        }
+        Ok(())
+    }
+
+    /// In-place homomorphic negation (domain-agnostic).
+    pub fn neg_assign(&self, ct: &mut Ciphertext) {
+        for p in &mut ct.polys {
+            p.neg_assign(&self.basis);
+        }
+    }
+
+    /// Adds the public scalar `Δ·value` to the ciphertext in place —
+    /// O(k) work (one constant coefficient per prime) instead of a full
+    /// plaintext encode. This is how a symmetric-ciphertext element
+    /// enters `Enc(m) = Δ·c − Enc(KS)`.
+    pub fn add_scalar_assign(&self, ct: &mut Ciphertext, value: u64) {
+        let v = value % self.plain.p();
+        let dv: Vec<u64> = self
+            .delta_rns
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                let zp = self.basis.zp(i);
+                zp.mul(d, v % zp.p())
+            })
+            .collect();
+        ct.polys[0].to_coeff(&self.basis);
+        ct.polys[0].add_assign_coeff0(&self.basis, &dv);
+    }
+
     /// Adds a plaintext to a ciphertext (`c0 += Δ·m`).
     #[must_use]
     pub fn add_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
         let mut out = ct.clone();
-        let mut c0 = out.polys[0].clone();
-        c0.to_coeff(&self.basis);
-        out.polys[0] = c0.add(&self.basis, &self.delta_times_plain(pt));
+        out.polys[0].to_coeff(&self.basis);
+        out.polys[0].add_assign(&self.basis, &self.delta_times_plain(pt));
         out
+    }
+
+    /// In-place [`BfvContext::add_plain`] from a prepared plaintext: no
+    /// encode, no allocation.
+    pub fn add_plain_prepared_assign(&self, ct: &mut Ciphertext, prep: &PreparedPlaintext) {
+        ct.polys[0].to_coeff(&self.basis);
+        ct.polys[0].add_assign(&self.basis, &prep.delta_m);
     }
 
     /// Multiplies a ciphertext by a plaintext polynomial.
@@ -383,14 +484,97 @@ impl BfvContext {
             .polys
             .iter()
             .map(|p| {
-                let mut p = p.clone();
-                p.to_ntt(&self.basis);
-                let mut r = p.mul(&self.basis, &m);
+                let mut r = p.clone();
+                r.to_ntt(&self.basis);
+                r.pointwise_mul_assign(&self.basis, &m);
                 r.to_coeff(&self.basis);
                 r
             })
             .collect();
         Ciphertext { polys }
+    }
+
+    /// [`BfvContext::mul_plain`] from a prepared plaintext: skips the
+    /// per-call encode + forward NTT of the plaintext.
+    #[must_use]
+    pub fn mul_plain_prepared(&self, ct: &Ciphertext, prep: &PreparedPlaintext) -> Ciphertext {
+        let polys = ct
+            .polys
+            .iter()
+            .map(|p| {
+                let mut r = p.clone();
+                r.to_ntt(&self.basis);
+                r.pointwise_mul_assign(&self.basis, &prep.ntt);
+                r.to_coeff(&self.basis);
+                r
+            })
+            .collect();
+        Ciphertext { polys }
+    }
+
+    /// Converts every component to NTT domain in place. Hoists the
+    /// transforms out of inner loops: an affine layer that multiplies
+    /// one ciphertext by `t` plaintexts converts it once, not `t` times.
+    pub fn to_ntt_ct(&self, ct: &mut Ciphertext) {
+        for p in &mut ct.polys {
+            p.to_ntt(&self.basis);
+        }
+    }
+
+    /// Converts every component to coefficient domain in place.
+    pub fn to_coeff_ct(&self, ct: &mut Ciphertext) {
+        for p in &mut ct.polys {
+            p.to_coeff(&self.basis);
+        }
+    }
+
+    /// `ct ∘ prep` with the ciphertext already in NTT domain; the result
+    /// stays in NTT domain (affine-layer accumulator seeding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is in coefficient domain.
+    #[must_use]
+    pub fn mul_plain_prepared_ntt(
+        &self,
+        ct: &Ciphertext,
+        prep: &PreparedPlaintext,
+    ) -> Ciphertext {
+        let polys = ct
+            .polys
+            .iter()
+            .map(|p| {
+                let mut r = p.clone();
+                r.pointwise_mul_assign(&self.basis, &prep.ntt);
+                r
+            })
+            .collect();
+        Ciphertext { polys }
+    }
+
+    /// Fused `acc += ct ∘ prep` with everything in NTT domain — one pass
+    /// per component, no temporaries. The affine-layer inner loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::Incompatible`] on component-count mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is in coefficient domain.
+    pub fn add_mul_plain_ntt_assign(
+        &self,
+        acc: &mut Ciphertext,
+        ct: &Ciphertext,
+        prep: &PreparedPlaintext,
+    ) -> Result<(), FheError> {
+        if acc.polys.len() != ct.polys.len() {
+            return Err(FheError::Incompatible("component count differs".into()));
+        }
+        for (a, c) in acc.polys.iter_mut().zip(ct.polys.iter()) {
+            a.add_mul_assign(&self.basis, c, &prep.ntt);
+        }
+        Ok(())
     }
 
     /// Multiplies a ciphertext by a plaintext scalar (cheap: no NTT).
@@ -433,11 +617,26 @@ impl BfvContext {
         };
         let a0 = lift(&a.polys[0]);
         let a1 = lift(&a.polys[1]);
-        let b0 = lift(&b.polys[0]);
-        let b1 = lift(&b.polys[1]);
-        let t00 = a0.mul(&self.ext_basis, &b0);
-        let t01 = a0.mul(&self.ext_basis, &b1).add(&self.ext_basis, &a1.mul(&self.ext_basis, &b0));
-        let t11 = a1.mul(&self.ext_basis, &b1);
+        // Squaring (the Feistel/cube hot case) reuses the lifted operand:
+        // two lifts instead of four and three extended-basis products
+        // instead of four. Bit-exact — `lift` is deterministic, and
+        // t01 = a0·b1 + a1·b0 collapses to cross + cross when a = b.
+        let (t00, t01, t11) = if std::ptr::eq(a, b) || a == b {
+            let cross = a0.mul(&self.ext_basis, &a1);
+            (
+                a0.mul(&self.ext_basis, &a0),
+                cross.add(&self.ext_basis, &cross),
+                a1.mul(&self.ext_basis, &a1),
+            )
+        } else {
+            let b0 = lift(&b.polys[0]);
+            let b1 = lift(&b.polys[1]);
+            (
+                a0.mul(&self.ext_basis, &b0),
+                a0.mul(&self.ext_basis, &b1).add(&self.ext_basis, &a1.mul(&self.ext_basis, &b0)),
+                a1.mul(&self.ext_basis, &b1),
+            )
+        };
         let scale = |mut p: RnsPoly| -> RnsPoly {
             p.to_coeff(&self.ext_basis);
             let big = p.to_bigint_coeffs(&self.ext_basis);
@@ -489,8 +688,8 @@ impl BfvContext {
             let digits: Vec<u64> = c2.row(j).to_vec();
             let mut d = RnsPoly::from_u64_coeffs(&self.basis, &digits);
             d.to_ntt(&self.basis);
-            c0 = c0.add(&self.basis, &d.mul(&self.basis, b));
-            c1 = c1.add(&self.basis, &d.mul(&self.basis, a));
+            c0.add_mul_assign(&self.basis, &d, b);
+            c1.add_mul_assign(&self.basis, &d, a);
         }
         c0.to_coeff(&self.basis);
         c1.to_coeff(&self.basis);
@@ -656,6 +855,19 @@ impl Plaintext {
     }
 }
 
+/// A plaintext pre-encoded for repeated homomorphic use (see
+/// [`BfvContext::prepare_plaintext`]): the NTT-domain polynomial feeds
+/// multiplications, the coefficient-domain `Δ·m` feeds additions and
+/// trivial encryptions. Both are context-specific — a prepared
+/// plaintext must only be used with the context that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedPlaintext {
+    /// Encoded plaintext in NTT domain.
+    ntt: RnsPoly,
+    /// `Δ·m` in coefficient domain.
+    delta_m: RnsPoly,
+}
+
 /// A BFV secret key (ternary, stored in NTT domain).
 #[derive(Clone)]
 pub struct BfvSecretKey {
@@ -697,7 +909,11 @@ impl BfvGaloisKey {
 }
 
 /// A BFV ciphertext (2 components; 3 transiently after multiplication).
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares raw component polynomials (residues + domain) —
+/// the bit-exactness predicate the threaded-vs-serial determinism tests
+/// rely on.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ciphertext {
     polys: Vec<RnsPoly>,
 }
@@ -837,6 +1053,63 @@ mod tests {
         acc = ctx.add_plain(&acc, &ctx.encode_scalar(999));
         let expect = values.iter().zip(scalars.iter()).map(|(&v, &s)| v * s).sum::<u64>() + 999;
         assert_eq!(ctx.decrypt(&sk, &acc).scalar(), expect % 65_537);
+    }
+
+    #[test]
+    fn prepared_paths_match_direct_paths() {
+        let (ctx, _, pk, _, mut rng) = setup();
+        let ct = ctx.encrypt(&pk, &ctx.encode_scalar(777), &mut rng);
+        let mut pt_coeffs = vec![0u64; ctx.params().n];
+        for (j, c) in pt_coeffs.iter_mut().enumerate() {
+            *c = (j as u64 * 31 + 5) % 65_537;
+        }
+        let pt = Plaintext { coeffs: pt_coeffs };
+        let prep = ctx.prepare_plaintext(&pt);
+
+        // mul_plain: prepared must be bit-exact vs direct.
+        assert_eq!(ctx.mul_plain_prepared(&ct, &prep), ctx.mul_plain(&ct, &pt));
+        // add_plain: prepared in-place vs direct.
+        let mut added = ct.clone();
+        ctx.add_plain_prepared_assign(&mut added, &prep);
+        assert_eq!(added, ctx.add_plain(&ct, &pt));
+        // trivial encryption.
+        assert_eq!(ctx.encrypt_trivial_prepared(&prep), ctx.encrypt_trivial(&pt));
+        // NTT-resident fused accumulate vs add(mul_plain(..)).
+        let ct2 = ctx.encrypt(&pk, &ctx.encode_scalar(123), &mut rng);
+        let expect = ctx.add(&ctx.mul_plain(&ct, &pt), &ctx.mul_plain(&ct2, &pt)).unwrap();
+        let (mut na, mut nb) = (ct.clone(), ct2.clone());
+        ctx.to_ntt_ct(&mut na);
+        ctx.to_ntt_ct(&mut nb);
+        let mut acc = ctx.mul_plain_prepared_ntt(&na, &prep);
+        ctx.add_mul_plain_ntt_assign(&mut acc, &nb, &prep).unwrap();
+        ctx.to_coeff_ct(&mut acc);
+        assert_eq!(acc, expect);
+    }
+
+    #[test]
+    fn assign_ops_match_cloning_ops() {
+        let (ctx, sk, pk, _, mut rng) = setup();
+        let a = ctx.encrypt(&pk, &ctx.encode_scalar(60_000), &mut rng);
+        let b = ctx.encrypt(&pk, &ctx.encode_scalar(10_000), &mut rng);
+
+        let mut sum = a.clone();
+        ctx.add_assign(&mut sum, &b).unwrap();
+        assert_eq!(sum, ctx.add(&a, &b).unwrap());
+
+        let mut diff = a.clone();
+        ctx.sub_assign(&mut diff, &b).unwrap();
+        assert_eq!(diff, ctx.sub(&a, &b).unwrap());
+
+        let mut neg = a.clone();
+        ctx.neg_assign(&mut neg);
+        assert_eq!(ctx.decrypt(&sk, &neg).scalar(), 65_537 - 60_000);
+
+        // Δ·c injection: neg + add_scalar must equal sub from a trivial.
+        let mut fast = b.clone();
+        ctx.neg_assign(&mut fast);
+        ctx.add_scalar_assign(&mut fast, 12_345);
+        let slow = ctx.sub(&ctx.encrypt_trivial(&ctx.encode_scalar(12_345)), &b).unwrap();
+        assert_eq!(fast, slow);
     }
 
     #[test]

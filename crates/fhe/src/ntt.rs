@@ -11,16 +11,29 @@
 use pasta_math::{MathError, Modulus, Zp};
 
 /// Precomputed NTT tables for one prime and ring degree.
+///
+/// Twiddles are stored twice: canonical, and in Shoup form
+/// (`w' = ⌊w·2⁶⁴/p⌋`) so the butterflies run Harvey's lazy-reduction
+/// kernel — one high-half multiply per twiddle product, values kept in
+/// `[0, 4p)` (forward) / `[0, 2p)` (inverse) through the transform, with
+/// a single correction pass at the end. Sound because every supported
+/// [`Modulus`] is ≤ 62 bits, so `4p < 2⁶⁴`.
 #[derive(Debug, Clone)]
 pub struct NttTable {
     zp: Zp,
     n: usize,
     /// ψ^bitrev(i) powers for the forward transform.
     fwd: Vec<u64>,
+    /// Shoup companions of `fwd`.
+    fwd_shoup: Vec<u64>,
     /// ψ^{-bitrev(i)} powers for the inverse transform.
     inv: Vec<u64>,
+    /// Shoup companions of `inv`.
+    inv_shoup: Vec<u64>,
     /// N^{-1} mod p.
     n_inv: u64,
+    /// Shoup companion of `n_inv`.
+    n_inv_shoup: u64,
 }
 
 impl NttTable {
@@ -57,7 +70,10 @@ impl NttTable {
             *iv = ipowers[r];
         }
         let n_inv = zp.inv(n as u64 % zp.p())?;
-        Ok(NttTable { zp, n, fwd, inv, n_inv })
+        let fwd_shoup: Vec<u64> = fwd.iter().map(|&w| zp.shoup(w)).collect();
+        let inv_shoup: Vec<u64> = inv.iter().map(|&w| zp.shoup(w)).collect();
+        let n_inv_shoup = zp.shoup(n_inv);
+        Ok(NttTable { zp, n, fwd, fwd_shoup, inv, inv_shoup, n_inv, n_inv_shoup })
     }
 
     /// Ring degree `N`.
@@ -73,12 +89,99 @@ impl NttTable {
     }
 
     /// In-place forward negacyclic NTT (standard order in, standard order
-    /// out).
+    /// out) — Harvey/Shoup lazy-reduction Cooley–Tukey butterflies.
+    ///
+    /// Butterfly invariant: inputs `< 4p`. The left input is reduced to
+    /// `< 2p`, the right is a lazy Shoup product in `[0, 2p)`, so both
+    /// outputs stay `< 4p`. One final pass canonicalizes to `[0, p)`.
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != n`.
     pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "NTT input length mismatch");
+        let zp = &self.zp;
+        let p = zp.p();
+        let two_p = 2 * p;
+        let mut t = self.n;
+        let mut m = 1usize;
+        while m < self.n {
+            t /= 2;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let w = self.fwd[m + i];
+                let w_shoup = self.fwd_shoup[m + i];
+                for j in j1..j1 + t {
+                    let mut u = a[j];
+                    if u >= two_p {
+                        u -= two_p;
+                    }
+                    let v = zp.mul_shoup_lazy(a[j + t], w, w_shoup);
+                    a[j] = u + v;
+                    a[j + t] = u + two_p - v;
+                }
+            }
+            m *= 2;
+        }
+        for x in a.iter_mut() {
+            if *x >= two_p {
+                *x -= two_p;
+            }
+            if *x >= p {
+                *x -= p;
+            }
+        }
+    }
+
+    /// In-place inverse negacyclic NTT — Harvey/Shoup lazy-reduction
+    /// Gentleman–Sande butterflies.
+    ///
+    /// Butterfly invariant: values `< 2p` throughout; the final `N⁻¹`
+    /// scaling canonicalizes to `[0, p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "NTT input length mismatch");
+        let zp = &self.zp;
+        let two_p = 2 * zp.p();
+        let mut t = 1usize;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m / 2;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let w = self.inv[h + i];
+                let w_shoup = self.inv_shoup[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    let mut s = u + v;
+                    if s >= two_p {
+                        s -= two_p;
+                    }
+                    a[j] = s;
+                    a[j + t] = zp.mul_shoup_lazy(u + two_p - v, w, w_shoup);
+                }
+                j1 += 2 * t;
+            }
+            t *= 2;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = zp.mul_shoup(*x, self.n_inv, self.n_inv_shoup);
+        }
+    }
+
+    /// The pre-optimization forward transform (one full Barrett/add-shift
+    /// reduction per butterfly). Kept as the bit-exactness reference for
+    /// tests and the before/after benches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn forward_reference(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "NTT input length mismatch");
         let zp = &self.zp;
         let mut t = self.n;
@@ -99,12 +202,13 @@ impl NttTable {
         }
     }
 
-    /// In-place inverse negacyclic NTT.
+    /// The pre-optimization inverse transform (see
+    /// [`NttTable::forward_reference`]).
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != n`.
-    pub fn inverse(&self, a: &mut [u64]) {
+    pub fn inverse_reference(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "NTT input length mismatch");
         let zp = &self.zp;
         let mut t = 1usize;
@@ -252,6 +356,45 @@ mod tests {
         t.forward(&mut a);
         t.inverse(&mut a);
         assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn lazy_kernels_match_reference_transforms() {
+        // The Shoup fast path must be bit-exact against the seed's
+        // full-reduction butterflies, element by element.
+        for modulus in [Modulus::PASTA_17_BIT, Modulus::PASTA_33_BIT, Modulus::NTT_60_BIT] {
+            for n in [4usize, 64, 1024] {
+                let t = NttTable::new(modulus, n).unwrap();
+                let p = t.zp().p();
+                let input: Vec<u64> =
+                    (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % p).collect();
+                let (mut fast, mut slow) = (input.clone(), input.clone());
+                t.forward(&mut fast);
+                t.forward_reference(&mut slow);
+                assert_eq!(fast, slow, "forward p={p} n={n}");
+                t.inverse(&mut fast);
+                t.inverse_reference(&mut slow);
+                assert_eq!(fast, slow, "inverse p={p} n={n}");
+                assert_eq!(fast, input, "roundtrip p={p} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_ntt_mul_matches_schoolbook_multiple_sizes_and_primes() {
+        for modulus in [Modulus::PASTA_17_BIT, Modulus::PASTA_33_BIT, Modulus::NTT_60_BIT] {
+            for n in [8usize, 32, 128] {
+                let t = NttTable::new(modulus, n).unwrap();
+                let p = t.zp().p();
+                let a: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 1) % p).collect();
+                let b: Vec<u64> = (0..n as u64).map(|i| p - 1 - i * 53 % p).collect();
+                assert_eq!(
+                    t.negacyclic_mul(&a, &b),
+                    negacyclic_mul_schoolbook(t.zp(), &a, &b),
+                    "p={p} n={n}"
+                );
+            }
+        }
     }
 
     #[test]

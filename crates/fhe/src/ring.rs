@@ -11,6 +11,11 @@ use crate::ntt::NttTable;
 use pasta_math::{is_prime_u64, MathError, Modulus, Zp};
 use rand::Rng;
 
+/// Minimum ring degree before the per-prime transforms fan out across
+/// threads: below this a row's NTT is far cheaper than a thread spawn
+/// (`pasta-par` has no persistent pool).
+const PAR_MIN_RING_DEGREE: usize = 1024;
+
 /// The RNS basis: primes, NTT tables and CRT precomputation.
 #[derive(Debug, Clone)]
 pub struct RnsBasis {
@@ -46,14 +51,13 @@ impl RnsBasis {
         }
         let mut q_hats = Vec::with_capacity(primes.len());
         let mut q_hat_invs = Vec::with_capacity(primes.len());
-        for (i, p) in primes.iter().enumerate() {
+        for p in &primes {
             let (q_hat, rem) = q.div_rem(&UBig::from_u64(p.value()));
             debug_assert!(rem.is_zero());
             let zp = Zp::new(*p)?;
             let hat_mod = q_hat.rem_u64(p.value());
             q_hat_invs.push(zp.inv(hat_mod)?);
             q_hats.push(q_hat);
-            let _ = i;
         }
         Ok(RnsBasis { n, primes, tables, q, q_hats, q_hat_invs })
     }
@@ -303,25 +307,152 @@ impl RnsPoly {
     }
 
     /// Converts to NTT domain in place (no-op if already there).
+    ///
+    /// Prime rows are independent, so for rings large enough to amortize
+    /// a thread spawn the transforms run prime-parallel (see
+    /// [`pasta_par`]; `PASTA_THREADS=1` forces serial, bit-identical).
     pub fn to_ntt(&mut self, basis: &RnsBasis) {
         if self.is_ntt {
             return;
         }
-        for (i, row) in self.coeffs.iter_mut().enumerate() {
+        let parallel = basis.n() >= PAR_MIN_RING_DEGREE;
+        pasta_par::maybe_parallel_for_each_mut(parallel, &mut self.coeffs, |i, row| {
             basis.table(i).forward(row);
-        }
+        });
         self.is_ntt = true;
     }
 
     /// Converts to coefficient domain in place (no-op if already there).
+    /// Prime-parallel like [`RnsPoly::to_ntt`].
     pub fn to_coeff(&mut self, basis: &RnsBasis) {
         if !self.is_ntt {
             return;
         }
-        for (i, row) in self.coeffs.iter_mut().enumerate() {
+        let parallel = basis.n() >= PAR_MIN_RING_DEGREE;
+        pasta_par::maybe_parallel_for_each_mut(parallel, &mut self.coeffs, |i, row| {
             basis.table(i).inverse(row);
-        }
+        });
         self.is_ntt = false;
+    }
+
+    /// `self += other` in place (domains must match) — no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on domain or size mismatch.
+    pub fn add_assign(&mut self, basis: &RnsBasis, other: &RnsPoly) {
+        assert_eq!(self.is_ntt, other.is_ntt, "domain mismatch in add");
+        for (i, row) in self.coeffs.iter_mut().enumerate() {
+            let zp = basis.zp(i);
+            for (a, &b) in row.iter_mut().zip(other.coeffs[i].iter()) {
+                *a = zp.add(*a, b);
+            }
+        }
+    }
+
+    /// `self -= other` in place (domains must match) — no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on domain or size mismatch.
+    pub fn sub_assign(&mut self, basis: &RnsBasis, other: &RnsPoly) {
+        assert_eq!(self.is_ntt, other.is_ntt, "domain mismatch in sub");
+        for (i, row) in self.coeffs.iter_mut().enumerate() {
+            let zp = basis.zp(i);
+            for (a, &b) in row.iter_mut().zip(other.coeffs[i].iter()) {
+                *a = zp.sub(*a, b);
+            }
+        }
+    }
+
+    /// `self = -self` in place — no allocation.
+    pub fn neg_assign(&mut self, basis: &RnsBasis) {
+        for (i, row) in self.coeffs.iter_mut().enumerate() {
+            let zp = basis.zp(i);
+            for a in row.iter_mut() {
+                *a = zp.neg(*a);
+            }
+        }
+    }
+
+    /// `self ∘= other` pointwise in place (both in NTT domain) — no
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is in coefficient domain.
+    pub fn pointwise_mul_assign(&mut self, basis: &RnsBasis, other: &RnsPoly) {
+        assert!(self.is_ntt && other.is_ntt, "ring mul requires NTT domain");
+        for (i, row) in self.coeffs.iter_mut().enumerate() {
+            basis.table(i).pointwise_mul_assign(row, &other.coeffs[i]);
+        }
+    }
+
+    /// Fused multiply–accumulate `self += a ∘ b` (all three in NTT
+    /// domain) — the affine-layer accumulation primitive; allocates
+    /// nothing and reads each input once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is in coefficient domain.
+    pub fn add_mul_assign(&mut self, basis: &RnsBasis, a: &RnsPoly, b: &RnsPoly) {
+        assert!(
+            self.is_ntt && a.is_ntt && b.is_ntt,
+            "fused multiply-accumulate requires NTT domain"
+        );
+        for (i, row) in self.coeffs.iter_mut().enumerate() {
+            let zp = basis.zp(i);
+            for ((acc, &x), &y) in
+                row.iter_mut().zip(a.coeffs[i].iter()).zip(b.coeffs[i].iter())
+            {
+                *acc = zp.add(*acc, zp.mul(x, y));
+            }
+        }
+    }
+
+    /// Adds `c[i]` to the constant coefficient of prime row `i` — O(k)
+    /// work, used to inject `Δ·scalar` constants without touching the
+    /// other `N−1` coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics in NTT domain (a constant is not slot-constant there) or
+    /// if `c.len() != k`.
+    pub fn add_assign_coeff0(&mut self, basis: &RnsBasis, c: &[u64]) {
+        assert!(!self.is_ntt, "constant injection requires coefficient domain");
+        assert_eq!(c.len(), basis.len(), "per-prime scalar count mismatch");
+        for (i, row) in self.coeffs.iter_mut().enumerate() {
+            row[0] = basis.zp(i).add(row[0], c[i]);
+        }
+    }
+
+    /// `self ·= c` in place for a small scalar `c` (domain-agnostic).
+    pub fn mul_scalar_assign(&mut self, basis: &RnsBasis, c: u64) {
+        for (i, row) in self.coeffs.iter_mut().enumerate() {
+            let zp = basis.zp(i);
+            let cm = c % zp.p();
+            let cm_shoup = zp.shoup(cm);
+            for a in row.iter_mut() {
+                *a = zp.mul_shoup(*a, cm, cm_shoup);
+            }
+        }
+    }
+
+    /// `self ·= c` in place with `c` given per prime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c.len() != k`.
+    pub fn mul_scalar_rns_assign(&mut self, basis: &RnsBasis, c: &[u64]) {
+        assert_eq!(c.len(), basis.len(), "per-prime scalar count mismatch");
+        for (i, row) in self.coeffs.iter_mut().enumerate() {
+            let zp = basis.zp(i);
+            let cm = c[i];
+            let cm_shoup = zp.shoup(cm);
+            for a in row.iter_mut() {
+                *a = zp.mul_shoup(*a, cm, cm_shoup);
+            }
+        }
     }
 
     /// `self + other` (domains must match).
@@ -331,14 +462,8 @@ impl RnsPoly {
     /// Panics on domain or size mismatch.
     #[must_use]
     pub fn add(&self, basis: &RnsBasis, other: &RnsPoly) -> RnsPoly {
-        assert_eq!(self.is_ntt, other.is_ntt, "domain mismatch in add");
         let mut out = self.clone();
-        for (i, row) in out.coeffs.iter_mut().enumerate() {
-            let zp = basis.zp(i);
-            for (a, &b) in row.iter_mut().zip(other.coeffs[i].iter()) {
-                *a = zp.add(*a, b);
-            }
-        }
+        out.add_assign(basis, other);
         out
     }
 
@@ -349,14 +474,8 @@ impl RnsPoly {
     /// Panics on domain or size mismatch.
     #[must_use]
     pub fn sub(&self, basis: &RnsBasis, other: &RnsPoly) -> RnsPoly {
-        assert_eq!(self.is_ntt, other.is_ntt, "domain mismatch in sub");
         let mut out = self.clone();
-        for (i, row) in out.coeffs.iter_mut().enumerate() {
-            let zp = basis.zp(i);
-            for (a, &b) in row.iter_mut().zip(other.coeffs[i].iter()) {
-                *a = zp.sub(*a, b);
-            }
-        }
+        out.sub_assign(basis, other);
         out
     }
 
@@ -364,12 +483,7 @@ impl RnsPoly {
     #[must_use]
     pub fn neg(&self, basis: &RnsBasis) -> RnsPoly {
         let mut out = self.clone();
-        for (i, row) in out.coeffs.iter_mut().enumerate() {
-            let zp = basis.zp(i);
-            for a in row.iter_mut() {
-                *a = zp.neg(*a);
-            }
-        }
+        out.neg_assign(basis);
         out
     }
 
@@ -380,11 +494,8 @@ impl RnsPoly {
     /// Panics if either operand is in coefficient domain.
     #[must_use]
     pub fn mul(&self, basis: &RnsBasis, other: &RnsPoly) -> RnsPoly {
-        assert!(self.is_ntt && other.is_ntt, "ring mul requires NTT domain");
         let mut out = self.clone();
-        for (i, row) in out.coeffs.iter_mut().enumerate() {
-            basis.table(i).pointwise_mul_assign(row, &other.coeffs[i]);
-        }
+        out.pointwise_mul_assign(basis, other);
         out
     }
 
@@ -392,13 +503,7 @@ impl RnsPoly {
     #[must_use]
     pub fn mul_scalar(&self, basis: &RnsBasis, c: u64) -> RnsPoly {
         let mut out = self.clone();
-        for (i, row) in out.coeffs.iter_mut().enumerate() {
-            let zp = basis.zp(i);
-            let cm = c % zp.p();
-            for a in row.iter_mut() {
-                *a = zp.mul(*a, cm);
-            }
-        }
+        out.mul_scalar_assign(basis, c);
         out
     }
 
@@ -410,14 +515,8 @@ impl RnsPoly {
     /// Panics if `c.len() != k`.
     #[must_use]
     pub fn mul_scalar_rns(&self, basis: &RnsBasis, c: &[u64]) -> RnsPoly {
-        assert_eq!(c.len(), basis.len(), "per-prime scalar count mismatch");
         let mut out = self.clone();
-        for (i, row) in out.coeffs.iter_mut().enumerate() {
-            let zp = basis.zp(i);
-            for a in row.iter_mut() {
-                *a = zp.mul(*a, c[i]);
-            }
-        }
+        out.mul_scalar_rns_assign(basis, c);
         out
     }
 
@@ -584,6 +683,80 @@ mod tests {
         let x = RnsPoly::from_u64_coeffs(&b, &(0..64u64).collect::<Vec<_>>());
         let tripled = x.mul_scalar(&b, 3);
         assert_eq!(tripled, x.add(&b, &x).add(&b, &x));
+    }
+
+    #[test]
+    fn assign_ops_match_cloning_ops() {
+        let b = basis();
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = RnsPoly::random_uniform(&b, &mut rng);
+        let y = RnsPoly::random_uniform(&b, &mut rng);
+
+        let mut a = x.clone();
+        a.add_assign(&b, &y);
+        assert_eq!(a, x.add(&b, &y));
+
+        let mut s = x.clone();
+        s.sub_assign(&b, &y);
+        assert_eq!(s, x.sub(&b, &y));
+
+        let mut n = x.clone();
+        n.neg_assign(&b);
+        assert_eq!(n, x.neg(&b));
+
+        let mut m = x.clone();
+        m.mul_scalar_assign(&b, 12_345);
+        assert_eq!(m, x.mul_scalar(&b, 12_345));
+
+        let per_prime: Vec<u64> = (0..b.len() as u64).map(|i| i * 7 + 3).collect();
+        let mut mr = x.clone();
+        mr.mul_scalar_rns_assign(&b, &per_prime);
+        assert_eq!(mr, x.mul_scalar_rns(&b, &per_prime));
+
+        let (mut nx, mut ny) = (x.clone(), y.clone());
+        nx.to_ntt(&b);
+        ny.to_ntt(&b);
+        let mut pm = nx.clone();
+        pm.pointwise_mul_assign(&b, &ny);
+        assert_eq!(pm, nx.mul(&b, &ny));
+    }
+
+    #[test]
+    fn fused_mac_matches_mul_then_add() {
+        let b = basis();
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut acc = RnsPoly::random_uniform(&b, &mut rng);
+        let mut x = RnsPoly::random_uniform(&b, &mut rng);
+        let mut y = RnsPoly::random_uniform(&b, &mut rng);
+        acc.to_ntt(&b);
+        x.to_ntt(&b);
+        y.to_ntt(&b);
+        let expect = acc.add(&b, &x.mul(&b, &y));
+        let mut fused = acc.clone();
+        fused.add_mul_assign(&b, &x, &y);
+        assert_eq!(fused, expect);
+    }
+
+    #[test]
+    fn parallel_transforms_match_serial() {
+        // A ring degree above the parallel threshold, toggling the
+        // thread override: results must be bit-identical.
+        let b = RnsBasis::with_generated_primes(2048, 50, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let poly = RnsPoly::random_uniform(&b, &mut rng);
+        std::env::set_var(pasta_par::THREADS_ENV, "1");
+        let mut serial = poly.clone();
+        serial.to_ntt(&b);
+        std::env::set_var(pasta_par::THREADS_ENV, "4");
+        let mut parallel = poly.clone();
+        parallel.to_ntt(&b);
+        assert_eq!(serial, parallel);
+        serial.to_coeff(&b);
+        std::env::set_var(pasta_par::THREADS_ENV, "1");
+        parallel.to_coeff(&b);
+        std::env::remove_var(pasta_par::THREADS_ENV);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, poly);
     }
 
     #[test]

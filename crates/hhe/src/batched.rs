@@ -24,11 +24,11 @@
 //! instead of scalar ones) but is amortized over `N` blocks — the
 //! throughput play of the original software, reproduced here.
 
+use crate::cache::{BatchKey, BatchedEntry, BatchedHalf, BatchedLayer, BlockEntry, MaterialCache};
 use crate::client::EncryptedPastaKey;
-use pasta_core::matrix::RowGenerator;
-use pasta_core::permutation::derive_block_material;
 use pasta_core::{Ciphertext as PastaCiphertext, PastaParams};
 use pasta_fhe::{BatchEncoder, BfvContext, BfvRelinKey, Ciphertext as FheCiphertext, FheError};
+use std::sync::Arc;
 
 /// A transciphering server that processes up to `N` blocks per pass.
 #[derive(Debug)]
@@ -37,6 +37,7 @@ pub struct BatchedHheServer {
     relin_key: BfvRelinKey,
     encrypted_key: EncryptedPastaKey,
     encoder: BatchEncoder,
+    cache: Arc<MaterialCache>,
 }
 
 /// The result of one batched pass: `t` ciphertexts whose slot `s` holds
@@ -76,13 +77,86 @@ impl BatchedHheServer {
         }
         let encoder = BatchEncoder::new(ctx.params().plain_modulus, ctx.params().n)
             .map_err(FheError::from)?;
-        Ok(BatchedHheServer { params, relin_key, encrypted_key, encoder })
+        Ok(BatchedHheServer {
+            params,
+            relin_key,
+            encrypted_key,
+            encoder,
+            cache: Arc::new(MaterialCache::new()),
+        })
+    }
+
+    /// Replaces the material cache (e.g. with one shared by several
+    /// servers or server modes).
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<MaterialCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The material cache in use (shareable via [`Arc::clone`]).
+    #[must_use]
+    pub fn cache(&self) -> &Arc<MaterialCache> {
+        &self.cache
     }
 
     /// The number of blocks one pass can carry (`N` slots).
     #[must_use]
     pub fn capacity(&self) -> usize {
         self.encoder.slots()
+    }
+
+    /// Builds the prepared plaintext material for one batch window:
+    /// per layer and half, the `t × t` slot-vector weights and `t`
+    /// round constants, batch-encoded and NTT-prepared once. The
+    /// `t × t` fan-out runs on the worker pool.
+    fn prepare_batch(
+        &self,
+        ctx: &BfvContext,
+        nonce: u128,
+        first_counter: u64,
+        blocks: usize,
+    ) -> BatchedEntry {
+        let t = self.params.t();
+        // Raw material and matrices come from the shared block section —
+        // the scalar and packed servers reuse the same entries.
+        let per_block: Vec<Arc<BlockEntry>> = (0..blocks)
+            .map(|s| self.cache.block(&self.params, nonce, first_counter + s as u64))
+            .collect();
+        let layers = (0..self.params.affine_layers())
+            .map(|layer| {
+                let half = |is_left: bool| -> BatchedHalf {
+                    let cells: Vec<usize> = (0..t * t).collect();
+                    let weights = pasta_par::parallel_map(&cells, |_, &cell| {
+                        let (i, j) = (cell / t, cell % t);
+                        // Slot s carries block s's matrix entry (i, j).
+                        let slots: Vec<u64> = per_block
+                            .iter()
+                            .map(|b| {
+                                let m = &b.matrices[layer];
+                                if is_left { m.left.get(i, j) } else { m.right.get(i, j) }
+                            })
+                            .collect();
+                        ctx.prepare_plaintext(&self.encoder.encode(&slots))
+                    });
+                    let rc = (0..t)
+                        .map(|i| {
+                            let slots: Vec<u64> = per_block
+                                .iter()
+                                .map(|b| {
+                                    let l = &b.material.layers[layer];
+                                    if is_left { l.rc_left[i] } else { l.rc_right[i] }
+                                })
+                                .collect();
+                            ctx.prepare_plaintext(&self.encoder.encode(&slots))
+                        })
+                        .collect();
+                    BatchedHalf { weights, rc }
+                };
+                BatchedLayer { left: half(true), right: half(false) }
+            })
+            .collect();
+        BatchedEntry { layers }
     }
 
     /// Homomorphically computes keystream blocks `first_counter ..
@@ -107,61 +181,51 @@ impl BatchedHheServer {
         }
         let t = self.params.t();
         let r = self.params.rounds();
-        let zp = self.params.field();
 
-        // Materialize the per-block public material (and matrices).
-        let materials: Vec<_> = (0..blocks)
-            .map(|s| derive_block_material(&self.params, nonce, first_counter + s as u64))
-            .collect();
+        // Prepared plaintext material: encode + forward NTT paid once
+        // per (nonce, window), then served from the cache.
+        let key = BatchKey {
+            pasta: self.params,
+            bfv: *ctx.params(),
+            nonce,
+            first_counter,
+            blocks,
+        };
+        let prepared =
+            self.cache.batched(&key, || self.prepare_batch(ctx, nonce, first_counter, blocks));
 
         let mut left = self.encrypted_key.elements[..t].to_vec();
         let mut right = self.encrypted_key.elements[t..].to_vec();
 
-        for layer in 0..self.params.affine_layers() {
+        for (layer, layer_prep) in prepared.layers.iter().enumerate() {
             for is_left in [true, false] {
                 let half = if is_left { &left } else { &right };
-                // Per-block matrices for this half.
-                let matrices: Vec<_> = materials
-                    .iter()
-                    .map(|m| {
-                        let seed = if is_left {
-                            &m.layers[layer].seed_left
-                        } else {
-                            &m.layers[layer].seed_right
-                        };
-                        RowGenerator::new(zp, seed.clone()).into_matrix()
-                    })
-                    .collect();
-                let Some(first) = half.first() else {
+                let half_prep = if is_left { &layer_prep.left } else { &layer_prep.right };
+                if half.is_empty() {
                     return Err(FheError::Incompatible(
                         "affine layer applied to an empty state half".into(),
                     ));
-                };
-                let mut out = Vec::with_capacity(t);
-                for i in 0..t {
-                    // Slot s carries block s's matrix entry (i, j).
-                    let first_slot: Vec<u64> = matrices.iter().map(|m| m.get(i, 0)).collect();
-                    let mut acc = ctx.mul_plain(first, &self.encoder.encode(&first_slot));
-                    for (j, ct) in half.iter().enumerate().skip(1) {
-                        let per_slot: Vec<u64> =
-                            matrices.iter().map(|m| m.get(i, j)).collect();
-                        let pt = self.encoder.encode(&per_slot);
-                        acc = ctx.add(&acc, &ctx.mul_plain(ct, &pt))?;
-                    }
-                    // Batched round constant.
-                    let rc_slots: Vec<u64> = materials
-                        .iter()
-                        .map(|m| {
-                            let rc = if is_left {
-                                &m.layers[layer].rc_left
-                            } else {
-                                &m.layers[layer].rc_right
-                            };
-                            rc[i]
-                        })
-                        .collect();
-                    out.push(ctx.add_plain(&acc, &self.encoder.encode(&rc_slots)));
                 }
+                // Hoist the NTTs: each input ciphertext is converted
+                // once per layer instead of once per matrix entry.
+                let mut half_ntt = half.clone();
+                for ct in &mut half_ntt {
+                    ctx.to_ntt_ct(ct);
+                }
+                let rows: Vec<usize> = (0..t).collect();
+                let out: Vec<FheCiphertext> = pasta_par::parallel_map(&rows, |_, &i| -> Result<FheCiphertext, FheError> {
+                    let mut acc =
+                        ctx.mul_plain_prepared_ntt(&half_ntt[0], half_prep.weight(t, i, 0));
+                    for (j, ct) in half_ntt.iter().enumerate().skip(1) {
+                        ctx.add_mul_plain_ntt_assign(&mut acc, ct, half_prep.weight(t, i, j))?;
+                    }
+                    ctx.to_coeff_ct(&mut acc);
+                    // Batched round constant.
+                    ctx.add_plain_prepared_assign(&mut acc, &half_prep.rc[i]);
+                    Ok(acc)
+                })
+                .into_iter()
+                .collect::<Result<_, _>>()?;
                 if is_left {
                     left = out;
                 } else {
@@ -172,27 +236,31 @@ impl BatchedHheServer {
             if layer < r {
                 // Mix (slot-wise adds).
                 for (l, rgt) in left.iter_mut().zip(right.iter_mut()) {
-                    let sum = ctx.add(l, rgt)?;
-                    let new_l = ctx.add(l, &sum)?;
-                    let new_r = ctx.add(rgt, &sum)?;
-                    *l = new_l;
-                    *rgt = new_r;
+                    let mut sum = l.clone();
+                    ctx.add_assign(&mut sum, rgt)?;
+                    ctx.add_assign(l, &sum)?;
+                    ctx.add_assign(rgt, &sum)?;
                 }
-                // S-box over the concatenated state.
+                // S-box over the concatenated state; the squarings fan
+                // out across the worker pool.
                 let mut full: Vec<FheCiphertext> =
                     left.iter().chain(right.iter()).cloned().collect();
                 if layer == r - 1 {
-                    for x in full.iter_mut() {
+                    full = pasta_par::parallel_map(&full, |_, x| {
                         let sq = ctx.square_relin(x, &self.relin_key)?;
-                        *x = ctx.mul_relin(&sq, x, &self.relin_key)?;
-                    }
+                        ctx.mul_relin(&sq, x, &self.relin_key)
+                    })
+                    .into_iter()
+                    .collect::<Result<_, _>>()?;
                 } else {
-                    let squares: Vec<FheCiphertext> = full[..2 * t - 1]
-                        .iter()
-                        .map(|x| ctx.square_relin(x, &self.relin_key))
+                    let squares: Vec<FheCiphertext> =
+                        pasta_par::parallel_map(&full[..2 * t - 1], |_, x| {
+                            ctx.square_relin(x, &self.relin_key)
+                        })
+                        .into_iter()
                         .collect::<Result<_, _>>()?;
                     for j in (1..2 * t).rev() {
-                        full[j] = ctx.add(&full[j], &squares[j - 1])?;
+                        ctx.add_assign(&mut full[j], &squares[j - 1])?;
                     }
                 }
                 left.clone_from_slice(&full[..t]);
@@ -226,8 +294,9 @@ impl BatchedHheServer {
             let c_slots: Vec<u64> = (0..blocks)
                 .map(|s| pasta_ct.elements().get(s * t + i).copied().unwrap_or(0))
                 .collect();
-            let trivial = ctx.encrypt_trivial(&self.encoder.encode(&c_slots));
-            positions.push(ctx.sub(&trivial, ks_ct)?);
+            let mut out = ctx.encrypt_trivial(&self.encoder.encode(&c_slots));
+            ctx.sub_assign(&mut out, ks_ct)?;
+            positions.push(out);
         }
         Ok(BatchedBlocks { positions, first_counter: 0, blocks })
     }
@@ -332,6 +401,18 @@ mod tests {
             }
         }
         assert_eq!(recovered, message);
+    }
+
+    #[test]
+    fn warm_cache_pass_is_bit_exact() {
+        let w = setup();
+        let cold = w.server.keystream_batch(&w.ctx, 0xDD, 2, 3).unwrap();
+        let misses_after_cold = w.server.cache().stats().misses;
+        let warm = w.server.keystream_batch(&w.ctx, 0xDD, 2, 3).unwrap();
+        assert_eq!(cold.positions, warm.positions, "cached plaintexts must be bit-exact");
+        let stats = w.server.cache().stats();
+        assert_eq!(stats.misses, misses_after_cold, "warm pass must not re-prepare");
+        assert!(stats.hits >= 1, "warm pass must hit the cache");
     }
 
     #[test]

@@ -1,0 +1,368 @@
+//! Plaintext-material caching for the transciphering hot path.
+//!
+//! Everything the homomorphic PASTA evaluation consumes besides the
+//! encrypted key is *public* and a pure function of
+//! `(params, nonce, counter)`: the per-block affine matrices, the round
+//! constants, and — for the SIMD servers — their encodings as BFV
+//! plaintext polynomials. Deriving that material is not free: Keccak
+//! XOF squeezing and rejection sampling, matrix row recurrences, and
+//! (worst of all) one batch-encode plus forward NTT per plaintext
+//! operand. A server transciphering a stream re-derives identical
+//! material for every ciphertext that touches the same
+//! `(nonce, counter)` window.
+//!
+//! [`MaterialCache`] memoizes three shapes of derived material behind
+//! small LRU sections:
+//!
+//! - **blocks** — [`BlockEntry`]: the raw [`BlockMaterial`] plus the
+//!   materialized per-layer matrices, keyed by
+//!   `(PastaParams, nonce, counter)`. Shared by all three server modes
+//!   (the SIMD builders read their matrix entries from here).
+//! - **batched** — [`BatchedEntry`]: per-layer, per-half `t × t`
+//!   [`PreparedPlaintext`] weights and `t` round-constant plaintexts for
+//!   the slot-parallel server, keyed additionally by the [`BfvParams`]
+//!   and the `(first_counter, blocks)` window.
+//! - **packed** — [`PackedEntry`]: the `2t` diagonal plaintexts (and the
+//!   concatenated round constant) per layer for the rotation-based
+//!   server.
+//!
+//! Invalidation rules: entries never go stale — the material is a
+//! deterministic function of its key, so the only eviction is LRU
+//! capacity pressure. Keys embed the full [`PastaParams`] and (for
+//! prepared plaintexts) [`BfvParams`], so one cache instance can be
+//! shared by servers with different parameter sets, and by all three
+//! server modes at once (pass the same [`std::sync::Arc`] to each
+//! server's `with_cache`).
+//!
+//! Concurrency: each section is guarded by a [`Mutex`]; a miss builds
+//! the entry while holding the section lock (deliberate — concurrent
+//! callers for the same key would otherwise duplicate an expensive
+//! derivation). Entries are returned as [`Arc`]s so evaluation proceeds
+//! lock-free after lookup.
+
+use pasta_core::matrix::RowGenerator;
+use pasta_core::permutation::{derive_block_material, BlockMaterial};
+use pasta_core::PastaParams;
+use pasta_fhe::{BfvParams, PreparedPlaintext};
+use pasta_math::linalg::Matrix;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Cache key for raw block material: the PASTA instance plus the block
+/// coordinates. (The material does not depend on any FHE parameter.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockKey {
+    /// The PASTA parameter set the material was derived for.
+    pub pasta: PastaParams,
+    /// Session nonce.
+    pub nonce: u128,
+    /// Block counter.
+    pub counter: u64,
+}
+
+/// Cache key for a batched (SIMD) window of prepared plaintexts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchKey {
+    /// The PASTA parameter set.
+    pub pasta: PastaParams,
+    /// The BFV parameters the plaintexts were encoded under (the RNS
+    /// basis and NTT tables are deterministic functions of these).
+    pub bfv: BfvParams,
+    /// Session nonce.
+    pub nonce: u128,
+    /// First block counter of the batch window.
+    pub first_counter: u64,
+    /// Number of blocks batched into the slots.
+    pub blocks: usize,
+}
+
+/// Cache key for one packed (rotation-mode) block of prepared diagonals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedKey {
+    /// The PASTA parameter set.
+    pub pasta: PastaParams,
+    /// The BFV parameters the diagonals were encoded under.
+    pub bfv: BfvParams,
+    /// Session nonce.
+    pub nonce: u128,
+    /// Block counter.
+    pub counter: u64,
+}
+
+/// The two materialized matrices of one affine layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerMatrices {
+    /// Left-half matrix `M_L`.
+    pub left: Matrix,
+    /// Right-half matrix `M_R`.
+    pub right: Matrix,
+}
+
+/// Cached per-block public material: the XOF output plus the per-layer
+/// matrices materialized from the seed rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockEntry {
+    /// The raw derived material (seeds, round constants, stats).
+    pub material: BlockMaterial,
+    /// `matrices[layer]` — materialized left/right matrices.
+    pub matrices: Vec<LayerMatrices>,
+}
+
+impl BlockEntry {
+    /// Derives the material and materializes every layer's matrices.
+    #[must_use]
+    pub fn derive(params: &PastaParams, nonce: u128, counter: u64) -> Self {
+        let material = derive_block_material(params, nonce, counter);
+        let zp = params.field();
+        let matrices = material
+            .layers
+            .iter()
+            .map(|layer| LayerMatrices {
+                left: RowGenerator::new(zp, layer.seed_left.clone()).into_matrix(),
+                right: RowGenerator::new(zp, layer.seed_right.clone()).into_matrix(),
+            })
+            .collect();
+        BlockEntry { material, matrices }
+    }
+}
+
+/// One half of a batched affine layer, fully prepared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchedHalf {
+    /// Row-major `t × t` weight plaintexts: slot `s` of `weights[i·t+j]`
+    /// holds block `s`'s matrix entry `(i, j)`, NTT-prepared.
+    pub weights: Vec<PreparedPlaintext>,
+    /// `rc[i]`: slot `s` holds block `s`'s round constant for row `i`.
+    pub rc: Vec<PreparedPlaintext>,
+}
+
+impl BatchedHalf {
+    /// The prepared weight for matrix entry `(i, j)` of a `t × t` layer.
+    #[must_use]
+    pub fn weight(&self, t: usize, i: usize, j: usize) -> &PreparedPlaintext {
+        &self.weights[i * t + j]
+    }
+}
+
+/// One batched affine layer: both halves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchedLayer {
+    /// Left-half weights and round constants.
+    pub left: BatchedHalf,
+    /// Right-half weights and round constants.
+    pub right: BatchedHalf,
+}
+
+/// All prepared plaintext material of one batched evaluation window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchedEntry {
+    /// `layers[l]` — the prepared material for affine layer `l`.
+    pub layers: Vec<BatchedLayer>,
+}
+
+/// One packed affine layer: the nonzero diagonals of the block-diagonal
+/// matrix `diag(M_L, M_R)` plus the concatenated round constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedLayer {
+    /// `diagonals[k]` for rotation amount `k ∈ 0..2t`; `None` marks an
+    /// all-zero diagonal (the evaluation skips the rotation entirely).
+    pub diagonals: Vec<Option<PreparedPlaintext>>,
+    /// `rc_left ‖ rc_right` encoded into lanes `0..2t`, prepared.
+    pub rc: PreparedPlaintext,
+}
+
+/// All prepared diagonal material of one packed block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedEntry {
+    /// `layers[l]` — the prepared material for affine layer `l`.
+    pub layers: Vec<PackedLayer>,
+}
+
+/// Hit/miss counters for one cache section (or the aggregate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the entry.
+    pub misses: u64,
+}
+
+/// A tiny move-to-front LRU over a `Vec` — the working sets here are a
+/// handful of entries, so linear scans beat a hash map plus ordering
+/// side-structure.
+#[derive(Debug)]
+struct Lru<K, V> {
+    cap: usize,
+    entries: Vec<(K, Arc<V>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: PartialEq + Clone, V> Lru<K, V> {
+    fn new(cap: usize) -> Self {
+        Lru { cap: cap.max(1), entries: Vec::new(), hits: 0, misses: 0 }
+    }
+
+    fn get_or_insert_with(&mut self, key: &K, build: impl FnOnce() -> V) -> Arc<V> {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| k == key) {
+            self.hits += 1;
+            let entry = self.entries.remove(pos);
+            let value = Arc::clone(&entry.1);
+            self.entries.insert(0, entry);
+            return value;
+        }
+        self.misses += 1;
+        let value = Arc::new(build());
+        self.entries.insert(0, (key.clone(), Arc::clone(&value)));
+        self.entries.truncate(self.cap);
+        value
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats { hits: self.hits, misses: self.misses }
+    }
+}
+
+/// Default capacity of the raw block-material section.
+pub const DEFAULT_BLOCK_CAPACITY: usize = 256;
+/// Default capacity of the batched prepared-plaintext section (entries
+/// are large: `layers · 2 · (t² + t)` prepared polynomials each).
+pub const DEFAULT_BATCHED_CAPACITY: usize = 8;
+/// Default capacity of the packed prepared-diagonal section.
+pub const DEFAULT_PACKED_CAPACITY: usize = 64;
+
+/// The shared plaintext-material cache (see the module docs).
+#[derive(Debug)]
+pub struct MaterialCache {
+    blocks: Mutex<Lru<BlockKey, BlockEntry>>,
+    batched: Mutex<Lru<BatchKey, BatchedEntry>>,
+    packed: Mutex<Lru<PackedKey, PackedEntry>>,
+}
+
+impl Default for MaterialCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // The builders cannot panic in normal operation; if one ever does,
+    // the cached data is still internally consistent (entries are only
+    // inserted whole), so recover the guard instead of poisoning every
+    // later transciphering call.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl MaterialCache {
+    /// A cache with the default per-section capacities.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacities(
+            DEFAULT_BLOCK_CAPACITY,
+            DEFAULT_BATCHED_CAPACITY,
+            DEFAULT_PACKED_CAPACITY,
+        )
+    }
+
+    /// A cache with explicit per-section capacities (each clamped to at
+    /// least one entry).
+    #[must_use]
+    pub fn with_capacities(blocks: usize, batched: usize, packed: usize) -> Self {
+        MaterialCache {
+            blocks: Mutex::new(Lru::new(blocks)),
+            batched: Mutex::new(Lru::new(batched)),
+            packed: Mutex::new(Lru::new(packed)),
+        }
+    }
+
+    /// The block material (and materialized matrices) for
+    /// `(params, nonce, counter)`, derived on first use.
+    #[must_use]
+    pub fn block(&self, params: &PastaParams, nonce: u128, counter: u64) -> Arc<BlockEntry> {
+        let key = BlockKey { pasta: *params, nonce, counter };
+        lock(&self.blocks).get_or_insert_with(&key, || BlockEntry::derive(params, nonce, counter))
+    }
+
+    /// The batched prepared material for `key`, built by `build` on a
+    /// miss (the builder runs under the section lock; see module docs).
+    #[must_use]
+    pub fn batched(&self, key: &BatchKey, build: impl FnOnce() -> BatchedEntry) -> Arc<BatchedEntry> {
+        lock(&self.batched).get_or_insert_with(key, build)
+    }
+
+    /// The packed prepared material for `key`, built by `build` on a
+    /// miss.
+    #[must_use]
+    pub fn packed(&self, key: &PackedKey, build: impl FnOnce() -> PackedEntry) -> Arc<PackedEntry> {
+        lock(&self.packed).get_or_insert_with(key, build)
+    }
+
+    /// Aggregate hit/miss counters across all three sections.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let b = lock(&self.blocks).stats();
+        let s = lock(&self.batched).stats();
+        let p = lock(&self.packed).stats();
+        CacheStats { hits: b.hits + s.hits + p.hits, misses: b.misses + s.misses + p.misses }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasta_math::Modulus;
+
+    fn params() -> PastaParams {
+        PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap()
+    }
+
+    #[test]
+    fn block_entries_are_memoized_and_bit_exact() {
+        let cache = MaterialCache::new();
+        let a = cache.block(&params(), 7, 3);
+        let b = cache.block(&params(), 7, 3);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must reuse the entry");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        // A fresh derivation agrees exactly.
+        assert_eq!(*a, BlockEntry::derive(&params(), 7, 3));
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = MaterialCache::new();
+        let a = cache.block(&params(), 7, 3);
+        let b = cache.block(&params(), 7, 4);
+        let c = cache.block(&PastaParams::custom(4, 3, Modulus::PASTA_17_BIT).unwrap(), 7, 3);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(*a, *b);
+        assert_ne!(a.matrices.len(), c.matrices.len(), "different rounds, different layers");
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let cache = MaterialCache::with_capacities(2, 1, 1);
+        let a0 = cache.block(&params(), 1, 0);
+        let _ = cache.block(&params(), 1, 1);
+        // Touch counter 0 so counter 1 is the LRU victim.
+        let _ = cache.block(&params(), 1, 0);
+        let _ = cache.block(&params(), 1, 2); // evicts counter 1
+        let a0_again = cache.block(&params(), 1, 0);
+        assert!(Arc::ptr_eq(&a0, &a0_again), "survivor must still be cached");
+        let before = cache.stats().misses;
+        let _ = cache.block(&params(), 1, 1); // was evicted: a miss
+        assert_eq!(cache.stats().misses, before + 1);
+    }
+
+    #[test]
+    fn matrices_match_a_direct_row_generator() {
+        let p = params();
+        let entry = BlockEntry::derive(&p, 42, 9);
+        let material = derive_block_material(&p, 42, 9);
+        for (layer, mats) in material.layers.iter().zip(entry.matrices.iter()) {
+            let left = RowGenerator::new(p.field(), layer.seed_left.clone()).into_matrix();
+            assert_eq!(mats.left, left);
+            let right = RowGenerator::new(p.field(), layer.seed_right.clone()).into_matrix();
+            assert_eq!(mats.right, right);
+        }
+    }
+}

@@ -12,7 +12,10 @@
 //! - [`packed`]: the latency mode (one block per ciphertext via the
 //!   rotation/diagonal method);
 //! - [`link`]: the §V communication model (ciphertext sizes, 5G
-//!   bandwidths, video frames/s) regenerating Fig. 8.
+//!   bandwidths, video frames/s) regenerating Fig. 8;
+//! - [`cache`]: the shared plaintext-material cache memoizing derived
+//!   matrices, round constants and their NTT-prepared encodings across
+//!   transciphering calls.
 //!
 //! # Examples
 //!
@@ -46,12 +49,14 @@
 #![warn(missing_docs)]
 
 pub mod batched;
+pub mod cache;
 pub mod client;
 pub mod link;
 pub mod packed;
 pub mod server;
 
 pub use batched::{provision_batched_key, BatchedHheServer};
+pub use cache::MaterialCache;
 pub use client::{EncryptedPastaKey, HheClient};
 pub use link::{figure8, Fig8Point, PastaLink, Resolution, RiseReference};
 pub use packed::PackedHheServer;

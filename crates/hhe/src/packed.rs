@@ -22,15 +22,15 @@
 //! rotations drag in from other lanes/orbits is always cleared before it
 //! can reach the output.
 
+use crate::cache::{MaterialCache, PackedEntry, PackedKey, PackedLayer};
 use crate::client::EncryptedPastaKey;
-use pasta_core::matrix::RowGenerator;
-use pasta_core::permutation::derive_block_material;
 use pasta_core::{Ciphertext as PastaCiphertext, PastaParams};
 use pasta_fhe::{
     BatchEncoder, BfvContext, BfvGaloisKey, BfvRelinKey, BfvSecretKey,
-    Ciphertext as FheCiphertext, FheError, Plaintext,
+    Ciphertext as FheCiphertext, FheError, Plaintext, PreparedPlaintext,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The lane coordinate system: consecutive positions along the orbit of
 /// slot 0 under `σ_3`.
@@ -95,6 +95,10 @@ pub struct PackedHheServer {
     encrypted_key: FheCiphertext,
     layout: LaneLayout,
     encoder: BatchEncoder,
+    /// Indicator plaintexts for the fixed mask windows the evaluation
+    /// uses, NTT-prepared once at setup.
+    masks: HashMap<(usize, usize), PreparedPlaintext>,
+    cache: Arc<MaterialCache>,
 }
 
 /// The Galois elements (`3^k mod 2N`) the packed evaluation needs for a
@@ -151,7 +155,38 @@ impl PackedHheServer {
             }
             rot_keys.insert(k, ctx.generate_galois_key(fhe_sk, g, rng)?);
         }
-        Ok(PackedHheServer { params, relin_key, rot_keys, encrypted_key, layout, encoder })
+        // The evaluation masks only ever these three windows; prepare
+        // their indicator plaintexts once.
+        let mut masks = HashMap::new();
+        for (from, range) in [(0, 2 * t), (1, 2 * t), (0, t)] {
+            let ones = vec![1u64; range - from];
+            let pt = layout.encode_lanes(&encoder, &ones, from);
+            masks.insert((from, range), ctx.prepare_plaintext(&pt));
+        }
+        Ok(PackedHheServer {
+            params,
+            relin_key,
+            rot_keys,
+            encrypted_key,
+            layout,
+            encoder,
+            masks,
+            cache: Arc::new(MaterialCache::new()),
+        })
+    }
+
+    /// Replaces the material cache (e.g. with one shared by several
+    /// servers or server modes).
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<MaterialCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The material cache in use (shareable via [`Arc::clone`]).
+    #[must_use]
+    pub fn cache(&self) -> &Arc<MaterialCache> {
+        &self.cache
     }
 
     /// The packed, FHE-encrypted key as shipped by the client (exposed
@@ -173,11 +208,59 @@ impl PackedHheServer {
         ctx.apply_galois(ct, key)
     }
 
-    /// Mask to lanes `0..range` (indicator plaintext).
+    /// Mask to lanes `from..range` (indicator plaintext, prepared at
+    /// setup for the windows the evaluation uses).
     fn mask(&self, ctx: &BfvContext, ct: &FheCiphertext, from: usize, range: usize) -> FheCiphertext {
+        if let Some(prep) = self.masks.get(&(from, range)) {
+            return ctx.mul_plain_prepared(ct, prep);
+        }
         let ones = vec![1u64; range - from];
         let pt = self.layout.encode_lanes(&self.encoder, &ones, from);
         ctx.mul_plain(ct, &pt)
+    }
+
+    /// Builds the prepared diagonal material for one packed block: per
+    /// layer, the nonzero diagonals of `diag(M_L, M_R)` and the
+    /// concatenated round constant, lane-encoded and NTT-prepared. The
+    /// `2t`-diagonal fan-out runs on the worker pool.
+    fn prepare_packed(&self, ctx: &BfvContext, nonce: u128, counter: u64) -> PackedEntry {
+        let t = self.params.t();
+        let block = self.cache.block(&self.params, nonce, counter);
+        let layers = block
+            .material
+            .layers
+            .iter()
+            .zip(block.matrices.iter())
+            .map(|(layer, mats)| {
+                // Block-diagonal matrix BD = diag(M_L, M_R).
+                let bd = |row: usize, col: usize| -> u64 {
+                    if row < t && col < t {
+                        mats.left.get(row, col)
+                    } else if row >= t && col >= t {
+                        mats.right.get(row - t, col - t)
+                    } else {
+                        0
+                    }
+                };
+                let shifts: Vec<usize> = (0..2 * t).collect();
+                let diagonals = pasta_par::parallel_map(&shifts, |_, &k| {
+                    // diag_k[lane j] = BD[j][(j + k) mod 2t].
+                    let diag: Vec<u64> = (0..2 * t).map(|j| bd(j, (j + k) % (2 * t))).collect();
+                    if diag.iter().all(|&d| d == 0) {
+                        None
+                    } else {
+                        let pt = self.layout.encode_lanes(&self.encoder, &diag, 0);
+                        Some(ctx.prepare_plaintext(&pt))
+                    }
+                });
+                let mut rc = layer.rc_left.clone();
+                rc.extend_from_slice(&layer.rc_right);
+                let rc =
+                    ctx.prepare_plaintext(&self.layout.encode_lanes(&self.encoder, &rc, 0));
+                PackedLayer { diagonals, rc }
+            })
+            .collect();
+        PackedEntry { layers }
     }
 
     /// `state + rot_{-(2t)}(state)`: refresh the duplicate copy at lanes
@@ -202,49 +285,35 @@ impl PackedHheServer {
     ) -> Result<FheCiphertext, FheError> {
         let t = self.params.t();
         let r = self.params.rounds();
-        let zp = self.params.field();
-        let material = derive_block_material(&self.params, nonce, counter);
+        let key = PackedKey { pasta: self.params, bfv: *ctx.params(), nonce, counter };
+        let prepared = self.cache.packed(&key, || self.prepare_packed(ctx, nonce, counter));
 
         // The provisioned key ciphertext is already masked to lanes 0..2t.
         let mut state = self.encrypted_key.clone();
-        for (i, layer) in material.layers.iter().enumerate() {
+        for (i, layer) in prepared.layers.iter().enumerate() {
             // Block-diagonal matrix BD = diag(M_L, M_R) evaluated by the
-            // diagonal method over a window of 2t lanes.
-            let m_left = RowGenerator::new(zp, layer.seed_left.clone()).into_matrix();
-            let m_right = RowGenerator::new(zp, layer.seed_right.clone()).into_matrix();
-            let bd = |row: usize, col: usize| -> u64 {
-                if row < t && col < t {
-                    m_left.get(row, col)
-                } else if row >= t && col >= t {
-                    m_right.get(row - t, col - t)
-                } else {
-                    0
-                }
-            };
+            // diagonal method over a window of 2t lanes, with prepared
+            // diagonals and an NTT-domain accumulator (each rotation is
+            // converted once, the inverse NTT runs once per layer).
             let dup = self.with_duplicate(ctx, &state)?;
             let mut acc: Option<FheCiphertext> = None;
-            for k in 0..2 * t {
-                // diag_k[lane j] = BD[j][(j + k) mod 2t].
-                let diag: Vec<u64> = (0..2 * t).map(|j| bd(j, (j + k) % (2 * t))).collect();
-                if diag.iter().all(|&d| d == 0) {
-                    continue;
+            for (k, diag) in layer.diagonals.iter().enumerate() {
+                let Some(diag) = diag else { continue };
+                let mut rotated = self.rotate(ctx, &dup, k)?;
+                ctx.to_ntt_ct(&mut rotated);
+                match acc.as_mut() {
+                    None => acc = Some(ctx.mul_plain_prepared_ntt(&rotated, diag)),
+                    Some(a) => ctx.add_mul_plain_ntt_assign(a, &rotated, diag)?,
                 }
-                let pt = self.layout.encode_lanes(&self.encoder, &diag, 0);
-                let rotated = self.rotate(ctx, &dup, k)?;
-                let term = ctx.mul_plain(&rotated, &pt);
-                acc = Some(match acc {
-                    None => term,
-                    Some(a) => ctx.add(&a, &term)?,
-                });
             }
-            let acc = acc.ok_or_else(|| {
+            let mut acc = acc.ok_or_else(|| {
                 // Unreachable for the invertible matrices Eq. 1 generates,
                 // but an all-zero layer must not panic the server.
                 FheError::Incompatible("affine layer matrix has no nonzero diagonal".into())
             })?;
-            let mut rc = layer.rc_left.clone();
-            rc.extend_from_slice(&layer.rc_right);
-            state = ctx.add_plain(&acc, &self.layout.encode_lanes(&self.encoder, &rc, 0));
+            ctx.to_coeff_ct(&mut acc);
+            ctx.add_plain_prepared_assign(&mut acc, &layer.rc);
+            state = acc;
             // state is masked here: every diagonal plaintext is zero
             // outside lanes 0..2t.
 
@@ -252,7 +321,9 @@ impl PackedHheServer {
                 // Mix: (2L + R, 2R + L) = 2·state + rot_t(dup(state)).
                 let dup = self.with_duplicate(ctx, &state)?;
                 let swapped = self.rotate(ctx, &dup, t)?;
-                state = ctx.add(&ctx.add(&state, &state)?, &swapped)?;
+                let doubled = state.clone();
+                ctx.add_assign(&mut state, &doubled)?;
+                ctx.add_assign(&mut state, &swapped)?;
                 // Mix dragged garbage into lanes >= 2t: re-mask before
                 // the shift-dependent S-box.
                 state = self.mask(ctx, &state, 0, 2 * t);
@@ -264,7 +335,7 @@ impl PackedHheServer {
                     let shifted = self.rotate(ctx, &dup, 2 * t - 1)?;
                     let squared = ctx.square_relin(&shifted, &self.relin_key)?;
                     let masked_sq = self.mask(ctx, &squared, 1, 2 * t);
-                    state = ctx.add(&state, &masked_sq)?;
+                    ctx.add_assign(&mut state, &masked_sq)?;
                 } else {
                     // Cube on all lanes (garbage outside 0..2t is
                     // cleared by the next affine layer's diagonals).
@@ -294,9 +365,10 @@ impl PackedHheServer {
         let block: Vec<u64> =
             pasta_ct.elements()[start..(start + t).min(pasta_ct.len())].to_vec();
         let ks = self.keystream_packed(ctx, pasta_ct.nonce(), counter)?;
-        let trivial =
+        let mut out =
             ctx.encrypt_trivial(&self.layout.encode_lanes(&self.encoder, &block, 0));
-        ctx.sub(&trivial, &ks)
+        ctx.sub_assign(&mut out, &ks)?;
+        Ok(out)
     }
 
     /// Client-side: decode lanes `0..n` of a packed result.
@@ -417,6 +489,18 @@ mod tests {
         assert_eq!(w.server.decode(&w.ctx, &w.sk, &fhe_ct, 4), message);
         // The whole block is ONE ciphertext (vs t in scalar mode).
         assert_eq!(fhe_ct.components(), 2);
+    }
+
+    #[test]
+    fn warm_cache_pass_is_bit_exact() {
+        let w = setup();
+        let cold = w.server.keystream_packed(&w.ctx, 0xF00D, 0).unwrap();
+        let misses_after_cold = w.server.cache().stats().misses;
+        let warm = w.server.keystream_packed(&w.ctx, 0xF00D, 0).unwrap();
+        assert_eq!(cold, warm, "cached diagonals must be bit-exact");
+        let stats = w.server.cache().stats();
+        assert_eq!(stats.misses, misses_after_cold, "warm pass must not re-prepare");
+        assert!(stats.hits >= 1, "warm pass must hit the cache");
     }
 
     #[test]

@@ -17,23 +17,26 @@
 //! the transciphering step that lets the client avoid FHE encryption
 //! entirely.
 
+use crate::cache::MaterialCache;
 use crate::client::EncryptedPastaKey;
-use pasta_core::matrix::RowGenerator;
-use pasta_core::permutation::{derive_block_material, AffineMaterial};
 use pasta_core::{Ciphertext as PastaCiphertext, PastaParams};
 use pasta_fhe::{BfvContext, BfvRelinKey, Ciphertext as FheCiphertext, FheError};
+use pasta_math::linalg::Matrix;
+use std::sync::Arc;
 
-/// The HHE server state: FHE context, relinearization key, and the
-/// client's encrypted PASTA key.
+/// The HHE server state: FHE context, relinearization key, the client's
+/// encrypted PASTA key, and the shared material cache.
 #[derive(Debug)]
 pub struct HheServer {
     params: PastaParams,
     relin_key: BfvRelinKey,
     encrypted_key: EncryptedPastaKey,
+    cache: Arc<MaterialCache>,
 }
 
 impl HheServer {
-    /// Sets up a server for one client.
+    /// Sets up a server for one client (with a private material cache;
+    /// use [`HheServer::with_cache`] to share one across servers).
     ///
     /// # Errors
     ///
@@ -51,7 +54,21 @@ impl HheServer {
                 params.state_size()
             )));
         }
-        Ok(HheServer { params, relin_key, encrypted_key })
+        Ok(HheServer { params, relin_key, encrypted_key, cache: Arc::new(MaterialCache::new()) })
+    }
+
+    /// Replaces the material cache (e.g. with one shared by several
+    /// servers or server modes).
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<MaterialCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The material cache in use (shareable via [`Arc::clone`]).
+    #[must_use]
+    pub fn cache(&self) -> &Arc<MaterialCache> {
+        &self.cache
     }
 
     /// Homomorphically computes the keystream block for
@@ -68,14 +85,15 @@ impl HheServer {
     ) -> Result<Vec<FheCiphertext>, FheError> {
         let t = self.params.t();
         let r = self.params.rounds();
-        let material = derive_block_material(&self.params, nonce, counter);
+        let entry = self.cache.block(&self.params, nonce, counter);
         let mut left = self.encrypted_key.elements[..t].to_vec();
         let mut right = self.encrypted_key.elements[t..].to_vec();
-        for (i, layer) in material.layers.iter().enumerate() {
-            left = self.affine_half(ctx, &left, layer, true)?;
-            right = self.affine_half(ctx, &right, layer, false)?;
+        for (i, (layer, mats)) in entry.material.layers.iter().zip(entry.matrices.iter()).enumerate()
+        {
+            left = Self::affine_half(ctx, &left, &mats.left, &layer.rc_left)?;
+            right = Self::affine_half(ctx, &right, &mats.right, &layer.rc_right)?;
             if i < r {
-                self.mix(ctx, &mut left, &mut right)?;
+                Self::mix(ctx, &mut left, &mut right)?;
                 let is_final_round = i == r - 1;
                 self.sbox(ctx, &mut left, &mut right, is_final_round)?;
             }
@@ -97,64 +115,68 @@ impl HheServer {
         let t = self.params.t();
         let mut out = Vec::with_capacity(pasta_ct.len());
         for (counter, block) in pasta_ct.elements().chunks(t).enumerate() {
-            let ks = self.keystream_encrypted(ctx, pasta_ct.nonce(), counter as u64)?;
-            for (c_elem, ks_ct) in block.iter().zip(ks.iter()) {
-                let c_trivial = ctx.encrypt_trivial(&ctx.encode_scalar(*c_elem));
-                out.push(ctx.sub(&c_trivial, ks_ct)?);
+            let mut ks = self.keystream_encrypted(ctx, pasta_ct.nonce(), counter as u64)?;
+            // `Δ·c − Enc(KS)` without re-encoding c: consume the
+            // keystream ciphertext, negate it in place, and inject the
+            // public symmetric element as a constant coefficient.
+            ks.truncate(block.len());
+            for (ks_ct, &c_elem) in ks.iter_mut().zip(block.iter()) {
+                ctx.neg_assign(ks_ct);
+                ctx.add_scalar_assign(ks_ct, c_elem);
             }
+            out.append(&mut ks);
         }
         Ok(out)
     }
 
     /// One affine layer on one half: `out_i = Σ_j M_ij·ct_j + rc_i`.
+    ///
+    /// The matrix comes from the material cache; output rows are
+    /// independent, so the `t`-ciphertext fan-out runs on the worker
+    /// pool (`PASTA_THREADS`) — bit-exact for any thread count.
     fn affine_half(
-        &self,
         ctx: &BfvContext,
         half: &[FheCiphertext],
-        layer: &AffineMaterial,
-        is_left: bool,
+        matrix: &Matrix,
+        rc: &[u64],
     ) -> Result<Vec<FheCiphertext>, FheError> {
-        let zp = self.params.field();
-        let (seed, rc) = if is_left {
-            (&layer.seed_left, &layer.rc_left)
-        } else {
-            (&layer.seed_right, &layer.rc_right)
-        };
-        let matrix = RowGenerator::new(zp, seed.clone()).into_matrix();
         let t = half.len();
-        let Some(first) = half.first() else {
+        if half.is_empty() {
             return Err(FheError::Incompatible("affine layer applied to an empty state half".into()));
-        };
-        let mut out = Vec::with_capacity(t);
-        for (i, &rc_i) in rc.iter().enumerate().take(t) {
-            let row = matrix.row(i);
-            let mut acc = ctx.mul_scalar(first, row[0]);
-            for (j, ct) in half.iter().enumerate().skip(1) {
-                acc = ctx.add(&acc, &ctx.mul_scalar(ct, row[j]))?;
-            }
-            out.push(ctx.add_plain(&acc, &ctx.encode_scalar(rc_i)));
         }
-        Ok(out)
+        let rows: Vec<usize> = (0..t.min(rc.len())).collect();
+        pasta_par::parallel_map(&rows, |_, &i| {
+            let row = matrix.row(i);
+            let mut acc = ctx.mul_scalar(&half[0], row[0]);
+            for (j, ct) in half.iter().enumerate().skip(1) {
+                let term = ctx.mul_scalar(ct, row[j]);
+                ctx.add_assign(&mut acc, &term)?;
+            }
+            ctx.add_scalar_assign(&mut acc, rc[i]);
+            Ok(acc)
+        })
+        .into_iter()
+        .collect()
     }
 
     /// Mix: `(2L + R, 2R + L)` element-wise with additions only.
     fn mix(
-        &self,
         ctx: &BfvContext,
         left: &mut [FheCiphertext],
         right: &mut [FheCiphertext],
     ) -> Result<(), FheError> {
         for (l, r) in left.iter_mut().zip(right.iter_mut()) {
-            let sum = ctx.add(l, r)?;
-            let new_l = ctx.add(l, &sum)?;
-            let new_r = ctx.add(r, &sum)?;
-            *l = new_l;
-            *r = new_r;
+            let mut sum = l.clone();
+            ctx.add_assign(&mut sum, r)?;
+            ctx.add_assign(l, &sum)?;
+            ctx.add_assign(r, &sum)?;
         }
         Ok(())
     }
 
-    /// S-box over the concatenated state.
+    /// S-box over the concatenated state. The squarings (ciphertext ×
+    /// ciphertext multiplications — the expensive part of the circuit)
+    /// fan out across the worker pool.
     fn sbox(
         &self,
         ctx: &BfvContext,
@@ -166,18 +188,22 @@ impl HheServer {
         let mut full: Vec<FheCiphertext> = left.iter().chain(right.iter()).cloned().collect();
         if is_final_round {
             // Cube: x³ = relin(x²)·x, relinearized again.
-            for x in full.iter_mut() {
+            full = pasta_par::parallel_map(&full, |_, x| {
                 let sq = ctx.square_relin(x, &self.relin_key)?;
-                *x = ctx.mul_relin(&sq, x, &self.relin_key)?;
-            }
+                ctx.mul_relin(&sq, x, &self.relin_key)
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?;
         } else {
             // Feistel: y_0 = x_0, y_j = x_j + x_{j-1}² on input values.
-            let squares: Vec<FheCiphertext> = full[..2 * t - 1]
-                .iter()
-                .map(|x| ctx.square_relin(x, &self.relin_key))
+            let squares: Vec<FheCiphertext> =
+                pasta_par::parallel_map(&full[..2 * t - 1], |_, x| {
+                    ctx.square_relin(x, &self.relin_key)
+                })
+                .into_iter()
                 .collect::<Result<_, _>>()?;
             for j in (1..2 * t).rev() {
-                full[j] = ctx.add(&full[j], &squares[j - 1])?;
+                ctx.add_assign(&mut full[j], &squares[j - 1])?;
             }
         }
         left.clone_from_slice(&full[..t]);
@@ -243,6 +269,34 @@ mod tests {
         let fhe_cts = w.server.transcipher(&w.ctx, &pasta_ct).unwrap();
         assert_eq!(fhe_cts.len(), 10);
         assert_eq!(w.client.retrieve(&w.ctx, &w.fhe_sk, &fhe_cts), message);
+    }
+
+    #[test]
+    fn warm_cache_pass_is_bit_exact() {
+        let w = setup();
+        let cold = w.server.keystream_encrypted(&w.ctx, 4242, 1).unwrap();
+        let misses_after_cold = w.server.cache().stats().misses;
+        let warm = w.server.keystream_encrypted(&w.ctx, 4242, 1).unwrap();
+        assert_eq!(cold, warm, "cached material must not change the ciphertexts");
+        let stats = w.server.cache().stats();
+        assert_eq!(stats.misses, misses_after_cold, "warm pass must not re-derive");
+        assert!(stats.hits >= 1, "warm pass must hit the cache");
+    }
+
+    #[test]
+    fn servers_can_share_one_cache() {
+        let w = setup();
+        let shared = std::sync::Arc::clone(w.server.cache());
+        let params = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let fhe_pk = w.ctx.generate_public_key(&w.fhe_sk, &mut rng);
+        let relin = w.ctx.generate_relin_key(&w.fhe_sk, &mut rng);
+        let ek = w.client.provision_key(&w.ctx, &fhe_pk, &mut rng);
+        let second = HheServer::new(params, relin, ek).unwrap().with_cache(shared);
+        let _ = w.server.keystream_encrypted(&w.ctx, 99, 0).unwrap();
+        let misses = second.cache().stats().misses;
+        let _ = second.keystream_encrypted(&w.ctx, 99, 0).unwrap();
+        assert_eq!(second.cache().stats().misses, misses, "shared entry must be reused");
     }
 
     #[test]

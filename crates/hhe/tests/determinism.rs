@@ -1,0 +1,88 @@
+//! Thread-count determinism: the parallel fan-outs (`pasta-par`) must
+//! be bit-exact for any worker count. `PASTA_THREADS=1` and `=4` have to
+//! produce *identical* transciphered ciphertexts — not just ciphertexts
+//! that decrypt to the same message.
+//!
+//! These tests live in their own integration-test binary so mutating the
+//! `PASTA_THREADS` process environment cannot race against unrelated
+//! unit tests.
+
+use pasta_core::PastaParams;
+use pasta_fhe::{BfvContext, BfvParams, Ciphertext as FheCiphertext};
+use pasta_hhe::{provision_batched_key, BatchedHheServer, HheClient, HheServer};
+use pasta_math::Modulus;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn with_threads<T>(n: &str, f: impl FnOnce() -> T) -> T {
+    std::env::set_var(pasta_par::THREADS_ENV, n);
+    let out = f();
+    std::env::remove_var(pasta_par::THREADS_ENV);
+    out
+}
+
+#[test]
+fn batched_transcipher_is_thread_count_invariant() {
+    let params = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap();
+    let bfv = BfvParams { prime_count: 5, ..BfvParams::test_tiny() };
+    let ctx = BfvContext::new(bfv).unwrap();
+    let mut rng = StdRng::seed_from_u64(808);
+    let sk = ctx.generate_secret_key(&mut rng);
+    let pk = ctx.generate_public_key(&sk, &mut rng);
+    let relin = ctx.generate_relin_key(&sk, &mut rng);
+    let client = HheClient::new(params, b"determinism");
+    let ek = provision_batched_key(client.cipher().key().elements(), &ctx, &pk, &mut rng);
+    let server = BatchedHheServer::new(params, &ctx, relin, ek).unwrap();
+
+    // Three blocks (12 elements / t = 4) so the batch genuinely spans
+    // multiple counters.
+    let message: Vec<u64> = (0..12u64).map(|i| (i * 3_141 + 59) % 65_537).collect();
+    let pasta_ct = client.encrypt(0xD1CE, &message).unwrap();
+
+    let serial = with_threads("1", || server.transcipher_batched(&ctx, &pasta_ct).unwrap());
+    // Fresh server for the threaded pass: a cache hit from the serial
+    // pass must not mask a scheduling-dependent material build.
+    let threaded = with_threads("4", || {
+        let mut rng = StdRng::seed_from_u64(808);
+        let sk2 = ctx.generate_secret_key(&mut rng);
+        let pk2 = ctx.generate_public_key(&sk2, &mut rng);
+        let relin2 = ctx.generate_relin_key(&sk2, &mut rng);
+        let client2 = HheClient::new(params, b"determinism");
+        let ek2 =
+            provision_batched_key(client2.cipher().key().elements(), &ctx, &pk2, &mut rng);
+        let server2 = BatchedHheServer::new(params, &ctx, relin2, ek2).unwrap();
+        server2.transcipher_batched(&ctx, &pasta_ct).unwrap()
+    });
+
+    assert_eq!(serial.blocks, 3);
+    assert_eq!(
+        serial.positions, threaded.positions,
+        "PASTA_THREADS=1 and =4 must produce identical ciphertexts"
+    );
+
+    // And re-running on the same (warm) server stays identical too.
+    let warm = with_threads("4", || server.transcipher_batched(&ctx, &pasta_ct).unwrap());
+    assert_eq!(serial.positions, warm.positions);
+}
+
+#[test]
+fn scalar_transcipher_is_thread_count_invariant() {
+    let params = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap();
+    let ctx = BfvContext::new(BfvParams::test_tiny()).unwrap();
+    let mut rng = StdRng::seed_from_u64(77);
+    let sk = ctx.generate_secret_key(&mut rng);
+    let pk = ctx.generate_public_key(&sk, &mut rng);
+    let relin = ctx.generate_relin_key(&sk, &mut rng);
+    let client = HheClient::new(params, b"determinism");
+    let ek = client.provision_key(&ctx, &pk, &mut rng);
+    let server = HheServer::new(params, relin, ek).unwrap();
+
+    let message: Vec<u64> = (0..8u64).map(|i| i * 999 + 1).collect();
+    let pasta_ct = client.encrypt(7, &message).unwrap();
+
+    let serial: Vec<FheCiphertext> =
+        with_threads("1", || server.transcipher(&ctx, &pasta_ct).unwrap());
+    let threaded = with_threads("4", || server.transcipher(&ctx, &pasta_ct).unwrap());
+    assert_eq!(serial, threaded);
+    assert_eq!(client.retrieve(&ctx, &sk, &serial), message);
+}

@@ -139,6 +139,45 @@ impl Zp {
         self.reducer.mul(a, b)
     }
 
+    /// Shoup precomputation for a fixed multiplicand: `w' = ⌊w·2⁶⁴/p⌋`.
+    ///
+    /// The pair `(w, w')` turns every later product by `w` into a single
+    /// high-half multiplication plus two wrapping low-half ones — the
+    /// Harvey/Shoup butterfly used by the NTT kernels.
+    #[inline]
+    #[must_use]
+    pub fn shoup(&self, w: u64) -> u64 {
+        debug_assert!(w < self.p());
+        ((u128::from(w) << 64) / u128::from(self.p())) as u64
+    }
+
+    /// Lazy Shoup product `a·w mod p` with the result in `[0, 2p)`.
+    ///
+    /// `w_shoup` must be [`Zp::shoup`]`(w)` with `w < p`; then for *any*
+    /// `a: u64` the quotient estimate `q = ⌊a·w'/2⁶⁴⌋` is off by at most
+    /// one, so `a·w − q·p` (wrapping arithmetic) lands in `[0, 2p)`.
+    /// Every supported [`Modulus`] is ≤ 62 bits, so `2p` (and the `4p`
+    /// bound the lazy NTT butterflies rely on) fits in a `u64`.
+    #[inline]
+    #[must_use]
+    pub fn mul_shoup_lazy(&self, a: u64, w: u64, w_shoup: u64) -> u64 {
+        let q = ((u128::from(a) * u128::from(w_shoup)) >> 64) as u64;
+        a.wrapping_mul(w).wrapping_sub(q.wrapping_mul(self.p()))
+    }
+
+    /// Canonical `a·w mod p` via the Shoup method (one conditional
+    /// subtraction after the lazy product).
+    #[inline]
+    #[must_use]
+    pub fn mul_shoup(&self, a: u64, w: u64, w_shoup: u64) -> u64 {
+        let r = self.mul_shoup_lazy(a, w, w_shoup);
+        if r >= self.p() {
+            r - self.p()
+        } else {
+            r
+        }
+    }
+
     /// `a · b + c mod p` — the MAC operation of the MatGen unit (Fig. 5).
     #[inline]
     #[must_use]
@@ -371,6 +410,35 @@ mod tests {
             let zp = Zp::new(Modulus::PASTA_17_BIT).unwrap();
             let inv = zp.inv(a).unwrap();
             prop_assert_eq!(zp.mul(a, inv), 1);
+        }
+
+        #[test]
+        fn prop_mul_shoup_matches_mul_every_modulus(a in any::<u64>(), w in any::<u64>()) {
+            // The Shoup product must agree with the configured reducer
+            // (Barrett / add-shift) for every supported modulus constant.
+            for zp in fields() {
+                let a = a % zp.p();
+                let w = w % zp.p();
+                let w_shoup = zp.shoup(w);
+                prop_assert_eq!(zp.mul_shoup(a, w, w_shoup), zp.mul(a, w), "p = {}", zp.p());
+                let lazy = zp.mul_shoup_lazy(a, w, w_shoup);
+                prop_assert!(lazy < 2 * zp.p(), "lazy range for p = {}", zp.p());
+                prop_assert_eq!(lazy % zp.p(), zp.mul(a, w));
+            }
+        }
+
+        #[test]
+        fn prop_mul_shoup_lazy_accepts_noncanonical_inputs(a in any::<u64>(), w in any::<u64>()) {
+            // Harvey's bound: the left input may be ANY u64 (the lazy NTT
+            // feeds values in [0, 4p)); only w must be canonical.
+            for zp in fields() {
+                let w = w % zp.p();
+                let w_shoup = zp.shoup(w);
+                let lazy = zp.mul_shoup_lazy(a, w, w_shoup);
+                prop_assert!(lazy < 2 * zp.p());
+                let expect = ((u128::from(a) * u128::from(w)) % u128::from(zp.p())) as u64;
+                prop_assert_eq!(lazy % zp.p(), expect);
+            }
         }
     }
 }

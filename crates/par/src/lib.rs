@@ -1,0 +1,223 @@
+//! Minimal scoped parallel-for for the FHE/HHE hot paths.
+//!
+//! The build environment is offline, so instead of `rayon` this crate
+//! vendors the ~100 lines the workspace actually needs: chunked
+//! `std::thread::scope` helpers that split a slice across worker
+//! threads and fall back to a plain serial loop when parallelism is
+//! unavailable or not worth it.
+//!
+//! Thread count resolution (checked on **every** call, so tests can
+//! toggle it):
+//!
+//! 1. `PASTA_THREADS` environment variable, if it parses as a positive
+//!    integer;
+//! 2. otherwise [`std::thread::available_parallelism`];
+//! 3. ≤ 1 (or fewer than 2 items) means serial execution — no threads
+//!    are spawned at all.
+//!
+//! Threads are spawned per call (`std::thread::scope`); there is no
+//! persistent pool (a work-stealing pool needs `unsafe` or channels the
+//! hot path cannot afford, and the workspace forbids `unsafe`). Callers
+//! should therefore only parallelize work items in the ≳100µs range —
+//! RNS prime rows of large rings, or per-ciphertext server work — and
+//! gate smaller items with the `parallel: bool` argument of the
+//! `maybe_*` variants.
+//!
+//! Determinism: chunk boundaries depend only on `len` and the resolved
+//! thread count, every item is processed exactly once, and results are
+//! written back into the item's own slot — so outputs are bit-identical
+//! for any thread count (`PASTA_THREADS=1` vs `=4` is part of the test
+//! contract).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "PASTA_THREADS";
+
+/// Resolves the worker-thread count for this call: `PASTA_THREADS` if
+/// set and valid, else the machine's available parallelism, else 1.
+#[must_use]
+pub fn threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Splits `len` items into at most `workers` contiguous chunk ranges of
+/// near-equal size (first chunks one longer when `len % workers != 0`).
+fn chunk_ranges(len: usize, workers: usize) -> Vec<(usize, usize)> {
+    let workers = workers.min(len).max(1);
+    let base = len / workers;
+    let extra = len % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
+/// Applies `f(index, &mut item)` to every item, splitting the slice
+/// across worker threads when `parallel` is true and more than one
+/// thread is available. Serial fallback otherwise — same iteration
+/// order, same results.
+pub fn maybe_parallel_for_each_mut<T, F>(parallel: bool, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let workers = if parallel { threads() } else { 1 };
+    if workers <= 1 || items.len() < 2 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let ranges = chunk_ranges(items.len(), workers);
+    std::thread::scope(|scope| {
+        let mut rest = items;
+        let mut offset = 0;
+        for &(start, end) in &ranges {
+            let (chunk, tail) = rest.split_at_mut(end - start);
+            rest = tail;
+            let base = offset;
+            let f = &f;
+            scope.spawn(move || {
+                for (i, item) in chunk.iter_mut().enumerate() {
+                    f(base + i, item);
+                }
+            });
+            offset = end;
+        }
+    });
+}
+
+/// Maps `f(index, &item)` over the slice, preserving order in the
+/// returned vector. Parallel across worker threads when `parallel` is
+/// true and more than one thread is available.
+///
+/// # Panics
+///
+/// Panics if a result slot was left unfilled — impossible as long as
+/// [`chunk_ranges`] covers every index exactly once (tested).
+pub fn maybe_parallel_map<T, R, F>(parallel: bool, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = if parallel { threads() } else { 1 };
+    if workers <= 1 || items.len() < 2 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let ranges = chunk_ranges(items.len(), workers);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let mut rest = results.as_mut_slice();
+        for &(start, end) in &ranges {
+            let (chunk, tail) = rest.split_at_mut(end - start);
+            rest = tail;
+            let f = &f;
+            scope.spawn(move || {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(f(start + i, &items[start + i]));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every chunk fills its slots"))
+        .collect()
+}
+
+/// Unconditionally-gated variants: parallel whenever ≥2 threads resolve.
+pub fn parallel_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    maybe_parallel_for_each_mut(true, items, f);
+}
+
+/// Order-preserving map, parallel whenever ≥2 threads resolve.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    maybe_parallel_map(true, items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_everything_exactly_once() {
+        for len in [0usize, 1, 2, 3, 7, 8, 100] {
+            for workers in [1usize, 2, 3, 4, 16] {
+                let ranges = chunk_ranges(len, workers);
+                let mut covered = vec![0u32; len];
+                for (s, e) in ranges {
+                    for c in covered.iter_mut().take(e).skip(s) {
+                        *c += 1;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c == 1), "len={len} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_mut_matches_serial() {
+        let mut serial: Vec<u64> = (0..37).collect();
+        let mut par: Vec<u64> = (0..37).collect();
+        maybe_parallel_for_each_mut(false, &mut serial, |i, x| *x = *x * 3 + i as u64);
+        maybe_parallel_for_each_mut(true, &mut par, |i, x| *x = *x * 3 + i as u64);
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..53).collect();
+        let out = maybe_parallel_map(true, &items, |i, &x| x * 2 + i as u64);
+        let expect: Vec<u64> = items.iter().enumerate().map(|(i, &x)| x * 2 + i as u64).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn single_item_runs_serial() {
+        let mut one = [41u64];
+        parallel_for_each_mut(&mut one, |_, x| *x += 1);
+        assert_eq!(one, [42]);
+        assert_eq!(parallel_map(&[7u64], |_, &x| x + 1), vec![8]);
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(parallel_map(&empty, |_, &x: &u64| x), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn env_override_is_read_per_call() {
+        // `threads()` must re-read the variable on every call so the
+        // determinism tests can toggle 1 vs 4 within one process. Other
+        // tests in this binary do not read the variable concurrently.
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(threads(), 3);
+        std::env::set_var(THREADS_ENV, "1");
+        assert_eq!(threads(), 1);
+        std::env::set_var(THREADS_ENV, "not a number");
+        let fallback = threads();
+        assert!(fallback >= 1);
+        std::env::remove_var(THREADS_ENV);
+    }
+}
