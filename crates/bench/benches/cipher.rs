@@ -8,16 +8,19 @@ use pasta_core::{PastaCipher, PastaParams, SecretKey};
 fn bench_keystream(c: &mut Criterion) {
     let mut group = c.benchmark_group("keystream_block");
     group.sample_size(20);
-    for (name, params) in
-        [("pasta3_17bit", PastaParams::pasta3_17bit()), ("pasta4_17bit", PastaParams::pasta4_17bit())]
-    {
+    for (name, params) in [
+        ("pasta3_17bit", PastaParams::pasta3_17bit()),
+        ("pasta4_17bit", PastaParams::pasta4_17bit()),
+    ] {
         let cipher = PastaCipher::new(params, SecretKey::from_seed(&params, b"bench"));
         group.throughput(Throughput::Elements(params.t() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(name), &cipher, |b, cipher| {
             let mut counter = 0u64;
             b.iter(|| {
                 counter += 1;
-                cipher.keystream_block(black_box(0xBEEF), counter).expect("valid key")
+                cipher
+                    .keystream_block(black_box(0xBEEF), counter)
+                    .expect("valid key")
             });
         });
     }
@@ -36,7 +39,11 @@ fn bench_encrypt_per_element(c: &mut Criterion) {
             BenchmarkId::new("pasta4_17bit", elements),
             &message,
             |b, message| {
-                b.iter(|| cipher.encrypt(black_box(7), message).expect("valid message"));
+                b.iter(|| {
+                    cipher
+                        .encrypt(black_box(7), message)
+                        .expect("valid message")
+                });
             },
         );
     }
@@ -61,5 +68,10 @@ fn bench_bitwidths(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_keystream, bench_encrypt_per_element, bench_bitwidths);
+criterion_group!(
+    benches,
+    bench_keystream,
+    bench_encrypt_per_element,
+    bench_bitwidths
+);
 criterion_main!(benches);

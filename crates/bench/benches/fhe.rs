@@ -45,13 +45,19 @@ fn bench_bfv_ops(c: &mut Criterion) {
         b.iter(|| ctx.decrypt(&sk, black_box(&ct_a)));
     });
     group.bench_function("add", |b| {
-        b.iter(|| ctx.add(black_box(&ct_a), black_box(&ct_b)).expect("compatible"));
+        b.iter(|| {
+            ctx.add(black_box(&ct_a), black_box(&ct_b))
+                .expect("compatible")
+        });
     });
     group.bench_function("mul_scalar", |b| {
         b.iter(|| ctx.mul_scalar(black_box(&ct_a), 31_337));
     });
     group.bench_function("mul_relin", |b| {
-        b.iter(|| ctx.mul_relin(black_box(&ct_a), black_box(&ct_b), &rk).expect("compatible"));
+        b.iter(|| {
+            ctx.mul_relin(black_box(&ct_a), black_box(&ct_b), &rk)
+                .expect("compatible")
+        });
     });
     group.finish();
 }

@@ -10,16 +10,18 @@ use pasta_keccak::XofCoreKind;
 fn bench_block_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("hw_block_sim");
     group.sample_size(15);
-    for (name, params) in
-        [("pasta4", PastaParams::pasta4_17bit()), ("pasta3", PastaParams::pasta3_17bit())]
-    {
+    for (name, params) in [
+        ("pasta4", PastaParams::pasta4_17bit()),
+        ("pasta3", PastaParams::pasta3_17bit()),
+    ] {
         let key = SecretKey::from_seed(&params, b"bench");
         let proc = PastaProcessor::new(params);
         group.bench_with_input(BenchmarkId::from_parameter(name), &proc, |b, proc| {
             let mut counter = 0u64;
             b.iter(|| {
                 counter += 1;
-                proc.keystream_block(black_box(&key), 0xFEED, counter).expect("valid key")
+                proc.keystream_block(black_box(&key), 0xFEED, counter)
+                    .expect("valid key")
             });
         });
     }
@@ -31,12 +33,16 @@ fn bench_core_variants(c: &mut Criterion) {
     group.sample_size(15);
     let params = PastaParams::pasta4_17bit();
     let key = SecretKey::from_seed(&params, b"bench");
-    for (name, core) in
-        [("squeeze_parallel", XofCoreKind::SqueezeParallel), ("naive", XofCoreKind::Naive)]
-    {
+    for (name, core) in [
+        ("squeeze_parallel", XofCoreKind::SqueezeParallel),
+        ("naive", XofCoreKind::Naive),
+    ] {
         let proc = PastaProcessor::with_core(params, core);
         group.bench_with_input(BenchmarkId::from_parameter(name), &proc, |b, proc| {
-            b.iter(|| proc.keystream_block(black_box(&key), 1, 1).expect("valid key"));
+            b.iter(|| {
+                proc.keystream_block(black_box(&key), 1, 1)
+                    .expect("valid key")
+            });
         });
     }
     group.finish();

@@ -52,5 +52,10 @@ fn bench_rejection_sampling(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_permutation, bench_shake_stream, bench_rejection_sampling);
+criterion_group!(
+    benches,
+    bench_permutation,
+    bench_shake_stream,
+    bench_rejection_sampling
+);
 criterion_main!(benches);

@@ -11,20 +11,20 @@ fn bench_reductions(c: &mut Criterion) {
         ("33bit", Modulus::PASTA_33_BIT),
         ("54bit", Modulus::PASTA_54_BIT),
     ] {
-        for kind in [ReductionKind::AddShift, ReductionKind::Barrett, ReductionKind::Naive] {
+        for kind in [
+            ReductionKind::AddShift,
+            ReductionKind::Barrett,
+            ReductionKind::Naive,
+        ] {
             let zp = Zp::with_reduction(modulus, kind);
             let p = zp.p();
-            group.bench_with_input(
-                BenchmarkId::new(format!("{kind:?}"), name),
-                &zp,
-                |b, zp| {
-                    let mut x = p / 3;
-                    b.iter(|| {
-                        x = zp.mul(black_box(x), black_box(p - 2));
-                        x
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{kind:?}"), name), &zp, |b, zp| {
+                let mut x = p / 3;
+                b.iter(|| {
+                    x = zp.mul(black_box(x), black_box(p - 2));
+                    x
+                });
+            });
         }
     }
     group.finish();
@@ -63,5 +63,10 @@ fn bench_dot_product(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_reductions, bench_montgomery, bench_dot_product);
+criterion_group!(
+    benches,
+    bench_reductions,
+    bench_montgomery,
+    bench_dot_product
+);
 criterion_main!(benches);

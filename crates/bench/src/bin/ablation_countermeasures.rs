@@ -3,11 +3,9 @@
 //! redundancy granularities on the cycle-accurate model.
 
 use pasta_bench::report::TextTable;
-use pasta_core::{PastaParams, SecretKey};
-use pasta_hw::fault::{
-    faulty_keystream, Countermeasure, FaultSpec, FaultTarget,
-};
 use pasta_core::permute;
+use pasta_core::{PastaParams, SecretKey};
+use pasta_hw::fault::{faulty_keystream, Countermeasure, FaultSpec, FaultTarget};
 
 fn main() {
     let params = PastaParams::pasta4_17bit();
@@ -17,16 +15,51 @@ fn main() {
     let clean = permute(&params, key.elements(), 1, 0).expect("valid key");
     let mut surface = TextTable::new(vec!["fault target", "keystream elements corrupted"]);
     let cases = [
-        ("matrix seed, first layer", FaultTarget::MatrixSeed { layer: 0, left: true, index: 0 }),
-        ("matrix seed, last layer", FaultTarget::MatrixSeed { layer: 4, left: true, index: 0 }),
-        ("round constant, first layer", FaultTarget::RoundConstant { layer: 0, left: true, index: 3 }),
-        ("round constant, LAST layer", FaultTarget::RoundConstant { layer: 4, left: true, index: 3 }),
-        ("keystream output register", FaultTarget::KeystreamElement { index: 3 }),
+        (
+            "matrix seed, first layer",
+            FaultTarget::MatrixSeed {
+                layer: 0,
+                left: true,
+                index: 0,
+            },
+        ),
+        (
+            "matrix seed, last layer",
+            FaultTarget::MatrixSeed {
+                layer: 4,
+                left: true,
+                index: 0,
+            },
+        ),
+        (
+            "round constant, first layer",
+            FaultTarget::RoundConstant {
+                layer: 0,
+                left: true,
+                index: 3,
+            },
+        ),
+        (
+            "round constant, LAST layer",
+            FaultTarget::RoundConstant {
+                layer: 4,
+                left: true,
+                index: 3,
+            },
+        ),
+        (
+            "keystream output register",
+            FaultTarget::KeystreamElement { index: 3 },
+        ),
     ];
     for (name, target) in cases {
         let faulted =
             faulty_keystream(&params, &key, 1, 0, &FaultSpec { target, mask: 0x5A }).unwrap();
-        let corrupted = clean.iter().zip(faulted.iter()).filter(|(a, b)| a != b).count();
+        let corrupted = clean
+            .iter()
+            .zip(faulted.iter())
+            .filter(|(a, b)| a != b)
+            .count();
         surface.row(vec![name.to_string(), format!("{corrupted}/32")]);
     }
     println!("{}", surface.render());
@@ -48,7 +81,11 @@ fn main() {
         Countermeasure::ArithmeticRedundancy,
     ] {
         let latency = cm.overhead_factor(&params, &key).expect("simulation");
-        let datagen = cm.detects(&FaultTarget::MatrixSeed { layer: 0, left: true, index: 0 });
+        let datagen = cm.detects(&FaultTarget::MatrixSeed {
+            layer: 0,
+            left: true,
+            index: 0,
+        });
         let arith = cm.detects(&FaultTarget::KeystreamElement { index: 0 });
         t.row(vec![
             format!("{cm:?}"),

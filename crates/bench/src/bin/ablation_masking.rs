@@ -51,7 +51,9 @@ fn main() {
     // Latency view: the masked arithmetic still hides under the XOF.
     let params = PastaParams::pasta4_17bit();
     let key = SecretKey::from_seed(&params, b"masking");
-    let r = PastaProcessor::new(params).keystream_block(&key, 1, 0).expect("simulation");
+    let r = PastaProcessor::new(params)
+        .keystream_block(&key, 1, 0)
+        .expect("simulation");
     let affine_util = r.cycles.affine_utilization();
     println!(
         "Latency impact: the unmasked affine pipeline is busy only {:.0}% of the block\n\

@@ -20,9 +20,10 @@ fn main() {
         "XOF cc (parallel)",
         "XOF cc (naive)",
     ]);
-    for (params, paper_est) in
-        [(PastaParams::pasta4_17bit(), 60u64), (PastaParams::pasta3_17bit(), 186u64)]
-    {
+    for (params, paper_est) in [
+        (PastaParams::pasta4_17bit(), 60u64),
+        (PastaParams::pasta3_17bit(), 186u64),
+    ] {
         let coeffs = params.xof_coefficients_per_block() as u64;
         let ideal = coeffs.div_ceil(21);
         // Measure over nonces.
@@ -40,8 +41,12 @@ fn main() {
             ideal.to_string(),
             paper_est.to_string(),
             fmt_f64(measured),
-            parallel.cycles_for_batches(measured.round() as u64).to_string(),
-            naive.cycles_for_batches(measured.round() as u64).to_string(),
+            parallel
+                .cycles_for_batches(measured.round() as u64)
+                .to_string(),
+            naive
+                .cycles_for_batches(measured.round() as u64)
+                .to_string(),
         ]);
     }
     println!("{}", t.render());
@@ -54,7 +59,9 @@ fn main() {
     let mut abl = TextTable::new(vec!["Scheme", "parallel cc", "naive cc", "ratio"]);
     for params in [PastaParams::pasta4_17bit(), PastaParams::pasta3_17bit()] {
         let key = SecretKey::from_seed(&params, b"keccak-abl");
-        let fast = PastaProcessor::new(params).average_cycles(&key, 9, 10).unwrap();
+        let fast = PastaProcessor::new(params)
+            .average_cycles(&key, 9, 10)
+            .unwrap();
         let slow = PastaProcessor::with_core(params, XofCoreKind::Naive)
             .average_cycles(&key, 9, 10)
             .unwrap();

@@ -14,7 +14,11 @@ fn main() {
     let p4 = encryption_op_count(&PastaParams::pasta4_17bit());
 
     let mut t = TextTable::new(vec![
-        "Scheme", "mod-muls / encryption", "log2", "elements", "mod-muls / element",
+        "Scheme",
+        "mod-muls / encryption",
+        "log2",
+        "elements",
+        "mod-muls / element",
     ]);
     t.row(vec![
         "FHE PKE (N=2^13, 3 moduli x 3 NTT)".to_string(),

@@ -4,7 +4,9 @@
 
 use pasta_bench::report::{fmt_f64, TextTable};
 use pasta_core::{PastaParams, SecretKey};
-use pasta_soc::baseline::{estimate_software_block, run_microbench, KECCAK_PERMUTATION_RV32_CYCLES};
+use pasta_soc::baseline::{
+    estimate_software_block, run_microbench, KECCAK_PERMUTATION_RV32_CYCLES,
+};
 use pasta_soc::firmware::encrypt_on_soc;
 use pasta_soc::SOC_CLOCK_MHZ;
 
@@ -15,9 +17,7 @@ fn main() {
         "Measured on the ISS: modmul = {:.1} cc, modadd = {:.1} cc (loop overhead {:.1} cc);",
         bench.modmul_cycles, bench.modadd_cycles, bench.loop_overhead_cycles
     );
-    println!(
-        "assumed Keccak-f[1600] on RV32: {KECCAK_PERMUTATION_RV32_CYCLES} cc/permutation.\n"
-    );
+    println!("assumed Keccak-f[1600] on RV32: {KECCAK_PERMUTATION_RV32_CYCLES} cc/permutation.\n");
 
     let mut t = TextTable::new(vec![
         "Scheme",

@@ -20,7 +20,10 @@ use std::time::Instant;
 
 fn main() {
     let pasta = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).expect("valid params");
-    let bfv = BfvParams { prime_count: 8, ..BfvParams::test_tiny() };
+    let bfv = BfvParams {
+        prime_count: 8,
+        ..BfvParams::test_tiny()
+    };
     let ctx = BfvContext::new(bfv).expect("context");
     let mut rng = StdRng::seed_from_u64(0x703E5);
     let sk = ctx.generate_secret_key(&mut rng);
@@ -45,11 +48,16 @@ fn main() {
     ]);
 
     // Scalar.
-    let scalar =
-        HheServer::new(pasta, relin.clone(), client.provision_key(&ctx, &pk, &mut rng))
-            .expect("scalar server");
+    let scalar = HheServer::new(
+        pasta,
+        relin.clone(),
+        client.provision_key(&ctx, &pk, &mut rng),
+    )
+    .expect("scalar server");
     let t0 = Instant::now();
-    let outs = scalar.transcipher(&ctx, &pasta_ct).expect("scalar transcipher");
+    let outs = scalar
+        .transcipher(&ctx, &pasta_ct)
+        .expect("scalar transcipher");
     let scalar_time = t0.elapsed().as_secs_f64();
     let scalar_budget = ctx.noise_budget(&sk, &outs[0]);
     assert_eq!(client.retrieve(&ctx, &sk, &outs), message);
@@ -74,7 +82,9 @@ fn main() {
     let long_message: Vec<u64> = (0..(4 * blocks) as u64).map(|i| i % 65_537).collect();
     let long_ct = client.encrypt(0x30DE5, &long_message).expect("encrypt");
     let t1 = Instant::now();
-    let batch = batched.transcipher_batched(&ctx, &long_ct).expect("batched transcipher");
+    let batch = batched
+        .transcipher_batched(&ctx, &long_ct)
+        .expect("batched transcipher");
     let batched_time = t1.elapsed().as_secs_f64();
     let batched_budget = ctx.noise_budget(&sk, &batch.positions[0]);
     table.row(vec![
@@ -90,7 +100,9 @@ fn main() {
     let packed = PackedHheServer::new(pasta, &ctx, &sk, client.cipher().key().elements(), &mut rng)
         .expect("packed server");
     let t2 = Instant::now();
-    let one = packed.transcipher_packed(&ctx, &pasta_ct, 0).expect("packed transcipher");
+    let one = packed
+        .transcipher_packed(&ctx, &pasta_ct, 0)
+        .expect("packed transcipher");
     let packed_time = t2.elapsed().as_secs_f64();
     let packed_budget = ctx.noise_budget(&sk, &one);
     assert_eq!(packed.decode(&ctx, &sk, &one, 4), message);

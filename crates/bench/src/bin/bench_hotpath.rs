@@ -35,8 +35,11 @@ struct Options {
 }
 
 fn parse_args() -> Options {
-    let mut opts =
-        Options { phase: "after".to_string(), quick: false, out_dir: ".".to_string() };
+    let mut opts = Options {
+        phase: "after".to_string(),
+        quick: false,
+        out_dir: ".".to_string(),
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -85,7 +88,9 @@ fn bench_ntt(report: &mut BenchReport, phase: &str, quick: bool) {
     for &(id, modulus, n) in cases {
         let table = NttTable::new(modulus, n).expect("NTT table");
         let p = table.zp().p();
-        let mut buf: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9) % p).collect();
+        let mut buf: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9) % p)
+            .collect();
         let ns = time_ns(window, || {
             table.forward(black_box(&mut buf));
             table.inverse(black_box(&mut buf));
@@ -106,9 +111,15 @@ fn bench_transcipher(report: &mut BenchReport, phase: &str, quick: bool) {
     let pk = ctx.generate_public_key(&sk, &mut rng);
     let relin = ctx.generate_relin_key(&sk, &mut rng);
     let client = HheClient::new(pasta, b"bench hotpath");
-    let scalar = HheServer::new(pasta, relin.clone(), client.provision_key(&ctx, &pk, &mut rng))
-        .expect("scalar server");
-    let message: Vec<u64> = (0..(2 * t) as u64).map(|i| (i * 991 + 5) % 65_537).collect();
+    let scalar = HheServer::new(
+        pasta,
+        relin.clone(),
+        client.provision_key(&ctx, &pk, &mut rng),
+    )
+    .expect("scalar server");
+    let message: Vec<u64> = (0..(2 * t) as u64)
+        .map(|i| (i * 991 + 5) % 65_537)
+        .collect();
 
     let reps: u64 = if quick { 1 } else { 3 };
     // Cold: a fresh nonce every call, so per-block material can never be
@@ -140,8 +151,11 @@ fn bench_transcipher(report: &mut BenchReport, phase: &str, quick: bool) {
 
     // Batched server: 8 blocks per SIMD pass (extra prime for the
     // batched noise growth, mirroring the batched server tests).
-    let bctx = BfvContext::new(BfvParams { prime_count: 5, ..BfvParams::test_tiny() })
-        .expect("context");
+    let bctx = BfvContext::new(BfvParams {
+        prime_count: 5,
+        ..BfvParams::test_tiny()
+    })
+    .expect("context");
     let bsk = bctx.generate_secret_key(&mut rng);
     let bpk = bctx.generate_public_key(&bsk, &mut rng);
     let brelin = bctx.generate_relin_key(&bsk, &mut rng);
@@ -158,7 +172,11 @@ fn bench_transcipher(report: &mut BenchReport, phase: &str, quick: bool) {
     let mut bnonce = 0x2000u128;
     let mut run_batched = |fresh_nonce: bool| -> f64 {
         let fixed = client.encrypt(0xAB42, &long_message).expect("encrypt");
-        black_box(batched.transcipher_batched(&bctx, &fixed).expect("transcipher"));
+        black_box(
+            batched
+                .transcipher_batched(&bctx, &fixed)
+                .expect("transcipher"),
+        );
         let start = Instant::now();
         for _ in 0..reps {
             let ct = if fresh_nonce {
@@ -167,7 +185,11 @@ fn bench_transcipher(report: &mut BenchReport, phase: &str, quick: bool) {
             } else {
                 fixed.clone()
             };
-            black_box(batched.transcipher_batched(&bctx, &ct).expect("transcipher"));
+            black_box(
+                batched
+                    .transcipher_batched(&bctx, &ct)
+                    .expect("transcipher"),
+            );
         }
         start.elapsed().as_nanos() as f64 / reps as f64
     };

@@ -45,9 +45,10 @@ fn main() {
         format!("{:.2}", pasta_cycles / pasta_bits),
         "4t field elements (seeded matrices)".to_string(),
     ]);
-    for (name, params) in
-        [("RASTA toy-65", RastaParams::toy_65()), ("RASTA-219", RastaParams::rasta_219())]
-    {
+    for (name, params) in [
+        ("RASTA toy-65", RastaParams::toy_65()),
+        ("RASTA-219", RastaParams::rasta_219()),
+    ] {
         let mut measured_words = 0u64;
         let trials = 5;
         for counter in 0..trials {

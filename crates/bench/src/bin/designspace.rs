@@ -18,7 +18,14 @@ use pasta_math::Modulus;
 fn main() {
     println!("PASTA-style design space: state size x rounds x modulus width\n");
     let mut t = TextTable::new(vec![
-        "t", "rounds", "w", "XOF coeffs", "cycles/block", "us/elem @75MHz", "kLUT", "DSP",
+        "t",
+        "rounds",
+        "w",
+        "XOF coeffs",
+        "cycles/block",
+        "us/elem @75MHz",
+        "kLUT",
+        "DSP",
         "LUTxcc/elem",
     ]);
     let mut best: Option<(f64, String)> = None;

@@ -29,7 +29,10 @@ fn main() {
     println!("{}", t.render());
 
     let asic = estimate_asic(&params, TechNode::Tsmc28);
-    println!("ASIC (TSMC 28nm, total {:.2} mm² @ {:.0} MHz):", asic.area_mm2, asic.clock_mhz);
+    println!(
+        "ASIC (TSMC 28nm, total {:.2} mm² @ {:.0} MHz):",
+        asic.area_mm2, asic.clock_mhz
+    );
     let mut t = TextTable::new(vec!["Module", "Share", "approx. mm²", ""]);
     for share in asic_breakdown() {
         t.row(vec![

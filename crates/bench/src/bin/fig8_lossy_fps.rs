@@ -17,7 +17,10 @@ const LOSS_RATES: [f64; 4] = [0.0, 0.001, 0.01, 0.05];
 fn main() {
     let params = PastaParams::pasta4_17bit();
     let link = PastaLink::new(params);
-    println!("# Effective fps vs packet loss ({params}, {:.1} MB/s link, BER 1e-6)", MIN_5G_BPS / 1e6);
+    println!(
+        "# Effective fps vs packet loss ({params}, {:.1} MB/s link, BER 1e-6)",
+        MIN_5G_BPS / 1e6
+    );
     println!(
         "# {:<7} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "res", "ideal", "0%", "0.1%", "1%", "5%"

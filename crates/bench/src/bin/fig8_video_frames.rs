@@ -19,7 +19,11 @@ fn main() {
         println!(
             "Available bandwidth: {:.1} MB/s ({})",
             bw / 1e6,
-            if (bw - MAX_5G_BPS).abs() < 1.0 { "maximum" } else { "minimum" }
+            if (bw - MAX_5G_BPS).abs() < 1.0 {
+                "maximum"
+            } else {
+                "minimum"
+            }
         );
         let mut t = TextTable::new(vec!["Resolution", "Scheme", "frames/s", "log-scale"]);
         for point in grid.iter().filter(|p| (p.bandwidth_bps - bw).abs() < 1.0) {
@@ -73,7 +77,11 @@ fn main() {
         "VGA @1 GHz ASIC: encryption sustains {:.0} fps vs link limit {:.0} fps — {}.",
         compute_fps,
         link_fps,
-        if compute_fps > link_fps { "bandwidth-limited, as the paper assumes" } else { "compute-limited!" }
+        if compute_fps > link_fps {
+            "bandwidth-limited, as the paper assumes"
+        } else {
+            "compute-limited!"
+        }
     );
     println!("Note: RISE cannot ship one VGA frame/s at minimum bandwidth; PASTA sustains");
     println!("full-motion video. The paper's '712x more frames' headline is not derivable");

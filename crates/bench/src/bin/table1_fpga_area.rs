@@ -7,8 +7,18 @@ use pasta_hw::area::{estimate_fpga, table1_reference, ARTIX7_AC701};
 fn main() {
     println!("Table I — PASTA-3/4 on Artix-7 (75 MHz): paper vs model\n");
     let mut table = TextTable::new(vec![
-        "Scheme", "w", "LUT paper", "LUT model", "FF paper", "FF model", "DSP paper",
-        "DSP model", "LUT%", "FF%", "DSP%", "BRAM",
+        "Scheme",
+        "w",
+        "LUT paper",
+        "LUT model",
+        "FF paper",
+        "FF model",
+        "DSP paper",
+        "DSP model",
+        "LUT%",
+        "FF%",
+        "DSP%",
+        "BRAM",
     ]);
     for (params, reference) in table1_reference() {
         let est = estimate_fpga(&params);

@@ -5,9 +5,9 @@
 
 use pasta_bench::report::{fmt_f64, paper_vs_measured, TextTable};
 use pasta_core::PastaParams;
+use pasta_core::SecretKey;
 use pasta_hw::perf::{measure_row, table2_reference, Platform};
 use pasta_soc::firmware::encrypt_on_soc;
-use pasta_core::SecretKey;
 
 fn main() {
     const BLOCKS: u64 = 25;
@@ -48,7 +48,11 @@ fn main() {
 
     println!("Headline ratios (paper: 857–3,439x cycle reduction, 43–171x wall-clock):\n");
     let mut ratios = TextTable::new(vec![
-        "Scheme", "cycle reduction vs CPU", "speedup @FPGA", "speedup @ASIC", "speedup @SoC",
+        "Scheme",
+        "cycle reduction vs CPU",
+        "speedup @FPGA",
+        "speedup @ASIC",
+        "speedup @SoC",
     ]);
     for params in [PastaParams::pasta3_17bit(), PastaParams::pasta4_17bit()] {
         let row = measure_row(&params, BLOCKS).expect("simulation cannot fail");
@@ -57,7 +61,10 @@ fn main() {
             format!("{:.0}x", row.cycle_reduction_vs_cpu().unwrap_or(0.0)),
             format!("{:.0}x", row.speedup_vs_cpu(Platform::Fpga).unwrap_or(0.0)),
             format!("{:.0}x", row.speedup_vs_cpu(Platform::Asic).unwrap_or(0.0)),
-            format!("{:.0}x", row.speedup_vs_cpu(Platform::RiscVSoc).unwrap_or(0.0)),
+            format!(
+                "{:.0}x",
+                row.speedup_vs_cpu(Platform::RiscVSoc).unwrap_or(0.0)
+            ),
         ]);
     }
     println!("{}", ratios.render());

@@ -5,10 +5,10 @@
 use pasta_bench::priorwork::{asic_rows, claims, fpga_rows, PriorPlatform};
 use pasta_bench::report::{fmt_f64, TextTable};
 use pasta_core::PastaParams;
+use pasta_core::SecretKey;
 use pasta_hw::area::estimate_fpga;
 use pasta_hw::perf::{measure_row, Platform};
 use pasta_soc::firmware::encrypt_on_soc;
-use pasta_core::SecretKey;
 
 fn main() {
     let params = PastaParams::pasta4_17bit();
@@ -21,15 +21,23 @@ fn main() {
 
     println!("Table III — PASTA-4 vs prior FHE client accelerators\n");
     let mut table = TextTable::new(vec![
-        "Work", "Platform", "kLUT", "kFF", "DSP", "BRAM", "Encr. us", "per-element us",
+        "Work",
+        "Platform",
+        "kLUT",
+        "kFF",
+        "DSP",
+        "BRAM",
+        "Encr. us",
+        "per-element us",
     ]);
     for prior in fpga_rows() {
-        let (klut, kff, dsp, bram) = prior
-            .resources
-            .map_or(("-".into(), "-".into(), "-".into(), "-".into()), |(l, f, d, b)| {
-                (fmt_f64(l), fmt_f64(f), d.to_string(), fmt_f64(b))
-            });
-        let PriorPlatform::Fpga(p) = prior.platform else { continue };
+        let (klut, kff, dsp, bram) = prior.resources.map_or(
+            ("-".into(), "-".into(), "-".into(), "-".into()),
+            |(l, f, d, b)| (fmt_f64(l), fmt_f64(f), d.to_string(), fmt_f64(b)),
+        );
+        let PriorPlatform::Fpga(p) = prior.platform else {
+            continue;
+        };
         table.row(vec![
             prior.tag.to_string(),
             p.to_string(),
@@ -55,8 +63,14 @@ fn main() {
 
     let mut asic = TextTable::new(vec!["Work", "Platform", "Encr. us", "per-element us"]);
     for prior in asic_rows() {
-        let PriorPlatform::Asic(p) = prior.platform else { continue };
-        let tag = if prior.riscv_soc { format!("{} (SoC)", prior.tag) } else { prior.tag.into() };
+        let PriorPlatform::Asic(p) = prior.platform else {
+            continue;
+        };
+        let tag = if prior.riscv_soc {
+            format!("{} (SoC)", prior.tag)
+        } else {
+            prior.tag.into()
+        };
         asic.row(vec![
             tag,
             p.to_string(),

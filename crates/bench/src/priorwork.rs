@@ -123,7 +123,12 @@ mod tests {
         for row in fpga_rows() {
             let derived = row.encryption_us / row.elements as f64;
             let err = (derived - row.per_element_us).abs() / row.per_element_us;
-            assert!(err < 0.12, "{}: {derived} vs {}", row.tag, row.per_element_us);
+            assert!(
+                err < 0.12,
+                "{}: {derived} vs {}",
+                row.tag,
+                row.per_element_us
+            );
         }
     }
 
@@ -135,10 +140,26 @@ mod tests {
         let ours_soc: f64 = 15.9 / 32.0;
         let rise: f64 = 4.88;
         let race: f64 = 16.9;
-        assert!((rise / ours_asic - 98.2).abs() < 1.0, "RISE/ASIC = {}", rise / ours_asic);
-        assert!((race / ours_asic - 340.0).abs() < 5.0, "RACE/ASIC = {}", race / ours_asic);
-        assert!((rise / ours_soc - 9.8).abs() < 0.3, "RISE/SoC = {}", rise / ours_soc);
-        assert!((race / ours_soc - 34.0).abs() < 1.0, "RACE/SoC = {}", race / ours_soc);
+        assert!(
+            (rise / ours_asic - 98.2).abs() < 1.0,
+            "RISE/ASIC = {}",
+            rise / ours_asic
+        );
+        assert!(
+            (race / ours_asic - 340.0).abs() < 5.0,
+            "RACE/ASIC = {}",
+            race / ours_asic
+        );
+        assert!(
+            (rise / ours_soc - 9.8).abs() < 0.3,
+            "RISE/SoC = {}",
+            rise / ours_soc
+        );
+        assert!(
+            (race / ours_soc - 34.0).abs() < 1.0,
+            "RACE/SoC = {}",
+            race / ours_soc
+        );
     }
 
     #[test]

@@ -11,7 +11,10 @@ impl TextTable {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (padded/truncated to the header width).
@@ -127,7 +130,11 @@ impl BenchReport {
     /// Creates an empty report.
     #[must_use]
     pub fn new(bench: impl Into<String>, description: impl Into<String>) -> Self {
-        BenchReport { bench: bench.into(), description: description.into(), entries: Vec::new() }
+        BenchReport {
+            bench: bench.into(),
+            description: description.into(),
+            entries: Vec::new(),
+        }
     }
 
     /// Appends one measurement, replacing any existing entry with the same
@@ -157,8 +164,10 @@ impl BenchReport {
             if e.phase != "after" {
                 continue;
             }
-            if let Some(before) =
-                self.entries.iter().find(|b| b.phase == "before" && b.id == e.id)
+            if let Some(before) = self
+                .entries
+                .iter()
+                .find(|b| b.phase == "before" && b.id == e.id)
             {
                 if e.ns > 0.0 {
                     out.push((e.id.clone(), before.ns / e.ns));
@@ -249,7 +258,10 @@ mod tests {
         assert_eq!(fresh.speedups(), vec![("a".to_string(), 4.0)]);
         // Re-pushing the same (id, phase) replaces.
         fresh.push("a", "after", 20.0);
-        assert_eq!(fresh.entries.iter().filter(|e| e.phase == "after").count(), 1);
+        assert_eq!(
+            fresh.entries.iter().filter(|e| e.phase == "after").count(),
+            1
+        );
     }
 
     #[test]
@@ -261,7 +273,10 @@ mod tests {
         assert!(s.contains("| name "));
         assert!(s.contains("| a much longer name | 123456 |"));
         let widths: Vec<usize> = s.lines().map(str::len).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "all lines equal width:\n{s}");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "all lines equal width:\n{s}"
+        );
     }
 
     #[test]

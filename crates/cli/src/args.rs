@@ -162,9 +162,21 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, String> {
                 flags.get("output").map(ToString::to_string),
             );
             Ok(if command == "encrypt" {
-                Command::Encrypt { params: c.0, key: c.1, nonce: c.2, input: c.3, output: c.4 }
+                Command::Encrypt {
+                    params: c.0,
+                    key: c.1,
+                    nonce: c.2,
+                    input: c.3,
+                    output: c.4,
+                }
             } else {
-                Command::Decrypt { params: c.0, key: c.1, nonce: c.2, input: c.3, output: c.4 }
+                Command::Decrypt {
+                    params: c.0,
+                    key: c.1,
+                    nonce: c.2,
+                    input: c.3,
+                    output: c.4,
+                }
             })
         }
         "keystream" => Ok(Command::Keystream {
@@ -177,22 +189,24 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, String> {
         }),
         "simulate" => Ok(Command::Simulate {
             params: params(false)?,
-            blocks: flags
-                .get("blocks")
-                .map_or(Ok(10), |b| b.parse().map_err(|_| "bad --blocks".to_string()))?,
+            blocks: flags.get("blocks").map_or(Ok(10), |b| {
+                b.parse().map_err(|_| "bad --blocks".to_string())
+            })?,
         }),
-        "area" => Ok(Command::Area { params: params(false)? }),
+        "area" => Ok(Command::Area {
+            params: params(false)?,
+        }),
         "pipeline" => Ok(Command::Pipeline {
             params: params(true)?,
             loss: parse_prob(&flags, "loss", 0.0)?,
             ber: parse_prob(&flags, "ber", 0.0)?,
             bandwidth_mbps: parse_f64(&flags, "bandwidth", 12.5)?,
-            seed: flags
-                .get("seed")
-                .map_or(Ok(0), |s| s.parse().map_err(|_| format!("bad --seed '{s}'")))?,
-            frames: flags
-                .get("frames")
-                .map_or(Ok(20), |s| s.parse().map_err(|_| format!("bad --frames '{s}'")))?,
+            seed: flags.get("seed").map_or(Ok(0), |s| {
+                s.parse().map_err(|_| format!("bad --seed '{s}'"))
+            })?,
+            frames: flags.get("frames").map_or(Ok(20), |s| {
+                s.parse().map_err(|_| format!("bad --frames '{s}'"))
+            })?,
             resolution: flags
                 .get("resolution")
                 .map_or(Ok(pasta_hhe::link::Resolution::Qqvga), |s| {
@@ -203,11 +217,13 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, String> {
                 .get("pixels")
                 .map(|s| s.parse().map_err(|_| format!("bad --pixels '{s}'")))
                 .transpose()?,
-            mtu: flags
-                .get("mtu")
-                .map_or(Ok(1_400), |s| s.parse().map_err(|_| format!("bad --mtu '{s}'")))?,
+            mtu: flags.get("mtu").map_or(Ok(1_400), |s| {
+                s.parse().map_err(|_| format!("bad --mtu '{s}'"))
+            })?,
         }),
-        "info" => Ok(Command::Info { params: params(true)? }),
+        "info" => Ok(Command::Info {
+            params: params(true)?,
+        }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
@@ -220,7 +236,9 @@ fn parse_flags<'a>(rest: &[&'a str]) -> Result<HashMap<String, &'a str>, String>
         let flag = rest[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got '{}'", rest[i]))?;
-        let value = rest.get(i + 1).ok_or_else(|| format!("--{flag} needs a value"))?;
+        let value = rest
+            .get(i + 1)
+            .ok_or_else(|| format!("--{flag} needs a value"))?;
         if flags.insert(flag.to_string(), *value).is_some() {
             return Err(format!("duplicate --{flag}"));
         }
@@ -230,7 +248,10 @@ fn parse_flags<'a>(rest: &[&'a str]) -> Result<HashMap<String, &'a str>, String>
 }
 
 fn required<'a>(flags: &'a HashMap<String, &'a str>, name: &str) -> Result<&'a str, String> {
-    flags.get(name).copied().ok_or_else(|| format!("missing required --{name}"))
+    flags
+        .get(name)
+        .copied()
+        .ok_or_else(|| format!("missing required --{name}"))
 }
 
 fn parse_f64(flags: &HashMap<String, &str>, name: &str, default: f64) -> Result<f64, String> {
@@ -252,7 +273,9 @@ fn parse_prob(flags: &HashMap<String, &str>, name: &str, default: f64) -> Result
     if v <= 1.0 {
         Ok(v)
     } else {
-        Err(format!("--{name} is a probability and must be <= 1, got {v}"))
+        Err(format!(
+            "--{name} is a probability and must be <= 1, got {v}"
+        ))
     }
 }
 
@@ -295,8 +318,17 @@ mod tests {
     #[test]
     fn encrypt_parses_with_hex_nonce() {
         let c = parse(&[
-            "encrypt", "--params", "pasta4-17", "--key", "k.txt", "--nonce", "0xABC", "--input",
-            "m.txt", "--output", "c.txt",
+            "encrypt",
+            "--params",
+            "pasta4-17",
+            "--key",
+            "k.txt",
+            "--nonce",
+            "0xABC",
+            "--input",
+            "m.txt",
+            "--output",
+            "c.txt",
         ])
         .unwrap();
         assert!(matches!(c, Command::Encrypt { nonce: 0xABC, .. }));
@@ -318,14 +350,31 @@ mod tests {
         assert!(parse(&["keygen", "--params", "pasta9-99", "--seed", "x"])
             .unwrap_err()
             .contains("unknown parameter set"));
-        assert!(parse(&["frobnicate"]).unwrap_err().contains("unknown command"));
-        assert!(parse(&["keygen", "--seed"]).unwrap_err().contains("needs a value"));
-        assert!(parse(&["keygen", "oops", "x"]).unwrap_err().contains("expected --flag"));
+        assert!(parse(&["frobnicate"])
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(parse(&["keygen", "--seed"])
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse(&["keygen", "oops", "x"])
+            .unwrap_err()
+            .contains("expected --flag"));
         assert!(parse(&["keygen", "--seed", "a", "--seed", "b"])
             .unwrap_err()
             .contains("duplicate"));
-        assert!(parse(&["encrypt", "--params", "pasta4-17", "--key", "k", "--nonce", "zzz",
-            "--input", "i"]).unwrap_err().contains("bad --nonce"));
+        assert!(parse(&[
+            "encrypt",
+            "--params",
+            "pasta4-17",
+            "--key",
+            "k",
+            "--nonce",
+            "zzz",
+            "--input",
+            "i"
+        ])
+        .unwrap_err()
+        .contains("bad --nonce"));
     }
 
     #[test]
@@ -333,17 +382,48 @@ mod tests {
         let c = parse(&["pipeline"]).unwrap();
         assert!(matches!(
             c,
-            Command::Pipeline { frames: 20, seed: 0, pixels: None, mtu: 1_400, .. }
+            Command::Pipeline {
+                frames: 20,
+                seed: 0,
+                pixels: None,
+                mtu: 1_400,
+                ..
+            }
         ));
         let c = parse(&[
-            "pipeline", "--loss", "0.01", "--ber", "1e-6", "--bandwidth", "50", "--seed", "7",
-            "--frames", "5", "--resolution", "vga", "--fps", "30", "--pixels", "16", "--mtu",
+            "pipeline",
+            "--loss",
+            "0.01",
+            "--ber",
+            "1e-6",
+            "--bandwidth",
+            "50",
+            "--seed",
+            "7",
+            "--frames",
+            "5",
+            "--resolution",
+            "vga",
+            "--fps",
+            "30",
+            "--pixels",
+            "16",
+            "--mtu",
             "9000",
         ])
         .unwrap();
         match c {
             Command::Pipeline {
-                loss, ber, bandwidth_mbps, seed, frames, resolution, fps, pixels, mtu, ..
+                loss,
+                ber,
+                bandwidth_mbps,
+                seed,
+                frames,
+                resolution,
+                fps,
+                pixels,
+                mtu,
+                ..
             } => {
                 assert!((loss - 0.01).abs() < 1e-12);
                 assert!((ber - 1e-6).abs() < 1e-18);
@@ -357,11 +437,15 @@ mod tests {
             }
             other => panic!("wrong command: {other:?}"),
         }
-        assert!(parse(&["pipeline", "--loss", "2"]).unwrap_err().contains("probability"));
+        assert!(parse(&["pipeline", "--loss", "2"])
+            .unwrap_err()
+            .contains("probability"));
         assert!(parse(&["pipeline", "--resolution", "8k"])
             .unwrap_err()
             .contains("unknown resolution"));
-        assert!(parse(&["pipeline", "--bandwidth", "-3"]).unwrap_err().contains("non-negative"));
+        assert!(parse(&["pipeline", "--bandwidth", "-3"])
+            .unwrap_err()
+            .contains("non-negative"));
     }
 
     #[test]

@@ -21,13 +21,27 @@ pub fn execute(command: &Command) -> Result<String, String> {
             let text = elements_to_text(key.elements());
             write_or_return(out.as_deref(), text)
         }
-        Command::Encrypt { params, key, nonce, input, output } => {
+        Command::Encrypt {
+            params,
+            key,
+            nonce,
+            input,
+            output,
+        } => {
             let cipher = load_cipher(params, key)?;
             let message = read_elements(input, params)?;
-            let ct = cipher.encrypt(*nonce, &message).map_err(|e| e.to_string())?;
+            let ct = cipher
+                .encrypt(*nonce, &message)
+                .map_err(|e| e.to_string())?;
             write_or_return(output.as_deref(), elements_to_text(ct.elements()))
         }
-        Command::Decrypt { params, key, nonce, input, output } => {
+        Command::Decrypt {
+            params,
+            key,
+            nonce,
+            input,
+            output,
+        } => {
             let cipher = load_cipher(params, key)?;
             let elements = read_elements(input, params)?;
             let ct = pasta_core::Ciphertext::from_packed_bytes(
@@ -40,7 +54,12 @@ pub fn execute(command: &Command) -> Result<String, String> {
             let m = cipher.decrypt(&ct).map_err(|e| e.to_string())?;
             write_or_return(output.as_deref(), elements_to_text(&m))
         }
-        Command::Keystream { params, key, nonce, count } => {
+        Command::Keystream {
+            params,
+            key,
+            nonce,
+            count,
+        } => {
             let cipher = load_cipher(params, key)?;
             let mut ks = pasta_core::Keystream::new(*params, cipher.key().clone(), *nonce);
             let elements = ks.take_elements(*count).map_err(|e| e.to_string())?;
@@ -49,9 +68,12 @@ pub fn execute(command: &Command) -> Result<String, String> {
         Command::Simulate { params, blocks } => {
             let key = SecretKey::from_seed(params, b"cli-simulate");
             let proc = PastaProcessor::new(*params);
-            let avg =
-                proc.average_cycles(&key, 0xC11, *blocks).map_err(|e| e.to_string())?;
-            let sample = proc.keystream_block(&key, 0xC11, 0).map_err(|e| e.to_string())?;
+            let avg = proc
+                .average_cycles(&key, 0xC11, *blocks)
+                .map_err(|e| e.to_string())?;
+            let sample = proc
+                .keystream_block(&key, 0xC11, 0)
+                .map_err(|e| e.to_string())?;
             let mut out = String::new();
             let _ = writeln!(out, "{params}");
             let _ = writeln!(out, "average cycles/block over {blocks} blocks: {avg:.1}");
@@ -77,7 +99,12 @@ pub fn execute(command: &Command) -> Result<String, String> {
                 "FPGA (Artix-7): {} LUT ({lut:.0}%), {} FF ({ff:.0}%), {} DSP ({dsp:.0}%), 0 BRAM",
                 fpga.luts, fpga.ffs, fpga.dsps
             );
-            for node in [TechNode::Asap7, TechNode::Tsmc28, TechNode::Node65, TechNode::Node130] {
+            for node in [
+                TechNode::Asap7,
+                TechNode::Tsmc28,
+                TechNode::Node65,
+                TechNode::Node130,
+            ] {
                 let e = estimate_asic(params, node);
                 let _ = writeln!(
                     out,
@@ -137,8 +164,16 @@ pub fn execute(command: &Command) -> Result<String, String> {
             let _ = writeln!(out, "state size       : {} elements", params.state_size());
             let _ = writeln!(out, "block size       : {} elements", params.t());
             let _ = writeln!(out, "affine layers    : {}", params.affine_layers());
-            let _ = writeln!(out, "XOF coefficients : {}/block", params.xof_coefficients_per_block());
-            let _ = writeln!(out, "ciphertext block : {} bytes", params.ciphertext_block_bytes());
+            let _ = writeln!(
+                out,
+                "XOF coefficients : {}/block",
+                params.xof_coefficients_per_block()
+            );
+            let _ = writeln!(
+                out,
+                "ciphertext block : {} bytes",
+                params.ciphertext_block_bytes()
+            );
             let _ = writeln!(out, "sampler acceptance: {:.4}", params.acceptance_rate());
             Ok(out)
         }
@@ -158,7 +193,9 @@ fn read_elements(path: &str, params: &PastaParams) -> Result<Vec<u64>, String> {
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
         .map(|l| {
-            let v: u64 = l.parse().map_err(|_| format!("{path}: bad element '{l}'"))?;
+            let v: u64 = l
+                .parse()
+                .map_err(|_| format!("{path}: bad element '{l}'"))?;
             if v >= p {
                 return Err(format!("{path}: element {v} >= modulus {p}"));
             }
@@ -217,18 +254,42 @@ mod tests {
         let key_path = tmp("key.txt");
         let msg_path = tmp("msg.txt");
         let ct_path = tmp("ct.txt");
-        let out = run(&["keygen", "--params", "pasta4-17", "--seed", "cli", "--out", &key_path])
-            .unwrap();
+        let out = run(&[
+            "keygen",
+            "--params",
+            "pasta4-17",
+            "--seed",
+            "cli",
+            "--out",
+            &key_path,
+        ])
+        .unwrap();
         assert!(out.contains("wrote"));
 
         fs::write(&msg_path, "1\n2\n3\n65000\n").unwrap();
         let _ = run(&[
-            "encrypt", "--params", "pasta4-17", "--key", &key_path, "--nonce", "7", "--input",
-            &msg_path, "--output", &ct_path,
+            "encrypt",
+            "--params",
+            "pasta4-17",
+            "--key",
+            &key_path,
+            "--nonce",
+            "7",
+            "--input",
+            &msg_path,
+            "--output",
+            &ct_path,
         ])
         .unwrap();
         let decrypted = run(&[
-            "decrypt", "--params", "pasta4-17", "--key", &key_path, "--nonce", "7", "--input",
+            "decrypt",
+            "--params",
+            "pasta4-17",
+            "--key",
+            &key_path,
+            "--nonce",
+            "7",
+            "--input",
             &ct_path,
         ])
         .unwrap();
@@ -238,12 +299,40 @@ mod tests {
     #[test]
     fn keystream_is_deterministic() {
         let key_path = tmp("ks-key.txt");
-        let _ = run(&["keygen", "--params", "pasta4-17", "--seed", "ks", "--out", &key_path])
-            .unwrap();
-        let a = run(&["keystream", "--params", "pasta4-17", "--key", &key_path, "--nonce", "1",
-            "--count", "40"]).unwrap();
-        let b = run(&["keystream", "--params", "pasta4-17", "--key", &key_path, "--nonce", "1",
-            "--count", "40"]).unwrap();
+        let _ = run(&[
+            "keygen",
+            "--params",
+            "pasta4-17",
+            "--seed",
+            "ks",
+            "--out",
+            &key_path,
+        ])
+        .unwrap();
+        let a = run(&[
+            "keystream",
+            "--params",
+            "pasta4-17",
+            "--key",
+            &key_path,
+            "--nonce",
+            "1",
+            "--count",
+            "40",
+        ])
+        .unwrap();
+        let b = run(&[
+            "keystream",
+            "--params",
+            "pasta4-17",
+            "--key",
+            &key_path,
+            "--nonce",
+            "1",
+            "--count",
+            "40",
+        ])
+        .unwrap();
         assert_eq!(a, b);
         assert_eq!(a.lines().count(), 40);
     }
@@ -264,8 +353,21 @@ mod tests {
     fn pipeline_prints_delivery_summary() {
         // Tiny frames keep this fast: 8 pixels/frame through a lossy link.
         let out = run(&[
-            "pipeline", "--params", "pasta4-17", "--loss", "0.1", "--ber", "1e-5", "--seed",
-            "3", "--frames", "4", "--pixels", "8", "--fps", "30",
+            "pipeline",
+            "--params",
+            "pasta4-17",
+            "--loss",
+            "0.1",
+            "--ber",
+            "1e-5",
+            "--seed",
+            "3",
+            "--frames",
+            "4",
+            "--pixels",
+            "8",
+            "--fps",
+            "30",
         ])
         .unwrap();
         assert!(out.contains("delivered"), "{out}");
@@ -273,8 +375,21 @@ mod tests {
         assert!(out.contains("seed 3"), "{out}");
         // Determinism: the same seed prints the same report.
         let again = run(&[
-            "pipeline", "--params", "pasta4-17", "--loss", "0.1", "--ber", "1e-5", "--seed",
-            "3", "--frames", "4", "--pixels", "8", "--fps", "30",
+            "pipeline",
+            "--params",
+            "pasta4-17",
+            "--loss",
+            "0.1",
+            "--ber",
+            "1e-5",
+            "--seed",
+            "3",
+            "--frames",
+            "4",
+            "--pixels",
+            "8",
+            "--fps",
+            "30",
         ])
         .unwrap();
         assert_eq!(out, again);
@@ -282,16 +397,44 @@ mod tests {
 
     #[test]
     fn io_errors_are_reported() {
-        let e = run(&["encrypt", "--params", "pasta4-17", "--key", "/nonexistent/key", "--nonce",
-            "1", "--input", "/nonexistent/in"]).unwrap_err();
+        let e = run(&[
+            "encrypt",
+            "--params",
+            "pasta4-17",
+            "--key",
+            "/nonexistent/key",
+            "--nonce",
+            "1",
+            "--input",
+            "/nonexistent/in",
+        ])
+        .unwrap_err();
         assert!(e.contains("cannot read"), "{e}");
         let bad = tmp("bad.txt");
         fs::write(&bad, "99999999\n").unwrap();
         let key_path = tmp("err-key.txt");
-        let _ = run(&["keygen", "--params", "pasta4-17", "--seed", "e", "--out", &key_path])
-            .unwrap();
-        let e = run(&["encrypt", "--params", "pasta4-17", "--key", &key_path, "--nonce", "1",
-            "--input", &bad]).unwrap_err();
+        let _ = run(&[
+            "keygen",
+            "--params",
+            "pasta4-17",
+            "--seed",
+            "e",
+            "--out",
+            &key_path,
+        ])
+        .unwrap();
+        let e = run(&[
+            "encrypt",
+            "--params",
+            "pasta4-17",
+            "--key",
+            &key_path,
+            "--nonce",
+            "1",
+            "--input",
+            &bad,
+        ])
+        .unwrap_err();
         assert!(e.contains(">= modulus"), "{e}");
     }
 

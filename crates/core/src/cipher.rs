@@ -66,7 +66,11 @@ impl SecretKey {
         let mut reader = xof.finalize();
         let p = params.modulus().value();
         let bits = params.modulus().bits();
-        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         let mut elements = Vec::with_capacity(params.state_size());
         while elements.len() < params.state_size() {
             let candidate = reader.next_u64() & mask;
@@ -320,7 +324,11 @@ mod tests {
         let c = cipher4();
         let m = vec![0u64; 64];
         let ct = c.encrypt(4, &m).unwrap();
-        assert_ne!(ct.elements()[..32], ct.elements()[32..], "block counters must differ");
+        assert_ne!(
+            ct.elements()[..32],
+            ct.elements()[32..],
+            "block counters must differ"
+        );
     }
 
     #[test]
@@ -328,7 +336,10 @@ mod tests {
         let params = PastaParams::pasta4_17bit();
         assert!(matches!(
             SecretKey::from_elements(&params, vec![0; 10]),
-            Err(PastaError::InvalidKey { expected: 64, found: 10 })
+            Err(PastaError::InvalidKey {
+                expected: 64,
+                found: 10
+            })
         ));
         let mut bad = vec![0u64; 64];
         bad[0] = 70_000;
@@ -347,7 +358,10 @@ mod tests {
         let dbg = format!("{key:?}");
         assert!(dbg.contains("redacted"));
         for &e in key.elements().iter().take(4) {
-            assert!(!dbg.contains(&format!("{e}, ")), "debug must not leak elements");
+            assert!(
+                !dbg.contains(&format!("{e}, ")),
+                "debug must not leak elements"
+            );
         }
     }
 
@@ -364,10 +378,16 @@ mod tests {
     fn packed_wire_format_roundtrip_and_size() {
         let params = PastaParams::pasta4_33bit();
         let c = PastaCipher::new(params, SecretKey::from_seed(&params, b"k"));
-        let m: Vec<u64> = (0..32).map(|i| i * 123_456_789 % params.modulus().value()).collect();
+        let m: Vec<u64> = (0..32)
+            .map(|i| i * 123_456_789 % params.modulus().value())
+            .collect();
         let ct = c.encrypt(1, &m).unwrap();
         let bytes = ct.to_packed_bytes(&params);
-        assert_eq!(bytes.len(), 132, "§V: one 33-bit PASTA-4 block is 132 bytes");
+        assert_eq!(
+            bytes.len(),
+            132,
+            "§V: one 33-bit PASTA-4 block is 132 bytes"
+        );
         let back = Ciphertext::from_packed_bytes(&params, ct.nonce(), &bytes, ct.len()).unwrap();
         assert_eq!(back, ct);
     }

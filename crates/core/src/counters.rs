@@ -135,7 +135,11 @@ mod tests {
         assert!(ops.mul >= 1 << 18, "exact count {} below headline", ops.mul);
         let slack = ops.mul - (1 << 18);
         // matgen is t(t-1) not t², minus; S-boxes add ~2t per feistel etc.
-        assert!(slack < 1 << 13, "exact count {} too far above headline", ops.mul);
+        assert!(
+            slack < 1 << 13,
+            "exact count {} too far above headline",
+            ops.mul
+        );
     }
 
     #[test]
@@ -144,7 +148,10 @@ mod tests {
         // for N = 2^13 (three NTTs per modulus, three moduli).
         let est = fhe_pke_mul_estimate(13);
         assert_eq!(est, 9 * (1 << 12) * 13);
-        assert!(est > 1 << 18 && est < 1 << 20, "estimate {est} should be ≈2^19");
+        assert!(
+            est > 1 << 18 && est < 1 << 20,
+            "estimate {est} should be ≈2^19"
+        );
     }
 
     #[test]
@@ -163,7 +170,10 @@ mod tests {
             encryption_op_count(&PastaParams::pasta3_17bit()).xof_coefficients,
             2_048
         );
-        assert_eq!(encryption_op_count(&PastaParams::pasta4_17bit()).xof_coefficients, 640);
+        assert_eq!(
+            encryption_op_count(&PastaParams::pasta4_17bit()).xof_coefficients,
+            640
+        );
     }
 
     #[test]
@@ -179,9 +189,24 @@ mod tests {
 
     #[test]
     fn opcount_plus_adds_componentwise() {
-        let a = OpCount { mul: 1, add: 2, xof_coefficients: 3 };
-        let b = OpCount { mul: 10, add: 20, xof_coefficients: 30 };
-        assert_eq!(a.plus(b), OpCount { mul: 11, add: 22, xof_coefficients: 33 });
+        let a = OpCount {
+            mul: 1,
+            add: 2,
+            xof_coefficients: 3,
+        };
+        let b = OpCount {
+            mul: 10,
+            add: 20,
+            xof_coefficients: 30,
+        };
+        assert_eq!(
+            a.plus(b),
+            OpCount {
+                mul: 11,
+                add: 22,
+                xof_coefficients: 33
+            }
+        );
     }
 
     #[test]

@@ -39,7 +39,13 @@ impl Keystream {
     /// Creates a keystream for `(key, nonce)` positioned at element 0.
     #[must_use]
     pub fn new(params: PastaParams, key: SecretKey, nonce: u128) -> Self {
-        Keystream { params, key, nonce, position: 0, cache: None }
+        Keystream {
+            params,
+            key,
+            nonce,
+            position: 0,
+            cache: None,
+        }
     }
 
     /// Current element position.
@@ -186,6 +192,9 @@ mod tests {
     fn out_of_range_data_rejected() {
         let mut ks = stream();
         let mut bad = vec![65_537u64];
-        assert!(matches!(ks.apply(&mut bad), Err(PastaError::ElementOutOfRange(65_537))));
+        assert!(matches!(
+            ks.apply(&mut bad),
+            Err(PastaError::ElementOutOfRange(65_537))
+        ));
     }
 }

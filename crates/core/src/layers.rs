@@ -14,8 +14,16 @@ use pasta_math::Zp;
 ///
 /// Panics if `state`, the generator dimension and `rc` disagree in length.
 pub fn affine_streamed(zp: &Zp, gen: &mut RowGenerator, state: &mut [u64], rc: &[u64]) {
-    assert_eq!(state.len(), gen.t(), "state length must equal matrix dimension");
-    assert_eq!(rc.len(), state.len(), "round-constant length must equal state length");
+    assert_eq!(
+        state.len(),
+        gen.t(),
+        "state length must equal matrix dimension"
+    );
+    assert_eq!(
+        rc.len(),
+        state.len(),
+        "round-constant length must equal state length"
+    );
     let mixed = crate::matrix::streamed_mat_vec(gen, state);
     for (s, (m, r)) in state.iter_mut().zip(mixed.iter().zip(rc.iter())) {
         *s = zp.add(*m, *r);
@@ -31,7 +39,11 @@ pub fn affine_streamed(zp: &Zp, gen: &mut RowGenerator, state: &mut [u64], rc: &
 ///
 /// Panics if the two halves differ in length.
 pub fn mix(zp: &Zp, left: &mut [u64], right: &mut [u64]) {
-    assert_eq!(left.len(), right.len(), "state halves must have equal length");
+    assert_eq!(
+        left.len(),
+        right.len(),
+        "state halves must have equal length"
+    );
     for (l, r) in left.iter_mut().zip(right.iter_mut()) {
         let s = zp.add(*l, *r); // X_L + X_R
         let new_l = zp.add(*l, s); // 2·X_L + X_R
@@ -48,7 +60,11 @@ pub fn mix(zp: &Zp, left: &mut [u64], right: &mut [u64]) {
 /// Panics if the halves differ in length or `p = 3` (where Mix is
 /// singular; parameter validation forbids this).
 pub fn mix_inverse(zp: &Zp, left: &mut [u64], right: &mut [u64]) {
-    assert_eq!(left.len(), right.len(), "state halves must have equal length");
+    assert_eq!(
+        left.len(),
+        right.len(),
+        "state halves must have equal length"
+    );
     let inv3 = zp.inv(3 % zp.p()).expect("p > 3 by parameter validation");
     for (l, r) in left.iter_mut().zip(right.iter_mut()) {
         // Inverse of [[2,1],[1,2]] is inv3 * [[2,-1],[-1,2]].
@@ -100,8 +116,7 @@ pub fn sbox_cube(zp: &Zp, state: &mut [u64]) {
 /// Panics if `3 | p - 1` (the cube map is not a bijection there; the
 /// PASTA moduli all satisfy `p ≡ 2 (mod 3)`).
 pub fn sbox_cube_inverse(zp: &Zp, state: &mut [u64]) {
-    let d = inv_exponent_mod(3, zp.p() - 1)
-        .expect("cube S-box requires gcd(3, p-1) = 1");
+    let d = inv_exponent_mod(3, zp.p() - 1).expect("cube S-box requires gcd(3, p-1) = 1");
     for x in state.iter_mut() {
         *x = zp.pow(*x, d);
     }

@@ -58,7 +58,11 @@ impl SharedState {
     /// Recombines the shares.
     #[must_use]
     pub fn unmask(&self, zp: &Zp) -> Vec<u64> {
-        self.a.iter().zip(self.b.iter()).map(|(&x, &y)| zp.add(x, y)).collect()
+        self.a
+            .iter()
+            .zip(self.b.iter())
+            .map(|(&x, &y)| zp.add(x, y))
+            .collect()
     }
 
     /// Number of elements.
@@ -290,8 +294,7 @@ mod tests {
             let key = SecretKey::from_seed(&params, b"mask");
             let zp = params.field();
             let material = derive_block_material(&params, 0xAB, 0);
-            let shared =
-                SharedState::share(&zp, key.elements(), rng_stream(3, zp.p()));
+            let shared = SharedState::share(&zp, key.elements(), rng_stream(3, zp.p()));
             let (masked_ks, ops) =
                 masked_permute(&params, &shared, &material, rng_stream(4, zp.p())).unwrap();
             let expect = permute(&params, key.elements(), 0xAB, 0).unwrap();
@@ -311,8 +314,7 @@ mod tests {
         for seed in [10u64, 20, 30] {
             let shared = SharedState::share(&zp, key.elements(), rng_stream(seed, zp.p()));
             let (ks, _) =
-                masked_permute(&params, &shared, &material, rng_stream(seed + 1, zp.p()))
-                    .unwrap();
+                masked_permute(&params, &shared, &material, rng_stream(seed + 1, zp.p())).unwrap();
             results.push(ks.unmask(&zp));
         }
         assert_eq!(results[0], results[1]);
@@ -345,7 +347,10 @@ mod tests {
         // weigh against a PKE accelerator masking its entire NTT datapath.
         let o = sbox_multiplier_overhead(&PastaParams::pasta4_17bit());
         assert!((2.8..3.6).contains(&o), "overhead {o}");
-        let wrong_key = SharedState { a: vec![0; 3], b: vec![0; 3] };
+        let wrong_key = SharedState {
+            a: vec![0; 3],
+            b: vec![0; 3],
+        };
         let params = PastaParams::pasta4_17bit();
         let material = derive_block_material(&params, 0, 0);
         assert!(matches!(

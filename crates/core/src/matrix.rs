@@ -64,9 +64,18 @@ impl RowGenerator {
     #[must_use]
     pub fn new(zp: Zp, seed: Vec<u64>) -> Self {
         assert!(!seed.is_empty(), "matrix seed row must be nonempty");
-        assert_ne!(seed[0], 0, "matrix seed row must start with a nonzero element");
+        assert_ne!(
+            seed[0], 0,
+            "matrix seed row must start with a nonzero element"
+        );
         let t = seed.len();
-        RowGenerator { zp, current: seed.clone(), next: vec![0; t], seed, emitted: 0 }
+        RowGenerator {
+            zp,
+            current: seed.clone(),
+            next: vec![0; t],
+            seed,
+            emitted: 0,
+        }
     }
 
     /// Dimension `t` of the matrix.
@@ -126,9 +135,15 @@ impl RowGenerator {
 #[must_use]
 pub fn streamed_mat_vec(gen: &mut RowGenerator, x: &[u64]) -> Vec<u64> {
     let t = gen.t();
-    assert_eq!(x.len(), t, "state vector length must equal matrix dimension");
+    assert_eq!(
+        x.len(),
+        t,
+        "state vector length must equal matrix dimension"
+    );
     let zp = gen.zp;
-    (0..t).map(|_| pasta_math::linalg::dot(&zp, gen.next_row(), x)).collect()
+    (0..t)
+        .map(|_| pasta_math::linalg::dot(&zp, gen.next_row(), x))
+        .collect()
 }
 
 #[cfg(test)]
@@ -185,7 +200,10 @@ mod tests {
             let mut s = XofSampler::for_block(&params, 0xDEADBEEF, counter);
             let seed = s.next_matrix_seed(16);
             let m = RowGenerator::new(zp, seed).into_matrix();
-            assert!(m.is_invertible(&zp), "matrix for counter {counter} must be invertible");
+            assert!(
+                m.is_invertible(&zp),
+                "matrix for counter {counter} must be invertible"
+            );
         }
     }
 
@@ -207,8 +225,10 @@ mod tests {
         let seed = s.next_matrix_seed(32);
         let x = s.next_vector(32);
         let streamed = streamed_mat_vec(&mut RowGenerator::new(zp, seed.clone()), &x);
-        let materialized =
-            RowGenerator::new(zp, seed).into_matrix().mul_vec(&zp, &x).unwrap();
+        let materialized = RowGenerator::new(zp, seed)
+            .into_matrix()
+            .mul_vec(&zp, &x)
+            .unwrap();
         assert_eq!(streamed, materialized);
     }
 

@@ -51,10 +51,16 @@ impl fmt::Display for PastaError {
             PastaError::Math(e) => write!(f, "arithmetic error: {e}"),
             PastaError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
             PastaError::InvalidKey { expected, found } => {
-                write!(f, "invalid key length: expected {expected} elements, found {found}")
+                write!(
+                    f,
+                    "invalid key length: expected {expected} elements, found {found}"
+                )
             }
             PastaError::InvalidBlock { expected, found } => {
-                write!(f, "invalid block length: expected {expected} elements, found {found}")
+                write!(
+                    f,
+                    "invalid block length: expected {expected} elements, found {found}"
+                )
             }
             PastaError::ElementOutOfRange(v) => {
                 write!(f, "element {v} is not a canonical residue")
@@ -147,13 +153,23 @@ impl PastaParams {
     /// PASTA-3 (`t = 128`, 3 rounds) over an arbitrary modulus.
     #[must_use]
     pub fn pasta3(modulus: Modulus) -> Self {
-        PastaParams { variant: Variant::Pasta3, t: 128, rounds: 3, modulus }
+        PastaParams {
+            variant: Variant::Pasta3,
+            t: 128,
+            rounds: 3,
+            modulus,
+        }
     }
 
     /// PASTA-4 (`t = 32`, 4 rounds) over an arbitrary modulus.
     #[must_use]
     pub fn pasta4(modulus: Modulus) -> Self {
-        PastaParams { variant: Variant::Pasta4, t: 32, rounds: 4, modulus }
+        PastaParams {
+            variant: Variant::Pasta4,
+            t: 32,
+            rounds: 4,
+            modulus,
+        }
     }
 
     /// A custom instantiation, e.g. for scaled-down testing.
@@ -165,7 +181,9 @@ impl PastaParams {
     /// (`p` must exceed 3).
     pub fn custom(t: usize, rounds: usize, modulus: Modulus) -> Result<Self, PastaError> {
         if t < 2 {
-            return Err(PastaError::InvalidParams(format!("block size t = {t} must be >= 2")));
+            return Err(PastaError::InvalidParams(format!(
+                "block size t = {t} must be >= 2"
+            )));
         }
         if rounds == 0 {
             return Err(PastaError::InvalidParams("rounds must be >= 1".into()));
@@ -180,7 +198,12 @@ impl PastaParams {
             (32, 4) => Variant::Pasta4,
             _ => Variant::Custom,
         };
-        Ok(PastaParams { variant, t, rounds, modulus })
+        Ok(PastaParams {
+            variant,
+            t,
+            rounds,
+            modulus,
+        })
     }
 
     /// The standard variant this parameter set matches.

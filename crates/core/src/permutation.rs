@@ -70,7 +70,11 @@ pub fn derive_block_material(params: &PastaParams, nonce: u128, counter: u64) ->
             rc_right: sampler.next_vector(t),
         })
         .collect();
-    BlockMaterial { layers, stats: sampler.stats(), keccak_permutations: sampler.permutations() }
+    BlockMaterial {
+        layers,
+        stats: sampler.stats(),
+        keccak_permutations: sampler.permutations(),
+    }
 }
 
 /// A snapshot of the state after each layer, for cross-checking the
@@ -100,7 +104,10 @@ pub fn permute_with_trace(
 ) -> Result<PermutationTrace, PastaError> {
     let t = params.t();
     if key.len() != params.state_size() {
-        return Err(PastaError::InvalidKey { expected: params.state_size(), found: key.len() });
+        return Err(PastaError::InvalidKey {
+            expected: params.state_size(),
+            found: key.len(),
+        });
     }
     let zp = params.field();
     if let Some(&bad) = key.iter().find(|&&x| x >= zp.p()) {
@@ -209,7 +216,11 @@ mod tests {
         }
         // PASTA-4 needs 640 accepted coefficients (§III.A); the nonzero
         // retry for matrix seeds may very rarely consume a couple more.
-        assert!((640..=644).contains(&m.stats.accepted), "accepted = {}", m.stats.accepted);
+        assert!(
+            (640..=644).contains(&m.stats.accepted),
+            "accepted = {}",
+            m.stats.accepted
+        );
     }
 
     #[test]
@@ -217,18 +228,33 @@ mod tests {
         let params = small_params();
         let key = vec![3u64; 8];
         let base = permute(&params, &key, 1, 0).unwrap();
-        assert_ne!(permute(&params, &key, 2, 0).unwrap(), base, "nonce must matter");
-        assert_ne!(permute(&params, &key, 1, 1).unwrap(), base, "counter must matter");
+        assert_ne!(
+            permute(&params, &key, 2, 0).unwrap(),
+            base,
+            "nonce must matter"
+        );
+        assert_ne!(
+            permute(&params, &key, 1, 1).unwrap(),
+            base,
+            "counter must matter"
+        );
         let mut key2 = key.clone();
         key2[0] = 4;
-        assert_ne!(permute(&params, &key2, 1, 0).unwrap(), base, "key must matter");
+        assert_ne!(
+            permute(&params, &key2, 1, 0).unwrap(),
+            base,
+            "key must matter"
+        );
     }
 
     #[test]
     fn permutation_is_deterministic() {
         let params = PastaParams::pasta4_17bit();
         let key: Vec<u64> = (0..64).map(|i| i * 1_000 % 65_537).collect();
-        assert_eq!(permute(&params, &key, 42, 7).unwrap(), permute(&params, &key, 42, 7).unwrap());
+        assert_eq!(
+            permute(&params, &key, 42, 7).unwrap(),
+            permute(&params, &key, 42, 7).unwrap()
+        );
     }
 
     #[test]
@@ -250,7 +276,10 @@ mod tests {
         let params = small_params();
         assert_eq!(
             permute(&params, &[1, 2, 3], 0, 0).unwrap_err(),
-            PastaError::InvalidKey { expected: 8, found: 3 }
+            PastaError::InvalidKey {
+                expected: 8,
+                found: 3
+            }
         );
         let mut key = vec![0u64; 8];
         key[5] = 65_537;

@@ -77,7 +77,11 @@ impl XofSampler {
         XofSampler {
             reader: xof.finalize(),
             modulus,
-            mask: if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 },
+            mask: if bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            },
             stats: SamplerStats::default(),
         }
     }

@@ -89,7 +89,12 @@ impl BfvParams {
     /// Tiny parameters for fast unit tests (`N = 256`, `q ≈ 200` bits).
     #[must_use]
     pub fn test_tiny() -> Self {
-        BfvParams { n: 256, plain_modulus: Modulus::PASTA_17_BIT, prime_bits: 50, prime_count: 4 }
+        BfvParams {
+            n: 256,
+            plain_modulus: Modulus::PASTA_17_BIT,
+            prime_bits: 50,
+            prime_count: 4,
+        }
     }
 }
 
@@ -124,10 +129,14 @@ impl BfvContext {
     /// inconsistent (e.g. batching impossible or not enough primes).
     pub fn new(params: BfvParams) -> Result<Self, FheError> {
         if !params.n.is_power_of_two() || params.n < 8 {
-            return Err(FheError::InvalidParams(format!("bad ring degree {}", params.n)));
+            return Err(FheError::InvalidParams(format!(
+                "bad ring degree {}",
+                params.n
+            )));
         }
-        let basis = RnsBasis::with_generated_primes(params.n, params.prime_bits, params.prime_count)
-            .map_err(FheError::from)?;
+        let basis =
+            RnsBasis::with_generated_primes(params.n, params.prime_bits, params.prime_count)
+                .map_err(FheError::from)?;
         // Extended basis: enough extra primes (disjoint from the main
         // ones, one bit wider so values never collide) to hold the exact
         // tensor product: 2·bits(q) + log2(N) + 2 bits.
@@ -206,7 +215,10 @@ impl BfvContext {
         let mut e = RnsPoly::random_error(&self.basis, rng);
         e.to_ntt(&self.basis);
         // b = -(a·s + e)
-        let b = a.mul(&self.basis, &sk.s).add(&self.basis, &e).neg(&self.basis);
+        let b = a
+            .mul(&self.basis, &sk.s)
+            .add(&self.basis, &e)
+            .neg(&self.basis);
         BfvPublicKey { b, a }
     }
 
@@ -254,7 +266,9 @@ impl BfvContext {
         let dm = self.delta_times_plain(pt);
         let c0 = c0.add(&self.basis, &e1).add(&self.basis, &dm);
         let c1 = c1.add(&self.basis, &e2);
-        Ciphertext { polys: vec![c0, c1] }
+        Ciphertext {
+            polys: vec![c0, c1],
+        }
     }
 
     /// Encrypts the zero-noise "trivial" ciphertext `(Δ·m, 0)` — useful
@@ -263,7 +277,9 @@ impl BfvContext {
     pub fn encrypt_trivial(&self, pt: &Plaintext) -> Ciphertext {
         let c0 = self.delta_times_plain(pt);
         let c1 = RnsPoly::zero(&self.basis);
-        Ciphertext { polys: vec![c0, c1] }
+        Ciphertext {
+            polys: vec![c0, c1],
+        }
     }
 
     fn delta_times_plain(&self, pt: &Plaintext) -> RnsPoly {
@@ -283,14 +299,19 @@ impl BfvContext {
     pub fn prepare_plaintext(&self, pt: &Plaintext) -> PreparedPlaintext {
         let mut ntt = RnsPoly::from_u64_coeffs(&self.basis, &pt.coeffs);
         ntt.to_ntt(&self.basis);
-        PreparedPlaintext { ntt, delta_m: self.delta_times_plain(pt) }
+        PreparedPlaintext {
+            ntt,
+            delta_m: self.delta_times_plain(pt),
+        }
     }
 
     /// [`BfvContext::encrypt_trivial`] from a prepared plaintext (no
     /// re-encoding).
     #[must_use]
     pub fn encrypt_trivial_prepared(&self, prep: &PreparedPlaintext) -> Ciphertext {
-        Ciphertext { polys: vec![prep.delta_m.clone(), RnsPoly::zero(&self.basis)] }
+        Ciphertext {
+            polys: vec![prep.delta_m.clone(), RnsPoly::zero(&self.basis)],
+        }
     }
 
     /// Decrypts a ciphertext (2 or 3 components).
@@ -346,7 +367,9 @@ impl BfvContext {
             } else {
                 x.sub(&dm)
             };
-            let mag = self.basis.centered_magnitude(&diff.div_rem(self.basis.q()).1);
+            let mag = self
+                .basis
+                .centered_magnitude(&diff.div_rem(self.basis.q()).1);
             worst = worst.max(mag.bits());
         }
         let q_bits = self.basis.q().bits();
@@ -382,7 +405,9 @@ impl BfvContext {
     ///
     /// Returns [`FheError::Incompatible`] on component-count mismatch.
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, FheError> {
-        let neg = Ciphertext { polys: b.polys.iter().map(|p| p.neg(&self.basis)).collect() };
+        let neg = Ciphertext {
+            polys: b.polys.iter().map(|p| p.neg(&self.basis)).collect(),
+        };
         self.add(a, &neg)
     }
 
@@ -535,11 +560,7 @@ impl BfvContext {
     ///
     /// Panics if any component is in coefficient domain.
     #[must_use]
-    pub fn mul_plain_prepared_ntt(
-        &self,
-        ct: &Ciphertext,
-        prep: &PreparedPlaintext,
-    ) -> Ciphertext {
+    pub fn mul_plain_prepared_ntt(&self, ct: &Ciphertext, prep: &PreparedPlaintext) -> Ciphertext {
         let polys = ct
             .polys
             .iter()
@@ -581,7 +602,13 @@ impl BfvContext {
     #[must_use]
     pub fn mul_scalar(&self, ct: &Ciphertext, scalar: u64) -> Ciphertext {
         let s = scalar % self.plain.p();
-        Ciphertext { polys: ct.polys.iter().map(|p| p.mul_scalar(&self.basis, s)).collect() }
+        Ciphertext {
+            polys: ct
+                .polys
+                .iter()
+                .map(|p| p.mul_scalar(&self.basis, s))
+                .collect(),
+        }
     }
 
     /// Homomorphic multiplication (tensor + exact scaled rounding),
@@ -593,7 +620,9 @@ impl BfvContext {
     /// components.
     pub fn mul(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, FheError> {
         if a.polys.len() != 2 || b.polys.len() != 2 {
-            return Err(FheError::Incompatible("mul requires 2-component inputs".into()));
+            return Err(FheError::Incompatible(
+                "mul requires 2-component inputs".into(),
+            ));
         }
         // Lift all four polys (centered) into the extended basis, NTT there.
         let lift = |p: &RnsPoly| -> RnsPoly {
@@ -633,7 +662,8 @@ impl BfvContext {
             let b1 = lift(&b.polys[1]);
             (
                 a0.mul(&self.ext_basis, &b0),
-                a0.mul(&self.ext_basis, &b1).add(&self.ext_basis, &a1.mul(&self.ext_basis, &b0)),
+                a0.mul(&self.ext_basis, &b1)
+                    .add(&self.ext_basis, &a1.mul(&self.ext_basis, &b0)),
                 a1.mul(&self.ext_basis, &b1),
             )
         };
@@ -663,7 +693,9 @@ impl BfvContext {
                 .collect();
             RnsPoly::from_bigint_coeffs(&self.basis, &values)
         };
-        Ok(Ciphertext { polys: vec![scale(t00), scale(t01), scale(t11)] })
+        Ok(Ciphertext {
+            polys: vec![scale(t00), scale(t01), scale(t11)],
+        })
     }
 
     /// Relinearizes a 3-component ciphertext back to 2 components.
@@ -674,7 +706,9 @@ impl BfvContext {
     /// three components.
     pub fn relinearize(&self, ct: &Ciphertext, rk: &BfvRelinKey) -> Result<Ciphertext, FheError> {
         if ct.polys.len() != 3 {
-            return Err(FheError::Incompatible("relinearization needs 3 components".into()));
+            return Err(FheError::Incompatible(
+                "relinearization needs 3 components".into(),
+            ));
         }
         let mut c2 = ct.polys[2].clone();
         c2.to_coeff(&self.basis);
@@ -693,7 +727,9 @@ impl BfvContext {
         }
         c0.to_coeff(&self.basis);
         c1.to_coeff(&self.basis);
-        Ok(Ciphertext { polys: vec![c0, c1] })
+        Ok(Ciphertext {
+            polys: vec![c0, c1],
+        })
     }
 
     /// Generates a Galois key for the automorphism `X ↦ X^g`
@@ -710,7 +746,9 @@ impl BfvContext {
         rng: &mut R,
     ) -> Result<BfvGaloisKey, FheError> {
         if g.is_multiple_of(2) {
-            return Err(FheError::InvalidParams(format!("Galois element {g} must be odd")));
+            return Err(FheError::InvalidParams(format!(
+                "Galois element {g} must be odd"
+            )));
         }
         let mut s = sk.s.clone();
         s.to_coeff(&self.basis);
@@ -737,13 +775,11 @@ impl BfvContext {
     ///
     /// Returns [`FheError::Incompatible`] for a mismatched key or a
     /// 3-component input (relinearize first).
-    pub fn apply_galois(
-        &self,
-        ct: &Ciphertext,
-        gk: &BfvGaloisKey,
-    ) -> Result<Ciphertext, FheError> {
+    pub fn apply_galois(&self, ct: &Ciphertext, gk: &BfvGaloisKey) -> Result<Ciphertext, FheError> {
         if ct.polys.len() != 2 {
-            return Err(FheError::Incompatible("apply_galois needs 2 components".into()));
+            return Err(FheError::Incompatible(
+                "apply_galois needs 2 components".into(),
+            ));
         }
         let mut c0 = ct.polys[0].clone();
         let mut c1 = ct.polys[1].clone();
@@ -768,7 +804,9 @@ impl BfvContext {
         let mut out1 = out1.expect("basis has at least one prime");
         out0.to_coeff(&self.basis);
         out1.to_coeff(&self.basis);
-        Ok(Ciphertext { polys: vec![out0, out1] })
+        Ok(Ciphertext {
+            polys: vec![out0, out1],
+        })
     }
 
     /// Generates the Galois key set for [`BfvContext::sum_slots`]:
@@ -931,8 +969,7 @@ impl Ciphertext {
     /// (e.g. RISE's `2 · 2^14 · 390` bits = 1.5 MB per ciphertext).
     #[must_use]
     pub fn size_bytes(&self, ctx: &BfvContext) -> usize {
-        let bits_per_coeff: usize =
-            ctx.basis().primes().iter().map(|p| p.bits() as usize).sum();
+        let bits_per_coeff: usize = ctx.basis().primes().iter().map(|p| p.bits() as usize).sum();
         (self.polys.len() * ctx.params().n * bits_per_coeff).div_ceil(8)
     }
 }
@@ -1018,7 +1055,10 @@ mod tests {
         let b = ctx.encrypt(&pk, &ctx.encode_scalar(54_321), &mut rng);
         let prod = ctx.mul_relin(&a, &b, &rk).unwrap();
         assert_eq!(prod.components(), 2);
-        assert_eq!(ctx.decrypt(&sk, &prod).scalar(), 12_345u64 * 54_321 % 65_537);
+        assert_eq!(
+            ctx.decrypt(&sk, &prod).scalar(),
+            12_345u64 * 54_321 % 65_537
+        );
     }
 
     #[test]
@@ -1031,7 +1071,10 @@ mod tests {
             ct = ctx.square_relin(&ct, &rk).unwrap();
             expect = expect * expect % 65_537;
             let budget = ctx.noise_budget(&sk, &ct);
-            assert!(budget < prev_budget, "budget must shrink: {budget} < {prev_budget}");
+            assert!(
+                budget < prev_budget,
+                "budget must shrink: {budget} < {prev_budget}"
+            );
             assert!(budget > 0, "budget exhausted too early");
             prev_budget = budget;
             assert_eq!(ctx.decrypt(&sk, &ct).scalar(), expect);
@@ -1044,14 +1087,21 @@ mod tests {
         let (ctx, sk, pk, _, mut rng) = setup();
         let values = [5u64, 10, 15, 20];
         let scalars = [3u64, 7, 11, 13];
-        let cts: Vec<Ciphertext> =
-            values.iter().map(|&v| ctx.encrypt(&pk, &ctx.encode_scalar(v), &mut rng)).collect();
+        let cts: Vec<Ciphertext> = values
+            .iter()
+            .map(|&v| ctx.encrypt(&pk, &ctx.encode_scalar(v), &mut rng))
+            .collect();
         let mut acc = ctx.encrypt_trivial(&ctx.encode_scalar(0));
         for (ct, &s) in cts.iter().zip(scalars.iter()) {
             acc = ctx.add(&acc, &ctx.mul_scalar(ct, s)).unwrap();
         }
         acc = ctx.add_plain(&acc, &ctx.encode_scalar(999));
-        let expect = values.iter().zip(scalars.iter()).map(|(&v, &s)| v * s).sum::<u64>() + 999;
+        let expect = values
+            .iter()
+            .zip(scalars.iter())
+            .map(|(&v, &s)| v * s)
+            .sum::<u64>()
+            + 999;
         assert_eq!(ctx.decrypt(&sk, &acc).scalar(), expect % 65_537);
     }
 
@@ -1073,10 +1123,15 @@ mod tests {
         ctx.add_plain_prepared_assign(&mut added, &prep);
         assert_eq!(added, ctx.add_plain(&ct, &pt));
         // trivial encryption.
-        assert_eq!(ctx.encrypt_trivial_prepared(&prep), ctx.encrypt_trivial(&pt));
+        assert_eq!(
+            ctx.encrypt_trivial_prepared(&prep),
+            ctx.encrypt_trivial(&pt)
+        );
         // NTT-resident fused accumulate vs add(mul_plain(..)).
         let ct2 = ctx.encrypt(&pk, &ctx.encode_scalar(123), &mut rng);
-        let expect = ctx.add(&ctx.mul_plain(&ct, &pt), &ctx.mul_plain(&ct2, &pt)).unwrap();
+        let expect = ctx
+            .add(&ctx.mul_plain(&ct, &pt), &ctx.mul_plain(&ct2, &pt))
+            .unwrap();
         let (mut na, mut nb) = (ct.clone(), ct2.clone());
         ctx.to_ntt_ct(&mut na);
         ctx.to_ntt_ct(&mut nb);
@@ -1108,7 +1163,9 @@ mod tests {
         let mut fast = b.clone();
         ctx.neg_assign(&mut fast);
         ctx.add_scalar_assign(&mut fast, 12_345);
-        let slow = ctx.sub(&ctx.encrypt_trivial(&ctx.encode_scalar(12_345)), &b).unwrap();
+        let slow = ctx
+            .sub(&ctx.encrypt_trivial(&ctx.encode_scalar(12_345)), &b)
+            .unwrap();
         assert_eq!(fast, slow);
     }
 
@@ -1118,10 +1175,19 @@ mod tests {
         let a = ctx.encrypt(&pk, &ctx.encode_scalar(1), &mut rng);
         let b = ctx.encrypt(&pk, &ctx.encode_scalar(2), &mut rng);
         let three = ctx.mul(&a, &b).unwrap();
-        assert!(matches!(ctx.add(&a, &three), Err(FheError::Incompatible(_))));
-        assert!(matches!(ctx.mul(&a, &three), Err(FheError::Incompatible(_))));
         assert!(matches!(
-            ctx.relinearize(&a, &ctx.generate_relin_key(&ctx.generate_secret_key(&mut rng), &mut rng)),
+            ctx.add(&a, &three),
+            Err(FheError::Incompatible(_))
+        ));
+        assert!(matches!(
+            ctx.mul(&a, &three),
+            Err(FheError::Incompatible(_))
+        ));
+        assert!(matches!(
+            ctx.relinearize(
+                &a,
+                &ctx.generate_relin_key(&ctx.generate_secret_key(&mut rng), &mut rng)
+            ),
             Err(FheError::Incompatible(_))
         ));
     }
@@ -1136,8 +1202,14 @@ mod tests {
 
     #[test]
     fn bad_params_rejected() {
-        let bad = BfvParams { n: 100, ..BfvParams::test_tiny() };
-        assert!(matches!(BfvContext::new(bad), Err(FheError::InvalidParams(_))));
+        let bad = BfvParams {
+            n: 100,
+            ..BfvParams::test_tiny()
+        };
+        assert!(matches!(
+            BfvContext::new(bad),
+            Err(FheError::InvalidParams(_))
+        ));
     }
 
     mod properties {

@@ -56,7 +56,9 @@ impl UBig {
     pub fn from_u128(x: u128) -> Self {
         let lo = x as u64;
         let hi = (x >> 64) as u64;
-        let mut v = UBig { limbs: vec![lo, hi] };
+        let mut v = UBig {
+            limbs: vec![lo, hi],
+        };
         v.normalize();
         v
     }
@@ -142,7 +144,10 @@ impl UBig {
     /// Panics if `other > self` (the pipeline never subtracts past zero).
     #[must_use]
     pub fn sub(&self, other: &UBig) -> UBig {
-        assert!(self.cmp_big(other) != Ordering::Less, "bigint subtraction underflow");
+        assert!(
+            self.cmp_big(other) != Ordering::Less,
+            "bigint subtraction underflow"
+        );
         let mut out = Vec::with_capacity(self.limbs.len());
         let mut borrow = 0i128;
         for i in 0..self.limbs.len() {
@@ -253,7 +258,9 @@ impl UBig {
     /// Tests bit `i`.
     #[must_use]
     pub fn bit(&self, i: usize) -> bool {
-        self.limbs.get(i / 64).is_some_and(|&l| (l >> (i % 64)) & 1 == 1)
+        self.limbs
+            .get(i / 64)
+            .is_some_and(|&l| (l >> (i % 64)) & 1 == 1)
     }
 
     /// `(self / divisor, self % divisor)` by limb-wise schoolbook long
@@ -417,7 +424,12 @@ mod tests {
 
     #[test]
     fn mul_against_u128() {
-        for (a, b) in [(u64::MAX, u64::MAX), (12345, 678_910), (0, 99), (1, u64::MAX)] {
+        for (a, b) in [
+            (u64::MAX, u64::MAX),
+            (12345, 678_910),
+            (0, 99),
+            (1, u64::MAX),
+        ] {
             let big = UBig::from_u64(a).mul(&UBig::from_u64(b));
             assert_eq!(big, UBig::from_u128(u128::from(a) * u128::from(b)));
             assert_eq!(UBig::from_u64(a).mul_u64(b), big);
@@ -480,7 +492,10 @@ mod tests {
     #[test]
     fn display_hex() {
         assert_eq!(UBig::zero().to_string(), "0");
-        assert_eq!(UBig::from_u128((1u128 << 64) + 0xAB).to_string(), "0x100000000000000ab");
+        assert_eq!(
+            UBig::from_u128((1u128 << 64) + 0xAB).to_string(),
+            "0x100000000000000ab"
+        );
     }
 
     proptest! {

@@ -43,7 +43,10 @@ impl BatchEncoder {
     ///
     /// Returns [`MathError::NotInvertible`] if `2n ∤ t - 1`.
     pub fn new(plain_modulus: Modulus, n: usize) -> Result<Self, MathError> {
-        Ok(BatchEncoder { table: NttTable::new(plain_modulus, n)?, n })
+        Ok(BatchEncoder {
+            table: NttTable::new(plain_modulus, n)?,
+            n,
+        })
     }
 
     /// Number of slots (`N`).
@@ -128,7 +131,10 @@ impl BatchEncoder {
         moved
             .iter()
             .map(|&v| {
-                assert!(v >= 1 && v <= self.n as u64, "automorphism must permute slots");
+                assert!(
+                    v >= 1 && v <= self.n as u64,
+                    "automorphism must permute slots"
+                );
                 (v - 1) as usize
             })
             .collect()
@@ -170,10 +176,18 @@ mod tests {
         let b: Vec<u64> = (0..32u64).map(|i| 65_536 - i).collect();
         let pa = enc.encode(&a);
         let pb = enc.encode(&b);
-        let sum_coeffs: Vec<u64> =
-            pa.coeffs.iter().zip(pb.coeffs.iter()).map(|(&x, &y)| zp.add(x, y)).collect();
+        let sum_coeffs: Vec<u64> = pa
+            .coeffs
+            .iter()
+            .zip(pb.coeffs.iter())
+            .map(|(&x, &y)| zp.add(x, y))
+            .collect();
         let sum = Plaintext { coeffs: sum_coeffs };
-        let expect: Vec<u64> = a.iter().zip(b.iter()).map(|(&x, &y)| zp.add(x, y)).collect();
+        let expect: Vec<u64> = a
+            .iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| zp.add(x, y))
+            .collect();
         assert_eq!(enc.decode(&sum), expect);
     }
 
@@ -189,7 +203,11 @@ mod tests {
             &enc.encode(&b).coeffs,
         );
         let decoded = enc.decode(&Plaintext { coeffs: prod_poly });
-        let expect: Vec<u64> = a.iter().zip(b.iter()).map(|(&x, &y)| zp.mul(x, y)).collect();
+        let expect: Vec<u64> = a
+            .iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| zp.mul(x, y))
+            .collect();
         assert_eq!(decoded, expect);
     }
 
@@ -208,7 +226,11 @@ mod tests {
         let sum = ctx.add(&ca, &cb).unwrap();
         let decoded = enc.decode(&ctx.decrypt(&sk, &sum));
         let zp = pasta_math::Zp::new(Modulus::PASTA_17_BIT).unwrap();
-        let expect: Vec<u64> = a.iter().zip(b.iter()).map(|(&x, &y)| zp.add(x, y)).collect();
+        let expect: Vec<u64> = a
+            .iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| zp.add(x, y))
+            .collect();
         assert_eq!(decoded, expect);
     }
 

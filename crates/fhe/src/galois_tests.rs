@@ -9,7 +9,12 @@ use pasta_math::Modulus;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn setup() -> (BfvContext, crate::bfv::BfvSecretKey, crate::bfv::BfvPublicKey, StdRng) {
+fn setup() -> (
+    BfvContext,
+    crate::bfv::BfvSecretKey,
+    crate::bfv::BfvPublicKey,
+    StdRng,
+) {
     let ctx = BfvContext::new(BfvParams::test_tiny()).unwrap();
     let mut rng = StdRng::seed_from_u64(0x6A10);
     let sk = ctx.generate_secret_key(&mut rng);
@@ -29,7 +34,9 @@ fn ring_automorphism_is_a_ring_homomorphism() {
     let g = 3;
     // Sum path.
     let sum_sigma = a.add(basis, &b).automorphism(basis, g);
-    let sigma_sum = a.automorphism(basis, g).add(basis, &b.automorphism(basis, g));
+    let sigma_sum = a
+        .automorphism(basis, g)
+        .add(basis, &b.automorphism(basis, g));
     assert_eq!(sum_sigma, sigma_sum);
     // Product path (through NTT).
     let (mut an, mut bn) = (a.clone(), b.clone());
@@ -80,7 +87,10 @@ fn slot_permutation_structure() {
         pos = perm[pos];
         orbit_len += 1;
     }
-    assert!(128 % orbit_len == 0, "orbit length {orbit_len} must divide 128");
+    assert!(
+        128 % orbit_len == 0,
+        "orbit length {orbit_len} must divide 128"
+    );
 }
 
 #[test]
@@ -124,12 +134,18 @@ fn galois_noise_budget_survives() {
 #[test]
 fn galois_rejects_bad_inputs() {
     let (ctx, sk, pk, mut rng) = setup();
-    assert!(ctx.generate_galois_key(&sk, 4, &mut rng).is_err(), "even g rejected");
+    assert!(
+        ctx.generate_galois_key(&sk, 4, &mut rng).is_err(),
+        "even g rejected"
+    );
     let a = ctx.encrypt(&pk, &ctx.encode_scalar(1), &mut rng);
     let b = ctx.encrypt(&pk, &ctx.encode_scalar(2), &mut rng);
     let three = ctx.mul(&a, &b).unwrap();
     let gk = ctx.generate_galois_key(&sk, 3, &mut rng).unwrap();
-    assert!(ctx.apply_galois(&three, &gk).is_err(), "3-component input rejected");
+    assert!(
+        ctx.apply_galois(&three, &gk).is_err(),
+        "3-component input rejected"
+    );
 }
 
 #[test]
@@ -145,8 +161,14 @@ fn sum_slots_totals_everything() {
     assert_eq!(keys.len(), (n / 2).trailing_zeros() as usize + 1);
     let summed = ctx.sum_slots(&ct, &keys).unwrap();
     let decoded = enc.decode(&ctx.decrypt(&sk, &summed));
-    assert!(decoded.iter().all(|&v| v == total), "every slot must hold the total {total}");
-    assert!(ctx.noise_budget(&sk, &summed) > 10, "budget must survive the tree");
+    assert!(
+        decoded.iter().all(|&v| v == total),
+        "every slot must hold the total {total}"
+    );
+    assert!(
+        ctx.noise_budget(&sk, &summed) > 10,
+        "budget must survive the tree"
+    );
 }
 
 #[test]

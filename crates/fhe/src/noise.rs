@@ -97,10 +97,7 @@ impl NoiseModel {
     #[must_use]
     pub fn after_mul_relin(mut self, other: &NoiseModel) -> Self {
         // BFV tensor: ν ≈ t·N·(ν1 + ν2) (+ small terms).
-        let tensor = self.log2_noise.max(other.log2_noise)
-            + self.t.log2()
-            + self.n.log2()
-            + 2.0;
+        let tensor = self.log2_noise.max(other.log2_noise) + self.t.log2() + self.n.log2() + 2.0;
         self.log2_noise = tensor.max(self.relin_floor) + 1.0;
         self
     }
@@ -191,7 +188,12 @@ pub fn suggest_bfv_params(
 ) -> BfvParams {
     let plain = Modulus::PASTA_17_BIT;
     let prime_count = suggest_prime_count(t_pasta, rounds, batched, n, plain, prime_bits, 12.0);
-    BfvParams { n, plain_modulus: plain, prime_bits, prime_count }
+    BfvParams {
+        n,
+        plain_modulus: plain,
+        prime_bits,
+        prime_count,
+    }
 }
 
 #[cfg(test)]
@@ -201,8 +203,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup() -> (BfvContext, crate::bfv::BfvSecretKey, crate::bfv::BfvPublicKey, crate::bfv::BfvRelinKey, StdRng)
-    {
+    fn setup() -> (
+        BfvContext,
+        crate::bfv::BfvSecretKey,
+        crate::bfv::BfvPublicKey,
+        crate::bfv::BfvRelinKey,
+        StdRng,
+    ) {
         let ctx = BfvContext::new(BfvParams::test_tiny()).unwrap();
         let mut rng = StdRng::seed_from_u64(404);
         let sk = ctx.generate_secret_key(&mut rng);
@@ -217,8 +224,14 @@ mod tests {
         let ct = ctx.encrypt(&pk, &ctx.encode_scalar(7), &mut rng);
         let measured = f64::from(ctx.noise_budget(&sk, &ct));
         let predicted = NoiseModel::fresh(&ctx).predicted_budget();
-        assert!(predicted <= measured, "prediction must be conservative: {predicted} vs {measured}");
-        assert!(measured - predicted < 25.0, "prediction too pessimistic: {predicted} vs {measured}");
+        assert!(
+            predicted <= measured,
+            "prediction must be conservative: {predicted} vs {measured}"
+        );
+        assert!(
+            measured - predicted < 25.0,
+            "prediction too pessimistic: {predicted} vs {measured}"
+        );
     }
 
     #[test]
@@ -248,7 +261,9 @@ mod tests {
         let ct = ctx.encrypt(&pk, &ctx.encode_scalar(3), &mut rng);
         let scaled = ctx.mul_scalar(&ct, 65_000);
         let measured = f64::from(ctx.noise_budget(&sk, &scaled));
-        let predicted = NoiseModel::fresh(&ctx).after_mul_scalar(65_536).predicted_budget();
+        let predicted = NoiseModel::fresh(&ctx)
+            .after_mul_scalar(65_536)
+            .predicted_budget();
         assert!(predicted <= measured + 2.0, "{predicted} vs {measured}");
     }
 

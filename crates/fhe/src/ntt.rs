@@ -73,7 +73,16 @@ impl NttTable {
         let fwd_shoup: Vec<u64> = fwd.iter().map(|&w| zp.shoup(w)).collect();
         let inv_shoup: Vec<u64> = inv.iter().map(|&w| zp.shoup(w)).collect();
         let n_inv_shoup = zp.shoup(n_inv);
-        Ok(NttTable { zp, n, fwd, fwd_shoup, inv, inv_shoup, n_inv, n_inv_shoup })
+        Ok(NttTable {
+            zp,
+            n,
+            fwd,
+            fwd_shoup,
+            inv,
+            inv_shoup,
+            n_inv,
+            n_inv_shoup,
+        })
     }
 
     /// Ring degree `N`.
@@ -317,7 +326,10 @@ mod tests {
         let p = t.zp().p();
         let a: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 1) % p).collect();
         let b: Vec<u64> = (0..n as u64).map(|i| p - 1 - i * 53 % p).collect();
-        assert_eq!(t.negacyclic_mul(&a, &b), negacyclic_mul_schoolbook(t.zp(), &a, &b));
+        assert_eq!(
+            t.negacyclic_mul(&a, &b),
+            negacyclic_mul_schoolbook(t.zp(), &a, &b)
+        );
     }
 
     #[test]
@@ -362,12 +374,17 @@ mod tests {
     fn lazy_kernels_match_reference_transforms() {
         // The Shoup fast path must be bit-exact against the seed's
         // full-reduction butterflies, element by element.
-        for modulus in [Modulus::PASTA_17_BIT, Modulus::PASTA_33_BIT, Modulus::NTT_60_BIT] {
+        for modulus in [
+            Modulus::PASTA_17_BIT,
+            Modulus::PASTA_33_BIT,
+            Modulus::NTT_60_BIT,
+        ] {
             for n in [4usize, 64, 1024] {
                 let t = NttTable::new(modulus, n).unwrap();
                 let p = t.zp().p();
-                let input: Vec<u64> =
-                    (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % p).collect();
+                let input: Vec<u64> = (0..n as u64)
+                    .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % p)
+                    .collect();
                 let (mut fast, mut slow) = (input.clone(), input.clone());
                 t.forward(&mut fast);
                 t.forward_reference(&mut slow);
@@ -382,7 +399,11 @@ mod tests {
 
     #[test]
     fn lazy_ntt_mul_matches_schoolbook_multiple_sizes_and_primes() {
-        for modulus in [Modulus::PASTA_17_BIT, Modulus::PASTA_33_BIT, Modulus::NTT_60_BIT] {
+        for modulus in [
+            Modulus::PASTA_17_BIT,
+            Modulus::PASTA_33_BIT,
+            Modulus::NTT_60_BIT,
+        ] {
             for n in [8usize, 32, 128] {
                 let t = NttTable::new(modulus, n).unwrap();
                 let p = t.zp().p();
@@ -399,7 +420,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_parameters() {
-        assert!(NttTable::new(Modulus::NTT_60_BIT, 3).is_err(), "non power of two");
+        assert!(
+            NttTable::new(Modulus::NTT_60_BIT, 3).is_err(),
+            "non power of two"
+        );
         // 2^20-th roots don't exist mod 65537 (p-1 = 2^16).
         assert!(NttTable::new(Modulus::PASTA_17_BIT, 1 << 19).is_err());
     }

@@ -59,7 +59,14 @@ impl RnsBasis {
             q_hat_invs.push(zp.inv(hat_mod)?);
             q_hats.push(q_hat);
         }
-        Ok(RnsBasis { n, primes, tables, q, q_hats, q_hat_invs })
+        Ok(RnsBasis {
+            n,
+            primes,
+            tables,
+            q,
+            q_hats,
+            q_hat_invs,
+        })
     }
 
     /// Picks `count` distinct NTT-friendly primes of `bits` bits
@@ -68,11 +75,7 @@ impl RnsBasis {
     /// # Errors
     ///
     /// Propagates construction errors; errors if not enough primes exist.
-    pub fn with_generated_primes(
-        n: usize,
-        bits: u32,
-        count: usize,
-    ) -> Result<Self, MathError> {
+    pub fn with_generated_primes(n: usize, bits: u32, count: usize) -> Result<Self, MathError> {
         let two_adicity = (2 * n).trailing_zeros();
         let primes = generate_ntt_primes(bits, two_adicity, count)?;
         Self::new(n, primes)
@@ -195,7 +198,10 @@ impl RnsPoly {
     /// The zero polynomial (coefficient domain).
     #[must_use]
     pub fn zero(basis: &RnsBasis) -> Self {
-        RnsPoly { coeffs: vec![vec![0; basis.n()]; basis.len()], is_ntt: false }
+        RnsPoly {
+            coeffs: vec![vec![0; basis.n()]; basis.len()],
+            is_ntt: false,
+        }
     }
 
     /// A constant polynomial with the given value in every prime.
@@ -402,8 +408,10 @@ impl RnsPoly {
         );
         for (i, row) in self.coeffs.iter_mut().enumerate() {
             let zp = basis.zp(i);
-            for ((acc, &x), &y) in
-                row.iter_mut().zip(a.coeffs[i].iter()).zip(b.coeffs[i].iter())
+            for ((acc, &x), &y) in row
+                .iter_mut()
+                .zip(a.coeffs[i].iter())
+                .zip(b.coeffs[i].iter())
             {
                 *acc = zp.add(*acc, zp.mul(x, y));
             }
@@ -419,7 +427,10 @@ impl RnsPoly {
     /// Panics in NTT domain (a constant is not slot-constant there) or
     /// if `c.len() != k`.
     pub fn add_assign_coeff0(&mut self, basis: &RnsBasis, c: &[u64]) {
-        assert!(!self.is_ntt, "constant injection requires coefficient domain");
+        assert!(
+            !self.is_ntt,
+            "constant injection requires coefficient domain"
+        );
         assert_eq!(c.len(), basis.len(), "per-prime scalar count mismatch");
         for (i, row) in self.coeffs.iter_mut().enumerate() {
             row[0] = basis.zp(i).add(row[0], c[i]);
@@ -560,7 +571,10 @@ impl RnsPoly {
     /// Panics if called in NTT domain.
     #[must_use]
     pub fn to_bigint_coeffs(&self, basis: &RnsBasis) -> Vec<UBig> {
-        assert!(!self.is_ntt, "CRT reconstruction requires coefficient domain");
+        assert!(
+            !self.is_ntt,
+            "CRT reconstruction requires coefficient domain"
+        );
         (0..basis.n())
             .map(|j| {
                 let residues: Vec<u64> = (0..basis.len()).map(|i| self.coeffs[i][j]).collect();
@@ -600,7 +614,10 @@ mod tests {
         // Extremes.
         let top = b.q().sub(&UBig::one());
         assert_eq!(b.crt_reconstruct(&b.reduce_bigint(&top)), top);
-        assert_eq!(b.crt_reconstruct(&b.reduce_bigint(&UBig::zero())), UBig::zero());
+        assert_eq!(
+            b.crt_reconstruct(&b.reduce_bigint(&UBig::zero())),
+            UBig::zero()
+        );
     }
 
     #[test]
@@ -662,7 +679,11 @@ mod tests {
         }
         let e = RnsPoly::random_error(&b, &mut rng);
         for &c in e.row(0) {
-            let centered = if c > q0 / 2 { (q0 - c) as i64 } else { c as i64 };
+            let centered = if c > q0 / 2 {
+                (q0 - c) as i64
+            } else {
+                c as i64
+            };
             assert!(centered.abs() <= 4, "error out of range: {centered}");
         }
     }

@@ -121,7 +121,10 @@ impl BatchedHheServer {
         // Raw material and matrices come from the shared block section —
         // the scalar and packed servers reuse the same entries.
         let per_block: Vec<Arc<BlockEntry>> = (0..blocks)
-            .map(|s| self.cache.block(&self.params, nonce, first_counter + s as u64))
+            .map(|s| {
+                self.cache
+                    .block(&self.params, nonce, first_counter + s as u64)
+            })
             .collect();
         let layers = (0..self.params.affine_layers())
             .map(|layer| {
@@ -134,7 +137,11 @@ impl BatchedHheServer {
                             .iter()
                             .map(|b| {
                                 let m = &b.matrices[layer];
-                                if is_left { m.left.get(i, j) } else { m.right.get(i, j) }
+                                if is_left {
+                                    m.left.get(i, j)
+                                } else {
+                                    m.right.get(i, j)
+                                }
                             })
                             .collect();
                         ctx.prepare_plaintext(&self.encoder.encode(&slots))
@@ -145,7 +152,11 @@ impl BatchedHheServer {
                                 .iter()
                                 .map(|b| {
                                     let l = &b.material.layers[layer];
-                                    if is_left { l.rc_left[i] } else { l.rc_right[i] }
+                                    if is_left {
+                                        l.rc_left[i]
+                                    } else {
+                                        l.rc_right[i]
+                                    }
                                 })
                                 .collect();
                             ctx.prepare_plaintext(&self.encoder.encode(&slots))
@@ -153,7 +164,10 @@ impl BatchedHheServer {
                         .collect();
                     BatchedHalf { weights, rc }
                 };
-                BatchedLayer { left: half(true), right: half(false) }
+                BatchedLayer {
+                    left: half(true),
+                    right: half(false),
+                }
             })
             .collect();
         BatchedEntry { layers }
@@ -191,8 +205,9 @@ impl BatchedHheServer {
             first_counter,
             blocks,
         };
-        let prepared =
-            self.cache.batched(&key, || self.prepare_batch(ctx, nonce, first_counter, blocks));
+        let prepared = self.cache.batched(&key, || {
+            self.prepare_batch(ctx, nonce, first_counter, blocks)
+        });
 
         let mut left = self.encrypted_key.elements[..t].to_vec();
         let mut right = self.encrypted_key.elements[t..].to_vec();
@@ -200,7 +215,11 @@ impl BatchedHheServer {
         for (layer, layer_prep) in prepared.layers.iter().enumerate() {
             for is_left in [true, false] {
                 let half = if is_left { &left } else { &right };
-                let half_prep = if is_left { &layer_prep.left } else { &layer_prep.right };
+                let half_prep = if is_left {
+                    &layer_prep.left
+                } else {
+                    &layer_prep.right
+                };
                 if half.is_empty() {
                     return Err(FheError::Incompatible(
                         "affine layer applied to an empty state half".into(),
@@ -213,19 +232,20 @@ impl BatchedHheServer {
                     ctx.to_ntt_ct(ct);
                 }
                 let rows: Vec<usize> = (0..t).collect();
-                let out: Vec<FheCiphertext> = pasta_par::parallel_map(&rows, |_, &i| -> Result<FheCiphertext, FheError> {
-                    let mut acc =
-                        ctx.mul_plain_prepared_ntt(&half_ntt[0], half_prep.weight(t, i, 0));
-                    for (j, ct) in half_ntt.iter().enumerate().skip(1) {
-                        ctx.add_mul_plain_ntt_assign(&mut acc, ct, half_prep.weight(t, i, j))?;
-                    }
-                    ctx.to_coeff_ct(&mut acc);
-                    // Batched round constant.
-                    ctx.add_plain_prepared_assign(&mut acc, &half_prep.rc[i]);
-                    Ok(acc)
-                })
-                .into_iter()
-                .collect::<Result<_, _>>()?;
+                let out: Vec<FheCiphertext> =
+                    pasta_par::parallel_map(&rows, |_, &i| -> Result<FheCiphertext, FheError> {
+                        let mut acc =
+                            ctx.mul_plain_prepared_ntt(&half_ntt[0], half_prep.weight(t, i, 0));
+                        for (j, ct) in half_ntt.iter().enumerate().skip(1) {
+                            ctx.add_mul_plain_ntt_assign(&mut acc, ct, half_prep.weight(t, i, j))?;
+                        }
+                        ctx.to_coeff_ct(&mut acc);
+                        // Batched round constant.
+                        ctx.add_plain_prepared_assign(&mut acc, &half_prep.rc[i]);
+                        Ok(acc)
+                    })
+                    .into_iter()
+                    .collect::<Result<_, _>>()?;
                 if is_left {
                     left = out;
                 } else {
@@ -267,7 +287,11 @@ impl BatchedHheServer {
                 right.clone_from_slice(&full[t..]);
             }
         }
-        Ok(BatchedBlocks { positions: left, first_counter, blocks })
+        Ok(BatchedBlocks {
+            positions: left,
+            first_counter,
+            blocks,
+        })
     }
 
     /// Transciphers a PASTA ciphertext in SIMD fashion: all blocks in one
@@ -298,7 +322,11 @@ impl BatchedHheServer {
             ctx.sub_assign(&mut out, ks_ct)?;
             positions.push(out);
         }
-        Ok(BatchedBlocks { positions, first_counter: 0, blocks })
+        Ok(BatchedBlocks {
+            positions,
+            first_counter: 0,
+            blocks,
+        })
     }
 
     /// Decodes one position-major ciphertext of a batch back into the
@@ -357,7 +385,10 @@ mod tests {
         let params = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap();
         // One extra prime vs test_tiny: the batched plaintext
         // multiplications grow noise by an extra log2(N) per layer.
-        let bfv = BfvParams { prime_count: 5, ..BfvParams::test_tiny() };
+        let bfv = BfvParams {
+            prime_count: 5,
+            ..BfvParams::test_tiny()
+        };
         let ctx = BfvContext::new(bfv).unwrap();
         let mut rng = StdRng::seed_from_u64(808);
         let sk = ctx.generate_secret_key(&mut rng);
@@ -366,7 +397,12 @@ mod tests {
         let client = HheClient::new(params, b"batched");
         let ek = provision_batched_key(client.cipher().key().elements(), &ctx, &pk, &mut rng);
         let server = BatchedHheServer::new(params, &ctx, relin, ek).unwrap();
-        World { ctx, sk, client, server }
+        World {
+            ctx,
+            sk,
+            client,
+            server,
+        }
     }
 
     #[test]
@@ -409,9 +445,15 @@ mod tests {
         let cold = w.server.keystream_batch(&w.ctx, 0xDD, 2, 3).unwrap();
         let misses_after_cold = w.server.cache().stats().misses;
         let warm = w.server.keystream_batch(&w.ctx, 0xDD, 2, 3).unwrap();
-        assert_eq!(cold.positions, warm.positions, "cached plaintexts must be bit-exact");
+        assert_eq!(
+            cold.positions, warm.positions,
+            "cached plaintexts must be bit-exact"
+        );
         let stats = w.server.cache().stats();
-        assert_eq!(stats.misses, misses_after_cold, "warm pass must not re-prepare");
+        assert_eq!(
+            stats.misses, misses_after_cold,
+            "warm pass must not re-prepare"
+        );
         assert!(stats.hits >= 1, "warm pass must hit the cache");
     }
 
@@ -436,7 +478,11 @@ mod tests {
         let batch = w.server.keystream_batch(&w.ctx, 0xCC, 7, 2).unwrap();
         let values = w.server.decode_position(&w.ctx, &w.sk, &batch, 0);
         for (s, &v) in values.iter().enumerate() {
-            let expect = w.client.cipher().keystream_block(0xCC, 7 + s as u64).unwrap();
+            let expect = w
+                .client
+                .cipher()
+                .keystream_block(0xCC, 7 + s as u64)
+                .unwrap();
             assert_eq!(v, expect[0]);
         }
     }
@@ -464,6 +510,9 @@ mod tests {
         let per_pass_relins = (2 * 4 - 1) + 2 * 2 * 4;
         let scalar_total = per_pass_relins * w.server.capacity();
         let batched_total = per_pass_relins;
-        assert!(batched_total * 100 < scalar_total, "amortization factor >= 100x");
+        assert!(
+            batched_total * 100 < scalar_total,
+            "amortization factor >= 100x"
+        );
     }
 }

@@ -199,7 +199,12 @@ struct Lru<K, V> {
 
 impl<K: PartialEq + Clone, V> Lru<K, V> {
     fn new(cap: usize) -> Self {
-        Lru { cap: cap.max(1), entries: Vec::new(), hits: 0, misses: 0 }
+        Lru {
+            cap: cap.max(1),
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
     }
 
     fn get_or_insert_with(&mut self, key: &K, build: impl FnOnce() -> V) -> Arc<V> {
@@ -218,7 +223,10 @@ impl<K: PartialEq + Clone, V> Lru<K, V> {
     }
 
     fn stats(&self) -> CacheStats {
-        CacheStats { hits: self.hits, misses: self.misses }
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
     }
 }
 
@@ -278,14 +286,22 @@ impl MaterialCache {
     /// `(params, nonce, counter)`, derived on first use.
     #[must_use]
     pub fn block(&self, params: &PastaParams, nonce: u128, counter: u64) -> Arc<BlockEntry> {
-        let key = BlockKey { pasta: *params, nonce, counter };
+        let key = BlockKey {
+            pasta: *params,
+            nonce,
+            counter,
+        };
         lock(&self.blocks).get_or_insert_with(&key, || BlockEntry::derive(params, nonce, counter))
     }
 
     /// The batched prepared material for `key`, built by `build` on a
     /// miss (the builder runs under the section lock; see module docs).
     #[must_use]
-    pub fn batched(&self, key: &BatchKey, build: impl FnOnce() -> BatchedEntry) -> Arc<BatchedEntry> {
+    pub fn batched(
+        &self,
+        key: &BatchKey,
+        build: impl FnOnce() -> BatchedEntry,
+    ) -> Arc<BatchedEntry> {
         lock(&self.batched).get_or_insert_with(key, build)
     }
 
@@ -302,7 +318,10 @@ impl MaterialCache {
         let b = lock(&self.blocks).stats();
         let s = lock(&self.batched).stats();
         let p = lock(&self.packed).stats();
-        CacheStats { hits: b.hits + s.hits + p.hits, misses: b.misses + s.misses + p.misses }
+        CacheStats {
+            hits: b.hits + s.hits + p.hits,
+            misses: b.misses + s.misses + p.misses,
+        }
     }
 }
 
@@ -331,10 +350,18 @@ mod tests {
         let cache = MaterialCache::new();
         let a = cache.block(&params(), 7, 3);
         let b = cache.block(&params(), 7, 4);
-        let c = cache.block(&PastaParams::custom(4, 3, Modulus::PASTA_17_BIT).unwrap(), 7, 3);
+        let c = cache.block(
+            &PastaParams::custom(4, 3, Modulus::PASTA_17_BIT).unwrap(),
+            7,
+            3,
+        );
         assert!(!Arc::ptr_eq(&a, &b));
         assert_ne!(*a, *b);
-        assert_ne!(a.matrices.len(), c.matrices.len(), "different rounds, different layers");
+        assert_ne!(
+            a.matrices.len(),
+            c.matrices.len(),
+            "different rounds, different layers"
+        );
         assert_eq!(cache.stats().misses, 3);
     }
 

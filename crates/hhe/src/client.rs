@@ -41,7 +41,9 @@ impl HheClient {
     #[must_use]
     pub fn new(params: PastaParams, seed: &[u8]) -> Self {
         let key = SecretKey::from_seed(&params, seed);
-        HheClient { cipher: PastaCipher::new(params, key) }
+        HheClient {
+            cipher: PastaCipher::new(params, key),
+        }
     }
 
     /// The PASTA parameter set.
@@ -93,7 +95,10 @@ impl HheClient {
         fhe_sk: &BfvSecretKey,
         results: &[FheCiphertext],
     ) -> Vec<u64> {
-        results.iter().map(|ct| ctx.decrypt(fhe_sk, ct).scalar()).collect()
+        results
+            .iter()
+            .map(|ct| ctx.decrypt(fhe_sk, ct).scalar())
+            .collect()
     }
 }
 
@@ -140,8 +145,10 @@ mod tests {
         let sk = ctx.generate_secret_key(&mut rng);
         let pk = ctx.generate_public_key(&sk, &mut rng);
         let client = HheClient::new(tiny_params(), b"c3");
-        let cts: Vec<_> =
-            [5u64, 6, 7].iter().map(|&v| ctx.encrypt(&pk, &ctx.encode_scalar(v), &mut rng)).collect();
+        let cts: Vec<_> = [5u64, 6, 7]
+            .iter()
+            .map(|&v| ctx.encrypt(&pk, &ctx.encode_scalar(v), &mut rng))
+            .collect();
         assert_eq!(client.retrieve(&ctx, &sk, &cts), vec![5, 6, 7]);
     }
 }

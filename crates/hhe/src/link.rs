@@ -67,7 +67,9 @@ impl Resolution {
             "qqvga" => Ok(Resolution::Qqvga),
             "qvga" => Ok(Resolution::Qvga),
             "vga" => Ok(Resolution::Vga),
-            other => Err(format!("unknown resolution '{other}' (use qqvga, qvga, vga)")),
+            other => Err(format!(
+                "unknown resolution '{other}' (use qqvga, qvga, vga)"
+            )),
         }
     }
 }
@@ -248,8 +250,7 @@ mod tests {
         // RISE QQVGA: ≈83× expansion — the 10,000–100,000× story of §I is
         // tamed by packing, but still two orders worse than HHE.
         let rise = RiseReference;
-        let re = rise.bytes_per_frame(Resolution::Qqvga) as f64
-            / Resolution::Qqvga.pixels() as f64;
+        let re = rise.bytes_per_frame(Resolution::Qqvga) as f64 / Resolution::Qqvga.pixels() as f64;
         assert!(re > 80.0 && re < 86.0, "RISE expansion = {re}");
     }
 

@@ -26,8 +26,8 @@ use crate::cache::{MaterialCache, PackedEntry, PackedKey, PackedLayer};
 use crate::client::EncryptedPastaKey;
 use pasta_core::{Ciphertext as PastaCiphertext, PastaParams};
 use pasta_fhe::{
-    BatchEncoder, BfvContext, BfvGaloisKey, BfvRelinKey, BfvSecretKey,
-    Ciphertext as FheCiphertext, FheError, Plaintext, PreparedPlaintext,
+    BatchEncoder, BfvContext, BfvGaloisKey, BfvRelinKey, BfvSecretKey, Ciphertext as FheCiphertext,
+    FheError, Plaintext, PreparedPlaintext,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -70,7 +70,10 @@ impl LaneLayout {
     /// Panics if the values run past the orbit.
     #[must_use]
     pub fn encode_lanes(&self, encoder: &BatchEncoder, values: &[u64], offset: usize) -> Plaintext {
-        assert!(offset + values.len() <= self.orbit_len, "values exceed the lane orbit");
+        assert!(
+            offset + values.len() <= self.orbit_len,
+            "values exceed the lane orbit"
+        );
         let mut slots = vec![0u64; encoder.slots()];
         for (j, &v) in values.iter().enumerate() {
             slots[self.order[offset + j]] = v;
@@ -197,7 +200,12 @@ impl PackedHheServer {
         self.encrypted_key.size_bytes(ctx)
     }
 
-    fn rotate(&self, ctx: &BfvContext, ct: &FheCiphertext, k: usize) -> Result<FheCiphertext, FheError> {
+    fn rotate(
+        &self,
+        ctx: &BfvContext,
+        ct: &FheCiphertext,
+        k: usize,
+    ) -> Result<FheCiphertext, FheError> {
         if k == 0 {
             return Ok(ct.clone());
         }
@@ -210,7 +218,13 @@ impl PackedHheServer {
 
     /// Mask to lanes `from..range` (indicator plaintext, prepared at
     /// setup for the windows the evaluation uses).
-    fn mask(&self, ctx: &BfvContext, ct: &FheCiphertext, from: usize, range: usize) -> FheCiphertext {
+    fn mask(
+        &self,
+        ctx: &BfvContext,
+        ct: &FheCiphertext,
+        from: usize,
+        range: usize,
+    ) -> FheCiphertext {
         if let Some(prep) = self.masks.get(&(from, range)) {
             return ctx.mul_plain_prepared(ct, prep);
         }
@@ -255,8 +269,7 @@ impl PackedHheServer {
                 });
                 let mut rc = layer.rc_left.clone();
                 rc.extend_from_slice(&layer.rc_right);
-                let rc =
-                    ctx.prepare_plaintext(&self.layout.encode_lanes(&self.encoder, &rc, 0));
+                let rc = ctx.prepare_plaintext(&self.layout.encode_lanes(&self.encoder, &rc, 0));
                 PackedLayer { diagonals, rc }
             })
             .collect();
@@ -265,7 +278,11 @@ impl PackedHheServer {
 
     /// `state + rot_{-(2t)}(state)`: refresh the duplicate copy at lanes
     /// `2t..4t` (valid only for a masked state).
-    fn with_duplicate(&self, ctx: &BfvContext, masked: &FheCiphertext) -> Result<FheCiphertext, FheError> {
+    fn with_duplicate(
+        &self,
+        ctx: &BfvContext,
+        masked: &FheCiphertext,
+    ) -> Result<FheCiphertext, FheError> {
         let neg = self.layout.lanes() - 2 * self.params.t();
         ctx.add(masked, &self.rotate(ctx, masked, neg)?)
     }
@@ -285,8 +302,15 @@ impl PackedHheServer {
     ) -> Result<FheCiphertext, FheError> {
         let t = self.params.t();
         let r = self.params.rounds();
-        let key = PackedKey { pasta: self.params, bfv: *ctx.params(), nonce, counter };
-        let prepared = self.cache.packed(&key, || self.prepare_packed(ctx, nonce, counter));
+        let key = PackedKey {
+            pasta: self.params,
+            bfv: *ctx.params(),
+            nonce,
+            counter,
+        };
+        let prepared = self
+            .cache
+            .packed(&key, || self.prepare_packed(ctx, nonce, counter));
 
         // The provisioned key ciphertext is already masked to lanes 0..2t.
         let mut state = self.encrypted_key.clone();
@@ -362,11 +386,9 @@ impl PackedHheServer {
     ) -> Result<FheCiphertext, FheError> {
         let t = self.params.t();
         let start = counter as usize * t;
-        let block: Vec<u64> =
-            pasta_ct.elements()[start..(start + t).min(pasta_ct.len())].to_vec();
+        let block: Vec<u64> = pasta_ct.elements()[start..(start + t).min(pasta_ct.len())].to_vec();
         let ks = self.keystream_packed(ctx, pasta_ct.nonce(), counter)?;
-        let mut out =
-            ctx.encrypt_trivial(&self.layout.encode_lanes(&self.encoder, &block, 0));
+        let mut out = ctx.encrypt_trivial(&self.layout.encode_lanes(&self.encoder, &block, 0));
         ctx.sub_assign(&mut out, &ks)?;
         Ok(out)
     }
@@ -420,7 +442,10 @@ mod tests {
         let params = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap();
         // Generous modulus: rotations add key-switch noise and the
         // packed S-boxes spend extra plaintext masks.
-        let bfv = BfvParams { prime_count: 8, ..BfvParams::test_tiny() };
+        let bfv = BfvParams {
+            prime_count: 8,
+            ..BfvParams::test_tiny()
+        };
         let ctx = BfvContext::new(bfv).unwrap();
         let mut rng = StdRng::seed_from_u64(0xACED);
         let sk = ctx.generate_secret_key(&mut rng);
@@ -433,7 +458,12 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        World { ctx, sk, client, server }
+        World {
+            ctx,
+            sk,
+            client,
+            server,
+        }
     }
 
     #[test]
@@ -475,7 +505,10 @@ mod tests {
         let ks = w.server.keystream_packed(&w.ctx, 0xFEED, 0).unwrap();
         let decoded = w.server.decode(&w.ctx, &w.sk, &ks, 4);
         let expect = w.client.cipher().keystream_block(0xFEED, 0).unwrap();
-        assert_eq!(decoded, expect, "packed evaluation must equal the plain keystream");
+        assert_eq!(
+            decoded, expect,
+            "packed evaluation must equal the plain keystream"
+        );
         let budget = w.ctx.noise_budget(&w.sk, &ks);
         assert!(budget > 5, "noise budget after packed evaluation: {budget}");
     }
@@ -499,7 +532,10 @@ mod tests {
         let warm = w.server.keystream_packed(&w.ctx, 0xF00D, 0).unwrap();
         assert_eq!(cold, warm, "cached diagonals must be bit-exact");
         let stats = w.server.cache().stats();
-        assert_eq!(stats.misses, misses_after_cold, "warm pass must not re-prepare");
+        assert_eq!(
+            stats.misses, misses_after_cold,
+            "warm pass must not re-prepare"
+        );
         assert!(stats.hits >= 1, "warm pass must hit the cache");
     }
 
@@ -508,7 +544,10 @@ mod tests {
         // The orbit of 3 in (Z/2N)* has length 2^(log2(2N) - 2) = N/2,
         // so N = 256 gives 128 lanes: t = 64 (needs 4t = 256) must be
         // rejected, while PASTA-4's t = 32 (exactly 128) just fits.
-        let bfv = BfvParams { prime_count: 4, ..BfvParams::test_tiny() }; // N = 256
+        let bfv = BfvParams {
+            prime_count: 4,
+            ..BfvParams::test_tiny()
+        }; // N = 256
         let ctx = BfvContext::new(bfv).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let sk = ctx.generate_secret_key(&mut rng);

@@ -54,7 +54,12 @@ impl HheServer {
                 params.state_size()
             )));
         }
-        Ok(HheServer { params, relin_key, encrypted_key, cache: Arc::new(MaterialCache::new()) })
+        Ok(HheServer {
+            params,
+            relin_key,
+            encrypted_key,
+            cache: Arc::new(MaterialCache::new()),
+        })
     }
 
     /// Replaces the material cache (e.g. with one shared by several
@@ -88,7 +93,12 @@ impl HheServer {
         let entry = self.cache.block(&self.params, nonce, counter);
         let mut left = self.encrypted_key.elements[..t].to_vec();
         let mut right = self.encrypted_key.elements[t..].to_vec();
-        for (i, (layer, mats)) in entry.material.layers.iter().zip(entry.matrices.iter()).enumerate()
+        for (i, (layer, mats)) in entry
+            .material
+            .layers
+            .iter()
+            .zip(entry.matrices.iter())
+            .enumerate()
         {
             left = Self::affine_half(ctx, &left, &mats.left, &layer.rc_left)?;
             right = Self::affine_half(ctx, &right, &mats.right, &layer.rc_right)?;
@@ -142,7 +152,9 @@ impl HheServer {
     ) -> Result<Vec<FheCiphertext>, FheError> {
         let t = half.len();
         if half.is_empty() {
-            return Err(FheError::Incompatible("affine layer applied to an empty state half".into()));
+            return Err(FheError::Incompatible(
+                "affine layer applied to an empty state half".into(),
+            ));
         }
         let rows: Vec<usize> = (0..t.min(rc.len())).collect();
         pasta_par::parallel_map(&rows, |_, &i| {
@@ -238,7 +250,12 @@ mod tests {
         let client = HheClient::new(params, b"hhe test");
         let encrypted_key = client.provision_key(&ctx, &fhe_pk, &mut rng);
         let server = HheServer::new(params, relin, encrypted_key).unwrap();
-        World { ctx, fhe_sk, client, server }
+        World {
+            ctx,
+            fhe_sk,
+            client,
+            server,
+        }
     }
 
     #[test]
@@ -246,9 +263,14 @@ mod tests {
         let w = setup();
         let expected = w.client.cipher().keystream_block(99, 0).unwrap();
         let encrypted = w.server.keystream_encrypted(&w.ctx, 99, 0).unwrap();
-        let decrypted: Vec<u64> =
-            encrypted.iter().map(|ct| w.ctx.decrypt(&w.fhe_sk, ct).scalar()).collect();
-        assert_eq!(decrypted, expected, "server must reproduce KS under encryption");
+        let decrypted: Vec<u64> = encrypted
+            .iter()
+            .map(|ct| w.ctx.decrypt(&w.fhe_sk, ct).scalar())
+            .collect();
+        assert_eq!(
+            decrypted, expected,
+            "server must reproduce KS under encryption"
+        );
     }
 
     #[test]
@@ -277,9 +299,15 @@ mod tests {
         let cold = w.server.keystream_encrypted(&w.ctx, 4242, 1).unwrap();
         let misses_after_cold = w.server.cache().stats().misses;
         let warm = w.server.keystream_encrypted(&w.ctx, 4242, 1).unwrap();
-        assert_eq!(cold, warm, "cached material must not change the ciphertexts");
+        assert_eq!(
+            cold, warm,
+            "cached material must not change the ciphertexts"
+        );
         let stats = w.server.cache().stats();
-        assert_eq!(stats.misses, misses_after_cold, "warm pass must not re-derive");
+        assert_eq!(
+            stats.misses, misses_after_cold,
+            "warm pass must not re-derive"
+        );
         assert!(stats.hits >= 1, "warm pass must hit the cache");
     }
 
@@ -292,11 +320,17 @@ mod tests {
         let fhe_pk = w.ctx.generate_public_key(&w.fhe_sk, &mut rng);
         let relin = w.ctx.generate_relin_key(&w.fhe_sk, &mut rng);
         let ek = w.client.provision_key(&w.ctx, &fhe_pk, &mut rng);
-        let second = HheServer::new(params, relin, ek).unwrap().with_cache(shared);
+        let second = HheServer::new(params, relin, ek)
+            .unwrap()
+            .with_cache(shared);
         let _ = w.server.keystream_encrypted(&w.ctx, 99, 0).unwrap();
         let misses = second.cache().stats().misses;
         let _ = second.keystream_encrypted(&w.ctx, 99, 0).unwrap();
-        assert_eq!(second.cache().stats().misses, misses, "shared entry must be reused");
+        assert_eq!(
+            second.cache().stats().misses,
+            misses,
+            "shared entry must be reused"
+        );
     }
 
     #[test]
@@ -305,7 +339,10 @@ mod tests {
         let encrypted = w.server.keystream_encrypted(&w.ctx, 3, 0).unwrap();
         for (i, ct) in encrypted.iter().enumerate() {
             let budget = w.ctx.noise_budget(&w.fhe_sk, ct);
-            assert!(budget > 5, "keystream ct {i} nearly exhausted: {budget} bits");
+            assert!(
+                budget > 5,
+                "keystream ct {i} nearly exhausted: {budget} bits"
+            );
         }
     }
 
@@ -335,6 +372,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let sk = w.ctx.generate_secret_key(&mut rng);
         let rk = w.ctx.generate_relin_key(&sk, &mut rng);
-        assert!(matches!(HheServer::new(params, rk, short), Err(FheError::Incompatible(_))));
+        assert!(matches!(
+            HheServer::new(params, rk, short),
+            Err(FheError::Incompatible(_))
+        ));
     }
 }

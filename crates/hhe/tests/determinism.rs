@@ -24,7 +24,10 @@ fn with_threads<T>(n: &str, f: impl FnOnce() -> T) -> T {
 #[test]
 fn batched_transcipher_is_thread_count_invariant() {
     let params = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap();
-    let bfv = BfvParams { prime_count: 5, ..BfvParams::test_tiny() };
+    let bfv = BfvParams {
+        prime_count: 5,
+        ..BfvParams::test_tiny()
+    };
     let ctx = BfvContext::new(bfv).unwrap();
     let mut rng = StdRng::seed_from_u64(808);
     let sk = ctx.generate_secret_key(&mut rng);
@@ -48,8 +51,7 @@ fn batched_transcipher_is_thread_count_invariant() {
         let pk2 = ctx.generate_public_key(&sk2, &mut rng);
         let relin2 = ctx.generate_relin_key(&sk2, &mut rng);
         let client2 = HheClient::new(params, b"determinism");
-        let ek2 =
-            provision_batched_key(client2.cipher().key().elements(), &ctx, &pk2, &mut rng);
+        let ek2 = provision_batched_key(client2.cipher().key().elements(), &ctx, &pk2, &mut rng);
         let server2 = BatchedHheServer::new(params, &ctx, relin2, ek2).unwrap();
         server2.transcipher_batched(&ctx, &pasta_ct).unwrap()
     });

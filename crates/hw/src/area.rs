@@ -35,8 +35,12 @@ pub struct FpgaDevice {
 }
 
 /// The paper's target FPGA: Artix-7 AC701.
-pub const ARTIX7_AC701: FpgaDevice =
-    FpgaDevice { luts: 134_000, ffs: 269_000, dsps: 740, brams: 365 };
+pub const ARTIX7_AC701: FpgaDevice = FpgaDevice {
+    luts: 134_000,
+    ffs: 269_000,
+    dsps: 740,
+    brams: 365,
+};
 
 /// An FPGA resource estimate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,8 +106,14 @@ fn interpolate(omega: u32, anchors: &[(u32, f64)]) -> f64 {
         }
     }
     // Extrapolate beyond the last anchor on the final segment slope.
-    let (x0, y0) = (f64::from(anchors[anchors.len() - 2].0), anchors[anchors.len() - 2].1);
-    let (x1, y1) = (f64::from(anchors[anchors.len() - 1].0), anchors[anchors.len() - 1].1);
+    let (x0, y0) = (
+        f64::from(anchors[anchors.len() - 2].0),
+        anchors[anchors.len() - 2].1,
+    );
+    let (x1, y1) = (
+        f64::from(anchors[anchors.len() - 1].0),
+        anchors[anchors.len() - 1].1,
+    );
     y1 + (y1 - y0) * (x - x1) / (x1 - x0)
 }
 
@@ -147,12 +157,30 @@ pub struct ModuleShare {
 #[must_use]
 pub fn fpga_breakdown() -> Vec<ModuleShare> {
     vec![
-        ModuleShare { name: "MatGen", fraction: 0.333 },
-        ModuleShare { name: "DataGen (SHAKE)", fraction: 0.174 },
-        ModuleShare { name: "ModMul", fraction: 0.162 },
-        ModuleShare { name: "ModAdd", fraction: 0.095 },
-        ModuleShare { name: "MixCol", fraction: 0.048 },
-        ModuleShare { name: "Remaining", fraction: 0.188 },
+        ModuleShare {
+            name: "MatGen",
+            fraction: 0.333,
+        },
+        ModuleShare {
+            name: "DataGen (SHAKE)",
+            fraction: 0.174,
+        },
+        ModuleShare {
+            name: "ModMul",
+            fraction: 0.162,
+        },
+        ModuleShare {
+            name: "ModAdd",
+            fraction: 0.095,
+        },
+        ModuleShare {
+            name: "MixCol",
+            fraction: 0.048,
+        },
+        ModuleShare {
+            name: "Remaining",
+            fraction: 0.188,
+        },
     ]
 }
 
@@ -160,12 +188,30 @@ pub fn fpga_breakdown() -> Vec<ModuleShare> {
 #[must_use]
 pub fn asic_breakdown() -> Vec<ModuleShare> {
     vec![
-        ModuleShare { name: "MatGen", fraction: 0.211 },
-        ModuleShare { name: "DataGen (SHAKE)", fraction: 0.192 },
-        ModuleShare { name: "ModMul", fraction: 0.154 },
-        ModuleShare { name: "ModAdd", fraction: 0.091 },
-        ModuleShare { name: "MixCol", fraction: 0.082 },
-        ModuleShare { name: "Remaining", fraction: 0.270 },
+        ModuleShare {
+            name: "MatGen",
+            fraction: 0.211,
+        },
+        ModuleShare {
+            name: "DataGen (SHAKE)",
+            fraction: 0.192,
+        },
+        ModuleShare {
+            name: "ModMul",
+            fraction: 0.154,
+        },
+        ModuleShare {
+            name: "ModAdd",
+            fraction: 0.091,
+        },
+        ModuleShare {
+            name: "MixCol",
+            fraction: 0.082,
+        },
+        ModuleShare {
+            name: "Remaining",
+            fraction: 0.270,
+        },
     ]
 }
 
@@ -176,19 +222,39 @@ pub fn table1_reference() -> Vec<(PastaParams, FpgaArea)> {
     vec![
         (
             PastaParams::pasta3_17bit(),
-            FpgaArea { luts: 65_468, ffs: 36_275, dsps: 256, brams: 0 },
+            FpgaArea {
+                luts: 65_468,
+                ffs: 36_275,
+                dsps: 256,
+                brams: 0,
+            },
         ),
         (
             PastaParams::pasta4_17bit(),
-            FpgaArea { luts: 23_736, ffs: 11_132, dsps: 64, brams: 0 },
+            FpgaArea {
+                luts: 23_736,
+                ffs: 11_132,
+                dsps: 64,
+                brams: 0,
+            },
         ),
         (
             PastaParams::pasta4_33bit(),
-            FpgaArea { luts: 42_330, ffs: 20_783, dsps: 256, brams: 0 },
+            FpgaArea {
+                luts: 42_330,
+                ffs: 20_783,
+                dsps: 256,
+                brams: 0,
+            },
         ),
         (
             PastaParams::pasta4_54bit(),
-            FpgaArea { luts: 67_324, ffs: 32_711, dsps: 576, brams: 0 },
+            FpgaArea {
+                luts: 67_324,
+                ffs: 32_711,
+                dsps: 576,
+                brams: 0,
+            },
         ),
     ]
 }
@@ -215,8 +281,18 @@ mod tests {
             let est = estimate_fpga(&params);
             let lut_err = (est.luts as f64 - reference.luts as f64).abs() / reference.luts as f64;
             let ff_err = (est.ffs as f64 - reference.ffs as f64).abs() / reference.ffs as f64;
-            assert!(lut_err < 0.01, "{params}: LUT {} vs {} ({lut_err:.4})", est.luts, reference.luts);
-            assert!(ff_err < 0.01, "{params}: FF {} vs {} ({ff_err:.4})", est.ffs, reference.ffs);
+            assert!(
+                lut_err < 0.01,
+                "{params}: LUT {} vs {} ({lut_err:.4})",
+                est.luts,
+                reference.luts
+            );
+            assert!(
+                ff_err < 0.01,
+                "{params}: FF {} vs {} ({ff_err:.4})",
+                est.ffs,
+                reference.ffs
+            );
         }
     }
 
@@ -265,7 +341,10 @@ mod tests {
     fn matgen_dominates_fpga_area() {
         // Fig. 7 headline: MatGen is the largest module on FPGA (33.3%).
         let shares = fpga_breakdown();
-        let max = shares.iter().max_by(|a, b| a.fraction.total_cmp(&b.fraction)).unwrap();
+        let max = shares
+            .iter()
+            .max_by(|a, b| a.fraction.total_cmp(&b.fraction))
+            .unwrap();
         assert_eq!(max.name, "MatGen");
     }
 

@@ -131,13 +131,14 @@ const POWER_ANCHOR_W: f64 = 1.2;
 /// ```
 #[must_use]
 pub fn estimate_asic(params: &PastaParams, node: TechNode) -> AsicEstimate {
-    let area = node.base_area_mm2()
-        * width_factor(params.modulus().bits())
-        * variant_factor(params);
+    let area =
+        node.base_area_mm2() * width_factor(params.modulus().bits()) * variant_factor(params);
     let area_ratio = area / TechNode::Tsmc28.base_area_mm2();
     let freq_ratio = node.clock_mhz() / 1_000.0;
     let node_power_credit = match node {
-        TechNode::Asap7 => 0.35 / (TechNode::Asap7.base_area_mm2() / TechNode::Tsmc28.base_area_mm2()),
+        TechNode::Asap7 => {
+            0.35 / (TechNode::Asap7.base_area_mm2() / TechNode::Tsmc28.base_area_mm2())
+        }
         _ => 1.0,
     };
     AsicEstimate {
@@ -200,7 +201,12 @@ mod tests {
         // point at the paper's widths/variants should exceed it except
         // wider/bigger configurations.
         for params in [PastaParams::pasta4_17bit()] {
-            for node in [TechNode::Asap7, TechNode::Tsmc28, TechNode::Node130, TechNode::Node65] {
+            for node in [
+                TechNode::Asap7,
+                TechNode::Tsmc28,
+                TechNode::Node130,
+                TechNode::Node65,
+            ] {
                 let e = estimate_asic(&params, node);
                 assert!(e.power_w <= 1.2 + 1e-9, "{:?}: {} W", node, e.power_w);
             }

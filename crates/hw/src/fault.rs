@@ -70,7 +70,11 @@ fn fault_material(params: &PastaParams, material: &mut BlockMaterial, fault: &Fa
     match fault.target {
         FaultTarget::MatrixSeed { layer, left, index } => {
             let layer = &mut material.layers[layer];
-            let seed = if left { &mut layer.seed_left } else { &mut layer.seed_right };
+            let seed = if left {
+                &mut layer.seed_left
+            } else {
+                &mut layer.seed_right
+            };
             seed[index] = (seed[index] ^ fault.mask) % p;
             if index == 0 && seed[0] == 0 {
                 seed[0] = 1; // keep the generator's invariant; still a fault
@@ -78,7 +82,11 @@ fn fault_material(params: &PastaParams, material: &mut BlockMaterial, fault: &Fa
         }
         FaultTarget::RoundConstant { layer, left, index } => {
             let layer = &mut material.layers[layer];
-            let rc = if left { &mut layer.rc_left } else { &mut layer.rc_right };
+            let rc = if left {
+                &mut layer.rc_left
+            } else {
+                &mut layer.rc_right
+            };
             rc[index] = (rc[index] ^ fault.mask) % p;
         }
         FaultTarget::KeystreamElement { .. } => {}
@@ -235,8 +243,16 @@ mod tests {
         let (params, key) = setup();
         let clean = permute(&params, key.elements(), 1, 0).unwrap();
         for target in [
-            FaultTarget::MatrixSeed { layer: 0, left: true, index: 3 },
-            FaultTarget::RoundConstant { layer: 2, left: false, index: 7 },
+            FaultTarget::MatrixSeed {
+                layer: 0,
+                left: true,
+                index: 3,
+            },
+            FaultTarget::RoundConstant {
+                layer: 2,
+                left: false,
+                index: 7,
+            },
             FaultTarget::KeystreamElement { index: 5 },
         ] {
             let fault = FaultSpec { target, mask: 0x55 };
@@ -253,11 +269,19 @@ mod tests {
         let (params, key) = setup();
         let clean = permute(&params, key.elements(), 2, 0).unwrap();
         let fault = FaultSpec {
-            target: FaultTarget::MatrixSeed { layer: 0, left: true, index: 0 },
+            target: FaultTarget::MatrixSeed {
+                layer: 0,
+                left: true,
+                index: 0,
+            },
             mask: 2,
         };
         let faulted = faulty_keystream(&params, &key, 2, 0, &fault).unwrap();
-        let differing = clean.iter().zip(faulted.iter()).filter(|(a, b)| a != b).count();
+        let differing = clean
+            .iter()
+            .zip(faulted.iter())
+            .filter(|(a, b)| a != b)
+            .count();
         assert!(differing >= 30, "only {differing}/32 elements changed");
     }
 
@@ -269,7 +293,11 @@ mod tests {
         let (params, key) = setup();
         let clean = permute(&params, key.elements(), 3, 0).unwrap();
         let fault = FaultSpec {
-            target: FaultTarget::RoundConstant { layer: 4, left: true, index: 9 },
+            target: FaultTarget::RoundConstant {
+                layer: 4,
+                left: true,
+                index: 9,
+            },
             mask: 0xFF,
         };
         let faulted = faulty_keystream(&params, &key, 3, 0, &fault).unwrap();
@@ -280,8 +308,16 @@ mod tests {
     #[test]
     fn detection_coverage_matrix() {
         let targets = [
-            FaultTarget::MatrixSeed { layer: 1, left: true, index: 2 },
-            FaultTarget::RoundConstant { layer: 1, left: false, index: 2 },
+            FaultTarget::MatrixSeed {
+                layer: 1,
+                left: true,
+                index: 2,
+            },
+            FaultTarget::RoundConstant {
+                layer: 1,
+                left: false,
+                index: 2,
+            },
             FaultTarget::KeystreamElement { index: 0 },
         ];
         for target in targets {
@@ -300,17 +336,34 @@ mod tests {
         let (params, key) = setup();
         let clean = permute(&params, key.elements(), 4, 0).unwrap();
         // Clean run is accepted.
-        let ok = protected_keystream(&params, &key, 4, 0, None, Countermeasure::FullTemporalRedundancy)
-            .unwrap();
+        let ok = protected_keystream(
+            &params,
+            &key,
+            4,
+            0,
+            None,
+            Countermeasure::FullTemporalRedundancy,
+        )
+        .unwrap();
         assert_eq!(ok, Some(clean.clone()));
         // Faulted run is rejected by a covering countermeasure…
         let fault = FaultSpec {
-            target: FaultTarget::MatrixSeed { layer: 0, left: true, index: 1 },
+            target: FaultTarget::MatrixSeed {
+                layer: 0,
+                left: true,
+                index: 1,
+            },
             mask: 2,
         };
-        let rejected =
-            protected_keystream(&params, &key, 4, 0, Some(&fault), Countermeasure::MaterialRedundancy)
-                .unwrap();
+        let rejected = protected_keystream(
+            &params,
+            &key,
+            4,
+            0,
+            Some(&fault),
+            Countermeasure::MaterialRedundancy,
+        )
+        .unwrap();
         assert_eq!(rejected, None);
         // …but slips past a non-covering one.
         let slipped = protected_keystream(
@@ -331,13 +384,25 @@ mod tests {
         // The XOF dominates the schedule, so protecting the arithmetic is
         // nearly free while protecting the material nearly doubles time.
         let (params, key) = setup();
-        let full = Countermeasure::FullTemporalRedundancy.overhead_factor(&params, &key).unwrap();
-        let material = Countermeasure::MaterialRedundancy.overhead_factor(&params, &key).unwrap();
-        let arith = Countermeasure::ArithmeticRedundancy.overhead_factor(&params, &key).unwrap();
+        let full = Countermeasure::FullTemporalRedundancy
+            .overhead_factor(&params, &key)
+            .unwrap();
+        let material = Countermeasure::MaterialRedundancy
+            .overhead_factor(&params, &key)
+            .unwrap();
+        let arith = Countermeasure::ArithmeticRedundancy
+            .overhead_factor(&params, &key)
+            .unwrap();
         assert!((full - 2.0).abs() < 0.01, "full redundancy {full}");
-        assert!(material > 1.9 && material < 2.0, "material redundancy {material}");
+        assert!(
+            material > 1.9 && material < 2.0,
+            "material redundancy {material}"
+        );
         assert!(arith < 1.01, "arithmetic redundancy {arith}");
-        assert_eq!(Countermeasure::None.overhead_factor(&params, &key).unwrap(), 1.0);
+        assert_eq!(
+            Countermeasure::None.overhead_factor(&params, &key).unwrap(),
+            1.0
+        );
     }
 
     #[test]

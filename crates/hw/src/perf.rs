@@ -176,9 +176,17 @@ mod tests {
         // Sanity of the transcription: cycles / clock = µs columns.
         for row in table2_reference() {
             let fpga = row.cycles as f64 / 75.0;
-            assert!((fpga - row.fpga_us).abs() / row.fpga_us < 0.01, "{}", row.name);
+            assert!(
+                (fpga - row.fpga_us).abs() / row.fpga_us < 0.01,
+                "{}",
+                row.name
+            );
             let asic = row.cycles as f64 / 1_000.0;
-            assert!((asic - row.asic_us).abs() / row.asic_us < 0.01, "{}", row.name);
+            assert!(
+                (asic - row.asic_us).abs() / row.asic_us < 0.01,
+                "{}",
+                row.name
+            );
             // Note: the paper's PASTA-3 RISC-V column (45.5 µs) does NOT
             // equal 4,955 cc / 100 MHz = 49.6 µs — a known inconsistency
             // we document rather than hide. PASTA-4's 15.9 µs does match.
@@ -195,7 +203,11 @@ mod tests {
         ] {
             let row = measure_row(&params, 8).unwrap();
             let err = (row.cycles - reference).abs() / reference;
-            assert!(err < 0.05, "{params}: {} vs {reference} ({err:.3})", row.cycles);
+            assert!(
+                err < 0.05,
+                "{params}: {} vs {reference} ({err:.3})",
+                row.cycles
+            );
         }
     }
 
@@ -207,7 +219,10 @@ mod tests {
         assert!(red4 > 780.0 && red4 < 900.0, "PASTA-4 reduction = {red4}");
         let p3 = measure_row(&PastaParams::pasta3_17bit(), 8).unwrap();
         let red3 = p3.cycle_reduction_vs_cpu().unwrap();
-        assert!(red3 > 3_100.0 && red3 < 3_600.0, "PASTA-3 reduction = {red3}");
+        assert!(
+            red3 > 3_100.0 && red3 < 3_600.0,
+            "PASTA-3 reduction = {red3}"
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ mod tests {
         let fpga = platform_power_w(&p4, Platform::Fpga);
         assert!(fpga > 0.3 && fpga < 2.0, "FPGA power {fpga} W");
         let soc = platform_power_w(&p4, Platform::RiscVSoc);
-        assert!(soc < 1.2, "the low-power SoC node must stay under the ASIC peak");
+        assert!(
+            soc < 1.2,
+            "the low-power SoC node must stay under the ASIC peak"
+        );
     }
 
     #[test]
@@ -79,7 +82,10 @@ mod tests {
         assert!(asic < fpga, "ASIC {asic:.1} nJ vs FPGA {fpga:.1} nJ");
         assert!(soc < fpga, "SoC {soc:.1} nJ vs FPGA {fpga:.1} nJ");
         // Sanity of magnitudes: tens of nJ per element on ASIC.
-        assert!(asic > 1.0 && asic < 200.0, "ASIC energy {asic:.1} nJ/element");
+        assert!(
+            asic > 1.0 && asic < 200.0,
+            "ASIC energy {asic:.1} nJ/element"
+        );
     }
 
     #[test]

@@ -124,7 +124,10 @@ impl PastaProcessor {
     /// A processor with the paper's squeeze-parallel XOF core.
     #[must_use]
     pub fn new(params: PastaParams) -> Self {
-        PastaProcessor { params, core: XofCoreKind::SqueezeParallel }
+        PastaProcessor {
+            params,
+            core: XofCoreKind::SqueezeParallel,
+        }
     }
 
     /// A processor with an explicit XOF core variant (for the §IV.B
@@ -269,11 +272,16 @@ impl PastaProcessor {
             affine_busy: schedule.affine_busy_cycles(),
         };
         let zp = self.params.field();
-        let ciphertext = message.map(|m| {
-            linalg::vec_add(&zp, m, &keystream[..m.len()])
-        });
+        let ciphertext = message.map(|m| linalg::vec_add(&zp, m, &keystream[..m.len()]));
         let events = schedule.events().to_vec();
-        Ok((HwBlockResult { keystream, ciphertext, cycles }, events))
+        Ok((
+            HwBlockResult {
+                keystream,
+                ciphertext,
+                cycles,
+            },
+            events,
+        ))
     }
 
     /// Encrypts a multi-block message, modelling the two deployment
@@ -311,8 +319,8 @@ impl PastaProcessor {
                 // the previous block's final squeeze window, and trailing
                 // compute hides under the next block's XOF. Boundary
                 // blocks pay their un-hideable ends.
-                let init = crate::units::xof::ABSORB_CYCLES
-                    + pasta_keccak::timing::CYCLES_PER_PERMUTATION;
+                let init =
+                    crate::units::xof::ABSORB_CYCLES + pasta_keccak::timing::CYCLES_PER_PERMUTATION;
                 let mut c = r.cycles.xof_last_word + 1;
                 if counter > 0 {
                     c -= init;
@@ -327,7 +335,11 @@ impl PastaProcessor {
             per_block.push(r.cycles);
             total += cycles;
         }
-        Ok(StreamResult { ciphertext, total_cycles: total, per_block })
+        Ok(StreamResult {
+            ciphertext,
+            total_cycles: total,
+            per_block,
+        })
     }
 
     /// Average total cycles over `n` consecutive counters (the paper's
@@ -337,12 +349,7 @@ impl PastaProcessor {
     /// # Errors
     ///
     /// Propagates the first block error, if any.
-    pub fn average_cycles(
-        &self,
-        key: &SecretKey,
-        nonce: u128,
-        n: u64,
-    ) -> Result<f64, PastaError> {
+    pub fn average_cycles(&self, key: &SecretKey, nonce: u128, n: u64) -> Result<f64, PastaError> {
         let mut total = 0u64;
         for counter in 0..n {
             total += self.keystream_block(key, nonce, counter)?.cycles.total;
@@ -403,12 +410,18 @@ mod tests {
         let proc = PastaProcessor::new(params);
         assert!(matches!(
             proc.keystream_block(&wrong_key, 0, 0),
-            Err(PastaError::InvalidKey { expected: 64, found: 256 })
+            Err(PastaError::InvalidKey {
+                expected: 64,
+                found: 256
+            })
         ));
         let k = key(&params, b"ok");
         assert!(matches!(
             proc.encrypt_block(&k, 0, 0, &vec![0u64; 33]),
-            Err(PastaError::InvalidBlock { expected: 32, found: 33 })
+            Err(PastaError::InvalidBlock {
+                expected: 32,
+                found: 33
+            })
         ));
         assert!(matches!(
             proc.encrypt_block(&k, 0, 0, &[70_000]),
@@ -424,9 +437,16 @@ mod tests {
         let r = proc.keystream_block(&k, 11, 0).unwrap();
         let c = r.cycles;
         assert_eq!(c.words_drawn, c.accepted + c.rejected);
-        assert!(c.accepted >= 640, "PASTA-4 needs >= 640 accepted coefficients");
+        assert!(
+            c.accepted >= 640,
+            "PASTA-4 needs >= 640 accepted coefficients"
+        );
         assert!(c.total > c.xof_last_word);
-        assert!(c.trailing() < 64, "trailing compute must be short, got {}", c.trailing());
+        assert!(
+            c.trailing() < 64,
+            "trailing compute must be short, got {}",
+            c.trailing()
+        );
         assert!((c.acceptance_rate() - 0.5).abs() < 0.05);
     }
 
@@ -449,7 +469,9 @@ mod tests {
         for params in shapes {
             let k = key(&params, b"stall");
             for counter in 0..3 {
-                let r = PastaProcessor::new(params).keystream_block(&k, 0x57A, counter).unwrap();
+                let r = PastaProcessor::new(params)
+                    .keystream_block(&k, 0x57A, counter)
+                    .unwrap();
                 assert_eq!(
                     r.cycles.xof_stall, 0,
                     "{params}: XOF stalled {} cycles at counter {counter}",
@@ -466,7 +488,9 @@ mod tests {
         use pasta_math::Modulus;
         let params = PastaParams::custom(5, 3, Modulus::PASTA_17_BIT).unwrap();
         let k = key(&params, b"odd");
-        let hw = PastaProcessor::new(params).keystream_block(&k, 0xF00, 2).unwrap();
+        let hw = PastaProcessor::new(params)
+            .keystream_block(&k, 0xF00, 2)
+            .unwrap();
         let sw = permute(&params, k.elements(), 0xF00, 2).unwrap();
         assert_eq!(hw.keystream, sw);
     }
@@ -478,13 +502,18 @@ mod tests {
         // arithmetic engine idles most of the time.
         let params = PastaParams::pasta4_17bit();
         let k = key(&params, b"util");
-        let r = PastaProcessor::new(params).keystream_block(&k, 7, 0).unwrap();
+        let r = PastaProcessor::new(params)
+            .keystream_block(&k, 7, 0)
+            .unwrap();
         let xof = r.cycles.xof_utilization();
         let affine = r.cycles.affine_utilization();
         let matgen = r.cycles.matgen_utilization();
         assert!(xof > 0.95, "XOF utilization {xof:.3}");
         assert!(affine < 0.45, "affine utilization {affine:.3}");
-        assert!(matgen < affine, "MatGen occupancy is a subset of the pipeline");
+        assert!(
+            matgen < affine,
+            "MatGen occupancy is a subset of the pipeline"
+        );
         // PASTA-3 (t = 128) loads the engine harder but still under the
         // XOF: fill time ≈ 2t cycles vs job time ≈ t + log t + 6.
         let p3 = PastaParams::pasta3_17bit();
@@ -501,11 +530,17 @@ mod tests {
         let message: Vec<u64> = (0..128).map(|i| i % 65_537).collect(); // 4 blocks
         let serial = proc.encrypt_stream(&k, 5, &message, false).unwrap();
         let overlapped = proc.encrypt_stream(&k, 5, &message, true).unwrap();
-        assert_eq!(serial.ciphertext, overlapped.ciphertext, "scheduling must not change data");
+        assert_eq!(
+            serial.ciphertext, overlapped.ciphertext,
+            "scheduling must not change data"
+        );
         assert!(overlapped.total_cycles < serial.total_cycles);
         // Savings per non-final block: init (3 + 24) + trailing (~5).
         let saved = serial.total_cycles - overlapped.total_cycles;
-        assert!((60..150).contains(&saved), "saved {saved} cycles over 3 boundaries");
+        assert!(
+            (60..150).contains(&saved),
+            "saved {saved} cycles over 3 boundaries"
+        );
         // Per-block view matches the serialized sum.
         let sum: u64 = serial.per_block.iter().map(|c| c.total).sum();
         assert_eq!(sum, serial.total_cycles);
@@ -517,7 +552,9 @@ mod tests {
         let params = PastaParams::pasta4_17bit();
         let k = key(&params, b"stream-sw");
         let message: Vec<u64> = (0..70).map(|i| (i * 123) % 65_537).collect(); // partial tail
-        let hw = PastaProcessor::new(params).encrypt_stream(&k, 9, &message, true).unwrap();
+        let hw = PastaProcessor::new(params)
+            .encrypt_stream(&k, 9, &message, true)
+            .unwrap();
         let sw = PastaCipher::new(params, k).encrypt(9, &message).unwrap();
         assert_eq!(hw.ciphertext, sw.elements());
     }
@@ -527,12 +564,17 @@ mod tests {
         // §IV.B ablation: naive Keccak ≈ 2× the squeeze-parallel cycles.
         let params = PastaParams::pasta4_17bit();
         let k = key(&params, b"abl");
-        let fast = PastaProcessor::new(params).average_cycles(&k, 5, 5).unwrap();
+        let fast = PastaProcessor::new(params)
+            .average_cycles(&k, 5, 5)
+            .unwrap();
         let slow = PastaProcessor::with_core(params, XofCoreKind::Naive)
             .average_cycles(&k, 5, 5)
             .unwrap();
         let ratio = slow / fast;
-        assert!(ratio > 1.6 && ratio < 2.0, "naive/parallel cycle ratio = {ratio}");
+        assert!(
+            ratio > 1.6 && ratio < 2.0,
+            "naive/parallel cycle ratio = {ratio}"
+        );
     }
 
     #[test]
@@ -549,7 +591,10 @@ mod tests {
         let c33 = PastaProcessor::new(PastaParams::pasta4_33bit())
             .average_cycles(&k33, 9, 5)
             .unwrap();
-        assert!(c33 < c17, "near-1.0 acceptance must reduce cycles ({c33} vs {c17})");
+        assert!(
+            c33 < c17,
+            "near-1.0 acceptance must reduce cycles ({c33} vs {c17})"
+        );
         assert!(c33 > 600.0, "still dominated by XOF");
     }
 }

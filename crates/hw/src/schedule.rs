@@ -206,14 +206,28 @@ impl BlockSchedule {
                 VectorRole::RoundConstantLeft => {
                     let v = datagen.take_ready().expect("peeked");
                     debug_assert!(self.rc_left.is_none(), "rcL register must be free");
-                    self.events.push(TraceEvent::VectorTaken { cycle, layer: v.layer, role: v.role });
-                    self.rc_left = Some(TimedVec { data: v.coefficients, at: cycle });
+                    self.events.push(TraceEvent::VectorTaken {
+                        cycle,
+                        layer: v.layer,
+                        role: v.role,
+                    });
+                    self.rc_left = Some(TimedVec {
+                        data: v.coefficients,
+                        at: cycle,
+                    });
                 }
                 VectorRole::RoundConstantRight => {
                     let v = datagen.take_ready().expect("peeked");
                     debug_assert!(self.rc_right.is_none(), "rcR register must be free");
-                    self.events.push(TraceEvent::VectorTaken { cycle, layer: v.layer, role: v.role });
-                    self.rc_right = Some(TimedVec { data: v.coefficients, at: cycle });
+                    self.events.push(TraceEvent::VectorTaken {
+                        cycle,
+                        layer: v.layer,
+                        role: v.role,
+                    });
+                    self.rc_right = Some(TimedVec {
+                        data: v.coefficients,
+                        at: cycle,
+                    });
                 }
             }
         }
@@ -242,7 +256,10 @@ impl BlockSchedule {
                     left: seed.role == VectorRole::MatrixSeedLeft,
                     done_at: done,
                 });
-                let slot = TimedVec { data: result.product, at: done };
+                let slot = TimedVec {
+                    data: result.product,
+                    at: done,
+                };
                 match seed.role {
                     VectorRole::MatrixSeedLeft => self.matmul_left = Some(slot),
                     VectorRole::MatrixSeedRight => self.matmul_right = Some(slot),
@@ -256,7 +273,11 @@ impl BlockSchedule {
             if let (Some(mm), Some(rc)) = (&self.matmul_left, &self.rc_left) {
                 let at = mm.at.max(rc.at) + vecunit::VEC_ADD_CYCLES;
                 let data = vecunit::rc_add(&self.zp, &mm.data, &rc.data);
-                self.events.push(TraceEvent::RcAddDone { at, layer: self.layer, left: true });
+                self.events.push(TraceEvent::RcAddDone {
+                    at,
+                    layer: self.layer,
+                    left: true,
+                });
                 self.after_rc_left = Some(TimedVec { data, at });
             }
         }
@@ -264,7 +285,11 @@ impl BlockSchedule {
             if let (Some(mm), Some(rc)) = (&self.matmul_right, &self.rc_right) {
                 let at = mm.at.max(rc.at) + vecunit::VEC_ADD_CYCLES;
                 let data = vecunit::rc_add(&self.zp, &mm.data, &rc.data);
-                self.events.push(TraceEvent::RcAddDone { at, layer: self.layer, left: false });
+                self.events.push(TraceEvent::RcAddDone {
+                    at,
+                    layer: self.layer,
+                    left: false,
+                });
                 self.after_rc_right = Some(TimedVec { data, at });
             }
         }
@@ -278,7 +303,8 @@ impl BlockSchedule {
             self.state_left = l.data.clone();
             self.state_right = r.data.clone();
             if self.layer < rounds {
-                let mix_done = operands_at + vecunit::mix(&self.zp, &mut self.state_left, &mut self.state_right);
+                let mix_done = operands_at
+                    + vecunit::mix(&self.zp, &mut self.state_left, &mut self.state_right);
                 let mut full = Vec::with_capacity(2 * t);
                 full.extend_from_slice(&self.state_left);
                 full.extend_from_slice(&self.state_right);
@@ -342,7 +368,10 @@ mod tests {
             cycle += 1;
             assert!(cycle < 10_000_000, "simulation runaway");
         }
-        (schedule.keystream().unwrap().to_vec(), schedule.done_at().unwrap())
+        (
+            schedule.keystream().unwrap().to_vec(),
+            schedule.done_at().unwrap(),
+        )
     }
 
     #[test]
@@ -352,7 +381,10 @@ mod tests {
         let (ks, cycles) = simulate(params, key.elements(), 0xCAFE, 1);
         let expect = permute(&params, key.elements(), 0xCAFE, 1).unwrap();
         assert_eq!(ks, expect, "hardware schedule must match software π");
-        assert!(cycles > 1_000 && cycles < 2_000, "PASTA-4 cycles = {cycles}");
+        assert!(
+            cycles > 1_000 && cycles < 2_000,
+            "PASTA-4 cycles = {cycles}"
+        );
     }
 
     #[test]
@@ -362,7 +394,10 @@ mod tests {
         let (ks, cycles) = simulate(params, key.elements(), 0xBEEF, 0);
         let expect = permute(&params, key.elements(), 0xBEEF, 0).unwrap();
         assert_eq!(ks, expect);
-        assert!(cycles > 4_000 && cycles < 5_600, "PASTA-3 cycles = {cycles}");
+        assert!(
+            cycles > 4_000 && cycles < 5_600,
+            "PASTA-3 cycles = {cycles}"
+        );
     }
 
     #[test]
@@ -379,7 +414,10 @@ mod tests {
         }
         let avg = total as f64 / n as f64;
         let err = (avg - 1_591.0).abs() / 1_591.0;
-        assert!(err < 0.05, "PASTA-4 average cycles {avg} deviates {err:.3} from 1,591");
+        assert!(
+            err < 0.05,
+            "PASTA-4 average cycles {avg} deviates {err:.3} from 1,591"
+        );
     }
 
     #[test]

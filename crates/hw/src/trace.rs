@@ -16,10 +16,16 @@ pub fn render(events: &[TraceEvent]) -> String {
     let mut rows: Vec<(u64, String)> = events
         .iter()
         .map(|e| match *e {
-            TraceEvent::VectorTaken { cycle, layer, role } => {
-                (cycle, format!("DataGen -> {} (layer {layer})", role_name(role)))
-            }
-            TraceEvent::JobStart { cycle, layer, left, done_at } => (
+            TraceEvent::VectorTaken { cycle, layer, role } => (
+                cycle,
+                format!("DataGen -> {} (layer {layer})", role_name(role)),
+            ),
+            TraceEvent::JobStart {
+                cycle,
+                layer,
+                left,
+                done_at,
+            } => (
                 cycle,
                 format!(
                     "MatGen+MatMul start: layer {layer} {} (done @{done_at})",
@@ -111,10 +117,16 @@ pub fn validate(events: &[TraceEvent], affine_layers: usize, rounds: usize) -> V
         }
     }
     if job_starts != 2 * affine_layers {
-        violations.push(format!("expected {} jobs, saw {job_starts}", 2 * affine_layers));
+        violations.push(format!(
+            "expected {} jobs, saw {job_starts}",
+            2 * affine_layers
+        ));
     }
     if vectors != 4 * affine_layers {
-        violations.push(format!("expected {} vectors, saw {vectors}", 4 * affine_layers));
+        violations.push(format!(
+            "expected {} vectors, saw {vectors}",
+            4 * affine_layers
+        ));
     }
     if block_done.is_none() {
         violations.push("no BlockDone event".into());
@@ -131,7 +143,10 @@ mod tests {
     fn traced_events() -> Vec<TraceEvent> {
         let params = PastaParams::pasta4_17bit();
         let key = SecretKey::from_seed(&params, b"trace");
-        PastaProcessor::new(params).trace_block(&key, 0x7ACE, 0).unwrap().1
+        PastaProcessor::new(params)
+            .trace_block(&key, 0x7ACE, 0)
+            .unwrap()
+            .1
     }
 
     #[test]
@@ -153,7 +168,10 @@ mod tests {
             .lines()
             .map(|l| l[1..7].trim().parse().expect("cycle column"))
             .collect();
-        assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "trace must be sorted");
+        assert!(
+            cycles.windows(2).all(|w| w[0] <= w[1]),
+            "trace must be sorted"
+        );
     }
 
     #[test]

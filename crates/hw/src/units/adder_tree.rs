@@ -31,7 +31,11 @@ impl AdderTree {
     pub fn new(zp: Zp, width: usize) -> Self {
         assert!(width > 0, "adder tree width must be positive");
         let levels = Self::depth_for(width);
-        AdderTree { zp, width, stages: vec![None; levels] }
+        AdderTree {
+            zp,
+            width,
+            stages: vec![None; levels],
+        }
     }
 
     /// Tree depth `⌈log2 width⌉` (pipeline latency in cycles).
@@ -82,7 +86,6 @@ impl AdderTree {
         }
         out
     }
-
 }
 
 /// One tree level: pairwise modular addition (odd tail passes through).
@@ -92,7 +95,11 @@ fn reduce_level(zp: &Zp, v: &[u64]) -> Vec<u64> {
     }
     let mut out = Vec::with_capacity(v.len().div_ceil(2));
     for pair in v.chunks(2) {
-        out.push(if pair.len() == 2 { zp.add(pair[0], pair[1]) } else { pair[0] });
+        out.push(if pair.len() == 2 {
+            zp.add(pair[0], pair[1])
+        } else {
+            pair[0]
+        });
     }
     out
 }
@@ -144,8 +151,9 @@ mod tests {
         // after the fill latency, in order.
         let zp = zp17();
         let mut tree = AdderTree::new(zp, 8);
-        let inputs: Vec<Vec<u64>> =
-            (0..20).map(|k| (0..8).map(|i| (k * 8 + i) % 65_537).collect()).collect();
+        let inputs: Vec<Vec<u64>> = (0..20)
+            .map(|k| (0..8).map(|i| (k * 8 + i) % 65_537).collect())
+            .collect();
         let expects: Vec<u64> = inputs.iter().map(|v| direct_sum(&zp, v)).collect();
         let mut outputs = Vec::new();
         for v in inputs {

@@ -75,14 +75,21 @@ pub fn run_affine_job(zp: &Zp, seed: &[u64], state: &[u64]) -> AffineJobResult {
     for _ in 0..t {
         let row = gen.next_row();
         // MatMul lane stage: t parallel modular multiplications.
-        let lanes: Vec<u64> = row.iter().zip(state.iter()).map(|(&a, &b)| zp.mul(a, b)).collect();
+        let lanes: Vec<u64> = row
+            .iter()
+            .zip(state.iter())
+            .map(|(&a, &b)| zp.mul(a, b))
+            .collect();
         if let Some(done) = tree.tick(Some(lanes)) {
             product.push(done);
         }
     }
     product.extend(tree.drain());
     debug_assert_eq!(product.len(), t);
-    AffineJobResult { product, cycles: affine_job_cycles(t) }
+    AffineJobResult {
+        product,
+        cycles: affine_job_cycles(t),
+    }
 }
 
 #[cfg(test)]

@@ -38,7 +38,10 @@ impl VectorRole {
     /// Whether the first coefficient must be nonzero (matrix seeds).
     #[must_use]
     pub fn requires_nonzero_head(&self) -> bool {
-        matches!(self, VectorRole::MatrixSeedLeft | VectorRole::MatrixSeedRight)
+        matches!(
+            self,
+            VectorRole::MatrixSeedLeft | VectorRole::MatrixSeedRight
+        )
     }
 }
 
@@ -114,7 +117,10 @@ impl DataGen {
     /// Panics if called while not [`DataGen::ready_for_word`] (the
     /// scheduler must respect backpressure).
     pub fn push_word(&mut self, word: u64, cycle: u64) {
-        assert!(self.ready_for_word(), "DataGen overrun: scheduler ignored backpressure");
+        assert!(
+            self.ready_for_word(),
+            "DataGen overrun: scheduler ignored backpressure"
+        );
         self.words_seen += 1;
         let candidate = word & self.mask;
         let role = VectorRole::of_index(self.vector_index % 4);
@@ -302,10 +308,26 @@ mod tests {
         }
         assert_eq!(collected.len(), 20);
         for (i, layer) in sw.layers.iter().enumerate() {
-            assert_eq!(collected[4 * i].coefficients, layer.seed_left, "layer {i} seedL");
-            assert_eq!(collected[4 * i + 1].coefficients, layer.seed_right, "layer {i} seedR");
-            assert_eq!(collected[4 * i + 2].coefficients, layer.rc_left, "layer {i} rcL");
-            assert_eq!(collected[4 * i + 3].coefficients, layer.rc_right, "layer {i} rcR");
+            assert_eq!(
+                collected[4 * i].coefficients,
+                layer.seed_left,
+                "layer {i} seedL"
+            );
+            assert_eq!(
+                collected[4 * i + 1].coefficients,
+                layer.seed_right,
+                "layer {i} seedR"
+            );
+            assert_eq!(
+                collected[4 * i + 2].coefficients,
+                layer.rc_left,
+                "layer {i} rcL"
+            );
+            assert_eq!(
+                collected[4 * i + 3].coefficients,
+                layer.rc_right,
+                "layer {i} rcR"
+            );
         }
     }
 }

@@ -98,6 +98,9 @@ mod tests {
         // §III.B: vector ops must hide under the generation of the next
         // t-element XOF vector (t cycles minimum).
         let worst_round_tail = VEC_ADD_CYCLES + MIX_CYCLES + SBOX_CUBE_CYCLES;
-        assert!(worst_round_tail < 32, "round tail {worst_round_tail} must hide under t = 32");
+        assert!(
+            worst_round_tail < 32,
+            "round tail {worst_round_tail} must hide under t = 32"
+        );
     }
 }

@@ -223,7 +223,10 @@ mod tests {
             assert!(cycles < 10_000);
         }
         let (words_free, _) = drain(&mut free, 30);
-        assert_eq!(words_stalled, words_free, "stalling must not corrupt the stream");
+        assert_eq!(
+            words_stalled, words_free,
+            "stalling must not corrupt the stream"
+        );
         assert!(stalled.stall_cycles() > 0);
         assert_eq!(free.stall_cycles(), 0);
     }

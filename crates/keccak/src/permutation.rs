@@ -122,7 +122,10 @@ mod tests {
         keccak_f1600(&mut a);
         keccak_f1600(&mut b);
         let differing_lanes = a.iter().zip(b.iter()).filter(|(x, y)| x != y).count();
-        assert_eq!(differing_lanes, 25, "one input bit must diffuse to all lanes");
+        assert_eq!(
+            differing_lanes, 25,
+            "one input bit must diffuse to all lanes"
+        );
     }
 
     #[test]

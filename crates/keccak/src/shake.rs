@@ -39,7 +39,9 @@ macro_rules! impl_shake {
             /// Creates a fresh XOF instance.
             #[must_use]
             pub fn new() -> Self {
-                $name { sponge: Some(Sponge::new($rate, SHAKE_DOMAIN)) }
+                $name {
+                    sponge: Some(Sponge::new($rate, SHAKE_DOMAIN)),
+                }
             }
 
             /// Absorbs input bytes (may be called repeatedly).
@@ -113,7 +115,10 @@ mod tests {
     #[test]
     fn shake128_empty_kat() {
         let out = Shake128::digest(b"", 32);
-        assert_eq!(hex(&out), "7f9c2ba4e88f827d616045507605853ed73b8093f6efbc88eb1a6eacfa66ef26");
+        assert_eq!(
+            hex(&out),
+            "7f9c2ba4e88f827d616045507605853ed73b8093f6efbc88eb1a6eacfa66ef26"
+        );
     }
 
     /// FIPS 202 known-answer: SHAKE256 of the empty string.

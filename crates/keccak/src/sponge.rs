@@ -40,8 +40,18 @@ impl Sponge {
     /// Panics if `rate` is zero, not a multiple of 8, or ≥ 200 bytes.
     #[must_use]
     pub fn new(rate: usize, domain: u8) -> Self {
-        assert!(rate > 0 && rate < 200 && rate.is_multiple_of(8), "invalid sponge rate {rate}");
-        Sponge { state: [0; 25], rate, domain, position: 0, squeezing: false, permutations: 0 }
+        assert!(
+            rate > 0 && rate < 200 && rate.is_multiple_of(8),
+            "invalid sponge rate {rate}"
+        );
+        Sponge {
+            state: [0; 25],
+            rate,
+            domain,
+            position: 0,
+            squeezing: false,
+            permutations: 0,
+        }
     }
 
     /// Absorbs `data` into the sponge.
@@ -50,7 +60,10 @@ impl Sponge {
     ///
     /// Panics if called after [`Sponge::pad_and_switch`].
     pub fn absorb(&mut self, data: &[u8]) {
-        assert!(!self.squeezing, "cannot absorb after switching to squeeze phase");
+        assert!(
+            !self.squeezing,
+            "cannot absorb after switching to squeeze phase"
+        );
         for &byte in data {
             self.xor_byte(self.position, byte);
             self.position += 1;

@@ -95,7 +95,10 @@ impl XofTiming {
     /// Panics if `acceptance` is not within `(0, 1]`.
     #[must_use]
     pub fn expected_cycles_for_samples(&self, coefficients: u64, acceptance: f64) -> u64 {
-        assert!(acceptance > 0.0 && acceptance <= 1.0, "acceptance must be in (0, 1]");
+        assert!(
+            acceptance > 0.0 && acceptance <= 1.0,
+            "acceptance must be in (0, 1]"
+        );
         let words = (coefficients as f64 / acceptance).ceil() as u64;
         self.cycles_for_words(words)
     }

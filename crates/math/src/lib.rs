@@ -40,7 +40,7 @@ pub mod reduce;
 pub mod zp;
 
 pub use prime::{is_prime_u64, Modulus, StructuredForm};
-pub use reduce::{ReductionKind, Reducer};
+pub use reduce::{Reducer, ReductionKind};
 pub use zp::Zp;
 
 use std::error::Error;
@@ -70,7 +70,10 @@ impl fmt::Display for MathError {
         match self {
             MathError::NotPrime(p) => write!(f, "modulus {p} is not prime"),
             MathError::UnsupportedWidth(w) => {
-                write!(f, "modulus width {w} bits is outside the supported 2..=62 range")
+                write!(
+                    f,
+                    "modulus width {w} bits is outside the supported 2..=62 range"
+                )
             }
             MathError::NotInvertible => write!(f, "element is not invertible"),
             MathError::DimensionMismatch { expected, found } => {

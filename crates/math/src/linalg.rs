@@ -36,7 +36,10 @@ impl Matrix {
     /// Returns [`MathError::DimensionMismatch`] if `data.len() != rows * cols`.
     pub fn from_rows(rows: usize, cols: usize, data: Vec<u64>) -> Result<Self, MathError> {
         if data.len() != rows * cols {
-            return Err(MathError::DimensionMismatch { expected: rows * cols, found: data.len() });
+            return Err(MathError::DimensionMismatch {
+                expected: rows * cols,
+                found: data.len(),
+            });
         }
         Ok(Matrix { rows, cols, data })
     }
@@ -48,13 +51,21 @@ impl Matrix {
         for i in 0..n {
             data[i * n + i] = 1;
         }
-        Matrix { rows: n, cols: n, data }
+        Matrix {
+            rows: n,
+            cols: n,
+            data,
+        }
     }
 
     /// An all-zero matrix.
     #[must_use]
     pub fn zero(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
     }
 
     /// Number of rows.
@@ -108,7 +119,10 @@ impl Matrix {
     /// Returns [`MathError::DimensionMismatch`] if `x.len() != cols`.
     pub fn mul_vec(&self, zp: &Zp, x: &[u64]) -> Result<Vec<u64>, MathError> {
         if x.len() != self.cols {
-            return Err(MathError::DimensionMismatch { expected: self.cols, found: x.len() });
+            return Err(MathError::DimensionMismatch {
+                expected: self.cols,
+                found: x.len(),
+            });
         }
         Ok((0..self.rows).map(|r| dot(zp, self.row(r), x)).collect())
     }
@@ -120,7 +134,10 @@ impl Matrix {
     /// Returns [`MathError::DimensionMismatch`] if inner dimensions differ.
     pub fn mul_mat(&self, zp: &Zp, other: &Matrix) -> Result<Matrix, MathError> {
         if self.cols != other.rows {
-            return Err(MathError::DimensionMismatch { expected: self.cols, found: other.rows });
+            return Err(MathError::DimensionMismatch {
+                expected: self.cols,
+                found: other.rows,
+            });
         }
         let mut out = Matrix::zero(self.rows, other.cols);
         for r in 0..self.rows {
@@ -233,7 +250,10 @@ pub fn dot(zp: &Zp, a: &[u64], b: &[u64]) -> u64 {
 #[must_use]
 pub fn vec_add(zp: &Zp, a: &[u64], b: &[u64]) -> Vec<u64> {
     assert_eq!(a.len(), b.len(), "vector addition requires equal lengths");
-    a.iter().zip(b.iter()).map(|(&x, &y)| zp.add(x, y)).collect()
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| zp.add(x, y))
+        .collect()
 }
 
 /// Element-wise vector subtraction over `F_p`.
@@ -243,8 +263,15 @@ pub fn vec_add(zp: &Zp, a: &[u64], b: &[u64]) -> Vec<u64> {
 /// Panics if the slices have different lengths.
 #[must_use]
 pub fn vec_sub(zp: &Zp, a: &[u64], b: &[u64]) -> Vec<u64> {
-    assert_eq!(a.len(), b.len(), "vector subtraction requires equal lengths");
-    a.iter().zip(b.iter()).map(|(&x, &y)| zp.sub(x, y)).collect()
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "vector subtraction requires equal lengths"
+    );
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| zp.sub(x, y))
+        .collect()
 }
 
 /// Scales a vector by a scalar over `F_p`.
@@ -276,7 +303,10 @@ mod tests {
         let m = Matrix::identity(4);
         assert_eq!(
             m.mul_vec(&zp, &[1, 2, 3]).unwrap_err(),
-            MathError::DimensionMismatch { expected: 4, found: 3 }
+            MathError::DimensionMismatch {
+                expected: 4,
+                found: 3
+            }
         );
         assert!(Matrix::from_rows(2, 2, vec![1, 2, 3]).is_err());
     }

@@ -122,11 +122,20 @@ mod tests {
 
     #[test]
     fn matches_plain_arithmetic() {
-        for modulus in [Modulus::PASTA_17_BIT, Modulus::PASTA_33_BIT, Modulus::PASTA_54_BIT] {
+        for modulus in [
+            Modulus::PASTA_17_BIT,
+            Modulus::PASTA_33_BIT,
+            Modulus::PASTA_54_BIT,
+        ] {
             let m = Montgomery::new(modulus).unwrap();
             let zp = Zp::new(modulus).unwrap();
             let p = modulus.value();
-            for (a, b) in [(0u64, 0u64), (1, p - 1), (p - 1, p - 1), (12_345, 678_901 % p)] {
+            for (a, b) in [
+                (0u64, 0u64),
+                (1, p - 1),
+                (p - 1, p - 1),
+                (12_345, 678_901 % p),
+            ] {
                 let got = m.from_mont(m.mul(m.to_mont(a), m.to_mont(b)));
                 assert_eq!(got, zp.mul(a, b), "{a}·{b} mod {p}");
             }

@@ -132,10 +132,14 @@ impl StructuredForm {
             return StructuredForm::Generic;
         }
         if (p - 1).is_power_of_two() {
-            return StructuredForm::PowPlusOne { k: (p - 1).trailing_zeros() };
+            return StructuredForm::PowPlusOne {
+                k: (p - 1).trailing_zeros(),
+            };
         }
         if (p + 1).is_power_of_two() {
-            return StructuredForm::PowMinusOne { k: (p + 1).trailing_zeros() };
+            return StructuredForm::PowMinusOne {
+                k: (p + 1).trailing_zeros(),
+            };
         }
         // p - 1 = 2^a - 2^b  =>  p - 1 = 2^b (2^(a-b) - 1)
         let m = p - 1;
@@ -233,7 +237,11 @@ impl Modulus {
         if !is_prime_u64(p) {
             return Err(MathError::NotPrime(p));
         }
-        Ok(Modulus { value: p, bits, form: StructuredForm::of(p) })
+        Ok(Modulus {
+            value: p,
+            bits,
+            form: StructuredForm::of(p),
+        })
     }
 
     /// The modulus value `p`.
@@ -340,7 +348,10 @@ mod tests {
     #[test]
     fn carmichael_numbers_rejected() {
         for n in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825_265] {
-            assert!(!is_prime_u64(n), "Carmichael number {n} should be composite");
+            assert!(
+                !is_prime_u64(n),
+                "Carmichael number {n} should be composite"
+            );
         }
     }
 
@@ -360,7 +371,10 @@ mod tests {
             Modulus::NTT_60_BIT,
         ] {
             let rebuilt = Modulus::new(m.value()).expect("constant must be prime");
-            assert_eq!(rebuilt, m, "constant {m} must round-trip through validation");
+            assert_eq!(
+                rebuilt, m,
+                "constant {m} must round-trip through validation"
+            );
         }
         assert_eq!(Modulus::PASTA_17_BIT.value(), 0x10001);
         assert_eq!(Modulus::NTT_60_BIT.value(), 0x0FFF_FFFF_FFFC_0001);
@@ -368,21 +382,39 @@ mod tests {
 
     #[test]
     fn form_recognition() {
-        assert_eq!(StructuredForm::of(65_537), StructuredForm::PowPlusOne { k: 16 });
-        assert_eq!(StructuredForm::of((1 << 31) - 1), StructuredForm::PowMinusOne { k: 31 });
+        assert_eq!(
+            StructuredForm::of(65_537),
+            StructuredForm::PowPlusOne { k: 16 }
+        );
+        assert_eq!(
+            StructuredForm::of((1 << 31) - 1),
+            StructuredForm::PowMinusOne { k: 31 }
+        );
         assert_eq!(
             StructuredForm::of((1 << 33) - (1 << 20) + 1),
             StructuredForm::TwoTermMinus { a: 33, b: 20 }
         );
-        assert_eq!(StructuredForm::of(0x20001000000001), StructuredForm::TwoTermPlus { a: 53, b: 36 });
+        assert_eq!(
+            StructuredForm::of(0x20001000000001),
+            StructuredForm::TwoTermPlus { a: 53, b: 36 }
+        );
         assert_eq!(StructuredForm::of(1_000_003), StructuredForm::Generic);
     }
 
     #[test]
     fn modulus_rejects_composite_and_wide() {
-        assert_eq!(Modulus::new(65_536).unwrap_err(), MathError::NotPrime(65_536));
-        assert!(matches!(Modulus::new(u64::MAX).unwrap_err(), MathError::UnsupportedWidth(_)));
-        assert!(matches!(Modulus::new(1).unwrap_err(), MathError::UnsupportedWidth(_)));
+        assert_eq!(
+            Modulus::new(65_536).unwrap_err(),
+            MathError::NotPrime(65_536)
+        );
+        assert!(matches!(
+            Modulus::new(u64::MAX).unwrap_err(),
+            MathError::UnsupportedWidth(_)
+        ));
+        assert!(matches!(
+            Modulus::new(1).unwrap_err(),
+            MathError::UnsupportedWidth(_)
+        ));
     }
 
     #[test]

@@ -76,7 +76,13 @@ impl Reducer {
         // factor still fits u128.
         let barrett_shift = 64 + modulus.bits();
         let barrett_factor = (1u128 << barrett_shift) / u128::from(modulus.value());
-        Reducer { modulus: modulus.value(), kind, form, barrett_factor, barrett_shift }
+        Reducer {
+            modulus: modulus.value(),
+            kind,
+            form,
+            barrett_factor,
+            barrett_shift,
+        }
     }
 
     /// The reduction strategy in use.
@@ -241,7 +247,13 @@ mod tests {
         for x in probes {
             let expect = (x % p) as u64;
             for r in &rs {
-                assert_eq!(r.reduce(x), expect, "kind {:?} modulus {} input {x}", r.kind(), m);
+                assert_eq!(
+                    r.reduce(x),
+                    expect,
+                    "kind {:?} modulus {} input {x}",
+                    r.kind(),
+                    m
+                );
             }
         }
     }
@@ -286,9 +298,18 @@ mod tests {
 
     #[test]
     fn hardware_default_picks_add_shift_for_paper_primes() {
-        assert_eq!(Reducer::for_modulus(Modulus::PASTA_17_BIT).kind(), ReductionKind::AddShift);
-        assert_eq!(Reducer::for_modulus(Modulus::PASTA_33_BIT).kind(), ReductionKind::AddShift);
-        assert_eq!(Reducer::for_modulus(Modulus::PASTA_54_BIT).kind(), ReductionKind::AddShift);
+        assert_eq!(
+            Reducer::for_modulus(Modulus::PASTA_17_BIT).kind(),
+            ReductionKind::AddShift
+        );
+        assert_eq!(
+            Reducer::for_modulus(Modulus::PASTA_33_BIT).kind(),
+            ReductionKind::AddShift
+        );
+        assert_eq!(
+            Reducer::for_modulus(Modulus::PASTA_54_BIT).kind(),
+            ReductionKind::AddShift
+        );
     }
 
     #[test]
@@ -297,7 +318,10 @@ mod tests {
         let r = Reducer::for_modulus(m);
         let p = m.value();
         for (a, b) in [(p - 1, p - 1), (12_345, 987_654_321), (p / 2, p / 3)] {
-            assert_eq!(r.mul(a, b), ((u128::from(a) * u128::from(b)) % u128::from(p)) as u64);
+            assert_eq!(
+                r.mul(a, b),
+                ((u128::from(a) * u128::from(b)) % u128::from(p)) as u64
+            );
         }
     }
 

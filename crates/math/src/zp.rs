@@ -7,7 +7,7 @@
 //! `[0, p)`; all outputs are canonical.
 
 use crate::prime::Modulus;
-use crate::reduce::{ReductionKind, Reducer};
+use crate::reduce::{Reducer, ReductionKind};
 use crate::MathError;
 
 /// A prime field `F_p` with a fixed reduction strategy.
@@ -39,7 +39,10 @@ impl Zp {
     /// `Result` mirrors [`Zp::from_raw`] so parameter-loading code can use
     /// one code path.
     pub fn new(modulus: Modulus) -> Result<Self, MathError> {
-        Ok(Zp { modulus, reducer: Reducer::for_modulus(modulus) })
+        Ok(Zp {
+            modulus,
+            reducer: Reducer::for_modulus(modulus),
+        })
     }
 
     /// Creates a field context from a raw `u64`, validating primality.
@@ -55,7 +58,10 @@ impl Zp {
     /// Creates a field context with an explicit reduction strategy.
     #[must_use]
     pub fn with_reduction(modulus: Modulus, kind: ReductionKind) -> Self {
-        Zp { modulus, reducer: Reducer::with_kind(modulus, kind) }
+        Zp {
+            modulus,
+            reducer: Reducer::with_kind(modulus, kind),
+        }
     }
 
     /// The modulus descriptor.
@@ -183,7 +189,8 @@ impl Zp {
     #[must_use]
     pub fn mac(&self, a: u64, b: u64, c: u64) -> u64 {
         debug_assert!(a < self.p() && b < self.p() && c < self.p());
-        self.reducer.reduce(u128::from(a) * u128::from(b) + u128::from(c))
+        self.reducer
+            .reduce(u128::from(a) * u128::from(b) + u128::from(c))
     }
 
     /// `a² mod p`.
@@ -346,7 +353,12 @@ mod tests {
     #[test]
     fn fermat_exponent_identity() {
         for zp in fields() {
-            assert_eq!(zp.pow(7, zp.p() - 1), 1, "Fermat little theorem for {}", zp.p());
+            assert_eq!(
+                zp.pow(7, zp.p() - 1),
+                1,
+                "Fermat little theorem for {}",
+                zp.p()
+            );
         }
     }
 
@@ -369,7 +381,10 @@ mod tests {
         let zp = Zp::new(Modulus::PASTA_17_BIT).unwrap();
         let w = zp.primitive_root_of_unity(1 << 16).unwrap();
         assert!(zp.is_primitive_root_of_unity(w, 1 << 16));
-        assert!(zp.primitive_root_of_unity(3).is_err(), "3 does not divide 2^16");
+        assert!(
+            zp.primitive_root_of_unity(3).is_err(),
+            "3 does not divide 2^16"
+        );
     }
 
     #[test]

@@ -116,7 +116,11 @@ where
 {
     let workers = if parallel { threads() } else { 1 };
     if workers <= 1 || items.len() < 2 {
-        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
     }
     let ranges = chunk_ranges(items.len(), workers);
     let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
@@ -174,7 +178,10 @@ mod tests {
                         *c += 1;
                     }
                 }
-                assert!(covered.iter().all(|&c| c == 1), "len={len} workers={workers}");
+                assert!(
+                    covered.iter().all(|&c| c == 1),
+                    "len={len} workers={workers}"
+                );
             }
         }
     }
@@ -192,7 +199,11 @@ mod tests {
     fn map_preserves_order() {
         let items: Vec<u64> = (0..53).collect();
         let out = maybe_parallel_map(true, &items, |i, &x| x * 2 + i as u64);
-        let expect: Vec<u64> = items.iter().enumerate().map(|(i, &x)| x * 2 + i as u64).collect();
+        let expect: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * 2 + i as u64)
+            .collect();
         assert_eq!(out, expect);
     }
 

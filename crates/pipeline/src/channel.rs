@@ -75,7 +75,10 @@ impl LossyChannel {
     /// Creates a channel from its configuration.
     #[must_use]
     pub fn new(cfg: ChannelConfig) -> Self {
-        LossyChannel { cfg, rng: StdRng::seed_from_u64(cfg.seed ^ 0xC4A9_9E1D_0B5F_7A33) }
+        LossyChannel {
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0xC4A9_9E1D_0B5F_7A33),
+        }
     }
 
     /// The configuration the channel was built with.
@@ -102,11 +105,21 @@ impl LossyChannel {
             arrive_ms += 2.0 * serialize_ms + self.cfg.latency_ms;
         }
         if self.cfg.drop_prob > 0.0 && self.rng.gen_bool(self.cfg.drop_prob) {
-            return Delivery { arrive_ms, serialize_ms, data: None, bits_flipped: 0 };
+            return Delivery {
+                arrive_ms,
+                serialize_ms,
+                data: None,
+                bits_flipped: 0,
+            };
         }
         let mut data = bytes.to_vec();
         let bits_flipped = self.corrupt(&mut data);
-        Delivery { arrive_ms, serialize_ms, data: Some(data), bits_flipped }
+        Delivery {
+            arrive_ms,
+            serialize_ms,
+            data: Some(data),
+            bits_flipped,
+        }
     }
 
     /// Applies independent bit flips at the configured BER. The flip
@@ -172,9 +185,14 @@ mod tests {
 
     #[test]
     fn drop_rate_tracks_configuration() {
-        let mut ch = LossyChannel::new(ChannelConfig { drop_prob: 0.25, ..cfg(3) });
+        let mut ch = LossyChannel::new(ChannelConfig {
+            drop_prob: 0.25,
+            ..cfg(3)
+        });
         let frame = vec![1u8; 64];
-        let dropped = (0..4000).filter(|_| ch.transmit(&frame, 0.0).data.is_none()).count();
+        let dropped = (0..4000)
+            .filter(|_| ch.transmit(&frame, 0.0).data.is_none())
+            .count();
         let rate = dropped as f64 / 4000.0;
         assert!((rate - 0.25).abs() < 0.04, "observed drop rate {rate}");
     }
@@ -191,7 +209,10 @@ mod tests {
         for _ in 0..100 {
             total += ch.transmit(&frame, 0.0).bits_flipped;
         }
-        assert!((400..=1_600).contains(&total), "{total} flips over 100 frames");
+        assert!(
+            (400..=1_600).contains(&total),
+            "{total} flips over 100 frames"
+        );
     }
 
     #[test]
@@ -200,7 +221,11 @@ mod tests {
         let frame = vec![7u8; 12_500]; // 1 ms at 12.5 MB/s
         let d = ch.transmit(&frame, 100.0);
         assert_eq!(d.data.as_deref(), Some(&frame[..]));
-        assert!((d.arrive_ms - 106.0).abs() < 1e-9, "arrival {}", d.arrive_ms);
+        assert!(
+            (d.arrive_ms - 106.0).abs() < 1e-9,
+            "arrival {}",
+            d.arrive_ms
+        );
     }
 
     #[test]

@@ -58,7 +58,13 @@ impl CloudReceiver {
             .map(|&k| ctx.encrypt(&fhe_pk, &ctx.encode_scalar(k), &mut rng))
             .collect();
         let server = HheServer::new(params, relin, EncryptedPastaKey { elements })?;
-        Ok(CloudReceiver { params, ctx, fhe_sk, server, admitted_budget_bits })
+        Ok(CloudReceiver {
+            params,
+            ctx,
+            fhe_sk,
+            server,
+            admitted_budget_bits,
+        })
     }
 
     /// The budget (bits) the guard predicted will remain after the
@@ -83,7 +89,10 @@ impl CloudReceiver {
     ) -> Result<Vec<u64>, PipelineError> {
         let pasta_ct = ciphertext_from_elements(&self.params, nonce, elements)?;
         let fhe_cts = self.server.transcipher(&self.ctx, &pasta_ct)?;
-        Ok(fhe_cts.iter().map(|ct| self.ctx.decrypt(&self.fhe_sk, ct).scalar()).collect())
+        Ok(fhe_cts
+            .iter()
+            .map(|ct| self.ctx.decrypt(&self.fhe_sk, ct).scalar())
+            .collect())
     }
 }
 
@@ -120,9 +129,15 @@ mod tests {
     fn starved_receiver_refuses_to_start() {
         let params = tiny_pasta();
         let key = SecretKey::from_seed(&params, b"cloud");
-        let starved = BfvParams { prime_count: 2, ..BfvParams::test_tiny() };
-        let err = CloudReceiver::new(params, starved, NoiseBudgetGuard::default(), &key, 42)
-            .unwrap_err();
-        assert!(matches!(err, PipelineError::NoiseBudget { .. }), "got {err:?}");
+        let starved = BfvParams {
+            prime_count: 2,
+            ..BfvParams::test_tiny()
+        };
+        let err =
+            CloudReceiver::new(params, starved, NoiseBudgetGuard::default(), &key, 42).unwrap_err();
+        assert!(
+            matches!(err, PipelineError::NoiseBudget { .. }),
+            "got {err:?}"
+        );
     }
 }

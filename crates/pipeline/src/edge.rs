@@ -162,7 +162,10 @@ impl EdgeEncryptor {
                 }
             }
         }
-        Err(PipelineError::PersistentFault { counter, attempts: MAX_RECOMPUTES })
+        Err(PipelineError::PersistentFault {
+            counter,
+            attempts: MAX_RECOMPUTES,
+        })
     }
 }
 
@@ -184,7 +187,11 @@ mod tests {
             frame_id,
             counter,
             fault: FaultSpec {
-                target: FaultTarget::MatrixSeed { layer: 0, left: true, index: 1 },
+                target: FaultTarget::MatrixSeed {
+                    layer: 0,
+                    left: true,
+                    index: 1,
+                },
                 mask: 0x2A,
             },
         }
@@ -212,8 +219,9 @@ mod tests {
         // Detected once, recomputed, output clean.
         assert_eq!(edge.faults_detected, 1);
         assert_eq!(edge.faults_escaped, 0);
-        let reference =
-            PastaCipher::new(*edge.params(), edge.key().clone()).encrypt(9, &pixels).unwrap();
+        let reference = PastaCipher::new(*edge.params(), edge.key().clone())
+            .encrypt(9, &pixels)
+            .unwrap();
         assert_eq!(ct, reference.elements());
     }
 
@@ -225,8 +233,13 @@ mod tests {
         let ct = edge.encrypt_frame(0, 5, &pixels).unwrap();
         assert_eq!(edge.faults_detected, 0);
         assert_eq!(edge.faults_escaped, 1);
-        let reference =
-            PastaCipher::new(*edge.params(), edge.key().clone()).encrypt(5, &pixels).unwrap();
-        assert_ne!(ct, reference.elements(), "an unprotected fault must corrupt the block");
+        let reference = PastaCipher::new(*edge.params(), edge.key().clone())
+            .encrypt(5, &pixels)
+            .unwrap();
+        assert_ne!(
+            ct,
+            reference.elements(),
+            "an unprotected fault must corrupt the block"
+        );
     }
 }

@@ -74,7 +74,11 @@ impl fmt::Display for PipelineError {
                  (< required {required_bits:.1}) with {prime_count} RNS primes; \
                  use at least {suggested_prime_count} primes"
             ),
-            PipelineError::RetriesExhausted { frame_id, counter_base, attempts } => write!(
+            PipelineError::RetriesExhausted {
+                frame_id,
+                counter_base,
+                attempts,
+            } => write!(
                 f,
                 "frame {frame_id} (blocks from {counter_base}): \
                  gave up after {attempts} attempts"

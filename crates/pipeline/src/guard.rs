@@ -27,7 +27,10 @@ pub struct NoiseBudgetGuard {
 
 impl Default for NoiseBudgetGuard {
     fn default() -> Self {
-        NoiseBudgetGuard { margin_bits: 12.0, batched: false }
+        NoiseBudgetGuard {
+            margin_bits: 12.0,
+            batched: false,
+        }
     }
 }
 
@@ -95,12 +98,22 @@ mod tests {
     #[test]
     fn starved_parameters_are_refused_with_a_suggestion() {
         let guard = NoiseBudgetGuard::default();
-        let starved = BfvParams { prime_count: 2, ..BfvParams::test_tiny() };
+        let starved = BfvParams {
+            prime_count: 2,
+            ..BfvParams::test_tiny()
+        };
         let err = guard.check(&tiny_pasta(), &starved).unwrap_err();
         match err {
-            PipelineError::NoiseBudget { prime_count, suggested_prime_count, .. } => {
+            PipelineError::NoiseBudget {
+                prime_count,
+                suggested_prime_count,
+                ..
+            } => {
                 assert_eq!(prime_count, 2);
-                assert!(suggested_prime_count > 2, "suggestion {suggested_prime_count}");
+                assert!(
+                    suggested_prime_count > 2,
+                    "suggestion {suggested_prime_count}"
+                );
             }
             other => panic!("wrong error: {other:?}"),
         }
@@ -108,12 +121,16 @@ mod tests {
 
     #[test]
     fn batched_guard_is_stricter() {
-        let scalar = NoiseBudgetGuard { batched: false, ..NoiseBudgetGuard::default() };
-        let batched = NoiseBudgetGuard { batched: true, ..NoiseBudgetGuard::default() };
+        let scalar = NoiseBudgetGuard {
+            batched: false,
+            ..NoiseBudgetGuard::default()
+        };
+        let batched = NoiseBudgetGuard {
+            batched: true,
+            ..NoiseBudgetGuard::default()
+        };
         let bfv = BfvParams::test_tiny();
         let pasta = tiny_pasta();
-        assert!(
-            batched.predicted_budget(&pasta, &bfv) <= scalar.predicted_budget(&pasta, &bfv)
-        );
+        assert!(batched.predicted_budget(&pasta, &bfv) <= scalar.predicted_budget(&pasta, &bfv));
     }
 }

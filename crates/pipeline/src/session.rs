@@ -199,21 +199,34 @@ impl SessionReport {
         ));
         s.push_str(&format!(
             "link      {} wire frames ({} retransmissions), {} dropped, {} corrupt, {} acks lost\n",
-            self.chunks_sent, self.retransmissions, self.drops, self.corrupt_rejected, self.acks_lost
+            self.chunks_sent,
+            self.retransmissions,
+            self.drops,
+            self.corrupt_rejected,
+            self.acks_lost
         ));
         s.push_str(&format!(
             "faults    {} detected on-device, {} escaped\n",
             self.faults_detected, self.faults_escaped
         ));
         if self.downshifts.is_empty() {
-            s.push_str(&format!("degrade   none (stayed {})\n", self.final_resolution.name()));
+            s.push_str(&format!(
+                "degrade   none (stayed {})\n",
+                self.final_resolution.name()
+            ));
         } else {
             for d in &self.downshifts {
-                s.push_str(&format!("degrade   frame {} -> {}\n", d.frame_id, d.to.name()));
+                s.push_str(&format!(
+                    "degrade   frame {} -> {}\n",
+                    d.frame_id,
+                    d.to.name()
+                ));
             }
         }
         if let Some(bits) = self.noise_budget_bits {
-            s.push_str(&format!("noise     {bits:.1} bits of budget admitted by guard\n"));
+            s.push_str(&format!(
+                "noise     {bits:.1} bits of budget admitted by guard\n"
+            ));
         }
         s.push_str(&format!(
             "timing    {:.1} ms virtual, {:.2} fps effective, {:.2} Mbit/s goodput",
@@ -247,10 +260,15 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionReport, PipelineError> 
         )));
     }
     if cfg.frames == 0 {
-        return Err(PipelineError::Config("session must offer at least one frame".into()));
+        return Err(PipelineError::Config(
+            "session must offer at least one frame".into(),
+        ));
     }
     if cfg.target_fps <= 0.0 {
-        return Err(PipelineError::Config(format!("target_fps must be positive, got {}", cfg.target_fps)));
+        return Err(PipelineError::Config(format!(
+            "target_fps must be positive, got {}",
+            cfg.target_fps
+        )));
     }
     if cfg.channel.bandwidth_bps <= 0.0 {
         return Err(PipelineError::Config(format!(
@@ -313,7 +331,9 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionReport, PipelineError> 
         }
 
         let n_pixels = cfg.pixels_override.unwrap_or_else(|| resolution.pixels());
-        let pixels: Vec<u64> = (0..n_pixels).map(|_| rng.gen_range(0..256u64) % p).collect();
+        let pixels: Vec<u64> = (0..n_pixels)
+            .map(|_| rng.gen_range(0..256u64) % p)
+            .collect();
         let nonce = u128::from(frame_id) + 1;
         let ct = edge.encrypt_frame(frame_id, nonce, &pixels)?;
         report.faults_detected = edge.faults_detected;
@@ -330,7 +350,16 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionReport, PipelineError> 
             let payload = pack_bits(chunk, bits);
             let payload_len = payload.len() as u64;
             let wire = WireFrame::data(nonce, frame_id, counter_base, payload);
-            if send_chunk(&wire, cfg, &mut channel, &mut rng, &mut report, &mut now_ms, &mut assembly, bits) {
+            if send_chunk(
+                &wire,
+                cfg,
+                &mut channel,
+                &mut rng,
+                &mut report,
+                &mut now_ms,
+                &mut assembly,
+                bits,
+            ) {
                 delivered_bytes += payload_len;
             } else {
                 delivered_all = false;
@@ -370,7 +399,10 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionReport, PipelineError> 
                     match resolution.downshift() {
                         Some(lower) => {
                             resolution = lower;
-                            report.downshifts.push(Downshift { frame_id, to: lower });
+                            report.downshifts.push(Downshift {
+                                frame_id,
+                                to: lower,
+                            });
                         }
                         None => shed_next = true,
                     }
@@ -444,7 +476,9 @@ fn send_chunk(
                     let back = channel.transmit(&nack.encode(), delivery.arrive_ms);
                     match back.data.as_deref().map(WireFrame::decode) {
                         // Nack received: retransmit immediately.
-                        Some(Ok(_)) => *now_ms = back.arrive_ms.max(*now_ms + delivery.serialize_ms),
+                        Some(Ok(_)) => {
+                            *now_ms = back.arrive_ms.max(*now_ms + delivery.serialize_ms)
+                        }
                         _ => {
                             report.acks_lost += 1;
                             *now_ms = timeout_at + backoff_ms(cfg, rng, attempt);
@@ -476,7 +510,10 @@ mod tests {
             target_fps: 20.0,
             pixels_override: Some(12),
             mtu: 256,
-            channel: ChannelConfig { seed, ..ChannelConfig::default() },
+            channel: ChannelConfig {
+                seed,
+                ..ChannelConfig::default()
+            },
             ..SessionConfig::default()
         }
     }
@@ -498,8 +535,14 @@ mod tests {
         cfg.channel.drop_prob = 0.2;
         cfg.channel.bit_error_rate = 1e-4;
         let report = run_session(&cfg).unwrap();
-        assert!(report.retransmissions > 0, "a 20% drop rate must force retries");
-        assert_eq!(report.verify_failures, 0, "every delivered frame must be exact");
+        assert!(
+            report.retransmissions > 0,
+            "a 20% drop rate must force retries"
+        );
+        assert_eq!(
+            report.verify_failures, 0,
+            "every delivered frame must be exact"
+        );
         assert!(report.frames_delivered >= 6);
     }
 
@@ -534,7 +577,10 @@ mod tests {
         // A link far too slow for VGA at 20 fps: forces misses.
         cfg.channel.bandwidth_bps = 1.5e6;
         let report = run_session(&cfg).unwrap();
-        assert!(!report.downshifts.is_empty(), "slow link must trigger downshift");
+        assert!(
+            !report.downshifts.is_empty(),
+            "slow link must trigger downshift"
+        );
         assert_ne!(report.final_resolution, Resolution::Vga);
         assert_eq!(report.verify_failures, 0);
     }
@@ -546,14 +592,21 @@ mod tests {
             frame_id: 2,
             counter: 0,
             fault: FaultSpec {
-                target: FaultTarget::MatrixSeed { layer: 1, left: false, index: 0 },
+                target: FaultTarget::MatrixSeed {
+                    layer: 1,
+                    left: false,
+                    index: 0,
+                },
                 mask: 0x11,
             },
         });
         let report = run_session(&cfg).unwrap();
         assert_eq!(report.faults_detected, 1);
         assert_eq!(report.faults_escaped, 0);
-        assert_eq!(report.verify_failures, 0, "masked fault must never corrupt output");
+        assert_eq!(
+            report.verify_failures, 0,
+            "masked fault must never corrupt output"
+        );
         assert_eq!(report.verified_frames, 8);
     }
 

@@ -101,10 +101,16 @@ impl fmt::Display for FrameError {
             FrameError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
             FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
             FrameError::LengthMismatch { expected, got } => {
-                write!(f, "length mismatch: header says {expected} bytes, got {got}")
+                write!(
+                    f,
+                    "length mismatch: header says {expected} bytes, got {got}"
+                )
             }
             FrameError::CrcMismatch { stored, computed } => {
-                write!(f, "CRC mismatch: stored {stored:08x}, computed {computed:08x}")
+                write!(
+                    f,
+                    "CRC mismatch: stored {stored:08x}, computed {computed:08x}"
+                )
             }
         }
     }
@@ -131,7 +137,13 @@ impl WireFrame {
     /// Builds a data frame.
     #[must_use]
     pub fn data(nonce: u128, frame_id: u32, counter_base: u32, payload: Vec<u8>) -> Self {
-        WireFrame { kind: FrameKind::Data, nonce, frame_id, counter_base, payload }
+        WireFrame {
+            kind: FrameKind::Data,
+            nonce,
+            frame_id,
+            counter_base,
+            payload,
+        }
     }
 
     /// Builds the acknowledgement for a received data frame.
@@ -195,11 +207,13 @@ impl WireFrame {
         }
         // CRC first: a corrupted length field must not redirect the
         // check window.
-        let payload_len =
-            u32::from_le_bytes([bytes[28], bytes[29], bytes[30], bytes[31]]) as usize;
+        let payload_len = u32::from_le_bytes([bytes[28], bytes[29], bytes[30], bytes[31]]) as usize;
         let expected_total = HEADER_LEN + payload_len + CRC_LEN;
         if bytes.len() != expected_total {
-            return Err(FrameError::LengthMismatch { expected: expected_total, got: bytes.len() });
+            return Err(FrameError::LengthMismatch {
+                expected: expected_total,
+                got: bytes.len(),
+            });
         }
         let body = &bytes[..bytes.len() - CRC_LEN];
         let stored = u32::from_le_bytes([
@@ -266,7 +280,10 @@ mod tests {
 
     #[test]
     fn truncation_and_garbage_are_typed_errors() {
-        assert!(matches!(WireFrame::decode(&[]), Err(FrameError::TooShort { got: 0 })));
+        assert!(matches!(
+            WireFrame::decode(&[]),
+            Err(FrameError::TooShort { got: 0 })
+        ));
         let encoded = sample().encode();
         assert!(matches!(
             WireFrame::decode(&encoded[..encoded.len() - 1]),
@@ -279,6 +296,9 @@ mod tests {
         let body_len = wrong_version.len() - CRC_LEN;
         let crc = crate::crc::crc32(&wrong_version[..body_len]).to_le_bytes();
         wrong_version[body_len..].copy_from_slice(&crc);
-        assert!(matches!(WireFrame::decode(&wrong_version), Err(FrameError::BadVersion(9))));
+        assert!(matches!(
+            WireFrame::decode(&wrong_version),
+            Err(FrameError::BadVersion(9))
+        ));
     }
 }

@@ -154,8 +154,9 @@ pub fn derive_material(params: &RastaParams, nonce: u128, counter: u64) -> Rasta
         let matrix = loop {
             let rows: Vec<BitVec> = (0..n)
                 .map(|_| {
-                    let words: Vec<u64> =
-                        (0..words_per_row).map(|_| next_word(&mut reader, &mut stats)).collect();
+                    let words: Vec<u64> = (0..words_per_row)
+                        .map(|_| next_word(&mut reader, &mut stats))
+                        .collect();
                     BitVec::from_words(n, &words)
                 })
                 .collect();
@@ -166,12 +167,17 @@ pub fn derive_material(params: &RastaParams, nonce: u128, counter: u64) -> Rasta
             stats.matrices_rejected += 1;
         };
         matrices.push(matrix);
-        let words: Vec<u64> =
-            (0..words_per_row).map(|_| next_word(&mut reader, &mut stats)).collect();
+        let words: Vec<u64> = (0..words_per_row)
+            .map(|_| next_word(&mut reader, &mut stats))
+            .collect();
         constants.push(BitVec::from_words(n, &words));
     }
     stats.keccak_permutations = reader.permutations();
-    RastaMaterial { matrices, constants, stats }
+    RastaMaterial {
+        matrices,
+        constants,
+        stats,
+    }
 }
 
 fn next_word(reader: &mut XofReader, stats: &mut RastaXofStats) -> u64 {
@@ -184,8 +190,9 @@ fn next_word(reader: &mut XofReader, stats: &mut RastaXofStats) -> u64 {
 #[must_use]
 pub fn chi(x: &BitVec) -> BitVec {
     let n = x.len();
-    let bits: Vec<bool> =
-        (0..n).map(|i| x.get(i) ^ (!x.get((i + 1) % n) & x.get((i + 2) % n))).collect();
+    let bits: Vec<bool> = (0..n)
+        .map(|i| x.get(i) ^ (!x.get((i + 1) % n) & x.get((i + 2) % n)))
+        .collect();
     BitVec::from_bits(&bits)
 }
 
@@ -194,8 +201,11 @@ pub fn chi(x: &BitVec) -> BitVec {
 pub fn keystream_block(key: &BitVec, material: &RastaMaterial) -> BitVec {
     let mut state = key.clone();
     let layers = material.matrices.len();
-    for (i, (matrix, constant)) in
-        material.matrices.iter().zip(material.constants.iter()).enumerate()
+    for (i, (matrix, constant)) in material
+        .matrices
+        .iter()
+        .zip(material.constants.iter())
+        .enumerate()
     {
         state = matrix.mul_vec(&state);
         state.xor_assign(constant);
@@ -229,7 +239,10 @@ impl RastaCipher {
     /// Returns [`RastaError::InvalidKey`] on a length mismatch.
     pub fn new(params: RastaParams, key: BitVec) -> Result<Self, RastaError> {
         if key.len() != params.n() {
-            return Err(RastaError::InvalidKey { expected: params.n(), found: key.len() });
+            return Err(RastaError::InvalidKey {
+                expected: params.n(),
+                found: key.len(),
+            });
         }
         Ok(RastaCipher { params, key })
     }
@@ -241,9 +254,13 @@ impl RastaCipher {
         xof.absorb(b"rasta-key");
         xof.absorb(seed);
         let mut reader = xof.finalize();
-        let words: Vec<u64> =
-            (0..params.n().div_ceil(64)).map(|_| reader.next_u64()).collect();
-        RastaCipher { params, key: BitVec::from_words(params.n(), &words) }
+        let words: Vec<u64> = (0..params.n().div_ceil(64))
+            .map(|_| reader.next_u64())
+            .collect();
+        RastaCipher {
+            params,
+            key: BitVec::from_words(params.n(), &words),
+        }
     }
 
     /// The parameters.
@@ -287,8 +304,7 @@ mod tests {
         for v in 0..(1u32 << n) {
             let bits: Vec<bool> = (0..n).map(|i| (v >> i) & 1 == 1).collect();
             let y = chi(&BitVec::from_bits(&bits));
-            let packed: u32 =
-                (0..n).map(|i| u32::from(y.get(i)) << i).sum();
+            let packed: u32 = (0..n).map(|i| u32::from(y.get(i)) << i).sum();
             assert!(seen.insert(packed), "chi collision at input {v}");
         }
         assert_eq!(seen.len(), 1 << n);
@@ -360,7 +376,10 @@ mod tests {
         let params = RastaParams::toy_65();
         assert!(matches!(
             RastaCipher::new(params, BitVec::zeros(64)),
-            Err(RastaError::InvalidKey { expected: 65, found: 64 })
+            Err(RastaError::InvalidKey {
+                expected: 65,
+                found: 64
+            })
         ));
     }
 }

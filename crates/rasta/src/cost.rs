@@ -69,7 +69,10 @@ mod tests {
         }
         let measured = total as f64 / n as f64;
         let err = (measured - expected).abs() / expected;
-        assert!(err < 0.30, "expected {expected:.0}, measured {measured:.0} ({err:.2})");
+        assert!(
+            err < 0.30,
+            "expected {expected:.0}, measured {measured:.0} ({err:.2})"
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ impl BitVec {
     /// An all-zero vector of `len` bits.
     #[must_use]
     pub fn zeros(len: usize) -> Self {
-        BitVec { len, limbs: vec![0; len.div_ceil(64)] }
+        BitVec {
+            len,
+            limbs: vec![0; len.div_ceil(64)],
+        }
     }
 
     /// Builds from individual bits.

@@ -35,6 +35,4 @@ pub mod cipher;
 pub mod cost;
 pub mod f2;
 
-pub use cipher::{
-    chi, derive_material, keystream_block, RastaCipher, RastaError, RastaParams,
-};
+pub use cipher::{chi, derive_material, keystream_block, RastaCipher, RastaError, RastaParams};

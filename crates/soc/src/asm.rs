@@ -57,7 +57,10 @@ pub fn assemble(base: u32, source: &str) -> Result<Vec<u32>, AsmError> {
     for l in &lines {
         for label in &l.labels {
             if labels.insert(label.clone(), addr).is_some() {
-                return Err(AsmError { line: l.line, message: format!("duplicate label {label}") });
+                return Err(AsmError {
+                    line: l.line,
+                    message: format!("duplicate label {label}"),
+                });
             }
         }
         if let Some(stmt) = &l.stmt {
@@ -101,7 +104,10 @@ fn parse_lines(source: &str) -> Result<Vec<Line>, AsmError> {
         while let Some(pos) = text.find(':') {
             let label = text[..pos].trim();
             if label.is_empty() || label.contains(char::is_whitespace) {
-                return Err(AsmError { line: line_no, message: "malformed label".into() });
+                return Err(AsmError {
+                    line: line_no,
+                    message: "malformed label".into(),
+                });
             }
             labels.push(label.to_string());
             text = text[pos + 1..].trim();
@@ -115,10 +121,17 @@ fn parse_lines(source: &str) -> Result<Vec<Line>, AsmError> {
                 .map(|s| s.trim().to_string())
                 .filter(|s| !s.is_empty())
                 .collect();
-            Some(Stmt { mnemonic: mnemonic.to_lowercase(), operands })
+            Some(Stmt {
+                mnemonic: mnemonic.to_lowercase(),
+                operands,
+            })
         };
         if !labels.is_empty() || stmt.is_some() {
-            out.push(Line { line: line_no, labels, stmt });
+            out.push(Line {
+                line: line_no,
+                labels,
+                stmt,
+            });
         }
     }
     Ok(out)
@@ -129,7 +142,11 @@ fn words_for(stmt: &Stmt, line: usize) -> Result<usize, AsmError> {
     match stmt.mnemonic.as_str() {
         "li" => {
             let imm = parse_imm(stmt.operands.get(1).map_or("", |s| s), line)?;
-            Ok(if fits_i12(imm) || imm & 0xFFF == 0 { 1 } else { 2 })
+            Ok(if fits_i12(imm) || imm & 0xFFF == 0 {
+                1
+            } else {
+                2
+            })
         }
         ".word" => Ok(stmt.operands.len()),
         _ => Ok(1),
@@ -272,12 +289,7 @@ fn encode(
             let (off, rs1) = parse_mem(op(1)?, line)?;
             let rs2 = reg(0)?;
             let u = off as u32;
-            one(((u >> 5) & 0x7F) << 25
-                | rs2 << 20
-                | rs1 << 15
-                | f3 << 12
-                | (u & 0x1F) << 7
-                | 0x23)
+            one(((u >> 5) & 0x7F) << 25 | rs2 << 20 | rs1 << 15 | f3 << 12 | (u & 0x1F) << 7 | 0x23)
         }
         "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
             let f3 = match m {
@@ -363,7 +375,10 @@ fn enc_b(f3: u32, rs1: u32, rs2: u32, off: i32) -> u32 {
 
 fn enc_j(rd: u32, off: i32, line: usize) -> Result<u32, AsmError> {
     if off % 2 != 0 || !(-(1 << 20)..(1 << 20)).contains(&off) {
-        return Err(AsmError { line, message: format!("jump offset {off} out of range") });
+        return Err(AsmError {
+            line,
+            message: format!("jump offset {off} out of range"),
+        });
     }
     let u = off as u32;
     Ok(((u >> 20) & 1) << 31
@@ -381,12 +396,18 @@ fn fits_i12(v: i64) -> bool {
 /// `off(reg)` memory operand.
 fn parse_mem(s: &str, line: usize) -> Result<(i32, u32), AsmError> {
     let err = |m: String| AsmError { line, message: m };
-    let open = s.find('(').ok_or_else(|| err(format!("expected off(reg), got {s}")))?;
+    let open = s
+        .find('(')
+        .ok_or_else(|| err(format!("expected off(reg), got {s}")))?;
     if !s.ends_with(')') {
         return Err(err(format!("expected off(reg), got {s}")));
     }
     let off_str = s[..open].trim();
-    let off = if off_str.is_empty() { 0 } else { parse_imm(off_str, line)? };
+    let off = if off_str.is_empty() {
+        0
+    } else {
+        parse_imm(off_str, line)?
+    };
     if !fits_i12(off) {
         return Err(err(format!("memory offset {off} out of range")));
     }
@@ -409,17 +430,20 @@ fn parse_csr(s: &str, line: usize) -> Result<u32, AsmError> {
     if let Some(v) = named {
         return Ok(v);
     }
-    parse_imm(s, line).ok().and_then(|v| u32::try_from(v).ok()).ok_or(AsmError {
-        line,
-        message: format!("unknown CSR {s}"),
-    })
+    parse_imm(s, line)
+        .ok()
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or(AsmError {
+            line,
+            message: format!("unknown CSR {s}"),
+        })
 }
 
 fn parse_reg(s: &str, line: usize) -> Result<u32, AsmError> {
     const ABI: [&str; 32] = [
-        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
-        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
-        "t3", "t4", "t5", "t6",
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+        "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+        "t5", "t6",
     ];
     let s = s.trim();
     if let Some(rest) = s.strip_prefix('x') {
@@ -435,7 +459,10 @@ fn parse_reg(s: &str, line: usize) -> Result<u32, AsmError> {
     if let Some(i) = ABI.iter().position(|&a| a == s) {
         return Ok(i as u32);
     }
-    Err(AsmError { line, message: format!("unknown register {s}") })
+    Err(AsmError {
+        line,
+        message: format!("unknown register {s}"),
+    })
 }
 
 fn parse_imm(s: &str, line: usize) -> Result<i64, AsmError> {
@@ -449,7 +476,10 @@ fn parse_imm(s: &str, line: usize) -> Result<i64, AsmError> {
     } else {
         body.parse::<i64>()
     }
-    .map_err(|_| AsmError { line, message: format!("bad immediate {s}") })?;
+    .map_err(|_| AsmError {
+        line,
+        message: format!("bad immediate {s}"),
+    })?;
     Ok(if neg { -value } else { value })
 }
 
@@ -516,7 +546,10 @@ mod tests {
         let e = assemble(0, "frobnicate a0").unwrap_err();
         assert!(e.message.contains("unknown mnemonic"));
         assert_eq!(e.line, 1);
-        assert!(assemble(0, "addi a0, a0, 5000").is_err(), "imm out of range");
+        assert!(
+            assemble(0, "addi a0, a0, 5000").is_err(),
+            "imm out of range"
+        );
         assert!(assemble(0, "beq a0, a1, nowhere").is_err(), "unknown label");
         assert!(assemble(0, "x: nop\nx: nop").is_err(), "duplicate label");
         assert!(assemble(0, "lw a0, a1").is_err(), "bad mem operand");
@@ -530,8 +563,14 @@ mod tests {
 
     #[test]
     fn abi_and_numeric_registers_agree() {
-        assert_eq!(assemble(0, "add x10, x11, x12").unwrap(), assemble(0, "add a0, a1, a2").unwrap());
-        assert_eq!(assemble(0, "add s0, s0, s0").unwrap(), assemble(0, "add fp, fp, fp").unwrap());
+        assert_eq!(
+            assemble(0, "add x10, x11, x12").unwrap(),
+            assemble(0, "add a0, a1, a2").unwrap()
+        );
+        assert_eq!(
+            assemble(0, "add s0, s0, s0").unwrap(),
+            assemble(0, "add fp, fp, fp").unwrap()
+        );
     }
 
     /// The assembler's encodings must round-trip through the CPU decoder:
@@ -555,7 +594,9 @@ mod tests {
                 let a = addr as usize;
                 match width {
                     AccessWidth::Byte => self.0[a] = v as u8,
-                    AccessWidth::Half => self.0[a..a + 2].copy_from_slice(&(v as u16).to_le_bytes()),
+                    AccessWidth::Half => {
+                        self.0[a..a + 2].copy_from_slice(&(v as u16).to_le_bytes())
+                    }
                     AccessWidth::Word => self.0[a..a + 4].copy_from_slice(&v.to_le_bytes()),
                 }
                 Ok(())

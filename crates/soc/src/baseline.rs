@@ -118,10 +118,12 @@ pub struct SoftwareEstimate {
 /// Estimates one-block software PASTA on the core, from the measured
 /// per-op costs and exact operation counts.
 #[must_use]
-pub fn estimate_software_block(params: &PastaParams, bench: &MicrobenchResults) -> SoftwareEstimate {
+pub fn estimate_software_block(
+    params: &PastaParams,
+    bench: &MicrobenchResults,
+) -> SoftwareEstimate {
     let ops = encryption_op_count(params);
-    let arithmetic =
-        ops.mul as f64 * bench.modmul_cycles + ops.add as f64 * bench.modadd_cycles;
+    let arithmetic = ops.mul as f64 * bench.modmul_cycles + ops.add as f64 * bench.modadd_cycles;
     // Average permutations per block (measured once over a few nonces).
     let mut perms = 0u64;
     for counter in 0..4 {
@@ -162,7 +164,10 @@ mod tests {
         // ~20k muls × ~5 + ~21k adds × ~5 ≈ 0.2M; Keccak ≈ 61 × 15k ≈ 0.9M.
         assert!(est.arithmetic_cycles > 100_000.0 && est.arithmetic_cycles < 400_000.0);
         assert!(est.keccak_cycles > 700_000.0 && est.keccak_cycles < 1_200_000.0);
-        assert!(est.total_cycles > 0.8e6 && est.total_cycles < 2.0e6, "{est:?}");
+        assert!(
+            est.total_cycles > 0.8e6 && est.total_cycles < 2.0e6,
+            "{est:?}"
+        );
         // Consistent with the quoted Xeon count (1.36M cycles): an
         // in-order RV32 without 64-bit lanes lands in the same decade.
     }

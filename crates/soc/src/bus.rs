@@ -36,7 +36,9 @@ impl Ram {
     /// Creates zeroed RAM of `size` bytes.
     #[must_use]
     pub fn new(size: usize) -> Self {
-        Ram { bytes: vec![0; size] }
+        Ram {
+            bytes: vec![0; size],
+        }
     }
 
     /// RAM size in bytes.

@@ -118,7 +118,13 @@ pub fn disassemble_program(base: u32, words: &[u32]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     for (i, &w) in words.iter().enumerate() {
-        let _ = writeln!(out, "{:#010x}: {:08x}  {}", base + 4 * i as u32, w, disassemble(w));
+        let _ = writeln!(
+            out,
+            "{:#010x}: {:08x}  {}",
+            base + 4 * i as u32,
+            w,
+            disassemble(w)
+        );
     }
     out
 }
@@ -129,9 +135,9 @@ fn raw(inst: u32) -> String {
 
 fn reg_name(i: usize) -> &'static str {
     const ABI: [&str; 32] = [
-        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
-        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
-        "t3", "t4", "t5", "t6",
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+        "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+        "t5", "t6",
     ];
     ABI[i]
 }

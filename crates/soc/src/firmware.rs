@@ -29,7 +29,13 @@ pub struct Layout {
 
 impl Default for Layout {
     fn default() -> Self {
-        Layout { text: 0x0000, key: 0x4000, nonce: 0x4800, src: 0x5000, dst: 0xA000 }
+        Layout {
+            text: 0x0000,
+            key: 0x4000,
+            nonce: 0x4800,
+            src: 0x5000,
+            dst: 0xA000,
+        }
     }
 }
 
@@ -173,8 +179,7 @@ pub fn encrypt_on_soc(
         .collect();
     soc.write_words(layout.key, &key_words);
     // Nonce as four words.
-    let nonce_words: Vec<u32> =
-        (0..4).map(|i| (nonce >> (32 * i)) as u32).collect();
+    let nonce_words: Vec<u32> = (0..4).map(|i| (nonce >> (32 * i)) as u32).collect();
     soc.write_words(layout.nonce, &nonce_words);
     // Plaintext elements.
     let msg_words: Vec<u32> = message.iter().map(|&m| m as u32).collect();
@@ -188,10 +193,15 @@ pub fn encrypt_on_soc(
         Err(t) => return Err(FirmwareError::Run(format!("trap: {t}"))),
     }
     if soc.cpu().reg(11) != 0 {
-        return Err(FirmwareError::Run("firmware reported peripheral error".into()));
+        return Err(FirmwareError::Run(
+            "firmware reported peripheral error".into(),
+        ));
     }
-    let ciphertext =
-        soc.read_words(layout.dst, message.len()).into_iter().map(u64::from).collect();
+    let ciphertext = soc
+        .read_words(layout.dst, message.len())
+        .into_iter()
+        .map(u64::from)
+        .collect();
     Ok(SocEncryption {
         ciphertext,
         soc_cycles: soc.cycles(),
@@ -211,7 +221,9 @@ mod tests {
         let key = SecretKey::from_seed(&params, b"fw");
         let message: Vec<u64> = (0..32u64).map(|i| i * 1_999 % 65_537).collect();
         let run = encrypt_on_soc(params, &key, 0xFACE_F00D, &message).unwrap();
-        let sw = PastaCipher::new(params, key).encrypt(0xFACE_F00D, &message).unwrap();
+        let sw = PastaCipher::new(params, key)
+            .encrypt(0xFACE_F00D, &message)
+            .unwrap();
         assert_eq!(run.ciphertext, sw.elements());
     }
 
@@ -228,9 +240,15 @@ mod tests {
             (accel_us - 15.9).abs() / 15.9 < 0.10,
             "accelerator latency {accel_us} µs vs paper 15.9 µs"
         );
-        assert!(run.soc_cycles > run.accelerator_cycles, "SoC adds driver overhead");
+        assert!(
+            run.soc_cycles > run.accelerator_cycles,
+            "SoC adds driver overhead"
+        );
         let overhead = run.soc_cycles - run.accelerator_cycles;
-        assert!(overhead < 3_000, "driver overhead {overhead} cycles should be small");
+        assert!(
+            overhead < 3_000,
+            "driver overhead {overhead} cycles should be small"
+        );
     }
 
     #[test]
@@ -242,7 +260,10 @@ mod tests {
         let r1 = encrypt_on_soc(params, &key, 1, &m1).unwrap();
         let r4 = encrypt_on_soc(params, &key, 1, &m4).unwrap();
         let ratio = r4.accelerator_cycles as f64 / r1.accelerator_cycles as f64;
-        assert!((3.5..4.5).contains(&ratio), "4 blocks should be ≈4×, got {ratio}");
+        assert!(
+            (3.5..4.5).contains(&ratio),
+            "4 blocks should be ≈4×, got {ratio}"
+        );
         // And the 4-block ciphertext's first block matches the 1-block run.
         assert_eq!(&r4.ciphertext[..32], &r1.ciphertext[..]);
     }
@@ -258,7 +279,10 @@ mod tests {
         // Tab. II: ≈4,955 cc + bus transfers at 100 MHz ≈ 50 µs (the
         // paper prints 45.5 µs; see EXPERIMENTS.md for the discrepancy).
         let accel_us = run.accelerator_cycles as f64 / 100.0;
-        assert!((45.0..56.0).contains(&accel_us), "PASTA-3 SoC latency {accel_us} µs");
+        assert!(
+            (45.0..56.0).contains(&accel_us),
+            "PASTA-3 SoC latency {accel_us} µs"
+        );
     }
 
     #[test]
@@ -338,14 +362,20 @@ mod tests {
             mret
         ";
         let program = assemble(layout.text, &source).unwrap();
-        assert!(4 * program.len() < 0x200, "main program must fit below the handler");
+        assert!(
+            4 * program.len() < 0x200,
+            "main program must fit below the handler"
+        );
         let handler_words = assemble(0x200, handler).unwrap();
 
         let mut soc = Soc::new(params, 1 << 20);
         soc.load_program(layout.text, &program);
         soc.load_program(0x200, &handler_words);
-        let key_words: Vec<u32> =
-            key.elements().iter().flat_map(|&k| [k as u32, (k >> 32) as u32]).collect();
+        let key_words: Vec<u32> = key
+            .elements()
+            .iter()
+            .flat_map(|&k| [k as u32, (k >> 32) as u32])
+            .collect();
         soc.write_words(layout.key, &key_words);
         let msg: Vec<u32> = (0..32).collect();
         soc.write_words(layout.src, &msg);
@@ -353,8 +383,16 @@ mod tests {
         assert_eq!(soc.run(1_000_000).unwrap(), RunOutcome::Halted);
         // The handler ran: a5 = 1, a0 holds the accelerator cycle count,
         // and mcause records the machine external interrupt.
-        assert_eq!(soc.cpu().reg(15), 1, "handler must have signalled completion");
-        assert!(soc.cpu().reg(10) > 1_500, "cycles reported: {}", soc.cpu().reg(10));
+        assert_eq!(
+            soc.cpu().reg(15),
+            1,
+            "handler must have signalled completion"
+        );
+        assert!(
+            soc.cpu().reg(10) > 1_500,
+            "cycles reported: {}",
+            soc.cpu().reg(10)
+        );
         assert_eq!(soc.cpu().csrs().mcause, 0x8000_000B);
         // Ciphertext landed in RAM and matches software.
         let sw = PastaCipher::new(params, key)
@@ -392,8 +430,11 @@ mod tests {
         let program = assemble(layout.text, &source).unwrap();
         let mut soc = Soc::new(params, 1 << 20);
         soc.load_program(layout.text, &program);
-        let key_words: Vec<u32> =
-            key.elements().iter().flat_map(|&k| [k as u32, (k >> 32) as u32]).collect();
+        let key_words: Vec<u32> = key
+            .elements()
+            .iter()
+            .flat_map(|&k| [k as u32, (k >> 32) as u32])
+            .collect();
         soc.write_words(layout.key, &key_words);
         soc.write_words(layout.nonce, &[1, 0, 0, 0]);
         let msg: Vec<u32> = (0..32).collect();
@@ -421,8 +462,11 @@ mod tests {
         let program = assemble(layout.text, &source).unwrap();
         let mut soc = Soc::new(params, 1 << 20);
         soc.load_program(layout.text, &program);
-        let key_words: Vec<u32> =
-            key.elements().iter().flat_map(|&k| [k as u32, (k >> 32) as u32]).collect();
+        let key_words: Vec<u32> = key
+            .elements()
+            .iter()
+            .flat_map(|&k| [k as u32, (k >> 32) as u32])
+            .collect();
         soc.write_words(layout.key, &key_words);
         soc.write_words(layout.nonce, &[0, 0, 0, 0]);
         soc.write_words(layout.src, &[70_000]); // >= p

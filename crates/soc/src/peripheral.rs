@@ -171,12 +171,7 @@ impl PastaPeripheral {
     /// `read_elem`/`write_elem` are the master-port accessors into RAM
     /// (u32 per field element). Returns the number of cycles the run
     /// occupies; STATUS reads as BUSY until `now + cycles`.
-    pub fn start<RE, WE>(
-        &mut self,
-        now: u64,
-        mut read_elem: RE,
-        mut write_elem: WE,
-    ) -> u64
+    pub fn start<RE, WE>(&mut self, now: u64, mut read_elem: RE, mut write_elem: WE) -> u64
     where
         RE: FnMut(u32) -> Option<u32>,
         WE: FnMut(u32, u32) -> bool,
@@ -207,7 +202,9 @@ impl PastaPeripheral {
                     }
                 }
             }
-            let result = match self.processor.encrypt_block(&key, nonce, counter as u64, &message)
+            let result = match self
+                .processor
+                .encrypt_block(&key, nonce, counter as u64, &message)
             {
                 Ok(r) => r,
                 Err(_) => {
@@ -224,9 +221,8 @@ impl PastaPeripheral {
             }
             // Single shared bus: accelerator compute + element transfers
             // are fully serialized per block (§IV.A ❸).
-            total_cycles += result.cycles.total
-                + BUS_CYCLES_PER_ELEMENT * len as u64
-                + BLOCK_SETUP_CYCLES;
+            total_cycles +=
+                result.cycles.total + BUS_CYCLES_PER_ELEMENT * len as u64 + BLOCK_SETUP_CYCLES;
             blocks += 1;
         }
         if !ok {
@@ -283,12 +279,17 @@ mod tests {
                 true
             },
         );
-        assert!(cycles > 1_500, "one PASTA-4 block is >1,500 cycles, got {cycles}");
+        assert!(
+            cycles > 1_500,
+            "one PASTA-4 block is >1,500 cycles, got {cycles}"
+        );
         // Busy until done_at, done afterwards.
         assert_eq!(p.read_reg(0x04, 1_000), status::BUSY);
         assert_eq!(p.read_reg(0x04, 1_000 + cycles), status::DONE);
         // Ciphertext matches the software cipher.
-        let sw = PastaCipher::new(params, key).encrypt(0x0000_CAFE_DEAD_BEEF, &message).unwrap();
+        let sw = PastaCipher::new(params, key)
+            .encrypt(0x0000_CAFE_DEAD_BEEF, &message)
+            .unwrap();
         let ram = ram_cell.borrow();
         for (i, &c) in sw.elements().iter().enumerate() {
             assert_eq!(ram.get(&(0x800 + 4 * i as u32)).copied(), Some(c as u32));

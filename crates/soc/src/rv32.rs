@@ -345,9 +345,7 @@ impl Cpu {
                     (0b000_0001, 0b001) => {
                         ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32
                     }
-                    (0b000_0001, 0b010) => {
-                        ((i64::from(a as i32) * i64::from(b)) >> 32) as u32
-                    }
+                    (0b000_0001, 0b010) => ((i64::from(a as i32) * i64::from(b)) >> 32) as u32,
                     (0b000_0001, 0b011) => ((u64::from(a) * u64::from(b)) >> 32) as u32,
                     (0b000_0001, 0b100) => match b as i32 {
                         0 => u32::MAX,
@@ -379,8 +377,7 @@ impl Cpu {
                 0x3020_0073 => {
                     // MRET: restore MIE from MPIE, return to mepc.
                     let mpie = (self.csrs.mstatus >> 7) & 1;
-                    self.csrs.mstatus =
-                        (self.csrs.mstatus & !(1 << 3)) | (mpie << 3) | (1 << 7);
+                    self.csrs.mstatus = (self.csrs.mstatus & !(1 << 3)) | (mpie << 3) | (1 << 7);
                     Ok(self.csrs.mepc)
                 }
                 0x1050_0073 => {
@@ -510,9 +507,7 @@ mod tests {
             }
             Ok(match width {
                 AccessWidth::Byte => u32::from(self.mem[a]),
-                AccessWidth::Half => {
-                    u32::from(u16::from_le_bytes([self.mem[a], self.mem[a + 1]]))
-                }
+                AccessWidth::Half => u32::from(u16::from_le_bytes([self.mem[a], self.mem[a + 1]])),
                 AccessWidth::Word => u32::from_le_bytes([
                     self.mem[a],
                     self.mem[a + 1],
@@ -576,7 +571,13 @@ mod tests {
     #[test]
     fn arithmetic_basics() {
         let (cpu, _) = run(
-            &[addi(1, 0, 100), addi(2, 0, -3), add(3, 1, 2), mul(4, 1, 2), EBREAK],
+            &[
+                addi(1, 0, 100),
+                addi(2, 0, -3),
+                add(3, 1, 2),
+                mul(4, 1, 2),
+                EBREAK,
+            ],
             10,
         );
         assert_eq!(cpu.reg(3), 97);
@@ -592,10 +593,7 @@ mod tests {
         fn remi(rd: u32, rs1: u32, rs2: u32) -> u32 {
             (1 << 25) | (rs2 << 20) | (rs1 << 15) | (0b110 << 12) | (rd << 7) | 0x33
         }
-        let (cpu, _) = run(
-            &[addi(1, 0, 7), divi(2, 1, 0), remi(3, 1, 0), EBREAK],
-            10,
-        );
+        let (cpu, _) = run(&[addi(1, 0, 7), divi(2, 1, 0), remi(3, 1, 0), EBREAK], 10);
         assert_eq!(cpu.reg(2), u32::MAX, "div by zero yields -1");
         assert_eq!(cpu.reg(3), 7, "rem by zero yields dividend");
     }
@@ -654,7 +652,10 @@ mod tests {
     fn illegal_instruction_traps() {
         let mut cpu = Cpu::new(0);
         let mut bus = TestBus::with_program(&[0xFFFF_FFFF]);
-        assert!(matches!(cpu.step(&mut bus), Err(Trap::IllegalInstruction(_))));
+        assert!(matches!(
+            cpu.step(&mut bus),
+            Err(Trap::IllegalInstruction(_))
+        ));
     }
 
     #[test]
@@ -746,9 +747,7 @@ mod tests {
             ("li t1, 0\nli t2, -1\nbgeu t1, t2, yes", false),
         ];
         for (prelude, taken) in cases {
-            let source = format!(
-                "{prelude}\n li a0, 0\n j out\nyes: li a0, 1\nout: ebreak"
-            );
+            let source = format!("{prelude}\n li a0, 0\n j out\nyes: li a0, 1\nout: ebreak");
             let words = assemble(0, &source).unwrap();
             let (cpu, _) = run(&words, 50);
             assert_eq!(cpu.reg(10) == 1, *taken, "case: {prelude}");

@@ -36,7 +36,10 @@ impl Soc {
     /// for `params`; reset vector is address 0.
     #[must_use]
     pub fn new(params: PastaParams, ram_size: usize) -> Self {
-        Soc { cpu: Cpu::new(0), bus: SystemBus::new(params, ram_size) }
+        Soc {
+            cpu: Cpu::new(0),
+            bus: SystemBus::new(params, ram_size),
+        }
     }
 
     /// Loads instruction words at `base`.
@@ -60,7 +63,10 @@ impl Soc {
     /// Panics if out of RAM.
     pub fn write_words(&mut self, addr: u32, words: &[u32]) {
         for (i, &w) in words.iter().enumerate() {
-            assert!(self.bus.ram.write_u32(addr + 4 * i as u32, w), "write outside RAM");
+            assert!(
+                self.bus.ram.write_u32(addr + 4 * i as u32, w),
+                "write outside RAM"
+            );
         }
     }
 
@@ -72,7 +78,12 @@ impl Soc {
     #[must_use]
     pub fn read_words(&self, addr: u32, n: usize) -> Vec<u32> {
         (0..n)
-            .map(|i| self.bus.ram.read_u32(addr + 4 * i as u32).expect("read outside RAM"))
+            .map(|i| {
+                self.bus
+                    .ram
+                    .read_u32(addr + 4 * i as u32)
+                    .expect("read outside RAM")
+            })
             .collect()
     }
 

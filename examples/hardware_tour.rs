@@ -33,16 +33,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("(Tab. II: 1,591 cc — nonce-dependent, as the paper notes.)\n");
 
     println!("== XOF core ablation (§IV.B) ==");
-    for (name, core) in
-        [("squeeze-parallel", XofCoreKind::SqueezeParallel), ("naive", XofCoreKind::Naive)]
-    {
+    for (name, core) in [
+        ("squeeze-parallel", XofCoreKind::SqueezeParallel),
+        ("naive", XofCoreKind::Naive),
+    ] {
         let avg = PastaProcessor::with_core(params, core).average_cycles(&key, 1, 10)?;
         println!("{name:>17}: {avg:.0} cc/block");
     }
     println!();
 
     println!("== Bit-width scaling (§IV.A 'Bitlength Comparison') ==");
-    println!("{:<22} {:>9} {:>9} {:>7} {:>6} {:>11}", "design", "LUT", "FF", "DSP", "cc", "LUT x cc");
+    println!(
+        "{:<22} {:>9} {:>9} {:>7} {:>6} {:>11}",
+        "design", "LUT", "FF", "DSP", "cc", "LUT x cc"
+    );
     for p in [
         PastaParams::pasta4_17bit(),
         PastaParams::pasta4_33bit(),
@@ -66,7 +70,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("so the paper standardizes on 17-bit for comparisons.\n");
 
     println!("== Technology sweep (ASIC model) ==");
-    for node in [TechNode::Asap7, TechNode::Tsmc28, TechNode::Node65, TechNode::Node130] {
+    for node in [
+        TechNode::Asap7,
+        TechNode::Tsmc28,
+        TechNode::Node65,
+        TechNode::Node130,
+    ] {
         let e = estimate_asic(&params, node);
         println!(
             "{:<14} {:>7.3} mm^2 @ {:>5.0} MHz, {:>5.2} W max",

@@ -59,8 +59,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pasta_edge::cipher::counters::encryption_op_count(&params).mul,
         ops.mul as f64 / pasta_edge::cipher::counters::encryption_op_count(&params).mul as f64
     );
-    println!("  S-box multiplier factor : {:.2}x", sbox_multiplier_overhead(&params));
-    println!("  fresh randomness        : {} field elements/block", ops.randomness);
+    println!(
+        "  S-box multiplier factor : {:.2}x",
+        sbox_multiplier_overhead(&params)
+    );
+    println!(
+        "  fresh randomness        : {} field elements/block",
+        ops.randomness
+    );
     println!(
         "  software slowdown here  : {:.2}x ({:?} vs {:?})",
         masked_time.as_secs_f64() / plain_time.as_secs_f64(),

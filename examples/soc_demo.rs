@@ -19,8 +19,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let layout = Layout::default();
     let source = driver_source(&layout, params.state_size(), 64);
     let words = assemble(layout.text, &source)?;
-    println!("Driver firmware: {} instructions at {:#06x}", words.len(), layout.text);
-    println!("Peripheral register writes: key (2t = {} elements), nonce, SRC/DST/NELEMS, CTRL.start", params.state_size());
+    println!(
+        "Driver firmware: {} instructions at {:#06x}",
+        words.len(),
+        layout.text
+    );
+    println!(
+        "Peripheral register writes: key (2t = {} elements), nonce, SRC/DST/NELEMS, CTRL.start",
+        params.state_size()
+    );
 
     // Encrypt two blocks (64 elements) end to end on the SoC.
     let message: Vec<u64> = (0..64u64).map(|i| (i * 777 + 13) % 65_537).collect();
@@ -31,13 +38,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(run.ciphertext, sw.elements());
     println!("\nSoC ciphertext matches the software cipher: OK");
 
-    println!("Accelerator busy time: {} cycles ({:.1} us at {SOC_CLOCK_MHZ:.0} MHz)",
+    println!(
+        "Accelerator busy time: {} cycles ({:.1} us at {SOC_CLOCK_MHZ:.0} MHz)",
         run.accelerator_cycles,
-        run.accelerator_cycles as f64 / SOC_CLOCK_MHZ);
-    println!("Total SoC time (incl. firmware setup + polling): {} cycles ({:.1} us)",
-        run.soc_cycles, run.micros);
-    println!("Per block: {:.1} us — Tab. II reports 15.9 us per PASTA-4 block.",
-        run.accelerator_cycles as f64 / 2.0 / SOC_CLOCK_MHZ);
+        run.accelerator_cycles as f64 / SOC_CLOCK_MHZ
+    );
+    println!(
+        "Total SoC time (incl. firmware setup + polling): {} cycles ({:.1} us)",
+        run.soc_cycles, run.micros
+    );
+    println!(
+        "Per block: {:.1} us — Tab. II reports 15.9 us per PASTA-4 block.",
+        run.accelerator_cycles as f64 / 2.0 / SOC_CLOCK_MHZ
+    );
     println!("\nThe single shared bus serializes block processing (the paper's stated");
     println!("bottleneck): doubling the data doubles the latency on this platform.");
     Ok(())

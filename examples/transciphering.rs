@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let ctx = BfvContext::new(bfv)?;
     println!("PASTA: {pasta}");
-    println!("BFV:   N = {}, log2(q) = {} bits", ctx.params().n, ctx.q_bits());
+    println!(
+        "BFV:   N = {}, log2(q) = {} bits",
+        ctx.params().n,
+        ctx.q_bits()
+    );
 
     let mut rng = StdRng::seed_from_u64(0xE2E);
     let fhe_sk = ctx.generate_secret_key(&mut rng);
@@ -75,7 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for (i, ct) in fhe_cts.iter().enumerate() {
         let budget = ctx.noise_budget(&fhe_sk, ct);
-        println!("  ciphertext {i}: {} bytes, {} bits of noise budget left", ct.size_bytes(&ctx), budget);
+        println!(
+            "  ciphertext {i}: {} bytes, {} bits of noise budget left",
+            ct.size_bytes(&ctx),
+            budget
+        );
     }
 
     // --- server: compute on encrypted data (sum + scaled element) ---
@@ -91,7 +99,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let expect_sum = message.iter().fold(0u64, |acc, &m| zp.add(acc, m));
     assert_eq!(results[0], expect_sum);
     assert_eq!(results[1], zp.mul(message[0], 2));
-    println!("Homomorphic sum = {} (expected {expect_sum}), 2x first = {}", results[0], results[1]);
+    println!(
+        "Homomorphic sum = {} (expected {expect_sum}), 2x first = {}",
+        results[0], results[1]
+    );
     println!("End-to-end HHE round trip: OK");
     Ok(())
 }

@@ -11,15 +11,17 @@
 //! ```
 
 use pasta_edge::cipher::{PastaCipher, PastaParams, SecretKey};
-use pasta_edge::hhe::{PastaLink, Resolution, RiseReference};
 use pasta_edge::hhe::link::{MAX_5G_BPS, MIN_5G_BPS};
+use pasta_edge::hhe::{PastaLink, Resolution, RiseReference};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// A synthetic grayscale frame (one byte per pixel → one field element).
 fn synthetic_frame(rng: &mut StdRng, res: Resolution) -> Vec<u64> {
-    (0..res.pixels()).map(|_| u64::from(rng.gen::<u8>())).collect()
+    (0..res.pixels())
+        .map(|_| u64::from(rng.gen::<u8>()))
+        .collect()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -33,7 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Video surveillance over 5G — PASTA HHE client vs RISE FHE client\n");
     println!(
         "{:<7} {:>10} {:>12} {:>12} {:>12} {:>14} {:>14}",
-        "res", "pixels", "PASTA B/frm", "RISE B/frm", "enc ms/frm", "fps @112.5MBps", "fps @12.5MBps"
+        "res",
+        "pixels",
+        "PASTA B/frm",
+        "RISE B/frm",
+        "enc ms/frm",
+        "fps @112.5MBps",
+        "fps @12.5MBps"
     );
     for res in Resolution::ALL {
         let frame = synthetic_frame(&mut rng, res);
@@ -41,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let ct = cipher.encrypt(1, &frame)?;
         let enc_ms = t0.elapsed().as_secs_f64() * 1e3;
         let bytes = ct.to_packed_bytes(&params).len();
-        assert_eq!(bytes, link.bytes_per_frame(res), "link model must match real packing");
+        assert_eq!(
+            bytes,
+            link.bytes_per_frame(res),
+            "link model must match real packing"
+        );
         // Decrypt spot-check.
         assert_eq!(cipher.decrypt(&ct)?, frame);
         println!(
@@ -56,8 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\nRISE sustains {:.1} QQVGA fps at max bandwidth (paper: 70);",
-        rise.frames_per_second(Resolution::Qqvga, MAX_5G_BPS));
+    println!(
+        "\nRISE sustains {:.1} QQVGA fps at max bandwidth (paper: 70);",
+        rise.frames_per_second(Resolution::Qqvga, MAX_5G_BPS)
+    );
     println!(
         "at minimum bandwidth RISE cannot ship one VGA frame per second ({:.2} fps) while",
         rise.frames_per_second(Resolution::Vga, MIN_5G_BPS)

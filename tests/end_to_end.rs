@@ -17,18 +17,28 @@ use rand::SeedableRng;
 fn three_implementations_agree() {
     for params in [PastaParams::pasta4_17bit(), PastaParams::pasta3_17bit()] {
         let key = SecretKey::from_seed(&params, b"tri");
-        let message: Vec<u64> = (0..params.t() as u64).map(|i| (i * 31 + 7) % 65_537).collect();
+        let message: Vec<u64> = (0..params.t() as u64)
+            .map(|i| (i * 31 + 7) % 65_537)
+            .collect();
         let nonce = 0x0123_4567_89AB_CDEF;
 
-        let sw = PastaCipher::new(params, key.clone()).encrypt(nonce, &message).unwrap();
+        let sw = PastaCipher::new(params, key.clone())
+            .encrypt(nonce, &message)
+            .unwrap();
         let hw = PastaProcessor::new(params)
             .encrypt_block(&key, nonce, 0, &message)
             .unwrap()
             .ciphertext
             .unwrap();
-        let soc = encrypt_on_soc(params, &key, nonce, &message).unwrap().ciphertext;
+        let soc = encrypt_on_soc(params, &key, nonce, &message)
+            .unwrap()
+            .ciphertext;
 
-        assert_eq!(sw.elements(), &hw[..], "software vs hardware model ({params})");
+        assert_eq!(
+            sw.elements(),
+            &hw[..],
+            "software vs hardware model ({params})"
+        );
         assert_eq!(sw.elements(), &soc[..], "software vs SoC ({params})");
     }
 }
@@ -43,7 +53,10 @@ fn agreement_across_nonces_and_blocks() {
     for nonce in [0u128, 1, u128::MAX, 0xDEAD_BEEF_CAFE] {
         for counter in [0u64, 1, 99] {
             let sw = cipher.keystream_block(nonce, counter).unwrap();
-            let hw = proc.keystream_block(&key, nonce, counter).unwrap().keystream;
+            let hw = proc
+                .keystream_block(&key, nonce, counter)
+                .unwrap()
+                .keystream;
             assert_eq!(sw, hw, "nonce={nonce:x} counter={counter}");
         }
     }
@@ -135,6 +148,10 @@ fn provisioned_key_is_faithful() {
     let fhe_pk = ctx.generate_public_key(&fhe_sk, &mut rng);
     let client = HheClient::new(params, b"faithful");
     let ek = client.provision_key(&ctx, &fhe_pk, &mut rng);
-    let decrypted: Vec<u64> = ek.elements.iter().map(|c| ctx.decrypt(&fhe_sk, c).scalar()).collect();
+    let decrypted: Vec<u64> = ek
+        .elements
+        .iter()
+        .map(|c| ctx.decrypt(&fhe_sk, c).scalar())
+        .collect();
     assert_eq!(decrypted, client.cipher().key().elements());
 }

@@ -63,7 +63,11 @@ fn fault_detection_blocks_corrupted_keystream() {
     let params = PastaParams::pasta4_17bit();
     let key = SecretKey::from_seed(&params, b"ext-fault");
     let fault = FaultSpec {
-        target: FaultTarget::RoundConstant { layer: 4, left: true, index: 0 },
+        target: FaultTarget::RoundConstant {
+            layer: 4,
+            left: true,
+            index: 0,
+        },
         mask: 0x3,
     };
     // Unprotected: the corrupted keystream leaks (exactly what SASTA
@@ -89,7 +93,9 @@ fn fault_detection_blocks_corrupted_keystream() {
     )
     .unwrap();
     assert_eq!(stopped, None);
-    let overhead = Countermeasure::FullTemporalRedundancy.overhead_factor(&params, &key).unwrap();
+    let overhead = Countermeasure::FullTemporalRedundancy
+        .overhead_factor(&params, &key)
+        .unwrap();
     assert!(overhead < 2.1);
 }
 
@@ -104,7 +110,10 @@ fn keystream_seek_matches_hardware_blocks() {
     for counter in [0u64, 3, 17] {
         ks.seek(counter * 32);
         let streamed = ks.take_elements(32).unwrap();
-        let hw = proc.keystream_block(&key, 0x5EEC, counter).unwrap().keystream;
+        let hw = proc
+            .keystream_block(&key, 0x5EEC, counter)
+            .unwrap()
+            .keystream;
         assert_eq!(streamed, hw, "counter {counter}");
     }
 }
@@ -120,7 +129,10 @@ fn streaming_throughput_improvement() {
     let proc = PastaProcessor::new(params);
     let serial = proc.encrypt_stream(&key, 2, &frame, false).unwrap();
     let overlapped = proc.encrypt_stream(&key, 2, &frame, true).unwrap();
-    assert_eq!(serial.ciphertext, cipher.encrypt(2, &frame).unwrap().elements());
+    assert_eq!(
+        serial.ciphertext,
+        cipher.encrypt(2, &frame).unwrap().elements()
+    );
     let gain = 1.0 - overlapped.total_cycles as f64 / serial.total_cycles as f64;
     assert!(gain > 0.01 && gain < 0.10, "streaming gain {gain:.3}");
 }

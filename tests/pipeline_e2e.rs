@@ -38,7 +38,11 @@ fn lossy_faulty_session_transciphers_exactly() {
             frame_id: 1,
             counter: 0,
             fault: FaultSpec {
-                target: FaultTarget::MatrixSeed { layer: 0, left: true, index: 2 },
+                target: FaultTarget::MatrixSeed {
+                    layer: 0,
+                    left: true,
+                    index: 2,
+                },
                 mask: 0x5B,
             },
         }],
@@ -83,12 +87,19 @@ fn noise_guard_names_the_fix() {
         frames: 1,
         pixels_override: Some(4),
         mtu: 256,
-        bfv: Some(BfvParams { prime_count: 2, ..BfvParams::test_tiny() }),
+        bfv: Some(BfvParams {
+            prime_count: 2,
+            ..BfvParams::test_tiny()
+        }),
         ..SessionConfig::default()
     };
     let err = run_session(&cfg).unwrap_err();
     match &err {
-        PipelineError::NoiseBudget { prime_count, suggested_prime_count, .. } => {
+        PipelineError::NoiseBudget {
+            prime_count,
+            suggested_prime_count,
+            ..
+        } => {
             assert_eq!(*prime_count, 2);
             assert!(*suggested_prime_count > 2);
             let msg = err.to_string();
@@ -110,12 +121,19 @@ fn slow_link_degrades_but_stays_exact() {
         resolution: pasta_edge::hhe::link::Resolution::Qvga,
         frames: 5,
         target_fps: 20.0,
-        channel: ChannelConfig { bandwidth_bps: 1.0e6, seed: 13, ..ChannelConfig::default() },
+        channel: ChannelConfig {
+            bandwidth_bps: 1.0e6,
+            seed: 13,
+            ..ChannelConfig::default()
+        },
         ..SessionConfig::default()
     };
     let report = run_session(&cfg).unwrap();
     assert!(!report.downshifts.is_empty(), "{report:?}");
-    assert_eq!(report.final_resolution, pasta_edge::hhe::link::Resolution::Qqvga);
+    assert_eq!(
+        report.final_resolution,
+        pasta_edge::hhe::link::Resolution::Qqvga
+    );
     assert_eq!(report.verify_failures, 0);
     assert!(report.frames_delivered > 0);
 }

@@ -18,7 +18,9 @@ const NONCE: u128 = 0x0123_4567_89AB_CDEF;
 fn counting_key(params: &PastaParams) -> SecretKey {
     SecretKey::from_elements(
         params,
-        (0..params.state_size() as u64).map(|i| i % 65_537).collect(),
+        (0..params.state_size() as u64)
+            .map(|i| i % 65_537)
+            .collect(),
     )
     .expect("valid key")
 }
@@ -30,7 +32,9 @@ const PASTA3_N1C1_HEAD: [u64; 8] = [15_874, 5_704, 3_302, 29_640, 43_173, 22_772
 /// PASTA-4, counting key, nonce 0x0123456789ABCDEF, counter 0.
 const PASTA4_KS_HEAD: [u64; 8] = [4_847, 32_942, 43_396, 45_974, 9_804, 62_350, 56_452, 29_035];
 /// PASTA-4, same key, nonce 1, counter 1.
-const PASTA4_N1C1_HEAD: [u64; 8] = [38_424, 40_071, 42_648, 26_710, 14_826, 44_199, 32_938, 35_461];
+const PASTA4_N1C1_HEAD: [u64; 8] = [
+    38_424, 40_071, 42_648, 26_710, 14_826, 44_199, 32_938, 35_461,
+];
 /// Head of the key derived from seed "kat-seed" (SHAKE256 expansion).
 const SEED_KEY_HEAD: [u64; 8] = [48_676, 19_551, 38_661, 17_600, 3_002, 28_620, 6_455, 20_526];
 
@@ -38,20 +42,34 @@ const SEED_KEY_HEAD: [u64; 8] = [48_676, 19_551, 38_661, 17_600, 3_002, 28_620, 
 fn software_keystream_vectors() {
     let p3 = PastaParams::pasta3_17bit();
     let k3 = counting_key(&p3);
-    assert_eq!(permute(&p3, k3.elements(), NONCE, 0).unwrap()[..8], PASTA3_KS_HEAD);
-    assert_eq!(permute(&p3, k3.elements(), 1, 1).unwrap()[..8], PASTA3_N1C1_HEAD);
+    assert_eq!(
+        permute(&p3, k3.elements(), NONCE, 0).unwrap()[..8],
+        PASTA3_KS_HEAD
+    );
+    assert_eq!(
+        permute(&p3, k3.elements(), 1, 1).unwrap()[..8],
+        PASTA3_N1C1_HEAD
+    );
 
     let p4 = PastaParams::pasta4_17bit();
     let k4 = counting_key(&p4);
-    assert_eq!(permute(&p4, k4.elements(), NONCE, 0).unwrap()[..8], PASTA4_KS_HEAD);
-    assert_eq!(permute(&p4, k4.elements(), 1, 1).unwrap()[..8], PASTA4_N1C1_HEAD);
+    assert_eq!(
+        permute(&p4, k4.elements(), NONCE, 0).unwrap()[..8],
+        PASTA4_KS_HEAD
+    );
+    assert_eq!(
+        permute(&p4, k4.elements(), 1, 1).unwrap()[..8],
+        PASTA4_N1C1_HEAD
+    );
 }
 
 #[test]
 fn hardware_model_matches_vectors() {
     let p4 = PastaParams::pasta4_17bit();
     let k4 = counting_key(&p4);
-    let hw = PastaProcessor::new(p4).keystream_block(&k4, NONCE, 0).unwrap();
+    let hw = PastaProcessor::new(p4)
+        .keystream_block(&k4, NONCE, 0)
+        .unwrap();
     assert_eq!(hw.keystream[..8], PASTA4_KS_HEAD);
 }
 

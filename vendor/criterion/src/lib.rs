@@ -29,18 +29,24 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter` form.
     pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// Parameter-only form.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(label: &str) -> Self {
-        BenchmarkId { label: label.to_string() }
+        BenchmarkId {
+            label: label.to_string(),
+        }
     }
 }
 
@@ -101,7 +107,9 @@ fn report(path: &str, bencher: &Bencher, throughput: Option<Throughput>) {
     let mut line = format!("{path:<48} time: {:>12}", human_time(bencher.ns_per_iter));
     if let Some(tp) = throughput {
         let per_second = match tp {
-            Throughput::Elements(n) => format!("{:.2e} elem/s", n as f64 * 1e9 / bencher.ns_per_iter),
+            Throughput::Elements(n) => {
+                format!("{:.2e} elem/s", n as f64 * 1e9 / bencher.ns_per_iter)
+            }
             Throughput::Bytes(n) => format!("{:.2e} B/s", n as f64 * 1e9 / bencher.ns_per_iter),
         };
         line.push_str(&format!("  thrpt: {per_second}"));
@@ -126,7 +134,11 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _criterion: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 }
 

@@ -117,20 +117,29 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(exact: usize) -> Self {
-            SizeRange { min: exact, max_exclusive: exact + 1 }
+            SizeRange {
+                min: exact,
+                max_exclusive: exact + 1,
+            }
         }
     }
 
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec size range");
-            SizeRange { min: r.start, max_exclusive: r.end }
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
         }
     }
 
@@ -151,7 +160,10 @@ pub mod collection {
 
     /// Vector strategy: `size` is an exact `usize` or a `usize` range.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
