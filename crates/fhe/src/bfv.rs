@@ -11,6 +11,7 @@
 //! DESIGN.md.
 
 use crate::bigint::UBig;
+use crate::ntt::galois_slot_permutation;
 use crate::ring::{generate_ntt_primes, RnsBasis, RnsPoly};
 use pasta_math::{MathError, Modulus, Zp};
 use rand::Rng;
@@ -765,7 +766,87 @@ impl BfvContext {
                 .sub(&self.basis, &a.mul(&self.basis, &sk.s).add(&self.basis, &e));
             components.push((b, a));
         }
-        Ok(BfvGaloisKey { g, components })
+        Ok(BfvGaloisKey {
+            g,
+            components,
+            ntt_perm: galois_slot_permutation(self.params.n, g % (2 * self.params.n)),
+        })
+    }
+
+    /// Decomposes a 2-component ciphertext into its hoisted form: the
+    /// RNS digits of `c1` are extracted and forward-transformed **once**,
+    /// so any number of subsequent [`BfvContext::apply_galois_hoisted`]
+    /// calls skip the decompose + NTT work entirely (Halevi–Shoup
+    /// hoisting). Use when rotating the same ciphertext by several
+    /// Galois elements — e.g. the baby steps of a BSGS matrix–vector
+    /// product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::Incompatible`] for a 3-component input
+    /// (relinearize first).
+    pub fn hoist(&self, ct: &Ciphertext) -> Result<HoistedCiphertext, FheError> {
+        if ct.polys.len() != 2 {
+            return Err(FheError::Incompatible("hoist needs 2 components".into()));
+        }
+        let mut c0 = ct.polys[0].clone();
+        let mut c1 = ct.polys[1].clone();
+        c0.to_ntt(&self.basis);
+        c1.to_coeff(&self.basis);
+        let digits = (0..self.basis.len())
+            .map(|j| {
+                let mut d = RnsPoly::from_u64_coeffs(&self.basis, c1.row(j));
+                d.to_ntt(&self.basis);
+                d
+            })
+            .collect();
+        Ok(HoistedCiphertext { c0, digits })
+    }
+
+    /// Applies the automorphism `X ↦ X^g` to a hoisted ciphertext:
+    /// an O(kN) slot permutation of the cached digits plus the fused
+    /// multiply–accumulate against the key — no per-rotation NTTs.
+    ///
+    /// The result is returned in **NTT domain** (rotations are almost
+    /// always followed by plaintext multiplications; call
+    /// [`BfvContext::to_coeff_ct`] if coefficients are needed). It
+    /// decrypts identically to [`BfvContext::apply_galois`] on the
+    /// original ciphertext — the digit decomposition is taken before
+    /// rather than after σ, which changes the digit vectors but not the
+    /// value `Σ_j σ(d_j)·γ_j ≡ σ(c1) (mod q)` they represent, and the
+    /// key-switch noise `Σ_j σ(d_j)·e_j` has the same per-digit bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::Incompatible`] if the key was generated by a
+    /// context with a different digit count.
+    pub fn apply_galois_hoisted(
+        &self,
+        hoisted: &HoistedCiphertext,
+        gk: &BfvGaloisKey,
+    ) -> Result<Ciphertext, FheError> {
+        if gk.components.len() != self.basis.len() || gk.ntt_perm.len() != self.params.n {
+            return Err(FheError::Incompatible(
+                "Galois key shape does not match context".into(),
+            ));
+        }
+        let mut out0 = hoisted.c0.permute_slots(&self.basis, &gk.ntt_perm);
+        let mut out1: Option<RnsPoly> = None;
+        for (d, (b, a)) in hoisted.digits.iter().zip(gk.components.iter()) {
+            let sigma_d = d.permute_slots(&self.basis, &gk.ntt_perm);
+            out0.add_mul_assign(&self.basis, &sigma_d, b);
+            out1 = Some(match out1 {
+                None => sigma_d.mul(&self.basis, a),
+                Some(mut acc) => {
+                    acc.add_mul_assign(&self.basis, &sigma_d, a);
+                    acc
+                }
+            });
+        }
+        let out1 = out1.expect("basis has at least one prime");
+        Ok(Ciphertext {
+            polys: vec![out0, out1],
+        })
     }
 
     /// Applies the automorphism `X ↦ X^g` homomorphically: the result
@@ -931,11 +1012,18 @@ pub struct BfvRelinKey {
     components: Vec<(RnsPoly, RnsPoly)>,
 }
 
-/// A Galois key for the automorphism `X ↦ X^g` (slot permutations).
+/// A Galois key for the automorphism `X ↦ X^g` (slot permutations),
+/// stored NTT-prepared: the `(b_j, a_j)` pairs live in NTT domain and
+/// the slot permutation realizing σ_g on NTT-domain polynomials is
+/// precomputed at key generation, so both the classic and the hoisted
+/// rotation paths touch no transform tables per application.
 #[derive(Debug, Clone)]
 pub struct BfvGaloisKey {
     g: usize,
     components: Vec<(RnsPoly, RnsPoly)>,
+    /// `NTT(σ_g(a))[i] = NTT(a)[ntt_perm[i]]` (see
+    /// [`galois_slot_permutation`]).
+    ntt_perm: Vec<usize>,
 }
 
 impl BfvGaloisKey {
@@ -944,6 +1032,26 @@ impl BfvGaloisKey {
     pub fn galois_element(&self) -> usize {
         self.g
     }
+
+    /// The precomputed NTT-domain slot permutation for σ_g.
+    #[must_use]
+    pub fn ntt_permutation(&self) -> &[usize] {
+        &self.ntt_perm
+    }
+}
+
+/// A ciphertext pre-decomposed for repeated rotation (see
+/// [`BfvContext::hoist`]): `c0` and the RNS key-switching digits of
+/// `c1`, all in NTT domain. Producing one costs the same as the
+/// decomposition inside a single [`BfvContext::apply_galois`]; every
+/// rotation applied to it afterwards is transform-free.
+#[derive(Debug, Clone)]
+pub struct HoistedCiphertext {
+    /// `c0` in NTT domain.
+    c0: RnsPoly,
+    /// Digit `j` of `c1` (the residue row lifted to all primes),
+    /// forward-transformed.
+    digits: Vec<RnsPoly>,
 }
 
 /// A BFV ciphertext (2 components; 3 transiently after multiplication).

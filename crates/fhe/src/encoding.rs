@@ -10,8 +10,13 @@
 //!
 //! Encoding is the inverse negacyclic NTT over `Z_t`; decoding is the
 //! forward transform. The slot order is the transform's internal
-//! (bit-reverse-twisted) order — consistent between encode and decode,
-//! which is all SIMD use requires (we do not implement Galois rotations).
+//! (bit-reverse-twisted) order — consistent between encode and decode.
+//! Galois rotations are implemented and load-bearing: homomorphic
+//! `X ↦ X^g` automorphisms ([`crate::bfv::BfvContext::apply_galois`],
+//! and the hoisted form behind [`crate::bfv::BfvContext::hoist`])
+//! permute these slots, and the packed HHE evaluator drives its whole
+//! affine layer through them; [`BatchEncoder::automorphism_permutation`]
+//! exposes the induced slot map.
 
 use crate::bfv::Plaintext;
 use crate::ntt::NttTable;

@@ -172,6 +172,82 @@ fn sum_slots_totals_everything() {
 }
 
 #[test]
+fn hoisted_rotation_decrypts_identically_and_shares_one_decomposition() {
+    // One hoist, many rotations: every hoisted rotation must decrypt to
+    // exactly the plaintext the unhoisted key-switch produces, and the
+    // noise budget must stay comparable.
+    let (ctx, sk, pk, mut rng) = setup();
+    let enc = BatchEncoder::new(Modulus::PASTA_17_BIT, ctx.params().n).unwrap();
+    let slots: Vec<u64> = (0..256u64).map(|i| (i * 991 + 7) % 65_537).collect();
+    let ct = ctx.encrypt(&pk, &enc.encode(&slots), &mut rng);
+    let hoisted = ctx.hoist(&ct).unwrap();
+    for g in [3usize, 9, 27, 511] {
+        let gk = ctx.generate_galois_key(&sk, g, &mut rng).unwrap();
+        let classic = ctx.apply_galois(&ct, &gk).unwrap();
+        let mut fast = ctx.apply_galois_hoisted(&hoisted, &gk).unwrap();
+        ctx.to_coeff_ct(&mut fast);
+        assert_eq!(
+            ctx.decrypt(&sk, &fast),
+            ctx.decrypt(&sk, &classic),
+            "g = {g}"
+        );
+        let (bf, bc) = (
+            ctx.noise_budget(&sk, &fast),
+            ctx.noise_budget(&sk, &classic),
+        );
+        assert!(
+            bf + 2 >= bc,
+            "hoisted budget {bf} must not trail classic {bc}"
+        );
+    }
+    // The hoisted form rejects what apply_galois rejects.
+    let a = ctx.encrypt(&pk, &ctx.encode_scalar(1), &mut rng);
+    let three = ctx.mul(&a, &a).unwrap();
+    assert!(ctx.hoist(&three).is_err(), "3-component input rejected");
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn prop_automorphism_composition(
+        coeffs in proptest::collection::vec(0u64..65_537, 256),
+        gi in 0usize..256,
+        hi in 0usize..256,
+    ) {
+        // σ_h ∘ σ_g = σ_{g·h mod 2N} for arbitrary odd Galois elements.
+        let (ctx, _, _, _) = setup();
+        let basis = ctx.basis();
+        let n = ctx.params().n;
+        let (g, h) = (2 * gi + 1, 2 * hi + 1);
+        let a = RnsPoly::from_u64_coeffs(basis, &coeffs);
+        let lhs = a.automorphism(basis, g).automorphism(basis, h);
+        let rhs = a.automorphism(basis, (g * h) % (2 * n));
+        proptest::prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn prop_hoisted_rotation_decrypts_like_unhoisted(
+        slots in proptest::collection::vec(0u64..65_537, 256),
+        gi in 0usize..256,
+    ) {
+        let (ctx, sk, pk, mut rng) = setup();
+        let enc = BatchEncoder::new(Modulus::PASTA_17_BIT, ctx.params().n).unwrap();
+        let g = 2 * gi + 1;
+        let gk = ctx.generate_galois_key(&sk, g, &mut rng).unwrap();
+        let ct = ctx.encrypt(&pk, &enc.encode(&slots), &mut rng);
+        let mut fast = ctx
+            .apply_galois_hoisted(&ctx.hoist(&ct).unwrap(), &gk)
+            .unwrap();
+        ctx.to_coeff_ct(&mut fast);
+        proptest::prop_assert_eq!(
+            ctx.decrypt(&sk, &fast),
+            ctx.decrypt(&sk, &ctx.apply_galois(&ct, &gk).unwrap())
+        );
+    }
+}
+
+#[test]
 fn rotate_and_sum_all_slots() {
     // The classic rotations application: summing across slots by
     // repeated rotate-and-add (log N steps along the g = 3 orbit plus the

@@ -49,7 +49,7 @@ pub mod ring;
 
 pub use bfv::{
     BfvContext, BfvGaloisKey, BfvParams, BfvPublicKey, BfvRelinKey, BfvSecretKey, Ciphertext,
-    FheError, Plaintext, PreparedPlaintext,
+    FheError, HoistedCiphertext, Plaintext, PreparedPlaintext,
 };
 pub use encoding::BatchEncoder;
 pub use noise::{suggest_bfv_params, NoiseModel};

@@ -273,6 +273,35 @@ fn bit_reverse(x: u32, bits: u32) -> u32 {
     x.reverse_bits() >> (32 - bits)
 }
 
+/// Slot permutation realizing the Galois automorphism `σ_g: X ↦ X^g`
+/// directly in the NTT domain: `NTT(σ_g(a))[i] = NTT(a)[perm[i]]`.
+///
+/// The forward transform above (Cooley–Tukey with `ψ^bitrev` twiddles)
+/// leaves slot `i` holding the evaluation `A(ψ^{e_i})` with
+/// `e_i = 2·bitrev(i) + 1`. Since `σ_g(A)(ψ^e) = A(ψ^{e·g mod 2N})` and
+/// odd exponents stay odd under multiplication by odd `g`, the
+/// automorphism is a pure slot permutation — no sign corrections — and
+/// an N-rotation batch can skip the inverse/forward transform pair
+/// entirely (Halevi–Shoup hoisting).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two ≥ 2 or `g` is even.
+#[must_use]
+pub fn galois_slot_permutation(n: usize, g: usize) -> Vec<usize> {
+    assert!(n.is_power_of_two() && n >= 2, "ring degree must be 2^k");
+    assert!(g % 2 == 1, "Galois element must be odd");
+    let log_n = n.trailing_zeros();
+    let two_n = 2 * n;
+    (0..n)
+        .map(|i| {
+            let e = 2 * bit_reverse(i as u32, log_n) as usize + 1;
+            let eg = (e * (g % two_n)) % two_n;
+            bit_reverse(((eg - 1) / 2) as u32, log_n) as usize
+        })
+        .collect()
+}
+
 /// Schoolbook negacyclic multiplication (reference for tests and for
 /// rings whose modulus lacks NTT structure).
 #[must_use]
@@ -416,6 +445,63 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Coefficient-domain reference automorphism: `X^j ↦ ±X^{jg mod N}`
+    /// with a sign flip on negacyclic wraparound.
+    fn automorphism_ref(zp: &Zp, a: &[u64], g: usize) -> Vec<u64> {
+        let n = a.len();
+        let mut out = vec![0u64; n];
+        for (j, &c) in a.iter().enumerate() {
+            let e = (j * g) % (2 * n);
+            if e < n {
+                out[e] = zp.add(out[e], c);
+            } else {
+                out[e - n] = zp.sub(out[e - n], c);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn galois_slot_permutation_matches_coefficient_automorphism() {
+        for n in [4usize, 16, 64, 256] {
+            let t = table(n);
+            let p = t.zp().p();
+            let a: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0xD134_2543_DE82_EF95) % p)
+                .collect();
+            let mut ntt_a = a.clone();
+            t.forward(&mut ntt_a);
+            for g in [3usize, 5, 9, 2 * n - 1, (3usize.pow(7)) % (2 * n) | 1] {
+                let perm = galois_slot_permutation(n, g);
+                // Bijection check.
+                let mut seen = vec![false; n];
+                for &s in &perm {
+                    assert!(!seen[s], "duplicate image n={n} g={g}");
+                    seen[s] = true;
+                }
+                let mut expect = automorphism_ref(t.zp(), &a, g);
+                t.forward(&mut expect);
+                let permuted: Vec<u64> = perm.iter().map(|&s| ntt_a[s]).collect();
+                assert_eq!(permuted, expect, "n={n} g={g}");
+            }
+        }
+    }
+
+    #[test]
+    fn galois_slot_permutation_identity_and_composition() {
+        let n = 32;
+        let id = galois_slot_permutation(n, 1);
+        assert_eq!(id, (0..n).collect::<Vec<_>>());
+        // perm(g) ∘ perm(h) = perm(g·h mod 2N): composing table lookups
+        // in the order `permute by h, then by g` matches the product.
+        let (g, h) = (3usize, 5usize);
+        let pg = galois_slot_permutation(n, g);
+        let ph = galois_slot_permutation(n, h);
+        let pgh = galois_slot_permutation(n, (g * h) % (2 * n));
+        let composed: Vec<usize> = (0..n).map(|i| ph[pg[i]]).collect();
+        assert_eq!(composed, pgh);
     }
 
     #[test]

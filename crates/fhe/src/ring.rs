@@ -563,6 +563,33 @@ impl RnsPoly {
         out
     }
 
+    /// Applies a precomputed Galois slot permutation in the NTT domain:
+    /// `out.row(i)[j] = self.row(i)[perm[j]]` for every prime row.
+    ///
+    /// With `perm = galois_slot_permutation(N, g)` this computes
+    /// `NTT(σ_g(a))` from `NTT(a)` in O(kN) table lookups — no
+    /// transforms and no sign flips (odd ψ-exponents stay odd under
+    /// `X ↦ X^g`). This is the per-rotation cost of a hoisted
+    /// automorphism.
+    ///
+    /// # Panics
+    ///
+    /// Panics in coefficient domain or if `perm.len() != N`.
+    #[must_use]
+    pub fn permute_slots(&self, basis: &RnsBasis, perm: &[usize]) -> RnsPoly {
+        assert!(self.is_ntt, "slot permutation requires NTT domain");
+        assert_eq!(perm.len(), basis.n(), "permutation length mismatch");
+        let coeffs = self
+            .coeffs
+            .iter()
+            .map(|row| perm.iter().map(|&s| row[s]).collect())
+            .collect();
+        RnsPoly {
+            coeffs,
+            is_ntt: true,
+        }
+    }
+
     /// CRT-reconstructs all coefficients (input must be in coefficient
     /// domain) into `[0, q)` big integers.
     ///

@@ -23,6 +23,13 @@
 //! Per-ciphertext work rises (full `N log N` plaintext multiplications
 //! instead of scalar ones) but is amortized over `N` blocks — the
 //! throughput play of the original software, reproduced here.
+//!
+//! Unlike [`crate::packed`], this layout is *rotation-free*: state
+//! position `(i)` lives in its own ciphertext and slots only ever meet
+//! slot-wise, so there are no Galois key-switches for the hoisted-BSGS
+//! optimization to save, and no rotation keys to provision at all. The
+//! baby-step/giant-step machinery therefore applies only to the packed
+//! (position-in-lane) mode.
 
 use crate::cache::{BatchKey, BatchedEntry, BatchedHalf, BatchedLayer, BlockEntry, MaterialCache};
 use crate::client::EncryptedPastaKey;

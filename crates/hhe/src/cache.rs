@@ -22,9 +22,10 @@
 //!   [`PreparedPlaintext`] weights and `t` round-constant plaintexts for
 //!   the slot-parallel server, keyed additionally by the [`BfvParams`]
 //!   and the `(first_counter, blocks)` window.
-//! - **packed** — [`PackedEntry`]: the `2t` diagonal plaintexts (and the
-//!   concatenated round constant) per layer for the rotation-based
-//!   server.
+//! - **packed** — [`PackedEntry`]: the per-layer diagonal plaintexts
+//!   (naive per-diagonal, or plaintext-pre-rotated into baby-step/
+//!   giant-step groups — see [`PackedStrategy`]) and the concatenated
+//!   round constant for the rotation-based server.
 //!
 //! Invalidation rules: entries never go stale — the material is a
 //! deterministic function of its key, so the only eviction is LRU
@@ -75,6 +76,21 @@ pub struct BatchKey {
     pub blocks: usize,
 }
 
+/// How the packed server groups the affine-layer diagonals (the choice
+/// changes what plaintext material must be prepared, so it is part of
+/// the cache key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PackedStrategy {
+    /// One key-switch per nonzero diagonal: `2t − 1` rotations per
+    /// affine layer. The pre-BSGS reference path.
+    Naive,
+    /// Hoisted baby-step/giant-step grouping: `⌈√(2t)⌉ − 1` hoisted baby
+    /// rotations shared from one decomposition plus `⌈2t/⌈√(2t)⌉⌉ − 1`
+    /// giant rotations — O(√t) key-switches per layer.
+    #[default]
+    Bsgs,
+}
+
 /// Cache key for one packed (rotation-mode) block of prepared diagonals.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackedKey {
@@ -86,6 +102,8 @@ pub struct PackedKey {
     pub nonce: u128,
     /// Block counter.
     pub counter: u64,
+    /// The diagonal grouping the material was prepared for.
+    pub strategy: PackedStrategy,
 }
 
 /// The two materialized matrices of one affine layer.
@@ -159,13 +177,43 @@ pub struct BatchedEntry {
     pub layers: Vec<BatchedLayer>,
 }
 
-/// One packed affine layer: the nonzero diagonals of the block-diagonal
+/// One baby-step/giant-step group: every diagonal `k = shift + b` of
+/// the layer matrix, pre-rotated *in plaintext* by the group's giant
+/// shift so the homomorphic side applies one rotation for the whole
+/// group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BsgsGroup {
+    /// The giant rotation amount `g·B` applied once after the group's
+    /// multiply–accumulate.
+    pub shift: usize,
+    /// `diagonals[b]` is diagonal `shift + b` of the layer matrix,
+    /// lane-encoded at offset `shift` (the plaintext pre-rotation);
+    /// `None` marks an all-zero or out-of-range diagonal.
+    pub diagonals: Vec<Option<PreparedPlaintext>>,
+}
+
+/// The prepared affine-layer operands, shaped per [`PackedStrategy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackedAffine {
+    /// `diagonals[k]` for rotation amount `k ∈ 0..2t`; `None` marks an
+    /// all-zero diagonal (the evaluation skips the rotation entirely).
+    Naive(Vec<Option<PreparedPlaintext>>),
+    /// Giant-step groups over hoisted baby rotations.
+    Bsgs {
+        /// Baby-step count `B` (rotations `0..B` of the input are
+        /// produced from one hoisted decomposition).
+        baby_count: usize,
+        /// One group per giant step `g`, in ascending `g` order.
+        groups: Vec<BsgsGroup>,
+    },
+}
+
+/// One packed affine layer: the grouped diagonals of the block-diagonal
 /// matrix `diag(M_L, M_R)` plus the concatenated round constant.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackedLayer {
-    /// `diagonals[k]` for rotation amount `k ∈ 0..2t`; `None` marks an
-    /// all-zero diagonal (the evaluation skips the rotation entirely).
-    pub diagonals: Vec<Option<PreparedPlaintext>>,
+    /// The prepared diagonal operands.
+    pub affine: PackedAffine,
     /// `rc_left ‖ rc_right` encoded into lanes `0..2t`, prepared.
     pub rc: PreparedPlaintext,
 }

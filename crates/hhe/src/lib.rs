@@ -56,8 +56,8 @@ pub mod packed;
 pub mod server;
 
 pub use batched::{provision_batched_key, BatchedHheServer};
-pub use cache::MaterialCache;
+pub use cache::{MaterialCache, PackedStrategy};
 pub use client::{EncryptedPastaKey, HheClient};
 pub use link::{figure8, Fig8Point, PastaLink, Resolution, RiseReference};
-pub use packed::PackedHheServer;
+pub use packed::{required_shifts, BsgsPlan, PackedHheServer};
 pub use server::HheServer;

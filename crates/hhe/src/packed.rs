@@ -10,26 +10,51 @@
 //!   element `g = 3` on the batching slots, so `σ_{3^k}` acts as a
 //!   cyclic lane shift by `k`;
 //! - a matrix–vector product becomes the **diagonal method**:
-//!   `M·v = Σ_k diag_k ⊙ rot_k(v)` — `2t` plaintext multiplications and
-//!   `2t − 1` rotations per affine layer (vs `(2t)²` scalar
-//!   multiplications in scalar mode);
+//!   `M·v = Σ_k diag_k ⊙ rot_k(v)` — `2t` plaintext multiplications per
+//!   affine layer (vs `(2t)²` scalar multiplications in scalar mode);
 //! - Mix and the Feistel shift are lane rotations against a maintained
 //!   *duplicate* copy of the state at lanes `2t..4t`;
 //! - the Feistel S-box masks lane 0 with an indicator plaintext.
 //!
+//! The rotations are where the server time goes, and the default
+//! [`PackedStrategy::Bsgs`] evaluation restructures them twice over:
+//!
+//! - **baby-step/giant-step**: writing `k = g·B + b` with
+//!   `B = ⌈√(2t)⌉`, `M·v = Σ_g rot_{gB}(Σ_b E_{g,b} ⊙ rot_b(dup))`
+//!   where `E_{g,b}` is diagonal `gB + b` pre-rotated *in plaintext* by
+//!   `gB` (prepared once per block in [`MaterialCache`]) — so a layer
+//!   needs `B − 1` baby plus `⌈2t/B⌉ − 1` giant rotations, O(√t)
+//!   key-switches instead of `2t − 1`;
+//! - **hoisting**: the baby rotations all act on the *same* input, so
+//!   its key-switch digit decomposition and forward NTTs are computed
+//!   once ([`BfvContext::hoist`]) and each baby rotation degenerates to
+//!   a slot permutation plus multiply–accumulate
+//!   ([`BfvContext::apply_galois_hoisted`]).
+//!
+//! [`PackedStrategy::Naive`] keeps the one-rotation-per-diagonal path as
+//! the reference (and benchmark baseline); both strategies produce
+//! ciphertexts that decrypt identically, and each is bit-deterministic
+//! for any `PASTA_THREADS` and any cache state.
+//!
 //! Correctness leans on one invariant: after every affine layer the
 //! state is **masked** (zero outside lanes `0..2t`), so the garbage that
 //! rotations drag in from other lanes/orbits is always cleared before it
-//! can reach the output.
+//! can reach the output. The BSGS regrouping preserves it: `E_{g,b}` is
+//! zero outside lanes `gB..gB+2t`, so each group's term is zero outside
+//! lanes `0..2t` after its giant rotation.
 
-use crate::cache::{MaterialCache, PackedEntry, PackedKey, PackedLayer};
+use crate::cache::{
+    BsgsGroup, MaterialCache, PackedAffine, PackedEntry, PackedKey, PackedLayer, PackedStrategy,
+};
 use crate::client::EncryptedPastaKey;
 use pasta_core::{Ciphertext as PastaCiphertext, PastaParams};
 use pasta_fhe::{
     BatchEncoder, BfvContext, BfvGaloisKey, BfvRelinKey, BfvSecretKey, Ciphertext as FheCiphertext,
     FheError, Plaintext, PreparedPlaintext,
 };
+use std::borrow::Cow;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The lane coordinate system: consecutive positions along the orbit of
@@ -93,6 +118,7 @@ impl LaneLayout {
 #[derive(Debug)]
 pub struct PackedHheServer {
     params: PastaParams,
+    strategy: PackedStrategy,
     relin_key: BfvRelinKey,
     rot_keys: HashMap<usize, BfvGaloisKey>,
     encrypted_key: FheCiphertext,
@@ -102,14 +128,76 @@ pub struct PackedHheServer {
     /// uses, NTT-prepared once at setup.
     masks: HashMap<(usize, usize), PreparedPlaintext>,
     cache: Arc<MaterialCache>,
+    /// Key-switches performed since construction (or the last
+    /// [`PackedHheServer::reset_key_switch_count`]) — every
+    /// [`BfvContext::apply_galois`] / hoisted rotation counts one.
+    key_switches: AtomicU64,
 }
 
-/// The Galois elements (`3^k mod 2N`) the packed evaluation needs for a
-/// block size `t` on an orbit of `orbit_len` lanes: shifts `1..2t` plus
-/// the duplicate-refresh shift `orbit_len − 2t`.
+/// The baby-step/giant-step split of a `2t`-diagonal matrix–vector
+/// product: diagonal `k = g·B + b` with `b < B` (baby, hoisted) and
+/// `g < G` (giant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BsgsPlan {
+    /// Diagonal count `2t`.
+    pub width: usize,
+    /// Baby-step count `B = ⌈√(2t)⌉`.
+    pub baby: usize,
+    /// Giant-step count `G = ⌈2t / B⌉`.
+    pub giant: usize,
+}
+
+impl BsgsPlan {
+    /// The plan for block size `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `t = 0`.
+    #[must_use]
+    pub fn new(t: usize) -> Self {
+        assert!(t > 0, "block size must be positive");
+        let width = 2 * t;
+        let mut baby = 1usize;
+        while baby * baby < width {
+            baby += 1;
+        }
+        BsgsPlan {
+            width,
+            baby,
+            giant: width.div_ceil(baby),
+        }
+    }
+
+    /// Worst-case key-switch count per affine layer under this plan:
+    /// `B − 1` hoisted baby rotations plus `G − 1` giant rotations
+    /// (rotation 0 of each kind is free).
+    #[must_use]
+    pub fn key_switches_per_layer(&self) -> usize {
+        (self.baby - 1) + (self.giant - 1)
+    }
+}
+
+/// The lane shifts (realized as Galois elements `3^k mod 2N`) the packed
+/// evaluation needs for block size `t` on an orbit of `orbit_len` lanes.
+///
+/// Every strategy needs the Mix shift `t`, the Feistel shift `2t − 1`
+/// and the duplicate-refresh shift `orbit_len − 2t`. On top of those,
+/// [`PackedStrategy::Naive`] needs every diagonal shift `1..2t`, while
+/// [`PackedStrategy::Bsgs`] needs only the baby shifts `1..B` and the
+/// giant shifts `{g·B : 0 < g < G}` — the provisioned rotation-key set
+/// shrinks from `2t` keys to O(√t).
 #[must_use]
-pub fn required_shifts(t: usize, orbit_len: usize) -> Vec<usize> {
-    let mut shifts: Vec<usize> = (1..2 * t).collect();
+pub fn required_shifts(t: usize, orbit_len: usize, strategy: PackedStrategy) -> Vec<usize> {
+    let mut shifts: Vec<usize> = match strategy {
+        PackedStrategy::Naive => (1..2 * t).collect(),
+        PackedStrategy::Bsgs => {
+            let plan = BsgsPlan::new(t);
+            (1..plan.baby.min(plan.width))
+                .chain((1..plan.giant).map(|g| g * plan.baby))
+                .chain([t, 2 * t - 1])
+                .collect()
+        }
+    };
     shifts.push(orbit_len - 2 * t);
     shifts.sort_unstable();
     shifts.dedup();
@@ -117,8 +205,9 @@ pub fn required_shifts(t: usize, orbit_len: usize) -> Vec<usize> {
 }
 
 impl PackedHheServer {
-    /// Sets up the packed server: provisions the packed key ciphertext
-    /// and generates the rotation key set.
+    /// Sets up the packed server with the default (BSGS) evaluation
+    /// strategy: provisions the packed key ciphertext and generates the
+    /// O(√t) rotation key set.
     ///
     /// # Errors
     ///
@@ -129,6 +218,34 @@ impl PackedHheServer {
         ctx: &BfvContext,
         fhe_sk: &BfvSecretKey,
         key_elements: &[u64],
+        rng: &mut R,
+    ) -> Result<Self, FheError> {
+        Self::new_with_strategy(
+            params,
+            ctx,
+            fhe_sk,
+            key_elements,
+            PackedStrategy::default(),
+            rng,
+        )
+    }
+
+    /// Sets up the packed server with an explicit affine-layer
+    /// evaluation strategy. The rotation-key set provisioned here is
+    /// exactly [`required_shifts`] for that strategy, so a
+    /// [`PackedStrategy::Naive`] server carries `2t` keys where a
+    /// [`PackedStrategy::Bsgs`] one carries O(√t).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::Incompatible`] if `4t` exceeds the lane orbit
+    /// (the duplicate would not fit), or propagates key errors.
+    pub fn new_with_strategy<R: rand::Rng>(
+        params: PastaParams,
+        ctx: &BfvContext,
+        fhe_sk: &BfvSecretKey,
+        key_elements: &[u64],
+        strategy: PackedStrategy,
         rng: &mut R,
     ) -> Result<Self, FheError> {
         let encoder = BatchEncoder::new(ctx.params().plain_modulus, ctx.params().n)
@@ -151,7 +268,7 @@ impl PackedHheServer {
         let encrypted_key = ctx.encrypt(&pk, &packed, rng);
         let two_n = 2 * ctx.params().n;
         let mut rot_keys = HashMap::new();
-        for k in required_shifts(t, layout.lanes()) {
+        for k in required_shifts(t, layout.lanes(), strategy) {
             let mut g = 1usize;
             for _ in 0..k {
                 g = (g * 3) % two_n;
@@ -168,6 +285,7 @@ impl PackedHheServer {
         }
         Ok(PackedHheServer {
             params,
+            strategy,
             relin_key,
             rot_keys,
             encrypted_key,
@@ -175,6 +293,7 @@ impl PackedHheServer {
             encoder,
             masks,
             cache: Arc::new(MaterialCache::new()),
+            key_switches: AtomicU64::new(0),
         })
     }
 
@@ -200,20 +319,46 @@ impl PackedHheServer {
         self.encrypted_key.size_bytes(ctx)
     }
 
-    fn rotate(
+    fn rot_key(&self, k: usize) -> Result<&BfvGaloisKey, FheError> {
+        self.rot_keys
+            .get(&k)
+            .ok_or_else(|| FheError::Incompatible(format!("no rotation key for shift {k}")))
+    }
+
+    /// Lane rotation by `k`. The identity rotation is free: it returns a
+    /// borrowed handle instead of cloning the `2·k·N` residue words of
+    /// the ciphertext, so `rot_0` call sites cost nothing.
+    fn rotate<'a>(
         &self,
         ctx: &BfvContext,
-        ct: &FheCiphertext,
+        ct: &'a FheCiphertext,
         k: usize,
-    ) -> Result<FheCiphertext, FheError> {
+    ) -> Result<Cow<'a, FheCiphertext>, FheError> {
         if k == 0 {
-            return Ok(ct.clone());
+            return Ok(Cow::Borrowed(ct));
         }
-        let key = self
-            .rot_keys
-            .get(&k)
-            .ok_or_else(|| FheError::Incompatible(format!("no rotation key for shift {k}")))?;
-        ctx.apply_galois(ct, key)
+        self.key_switches.fetch_add(1, Ordering::Relaxed);
+        ctx.apply_galois(ct, self.rot_key(k)?).map(Cow::Owned)
+    }
+
+    /// Key-switches (classic and hoisted rotations) performed since
+    /// construction or the last [`PackedHheServer::reset_key_switch_count`].
+    #[must_use]
+    pub fn key_switch_count(&self) -> u64 {
+        self.key_switches.load(Ordering::Relaxed)
+    }
+
+    /// Resets the key-switch counter (instrumentation for tests and
+    /// benches).
+    pub fn reset_key_switch_count(&self) {
+        self.key_switches.store(0, Ordering::Relaxed);
+    }
+
+    /// The affine-layer evaluation strategy this server was provisioned
+    /// for.
+    #[must_use]
+    pub fn strategy(&self) -> PackedStrategy {
+        self.strategy
     }
 
     /// Mask to lanes `from..range` (indicator plaintext, prepared at
@@ -233,10 +378,66 @@ impl PackedHheServer {
         ctx.mul_plain(ct, &pt)
     }
 
+    /// Prepares the diagonal operands of one affine layer for the given
+    /// strategy. `bd(row, col)` is the `2t × 2t` layer matrix.
+    ///
+    /// Diagonal `k` is `diag_k[j] = bd(j, (j + k) mod 2t)`. The naive
+    /// shape encodes each at lane offset 0; the BSGS shape encodes
+    /// diagonal `k = g·B + b` at lane offset `g·B` — the plaintext
+    /// pre-rotation that lets one giant rotation serve the whole group.
+    /// The per-diagonal fan-out runs on the worker pool.
+    fn prepare_affine(
+        &self,
+        ctx: &BfvContext,
+        bd: &(dyn Fn(usize, usize) -> u64 + Sync),
+        strategy: PackedStrategy,
+    ) -> PackedAffine {
+        let width = 2 * self.params.t();
+        let diag_values =
+            |k: usize| -> Vec<u64> { (0..width).map(|j| bd(j, (j + k) % width)).collect() };
+        let prepare = |diag: &[u64], offset: usize| -> Option<PreparedPlaintext> {
+            if diag.iter().all(|&d| d == 0) {
+                None
+            } else {
+                let pt = self.layout.encode_lanes(&self.encoder, diag, offset);
+                Some(ctx.prepare_plaintext(&pt))
+            }
+        };
+        match strategy {
+            PackedStrategy::Naive => {
+                let shifts: Vec<usize> = (0..width).collect();
+                PackedAffine::Naive(pasta_par::parallel_map(&shifts, |_, &k| {
+                    prepare(&diag_values(k), 0)
+                }))
+            }
+            PackedStrategy::Bsgs => {
+                let plan = BsgsPlan::new(self.params.t());
+                let giants: Vec<usize> = (0..plan.giant).collect();
+                let groups = pasta_par::parallel_map(&giants, |_, &g| {
+                    let shift = g * plan.baby;
+                    let diagonals = (0..plan.baby)
+                        .map(|b| {
+                            let k = shift + b;
+                            if k >= width {
+                                None
+                            } else {
+                                prepare(&diag_values(k), shift)
+                            }
+                        })
+                        .collect();
+                    BsgsGroup { shift, diagonals }
+                });
+                PackedAffine::Bsgs {
+                    baby_count: plan.baby,
+                    groups,
+                }
+            }
+        }
+    }
+
     /// Builds the prepared diagonal material for one packed block: per
-    /// layer, the nonzero diagonals of `diag(M_L, M_R)` and the
-    /// concatenated round constant, lane-encoded and NTT-prepared. The
-    /// `2t`-diagonal fan-out runs on the worker pool.
+    /// layer, the (strategy-shaped) diagonals of `diag(M_L, M_R)` and
+    /// the concatenated round constant, lane-encoded and NTT-prepared.
     fn prepare_packed(&self, ctx: &BfvContext, nonce: u128, counter: u64) -> PackedEntry {
         let t = self.params.t();
         let block = self.cache.block(&self.params, nonce, counter);
@@ -256,24 +457,108 @@ impl PackedHheServer {
                         0
                     }
                 };
-                let shifts: Vec<usize> = (0..2 * t).collect();
-                let diagonals = pasta_par::parallel_map(&shifts, |_, &k| {
-                    // diag_k[lane j] = BD[j][(j + k) mod 2t].
-                    let diag: Vec<u64> = (0..2 * t).map(|j| bd(j, (j + k) % (2 * t))).collect();
-                    if diag.iter().all(|&d| d == 0) {
-                        None
-                    } else {
-                        let pt = self.layout.encode_lanes(&self.encoder, &diag, 0);
-                        Some(ctx.prepare_plaintext(&pt))
-                    }
-                });
+                let affine = self.prepare_affine(ctx, &bd, self.strategy);
                 let mut rc = layer.rc_left.clone();
                 rc.extend_from_slice(&layer.rc_right);
                 let rc = ctx.prepare_plaintext(&self.layout.encode_lanes(&self.encoder, &rc, 0));
-                PackedLayer { diagonals, rc }
+                PackedLayer { affine, rc }
             })
             .collect();
         PackedEntry { layers }
+    }
+
+    /// Evaluates one affine layer the pre-BSGS way: one key-switch per
+    /// nonzero diagonal. Returns the coefficient-domain accumulator, or
+    /// `None` if every diagonal was zero.
+    fn eval_affine_naive(
+        &self,
+        ctx: &BfvContext,
+        diagonals: &[Option<PreparedPlaintext>],
+        dup: &FheCiphertext,
+    ) -> Result<Option<FheCiphertext>, FheError> {
+        let mut acc: Option<FheCiphertext> = None;
+        for (k, diag) in diagonals.iter().enumerate() {
+            let Some(diag) = diag else { continue };
+            let mut rotated = self.rotate(ctx, dup, k)?.into_owned();
+            ctx.to_ntt_ct(&mut rotated);
+            match acc.as_mut() {
+                None => acc = Some(ctx.mul_plain_prepared_ntt(&rotated, diag)),
+                Some(a) => ctx.add_mul_plain_ntt_assign(a, &rotated, diag)?,
+            }
+        }
+        if let Some(a) = acc.as_mut() {
+            ctx.to_coeff_ct(a);
+        }
+        Ok(acc)
+    }
+
+    /// Evaluates one affine layer by hoisted baby-step/giant-step:
+    ///
+    /// 1. hoist `dup` once (one digit decomposition + forward NTTs);
+    /// 2. produce the `B` baby rotations from it (fanned over the worker
+    ///    pool; each is a slot permutation + multiply–accumulate);
+    /// 3. per giant group, multiply–accumulate the pre-rotated diagonal
+    ///    plaintexts against the babies and apply one giant rotation
+    ///    (groups fanned over the worker pool);
+    /// 4. sum the group terms serially in ascending group order, so the
+    ///    result is bit-identical for any `PASTA_THREADS`.
+    fn eval_affine_bsgs(
+        &self,
+        ctx: &BfvContext,
+        baby_count: usize,
+        groups: &[BsgsGroup],
+        dup: &FheCiphertext,
+    ) -> Result<Option<FheCiphertext>, FheError> {
+        // A baby rotation is only worth computing if some group uses it.
+        let needed: Vec<bool> = (0..baby_count)
+            .map(|b| groups.iter().any(|grp| grp.diagonals[b].is_some()))
+            .collect();
+        let hoisted = ctx.hoist(dup)?;
+        let baby_shifts: Vec<usize> = (0..baby_count).collect();
+        let babies: Vec<Option<FheCiphertext>> =
+            pasta_par::parallel_map(&baby_shifts, |_, &b| -> Result<_, FheError> {
+                if !needed[b] {
+                    return Ok(None);
+                }
+                if b == 0 {
+                    let mut ct = dup.clone();
+                    ctx.to_ntt_ct(&mut ct);
+                    return Ok(Some(ct));
+                }
+                self.key_switches.fetch_add(1, Ordering::Relaxed);
+                ctx.apply_galois_hoisted(&hoisted, self.rot_key(b)?)
+                    .map(Some)
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+        let terms: Vec<Option<FheCiphertext>> =
+            pasta_par::parallel_map(groups, |_, grp| -> Result<_, FheError> {
+                let mut acc: Option<FheCiphertext> = None;
+                for (b, diag) in grp.diagonals.iter().enumerate() {
+                    let Some(diag) = diag else { continue };
+                    let baby = babies[b].as_ref().expect("needed baby was computed");
+                    match acc.as_mut() {
+                        None => acc = Some(ctx.mul_plain_prepared_ntt(baby, diag)),
+                        Some(a) => ctx.add_mul_plain_ntt_assign(a, baby, diag)?,
+                    }
+                }
+                let Some(mut acc) = acc else { return Ok(None) };
+                ctx.to_coeff_ct(&mut acc);
+                if grp.shift != 0 {
+                    acc = self.rotate(ctx, &acc, grp.shift)?.into_owned();
+                }
+                Ok(Some(acc))
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+        let mut total: Option<FheCiphertext> = None;
+        for term in terms.into_iter().flatten() {
+            total = Some(match total {
+                None => term,
+                Some(acc) => ctx.add(&acc, &term)?,
+            });
+        }
+        Ok(total)
     }
 
     /// `state + rot_{-(2t)}(state)`: refresh the duplicate copy at lanes
@@ -284,7 +569,7 @@ impl PackedHheServer {
         masked: &FheCiphertext,
     ) -> Result<FheCiphertext, FheError> {
         let neg = self.layout.lanes() - 2 * self.params.t();
-        ctx.add(masked, &self.rotate(ctx, masked, neg)?)
+        ctx.add(masked, self.rotate(ctx, masked, neg)?.as_ref())
     }
 
     /// Homomorphically computes the keystream of one block, packed into
@@ -307,6 +592,7 @@ impl PackedHheServer {
             bfv: *ctx.params(),
             nonce,
             counter,
+            strategy: self.strategy,
         };
         let prepared = self
             .cache
@@ -316,26 +602,20 @@ impl PackedHheServer {
         let mut state = self.encrypted_key.clone();
         for (i, layer) in prepared.layers.iter().enumerate() {
             // Block-diagonal matrix BD = diag(M_L, M_R) evaluated by the
-            // diagonal method over a window of 2t lanes, with prepared
-            // diagonals and an NTT-domain accumulator (each rotation is
-            // converted once, the inverse NTT runs once per layer).
+            // diagonal method over a window of 2t lanes (naive
+            // per-diagonal rotations, or hoisted BSGS — see module docs).
             let dup = self.with_duplicate(ctx, &state)?;
-            let mut acc: Option<FheCiphertext> = None;
-            for (k, diag) in layer.diagonals.iter().enumerate() {
-                let Some(diag) = diag else { continue };
-                let mut rotated = self.rotate(ctx, &dup, k)?;
-                ctx.to_ntt_ct(&mut rotated);
-                match acc.as_mut() {
-                    None => acc = Some(ctx.mul_plain_prepared_ntt(&rotated, diag)),
-                    Some(a) => ctx.add_mul_plain_ntt_assign(a, &rotated, diag)?,
+            let acc = match &layer.affine {
+                PackedAffine::Naive(diagonals) => self.eval_affine_naive(ctx, diagonals, &dup)?,
+                PackedAffine::Bsgs { baby_count, groups } => {
+                    self.eval_affine_bsgs(ctx, *baby_count, groups, &dup)?
                 }
-            }
+            };
             let mut acc = acc.ok_or_else(|| {
                 // Unreachable for the invertible matrices Eq. 1 generates,
                 // but an all-zero layer must not panic the server.
                 FheError::Incompatible("affine layer matrix has no nonzero diagonal".into())
             })?;
-            ctx.to_coeff_ct(&mut acc);
             ctx.add_plain_prepared_assign(&mut acc, &layer.rc);
             state = acc;
             // state is masked here: every diagonal plaintext is zero
@@ -429,7 +709,7 @@ mod tests {
     use pasta_fhe::BfvParams;
     use pasta_math::Modulus;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
     struct World {
         ctx: BfvContext,
@@ -439,6 +719,10 @@ mod tests {
     }
 
     fn setup() -> World {
+        setup_with_strategy(PackedStrategy::default())
+    }
+
+    fn setup_with_strategy(strategy: PackedStrategy) -> World {
         let params = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap();
         // Generous modulus: rotations add key-switch noise and the
         // packed S-boxes spend extra plaintext masks.
@@ -450,11 +734,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0xACED);
         let sk = ctx.generate_secret_key(&mut rng);
         let client = HheClient::new(params, b"packed");
-        let server = PackedHheServer::new(
+        let server = PackedHheServer::new_with_strategy(
             params,
             &ctx,
             &sk,
             client.cipher().key().elements(),
+            strategy,
             &mut rng,
         )
         .unwrap();
@@ -567,8 +852,181 @@ mod tests {
 
     #[test]
     fn rotation_key_budget() {
-        let w = setup();
-        // shifts 1..2t plus the duplicate refresh = 2t keys.
-        assert_eq!(w.server.rotation_key_count(), 2 * 4);
+        // BSGS at t = 4 (orbit 128): babies {1, 2}, giants {3, 6}, Mix 4,
+        // Feistel 7, duplicate refresh 120 — 7 keys.
+        let bsgs = setup();
+        assert_eq!(bsgs.server.strategy(), PackedStrategy::Bsgs);
+        assert_eq!(bsgs.server.rotation_key_count(), 7);
+        // Naive needs every diagonal shift 1..2t plus the refresh = 2t.
+        let naive = setup_with_strategy(PackedStrategy::Naive);
+        assert_eq!(naive.server.rotation_key_count(), 2 * 4);
+    }
+
+    #[test]
+    fn bsgs_plan_is_square_root_sized() {
+        let p = BsgsPlan::new(4); // width 8
+        assert_eq!((p.baby, p.giant), (3, 3));
+        assert_eq!(p.key_switches_per_layer(), 4);
+        // The paper's PASTA-3 parameter set: t = 128, width 256.
+        let p = BsgsPlan::new(128);
+        assert_eq!((p.baby, p.giant), (16, 16));
+        assert_eq!(p.key_switches_per_layer(), 30); // vs 2t - 1 = 255
+                                                    // Every diagonal k < width is reachable as g·B + b.
+        for t in [1usize, 2, 3, 4, 7, 32, 100, 128] {
+            let p = BsgsPlan::new(t);
+            assert!(p.baby * p.giant >= p.width);
+            assert!((p.giant - 1) * p.baby < p.width, "empty trailing group");
+        }
+    }
+
+    #[test]
+    fn required_shifts_shrink_under_bsgs() {
+        // t = 128 on the N = 1024 orbit (512 lanes): 15 babies + 15
+        // giants (128 = 8·16 is already a giant) + Feistel 255 + refresh
+        // 256 = 32 keys, vs 256 for the naive strategy.
+        let bsgs = required_shifts(128, 512, PackedStrategy::Bsgs);
+        let naive = required_shifts(128, 512, PackedStrategy::Naive);
+        assert_eq!(bsgs.len(), 32);
+        assert_eq!(naive.len(), 256);
+        // Everything BSGS needs beyond the shared shifts is O(√t).
+        assert!(bsgs.iter().all(|s| naive.contains(s) || *s == 512 - 256));
+    }
+
+    /// Evaluates `M·v` through both affine strategies and checks each
+    /// against the plaintext product; returns the key-switch counts.
+    fn matvec_both_ways(w: &World, m: &[Vec<u64>], v: &[u64]) -> (u64, u64) {
+        let zp = pasta_math::Zp::new(Modulus::PASTA_17_BIT).unwrap();
+        let width = m.len();
+        let expect: Vec<u64> = (0..width)
+            .map(|r| (0..width).fold(0u64, |acc, c| zp.add(acc, zp.mul(m[r][c], v[c]))))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(0x1157);
+        let pk = w.ctx.generate_public_key(&w.sk, &mut rng);
+        let pt = w.server.layout.encode_lanes(&w.server.encoder, v, 0);
+        let ct = w.ctx.encrypt(&pk, &pt, &mut rng);
+        let dup = w.server.with_duplicate(&w.ctx, &ct).unwrap();
+        let bd = |r: usize, c: usize| m[r][c];
+
+        let naive_m = w.server.prepare_affine(&w.ctx, &bd, PackedStrategy::Naive);
+        let bsgs_m = w.server.prepare_affine(&w.ctx, &bd, PackedStrategy::Bsgs);
+
+        w.server.reset_key_switch_count();
+        let PackedAffine::Naive(diags) = &naive_m else {
+            panic!("naive material shape")
+        };
+        let got = w
+            .server
+            .eval_affine_naive(&w.ctx, diags, &dup)
+            .unwrap()
+            .unwrap();
+        let naive_switches = w.server.key_switch_count();
+        assert_eq!(
+            w.server.decode(&w.ctx, &w.sk, &got, width),
+            expect,
+            "naive diagonal loop disagrees with the plaintext product"
+        );
+
+        w.server.reset_key_switch_count();
+        let PackedAffine::Bsgs { baby_count, groups } = &bsgs_m else {
+            panic!("bsgs material shape")
+        };
+        let got = w
+            .server
+            .eval_affine_bsgs(&w.ctx, *baby_count, groups, &dup)
+            .unwrap()
+            .unwrap();
+        let bsgs_switches = w.server.key_switch_count();
+        assert_eq!(
+            w.server.decode(&w.ctx, &w.sk, &got, width),
+            expect,
+            "BSGS evaluation disagrees with the plaintext product"
+        );
+        w.server.reset_key_switch_count();
+        (naive_switches, bsgs_switches)
+    }
+
+    #[test]
+    fn bsgs_matmul_matches_naive_with_sqrt_key_switches() {
+        // A naive server's key set (shifts 1..2t) is a superset of what
+        // BSGS needs at t = 4 (babies {1, 2}, giants {3, 6}), so one
+        // server can drive both paths.
+        let w = setup_with_strategy(PackedStrategy::Naive);
+        let width = 2 * w.server.params.t();
+        let mut rng = StdRng::seed_from_u64(0xB59);
+        let m: Vec<Vec<u64>> = (0..width)
+            .map(|_| (0..width).map(|_| rng.gen_range(1..65_537u64)).collect())
+            .collect();
+        let v: Vec<u64> = (0..width).map(|_| rng.gen_range(0..65_537u64)).collect();
+        let (naive_switches, bsgs_switches) = matvec_both_ways(&w, &m, &v);
+        // Dense matrix: the naive loop key-switches once per diagonal
+        // k = 1..2t, the BSGS path (B - 1) + (G - 1) times.
+        assert_eq!(naive_switches, (width - 1) as u64);
+        let plan = BsgsPlan::new(w.server.params.t());
+        assert_eq!(bsgs_switches, plan.key_switches_per_layer() as u64);
+        assert!(bsgs_switches < naive_switches);
+    }
+
+    #[test]
+    fn bsgs_and_naive_keystreams_agree() {
+        let bsgs = setup();
+        let naive = setup_with_strategy(PackedStrategy::Naive);
+        let expect = bsgs.client.cipher().keystream_block(0xC0DE, 0).unwrap();
+
+        bsgs.server.reset_key_switch_count();
+        let ks_b = bsgs.server.keystream_packed(&bsgs.ctx, 0xC0DE, 0).unwrap();
+        let bsgs_switches = bsgs.server.key_switch_count();
+        assert_eq!(bsgs.server.decode(&bsgs.ctx, &bsgs.sk, &ks_b, 4), expect);
+
+        naive.server.reset_key_switch_count();
+        let ks_n = naive
+            .server
+            .keystream_packed(&naive.ctx, 0xC0DE, 0)
+            .unwrap();
+        let naive_switches = naive.server.key_switch_count();
+        assert_eq!(naive.server.decode(&naive.ctx, &naive.sk, &ks_n, 4), expect);
+
+        // t = 4, r = 2: three affine layers (each with one
+        // duplicate-refresh rotation), two Mix (refresh + shift) and one
+        // Feistel (refresh + shift). The block-diagonal layer matrix has
+        // diag_t ≡ 0, so the naive loop spends 2t - 2 = 6 switches per
+        // layer and BSGS (B - 1) + (G - 1) = 4.
+        assert_eq!(naive_switches, 3 * (6 + 1) + 2 * 2 + 2);
+        assert_eq!(bsgs_switches, 3 * (4 + 1) + 2 * 2 + 2);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(4))]
+
+        /// BSGS and naive agree with the plaintext `M·v` on random
+        /// matrices — including sparse ones that skip whole diagonals
+        /// and BSGS groups.
+        #[test]
+        fn prop_bsgs_matmul_matches_naive(
+            seed in 0u64..1_000_000,
+            density in 1usize..=4,
+        ) {
+            let w = setup_with_strategy(PackedStrategy::Naive);
+            let width = 2 * w.server.params.t();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m: Vec<Vec<u64>> = (0..width)
+                .map(|_| {
+                    (0..width)
+                        .map(|_| {
+                            if rng.gen_range(0..4usize) < density {
+                                rng.gen_range(0..65_537u64)
+                            } else {
+                                0
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let v: Vec<u64> = (0..width).map(|_| rng.gen_range(0..65_537u64)).collect();
+            let (_, bsgs_switches) = matvec_both_ways(&w, &m, &v);
+            let plan = BsgsPlan::new(w.server.params.t());
+            proptest::prop_assert!(
+                bsgs_switches <= plan.key_switches_per_layer() as u64
+            );
+        }
     }
 }

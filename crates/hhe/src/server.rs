@@ -16,6 +16,13 @@
 //! The result is a vector of FHE ciphertexts of the client's message —
 //! the transciphering step that lets the client avoid FHE encryption
 //! entirely.
+//!
+//! Provisioning footprint across the three server modes: this scalar
+//! server ships `2t` key ciphertexts and zero rotation keys; the batched
+//! server ships `2t` (slot-replicated) key ciphertexts and zero rotation
+//! keys; the packed server ships ONE key ciphertext plus its rotation
+//! keys — `2t` of them naive, O(√t) under the default hoisted-BSGS
+//! strategy (see [`crate::packed::required_shifts`]).
 
 use crate::cache::MaterialCache;
 use crate::client::EncryptedPastaKey;

@@ -9,7 +9,7 @@
 
 use pasta_core::PastaParams;
 use pasta_fhe::{BfvContext, BfvParams, Ciphertext as FheCiphertext};
-use pasta_hhe::{provision_batched_key, BatchedHheServer, HheClient, HheServer};
+use pasta_hhe::{provision_batched_key, BatchedHheServer, HheClient, HheServer, PackedHheServer};
 use pasta_math::Modulus;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -87,4 +87,58 @@ fn scalar_transcipher_is_thread_count_invariant() {
     let threaded = with_threads("4", || server.transcipher(&ctx, &pasta_ct).unwrap());
     assert_eq!(serial, threaded);
     assert_eq!(client.retrieve(&ctx, &sk, &serial), message);
+}
+
+#[test]
+fn packed_bsgs_transcipher_is_thread_count_invariant() {
+    // The BSGS affine evaluation fans its baby rotations and giant
+    // groups over the worker pool; the group terms are summed serially
+    // in group order, so the packed (default BSGS) transcipher must be
+    // bit-identical for any PASTA_THREADS — cold cache and warm.
+    let params = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap();
+    let bfv = BfvParams {
+        prime_count: 8,
+        ..BfvParams::test_tiny()
+    };
+    let ctx = BfvContext::new(bfv).unwrap();
+    let client = HheClient::new(params, b"determinism");
+    let message = vec![11u64, 22, 33, 44];
+    let pasta_ct = client.encrypt(0xDEC0, &message).unwrap();
+
+    let build = || {
+        let mut rng = StdRng::seed_from_u64(909);
+        let sk = ctx.generate_secret_key(&mut rng);
+        let server = PackedHheServer::new(
+            params,
+            &ctx,
+            &sk,
+            client.cipher().key().elements(),
+            &mut rng,
+        )
+        .unwrap();
+        (sk, server)
+    };
+
+    // Cold-cache passes: a fresh server per thread count, so a cache hit
+    // cannot mask a scheduling-dependent material build.
+    let (sk, server1) = with_threads("1", build);
+    let serial = with_threads("1", || {
+        server1.transcipher_packed(&ctx, &pasta_ct, 0).unwrap()
+    });
+    let (_, server4) = with_threads("4", build);
+    let cold = with_threads("4", || {
+        server4.transcipher_packed(&ctx, &pasta_ct, 0).unwrap()
+    });
+    assert_eq!(
+        serial, cold,
+        "PASTA_THREADS=1 and =4 must produce identical packed ciphertexts"
+    );
+
+    // Warm-cache pass: re-running on the already-populated server stays
+    // identical too.
+    let warm = with_threads("4", || {
+        server4.transcipher_packed(&ctx, &pasta_ct, 0).unwrap()
+    });
+    assert_eq!(serial, warm);
+    assert_eq!(server1.decode(&ctx, &sk, &serial, 4), message);
 }
