@@ -1,6 +1,13 @@
 //! The BFV fully homomorphic encryption scheme (textbook BFV with RNS
-//! ciphertexts, exact big-integer scaled rounding, and RNS-decomposition
-//! relinearization).
+//! ciphertexts, full-RNS ciphertext multiplication, and
+//! RNS-decomposition relinearization).
+//!
+//! Ciphertext multiplication runs the BEHZ fast-base-conversion path of
+//! [`crate::rns_mul`] by default — per-prime 64-bit arithmetic end to
+//! end. The original exact big-integer tensor path is retained as
+//! [`BfvContext::mul_exact_bigint`], an oracle the tests check
+//! decrypt-equality against; set [`MUL_BACKEND_ENV`]
+//! (`PASTA_MUL=bigint`) to route `mul`/`square` through it at runtime.
 //!
 //! This is the server-side substrate of the HHE workflow (paper Fig. 1):
 //! the client FHE-encrypts the PASTA key once; the server homomorphically
@@ -12,11 +19,24 @@
 
 use crate::bigint::UBig;
 use crate::ntt::galois_slot_permutation;
-use crate::ring::{generate_ntt_primes, RnsBasis, RnsPoly};
+use crate::ring::{generate_ntt_primes, RnsBasis, RnsPoly, PAR_MIN_RING_DEGREE};
+use crate::rns_mul::RnsMulContext;
 use pasta_math::{MathError, Modulus, Zp};
 use rand::Rng;
 use std::error::Error;
 use std::fmt;
+
+/// Environment variable selecting the ciphertext-multiplication backend.
+/// Unset (or any value other than `bigint`): the full-RNS BEHZ fast
+/// path. `bigint`: the exact big-integer oracle
+/// ([`BfvContext::mul_exact_bigint`]). Re-read on every multiplication,
+/// like [`pasta_par::THREADS_ENV`], so tests can toggle it.
+pub const MUL_BACKEND_ENV: &str = "PASTA_MUL";
+
+/// Whether `PASTA_MUL=bigint` routes multiplications to the oracle.
+fn use_bigint_backend() -> bool {
+    std::env::var(MUL_BACKEND_ENV).is_ok_and(|v| v == "bigint")
+}
 
 /// Errors from the FHE substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,8 +125,10 @@ impl BfvParams {
 pub struct BfvContext {
     params: BfvParams,
     basis: RnsBasis,
-    /// Extended basis for exact tensor products.
+    /// Extended basis for the exact bigint tensor-product oracle.
     ext_basis: RnsBasis,
+    /// Fast base conversion for full-RNS multiplication (default path).
+    rns_mul: RnsMulContext,
     plain: Zp,
     /// `Δ = ⌊q/t⌋`.
     delta: UBig,
@@ -147,6 +169,8 @@ impl BfvContext {
         let ext_primes = generate_ntt_primes(ext_bits, (2 * params.n).trailing_zeros(), ext_count)
             .map_err(FheError::from)?;
         let ext_basis = RnsBasis::new(params.n, ext_primes).map_err(FheError::from)?;
+        let rns_mul =
+            RnsMulContext::new(&basis, params.plain_modulus.value()).map_err(FheError::from)?;
 
         let plain = Zp::new(params.plain_modulus).map_err(FheError::from)?;
         let (delta, _) = basis.q().div_rem(&UBig::from_u64(plain.p()));
@@ -167,6 +191,7 @@ impl BfvContext {
             params,
             basis,
             ext_basis,
+            rns_mul,
             plain,
             delta,
             delta_rns,
@@ -612,8 +637,21 @@ impl BfvContext {
         }
     }
 
-    /// Homomorphic multiplication (tensor + exact scaled rounding),
+    /// Homomorphic multiplication (tensor + `t/q` scaled rounding),
     /// *without* relinearization: the result has three components.
+    ///
+    /// Runs the full-RNS BEHZ path by default (no big-integer work);
+    /// `PASTA_MUL=bigint` routes through the exact oracle
+    /// ([`BfvContext::mul_exact_bigint`]) instead. The two backends are
+    /// decrypt-equal but not byte-identical: the RNS path floors with a
+    /// bounded fast-conversion slack where the oracle rounds half-up —
+    /// the difference lands in noise far below the decryption threshold.
+    ///
+    /// Aliased operands (`mul(ct, ct)`) are detected by pointer and
+    /// dispatched to the squaring specialization; use
+    /// [`BfvContext::square`] directly to make the intent explicit.
+    /// (Equal-but-distinct ciphertexts are *not* deep-compared — that
+    /// scan cost O(N·k) on every multiply.)
     ///
     /// # Errors
     ///
@@ -625,33 +663,147 @@ impl BfvContext {
                 "mul requires 2-component inputs".into(),
             ));
         }
+        if std::ptr::eq(a, b) {
+            return self.square(a);
+        }
+        if use_bigint_backend() {
+            self.mul_exact_bigint(a, b)
+        } else {
+            Ok(self.mul_rns(a, Some(b)))
+        }
+    }
+
+    /// Squares a ciphertext *without* relinearization — the Feistel/cube
+    /// S-box hot case. Reuses each lifted operand: two lifts instead of
+    /// four and three products per basis instead of four. Same backend
+    /// dispatch as [`BfvContext::mul`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::Incompatible`] unless the input has two
+    /// components.
+    pub fn square(&self, a: &Ciphertext) -> Result<Ciphertext, FheError> {
+        if a.polys.len() != 2 {
+            return Err(FheError::Incompatible(
+                "square requires a 2-component input".into(),
+            ));
+        }
+        if use_bigint_backend() {
+            // `mul_exact_bigint` sees the aliased pointer and takes its
+            // own squaring specialization.
+            self.mul_exact_bigint(a, a)
+        } else {
+            Ok(self.mul_rns(a, None))
+        }
+    }
+
+    /// The full-RNS multiply: each operand component is lifted once into
+    /// the auxiliary basis (fast base conversion, coefficient domain),
+    /// the tensor is evaluated NTT-pointwise in the `q` and auxiliary
+    /// bases independently, and each product component is scaled by
+    /// `t/q` residue-wise with a Shenoy–Kumaresan exact return to `q`.
+    /// `b = None` squares `a`.
+    fn mul_rns(&self, a: &Ciphertext, b: Option<&Ciphertext>) -> Ciphertext {
+        let aux = self.rns_mul.aux();
+        // One lift per component: (q-basis NTT, aux-basis NTT).
+        let lift = |p: &RnsPoly| -> (RnsPoly, RnsPoly) {
+            let mut pq = p.clone();
+            pq.to_coeff(&self.basis);
+            let mut paux = self.rns_mul.lift_to_aux(&self.basis, &pq);
+            pq.to_ntt(&self.basis);
+            paux.to_ntt(aux);
+            (pq, paux)
+        };
+        let (a0q, a0x) = lift(&a.polys[0]);
+        let (a1q, a1x) = lift(&a.polys[1]);
+        let tensor = |b: Option<(&RnsPoly, &RnsPoly)>,
+                      basis: &RnsBasis,
+                      a0: &RnsPoly,
+                      a1: &RnsPoly|
+         -> (RnsPoly, RnsPoly, RnsPoly) {
+            match b {
+                // Squaring: t01 = a0·b1 + a1·b0 collapses to cross + cross.
+                None => {
+                    let cross = a0.mul(basis, a1);
+                    (
+                        a0.mul(basis, a0),
+                        cross.add(basis, &cross),
+                        a1.mul(basis, a1),
+                    )
+                }
+                Some((b0, b1)) => {
+                    let mut t01 = a0.mul(basis, b1);
+                    t01.add_mul_assign(basis, a1, b0);
+                    (a0.mul(basis, b0), t01, a1.mul(basis, b1))
+                }
+            }
+        };
+        let ((t00q, t01q, t11q), (t00x, t01x, t11x)) = match b {
+            None => (
+                tensor(None, &self.basis, &a0q, &a1q),
+                tensor(None, aux, &a0x, &a1x),
+            ),
+            Some(b) => {
+                let (b0q, b0x) = lift(&b.polys[0]);
+                let (b1q, b1x) = lift(&b.polys[1]);
+                (
+                    tensor(Some((&b0q, &b1q)), &self.basis, &a0q, &a1q),
+                    tensor(Some((&b0x, &b1x)), aux, &a0x, &a1x),
+                )
+            }
+        };
+        let scale = |mut tq: RnsPoly, mut tx: RnsPoly| -> RnsPoly {
+            tq.to_coeff(&self.basis);
+            tx.to_coeff(aux);
+            self.rns_mul.scale_to_q(&self.basis, &tq, &tx)
+        };
+        Ciphertext {
+            polys: vec![scale(t00q, t00x), scale(t01q, t01x), scale(t11q, t11x)],
+        }
+    }
+
+    /// Homomorphic multiplication via the exact big-integer tensor
+    /// product — the oracle the full-RNS path is validated against, and
+    /// the backend `PASTA_MUL=bigint` selects. Every coefficient is
+    /// CRT-reconstructed into the extended basis for the tensor and the
+    /// `t/q` rounding is done with exact half-up big-integer division;
+    /// both per-coefficient sweeps are chunked across threads
+    /// (`PASTA_THREADS`, bit-identical for any count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::Incompatible`] unless both inputs have two
+    /// components.
+    pub fn mul_exact_bigint(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, FheError> {
+        if a.polys.len() != 2 || b.polys.len() != 2 {
+            return Err(FheError::Incompatible(
+                "mul requires 2-component inputs".into(),
+            ));
+        }
+        let parallel = self.params.n >= PAR_MIN_RING_DEGREE;
         // Lift all four polys (centered) into the extended basis, NTT there.
         let lift = |p: &RnsPoly| -> RnsPoly {
             let mut p = p.clone();
             p.to_coeff(&self.basis);
             let big = p.to_bigint_coeffs(&self.basis);
-            let values: Vec<UBig> = big
-                .iter()
-                .map(|v| {
-                    if v.cmp_big(&self.half_q) == std::cmp::Ordering::Greater {
-                        // negative: Q_ext - (q - v)
-                        self.ext_basis.q().sub(&self.basis.q().sub(v))
-                    } else {
-                        v.clone()
-                    }
-                })
-                .collect();
+            let values: Vec<UBig> = pasta_par::maybe_parallel_map(parallel, &big, |_, v| {
+                if v.cmp_big(&self.half_q) == std::cmp::Ordering::Greater {
+                    // negative: Q_ext - (q - v)
+                    self.ext_basis.q().sub(&self.basis.q().sub(v))
+                } else {
+                    v.clone()
+                }
+            });
             let mut ext = RnsPoly::from_bigint_coeffs(&self.ext_basis, &values);
             ext.to_ntt(&self.ext_basis);
             ext
         };
         let a0 = lift(&a.polys[0]);
         let a1 = lift(&a.polys[1]);
-        // Squaring (the Feistel/cube hot case) reuses the lifted operand:
-        // two lifts instead of four and three extended-basis products
-        // instead of four. Bit-exact — `lift` is deterministic, and
-        // t01 = a0·b1 + a1·b0 collapses to cross + cross when a = b.
-        let (t00, t01, t11) = if std::ptr::eq(a, b) || a == b {
+        // Squaring reuses the lifted operand: two lifts instead of four
+        // and three extended-basis products instead of four. Aliasing is
+        // detected by pointer only (`square` routes here with a == b).
+        let (t00, t01, t11) = if std::ptr::eq(a, b) {
             let cross = a0.mul(&self.ext_basis, &a1);
             (
                 a0.mul(&self.ext_basis, &a0),
@@ -672,26 +824,22 @@ impl BfvContext {
             p.to_coeff(&self.ext_basis);
             let big = p.to_bigint_coeffs(&self.ext_basis);
             let t = self.plain.p();
-            let values: Vec<UBig> = big
-                .iter()
-                .map(|w| {
-                    // Center in the extended basis, scale by t/q with
-                    // rounding, then map back into [0, q).
-                    let (mag, negative) =
-                        if w.cmp_big(&self.half_ext) == std::cmp::Ordering::Greater {
-                            (self.ext_basis.q().sub(w), true)
-                        } else {
-                            (w.clone(), false)
-                        };
-                    let rounded = mag.mul_u64(t).div_round(self.basis.q());
-                    let reduced = rounded.div_rem(self.basis.q()).1;
-                    if negative && !reduced.is_zero() {
-                        self.basis.q().sub(&reduced)
-                    } else {
-                        reduced
-                    }
-                })
-                .collect();
+            let values: Vec<UBig> = pasta_par::maybe_parallel_map(parallel, &big, |_, w| {
+                // Center in the extended basis, scale by t/q with
+                // rounding, then map back into [0, q).
+                let (mag, negative) = if w.cmp_big(&self.half_ext) == std::cmp::Ordering::Greater {
+                    (self.ext_basis.q().sub(w), true)
+                } else {
+                    (w.clone(), false)
+                };
+                let rounded = mag.mul_u64(t).div_round(self.basis.q());
+                let reduced = rounded.div_rem(self.basis.q()).1;
+                if negative && !reduced.is_zero() {
+                    self.basis.q().sub(&reduced)
+                } else {
+                    reduced
+                }
+            });
             RnsPoly::from_bigint_coeffs(&self.basis, &values)
         };
         Ok(Ciphertext {
@@ -949,13 +1097,14 @@ impl BfvContext {
         self.relinearize(&self.mul(a, b)?, rk)
     }
 
-    /// Squares a ciphertext (mul with itself) and relinearizes.
+    /// Squares a ciphertext and relinearizes (the S-box entry point —
+    /// takes the [`BfvContext::square`] specialization explicitly).
     ///
     /// # Errors
     ///
     /// Propagates multiplication errors.
     pub fn square_relin(&self, a: &Ciphertext, rk: &BfvRelinKey) -> Result<Ciphertext, FheError> {
-        self.mul_relin(a, a, rk)
+        self.relinearize(&self.square(a)?, rk)
     }
 }
 
@@ -1087,6 +1236,18 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    /// Serializes tests that twiddle the `PASTA_MUL` backend override
+    /// so the allocation-counter assertions cannot race it.
+    static BACKEND_ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// A plaintext with every coefficient drawn uniformly from `Z_t`.
+    fn random_plaintext(ctx: &BfvContext, rng: &mut StdRng) -> Plaintext {
+        let t = ctx.params().plain_modulus.value();
+        Plaintext {
+            coeffs: (0..ctx.params().n).map(|_| rng.gen_range(0..t)).collect(),
+        }
+    }
 
     fn setup() -> (BfvContext, BfvSecretKey, BfvPublicKey, BfvRelinKey, StdRng) {
         let ctx = BfvContext::new(BfvParams::test_tiny()).unwrap();
@@ -1320,6 +1481,97 @@ mod tests {
         ));
     }
 
+    #[test]
+    fn rns_mul_decrypt_equals_bigint_oracle() {
+        // The RNS product is decrypt-equal to the bigint oracle's — not
+        // byte-identical: the near-centered lift may differ by q in a
+        // 2^-15-wide band, which the noise absorbs.
+        let (ctx, sk, pk, rk, mut rng) = setup();
+        for _ in 0..3 {
+            let a = ctx.encrypt(&pk, &random_plaintext(&ctx, &mut rng), &mut rng);
+            let b = ctx.encrypt(&pk, &random_plaintext(&ctx, &mut rng), &mut rng);
+
+            let fast = ctx.mul_rns(&a, Some(&b));
+            let oracle = ctx.mul_exact_bigint(&a, &b).unwrap();
+            assert_eq!(ctx.decrypt(&sk, &fast), ctx.decrypt(&sk, &oracle));
+
+            let fast_sq = ctx.mul_rns(&a, None);
+            let oracle_sq = ctx.mul_exact_bigint(&a, &a).unwrap();
+            assert_eq!(ctx.decrypt(&sk, &fast_sq), ctx.decrypt(&sk, &oracle_sq));
+
+            let fast_rl = ctx.relinearize(&fast, &rk).unwrap();
+            let oracle_rl = ctx.relinearize(&oracle, &rk).unwrap();
+            assert_eq!(ctx.decrypt(&sk, &fast_rl), ctx.decrypt(&sk, &oracle_rl));
+        }
+    }
+
+    #[test]
+    fn rns_mul_noise_budget_within_one_bit_of_oracle() {
+        let (ctx, sk, pk, _, mut rng) = setup();
+        let a = ctx.encrypt(&pk, &random_plaintext(&ctx, &mut rng), &mut rng);
+        let b = ctx.encrypt(&pk, &random_plaintext(&ctx, &mut rng), &mut rng);
+        let fast = ctx.noise_budget(&sk, &ctx.mul_rns(&a, Some(&b)));
+        let oracle = ctx.noise_budget(&sk, &ctx.mul_exact_bigint(&a, &b).unwrap());
+        assert!(
+            fast.abs_diff(oracle) <= 1,
+            "post-mul budgets diverged: rns {fast} vs bigint {oracle}"
+        );
+    }
+
+    #[test]
+    fn default_mul_path_allocates_no_bigints() {
+        let _guard = BACKEND_ENV_LOCK.lock().unwrap();
+        std::env::remove_var(MUL_BACKEND_ENV);
+        let (ctx, _, pk, rk, mut rng) = setup();
+        let a = ctx.encrypt(&pk, &ctx.encode_scalar(300), &mut rng);
+        let b = ctx.encrypt(&pk, &ctx.encode_scalar(500), &mut rng);
+        // N = 256 keeps the whole pipeline on this thread, so the
+        // thread-local counter sees every allocation.
+        let before = crate::bigint::ubig_alloc_count();
+        let prod = ctx.mul(&a, &b).unwrap();
+        let _ = ctx.square(&a).unwrap();
+        let _ = ctx.relinearize(&prod, &rk).unwrap();
+        let after = crate::bigint::ubig_alloc_count();
+        if cfg!(debug_assertions) {
+            assert_eq!(
+                after, before,
+                "UBig allocation leaked into the RNS mul path"
+            );
+        }
+        // The oracle, selected via the env override, must register.
+        std::env::set_var(MUL_BACKEND_ENV, "bigint");
+        let before = crate::bigint::ubig_alloc_count();
+        let oracle = ctx.mul(&a, &b).unwrap();
+        let after = crate::bigint::ubig_alloc_count();
+        std::env::remove_var(MUL_BACKEND_ENV);
+        assert_eq!(oracle.components(), 3);
+        if cfg!(debug_assertions) {
+            assert!(after > before, "bigint oracle did not allocate");
+        }
+    }
+
+    #[test]
+    fn bigint_oracle_is_thread_count_invariant() {
+        // N = 1024 crosses the parallel threshold, so the oracle's
+        // chunked lift/scale loops actually fan out.
+        let params = BfvParams {
+            n: 1_024,
+            ..BfvParams::test_tiny()
+        };
+        let ctx = BfvContext::new(params).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let sk = ctx.generate_secret_key(&mut rng);
+        let pk = ctx.generate_public_key(&sk, &mut rng);
+        let a = ctx.encrypt(&pk, &random_plaintext(&ctx, &mut rng), &mut rng);
+        let b = ctx.encrypt(&pk, &random_plaintext(&ctx, &mut rng), &mut rng);
+        std::env::set_var(pasta_par::THREADS_ENV, "1");
+        let serial = ctx.mul_exact_bigint(&a, &b).unwrap();
+        std::env::set_var(pasta_par::THREADS_ENV, "4");
+        let parallel = ctx.mul_exact_bigint(&a, &b).unwrap();
+        std::env::remove_var(pasta_par::THREADS_ENV);
+        assert_eq!(serial, parallel, "oracle output depends on thread count");
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -1365,6 +1617,25 @@ mod tests {
                         u128::from(ctx.decrypt(sk, &prod).scalar()),
                         u128::from(a) * u128::from(b) % 65_537
                     );
+                });
+            }
+
+            #[test]
+            fn prop_rns_mul_decrypt_equals_oracle(seed in any::<u64>()) {
+                with_world(|ctx, sk, pk, rk, _| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let a = ctx.encrypt(pk, &random_plaintext(ctx, &mut rng), &mut rng);
+                    let b = ctx.encrypt(pk, &random_plaintext(ctx, &mut rng), &mut rng);
+                    let fast = ctx
+                        .relinearize(&ctx.mul_rns(&a, Some(&b)), rk)
+                        .unwrap();
+                    let oracle = ctx
+                        .relinearize(&ctx.mul_exact_bigint(&a, &b).unwrap(), rk)
+                        .unwrap();
+                    assert_eq!(ctx.decrypt(sk, &fast), ctx.decrypt(sk, &oracle));
+                    let fast_sq = ctx.mul_rns(&a, None);
+                    let oracle_sq = ctx.mul_exact_bigint(&a, &a).unwrap();
+                    assert_eq!(ctx.decrypt(sk, &fast_sq), ctx.decrypt(sk, &oracle_sq));
                 });
             }
 

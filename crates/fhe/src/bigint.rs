@@ -10,6 +10,37 @@
 
 use std::cmp::Ordering;
 
+#[cfg(debug_assertions)]
+thread_local! {
+    static UBIG_ALLOCS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Debug-build instrumentation: the number of [`UBig`] values constructed
+/// on the **current thread** since it started. Release builds always
+/// return 0. Tests use the delta across a code region to prove the RNS
+/// multiplication fast path allocates no big integers; the counter is
+/// thread-local so `pasta-par` worker threads and unrelated test threads
+/// cannot pollute the measurement.
+#[must_use]
+pub fn ubig_alloc_count() -> u64 {
+    #[cfg(debug_assertions)]
+    {
+        UBIG_ALLOCS.with(std::cell::Cell::get)
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
+    }
+}
+
+#[cfg(debug_assertions)]
+fn count_alloc() {
+    UBIG_ALLOCS.with(|c| c.set(c.get() + 1));
+}
+
+#[cfg(not(debug_assertions))]
+fn count_alloc() {}
+
 /// An arbitrary-precision unsigned integer (little-endian `u64` limbs,
 /// normalized: no trailing zero limbs; zero is the empty limb vector).
 ///
@@ -32,20 +63,23 @@ impl UBig {
     /// Zero.
     #[must_use]
     pub fn zero() -> Self {
+        count_alloc();
         UBig { limbs: Vec::new() }
     }
 
     /// One.
     #[must_use]
     pub fn one() -> Self {
+        count_alloc();
         UBig { limbs: vec![1] }
     }
 
     /// From a `u64`.
     #[must_use]
     pub fn from_u64(x: u64) -> Self {
+        count_alloc();
         if x == 0 {
-            UBig::zero()
+            UBig { limbs: Vec::new() }
         } else {
             UBig { limbs: vec![x] }
         }
@@ -54,6 +88,7 @@ impl UBig {
     /// From a `u128`.
     #[must_use]
     pub fn from_u128(x: u128) -> Self {
+        count_alloc();
         let lo = x as u64;
         let hi = (x >> 64) as u64;
         let mut v = UBig {
@@ -66,6 +101,7 @@ impl UBig {
     /// From little-endian limbs (normalizing).
     #[must_use]
     pub fn from_limbs(limbs: Vec<u64>) -> Self {
+        count_alloc();
         let mut v = UBig { limbs };
         v.normalize();
         v

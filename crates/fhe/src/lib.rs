@@ -6,12 +6,16 @@
 //! available offline, so this crate implements the required subset of BFV
 //! from first principles:
 //!
-//! - [`bigint`]: minimal multi-limb unsigned integers for CRT
-//!   reconstruction and exact scaled rounding;
+//! - [`bigint`]: minimal multi-limb unsigned integers for decryption
+//!   scaling, setup-time precomputation, and the bigint multiplication
+//!   oracle;
 //! - [`ntt`]: the negacyclic number-theoretic transform;
 //! - [`ring`]: RNS polynomials over `Z_q[X]/(X^N + 1)`;
+//! - [`rns_mul`]: BEHZ-style fast base conversion so ciphertext
+//!   multiplication never leaves RNS (the `PASTA_MUL=bigint` escape
+//!   hatch selects the retained exact big-integer oracle);
 //! - [`bfv`]: key generation, encryption, decryption, addition,
-//!   plaintext/scalar multiplication, exact tensor-product ciphertext
+//!   plaintext/scalar multiplication, tensor-product ciphertext
 //!   multiplication and RNS-decomposition relinearization, with an exact
 //!   noise-budget meter;
 //! - [`encoding`]: SIMD batching over `Z_t` slots (`t = 65537`).
@@ -46,10 +50,12 @@ mod galois_tests;
 pub mod noise;
 pub mod ntt;
 pub mod ring;
+pub mod rns_mul;
 
 pub use bfv::{
     BfvContext, BfvGaloisKey, BfvParams, BfvPublicKey, BfvRelinKey, BfvSecretKey, Ciphertext,
-    FheError, HoistedCiphertext, Plaintext, PreparedPlaintext,
+    FheError, HoistedCiphertext, Plaintext, PreparedPlaintext, MUL_BACKEND_ENV,
 };
 pub use encoding::BatchEncoder;
 pub use noise::{suggest_bfv_params, NoiseModel};
+pub use rns_mul::RnsMulContext;

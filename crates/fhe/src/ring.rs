@@ -14,7 +14,7 @@ use rand::Rng;
 /// Minimum ring degree before the per-prime transforms fan out across
 /// threads: below this a row's NTT is far cheaper than a thread spawn
 /// (`pasta-par` has no persistent pool).
-const PAR_MIN_RING_DEGREE: usize = 1024;
+pub(crate) const PAR_MIN_RING_DEGREE: usize = 1024;
 
 /// The RNS basis: primes, NTT tables and CRT precomputation.
 #[derive(Debug, Clone)]
@@ -123,6 +123,18 @@ impl RnsBasis {
         self.tables[i].zp()
     }
 
+    /// `q̂_i = q / q_i` for prime `i` (the CRT garner constant).
+    #[must_use]
+    pub fn q_hat(&self, i: usize) -> &UBig {
+        &self.q_hats[i]
+    }
+
+    /// `[q̂_i^{-1}]_{q_i}` for prime `i`.
+    #[must_use]
+    pub fn q_hat_inv(&self, i: usize) -> u64 {
+        self.q_hat_invs[i]
+    }
+
     /// CRT-reconstructs one coefficient from its residues into `[0, q)`.
     ///
     /// # Panics
@@ -223,12 +235,24 @@ impl RnsPoly {
     pub fn from_bigint_coeffs(basis: &RnsBasis, values: &[UBig]) -> Self {
         assert_eq!(values.len(), basis.n(), "coefficient count mismatch");
         let mut p = Self::zero(basis);
-        for (j, v) in values.iter().enumerate() {
-            for (i, row) in p.coeffs.iter_mut().enumerate() {
-                row[j] = v.rem_u64(basis.primes()[i].value());
+        let parallel = basis.n() >= PAR_MIN_RING_DEGREE;
+        pasta_par::maybe_parallel_for_each_mut(parallel, &mut p.coeffs, |i, row| {
+            let prime = basis.primes()[i].value();
+            for (j, v) in values.iter().enumerate() {
+                row[j] = v.rem_u64(prime);
             }
-        }
+        });
         p
+    }
+
+    /// Builds directly from residue rows (`rows[i][j]` = coefficient `j`
+    /// mod prime `i`) — the zero-copy constructor the RNS base-conversion
+    /// kernels use. Residues must already be canonical.
+    pub(crate) fn from_rows(rows: Vec<Vec<u64>>, is_ntt: bool) -> Self {
+        RnsPoly {
+            coeffs: rows,
+            is_ntt,
+        }
     }
 
     /// Builds from small unsigned coefficients (e.g. a plaintext poly).
@@ -602,12 +626,12 @@ impl RnsPoly {
             !self.is_ntt,
             "CRT reconstruction requires coefficient domain"
         );
-        (0..basis.n())
-            .map(|j| {
-                let residues: Vec<u64> = (0..basis.len()).map(|i| self.coeffs[i][j]).collect();
-                basis.crt_reconstruct(&residues)
-            })
-            .collect()
+        let indices: Vec<usize> = (0..basis.n()).collect();
+        let parallel = basis.n() >= PAR_MIN_RING_DEGREE;
+        pasta_par::maybe_parallel_map(parallel, &indices, |_, &j| {
+            let residues: Vec<u64> = (0..basis.len()).map(|i| self.coeffs[i][j]).collect();
+            basis.crt_reconstruct(&residues)
+        })
     }
 }
 

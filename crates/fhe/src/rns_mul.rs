@@ -1,0 +1,737 @@
+//! Full-RNS (BEHZ-style) base conversion for ciphertext multiplication.
+//!
+//! [`crate::bfv::BfvContext::mul`] needs two operations that naively
+//! leave the residue number system: lifting a ciphertext polynomial from
+//! `Z_q` into a basis wide enough to hold the exact tensor product, and
+//! the `t/q` scaled rounding that brings the product back down. The
+//! bigint oracle CRT-reconstructs every coefficient into a
+//! multi-hundred-bit integer for both steps; this module replaces them
+//! with the fast base conversions of Bajard–Eynard–Hasan–Zucca
+//! ("A Full RNS Variant of FV-like Somewhat Homomorphic Encryption
+//! Schemes", SAC 2016), so the hot path is pure per-prime 64-bit
+//! arithmetic:
+//!
+//! * **Lift** (`q → B ∪ {m_sk}`): the input residues are pre-multiplied
+//!   by `m̃ = 2^16`, fast-base-converted (`ξ_i = [m̃·x_i·q̃_i]_{q_i}`,
+//!   `y_p = Σ_i ξ_i·[q̂_i]_p`), and the conversion's multiple-of-`q`
+//!   excess is read off a power-of-two correction channel (mask
+//!   arithmetic, no extra prime) — the small-Montgomery reduction
+//!   `SmMRq`. Taking the correction **centered** makes the output the
+//!   near-centered signed representative: `x̃ ≡ x (mod q)` with
+//!   `|x̃| ≤ (q/2)·(1 + 2(k+1)/m̃)` — within a 2⁻¹⁵ sliver of the
+//!   oracle's exactly-centered lift, which only nudges the tensor noise
+//!   by a correspondingly negligible amount.
+//! * **Scale** (`⌊t·c/q⌋`, `c` held in `q ∪ B ∪ {m_sk}`): computed
+//!   residue-wise as `d = [(t·c − y)·q^{-1}]` in the auxiliary basis
+//!   (`y` again a fast base conversion from `q`), which equals
+//!   `⌊t·c/q⌋ − α` with `α ∈ [0, k)` — a bounded additive error far
+//!   below the ciphertext noise. The result returns to the `q` basis
+//!   through the **Shenoy–Kumaresan** exact conversion: the redundant
+//!   modulus `m_sk` (the last auxiliary prime) pins down the multiple
+//!   of `P = Π p_j` to subtract, so no rounding error is introduced on
+//!   the way back.
+//!
+//! All conversion matrices (`[q̂_i]_{p_j}`, `[P/p_j]_{q_i}`) and scalar
+//! constants (with Shoup precomputation where they multiply vectors)
+//! are built once in [`RnsMulContext::new`]; the per-call kernels
+//! allocate no big integers. Base conversion parallelizes over *both*
+//! primes and fixed-size coefficient chunks via [`pasta_par`] — every
+//! output element is a pure function of the inputs, so results are
+//! bit-identical for any `PASTA_THREADS` setting.
+
+use crate::bigint::UBig;
+use crate::ring::{generate_ntt_primes, RnsBasis, RnsPoly, PAR_MIN_RING_DEGREE};
+use pasta_math::MathError;
+
+/// The power-of-two correction channel `m̃` of the SmMRq lift.
+const MTILDE_BITS: u32 = 16;
+const MTILDE: u64 = 1 << MTILDE_BITS;
+const MTILDE_MASK: u64 = MTILDE - 1;
+
+/// Coefficients per parallel work item. Fixed (not derived from the
+/// thread count) so the task decomposition — and therefore the output —
+/// is identical for any `PASTA_THREADS`.
+const CHUNK: usize = 1024;
+
+/// `a^{-1} mod 2^16` for odd `a`, by Newton iteration (each step
+/// doubles the number of correct low bits; 5 steps ≥ 32 bits).
+fn inv_mod_mtilde(a: u64) -> u64 {
+    debug_assert!(a & 1 == 1, "inverse mod 2^16 requires an odd input");
+    let mut x: u64 = 1;
+    for _ in 0..5 {
+        x = x.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(x)));
+    }
+    x & MTILDE_MASK
+}
+
+fn ceil_log2(x: usize) -> u32 {
+    usize::BITS - x.saturating_sub(1).leading_zeros()
+}
+
+/// Precomputed material for full-RNS ciphertext multiplication over a
+/// given ciphertext basis `q = Π q_i` and plaintext modulus `t`.
+///
+/// The auxiliary basis is `B ∪ {m_sk}`: `l` primes whose product `P`
+/// holds `⌊t·c/q⌋` for any tensor coefficient `c`, plus the redundant
+/// Shenoy–Kumaresan modulus `m_sk` stored as the **last** auxiliary
+/// prime. This is roughly *half* the size of the extended basis the
+/// bigint oracle needs (`P ≳ t·N·q` instead of `Q_ext ≳ N·q²`), so the
+/// fast path also runs fewer NTTs per product.
+#[derive(Debug, Clone)]
+pub struct RnsMulContext {
+    /// `B ∪ {m_sk}` with NTT tables; `m_sk` is the last prime.
+    aux: RnsBasis,
+    /// Number of primes in `B` (the auxiliary basis minus `m_sk`).
+    l: usize,
+    // ---- lift (q → aux, SmMRq) ----
+    /// `[m̃·q̃_i]_{q_i}` with Shoup precomputation.
+    lift_w: Vec<u64>,
+    lift_w_shoup: Vec<u64>,
+    /// `[q̂_i]_{p_j}`, indexed `[j][i]` (row per auxiliary prime).
+    conv_q_to_aux: Vec<Vec<u64>>,
+    /// `[q̂_i] mod m̃`.
+    conv_q_to_mtilde: Vec<u64>,
+    /// `[−q^{-1}] mod m̃`.
+    neg_q_inv_mtilde: u64,
+    /// `[q]_{p_j}` with Shoup precomputation.
+    q_mod_aux: Vec<u64>,
+    q_mod_aux_shoup: Vec<u64>,
+    /// `[m̃^{-1}]_{p_j}` with Shoup precomputation.
+    mtilde_inv_aux: Vec<u64>,
+    mtilde_inv_aux_shoup: Vec<u64>,
+    // ---- scale (⌊t·c/q⌋ in aux) ----
+    /// `[t·q̃_i]_{q_i}` with Shoup precomputation.
+    tq_inv: Vec<u64>,
+    tq_inv_shoup: Vec<u64>,
+    /// `[t]_{p_j}` with Shoup precomputation.
+    t_mod_aux: Vec<u64>,
+    t_mod_aux_shoup: Vec<u64>,
+    /// `[q^{-1}]_{p_j}` with Shoup precomputation.
+    q_inv_aux: Vec<u64>,
+    q_inv_aux_shoup: Vec<u64>,
+    // ---- Shenoy–Kumaresan exact conversion (B → q via m_sk) ----
+    /// `[(P/p_j)^{-1}]_{p_j}` with Shoup precomputation, `j < l`.
+    p_tilde: Vec<u64>,
+    p_tilde_shoup: Vec<u64>,
+    /// `[P/p_j]_{q_i}`, indexed `[i][j]` (row per ciphertext prime).
+    conv_b_to_q: Vec<Vec<u64>>,
+    /// `[P/p_j]_{m_sk}`.
+    conv_b_to_msk: Vec<u64>,
+    /// `[P^{-1}]_{m_sk}` with Shoup precomputation.
+    p_inv_msk: u64,
+    p_inv_msk_shoup: u64,
+    /// `[P]_{q_i}` with Shoup precomputation.
+    p_mod_q: Vec<u64>,
+    p_mod_q_shoup: Vec<u64>,
+}
+
+impl RnsMulContext {
+    /// Builds the auxiliary basis and all conversion constants for
+    /// multiplying ciphertexts over `basis` with plaintext modulus `t`.
+    ///
+    /// Setup-time only: this constructor is free to use [`UBig`]
+    /// arithmetic; the per-multiplication kernels are not.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if not enough NTT-friendly auxiliary primes
+    /// exist, or if the prime widths would overflow the `u128`
+    /// accumulators of the conversion inner loops.
+    pub fn new(basis: &RnsBasis, t: u64) -> Result<Self, MathError> {
+        let n = basis.n();
+        let k = basis.len();
+        let max_q_bits = basis
+            .primes()
+            .iter()
+            .map(pasta_math::Modulus::bits)
+            .max()
+            .unwrap_or(0);
+        // P must hold ⌊t·c/q⌋ − α for |c| ≤ N·q²/2 (the worst tensor
+        // coefficient): bits(P) ≥ bits(q) + bits(t) + log2(N) + margin.
+        let t_bits = (64 - t.leading_zeros()) as usize;
+        let needed_p_bits = basis.q().bits() + t_bits + ceil_log2(n) as usize + 4;
+        let aux_bits = (max_q_bits + 1).min(60);
+        let l = needed_p_bits.div_ceil(aux_bits as usize - 1);
+        // u128 accumulator guard for the conversion inner loops:
+        // Σ over max(k, l) terms of (q-prime × aux-prime) products.
+        let acc_bits = max_q_bits as usize + aux_bits as usize + ceil_log2(k.max(l + 1)) as usize;
+        if acc_bits > 126 {
+            return Err(MathError::UnsupportedWidth(aux_bits));
+        }
+        // l + 1 auxiliary primes (m_sk last), disjoint from the q
+        // primes: generate slack and filter collisions away.
+        let two_adicity = (2 * n).trailing_zeros();
+        let candidates = generate_ntt_primes(aux_bits, two_adicity, l + 1 + k)?;
+        let aux_primes: Vec<_> = candidates
+            .into_iter()
+            .filter(|p| !basis.primes().contains(p))
+            .take(l + 1)
+            .collect();
+        if aux_primes.len() < l + 1 {
+            return Err(MathError::UnsupportedWidth(aux_bits));
+        }
+        let aux = RnsBasis::new(n, aux_primes)?;
+
+        let q = basis.q();
+        let mut lift_w = Vec::with_capacity(k);
+        let mut lift_w_shoup = Vec::with_capacity(k);
+        let mut conv_q_to_mtilde = Vec::with_capacity(k);
+        let mut tq_inv = Vec::with_capacity(k);
+        let mut tq_inv_shoup = Vec::with_capacity(k);
+        for i in 0..k {
+            let zp = basis.zp(i);
+            let w = zp.mul(MTILDE % zp.p(), basis.q_hat_inv(i));
+            lift_w.push(w);
+            lift_w_shoup.push(zp.shoup(w));
+            conv_q_to_mtilde.push(basis.q_hat(i).low_u64() & MTILDE_MASK);
+            let tqi = zp.mul(t % zp.p(), basis.q_hat_inv(i));
+            tq_inv.push(tqi);
+            tq_inv_shoup.push(zp.shoup(tqi));
+        }
+        let neg_q_inv_mtilde = MTILDE - inv_mod_mtilde(q.low_u64() & MTILDE_MASK);
+
+        let mut conv_q_to_aux = Vec::with_capacity(l + 1);
+        let mut q_mod_aux = Vec::with_capacity(l + 1);
+        let mut q_mod_aux_shoup = Vec::with_capacity(l + 1);
+        let mut mtilde_inv_aux = Vec::with_capacity(l + 1);
+        let mut mtilde_inv_aux_shoup = Vec::with_capacity(l + 1);
+        let mut t_mod_aux = Vec::with_capacity(l + 1);
+        let mut t_mod_aux_shoup = Vec::with_capacity(l + 1);
+        let mut q_inv_aux = Vec::with_capacity(l + 1);
+        let mut q_inv_aux_shoup = Vec::with_capacity(l + 1);
+        for j in 0..=l {
+            let zp = aux.zp(j);
+            conv_q_to_aux.push((0..k).map(|i| basis.q_hat(i).rem_u64(zp.p())).collect());
+            let qm = q.rem_u64(zp.p());
+            q_mod_aux.push(qm);
+            q_mod_aux_shoup.push(zp.shoup(qm));
+            let mi = zp.inv(MTILDE % zp.p())?;
+            mtilde_inv_aux.push(mi);
+            mtilde_inv_aux_shoup.push(zp.shoup(mi));
+            let tm = t % zp.p();
+            t_mod_aux.push(tm);
+            t_mod_aux_shoup.push(zp.shoup(tm));
+            let qi = zp.inv(qm)?;
+            q_inv_aux.push(qi);
+            q_inv_aux_shoup.push(zp.shoup(qi));
+        }
+
+        // P = Π_{j<l} p_j — the Shenoy–Kumaresan modulus excludes m_sk.
+        let mut p_big = UBig::one();
+        for j in 0..l {
+            p_big = p_big.mul_u64(aux.primes()[j].value());
+        }
+        let msk = aux.primes()[l].value();
+        let msk_zp = aux.zp(l);
+        let mut p_tilde = Vec::with_capacity(l);
+        let mut p_tilde_shoup = Vec::with_capacity(l);
+        let mut p_hats = Vec::with_capacity(l);
+        for j in 0..l {
+            let zp = aux.zp(j);
+            let (p_hat, rem) = p_big.div_rem(&UBig::from_u64(zp.p()));
+            debug_assert!(rem.is_zero());
+            let inv = zp.inv(p_hat.rem_u64(zp.p()))?;
+            p_tilde.push(inv);
+            p_tilde_shoup.push(zp.shoup(inv));
+            p_hats.push(p_hat);
+        }
+        let conv_b_to_q = (0..k)
+            .map(|i| {
+                let p = basis.zp(i).p();
+                p_hats.iter().map(|h| h.rem_u64(p)).collect()
+            })
+            .collect();
+        let conv_b_to_msk = p_hats.iter().map(|h| h.rem_u64(msk)).collect();
+        let p_inv_msk = msk_zp.inv(p_big.rem_u64(msk))?;
+        let p_inv_msk_shoup = msk_zp.shoup(p_inv_msk);
+        let mut p_mod_q = Vec::with_capacity(k);
+        let mut p_mod_q_shoup = Vec::with_capacity(k);
+        for i in 0..k {
+            let zp = basis.zp(i);
+            let pm = p_big.rem_u64(zp.p());
+            p_mod_q.push(pm);
+            p_mod_q_shoup.push(zp.shoup(pm));
+        }
+
+        Ok(RnsMulContext {
+            aux,
+            l,
+            lift_w,
+            lift_w_shoup,
+            conv_q_to_aux,
+            conv_q_to_mtilde,
+            neg_q_inv_mtilde,
+            q_mod_aux,
+            q_mod_aux_shoup,
+            mtilde_inv_aux,
+            mtilde_inv_aux_shoup,
+            tq_inv,
+            tq_inv_shoup,
+            t_mod_aux,
+            t_mod_aux_shoup,
+            q_inv_aux,
+            q_inv_aux_shoup,
+            p_tilde,
+            p_tilde_shoup,
+            conv_b_to_q,
+            conv_b_to_msk,
+            p_inv_msk,
+            p_inv_msk_shoup,
+            p_mod_q,
+            p_mod_q_shoup,
+        })
+    }
+
+    /// The auxiliary basis `B ∪ {m_sk}` (NTT tables included; `m_sk`
+    /// last).
+    #[must_use]
+    pub fn aux(&self) -> &RnsBasis {
+        &self.aux
+    }
+
+    /// Number of primes in `B` (the auxiliary basis without `m_sk`).
+    #[must_use]
+    pub fn aux_b_len(&self) -> usize {
+        self.l
+    }
+
+    /// Runs `f(row, chunk_start, chunk_end) -> Vec<u64>` over every
+    /// (row, coefficient-chunk) pair — possibly in parallel — and
+    /// stitches the chunk buffers back into `n_rows` rows of length `n`.
+    /// Tasks are independent pure functions, so the result is identical
+    /// for any thread count.
+    fn par_chunked<F>(n_rows: usize, n: usize, parallel: bool, f: F) -> Vec<Vec<u64>>
+    where
+        F: Fn(usize, usize, usize) -> Vec<u64> + Sync,
+    {
+        let tasks: Vec<(usize, usize)> = (0..n_rows)
+            .flat_map(|r| (0..n).step_by(CHUNK).map(move |s| (r, s)))
+            .collect();
+        let bufs = pasta_par::maybe_parallel_map(parallel, &tasks, |_, &(r, start)| {
+            f(r, start, (start + CHUNK).min(n))
+        });
+        let mut rows: Vec<Vec<u64>> = (0..n_rows).map(|_| Vec::with_capacity(n)).collect();
+        for (&(r, _), buf) in tasks.iter().zip(bufs) {
+            rows[r].extend_from_slice(&buf);
+        }
+        rows
+    }
+
+    /// Lifts a coefficient-domain polynomial from the `q` basis into the
+    /// auxiliary basis: the output residues represent a signed integer
+    /// `x̃ ≡ x (mod q)` with `|x̃| ≤ (q/2)·(1 + 2(k+1)/m̃)` — the
+    /// near-centered representative of the SmMRq reduction with a
+    /// centered correction term. No approximation beyond that bound:
+    /// the `m̃` channel pins the multiple of `q` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poly` is in NTT domain.
+    #[must_use]
+    pub fn lift_to_aux(&self, basis: &RnsBasis, poly: &RnsPoly) -> RnsPoly {
+        assert!(!poly.is_ntt(), "lift requires coefficient domain");
+        let n = basis.n();
+        let k = basis.len();
+        let parallel = n >= PAR_MIN_RING_DEGREE;
+
+        // ξ_i = [x_i·m̃·q̃_i]_{q_i}, prime-row parallel.
+        let row_idx: Vec<usize> = (0..k).collect();
+        let xi: Vec<Vec<u64>> = pasta_par::maybe_parallel_map(parallel, &row_idx, |_, &i| {
+            let zp = basis.zp(i);
+            let (w, ws) = (self.lift_w[i], self.lift_w_shoup[i]);
+            poly.row(i)
+                .iter()
+                .map(|&x| zp.mul_shoup(x, w, ws))
+                .collect()
+        });
+
+        // Correction r̃ = [−y_m̃·q^{-1}]_{m̃} per coefficient from the
+        // power-of-two channel: wrapping u64 arithmetic + masks. Taken
+        // centered (r̃ ≤ m̃/2 adds, else subtracts m̃ − r̃) so the
+        // result lands on the near-centered representative.
+        let starts: Vec<usize> = (0..n).step_by(CHUNK).collect();
+        let r_chunks = pasta_par::maybe_parallel_map(parallel, &starts, |_, &s| {
+            let end = (s + CHUNK).min(n);
+            (s..end)
+                .map(|c| {
+                    let mut acc = 0u64;
+                    for (row, &conv) in xi.iter().zip(self.conv_q_to_mtilde.iter()) {
+                        acc = acc.wrapping_add(row[c].wrapping_mul(conv));
+                    }
+                    (acc & MTILDE_MASK).wrapping_mul(self.neg_q_inv_mtilde) & MTILDE_MASK
+                })
+                .collect::<Vec<u64>>()
+        });
+        let r_tilde: Vec<u64> = r_chunks.concat();
+
+        // y_p = Σ_i ξ_i·[q̂_i]_p; x̃_p = [(y_p ± r·q)·m̃^{-1}]_p.
+        let rows = Self::par_chunked(self.aux.len(), n, parallel, |j, start, end| {
+            let zp = self.aux.zp(j);
+            let p = u128::from(zp.p());
+            let conv = &self.conv_q_to_aux[j];
+            let mut buf = Vec::with_capacity(end - start);
+            for c in start..end {
+                let mut acc = 0u128;
+                for (row, &m) in xi.iter().zip(conv.iter()) {
+                    acc += u128::from(row[c]) * u128::from(m);
+                }
+                let y = (acc % p) as u64;
+                let r = r_tilde[c];
+                let v = if r <= MTILDE / 2 {
+                    zp.add(
+                        y,
+                        zp.mul_shoup(r, self.q_mod_aux[j], self.q_mod_aux_shoup[j]),
+                    )
+                } else {
+                    zp.sub(
+                        y,
+                        zp.mul_shoup(MTILDE - r, self.q_mod_aux[j], self.q_mod_aux_shoup[j]),
+                    )
+                };
+                buf.push(zp.mul_shoup(v, self.mtilde_inv_aux[j], self.mtilde_inv_aux_shoup[j]));
+            }
+            buf
+        });
+        RnsPoly::from_rows(rows, false)
+    }
+
+    /// Computes `⌊t·c/q⌋ − α` (with `α ∈ [0, k)`) residue-wise, where
+    /// the signed tensor coefficient `c` is held jointly by its `q`-basis
+    /// residues (`c_q`) and auxiliary-basis residues (`c_aux`), and
+    /// returns the result in the `q` basis via the Shenoy–Kumaresan
+    /// exact conversion. The `α` slack is a bounded additive error of at
+    /// most `k` per coefficient — orders of magnitude below the
+    /// ciphertext noise this operation rounds off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either input is in NTT domain.
+    #[must_use]
+    pub fn scale_to_q(&self, basis: &RnsBasis, c_q: &RnsPoly, c_aux: &RnsPoly) -> RnsPoly {
+        assert!(
+            !c_q.is_ntt() && !c_aux.is_ntt(),
+            "scale requires coefficient domain"
+        );
+        let n = basis.n();
+        let k = basis.len();
+        let l = self.l;
+        let parallel = n >= PAR_MIN_RING_DEGREE;
+
+        // ξ_i = [c_i·t·q̃_i]_{q_i}, prime-row parallel.
+        let row_idx: Vec<usize> = (0..k).collect();
+        let xi: Vec<Vec<u64>> = pasta_par::maybe_parallel_map(parallel, &row_idx, |_, &i| {
+            let zp = basis.zp(i);
+            let (w, ws) = (self.tq_inv[i], self.tq_inv_shoup[i]);
+            c_q.row(i).iter().map(|&x| zp.mul_shoup(x, w, ws)).collect()
+        });
+
+        // Per auxiliary prime: d = [(t·c − y)·q^{-1}]_p with y the fast
+        // base conversion of ξ. Rows j < l store η_j = [d·(P/p_j)^{-1}]
+        // (ready for Shenoy–Kumaresan); row l (m_sk) stores d itself.
+        let eta = Self::par_chunked(l + 1, n, parallel, |j, start, end| {
+            let zp = self.aux.zp(j);
+            let p = u128::from(zp.p());
+            let conv = &self.conv_q_to_aux[j];
+            let aux_row = c_aux.row(j);
+            let mut buf = Vec::with_capacity(end - start);
+            for c in start..end {
+                let mut acc = 0u128;
+                for (row, &m) in xi.iter().zip(conv.iter()) {
+                    acc += u128::from(row[c]) * u128::from(m);
+                }
+                let y = (acc % p) as u64;
+                let tc = zp.mul_shoup(aux_row[c], self.t_mod_aux[j], self.t_mod_aux_shoup[j]);
+                let d = zp.mul_shoup(zp.sub(tc, y), self.q_inv_aux[j], self.q_inv_aux_shoup[j]);
+                buf.push(if j < l {
+                    zp.mul_shoup(d, self.p_tilde[j], self.p_tilde_shoup[j])
+                } else {
+                    d
+                });
+            }
+            buf
+        });
+
+        // Shenoy–Kumaresan: the m_sk channel yields the exact multiple
+        // of P to subtract, α_sk = [(z_sk − d_sk)·P^{-1}]_{m_sk} ≤ l.
+        let msk_zp = self.aux.zp(l);
+        let msk = u128::from(msk_zp.p());
+        let starts: Vec<usize> = (0..n).step_by(CHUNK).collect();
+        let alpha_chunks = pasta_par::maybe_parallel_map(parallel, &starts, |_, &s| {
+            let end = (s + CHUNK).min(n);
+            (s..end)
+                .map(|c| {
+                    let mut acc = 0u128;
+                    for (row, &m) in eta[..l].iter().zip(self.conv_b_to_msk.iter()) {
+                        acc += u128::from(row[c]) * u128::from(m);
+                    }
+                    let z_sk = (acc % msk) as u64;
+                    let a = msk_zp.mul_shoup(
+                        msk_zp.sub(z_sk, eta[l][c]),
+                        self.p_inv_msk,
+                        self.p_inv_msk_shoup,
+                    );
+                    debug_assert!(a <= l as u64, "S-K correction must stay below l + 1");
+                    a
+                })
+                .collect::<Vec<u64>>()
+        });
+        let alpha: Vec<u64> = alpha_chunks.concat();
+
+        let rows = Self::par_chunked(k, n, parallel, |i, start, end| {
+            let zp = basis.zp(i);
+            let p = u128::from(zp.p());
+            let conv = &self.conv_b_to_q[i];
+            let mut buf = Vec::with_capacity(end - start);
+            for c in start..end {
+                let mut acc = 0u128;
+                for (row, &m) in eta[..l].iter().zip(conv.iter()) {
+                    acc += u128::from(row[c]) * u128::from(m);
+                }
+                let z = (acc % p) as u64;
+                buf.push(zp.sub(
+                    z,
+                    zp.mul_shoup(alpha[c], self.p_mod_q[i], self.p_mod_q_shoup[i]),
+                ));
+            }
+            buf
+        });
+        RnsPoly::from_rows(rows, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const T: u64 = 65_537;
+
+    fn world() -> (RnsBasis, RnsMulContext) {
+        let basis = RnsBasis::with_generated_primes(16, 50, 3).unwrap();
+        let ctx = RnsMulContext::new(&basis, T).unwrap();
+        (basis, ctx)
+    }
+
+    /// The signed value a residue vector over `basis` represents, as
+    /// `(magnitude, negative)` after centering.
+    fn centered_value(basis: &RnsBasis, residues: &[u64]) -> (UBig, bool) {
+        let v = basis.crt_reconstruct(residues);
+        let half = basis.q().shr(1);
+        if v.cmp_big(&half) == std::cmp::Ordering::Greater {
+            (basis.q().sub(&v), true)
+        } else {
+            (v, false)
+        }
+    }
+
+    fn boundary_values(basis: &RnsBasis) -> Vec<UBig> {
+        let q = basis.q();
+        let half = q.shr(1);
+        vec![
+            UBig::zero(),
+            UBig::one(),
+            half.sub(&UBig::one()),
+            half.clone(),
+            half.add(&UBig::one()),
+            q.sub(&UBig::one()),
+        ]
+    }
+
+    fn check_lift(basis: &RnsBasis, ctx: &RnsMulContext, values: &[UBig]) {
+        let n = basis.n();
+        let k = basis.len();
+        let mut padded = values.to_vec();
+        padded.resize(n, UBig::zero());
+        let poly = RnsPoly::from_bigint_coeffs(basis, &padded);
+        let lifted = ctx.lift_to_aux(basis, &poly);
+        let q = basis.q();
+        // |x̃| ≤ (q/2)·(1 + 2(k+1)/m̃) = q/2 + q(k+1)/m̃.
+        let bound = q
+            .shr(1)
+            .add(&q.mul_u64(k as u64 + 1).shr(MTILDE_BITS as usize))
+            .add(&UBig::one());
+        for c in 0..n {
+            let residues: Vec<u64> = (0..ctx.aux().len()).map(|j| lifted.row(j)[c]).collect();
+            let (got_mag, got_neg) = centered_value(ctx.aux(), &residues);
+            // Congruence: x̃ ≡ x (mod q).
+            let got_mod_q = {
+                let r = got_mag.div_rem(q).1;
+                if got_neg && !r.is_zero() {
+                    q.sub(&r)
+                } else {
+                    r
+                }
+            };
+            assert_eq!(got_mod_q, padded[c], "coefficient {c} congruence mod q");
+            // Near-centered magnitude bound.
+            assert!(
+                got_mag.cmp_big(&bound) != std::cmp::Ordering::Greater,
+                "coefficient {c} magnitude exceeds near-centered bound"
+            );
+        }
+    }
+
+    /// `⌊t·c/q⌋` for the signed coefficient `c`, reduced into `[0, q)`.
+    fn exact_floor_mod_q(basis: &RnsBasis, mag: &UBig, negative: bool) -> UBig {
+        let q = basis.q();
+        let scaled = mag.mul_u64(T);
+        let f = if negative {
+            // ⌊−x/q⌋ = −⌈x/q⌉
+            scaled.add(q).sub(&UBig::one()).div_rem(q).0
+        } else {
+            scaled.div_rem(q).0
+        };
+        let r = f.div_rem(q).1;
+        if negative && !r.is_zero() {
+            q.sub(&r)
+        } else {
+            r
+        }
+    }
+
+    fn check_scale(basis: &RnsBasis, ctx: &RnsMulContext, values: &[(UBig, bool)]) {
+        let n = basis.n();
+        let k = basis.len();
+        let mut padded = values.to_vec();
+        padded.resize(n, (UBig::zero(), false));
+        let q_rows: Vec<Vec<u64>> = (0..k)
+            .map(|i| {
+                padded
+                    .iter()
+                    .map(|(m, neg)| {
+                        let p = basis.primes()[i].value();
+                        let r = m.rem_u64(p);
+                        if *neg && r != 0 {
+                            p - r
+                        } else {
+                            r
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let aux_rows: Vec<Vec<u64>> = (0..ctx.aux().len())
+            .map(|j| {
+                padded
+                    .iter()
+                    .map(|(m, neg)| {
+                        let p = ctx.aux().primes()[j].value();
+                        let r = m.rem_u64(p);
+                        if *neg && r != 0 {
+                            p - r
+                        } else {
+                            r
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let c_q = RnsPoly::from_rows(q_rows, false);
+        let c_aux = RnsPoly::from_rows(aux_rows, false);
+        let out = ctx.scale_to_q(basis, &c_q, &c_aux);
+        for c in 0..n {
+            let residues: Vec<u64> = (0..k).map(|i| out.row(i)[c]).collect();
+            let got = basis.crt_reconstruct(&residues);
+            let (mag, neg) = &padded[c];
+            let want = exact_floor_mod_q(basis, mag, *neg);
+            // got = want − α mod q with α ∈ [0, k).
+            let diff = if want.cmp_big(&got) == std::cmp::Ordering::Less {
+                want.add(basis.q()).sub(&got)
+            } else {
+                want.sub(&got)
+            };
+            assert!(
+                diff.cmp_big(&UBig::from_u64(k as u64)) == std::cmp::Ordering::Less,
+                "coefficient {c}: fast-conversion slack {diff:?} ≥ k"
+            );
+        }
+    }
+
+    #[test]
+    fn lift_matches_exact_crt_at_sign_boundaries() {
+        let (basis, ctx) = world();
+        check_lift(&basis, &ctx, &boundary_values(&basis));
+    }
+
+    #[test]
+    fn scale_matches_exact_floor_at_boundaries() {
+        let (basis, ctx) = world();
+        // |c| up to N·q²/2 — the worst tensor coefficient the scale
+        // path must handle. Exercise both signs at the extremes plus
+        // the q/2 sign-centering boundary.
+        let q = basis.q();
+        let c_max = q.mul(q).mul_u64(basis.n() as u64 / 2);
+        let half = q.shr(1);
+        let values = vec![
+            (UBig::zero(), false),
+            (UBig::one(), false),
+            (UBig::one(), true),
+            (half.clone(), false),
+            (half.add(&UBig::one()), true),
+            (c_max.clone(), false),
+            (c_max.clone(), true),
+            (c_max.sub(&UBig::one()), true),
+        ];
+        check_scale(&basis, &ctx, &values);
+    }
+
+    #[test]
+    fn aux_basis_is_disjoint_and_sized() {
+        let (basis, ctx) = world();
+        for p in ctx.aux().primes() {
+            assert!(!basis.primes().contains(p), "aux prime collides with q");
+        }
+        // P (without m_sk) must hold t·N·q/2 with margin.
+        let needed = basis.q().bits() + 17 + 4;
+        let p_bits: usize = ctx.aux().primes()[..ctx.aux_b_len()]
+            .iter()
+            .map(|p| p.bits() as usize - 1)
+            .sum();
+        assert!(p_bits >= needed, "P too small: {p_bits} < {needed}");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+
+            #[test]
+            fn prop_lift_matches_exact_crt(seed in any::<u64>()) {
+                let (basis, ctx) = world();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let values: Vec<UBig> = (0..basis.n())
+                    .map(|_| {
+                        let residues: Vec<u64> = basis
+                            .primes()
+                            .iter()
+                            .map(|p| rng.gen_range(0..p.value()))
+                            .collect();
+                        basis.crt_reconstruct(&residues)
+                    })
+                    .collect();
+                check_lift(&basis, &ctx, &values);
+            }
+
+            #[test]
+            fn prop_scale_within_fast_conversion_slack(seed in any::<u64>()) {
+                let (basis, ctx) = world();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let c_max = basis.q().mul(basis.q()).mul_u64(basis.n() as u64 / 2);
+                let values: Vec<(UBig, bool)> = (0..basis.n())
+                    .map(|_| {
+                        // Random magnitude below c_max: random limbs,
+                        // reduced mod c_max.
+                        let limbs: Vec<u64> =
+                            (0..c_max.limbs().len() + 1).map(|_| rng.gen()).collect();
+                        let mag = UBig::from_limbs(limbs).div_rem(&c_max).1;
+                        (mag, rng.gen())
+                    })
+                    .collect();
+                check_scale(&basis, &ctx, &values);
+            }
+        }
+    }
+}

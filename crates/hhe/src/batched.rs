@@ -18,7 +18,9 @@
 //!   *batched plaintext* whose slot `s` holds `M^{(s)}_{i,j}` — one
 //!   plaintext–ciphertext multiplication handles that entry for all `N`
 //!   blocks at once;
-//! - Mix and the S-boxes are slot-wise by construction.
+//! - Mix and the S-boxes are slot-wise by construction; the S-box
+//!   squarings use the same full-RNS ciphertext multiplication as every
+//!   server mode (see [`pasta_fhe::rns_mul`]).
 //!
 //! Per-ciphertext work rises (full `N log N` plaintext multiplications
 //! instead of scalar ones) but is amortized over `N` blocks — the

@@ -14,7 +14,9 @@
 //!   affine layer (vs `(2t)²` scalar multiplications in scalar mode);
 //! - Mix and the Feistel shift are lane rotations against a maintained
 //!   *duplicate* copy of the state at lanes `2t..4t`;
-//! - the Feistel S-box masks lane 0 with an indicator plaintext.
+//! - the Feistel S-box masks lane 0 with an indicator plaintext; its
+//!   squarings ride the full-RNS multiplication of
+//!   [`pasta_fhe::rns_mul`] like every server mode.
 //!
 //! The rotations are where the server time goes, and the default
 //! [`PackedStrategy::Bsgs`] evaluation restructures them twice over:

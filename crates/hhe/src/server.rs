@@ -9,7 +9,9 @@
 //!   on key ciphertexts;
 //! - Mix is additions;
 //! - the Feistel/cube S-boxes are the expensive part — each squaring is a
-//!   ciphertext–ciphertext multiplication plus relinearization;
+//!   ciphertext–ciphertext multiplication plus relinearization, riding
+//!   the full-RNS path of [`pasta_fhe::rns_mul`] (`PASTA_MUL=bigint`
+//!   swaps in the exact bigint oracle);
 //! - finally `Enc(m) = Δ·c − Enc(KS)`: the symmetric ciphertext enters as
 //!   a public constant.
 //!

@@ -1,0 +1,105 @@
+//! Multiplication-backend equivalence: a full transcipher run on the
+//! default RNS path must recover the same plaintext as a run on the
+//! retained bigint oracle (`PASTA_MUL=bigint`). The ciphertext bytes
+//! may differ — the RNS lift produces a near-centered representative,
+//! not the oracle's exactly centered one — but decryption must agree.
+//!
+//! These tests live in their own integration-test binary so mutating
+//! the `PASTA_MUL` process environment cannot race unrelated unit
+//! tests.
+
+use pasta_core::PastaParams;
+use pasta_fhe::{BfvContext, BfvParams, MUL_BACKEND_ENV};
+use pasta_hhe::{provision_batched_key, BatchedHheServer, HheClient, HheServer};
+use pasta_math::Modulus;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs `f` with the multiplication backend forced to `backend`
+/// (`None` = default RNS path), restoring the prior value after.
+fn with_backend<T>(backend: Option<&str>, f: impl FnOnce() -> T) -> T {
+    let prior = std::env::var(MUL_BACKEND_ENV).ok();
+    match backend {
+        Some(v) => std::env::set_var(MUL_BACKEND_ENV, v),
+        None => std::env::remove_var(MUL_BACKEND_ENV),
+    }
+    let out = f();
+    match prior {
+        Some(v) => std::env::set_var(MUL_BACKEND_ENV, v),
+        None => std::env::remove_var(MUL_BACKEND_ENV),
+    }
+    out
+}
+
+#[test]
+fn scalar_transcipher_decrypts_identically_on_both_backends() {
+    let params = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap();
+    let ctx = BfvContext::new(BfvParams::test_tiny()).unwrap();
+    let mut rng = StdRng::seed_from_u64(4242);
+    let sk = ctx.generate_secret_key(&mut rng);
+    let pk = ctx.generate_public_key(&sk, &mut rng);
+    let relin = ctx.generate_relin_key(&sk, &mut rng);
+    let client = HheClient::new(params, b"mul-backends");
+    let ek = client.provision_key(&ctx, &pk, &mut rng);
+
+    let message: Vec<u64> = (0..8u64).map(|i| (i * 31_337 + 7) % 65_537).collect();
+    let pasta_ct = client.encrypt(99, &message).unwrap();
+
+    // Fresh server per backend: the keystream material cache must not
+    // let the first run's backend leak into the second.
+    let run = |backend: Option<&str>| {
+        with_backend(backend, || {
+            let server = HheServer::new(params, relin.clone(), ek.clone()).unwrap();
+            server.transcipher(&ctx, &pasta_ct).unwrap()
+        })
+    };
+    let fast = run(None);
+    let oracle = run(Some("bigint"));
+
+    assert_eq!(client.retrieve(&ctx, &sk, &fast), message);
+    assert_eq!(client.retrieve(&ctx, &sk, &oracle), message);
+}
+
+#[test]
+fn batched_transcipher_decrypts_identically_on_both_backends() {
+    let params = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap();
+    let bfv = BfvParams {
+        prime_count: 5,
+        ..BfvParams::test_tiny()
+    };
+    let ctx = BfvContext::new(bfv).unwrap();
+    let mut rng = StdRng::seed_from_u64(2727);
+    let sk = ctx.generate_secret_key(&mut rng);
+    let pk = ctx.generate_public_key(&sk, &mut rng);
+    let relin = ctx.generate_relin_key(&sk, &mut rng);
+    let client = HheClient::new(params, b"mul-backends");
+    let ek = provision_batched_key(client.cipher().key().elements(), &ctx, &pk, &mut rng);
+
+    let message: Vec<u64> = (0..12u64).map(|i| (i * 3_141 + 59) % 65_537).collect();
+    let pasta_ct = client.encrypt(0xBEEF, &message).unwrap();
+
+    let run = |backend: Option<&str>| {
+        with_backend(backend, || {
+            let server = BatchedHheServer::new(params, &ctx, relin.clone(), ek.clone()).unwrap();
+            let batch = server.transcipher_batched(&ctx, &pasta_ct).unwrap();
+            let t = params.t();
+            let mut recovered = vec![0u64; message.len()];
+            for position in 0..t {
+                for (block, &v) in server
+                    .decode_position(&ctx, &sk, &batch, position)
+                    .iter()
+                    .enumerate()
+                {
+                    let idx = block * t + position;
+                    if idx < recovered.len() {
+                        recovered[idx] = v;
+                    }
+                }
+            }
+            recovered
+        })
+    };
+
+    assert_eq!(run(None), message);
+    assert_eq!(run(Some("bigint")), message);
+}
