@@ -1,0 +1,447 @@
+//! Baseline handling (`-D new` semantics) and the minimal JSON
+//! emitter/parser it needs.
+//!
+//! A committed `audit-baseline.json` records pre-existing findings so
+//! the CI gate only fails on *new* ones. Entries are keyed on
+//! `(file, check, trimmed line text)` with a count, not on line
+//! numbers, so unrelated edits above a baselined site do not break the
+//! match. The shipped baseline is kept (near-)empty — the audit PR
+//! fixes or annotates the real findings instead of grandfathering them
+//! — but the mechanism lets future refactors land incrementally.
+
+use crate::analyze::Finding;
+use std::collections::BTreeMap;
+
+/// A loaded baseline: `(file, check-label, line text) -> count`.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String, String), usize>,
+}
+
+impl Baseline {
+    /// Parses a baseline from its JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the JSON is malformed or not the expected
+    /// shape.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let value = Json::parse(text)?;
+        let obj = value.as_object().ok_or("baseline root must be an object")?;
+        let findings = obj
+            .iter()
+            .find(|(k, _)| k == "findings")
+            .map(|(_, v)| v)
+            .ok_or("baseline is missing the \"findings\" array")?;
+        let arr = findings
+            .as_array()
+            .ok_or("baseline \"findings\" must be an array")?;
+        let mut entries = BTreeMap::new();
+        for entry in arr {
+            let e = entry
+                .as_object()
+                .ok_or("baseline finding entries must be objects")?;
+            let field = |name: &str| -> Result<String, String> {
+                e.iter()
+                    .find(|(k, _)| k == name)
+                    .and_then(|(_, v)| v.as_str())
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("baseline entry is missing string field \"{name}\""))
+            };
+            let count = e
+                .iter()
+                .find(|(k, _)| k == "count")
+                .and_then(|(_, v)| v.as_usize())
+                .unwrap_or(1);
+            *entries
+                .entry((field("file")?, field("check")?, field("text")?))
+                .or_insert(0) += count;
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Splits `findings` into (new, baselined-count), consuming baseline
+    /// counts in order.
+    #[must_use]
+    pub fn filter(&self, findings: Vec<Finding>) -> (Vec<Finding>, usize) {
+        let mut remaining = self.entries.clone();
+        let mut new = Vec::new();
+        let mut baselined = 0usize;
+        for f in findings {
+            let key = (f.file.clone(), f.check.label().to_string(), f.text.clone());
+            match remaining.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    baselined += 1;
+                }
+                _ => new.push(f),
+            }
+        }
+        (new, baselined)
+    }
+}
+
+/// Renders `findings` as baseline JSON (aggregated by key).
+#[must_use]
+pub fn render_baseline(findings: &[Finding]) -> String {
+    let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+    for f in findings {
+        *counts
+            .entry((f.file.clone(), f.check.label().to_string(), f.text.clone()))
+            .or_insert(0) += 1;
+    }
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    let mut first = true;
+    for ((file, check, text), count) in &counts {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"check\": {}, \"text\": {}, \"count\": {count}}}",
+            escape(file),
+            escape(check),
+            escape(text)
+        ));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Renders the findings report as JSON (`--format json`).
+#[must_use]
+pub fn render_report(new: &[Finding], baselined: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"new_findings\": {},\n", new.len()));
+    out.push_str(&format!("  \"baselined\": {baselined},\n"));
+    out.push_str("  \"findings\": [");
+    let mut first = true;
+    for f in new {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"check\": {}, \"message\": {}}}",
+            escape(&f.file),
+            f.line,
+            escape(f.check.label()),
+            escape(&f.message)
+        ));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// JSON string escaping (control characters, quotes, backslashes).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal JSON value — just enough to read baselines.
+enum Json {
+    Null,
+    Bool(#[allow(dead_code)] bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            src: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.src.len() {
+            return Err(format!("trailing JSON content at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as usize),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found '{}'",
+                b as char,
+                self.pos,
+                self.peek() as char
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.src[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid JSON literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::String(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == b'}' {
+            self.pos += 1;
+            return Ok(Json::Object(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            out.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Object(out));
+                }
+                c => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found '{}'",
+                        self.pos, c as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == b']' {
+            self.pos += 1;
+            return Ok(Json::Array(out));
+        }
+        loop {
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Array(out));
+                }
+                c => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found '{}'",
+                        self.pos, c as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                0 => return Err("unterminated JSON string".to_string()),
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let e = self.peek();
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .src
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("invalid \\u escape")?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for
+                            // baseline content; map them to U+FFFD.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        c => return Err(format!("invalid escape '\\{}'", c as char)),
+                    }
+                }
+                _ => {
+                    // Copy the full UTF-8 sequence starting here.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.src.len() && (self.src[self.pos] & 0xc0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(&String::from_utf8_lossy(&self.src[start..self.pos]));
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == b'-' {
+            self.pos += 1;
+        }
+        while self.peek().is_ascii_digit()
+            || matches!(self.peek(), b'.' | b'e' | b'E' | b'+' | b'-')
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| format!("invalid JSON number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::Check;
+
+    fn finding(file: &str, line: usize, text: &str) -> Finding {
+        Finding {
+            file: file.into(),
+            line,
+            check: Check::Panic,
+            message: "test".into(),
+            text: text.into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_render_parse_filter() {
+        let findings = vec![
+            finding("crates/a.rs", 3, "x.unwrap()"),
+            finding("crates/a.rs", 9, "x.unwrap()"),
+            finding("crates/b.rs", 1, "y.expect(\"quoted \\\"text\\\"\")"),
+        ];
+        let json = render_baseline(&findings);
+        let baseline = Baseline::parse(&json).unwrap();
+        // Everything in the baseline is filtered out...
+        let (new, baselined) = baseline.filter(findings.clone());
+        assert!(new.is_empty(), "{new:?}");
+        assert_eq!(baselined, 3);
+        // ...but a third occurrence of a twice-baselined line is new,
+        // and moved lines still match (keys ignore line numbers).
+        let mut more = findings;
+        more.push(finding("crates/a.rs", 40, "x.unwrap()"));
+        let (new, baselined) = baseline.filter(more);
+        assert_eq!(baselined, 3);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].line, 40);
+    }
+
+    #[test]
+    fn empty_baseline_passes_everything_through() {
+        let baseline = Baseline::parse("{\"version\": 1, \"findings\": []}").unwrap();
+        let (new, baselined) = baseline.filter(vec![finding("f.rs", 1, "t")]);
+        assert_eq!((new.len(), baselined), (1, 0));
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(Baseline::parse("[]").is_err());
+        assert!(Baseline::parse("{\"version\": 1}").is_err());
+        assert!(Baseline::parse("{unquoted: true}").is_err());
+    }
+}

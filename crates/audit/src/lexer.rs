@@ -1,0 +1,521 @@
+//! A hand-rolled Rust lexer, sufficient for line-accurate static checks.
+//!
+//! The tokenizer understands every construct that would otherwise corrupt
+//! a text-level scan of Rust source:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`), kept as tokens so annotation comments
+//!   (`// audit: ...`, `// SAFETY: ...`) can be inspected;
+//! - string literals with escapes, byte strings, C strings, and raw
+//!   strings with arbitrary `#` fencing (`r#"..."#`, `br##"..."##`);
+//! - char literals vs lifetimes (`'a'` vs `'a`), including escaped
+//!   chars (`'\''`, `'\u{1F600}'`) and byte chars (`b'x'`);
+//! - numeric literals with underscores, type suffixes and float
+//!   exponents (`1_000u64`, `2.5e-3`), without swallowing range `..`;
+//! - raw identifiers (`r#match`).
+//!
+//! It does **not** build a syntax tree; the checks in
+//! [`crate::analyze`] work on the token stream plus light structural
+//! passes (brace matching, `#[cfg(test)]` spans, `fn` signatures).
+
+/// The kind of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `if`, `r#match`, …).
+    Ident,
+    /// A `//` or `/* */` comment (text retained, including markers).
+    Comment,
+    /// A string, char, byte or numeric literal.
+    Literal,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A single punctuation character (`{`, `.`, `!`, …).
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// The token text. For comments this is the full comment including
+    /// the `//` / `/* */` markers; for raw identifiers the `r#` prefix
+    /// is stripped.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this is an identifier equal to `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+}
+
+/// Tokenizes `src`. Unterminated constructs (strings, block comments)
+/// consume the rest of the input rather than erroring: the audit must
+/// keep scanning the remaining files regardless.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    toks: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        b
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: usize) {
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.toks.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let line = self.line;
+            let start = self.pos;
+            let b = self.peek(0);
+            match b {
+                b if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => {
+                    while self.pos < self.src.len() && self.peek(0) != b'\n' {
+                        self.bump();
+                    }
+                    self.push(TokKind::Comment, start, line);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.block_comment();
+                    self.push(TokKind::Comment, start, line);
+                }
+                b'r' | b'b' | b'c' if self.raw_or_prefixed(start, line) => {}
+                b'b' if self.peek(1) == b'\'' => {
+                    self.bump(); // b
+                    self.char_literal();
+                    self.push(TokKind::Literal, start, line);
+                }
+                b'\'' => {
+                    if self.lifetime_or_char() {
+                        self.push(TokKind::Literal, start, line);
+                    } else {
+                        self.push(TokKind::Lifetime, start, line);
+                    }
+                }
+                b'"' => {
+                    self.string_literal();
+                    self.push(TokKind::Literal, start, line);
+                }
+                b if b.is_ascii_digit() => {
+                    self.number();
+                    self.push(TokKind::Literal, start, line);
+                }
+                b if is_ident_start(b) => {
+                    while is_ident_cont(self.peek(0)) {
+                        self.bump();
+                    }
+                    self.push(TokKind::Ident, start, line);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, start, line);
+                }
+            }
+        }
+        self.toks
+    }
+
+    /// Consumes a `/* ... */` comment with nesting. The leading `/*` has
+    /// not been consumed yet.
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 && self.pos < self.src.len() {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `br…`, `b"…"`, `c"…"`, `cr#"…"#` and the
+    /// raw-identifier prefix `r#ident`, pushing the resulting token
+    /// itself. Returns true if anything was consumed; false (nothing
+    /// consumed) when the position is an ordinary identifier starting
+    /// with `r`/`b`/`c` — the caller then lexes it as an ident.
+    fn raw_or_prefixed(&mut self, start: usize, line: usize) -> bool {
+        let save = (self.pos, self.line);
+        let first = self.bump(); // r, b or c
+        let mut is_raw = first == b'r';
+        // br / cr two-byte prefixes.
+        if (first == b'b' || first == b'c') && self.peek(0) == b'r' {
+            self.bump();
+            is_raw = true;
+        }
+        if self.peek(0) == b'"' {
+            if is_raw {
+                self.raw_string_body(0);
+            } else {
+                self.string_literal();
+            }
+            self.push(TokKind::Literal, start, line);
+            return true;
+        }
+        if is_raw && self.peek(0) == b'#' {
+            // Count fence hashes; `#…#"` starts a raw string, a single
+            // `#` + ident is a raw identifier.
+            let mut hashes = 0usize;
+            while self.peek(hashes) == b'#' {
+                hashes += 1;
+            }
+            if self.peek(hashes) == b'"' {
+                self.raw_string_body(hashes);
+                self.push(TokKind::Literal, start, line);
+                return true;
+            }
+            if first == b'r' && hashes == 1 && is_ident_start(self.peek(1)) {
+                // Raw identifier: emit as Ident with the `r#` stripped so
+                // `r#match` compares equal to the keyword text it shadows
+                // — checks treat it like any other name.
+                self.bump(); // '#'
+                let id_start = self.pos;
+                while is_ident_cont(self.peek(0)) {
+                    self.bump();
+                }
+                let text = String::from_utf8_lossy(&self.src[id_start..self.pos]).into_owned();
+                self.toks.push(Token {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+                return true;
+            }
+        }
+        // Plain identifier starting with r/b/c.
+        (self.pos, self.line) = save;
+        false
+    }
+
+    /// Consumes the body of a raw string; `hashes` fence characters and
+    /// the opening quote have not been consumed yet.
+    fn raw_string_body(&mut self, hashes: usize) {
+        for _ in 0..hashes {
+            self.bump(); // '#'
+        }
+        self.bump(); // opening '"'
+        loop {
+            if self.pos >= self.src.len() {
+                return;
+            }
+            if self.bump() == b'"' {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(i) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Consumes a `"…"` string with escape handling; opening quote not
+    /// yet consumed.
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a char literal whose opening `'` has not been consumed.
+    fn char_literal(&mut self) {
+        self.bump(); // '
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Distinguishes `'a'` (char, returns true) from `'a` (lifetime,
+    /// returns false) and consumes whichever it is.
+    fn lifetime_or_char(&mut self) -> bool {
+        // An escape or a non-identifier char after the quote is always a
+        // char literal ('\n', '(' …).
+        if self.peek(1) == b'\\' || !is_ident_cont(self.peek(1)) {
+            self.char_literal();
+            return true;
+        }
+        // Identifier-ish after the quote: scan the identifier run. A
+        // closing quote right after makes it a char ('a', 'q'); anything
+        // else is a lifetime ('a, 'static).
+        let mut i = 1;
+        while is_ident_cont(self.peek(i)) {
+            i += 1;
+        }
+        if self.peek(i) == b'\'' && i == 2 {
+            self.char_literal();
+            true
+        } else {
+            self.bump(); // '
+            while is_ident_cont(self.peek(0)) {
+                self.bump();
+            }
+            false
+        }
+    }
+
+    /// Consumes a numeric literal (loose: digits, `_`, suffixes, hex,
+    /// floats with exponents). Stops before `..` so ranges lex cleanly.
+    fn number(&mut self) {
+        self.bump();
+        loop {
+            let b = self.peek(0);
+            if b == b'.' {
+                // `1..n` → stop; `1.5` → continue.
+                if self.peek(1).is_ascii_digit() {
+                    self.bump();
+                    continue;
+                }
+                return;
+            }
+            if b == b'e' || b == b'E' {
+                if self.peek(1) == b'+' || self.peek(1) == b'-' {
+                    if self.peek(2).is_ascii_digit() {
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    return;
+                }
+                if self.peek(1).is_ascii_digit() || is_ident_cont(self.peek(1)) {
+                    self.bump();
+                    continue;
+                }
+                return;
+            }
+            if is_ident_cont(b) {
+                self.bump();
+                continue;
+            }
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn texts_of(src: &str, kind: TokKind) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == kind)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a.b(c);");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Ident, "a".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Ident, "b".into()),
+                (TokKind::Punct, "(".into()),
+                (TokKind::Ident, "c".into()),
+                (TokKind::Punct, ")".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_are_one_based() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<(String, usize)> = toks.into_iter().map(|t| (t.text, t.line)).collect();
+        assert_eq!(
+            lines,
+            vec![("a".into(), 1), ("b".into(), 2), ("c".into(), 4)]
+        );
+    }
+
+    #[test]
+    fn line_comment_is_one_token() {
+        let toks = kinds("x // trailing if unwrap\ny");
+        assert_eq!(toks[0], (TokKind::Ident, "x".into()));
+        assert_eq!(toks[1], (TokKind::Comment, "// trailing if unwrap".into()));
+        assert_eq!(toks[2], (TokKind::Ident, "y".into()));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let toks = kinds("a /* outer /* inner */ still */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokKind::Comment);
+        assert!(toks[1].1.ends_with("still */"), "{}", toks[1].1);
+    }
+
+    #[test]
+    fn strings_swallow_keywords() {
+        // `if` and `unwrap` inside the literal must not become idents.
+        let toks = kinds(r#"let s = "if x.unwrap()";"#);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "s"]);
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let lits = texts_of(r#"let s = "a\"b";"#, TokKind::Literal);
+        assert_eq!(lits, vec![r#""a\"b""#]);
+    }
+
+    #[test]
+    fn raw_strings_with_hash_fencing() {
+        let src = "let s = r#\"embedded \" quote\"#; done";
+        let lits = texts_of(src, TokKind::Literal);
+        assert_eq!(lits, vec!["r#\"embedded \" quote\"#"]);
+        assert!(lex(src).iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn byte_and_c_strings_are_literals() {
+        for src in ["b\"bytes\"", "br#\"raw bytes\"#", "c\"cstr\"", "b'x'"] {
+            let toks = kinds(src);
+            assert_eq!(toks.len(), 1, "{src}");
+            assert_eq!(toks[0].0, TokKind::Literal, "{src}");
+        }
+    }
+
+    #[test]
+    fn raw_identifier_is_ident_with_prefix_stripped() {
+        let toks = kinds("let r#match = 1;");
+        assert_eq!(toks[1], (TokKind::Ident, "match".into()));
+    }
+
+    #[test]
+    fn plain_r_and_b_stay_idents() {
+        let toks = kinds("r + b");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "r".into()),
+                (TokKind::Punct, "+".into()),
+                (TokKind::Ident, "b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        assert_eq!(kinds("'a'")[0].0, TokKind::Literal);
+        assert_eq!(kinds("'\\n'")[0].0, TokKind::Literal);
+        let toks = kinds("&'a str");
+        assert_eq!(toks[1], (TokKind::Lifetime, "'a".into()));
+        assert_eq!(kinds("'static")[0].0, TokKind::Lifetime);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_dots() {
+        let toks = kinds("0..32");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Literal, "0".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Literal, "32".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn float_and_suffixed_numbers() {
+        assert_eq!(kinds("1.5e3")[0], (TokKind::Literal, "1.5e3".into()));
+        assert_eq!(kinds("0xFF_u64")[0], (TokKind::Literal, "0xFF_u64".into()));
+        assert_eq!(kinds("12.0")[0], (TokKind::Literal, "12.0".into()));
+    }
+
+    #[test]
+    fn method_named_like_field_access() {
+        // `tuple.0` must lex as ident, dot, number.
+        let toks = kinds("t.0");
+        assert_eq!(toks[2], (TokKind::Literal, "0".into()));
+    }
+}

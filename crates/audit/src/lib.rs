@@ -1,0 +1,115 @@
+//! `pasta-audit` — self-contained static analysis for the workspace.
+//!
+//! The paper's cryptoprocessor handles the PASTA master key on an edge
+//! device; two of its core properties are invisible to the compiler:
+//! the cipher/keystream kernels must not leak secrets through
+//! data-dependent control flow or addressing, and the cycle-accurate
+//! model plus parallel layer must stay bit-deterministic. This crate
+//! walks every workspace `.rs` file with a hand-rolled lexer
+//! ([`lexer`]) and enforces five checks ([`analyze`]):
+//!
+//! 1. **secret-flow** — `// audit: secret` material in `pasta-core` /
+//!    `pasta-keccak` may not feed `if`/`while`/`match` conditions or
+//!    slice indices;
+//! 2. **panic** — no `unwrap`/`expect`/`panic!`-family calls in
+//!    non-test kernel-crate code;
+//! 3. **unsafe** — every `unsafe` block carries a `// SAFETY:` comment;
+//! 4. **cast** — no narrowing `as` casts in the modular-arithmetic
+//!    kernels;
+//! 5. **determinism** — no wall clocks, default-hasher collections or
+//!    ambient entropy in the determinism-critical crates.
+//!
+//! By-design exceptions are annotated in-source
+//! (`// audit: allow(<check>, reason = "...")`); a committed
+//! `audit-baseline.json` gives the CI gate `-D new` semantics
+//! ([`baseline`]). The crate is dependency-free so the audit itself
+//! needs no vetting and runs in the offline build environment.
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod baseline;
+pub mod lexer;
+
+use analyze::{check_file, collect_secrets, Finding, SourceFile, SECRET_CRATES};
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".github"];
+
+/// Collects every workspace `.rs` file under `root`, sorted, skipping
+/// build output, vendored shims and VCS metadata.
+///
+/// # Errors
+///
+/// Propagates directory-read failures.
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = std::fs::read_dir(&dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_str()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// The `/`-separated path of `path` relative to `root`.
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Walks the tree under `root` and runs every check, returning findings
+/// sorted by `(file, line, check)`.
+///
+/// # Errors
+///
+/// Returns a message when the tree cannot be read.
+pub fn analyze_tree(root: &Path) -> Result<Vec<Finding>, String> {
+    let files =
+        collect_rs_files(root).map_err(|e| format!("cannot walk {}: {e}", root.display()))?;
+    if files.is_empty() {
+        return Err(format!("no .rs files found under {}", root.display()));
+    }
+    let mut parsed = Vec::with_capacity(files.len());
+    for path in &files {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        parsed.push(SourceFile::parse(&rel_path(root, path), &src));
+    }
+    let secrets = collect_secrets(
+        parsed
+            .iter()
+            .filter(|sf| SECRET_CRATES.contains(&sf.crate_name.as_str())),
+    );
+    let mut findings = Vec::new();
+    for sf in &parsed {
+        findings.extend(check_file(sf, &secrets));
+    }
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.check, &a.message).cmp(&(&b.file, b.line, b.check, &b.message))
+    });
+    Ok(findings)
+}

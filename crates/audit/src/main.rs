@@ -1,0 +1,153 @@
+//! CLI driver: `cargo run -p pasta-audit -- check [options]`.
+
+use pasta_audit::baseline::{render_baseline, render_report, Baseline};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pasta-audit — workspace static analysis (secret-flow, panic-freedom,
+unsafe hygiene, lossy casts, determinism)
+
+USAGE:
+    cargo run -p pasta-audit -- check [OPTIONS]
+
+OPTIONS:
+    --root <PATH>        workspace root (default: the workspace this
+                         binary was built from)
+    --format <text|json> output format (default: text)
+    --baseline <PATH>    baseline file (default: <root>/audit-baseline.json
+                         when it exists)
+    --write-baseline     rewrite the baseline from the current findings
+                         and exit 0
+    -h, --help           show this help
+
+EXIT CODES:
+    0  no unsuppressed findings beyond the baseline
+    1  new findings
+    2  usage or I/O error";
+
+struct Options {
+    root: PathBuf,
+    format: Format,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("pasta-audit: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut command = None;
+    let mut root = None;
+    let mut format = Format::Text;
+    let mut baseline = None;
+    let mut write_baseline = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--root" => root = Some(PathBuf::from(next_value(&mut args, "--root")?)),
+            "--format" => {
+                format = match next_value(&mut args, "--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (text|json)")),
+                }
+            }
+            "--baseline" => {
+                baseline = Some(PathBuf::from(next_value(&mut args, "--baseline")?));
+            }
+            "--write-baseline" => write_baseline = true,
+            "check" if command.is_none() => command = Some("check"),
+            other => return Err(format!("unexpected argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    if command != Some("check") {
+        return Err(format!("expected the `check` subcommand\n\n{USAGE}"));
+    }
+    // Default root: the workspace that built this binary, so plain
+    // `cargo run -p pasta-audit -- check` audits the right tree from
+    // any working directory.
+    let root = root.unwrap_or_else(|| {
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest
+            .parent()
+            .and_then(std::path::Path::parent)
+            .map_or_else(|| PathBuf::from("."), std::path::Path::to_path_buf)
+    });
+    Ok(Options {
+        root,
+        format,
+        baseline,
+        write_baseline,
+    })
+}
+
+fn next_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+    let findings = pasta_audit::analyze_tree(&opts.root)?;
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| opts.root.join("audit-baseline.json"));
+
+    if opts.write_baseline {
+        std::fs::write(&baseline_path, render_baseline(&findings))
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        println!(
+            "pasta-audit: wrote baseline with {} finding(s) to {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline = if baseline_path.exists() {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
+        Baseline::parse(&text)
+            .map_err(|e| format!("invalid baseline {}: {e}", baseline_path.display()))?
+    } else {
+        Baseline::default()
+    };
+    let (new, baselined) = baseline.filter(findings);
+
+    match opts.format {
+        Format::Json => print!("{}", render_report(&new, baselined)),
+        Format::Text => {
+            for f in &new {
+                println!("{}", f.render());
+            }
+            println!(
+                "pasta-audit: {} new finding(s), {} baselined",
+                new.len(),
+                baselined
+            );
+        }
+    }
+    Ok(if new.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

@@ -1,0 +1,148 @@
+//! Fixture-file tests: each `tests/fixtures/*.rs.txt` exercises one
+//! check, and the assertions pin the *exact* `(line, check)` locations
+//! the audit must report — both the positives and the suppressed or
+//! out-of-scope negatives.
+//!
+//! The fixtures carry a `.txt` extension so the workspace walk (and
+//! rustc) never picks them up as real sources; the tests lex them under
+//! a synthetic kernel-crate path instead.
+
+use pasta_audit::analyze::{check_file, collect_secrets, SourceFile};
+
+/// Runs all checks on `src` as if it lived at `rel`, returning sorted
+/// `(line, check-label)` pairs.
+fn run(rel: &str, src: &str) -> Vec<(usize, &'static str)> {
+    let sf = SourceFile::parse(rel, src);
+    let secrets = collect_secrets([&sf]);
+    let mut found: Vec<(usize, &'static str)> = check_file(&sf, &secrets)
+        .into_iter()
+        .map(|f| (f.line, f.check.label()))
+        .collect();
+    found.sort_unstable();
+    found
+}
+
+#[test]
+fn secret_flow_locations() {
+    let found = run(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/secret_flow.rs.txt"),
+    );
+    assert_eq!(
+        found,
+        vec![
+            (10, "secret-flow"), // if k.elements[0] > 7
+            (18, "secret-flow"), // table[k.elements[0] as usize]
+            (22, "secret-flow"), // match k.elements.len()
+            (38, "secret-flow"), // if key[0] == 0 under audit: secret(key)
+        ]
+    );
+}
+
+#[test]
+fn secret_flow_only_applies_to_secret_crates() {
+    // The same source under a non-secret crate path reports nothing.
+    let found = run(
+        "crates/pipeline/src/fixture.rs",
+        include_str!("fixtures/secret_flow.rs.txt"),
+    );
+    assert_eq!(found, vec![]);
+}
+
+#[test]
+fn panic_locations() {
+    let found = run(
+        "crates/hw/src/fixture.rs",
+        include_str!("fixtures/panics.rs.txt"),
+    );
+    assert_eq!(
+        found,
+        vec![
+            (4, "panic"),  // x.unwrap()
+            (8, "panic"),  // x.expect("present")
+            (13, "panic"), // panic!("boom")
+            (15, "panic"), // unreachable!()
+        ]
+    );
+}
+
+#[test]
+fn panic_check_skips_non_kernel_crates() {
+    let found = run(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/panics.rs.txt"),
+    );
+    assert_eq!(found, vec![]);
+}
+
+#[test]
+fn unsafe_locations() {
+    let found = run(
+        "crates/par/src/fixture.rs",
+        include_str!("fixtures/unsafe_hygiene.rs.txt"),
+    );
+    assert_eq!(found, vec![(4, "unsafe")]);
+}
+
+#[test]
+fn cast_locations() {
+    let found = run(
+        "crates/math/src/fixture.rs",
+        include_str!("fixtures/casts.rs.txt"),
+    );
+    assert_eq!(found, vec![(4, "cast")]);
+}
+
+#[test]
+fn cast_check_is_scoped_to_the_arithmetic_kernels() {
+    // hhe is a kernel crate for panics, but not a cast-audited file.
+    let found = run(
+        "crates/hhe/src/fixture.rs",
+        include_str!("fixtures/casts.rs.txt"),
+    );
+    assert_eq!(found, vec![]);
+}
+
+#[test]
+fn determinism_locations() {
+    let found = run(
+        "crates/hw/src/fixture.rs",
+        include_str!("fixtures/determinism.rs.txt"),
+    );
+    assert_eq!(
+        found,
+        vec![
+            (4, "determinism"), // Instant::now()
+            (8, "determinism"), // -> HashMap<u64, u64>
+            (9, "determinism"), // HashMap::new()
+        ]
+    );
+}
+
+#[test]
+fn determinism_check_skips_other_crates() {
+    let found = run(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/determinism.rs.txt"),
+    );
+    assert_eq!(found, vec![]);
+}
+
+#[test]
+fn malformed_annotations_do_not_suppress() {
+    let found = run(
+        "crates/hw/src/fixture.rs",
+        include_str!("fixtures/annotations.rs.txt"),
+    );
+    assert_eq!(
+        found,
+        vec![
+            (4, "annotation"), // empty reason
+            (5, "panic"),      // ...and the unwrap still fires
+            (9, "annotation"), // unknown check name
+            (10, "panic"),
+            (14, "annotation"), // missing reason
+            (15, "panic"),
+        ]
+    );
+}

@@ -75,7 +75,8 @@ fn main() {
         pasta,
         &ctx,
         relin.clone(),
-        provision_batched_key(client.cipher().key().elements(), &ctx, &pk, &mut rng),
+        provision_batched_key(client.cipher().key().elements(), &ctx, &pk, &mut rng)
+            .expect("provision batched key"),
     )
     .expect("batched server");
     let blocks = 8usize;

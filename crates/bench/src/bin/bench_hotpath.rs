@@ -163,7 +163,8 @@ fn bench_transcipher(report: &mut BenchReport, phase: &str, quick: bool) {
         pasta,
         &bctx,
         brelin,
-        provision_batched_key(client.cipher().key().elements(), &bctx, &bpk, &mut rng),
+        provision_batched_key(client.cipher().key().elements(), &bctx, &bpk, &mut rng)
+            .expect("provision batched key"),
     )
     .expect("batched server");
     let blocks = 8usize;

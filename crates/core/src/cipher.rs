@@ -22,6 +22,7 @@ use pasta_keccak::Shake256;
 /// let key = SecretKey::from_seed(&params, b"demo seed");
 /// assert_eq!(key.elements().len(), params.state_size());
 /// ```
+// audit: secret
 #[derive(Clone, PartialEq, Eq)]
 pub struct SecretKey {
     elements: Vec<u64>,
@@ -73,7 +74,9 @@ impl SecretKey {
         };
         let mut elements = Vec::with_capacity(params.state_size());
         while elements.len() < params.state_size() {
+            // audit: secret
             let candidate = reader.next_u64() & mask;
+            // audit: allow(secret-branch, reason = "rejection sampling: the branch leaks only the rejection count of masked XOF draws, never which value was kept")
             if candidate < p {
                 elements.push(candidate);
             }

@@ -31,7 +31,8 @@ pub struct Keystream {
     nonce: u128,
     /// Absolute element position.
     position: u64,
-    /// Cached block and its counter.
+    /// Cached keystream block and its counter.
+    // audit: secret
     cache: Option<(u64, Vec<u64>)>,
 }
 
@@ -68,16 +69,18 @@ impl Keystream {
     pub fn next_element(&mut self) -> Result<u64, PastaError> {
         let t = self.params.t() as u64;
         let counter = self.position / t;
+        // offset < t <= block size, far below any usize limit.
+        #[allow(clippy::cast_possible_truncation)]
         let offset = (self.position % t) as usize;
-        let need_block = match &self.cache {
-            Some((c, _)) => *c != counter,
-            None => true,
+        // audit: allow(secret-branch, reason = "the match inspects only the cached block's public counter, never keystream values")
+        let block = match &mut self.cache {
+            Some((c, block)) if *c == counter => block,
+            cache => {
+                let block = permute(&self.params, self.key.elements(), self.nonce, counter)?;
+                &mut cache.insert((counter, block)).1
+            }
         };
-        if need_block {
-            let block = permute(&self.params, self.key.elements(), self.nonce, counter)?;
-            self.cache = Some((counter, block));
-        }
-        let value = self.cache.as_ref().expect("cache populated above").1[offset];
+        let value = block[offset];
         self.position += 1;
         Ok(value)
     }

@@ -38,6 +38,7 @@ pub fn affine_streamed(zp: &Zp, gen: &mut RowGenerator, state: &mut [u64], rc: &
 /// # Panics
 ///
 /// Panics if the two halves differ in length.
+// audit: secret(left, right)
 pub fn mix(zp: &Zp, left: &mut [u64], right: &mut [u64]) {
     assert_eq!(
         left.len(),
@@ -65,6 +66,7 @@ pub fn mix_inverse(zp: &Zp, left: &mut [u64], right: &mut [u64]) {
         right.len(),
         "state halves must have equal length"
     );
+    // audit: allow(panic, reason = "p > 3 is enforced by parameter validation, so 3 is invertible; documented in this fn's Panics section")
     let inv3 = zp.inv(3 % zp.p()).expect("p > 3 by parameter validation");
     for (l, r) in left.iter_mut().zip(right.iter_mut()) {
         // Inverse of [[2,1],[1,2]] is inv3 * [[2,-1],[-1,2]].
@@ -79,6 +81,7 @@ pub fn mix_inverse(zp: &Zp, left: &mut [u64], right: &mut [u64]) {
 /// `y_0 = x_0`, `y_j = x_j + x_{j-1}²` on the *input* values.
 ///
 /// One squaring and one addition per element (§III.D).
+// audit: secret(state)
 pub fn sbox_feistel(zp: &Zp, state: &mut [u64]) {
     let mut prev_sq = 0u64; // x_{-1}² treated as 0 for j = 0
     for x in state.iter_mut() {
@@ -103,6 +106,7 @@ pub fn sbox_feistel_inverse(zp: &Zp, state: &mut [u64]) {
 ///
 /// Two multiplications per element (§III.D). Invertible because
 /// `gcd(3, p-1) = 1` for the PASTA moduli (`p ≡ 2 (mod 3)`).
+// audit: secret(state)
 pub fn sbox_cube(zp: &Zp, state: &mut [u64]) {
     for x in state.iter_mut() {
         *x = zp.cube(*x);
@@ -116,6 +120,7 @@ pub fn sbox_cube(zp: &Zp, state: &mut [u64]) {
 /// Panics if `3 | p - 1` (the cube map is not a bijection there; the
 /// PASTA moduli all satisfy `p ≡ 2 (mod 3)`).
 pub fn sbox_cube_inverse(zp: &Zp, state: &mut [u64]) {
+    // audit: allow(panic, reason = "gcd(3, p-1) = 1 for every validated PASTA modulus (p = 2 mod 3); documented in this fn's Panics section")
     let d = inv_exponent_mod(3, zp.p() - 1).expect("cube S-box requires gcd(3, p-1) = 1");
     for x in state.iter_mut() {
         *x = zp.pow(*x, d);
@@ -130,6 +135,7 @@ pub fn truncate(left: &[u64]) -> Vec<u64> {
 
 /// `e⁻¹ mod m` via the extended Euclidean algorithm, or `None` if
 /// `gcd(e, m) ≠ 1`.
+#[allow(clippy::many_single_char_names)] // textbook extended-Euclid names
 fn inv_exponent_mod(e: u64, m: u64) -> Option<u64> {
     let (mut old_r, mut r) = (i128::from(e), i128::from(m));
     let (mut old_s, mut s) = (1i128, 0i128);
@@ -141,7 +147,7 @@ fn inv_exponent_mod(e: u64, m: u64) -> Option<u64> {
     if old_r != 1 {
         return None;
     }
-    Some(old_s.rem_euclid(i128::from(m)) as u64)
+    u64::try_from(old_s.rem_euclid(i128::from(m))).ok()
 }
 
 #[cfg(test)]
@@ -216,7 +222,7 @@ mod tests {
         for x in 0..5u64 {
             let mut v = vec![x];
             sbox_cube(&zp, &mut v);
-            seen[v[0] as usize] = true;
+            seen[usize::try_from(v[0]).unwrap()] = true;
         }
         assert!(seen.iter().all(|&s| s));
     }

@@ -1,6 +1,6 @@
 //! The PASTA hybrid-homomorphic-encryption stream cipher.
 //!
-//! PASTA [Dobraunig et al., ToSC 2023] is a symmetric cipher over a prime
+//! PASTA [Dobraunig et al., `ToSC` 2023] is a symmetric cipher over a prime
 //! field `F_p`, designed so that its *decryption* circuit is cheap to
 //! evaluate under fully homomorphic encryption. A client encrypts data
 //! symmetrically (fast, no ciphertext expansion) and the server
@@ -41,6 +41,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Rate and statistics reporting deliberately casts u64/u128 counters to
+// f64; the magnitudes involved stay far below 2^52, where f64 is exact.
+#![allow(clippy::cast_precision_loss)]
 
 pub mod cipher;
 pub mod counters;

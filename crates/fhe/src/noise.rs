@@ -153,9 +153,8 @@ pub fn transcipher_noise(
 /// Sizes the RNS prime count so the transciphering circuit retains at
 /// least `margin_bits` of predicted budget.
 ///
-/// # Panics
-///
-/// Panics if no count up to 32 primes suffices (degenerate inputs).
+/// Returns `None` when no count up to 32 primes suffices (degenerate
+/// inputs — e.g. a ring dimension far too small for the circuit).
 #[must_use]
 pub fn suggest_prime_count(
     t_pasta: usize,
@@ -165,19 +164,17 @@ pub fn suggest_prime_count(
     plain_modulus: Modulus,
     prime_bits: u32,
     margin_bits: f64,
-) -> usize {
-    for count in 2..=32 {
+) -> Option<usize> {
+    (2..=32).find(|&count| {
         let q_bits = count * prime_bits as usize;
         let start = NoiseModel::fresh_for(n, plain_modulus, q_bits, prime_bits, count);
         let end = transcipher_noise(t_pasta, rounds, batched, start);
-        if end.predicted_budget() >= margin_bits {
-            return count;
-        }
-    }
-    panic!("no RNS size up to 32 primes satisfies the noise budget");
+        end.predicted_budget() >= margin_bits
+    })
 }
 
-/// Suggests complete BFV parameters for transciphering a PASTA instance.
+/// Suggests complete BFV parameters for transciphering a PASTA instance,
+/// or `None` when no RNS modulus of up to 32 primes carries the circuit.
 #[must_use]
 pub fn suggest_bfv_params(
     t_pasta: usize,
@@ -185,15 +182,15 @@ pub fn suggest_bfv_params(
     batched: bool,
     n: usize,
     prime_bits: u32,
-) -> BfvParams {
+) -> Option<BfvParams> {
     let plain = Modulus::PASTA_17_BIT;
-    let prime_count = suggest_prime_count(t_pasta, rounds, batched, n, plain, prime_bits, 12.0);
-    BfvParams {
+    let prime_count = suggest_prime_count(t_pasta, rounds, batched, n, plain, prime_bits, 12.0)?;
+    Some(BfvParams {
         n,
         plain_modulus: plain,
         prime_bits,
         prime_count,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -271,21 +268,28 @@ mod tests {
     fn suggested_params_match_hand_tuned() {
         // The scalar t=4/r=2 test circuit was hand-tuned to 4×50-bit
         // primes; the model should land within one prime of that.
-        let count = suggest_prime_count(4, 2, false, 256, Modulus::PASTA_17_BIT, 50, 12.0);
+        let count = suggest_prime_count(4, 2, false, 256, Modulus::PASTA_17_BIT, 50, 12.0).unwrap();
         assert!((4..=6).contains(&count), "suggested {count} primes");
         // The batched variant needs at least as much.
-        let batched = suggest_prime_count(4, 2, true, 256, Modulus::PASTA_17_BIT, 50, 12.0);
+        let batched =
+            suggest_prime_count(4, 2, true, 256, Modulus::PASTA_17_BIT, 50, 12.0).unwrap();
         assert!(batched >= count);
         // PASTA-4 proper needs substantially more.
-        let p4 = suggest_prime_count(32, 4, false, 2_048, Modulus::PASTA_17_BIT, 55, 12.0);
+        let p4 = suggest_prime_count(32, 4, false, 2_048, Modulus::PASTA_17_BIT, 55, 12.0).unwrap();
         assert!((6..=10).contains(&p4), "PASTA-4 suggestion {p4}");
+        // Degenerate inputs (1-bit primes cannot outgrow the circuit)
+        // yield None instead of a bogus suggestion.
+        assert_eq!(
+            suggest_prime_count(32, 4, true, 256, Modulus::PASTA_17_BIT, 1, 12.0),
+            None
+        );
     }
 
     #[test]
     fn suggested_params_actually_work_end_to_end() {
         // Build a context from the model's suggestion and run the
         // real homomorphic circuit's noisiest primitive chain.
-        let params = suggest_bfv_params(4, 2, false, 256, 50);
+        let params = suggest_bfv_params(4, 2, false, 256, 50).unwrap();
         let ctx = BfvContext::new(params).unwrap();
         let mut rng = StdRng::seed_from_u64(777);
         let sk = ctx.generate_secret_key(&mut rng);

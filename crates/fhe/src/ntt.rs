@@ -46,7 +46,9 @@ impl NttTable {
     /// not a power of two.
     pub fn new(modulus: Modulus, n: usize) -> Result<Self, MathError> {
         if !n.is_power_of_two() || n < 2 {
-            return Err(MathError::UnsupportedWidth(n as u32));
+            return Err(MathError::UnsupportedWidth(
+                u32::try_from(n).unwrap_or(u32::MAX),
+            ));
         }
         let zp = Zp::new(modulus)?;
         let psi = zp.primitive_root_of_unity(2 * n as u64)?;
@@ -65,7 +67,7 @@ impl NttTable {
             pi_pow = zp.mul(pi_pow, psi_inv);
         }
         for (i, (fw, iv)) in fwd.iter_mut().zip(inv.iter_mut()).enumerate() {
-            let r = bit_reverse(i as u32, log_n) as usize;
+            let r = bit_reverse(i, log_n);
             *fw = powers[r];
             *iv = ipowers[r];
         }
@@ -269,8 +271,8 @@ impl NttTable {
     }
 }
 
-fn bit_reverse(x: u32, bits: u32) -> u32 {
-    x.reverse_bits() >> (32 - bits)
+fn bit_reverse(x: usize, bits: u32) -> usize {
+    x.reverse_bits() >> (usize::BITS - bits)
 }
 
 /// Slot permutation realizing the Galois automorphism `σ_g: X ↦ X^g`
@@ -295,9 +297,9 @@ pub fn galois_slot_permutation(n: usize, g: usize) -> Vec<usize> {
     let two_n = 2 * n;
     (0..n)
         .map(|i| {
-            let e = 2 * bit_reverse(i as u32, log_n) as usize + 1;
+            let e = 2 * bit_reverse(i, log_n) + 1;
             let eg = (e * (g % two_n)) % two_n;
-            bit_reverse(((eg - 1) / 2) as u32, log_n) as usize
+            bit_reverse((eg - 1) / 2, log_n)
         })
         .collect()
 }

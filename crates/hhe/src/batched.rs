@@ -355,15 +355,19 @@ impl BatchedHheServer {
 
 /// Provisions the PASTA key for the batched server: each key ciphertext
 /// encrypts the key element replicated into every slot.
-#[must_use]
+///
+/// # Errors
+///
+/// Propagates encoder construction errors when the context parameters do
+/// not support batching (`2N ∤ t_plain − 1`).
 pub fn provision_batched_key<R: rand::Rng>(
     key_elements: &[u64],
     ctx: &BfvContext,
     pk: &pasta_fhe::BfvPublicKey,
     rng: &mut R,
-) -> EncryptedPastaKey {
-    let encoder = BatchEncoder::new(ctx.params().plain_modulus, ctx.params().n)
-        .expect("context parameters support batching");
+) -> Result<EncryptedPastaKey, FheError> {
+    let encoder =
+        BatchEncoder::new(ctx.params().plain_modulus, ctx.params().n).map_err(FheError::from)?;
     let elements = key_elements
         .iter()
         .map(|&k| {
@@ -371,7 +375,7 @@ pub fn provision_batched_key<R: rand::Rng>(
             ctx.encrypt(pk, &encoder.encode(&slots), rng)
         })
         .collect();
-    EncryptedPastaKey { elements }
+    Ok(EncryptedPastaKey { elements })
 }
 
 #[cfg(test)]
@@ -404,7 +408,8 @@ mod tests {
         let pk = ctx.generate_public_key(&sk, &mut rng);
         let relin = ctx.generate_relin_key(&sk, &mut rng);
         let client = HheClient::new(params, b"batched");
-        let ek = provision_batched_key(client.cipher().key().elements(), &ctx, &pk, &mut rng);
+        let ek =
+            provision_batched_key(client.cipher().key().elements(), &ctx, &pk, &mut rng).unwrap();
         let server = BatchedHheServer::new(params, &ctx, relin, ek).unwrap();
         World {
             ctx,

@@ -538,7 +538,11 @@ impl PackedHheServer {
                 let mut acc: Option<FheCiphertext> = None;
                 for (b, diag) in grp.diagonals.iter().enumerate() {
                     let Some(diag) = diag else { continue };
-                    let baby = babies[b].as_ref().expect("needed baby was computed");
+                    let baby = babies[b].as_ref().ok_or_else(|| {
+                        FheError::Incompatible(
+                            "BSGS baby rotation missing for a used diagonal".into(),
+                        )
+                    })?;
                     match acc.as_mut() {
                         None => acc = Some(ctx.mul_plain_prepared_ntt(baby, diag)),
                         Some(a) => ctx.add_mul_plain_ntt_assign(a, baby, diag)?,

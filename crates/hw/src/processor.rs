@@ -257,11 +257,14 @@ impl PastaProcessor {
         }
         let keystream = schedule
             .keystream()
-            .expect("schedule reported done with keystream available")
+            .ok_or_else(|| PastaError::Internal("schedule finished without a keystream".into()))?
             .to_vec();
+        let total = schedule
+            .done_at()
+            .ok_or_else(|| PastaError::Internal("schedule finished without a done cycle".into()))?;
         let (words, accepted, rejected) = datagen.stats();
         let cycles = CycleBreakdown {
-            total: schedule.done_at().expect("done"),
+            total,
             xof_last_word,
             xof_stall: xof.stall_cycles(),
             keccak_permutations: xof.permutations(),
@@ -312,7 +315,10 @@ impl PastaProcessor {
         let blocks = message.chunks(t).count();
         for (counter, block) in message.chunks(t).enumerate() {
             let r = self.encrypt_block(key, nonce, counter as u64, block)?;
-            ciphertext.extend(r.ciphertext.expect("message supplied"));
+            let ct = r.ciphertext.ok_or_else(|| {
+                PastaError::Internal("encrypt_block returned no ciphertext for a message".into())
+            })?;
+            ciphertext.extend(ct);
             let cycles = if overlap {
                 // Steady state: only the XOF squeeze span is exposed —
                 // the re-seed (absorb + initial permutation) hides under

@@ -189,41 +189,32 @@ impl BlockSchedule {
         //    free. Seeds park in the single pending-seed register; RCs go
         //    straight to the vector-add input registers.
         while let Some((_, role)) = datagen.peek_role() {
-            match role {
+            let is_seed = matches!(
+                role,
+                VectorRole::MatrixSeedLeft | VectorRole::MatrixSeedRight
+            );
+            if is_seed && self.pending_seed.is_some() {
+                break; // backpressure: engine input register full
+            }
+            let Some(v) = datagen.take_ready() else { break };
+            self.events.push(TraceEvent::VectorTaken {
+                cycle,
+                layer: v.layer,
+                role: v.role,
+            });
+            match v.role {
                 VectorRole::MatrixSeedLeft | VectorRole::MatrixSeedRight => {
-                    if self.pending_seed.is_some() {
-                        break; // backpressure: engine input register full
-                    }
-                    self.pending_seed = datagen.take_ready();
-                    if let Some(v) = &self.pending_seed {
-                        self.events.push(TraceEvent::VectorTaken {
-                            cycle,
-                            layer: v.layer,
-                            role: v.role,
-                        });
-                    }
+                    self.pending_seed = Some(v);
                 }
                 VectorRole::RoundConstantLeft => {
-                    let v = datagen.take_ready().expect("peeked");
                     debug_assert!(self.rc_left.is_none(), "rcL register must be free");
-                    self.events.push(TraceEvent::VectorTaken {
-                        cycle,
-                        layer: v.layer,
-                        role: v.role,
-                    });
                     self.rc_left = Some(TimedVec {
                         data: v.coefficients,
                         at: cycle,
                     });
                 }
                 VectorRole::RoundConstantRight => {
-                    let v = datagen.take_ready().expect("peeked");
                     debug_assert!(self.rc_right.is_none(), "rcR register must be free");
-                    self.events.push(TraceEvent::VectorTaken {
-                        cycle,
-                        layer: v.layer,
-                        role: v.role,
-                    });
                     self.rc_right = Some(TimedVec {
                         data: v.coefficients,
                         at: cycle,
@@ -234,17 +225,19 @@ impl BlockSchedule {
 
         // 2. Start the pending matrix job when the MAC array is free and
         //    the input state for its layer is ready.
-        if let Some(seed) = &self.pending_seed {
-            let can_start = cycle >= self.matgen_free_at
-                && cycle >= self.state_ready_at
-                && seed.layer == self.layer;
-            if can_start {
-                let seed = self.pending_seed.take().expect("checked above");
+        let can_start = self.pending_seed.as_ref().is_some_and(|seed| {
+            cycle >= self.matgen_free_at && cycle >= self.state_ready_at && seed.layer == self.layer
+        });
+        if can_start {
+            if let Some(seed) = self.pending_seed.take() {
                 let t = self.params.t();
-                let state = match seed.role {
-                    VectorRole::MatrixSeedLeft => &self.state_left,
-                    VectorRole::MatrixSeedRight => &self.state_right,
-                    _ => unreachable!("only seeds park in pending_seed"),
+                // Only matrix seeds park in pending_seed (step 1 routes
+                // round constants straight to their registers).
+                let left = seed.role == VectorRole::MatrixSeedLeft;
+                let state = if left {
+                    &self.state_left
+                } else {
+                    &self.state_right
                 };
                 let result = run_affine_job(&self.zp, &seed.coefficients, state);
                 let done = cycle + affine_job_cycles(t);
@@ -253,17 +246,17 @@ impl BlockSchedule {
                 self.events.push(TraceEvent::JobStart {
                     cycle,
                     layer: seed.layer,
-                    left: seed.role == VectorRole::MatrixSeedLeft,
+                    left,
                     done_at: done,
                 });
                 let slot = TimedVec {
                     data: result.product,
                     at: done,
                 };
-                match seed.role {
-                    VectorRole::MatrixSeedLeft => self.matmul_left = Some(slot),
-                    VectorRole::MatrixSeedRight => self.matmul_right = Some(slot),
-                    _ => unreachable!(),
+                if left {
+                    self.matmul_left = Some(slot);
+                } else {
+                    self.matmul_right = Some(slot);
                 }
             }
         }

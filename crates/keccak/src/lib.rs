@@ -33,6 +33,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Rate and statistics reporting deliberately casts u64/u128 counters to
+// f64; the magnitudes involved stay far below 2^52, where f64 is exact.
+#![allow(clippy::cast_precision_loss)]
 
 pub mod permutation;
 pub mod shake;

@@ -22,15 +22,15 @@ const SHAKE_DOMAIN: u8 = 0x1F;
 /// xof.finalize().read(&mut out);
 /// assert_eq!(out[..4], [0x7f, 0x9c, 0x2b, 0xa4]);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Shake128 {
-    sponge: Option<Sponge>,
+    sponge: Sponge,
 }
 
 /// The SHAKE256 XOF in its absorb phase.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Shake256 {
-    sponge: Option<Sponge>,
+    sponge: Sponge,
 }
 
 macro_rules! impl_shake {
@@ -40,24 +40,24 @@ macro_rules! impl_shake {
             #[must_use]
             pub fn new() -> Self {
                 $name {
-                    sponge: Some(Sponge::new($rate, SHAKE_DOMAIN)),
+                    sponge: Sponge::new($rate, SHAKE_DOMAIN),
                 }
             }
 
             /// Absorbs input bytes (may be called repeatedly).
             pub fn absorb(&mut self, data: &[u8]) {
-                self.sponge
-                    .as_mut()
-                    .expect("XOF already finalized")
-                    .absorb(data);
+                self.sponge.absorb(data);
             }
 
             /// Finalizes the absorb phase and returns an unbounded reader.
+            /// Finalization consumes the XOF, so "absorb after finalize"
+            /// is unrepresentable rather than a runtime panic.
             #[must_use]
             pub fn finalize(mut self) -> XofReader {
-                let mut sponge = self.sponge.take().expect("XOF already finalized");
-                sponge.pad_and_switch();
-                XofReader { sponge }
+                self.sponge.pad_and_switch();
+                XofReader {
+                    sponge: self.sponge,
+                }
             }
 
             /// One-shot convenience: absorb `data`, squeeze `n` bytes.
@@ -68,6 +68,12 @@ macro_rules! impl_shake {
                 let mut out = vec![0u8; n];
                 xof.finalize().read(&mut out);
                 out
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new()
             }
         }
     };
@@ -108,7 +114,11 @@ mod tests {
     use super::*;
 
     fn hex(bytes: &[u8]) -> String {
-        bytes.iter().map(|b| format!("{b:02x}")).collect()
+        use std::fmt::Write;
+        bytes.iter().fold(String::new(), |mut s, b| {
+            let _ = write!(s, "{b:02x}");
+            s
+        })
     }
 
     /// FIPS 202 known-answer: SHAKE128 of the empty string.

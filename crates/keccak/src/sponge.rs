@@ -20,6 +20,9 @@ use crate::permutation::keccak_f1600;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Sponge {
+    /// The Keccak state. When the sponge is keyed (PASTA keystream
+    /// derivation absorbs the master key), every lane is secret.
+    // audit: secret
     state: [u64; 25],
     rate: usize,
     domain: u8,
@@ -75,6 +78,11 @@ impl Sponge {
 
     /// Applies the pad10*1 padding (with the domain byte) and switches to
     /// the squeeze phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sponge is already squeezing (absorb-after-finalize
+    /// is a caller bug).
     pub fn pad_and_switch(&mut self) {
         assert!(!self.squeezing, "already in squeeze phase");
         self.xor_byte(self.position, self.domain);
@@ -135,7 +143,11 @@ impl Sponge {
     fn read_byte(&self, pos: usize) -> u8 {
         let lane = pos / 8;
         let shift = (pos % 8) * 8;
-        (self.state[lane] >> shift) as u8
+        // Byte extraction: the truncation to the low 8 bits is the point.
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            (self.state[lane] >> shift) as u8
+        }
     }
 }
 

@@ -99,6 +99,8 @@ impl XofTiming {
             acceptance > 0.0 && acceptance <= 1.0,
             "acceptance must be in (0, 1]"
         );
+        // The ceiling of a positive, finite word count fits u64.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let words = (coefficients as f64 / acceptance).ceil() as u64;
         self.cycles_for_words(words)
     }

@@ -173,6 +173,7 @@ impl Matrix {
             m.swap_chunks(rank, pr, cols);
             let inv = zp
                 .inv(m[rank * cols + pivot_col])
+                // audit: allow(panic, reason = "the pivot row was selected by find(element != 0), and every nonzero residue is invertible modulo a prime")
                 .expect("pivot is nonzero by construction");
             for c in pivot_col..cols {
                 m[rank * cols + c] = zp.mul(m[rank * cols + c], inv);

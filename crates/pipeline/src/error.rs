@@ -32,8 +32,9 @@ pub enum PipelineError {
         required_bits: f64,
         /// The RNS prime count of the rejected parameter set.
         prime_count: usize,
-        /// The smallest prime count the model predicts would survive.
-        suggested_prime_count: usize,
+        /// The smallest prime count the model predicts would survive,
+        /// or `None` when no RNS modulus up to 32 primes suffices.
+        suggested_prime_count: Option<usize>,
     },
     /// A wire frame exhausted its retransmission budget.
     RetriesExhausted {
@@ -68,12 +69,17 @@ impl fmt::Display for PipelineError {
                 required_bits,
                 prime_count,
                 suggested_prime_count,
-            } => write!(
-                f,
-                "noise-budget guard: predicted {predicted_bits:.1} bits of budget \
-                 (< required {required_bits:.1}) with {prime_count} RNS primes; \
-                 use at least {suggested_prime_count} primes"
-            ),
+            } => {
+                write!(
+                    f,
+                    "noise-budget guard: predicted {predicted_bits:.1} bits of budget \
+                     (< required {required_bits:.1}) with {prime_count} RNS primes; "
+                )?;
+                match suggested_prime_count {
+                    Some(count) => write!(f, "use at least {count} primes"),
+                    None => write!(f, "no RNS size up to 32 primes suffices"),
+                }
+            }
             PipelineError::RetriesExhausted {
                 frame_id,
                 counter_base,
@@ -123,11 +129,20 @@ mod tests {
             predicted_bits: 0.0,
             required_bits: 12.0,
             prime_count: 2,
-            suggested_prime_count: 5,
+            suggested_prime_count: Some(5),
         };
         let text = e.to_string();
         assert!(text.contains("at least 5 primes"), "{text}");
         assert!(text.contains("2 RNS primes"), "{text}");
+
+        let hopeless = PipelineError::NoiseBudget {
+            predicted_bits: 0.0,
+            required_bits: 12.0,
+            prime_count: 2,
+            suggested_prime_count: None,
+        };
+        let text = hopeless.to_string();
+        assert!(text.contains("no RNS size"), "{text}");
     }
 
     #[test]

@@ -43,7 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // End-to-end pipeline with a scaled instance (t = 8, 2 rounds).
     let params = PastaParams::custom(FEATURES, 2, Modulus::PASTA_17_BIT)?;
-    let bfv = suggest_bfv_params(FEATURES, 2, false, 256, 50);
+    let bfv = suggest_bfv_params(FEATURES, 2, false, 256, 50)
+        .ok_or("noise model found no workable BFV parameters")?;
     println!(
         "BFV parameters sized by the noise model: N = {}, {} x {}-bit primes",
         bfv.n, bfv.prime_count, bfv.prime_bits

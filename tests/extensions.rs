@@ -17,7 +17,7 @@ use rand::SeedableRng;
 #[test]
 fn noise_model_sized_batched_pipeline() {
     let pasta = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap();
-    let bfv = suggest_bfv_params(4, 2, true, 256, 50);
+    let bfv = suggest_bfv_params(4, 2, true, 256, 50).expect("model finds workable parameters");
     assert!(bfv.prime_count >= 4, "model must size the basis up");
     let ctx = BfvContext::new(bfv).unwrap();
     let mut rng = StdRng::seed_from_u64(99);
@@ -26,7 +26,7 @@ fn noise_model_sized_batched_pipeline() {
     let relin = ctx.generate_relin_key(&sk, &mut rng);
 
     let client = HheClient::new(pasta, b"ext");
-    let ek = provision_batched_key(client.cipher().key().elements(), &ctx, &pk, &mut rng);
+    let ek = provision_batched_key(client.cipher().key().elements(), &ctx, &pk, &mut rng).unwrap();
     let server = BatchedHheServer::new(pasta, &ctx, relin, ek).unwrap();
 
     // Encrypt 3 blocks on the hardware model (streaming mode).
