@@ -25,11 +25,13 @@ use crate::lexer::{lex, TokKind, Token};
 use std::collections::BTreeSet;
 
 /// Crates whose non-test code must be panic-free (check 2).
-pub const KERNEL_CRATES: &[&str] = &["core", "fhe", "hhe", "hw", "keccak", "math", "par"];
+pub const KERNEL_CRATES: &[&str] = &[
+    "core", "fhe", "hhe", "hw", "keccak", "math", "par", "server",
+];
 
 /// Crates that must stay bit-deterministic (check 5): no wall-clock
 /// reads, no default-hasher collections, no ambient entropy.
-pub const DETERMINISM_CRATES: &[&str] = &["fhe", "hw", "par", "pipeline"];
+pub const DETERMINISM_CRATES: &[&str] = &["fhe", "hw", "par", "pipeline", "server"];
 
 /// Crates in which `audit: secret` annotations are collected and
 /// secret-flow (check 1) is enforced.

@@ -1,0 +1,167 @@
+//! Machine-readable load-test record for the multi-tenant service.
+//!
+//! Runs the seeded, fault-injected loadgen of `pasta-server` (thousands
+//! of simulated edge devices over lossy links, with an undersized-queue
+//! service and one injected worker panic) and renders the resulting
+//! [`pasta_server::LoadReport`] as `BENCH_server.json`.
+//!
+//! The binary is also the CI acceptance gate: it exits non-zero unless
+//! the run finished with zero unaccounted requests (every accepted
+//! request either completed or got a typed NACK) and every completion
+//! decrypted back to the original plaintext.
+//!
+//! Usage:
+//!
+//! ```text
+//! loadgen                       # full scenario, writes ./BENCH_server.json
+//! loadgen --quick               # CI smoke scenario (a few seconds)
+//! loadgen --seed 9              # reseed the whole simulation
+//! loadgen --out-dir target/bench
+//! ```
+
+use pasta_server::{run_loadgen, LoadgenConfig};
+
+struct Options {
+    quick: bool,
+    seed: Option<u64>,
+    out_dir: String,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        quick: false,
+        seed: None,
+        out_dir: ".".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                let value = args.next().unwrap_or_default();
+                match value.parse() {
+                    Ok(seed) => opts.seed = Some(seed),
+                    Err(_) => {
+                        eprintln!("bad --seed '{value}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--out-dir" => {
+                if let Some(d) = args.next() {
+                    opts.out_dir = d;
+                }
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Suppresses the backtrace of the *injected* worker panic (contained
+/// by the server, surfaced as a typed `WorkerFault` NACK); any other
+/// panic still reports normally.
+fn install_panic_filter() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .is_some_and(|m| m.contains("injected worker fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+}
+
+fn main() {
+    install_panic_filter();
+    let opts = parse_args();
+    let mut cfg = if opts.quick {
+        LoadgenConfig::quick()
+    } else {
+        LoadgenConfig::full()
+    };
+    if let Some(seed) = opts.seed {
+        cfg.seed = seed;
+    }
+    eprintln!(
+        "loadgen: {} devices x {} request(s), {} tenants, drop {:.1}%, BER {:.0e}, seed {}",
+        cfg.devices,
+        cfg.requests_per_device,
+        cfg.tenants,
+        cfg.drop_prob * 100.0,
+        cfg.bit_error_rate,
+        cfg.seed
+    );
+    let report = match run_loadgen(&cfg) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("loadgen failed: {err}");
+            std::process::exit(1);
+        }
+    };
+
+    // Acceptance gates.
+    let mut failures = Vec::new();
+    if report.unaccounted != 0 {
+        failures.push(format!(
+            "{} accepted request(s) vanished without completion or NACK",
+            report.unaccounted
+        ));
+    }
+    if report.completed == 0 {
+        failures.push("no request completed".to_string());
+    }
+    if report.correct != report.completed {
+        failures.push(format!(
+            "{} of {} completions failed decryption verification",
+            report.completed - report.correct,
+            report.completed
+        ));
+    }
+    if cfg.inject_fault_on_seq.is_some() && report.worker_faults == 0 {
+        failures.push("the injected worker fault never fired".to_string());
+    }
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("acceptance gate failed: {failure}");
+        }
+        std::process::exit(1);
+    }
+
+    if let Err(err) = std::fs::create_dir_all(&opts.out_dir) {
+        eprintln!("cannot create {}: {err}", opts.out_dir);
+        std::process::exit(1);
+    }
+    let path = format!("{}/BENCH_server.json", opts.out_dir);
+    if let Err(err) = std::fs::write(&path, report.to_json()) {
+        eprintln!("cannot write {path}: {err}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "completed {}/{} ({} verified), p50 {} us, p99 {} us, {:.1} req/s; \
+         refused: queue_full {}, budget {}, session {}, malformed {}; \
+         shed {}, worker faults {}, retries {}, gave up {}",
+        report.completed,
+        report.requests_intended,
+        report.correct,
+        report.p50_latency_us,
+        report.p99_latency_us,
+        report.throughput_rps,
+        report.refused_queue_full,
+        report.refused_budget,
+        report.refused_session,
+        report.refused_malformed,
+        report.shed_deadline,
+        report.worker_faults,
+        report.retries,
+        report.gave_up
+    );
+    eprintln!("wrote {path}");
+}

@@ -23,6 +23,8 @@ COMMANDS:
   pipeline   [--params <set>] [--loss <p>] [--ber <p>] [--bandwidth <MB/s>]
              [--seed <n>] [--frames <n>] [--resolution <name>] [--fps <n>]
              [--pixels <n>] [--mtu <bytes>]
+  server     [--scale quick|full] [--seed <n>] [--devices <n>]
+             [--loss <p>] [--ber <p>]
   info       [--params <set>]
   help
 
@@ -118,6 +120,20 @@ pub enum Command {
         /// Wire MTU in bytes (stop-and-wait throughput caps near
         /// mtu/RTT, so jumbo frames help on high-latency links).
         mtu: usize,
+    },
+    /// Run the multi-tenant transciphering service under fault-injected
+    /// load and print its report.
+    Server {
+        /// Run the committed-bench scenario instead of the CI smoke one.
+        full: bool,
+        /// Simulation seed override.
+        seed: Option<u64>,
+        /// Device-fleet size override.
+        devices: Option<usize>,
+        /// Frame-drop probability override.
+        loss: Option<f64>,
+        /// Bit-error-rate override.
+        ber: Option<f64>,
     },
     /// Print parameter-set information.
     Info {
@@ -220,6 +236,31 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, String> {
             mtu: flags.get("mtu").map_or(Ok(1_400), |s| {
                 s.parse().map_err(|_| format!("bad --mtu '{s}'"))
             })?,
+        }),
+        "server" => Ok(Command::Server {
+            full: match flags.get("scale").copied() {
+                None | Some("quick") => false,
+                Some("full") => true,
+                Some(other) => {
+                    return Err(format!("--scale must be 'quick' or 'full', got '{other}'"))
+                }
+            },
+            seed: flags
+                .get("seed")
+                .map(|s| s.parse().map_err(|_| format!("bad --seed '{s}'")))
+                .transpose()?,
+            devices: flags
+                .get("devices")
+                .map(|s| s.parse().map_err(|_| format!("bad --devices '{s}'")))
+                .transpose()?,
+            loss: flags
+                .contains_key("loss")
+                .then(|| parse_prob(&flags, "loss", 0.0))
+                .transpose()?,
+            ber: flags
+                .contains_key("ber")
+                .then(|| parse_prob(&flags, "ber", 0.0))
+                .transpose()?,
         }),
         "info" => Ok(Command::Info {
             params: params(true)?,
@@ -446,6 +487,57 @@ mod tests {
         assert!(parse(&["pipeline", "--bandwidth", "-3"])
             .unwrap_err()
             .contains("non-negative"));
+    }
+
+    #[test]
+    fn server_parses_with_defaults_and_overrides() {
+        let c = parse(&["server"]).unwrap();
+        assert!(matches!(
+            c,
+            Command::Server {
+                full: false,
+                seed: None,
+                devices: None,
+                loss: None,
+                ber: None,
+            }
+        ));
+        let c = parse(&[
+            "server",
+            "--scale",
+            "full",
+            "--seed",
+            "9",
+            "--devices",
+            "100",
+            "--loss",
+            "0.1",
+            "--ber",
+            "1e-5",
+        ])
+        .unwrap();
+        match c {
+            Command::Server {
+                full,
+                seed,
+                devices,
+                loss,
+                ber,
+            } => {
+                assert!(full);
+                assert_eq!(seed, Some(9));
+                assert_eq!(devices, Some(100));
+                assert!((loss.unwrap() - 0.1).abs() < 1e-12);
+                assert!((ber.unwrap() - 1e-5).abs() < 1e-18);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&["server", "--scale", "medium"])
+            .unwrap_err()
+            .contains("--scale"));
+        assert!(parse(&["server", "--loss", "2"])
+            .unwrap_err()
+            .contains("probability"));
     }
 
     #[test]

@@ -158,6 +158,61 @@ pub fn execute(command: &Command) -> Result<String, String> {
             let _ = writeln!(out, "{}", report.summary());
             Ok(out)
         }
+        Command::Server {
+            full,
+            seed,
+            devices,
+            loss,
+            ber,
+        } => {
+            let mut cfg = if *full {
+                pasta_server::LoadgenConfig::full()
+            } else {
+                pasta_server::LoadgenConfig::quick()
+            };
+            if let Some(seed) = seed {
+                cfg.seed = *seed;
+            }
+            if let Some(devices) = devices {
+                cfg.devices = *devices;
+            }
+            if let Some(loss) = loss {
+                cfg.drop_prob = *loss;
+            }
+            if let Some(ber) = ber {
+                cfg.bit_error_rate = *ber;
+            }
+            let report = pasta_server::run_loadgen(&cfg).map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "multi-tenant transciphering service: {} devices, seed {}",
+                report.devices, report.seed
+            );
+            let _ = writeln!(
+                out,
+                "completed {}/{} intended ({} verified by decryption), p50 {} us, p99 {} us, {:.1} req/s",
+                report.completed,
+                report.requests_intended,
+                report.correct,
+                report.p50_latency_us,
+                report.p99_latency_us,
+                report.throughput_rps
+            );
+            let _ = writeln!(
+                out,
+                "refused: queue_full {}, budget {}, session {}, malformed {}; shed {}, worker faults {}, retries {}",
+                report.refused_queue_full,
+                report.refused_budget,
+                report.refused_session,
+                report.refused_malformed,
+                report.shed_deadline,
+                report.worker_faults,
+                report.retries
+            );
+            out.push_str(&report.to_json());
+            Ok(out)
+        }
         Command::Info { params } => {
             let mut out = String::new();
             let _ = writeln!(out, "{params}");

@@ -1,6 +1,26 @@
 //! `pasta-edge-cli`: shell access to the PASTA-on-Edge toolkit.
 
+/// Suppresses the backtrace of the loadgen's *injected* worker panic
+/// (it is contained by the server and surfaced as a typed NACK; its
+/// stderr noise would read as a real crash). Every other panic still
+/// reports normally.
+fn install_panic_filter() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .is_some_and(|m| m.contains("injected worker fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+}
+
 fn main() {
+    install_panic_filter();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match pasta_cli::run(&argv) {
         Ok(output) => print!("{output}"),

@@ -373,6 +373,141 @@ impl MaterialCache {
     }
 }
 
+/// Approximate resident size (bytes) of one cached [`BlockEntry`] for a
+/// parameter set: the materialized `2 · t × t` matrix rows per layer
+/// dominate; seeds and round constants add `4t` words per layer.
+///
+/// This is the unit the sharded cache's memory budget is divided by, so
+/// it only needs to be proportionally right, not byte-exact.
+#[must_use]
+pub fn approx_block_entry_bytes(params: &PastaParams) -> usize {
+    let t = params.t();
+    let layers = params.rounds() + 1;
+    layers * (2 * t * t + 4 * t) * 8
+}
+
+/// Configuration of a [`ShardedCache`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedCacheConfig {
+    /// Total memory budget (bytes) across all resident tenant shards.
+    /// Each shard's block-section capacity is
+    /// `budget_bytes / max_resident / approx_block_entry_bytes(params)`,
+    /// clamped to at least one entry.
+    pub budget_bytes: usize,
+    /// Maximum number of tenant shards kept resident; the least recently
+    /// used shard beyond this is evicted whole.
+    pub max_resident: usize,
+}
+
+impl Default for ShardedCacheConfig {
+    fn default() -> Self {
+        ShardedCacheConfig {
+            budget_bytes: 64 << 20,
+            max_resident: 64,
+        }
+    }
+}
+
+/// A per-tenant sharding layer over [`MaterialCache`].
+///
+/// A multi-tenant transciphering server cannot share one flat LRU: a
+/// single tenant streaming fresh `(nonce, counter)` windows would evict
+/// everyone else's material. Instead each tenant gets its *own*
+/// [`MaterialCache`] shard whose capacity is a fixed slice of the
+/// configured memory budget, and whole shards are LRU-evicted when more
+/// than [`ShardedCacheConfig::max_resident`] tenants have resident
+/// material. A tenant can therefore thrash only its own slice.
+///
+/// Shards are handed out as [`Arc`]s; an evicted shard's memory is
+/// released once its last holder (e.g. an [`crate::HheServer`] that
+/// swaps caches via [`crate::HheServer::set_cache`]) drops the `Arc`.
+#[derive(Debug)]
+pub struct ShardedCache {
+    cfg: ShardedCacheConfig,
+    shards: Mutex<ShardTable>,
+}
+
+/// MRU-ordered `(tenant, shard)` pairs plus the eviction counter.
+#[derive(Debug, Default)]
+struct ShardTable {
+    entries: Vec<(u64, Arc<MaterialCache>)>,
+    evictions: u64,
+}
+
+impl ShardedCache {
+    /// Creates an empty sharded cache (capacities clamped to ≥ 1).
+    #[must_use]
+    pub fn new(cfg: ShardedCacheConfig) -> Self {
+        ShardedCache {
+            cfg: ShardedCacheConfig {
+                budget_bytes: cfg.budget_bytes.max(1),
+                max_resident: cfg.max_resident.max(1),
+            },
+            shards: Mutex::new(ShardTable::default()),
+        }
+    }
+
+    /// The configuration the cache was built with.
+    #[must_use]
+    pub fn config(&self) -> &ShardedCacheConfig {
+        &self.cfg
+    }
+
+    /// The tenant's shard, created on first use with capacities sized
+    /// from the per-tenant budget slice and `params`. Touching a shard
+    /// moves it to the front of the eviction order; the least recently
+    /// used shard beyond `max_resident` is evicted whole.
+    #[must_use]
+    pub fn shard(&self, tenant: u64, params: &PastaParams) -> Arc<MaterialCache> {
+        let mut guard = lock(&self.shards);
+        let table = &mut *guard;
+        if let Some(pos) = table.entries.iter().position(|(id, _)| *id == tenant) {
+            let entry = table.entries.remove(pos);
+            let shard = Arc::clone(&entry.1);
+            table.entries.insert(0, entry);
+            return shard;
+        }
+        let per_tenant = self.cfg.budget_bytes / self.cfg.max_resident;
+        let blocks = (per_tenant / approx_block_entry_bytes(params)).max(1);
+        // The scalar server reads only the block section; the prepared
+        // SIMD sections stay minimal so a batched/packed tenant cannot
+        // blow past its slice with a handful of huge entries.
+        let shard = Arc::new(MaterialCache::with_capacities(blocks, 1, 2));
+        table.entries.insert(0, (tenant, Arc::clone(&shard)));
+        if table.entries.len() > self.cfg.max_resident {
+            table.entries.truncate(self.cfg.max_resident);
+            table.evictions += 1;
+        }
+        shard
+    }
+
+    /// Number of tenant shards currently resident.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        lock(&self.shards).entries.len()
+    }
+
+    /// Whole-shard evictions since construction.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        lock(&self.shards).evictions
+    }
+
+    /// Aggregate hit/miss counters across every *resident* shard
+    /// (evicted shards take their counters with them).
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let guard = lock(&self.shards);
+        let mut out = CacheStats::default();
+        for (_, shard) in &guard.entries {
+            let s = shard.stats();
+            out.hits += s.hits;
+            out.misses += s.misses;
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -426,6 +561,70 @@ mod tests {
         let before = cache.stats().misses;
         let _ = cache.block(&params(), 1, 1); // was evicted: a miss
         assert_eq!(cache.stats().misses, before + 1);
+    }
+
+    #[test]
+    fn shards_are_per_tenant_and_reused() {
+        let sharded = ShardedCache::new(ShardedCacheConfig {
+            budget_bytes: 1 << 20,
+            max_resident: 4,
+        });
+        let a = sharded.shard(1, &params());
+        let a_again = sharded.shard(1, &params());
+        assert!(Arc::ptr_eq(&a, &a_again), "same tenant, same shard");
+        let b = sharded.shard(2, &params());
+        assert!(!Arc::ptr_eq(&a, &b), "tenants must not share a shard");
+        assert_eq!(sharded.resident(), 2);
+        // Entries populated through one tenant's shard stay invisible to
+        // the other tenant.
+        let _ = a.block(&params(), 9, 0);
+        assert_eq!(b.stats(), CacheStats::default());
+        assert_eq!(sharded.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_shard_eviction_bounds_residency() {
+        let sharded = ShardedCache::new(ShardedCacheConfig {
+            budget_bytes: 1 << 20,
+            max_resident: 2,
+        });
+        let one = sharded.shard(1, &params());
+        let _ = sharded.shard(2, &params());
+        let _ = sharded.shard(1, &params()); // touch: 2 becomes LRU
+        let _ = sharded.shard(3, &params()); // evicts tenant 2
+        assert_eq!(sharded.resident(), 2);
+        assert_eq!(sharded.evictions(), 1);
+        let one_again = sharded.shard(1, &params());
+        assert!(Arc::ptr_eq(&one, &one_again), "survivor keeps its shard");
+        // Tenant 2 comes back as a *fresh* shard.
+        let two = sharded.shard(2, &params());
+        assert_eq!(two.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn shard_capacity_tracks_the_budget_slice() {
+        let per_entry = approx_block_entry_bytes(&params());
+        // Budget for exactly 3 block entries per tenant across 2 shards.
+        let sharded = ShardedCache::new(ShardedCacheConfig {
+            budget_bytes: per_entry * 6,
+            max_resident: 2,
+        });
+        let shard = sharded.shard(7, &params());
+        for counter in 0..4 {
+            let _ = shard.block(&params(), 1, counter);
+        }
+        // Counter 0 must have been evicted by capacity pressure (cap 3).
+        let before = shard.stats().misses;
+        let _ = shard.block(&params(), 1, 0);
+        assert_eq!(shard.stats().misses, before + 1, "cap must be 3");
+        // A starved budget still yields a working 1-entry shard.
+        let tiny = ShardedCache::new(ShardedCacheConfig {
+            budget_bytes: 1,
+            max_resident: 1,
+        });
+        let s = tiny.shard(1, &params());
+        let _ = s.block(&params(), 1, 0);
+        assert_eq!(s.stats().misses, 1);
     }
 
     #[test]

@@ -56,7 +56,9 @@ pub mod packed;
 pub mod server;
 
 pub use batched::{provision_batched_key, BatchedHheServer};
-pub use cache::{MaterialCache, PackedStrategy};
+pub use cache::{
+    approx_block_entry_bytes, MaterialCache, PackedStrategy, ShardedCache, ShardedCacheConfig,
+};
 pub use client::{EncryptedPastaKey, HheClient};
 pub use link::{figure8, Fig8Point, PastaLink, Resolution, RiseReference};
 pub use packed::{required_shifts, BsgsPlan, PackedHheServer};

@@ -79,6 +79,14 @@ impl HheServer {
         self
     }
 
+    /// Swaps the material cache in place. The multi-tenant service layer
+    /// re-attaches a tenant's shard before each scheduling round, so that
+    /// shard eviction in [`crate::cache::ShardedCache`] actually releases
+    /// the memory instead of keeping it alive through the server handle.
+    pub fn set_cache(&mut self, cache: Arc<MaterialCache>) {
+        self.cache = cache;
+    }
+
     /// The material cache in use (shareable via [`Arc::clone`]).
     #[must_use]
     pub fn cache(&self) -> &Arc<MaterialCache> {

@@ -11,6 +11,122 @@ use pasta_core::PastaError;
 use pasta_fhe::FheError;
 use std::fmt;
 
+/// Why a server refused a request — carried in [`PipelineError::Refused`]
+/// and on the wire inside NACK frame payloads (see
+/// [`crate::wire::WireFrame::nack_with_reason`]), so a client can
+/// distinguish *retryable* conditions (back off and resend) from *fatal*
+/// ones (re-establish the session or fix the parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefusalReason {
+    /// The tenant's request queue is at capacity — explicit
+    /// backpressure. Retryable after backoff.
+    QueueFull,
+    /// Noise-budget admission control refused the parameter set before
+    /// evaluation; carries the smallest RNS prime count the model
+    /// predicts would survive the circuit (`None` when no size up to 32
+    /// primes would). Fatal until the client re-provisions.
+    BudgetRefused {
+        /// Suggested RNS prime count, if any workable size exists.
+        suggested_primes: Option<u32>,
+    },
+    /// The request's deadline passed (or was certain to pass) before a
+    /// worker could serve it — the load-shedding path. Retryable.
+    Deadline,
+    /// The session is unknown, idle-expired, or its ID was replayed.
+    /// Fatal for this session; the client must re-establish.
+    SessionExpired,
+    /// The frame failed decode/integrity/canonicity checks on the
+    /// receive path. Retryable (retransmission may deliver it clean).
+    Malformed,
+    /// A worker fault (caught panic) was contained while serving the
+    /// request. Retryable — the fault is transient by assumption.
+    WorkerFault,
+}
+
+impl RefusalReason {
+    /// Whether a client should retry (with backoff) after this refusal.
+    /// `false` means the condition will not clear by resending the same
+    /// bytes: the session or the parameter set must change first.
+    #[must_use]
+    pub fn is_retryable(self) -> bool {
+        match self {
+            RefusalReason::QueueFull
+            | RefusalReason::Deadline
+            | RefusalReason::Malformed
+            | RefusalReason::WorkerFault => true,
+            RefusalReason::BudgetRefused { .. } | RefusalReason::SessionExpired => false,
+        }
+    }
+
+    /// The wire code identifying this reason in a NACK payload.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            RefusalReason::QueueFull => 1,
+            RefusalReason::BudgetRefused { .. } => 2,
+            RefusalReason::Deadline => 3,
+            RefusalReason::SessionExpired => 4,
+            RefusalReason::Malformed => 5,
+            RefusalReason::WorkerFault => 6,
+        }
+    }
+
+    /// Serializes the reason for a NACK payload: one code byte, plus a
+    /// little-endian `u32` for [`RefusalReason::BudgetRefused`] holding
+    /// `suggested_primes + 1` (`0` encodes "no workable size").
+    #[must_use]
+    pub fn to_payload(self) -> Vec<u8> {
+        let mut out = vec![self.code()];
+        if let RefusalReason::BudgetRefused { suggested_primes } = self {
+            let encoded = suggested_primes.map_or(0u32, |p| p.saturating_add(1));
+            out.extend_from_slice(&encoded.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a NACK payload. `None` for an empty payload (a legacy
+    /// reason-less NACK) or any malformed encoding — the client then
+    /// treats the NACK as an untyped retransmission request.
+    #[must_use]
+    pub fn from_payload(bytes: &[u8]) -> Option<Self> {
+        match *bytes.first()? {
+            1 if bytes.len() == 1 => Some(RefusalReason::QueueFull),
+            2 if bytes.len() == 5 => {
+                let raw = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]);
+                Some(RefusalReason::BudgetRefused {
+                    suggested_primes: raw.checked_sub(1),
+                })
+            }
+            3 if bytes.len() == 1 => Some(RefusalReason::Deadline),
+            4 if bytes.len() == 1 => Some(RefusalReason::SessionExpired),
+            5 if bytes.len() == 1 => Some(RefusalReason::Malformed),
+            6 if bytes.len() == 1 => Some(RefusalReason::WorkerFault),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RefusalReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefusalReason::QueueFull => write!(f, "queue full (backpressure; retry with backoff)"),
+            RefusalReason::BudgetRefused { suggested_primes } => {
+                write!(f, "noise budget refused before evaluation; ")?;
+                match suggested_primes {
+                    Some(p) => write!(f, "use at least {p} RNS primes"),
+                    None => write!(f, "no RNS size up to 32 primes suffices"),
+                }
+            }
+            RefusalReason::Deadline => write!(f, "deadline passed (request shed)"),
+            RefusalReason::SessionExpired => {
+                write!(f, "session unknown, expired, or replayed")
+            }
+            RefusalReason::Malformed => write!(f, "frame failed decode or canonicity checks"),
+            RefusalReason::WorkerFault => write!(f, "worker fault contained while serving"),
+        }
+    }
+}
+
 /// Any failure of the resilient transciphering pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PipelineError {
@@ -54,6 +170,9 @@ pub enum PipelineError {
         /// On-device recomputations attempted.
         attempts: u32,
     },
+    /// A server refused the request with a typed reason (backpressure,
+    /// admission control, deadline shedding, session expiry, …).
+    Refused(RefusalReason),
     /// Invalid session configuration.
     Config(String),
 }
@@ -94,6 +213,7 @@ impl fmt::Display for PipelineError {
                 "block {counter}: fault detected on every one of {attempts} \
                  recomputations (permanent fault?)"
             ),
+            PipelineError::Refused(reason) => write!(f, "refused: {reason}"),
             PipelineError::Config(msg) => write!(f, "pipeline config: {msg}"),
         }
     }
@@ -143,6 +263,46 @@ mod tests {
         };
         let text = hopeless.to_string();
         assert!(text.contains("no RNS size"), "{text}");
+    }
+
+    #[test]
+    fn refusal_reasons_roundtrip_through_payloads() {
+        let reasons = [
+            RefusalReason::QueueFull,
+            RefusalReason::BudgetRefused {
+                suggested_primes: Some(7),
+            },
+            RefusalReason::BudgetRefused {
+                suggested_primes: None,
+            },
+            RefusalReason::Deadline,
+            RefusalReason::SessionExpired,
+            RefusalReason::Malformed,
+            RefusalReason::WorkerFault,
+        ];
+        for r in reasons {
+            assert_eq!(RefusalReason::from_payload(&r.to_payload()), Some(r));
+        }
+        // Legacy empty payloads and garbage decode to None, never panic.
+        assert_eq!(RefusalReason::from_payload(&[]), None);
+        assert_eq!(RefusalReason::from_payload(&[99]), None);
+        assert_eq!(RefusalReason::from_payload(&[2, 1]), None); // truncated
+        assert_eq!(RefusalReason::from_payload(&[1, 0]), None); // trailing
+    }
+
+    #[test]
+    fn retryability_splits_backpressure_from_fatal() {
+        assert!(RefusalReason::QueueFull.is_retryable());
+        assert!(RefusalReason::Deadline.is_retryable());
+        assert!(RefusalReason::Malformed.is_retryable());
+        assert!(RefusalReason::WorkerFault.is_retryable());
+        assert!(!RefusalReason::SessionExpired.is_retryable());
+        assert!(!RefusalReason::BudgetRefused {
+            suggested_primes: Some(5)
+        }
+        .is_retryable());
+        let e = PipelineError::Refused(RefusalReason::QueueFull);
+        assert!(e.to_string().contains("backpressure"), "{e}");
     }
 
     #[test]

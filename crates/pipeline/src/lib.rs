@@ -38,7 +38,7 @@ pub mod wire;
 pub use channel::{ChannelConfig, Delivery, LossyChannel};
 pub use cloud::CloudReceiver;
 pub use edge::{EdgeEncryptor, ScheduledFault};
-pub use error::PipelineError;
+pub use error::{PipelineError, RefusalReason};
 pub use guard::NoiseBudgetGuard;
 pub use session::{run_session, Downshift, SessionConfig, SessionReport};
 pub use wire::{FrameError, FrameKind, WireFrame};

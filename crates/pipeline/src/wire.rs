@@ -22,6 +22,7 @@
 //! maps them to nack-and-retransmit, never to a panic.
 
 use crate::crc::crc32;
+use crate::error::RefusalReason;
 use std::fmt;
 
 /// Frame magic: "PE" (Pasta/Edge).
@@ -171,6 +172,31 @@ impl WireFrame {
         }
     }
 
+    /// Builds a NACK carrying a typed [`RefusalReason`] in its payload,
+    /// so the client can distinguish retryable refusals (queue full,
+    /// deadline shed) from fatal ones (budget refused, session expired).
+    #[must_use]
+    pub fn nack_with_reason(frame_id: u32, counter_base: u32, reason: RefusalReason) -> Self {
+        WireFrame {
+            kind: FrameKind::Nack,
+            nonce: 0,
+            frame_id,
+            counter_base,
+            payload: reason.to_payload(),
+        }
+    }
+
+    /// The typed refusal reason of a NACK frame, when one is encoded.
+    /// `None` for non-NACK frames, legacy reason-less NACKs, and
+    /// malformed reason payloads.
+    #[must_use]
+    pub fn refusal_reason(&self) -> Option<RefusalReason> {
+        if self.kind != FrameKind::Nack {
+            return None;
+        }
+        RefusalReason::from_payload(&self.payload)
+    }
+
     /// Serialized size in bytes.
     #[must_use]
     pub fn encoded_len(&self) -> usize {
@@ -261,6 +287,28 @@ mod tests {
         assert_eq!(WireFrame::decode(&ack.encode()).unwrap(), ack);
         let nack = WireFrame::nack(7, 600);
         assert_eq!(WireFrame::decode(&nack.encode()).unwrap(), nack);
+    }
+
+    #[test]
+    fn nack_reasons_survive_the_wire() {
+        let reasons = [
+            RefusalReason::QueueFull,
+            RefusalReason::BudgetRefused {
+                suggested_primes: Some(6),
+            },
+            RefusalReason::Deadline,
+            RefusalReason::SessionExpired,
+            RefusalReason::Malformed,
+            RefusalReason::WorkerFault,
+        ];
+        for reason in reasons {
+            let nack = WireFrame::nack_with_reason(3, 40, reason);
+            let decoded = WireFrame::decode(&nack.encode()).unwrap();
+            assert_eq!(decoded.refusal_reason(), Some(reason));
+        }
+        // Legacy reason-less NACKs and non-NACK frames report None.
+        assert_eq!(WireFrame::nack(3, 40).refusal_reason(), None);
+        assert_eq!(sample().refusal_reason(), None);
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Deterministic virtual time.
+//!
+//! The service never reads a wall clock: `pasta-audit` bans `Instant` /
+//! `SystemTime` in determinism-critical crates, and every deadline,
+//! idle-expiry and latency figure in this crate must replay bit-for-bit
+//! from a seed. Time is therefore a plain `u64` microsecond counter that
+//! only the simulation driver advances — the same virtual-clock idiom as
+//! `pasta_pipeline::session::run_session`, promoted to a reusable type.
+
+/// A monotonic virtual clock with microsecond resolution.
+///
+/// The clock never goes backwards: [`VirtualClock::advance_to`] clamps
+/// to the current reading, so replaying out-of-order event timestamps
+/// cannot produce negative durations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct VirtualClock {
+    now_us: u64,
+}
+
+impl VirtualClock {
+    /// A clock reading zero.
+    #[must_use]
+    pub fn new() -> Self {
+        VirtualClock { now_us: 0 }
+    }
+
+    /// A clock starting at an arbitrary epoch (the "seedable" half of
+    /// the abstraction: two simulations started at the same epoch read
+    /// identical timestamps for identical event sequences).
+    #[must_use]
+    pub fn starting_at(now_us: u64) -> Self {
+        VirtualClock { now_us }
+    }
+
+    /// Current reading in microseconds.
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Advances by `delta_us` (saturating) and returns the new reading.
+    pub fn advance_us(&mut self, delta_us: u64) -> u64 {
+        self.now_us = self.now_us.saturating_add(delta_us);
+        self.now_us
+    }
+
+    /// Advances to `instant_us` if that is in the future; a reading in
+    /// the past is ignored (monotonicity). Returns the new reading.
+    pub fn advance_to(&mut self, instant_us: u64) -> u64 {
+        self.now_us = self.now_us.max(instant_us);
+        self.now_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_and_never_rewinds() {
+        let mut clock = VirtualClock::new();
+        assert_eq!(clock.now_us(), 0);
+        assert_eq!(clock.advance_us(250), 250);
+        assert_eq!(clock.advance_to(1_000), 1_000);
+        assert_eq!(clock.advance_to(400), 1_000, "must not rewind");
+        assert_eq!(clock.advance_us(u64::MAX), u64::MAX, "saturates");
+    }
+
+    #[test]
+    fn epoch_seeding_shifts_all_readings() {
+        let mut a = VirtualClock::starting_at(5_000);
+        let mut b = VirtualClock::starting_at(5_000);
+        for step in [3, 70, 900] {
+            assert_eq!(a.advance_us(step), b.advance_us(step));
+        }
+    }
+}

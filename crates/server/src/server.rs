@@ -1,0 +1,591 @@
+//! The multi-tenant transciphering service core.
+//!
+//! A [`PastaServer`] owns a set of tenants, each with its own PASTA key
+//! (provisioned FHE-encrypted, as in Fig. 1), its own BFV context, a
+//! bounded request queue, and a session registry. Requests arrive as PR 1
+//! wire frames; every path that cannot serve a request answers with a
+//! typed NACK ([`pasta_pipeline::RefusalReason`]) — the service never
+//! drops work silently and never panics on hostile input:
+//!
+//! - **admission control** — tenant registration pre-flights the
+//!   transciphering circuit through [`NoiseBudgetGuard`] and refuses
+//!   under-provisioned parameters with the prime count that would work
+//!   (`BudgetRefused`), *before* any ciphertext is accepted;
+//! - **backpressure** — per-tenant queues are bounded; a full queue
+//!   answers `QueueFull` instead of buffering without limit;
+//! - **load shedding** — each request carries a deadline; requests whose
+//!   deadline passes before service begins are shed oldest-deadline-first
+//!   with a `Deadline` NACK;
+//! - **fault containment** — worker panics (injected or real) are caught
+//!   inside the `pasta_par` pool and converted to `WorkerFault` NACKs;
+//! - **isolation** — per-tenant [`ShardedCache`] shards evict under a
+//!   global memory budget, so one tenant cannot starve the others of
+//!   cached plaintext material.
+//!
+//! All time is virtual (see [`crate::clock`]): the caller stamps every
+//! `submit`/`poll` with a `u64` microsecond instant, and the scheduler's
+//! round structure is a pure function of those stamps — bit-identical
+//! across runs and `PASTA_THREADS` settings.
+
+use crate::session::SessionTable;
+use pasta_core::{Ciphertext as PastaCiphertext, PastaParams};
+use pasta_fhe::{BfvContext, BfvParams, BfvRelinKey, Ciphertext as FheCiphertext};
+use pasta_hhe::{EncryptedPastaKey, HheServer, ShardedCache, ShardedCacheConfig};
+use pasta_pipeline::guard::NoiseBudgetGuard;
+use pasta_pipeline::pack;
+use pasta_pipeline::wire::{FrameKind, WireFrame};
+use pasta_pipeline::{PipelineError, RefusalReason};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Tenant handle: assigned by [`PastaServer::register_tenant`].
+pub type TenantId = u64;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker-pool width: requests served concurrently per scheduling
+    /// round (virtual concurrency; the FHE math itself additionally fans
+    /// out across `PASTA_THREADS`).
+    pub workers: usize,
+    /// Per-tenant queue bound; a full queue answers `QueueFull`.
+    pub queue_capacity: usize,
+    /// Relative deadline stamped on every accepted request.
+    pub deadline_us: u64,
+    /// Sessions idle longer than this are expired.
+    pub idle_timeout_us: u64,
+    /// Virtual service time per PASTA block (models the transciphering
+    /// latency the real circuit would cost at production parameters).
+    pub service_us_per_block: u64,
+    /// Noise-budget admission policy applied at tenant registration.
+    pub admission: NoiseBudgetGuard,
+    /// Memory budget for the per-tenant material-cache shards.
+    pub cache: ShardedCacheConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 8,
+            deadline_us: 200_000,
+            idle_timeout_us: 5_000_000,
+            service_us_per_block: 2_000,
+            admission: NoiseBudgetGuard::default(),
+            cache: ShardedCacheConfig::default(),
+        }
+    }
+}
+
+/// Everything a tenant ships at registration: its parameter choice plus
+/// the one-time FHE key material of Fig. 1 provisioning.
+#[derive(Debug)]
+pub struct TenantProvision {
+    /// The tenant's PASTA instance.
+    pub pasta: PastaParams,
+    /// The BFV parameters the tenant asks the service to evaluate under.
+    pub bfv: BfvParams,
+    /// Relinearization key for the S-box squarings.
+    pub relin_key: BfvRelinKey,
+    /// The tenant's PASTA key, FHE-encrypted (`2t` ciphertexts).
+    pub encrypted_key: EncryptedPastaKey,
+}
+
+/// One accepted, not-yet-served request.
+#[derive(Debug)]
+struct QueuedRequest {
+    seq: u64,
+    tenant: TenantId,
+    nonce: u128,
+    frame_id: u32,
+    counter_base: u32,
+    ct: PastaCiphertext,
+    enqueued_us: u64,
+    deadline_us: u64,
+}
+
+/// Per-tenant server-side state.
+struct Tenant {
+    params: PastaParams,
+    ctx: BfvContext,
+    hhe: HheServer,
+    sessions: SessionTable,
+    queue: VecDeque<QueuedRequest>,
+}
+
+impl std::fmt::Debug for Tenant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tenant")
+            .field("queued", &self.queue.len())
+            .field("sessions", &self.sessions.active_count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// What [`PastaServer::submit`] answered.
+#[derive(Debug)]
+pub enum SubmitOutcome {
+    /// The request was queued; `seq` identifies it in later
+    /// [`ServerEvent`]s, `ack` goes back to the client.
+    Accepted {
+        /// Server-wide request sequence number.
+        seq: u64,
+        /// The positive acknowledgement frame.
+        ack: WireFrame,
+    },
+    /// The request was refused with a typed NACK.
+    Refused {
+        /// Why it was refused.
+        reason: RefusalReason,
+        /// The NACK frame carrying the reason.
+        nack: WireFrame,
+    },
+}
+
+/// A served request: the transciphered result plus its timeline.
+#[derive(Debug)]
+pub struct Completion {
+    /// Server-wide request sequence number.
+    pub seq: u64,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Session (= PASTA nonce) the request belonged to.
+    pub nonce: u128,
+    /// Client-assigned frame ID (echoed for response matching).
+    pub frame_id: u32,
+    /// First PASTA block counter of the payload.
+    pub counter_base: u32,
+    /// FHE ciphertexts of the client's message elements.
+    pub result: Vec<FheCiphertext>,
+    /// When the request was accepted into the queue.
+    pub accepted_us: u64,
+    /// When service finished (virtual time).
+    pub completed_us: u64,
+}
+
+/// An asynchronous server event surfaced by [`PastaServer::poll`].
+#[derive(Debug)]
+pub enum ServerEvent {
+    /// A request finished service successfully.
+    Completed(Completion),
+    /// An *accepted* request was later refused (shed at its deadline, or
+    /// its worker faulted); the typed NACK must reach the client — no
+    /// accepted request ever disappears without one.
+    Refused {
+        /// Server-wide request sequence number.
+        seq: u64,
+        /// Owning tenant.
+        tenant: TenantId,
+        /// Why it was refused.
+        reason: RefusalReason,
+        /// The NACK frame carrying the reason.
+        nack: WireFrame,
+        /// When the refusal happened (virtual time).
+        at_us: u64,
+    },
+}
+
+/// Monotonic service counters. `accepted` always equals
+/// `completed + shed_deadline + worker_faults + (still queued)` — the
+/// no-silent-drops ledger the tests and the loadgen check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Frames offered to `submit`.
+    pub submitted: u64,
+    /// Requests accepted into a queue.
+    pub accepted: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Refusals: tenant queue at capacity.
+    pub refused_queue_full: u64,
+    /// Refusals: noise-budget admission control (registration time).
+    pub refused_budget: u64,
+    /// Refusals: unknown/expired/replayed session.
+    pub refused_session: u64,
+    /// Refusals: frame failed decode, integrity or canonicity checks.
+    pub refused_malformed: u64,
+    /// Accepted requests shed because their deadline passed unserved.
+    pub shed_deadline: u64,
+    /// Accepted requests whose worker faulted (panic contained).
+    pub worker_faults: u64,
+    /// Sessions expired for idleness.
+    pub sessions_expired: u64,
+}
+
+/// The multi-tenant transciphering service.
+#[derive(Debug)]
+pub struct PastaServer {
+    cfg: ServerConfig,
+    tenants: BTreeMap<TenantId, Tenant>,
+    cache: ShardedCache,
+    next_tenant: TenantId,
+    next_seq: u64,
+    pool_free_us: u64,
+    fault_plan: BTreeSet<u64>,
+    stats: ServerStats,
+}
+
+impl PastaServer {
+    /// An empty service.
+    #[must_use]
+    pub fn new(cfg: ServerConfig) -> Self {
+        let cache = ShardedCache::new(cfg.cache);
+        PastaServer {
+            cfg,
+            tenants: BTreeMap::new(),
+            cache,
+            next_tenant: 1,
+            next_seq: 1,
+            pool_free_us: 0,
+            fault_plan: BTreeSet::new(),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// The configuration the service runs under.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Current counters (with session expiries folded in).
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        let mut stats = self.stats;
+        stats.sessions_expired = self
+            .tenants
+            .values()
+            .map(|t| t.sessions.expired_count())
+            .sum();
+        stats
+    }
+
+    /// The shared material cache (for inspection of shard eviction).
+    #[must_use]
+    pub fn cache(&self) -> &ShardedCache {
+        &self.cache
+    }
+
+    /// Total requests currently queued across all tenants.
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.tenants.values().map(|t| t.queue.len()).sum()
+    }
+
+    /// The sequence number the next accepted request will get (lets a
+    /// test or load generator aim a fault at "the Nth accepted request").
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Fault injection: the worker serving request `seq` will panic once
+    /// (the panic is contained and converted to a `WorkerFault` NACK —
+    /// the injection is transient, a retry of the work succeeds).
+    pub fn inject_worker_fault(&mut self, seq: u64) {
+        self.fault_plan.insert(seq);
+    }
+
+    /// Registers a tenant: noise-budget admission first, then FHE
+    /// context construction and key-shape validation.
+    ///
+    /// # Errors
+    ///
+    /// - [`PipelineError::Refused`] with
+    ///   [`RefusalReason::BudgetRefused`] when the admission guard
+    ///   predicts the transciphering circuit would exhaust the noise
+    ///   budget under the tenant's BFV parameters (the refusal names the
+    ///   prime count that would work);
+    /// - [`PipelineError::Fhe`] when the BFV parameters are invalid or
+    ///   the encrypted key has the wrong shape.
+    pub fn register_tenant(&mut self, prov: TenantProvision) -> Result<TenantId, PipelineError> {
+        if let Err(err) = self.cfg.admission.check(&prov.pasta, &prov.bfv) {
+            self.stats.refused_budget += 1;
+            let suggested = match err {
+                PipelineError::NoiseBudget {
+                    suggested_prime_count,
+                    ..
+                } => suggested_prime_count.and_then(|c| u32::try_from(c).ok()),
+                _ => None,
+            };
+            return Err(PipelineError::Refused(RefusalReason::BudgetRefused {
+                suggested_primes: suggested,
+            }));
+        }
+        let ctx = BfvContext::new(prov.bfv).map_err(PipelineError::Fhe)?;
+        let hhe = HheServer::new(prov.pasta, prov.relin_key, prov.encrypted_key)
+            .map_err(PipelineError::Fhe)?;
+        let id = self.next_tenant;
+        self.next_tenant += 1;
+        self.tenants.insert(
+            id,
+            Tenant {
+                params: prov.pasta,
+                ctx,
+                hhe,
+                sessions: SessionTable::new(self.cfg.idle_timeout_us),
+                queue: VecDeque::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Opens a session for `tenant` under `nonce` (the session ID; see
+    /// [`crate::session`] for the replay rules).
+    ///
+    /// # Errors
+    ///
+    /// [`RefusalReason::SessionExpired`] for an unknown tenant or a
+    /// replayed nonce.
+    pub fn open_session(
+        &mut self,
+        now_us: u64,
+        tenant: TenantId,
+        nonce: u128,
+    ) -> Result<(), RefusalReason> {
+        let Some(t) = self.tenants.get_mut(&tenant) else {
+            self.stats.refused_session += 1;
+            return Err(RefusalReason::SessionExpired);
+        };
+        t.sessions.open(now_us, nonce).inspect_err(|_| {
+            self.stats.refused_session += 1;
+        })
+    }
+
+    /// Offers one received wire frame to the service. Every outcome is
+    /// explicit: either the request is queued (ACK) or it is refused
+    /// with a typed NACK — hostile bytes can make the server *refuse*,
+    /// never panic.
+    pub fn submit(&mut self, now_us: u64, tenant: TenantId, bytes: &[u8]) -> SubmitOutcome {
+        self.stats.submitted += 1;
+        let Ok(frame) = WireFrame::decode(bytes) else {
+            // Undecodable: the NACK cannot name the frame, same as the
+            // session layer's blind NACK convention.
+            return self.refuse(0, 0, RefusalReason::Malformed);
+        };
+        if frame.kind != FrameKind::Data {
+            return self.refuse(frame.frame_id, frame.counter_base, RefusalReason::Malformed);
+        }
+        let deadline_us = now_us.saturating_add(self.cfg.deadline_us);
+        let queue_capacity = self.cfg.queue_capacity;
+        let Some(t) = self.tenants.get_mut(&tenant) else {
+            return self.refuse(
+                frame.frame_id,
+                frame.counter_base,
+                RefusalReason::SessionExpired,
+            );
+        };
+        if let Err(reason) = t.sessions.touch(now_us, frame.nonce) {
+            return self.refuse(frame.frame_id, frame.counter_base, reason);
+        }
+        let bits = t.params.modulus().bits();
+        let count = pack::elements_in(frame.payload.len(), bits);
+        if count == 0 {
+            return self.refuse(frame.frame_id, frame.counter_base, RefusalReason::Malformed);
+        }
+        let elements = pack::unpack_bits(&frame.payload, bits, count);
+        let Ok(ct) = pack::ciphertext_from_elements(&t.params, frame.nonce, &elements) else {
+            return self.refuse(frame.frame_id, frame.counter_base, RefusalReason::Malformed);
+        };
+        if t.queue.len() >= queue_capacity {
+            return self.refuse(frame.frame_id, frame.counter_base, RefusalReason::QueueFull);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let ack = WireFrame::ack(&frame);
+        t.queue.push_back(QueuedRequest {
+            seq,
+            tenant,
+            nonce: frame.nonce,
+            frame_id: frame.frame_id,
+            counter_base: frame.counter_base,
+            ct,
+            enqueued_us: now_us,
+            deadline_us,
+        });
+        self.stats.accepted += 1;
+        SubmitOutcome::Accepted { seq, ack }
+    }
+
+    /// Builds a refusal outcome and counts it.
+    fn refuse(&mut self, frame_id: u32, counter_base: u32, reason: RefusalReason) -> SubmitOutcome {
+        match reason {
+            RefusalReason::QueueFull => self.stats.refused_queue_full += 1,
+            RefusalReason::SessionExpired => self.stats.refused_session += 1,
+            RefusalReason::Malformed => self.stats.refused_malformed += 1,
+            RefusalReason::BudgetRefused { .. } => self.stats.refused_budget += 1,
+            RefusalReason::Deadline => self.stats.shed_deadline += 1,
+            RefusalReason::WorkerFault => self.stats.worker_faults += 1,
+        }
+        SubmitOutcome::Refused {
+            reason,
+            nack: WireFrame::nack_with_reason(frame_id, counter_base, reason),
+        }
+    }
+
+    /// Runs the scheduler up to virtual time `now_us` and returns every
+    /// event (completions and refusals of previously accepted requests)
+    /// it produced.
+    ///
+    /// Scheduling is round-based: a round starts when the worker pool is
+    /// free and at least one request is runnable, sheds every queued
+    /// request whose deadline has already passed (oldest deadline
+    /// first), then serves up to `workers` requests picked round-robin
+    /// across tenants (FIFO — and therefore earliest-deadline-first —
+    /// within each tenant). The round structure depends only on virtual
+    /// timestamps, never on how often `poll` is called, so a run replays
+    /// identically for any poll cadence and any `PASTA_THREADS`.
+    pub fn poll(&mut self, now_us: u64) -> Vec<ServerEvent> {
+        let mut events = Vec::new();
+        while let Some(earliest) = self
+            .tenants
+            .values()
+            .flat_map(|t| t.queue.iter().map(|r| r.enqueued_us))
+            .min()
+        {
+            let round_start = self.pool_free_us.max(earliest);
+            if round_start >= now_us {
+                break;
+            }
+            self.shed_overdue(round_start, &mut events);
+            let batch = self.select_batch(round_start);
+            if batch.is_empty() {
+                // Everything runnable was shed; re-evaluate.
+                continue;
+            }
+            // Re-attach each involved tenant's cache shard so shard
+            // eviction between rounds actually frees memory.
+            for req in &batch {
+                if let Some(t) = self.tenants.get_mut(&req.tenant) {
+                    t.hhe.set_cache(self.cache.shard(req.tenant, &t.params));
+                }
+            }
+            let tenants = &self.tenants;
+            let plan = &self.fault_plan;
+            // The worker pool: the real FHE transciphering fans out
+            // here. Panics — injected or real — are caught inside each
+            // per-item closure (a panic reaching the pool's scope join
+            // would take the whole service down).
+            let results: Vec<Result<Vec<FheCiphertext>, RefusalReason>> =
+                pasta_par::parallel_map(&batch, |_, req| {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        if plan.contains(&req.seq) {
+                            // audit: allow(panic, reason = "fault-injection hook: the panic is contained by the surrounding catch_unwind and surfaced as a typed WorkerFault NACK")
+                            panic!("injected worker fault on request {}", req.seq);
+                        }
+                        let Some(t) = tenants.get(&req.tenant) else {
+                            return Err(RefusalReason::WorkerFault);
+                        };
+                        t.hhe
+                            .transcipher(&t.ctx, &req.ct)
+                            .map_err(|_| RefusalReason::WorkerFault)
+                    }))
+                    .unwrap_or(Err(RefusalReason::WorkerFault))
+                });
+            let mut round_len_us = 1;
+            for (req, result) in batch.into_iter().zip(results) {
+                let block_size = self
+                    .tenants
+                    .get(&req.tenant)
+                    .map_or(1, |t| t.params.t().max(1));
+                let blocks = req.ct.len().div_ceil(block_size).max(1) as u64;
+                let service_us = blocks * self.cfg.service_us_per_block.max(1);
+                round_len_us = round_len_us.max(service_us);
+                let completed_us = round_start + service_us;
+                self.fault_plan.remove(&req.seq);
+                match result {
+                    Ok(result) => {
+                        self.stats.completed += 1;
+                        events.push(ServerEvent::Completed(Completion {
+                            seq: req.seq,
+                            tenant: req.tenant,
+                            nonce: req.nonce,
+                            frame_id: req.frame_id,
+                            counter_base: req.counter_base,
+                            result,
+                            accepted_us: req.enqueued_us,
+                            completed_us,
+                        }));
+                    }
+                    Err(reason) => {
+                        self.stats.worker_faults += 1;
+                        events.push(ServerEvent::Refused {
+                            seq: req.seq,
+                            tenant: req.tenant,
+                            reason,
+                            nack: WireFrame::nack_with_reason(
+                                req.frame_id,
+                                req.counter_base,
+                                reason,
+                            ),
+                            at_us: completed_us,
+                        });
+                    }
+                }
+            }
+            self.pool_free_us = round_start + round_len_us;
+        }
+        events
+    }
+
+    /// Sheds every queued request whose deadline passed before
+    /// `round_start`, emitting `Deadline` NACK events oldest-deadline
+    /// first.
+    fn shed_overdue(&mut self, round_start: u64, events: &mut Vec<ServerEvent>) {
+        let mut shed: Vec<QueuedRequest> = Vec::new();
+        for t in self.tenants.values_mut() {
+            let mut keep = VecDeque::with_capacity(t.queue.len());
+            while let Some(req) = t.queue.pop_front() {
+                if req.enqueued_us <= round_start && req.deadline_us <= round_start {
+                    shed.push(req);
+                } else {
+                    keep.push_back(req);
+                }
+            }
+            t.queue = keep;
+        }
+        shed.sort_by_key(|r| (r.deadline_us, r.seq));
+        for req in shed {
+            self.stats.shed_deadline += 1;
+            events.push(ServerEvent::Refused {
+                seq: req.seq,
+                tenant: req.tenant,
+                reason: RefusalReason::Deadline,
+                nack: WireFrame::nack_with_reason(
+                    req.frame_id,
+                    req.counter_base,
+                    RefusalReason::Deadline,
+                ),
+                at_us: round_start,
+            });
+        }
+    }
+
+    /// Picks up to `workers` runnable requests round-robin across
+    /// tenants (one per tenant per sweep; FIFO within a tenant).
+    fn select_batch(&mut self, round_start: u64) -> Vec<QueuedRequest> {
+        let workers = self.cfg.workers.max(1);
+        let mut batch = Vec::new();
+        loop {
+            let mut picked_any = false;
+            for t in self.tenants.values_mut() {
+                if batch.len() >= workers {
+                    return batch;
+                }
+                let runnable = t
+                    .queue
+                    .front()
+                    .is_some_and(|req| req.enqueued_us <= round_start);
+                if runnable {
+                    if let Some(req) = t.queue.pop_front() {
+                        batch.push(req);
+                        picked_any = true;
+                    }
+                }
+            }
+            if !picked_any {
+                return batch;
+            }
+        }
+    }
+}

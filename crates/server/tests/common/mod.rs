@@ -1,0 +1,101 @@
+//! Shared fixture: a service with registered tenants, plus helpers to
+//! build wire frames the way a real edge client would.
+#![allow(dead_code)] // each test binary uses a different slice of the helpers
+
+use pasta_core::PastaParams;
+use pasta_fhe::{BfvContext, BfvParams, BfvSecretKey};
+use pasta_hhe::HheClient;
+use pasta_math::Modulus;
+use pasta_pipeline::{pack, WireFrame};
+use pasta_server::{PastaServer, ServerConfig, TenantId, TenantProvision};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The client half of one registered tenant.
+pub struct ClientSide {
+    pub tenant: TenantId,
+    pub client: HheClient,
+    pub ctx: BfvContext,
+    pub sk: BfvSecretKey,
+    pub params: PastaParams,
+}
+
+pub fn tiny_pasta() -> PastaParams {
+    PastaParams::custom(4, 2, Modulus::PASTA_17_BIT).unwrap()
+}
+
+/// Builds a full Fig. 1 provisioning bundle. Keys are generated under
+/// `key_bfv`; the provision *claims* `claimed_bfv` — letting a test ship
+/// out-of-range parameters without having to construct an invalid
+/// context client-side.
+pub fn make_provision(
+    params: PastaParams,
+    key_bfv: BfvParams,
+    claimed_bfv: BfvParams,
+    seed: u64,
+    key_seed: &[u8],
+) -> (TenantProvision, HheClient, BfvContext, BfvSecretKey) {
+    let ctx = BfvContext::new(key_bfv).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sk = ctx.generate_secret_key(&mut rng);
+    let pk = ctx.generate_public_key(&sk, &mut rng);
+    let relin = ctx.generate_relin_key(&sk, &mut rng);
+    let client = HheClient::new(params, key_seed);
+    let encrypted_key = client.provision_key(&ctx, &pk, &mut rng);
+    (
+        TenantProvision {
+            pasta: params,
+            bfv: claimed_bfv,
+            relin_key: relin,
+            encrypted_key,
+        },
+        client,
+        ctx,
+        sk,
+    )
+}
+
+/// Registers one tenant with valid tiny parameters.
+pub fn register(server: &mut PastaServer, seed: u64, key_seed: &[u8]) -> ClientSide {
+    let params = tiny_pasta();
+    let bfv = BfvParams::test_tiny();
+    let (prov, client, ctx, sk) = make_provision(params, bfv, bfv, seed, key_seed);
+    let tenant = server.register_tenant(prov).unwrap();
+    ClientSide {
+        tenant,
+        client,
+        ctx,
+        sk,
+        params,
+    }
+}
+
+pub struct Fixture {
+    pub server: PastaServer,
+    pub side: ClientSide,
+}
+
+/// A service with one registered tenant (tiny PASTA + BFV).
+pub fn fixture(cfg: ServerConfig) -> Fixture {
+    let mut server = PastaServer::new(cfg);
+    let side = register(&mut server, 4242, b"fixture tenant");
+    Fixture { server, side }
+}
+
+impl ClientSide {
+    /// A canonical random message of `t` field elements.
+    pub fn message(&self, seed: u64) -> Vec<u64> {
+        let modulus = self.params.modulus().value();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..self.params.t())
+            .map(|_| rng.gen_range(0..modulus))
+            .collect()
+    }
+
+    /// Encrypts `message` under `nonce` and wraps it in a data frame.
+    pub fn data_frame(&self, nonce: u128, frame_id: u32, message: &[u64]) -> Vec<u8> {
+        let ct = self.client.encrypt(nonce, message).unwrap();
+        let payload = pack::pack_bits(ct.elements(), self.params.modulus().bits());
+        WireFrame::data(nonce, frame_id, 0, payload).encode()
+    }
+}

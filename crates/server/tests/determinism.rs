@@ -1,0 +1,40 @@
+//! Determinism under load: same seed and same `PASTA_THREADS` must
+//! reproduce the identical `LoadReport` — counters, latency percentiles,
+//! and the plaintext digest — bit for bit; and the report must not
+//! depend on the thread count at all.
+//!
+//! Lives in its own integration-test binary (single `#[test]`) because
+//! it mutates the `PASTA_THREADS` environment variable, which would race
+//! with any parallel test in the same process.
+
+use pasta_server::{run_loadgen, LoadgenConfig};
+
+fn with_threads<T>(n: &str, f: impl FnOnce() -> T) -> T {
+    std::env::set_var(pasta_par::THREADS_ENV, n);
+    let out = f();
+    std::env::remove_var(pasta_par::THREADS_ENV);
+    out
+}
+
+#[test]
+fn load_report_replays_bit_for_bit() {
+    let cfg = LoadgenConfig::quick();
+    let single = with_threads("1", || run_loadgen(&cfg).unwrap());
+    let replay = with_threads("1", || run_loadgen(&cfg).unwrap());
+    assert_eq!(single, replay, "same seed + same threads must replay");
+
+    let wide = with_threads("4", || run_loadgen(&cfg).unwrap());
+    assert_eq!(
+        single, wide,
+        "the report (counters, latencies, plaintext digest) must not \
+         depend on PASTA_THREADS"
+    );
+
+    let mut reseeded = LoadgenConfig::quick();
+    reseeded.seed = 8;
+    let other = with_threads("1", || run_loadgen(&reseeded).unwrap());
+    assert_ne!(
+        single.plaintext_digest, other.plaintext_digest,
+        "a different seed must produce different traffic"
+    );
+}

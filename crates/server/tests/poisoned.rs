@@ -1,0 +1,110 @@
+//! Poisoned-input fuzzing of the server receive path: truncated frames,
+//! flipped bits, random garbage, replayed session IDs, and out-of-range
+//! parameter requests must all make the service *refuse with a typed
+//! reason* — never panic, never accept silently.
+
+mod common;
+
+use pasta_fhe::BfvParams;
+use pasta_pipeline::RefusalReason;
+use pasta_server::{PastaServer, ServerConfig, SubmitOutcome};
+use proptest::prelude::*;
+
+fn refusal(outcome: SubmitOutcome) -> Option<RefusalReason> {
+    match outcome {
+        SubmitOutcome::Refused { reason, .. } => Some(reason),
+        SubmitOutcome::Accepted { .. } => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn truncated_frames_are_refused(cut in 0usize..4096, msg_seed in any::<u64>()) {
+        let mut fx = common::fixture(ServerConfig::default());
+        fx.server.open_session(0, fx.side.tenant, 42).unwrap();
+        let frame = fx.side.data_frame(42, 1, &fx.side.message(msg_seed));
+        let cut = cut % frame.len(); // strictly shorter than the frame
+        let reason = refusal(fx.server.submit(10, fx.side.tenant, &frame[..cut]));
+        prop_assert_eq!(reason, Some(RefusalReason::Malformed));
+    }
+
+    #[test]
+    fn flipped_bits_are_caught_by_the_crc(
+        bit_a in 0usize..8192,
+        bit_b in 0usize..8192,
+        msg_seed in any::<u64>(),
+    ) {
+        let mut fx = common::fixture(ServerConfig::default());
+        fx.server.open_session(0, fx.side.tenant, 42).unwrap();
+        let mut frame = fx.side.data_frame(42, 1, &fx.side.message(msg_seed));
+        let total_bits = frame.len() * 8;
+        let a = bit_a % total_bits;
+        frame[a / 8] ^= 1 << (a % 8);
+        let b = bit_b % total_bits;
+        if b != a {
+            frame[b / 8] ^= 1 << (b % 8);
+        }
+        // A frame this short is far inside CRC-32's Hamming-distance-4
+        // guarantee, so one or two flips anywhere must be caught.
+        let reason = refusal(fx.server.submit(10, fx.side.tenant, &frame));
+        prop_assert_eq!(reason, Some(RefusalReason::Malformed));
+    }
+
+    #[test]
+    fn random_garbage_is_refused(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut server = PastaServer::new(ServerConfig::default());
+        prop_assert!(refusal(server.submit(0, 1, &bytes)).is_some());
+    }
+
+    #[test]
+    fn replayed_session_ids_are_refused(nonce in any::<u128>()) {
+        let mut fx = common::fixture(ServerConfig::default());
+        fx.server.open_session(0, fx.side.tenant, nonce).unwrap();
+        prop_assert_eq!(
+            fx.server.open_session(5, fx.side.tenant, nonce),
+            Err(RefusalReason::SessionExpired)
+        );
+        // Traffic on the session doesn't un-burn the nonce.
+        let frame = fx.side.data_frame(nonce, 1, &fx.side.message(1));
+        prop_assert!(refusal(fx.server.submit(10, fx.side.tenant, &frame)).is_none());
+        prop_assert_eq!(
+            fx.server.open_session(20, fx.side.tenant, nonce),
+            Err(RefusalReason::SessionExpired)
+        );
+    }
+
+    #[test]
+    fn out_of_range_ring_degrees_are_refused(n in 0usize..4096, seed in any::<u64>()) {
+        // Valid ring degrees (powers of two ≥ 8) are out of scope here.
+        prop_assume!(!(n.is_power_of_two() && n >= 8));
+        let bad = BfvParams { n, ..BfvParams::test_tiny() };
+        let (prov, ..) = common::make_provision(
+            common::tiny_pasta(),
+            BfvParams::test_tiny(),
+            bad,
+            seed,
+            b"bad ring degree",
+        );
+        let mut server = PastaServer::new(ServerConfig::default());
+        prop_assert!(server.register_tenant(prov).is_err());
+    }
+}
+
+#[test]
+fn zero_prime_count_is_refused() {
+    let bad = BfvParams {
+        prime_count: 0,
+        ..BfvParams::test_tiny()
+    };
+    let (prov, ..) = common::make_provision(
+        common::tiny_pasta(),
+        BfvParams::test_tiny(),
+        bad,
+        3,
+        b"zero primes",
+    );
+    let mut server = PastaServer::new(ServerConfig::default());
+    assert!(server.register_tenant(prov).is_err());
+}
