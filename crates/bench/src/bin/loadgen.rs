@@ -13,7 +13,9 @@
 //! Usage:
 //!
 //! ```text
-//! loadgen                       # full scenario, writes ./BENCH_server.json
+//! loadgen                       # multiplexed full scenario → ./BENCH_server.json
+//! loadgen --multiplex off       # scalar full scenario → ./BENCH_server_scalar.json
+//! loadgen --baseline BENCH_server_scalar.json   # + gate ≥4× its throughput
 //! loadgen --quick               # CI smoke scenario (a few seconds)
 //! loadgen --seed 9              # reseed the whole simulation
 //! loadgen --out-dir target/bench
@@ -23,20 +25,35 @@ use pasta_server::{run_loadgen, LoadgenConfig};
 
 struct Options {
     quick: bool,
+    multiplex: bool,
     seed: Option<u64>,
     out_dir: String,
+    baseline: Option<String>,
 }
 
 fn parse_args() -> Options {
     let mut opts = Options {
         quick: false,
+        multiplex: true,
         seed: None,
         out_dir: ".".to_string(),
+        baseline: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => opts.quick = true,
+            "--multiplex" => {
+                let value = args.next().unwrap_or_default();
+                match value.as_str() {
+                    "on" => opts.multiplex = true,
+                    "off" => opts.multiplex = false,
+                    other => {
+                        eprintln!("bad --multiplex '{other}' (expected on|off)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--seed" => {
                 let value = args.next().unwrap_or_default();
                 match value.parse() {
@@ -52,6 +69,9 @@ fn parse_args() -> Options {
                     opts.out_dir = d;
                 }
             }
+            "--baseline" => {
+                opts.baseline = args.next();
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -59,6 +79,14 @@ fn parse_args() -> Options {
         }
     }
     opts
+}
+
+/// Reads `throughput_rps` out of a committed report JSON (stable-key
+/// format written by this binary — a string scan is enough).
+fn baseline_throughput(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let tail = text.split("\"throughput_rps\":").nth(1)?;
+    tail.split(',').next()?.trim().parse().ok()
 }
 
 /// Suppresses the backtrace of the *injected* worker panic (contained
@@ -82,10 +110,11 @@ fn install_panic_filter() {
 fn main() {
     install_panic_filter();
     let opts = parse_args();
-    let mut cfg = if opts.quick {
-        LoadgenConfig::quick()
-    } else {
-        LoadgenConfig::full()
+    let mut cfg = match (opts.quick, opts.multiplex) {
+        (true, true) => LoadgenConfig::quick().with_multiplex(),
+        (true, false) => LoadgenConfig::quick(),
+        (false, true) => LoadgenConfig::full_mux(),
+        (false, false) => LoadgenConfig::full(),
     };
     if let Some(seed) = opts.seed {
         cfg.seed = seed;
@@ -128,6 +157,29 @@ fn main() {
     if cfg.inject_fault_on_seq.is_some() && report.worker_faults == 0 {
         failures.push("the injected worker fault never fired".to_string());
     }
+    if cfg.multiplex && report.mux_buckets == 0 {
+        failures.push("multiplexing was on but no bucket ever flushed".to_string());
+    }
+    if let Some(path) = &opts.baseline {
+        match baseline_throughput(path) {
+            Some(base) if base > 0.0 => {
+                let ratio = report.throughput_rps / base;
+                if ratio < 4.0 {
+                    failures.push(format!(
+                        "throughput {:.2} req/s is only {ratio:.2}x the {base:.2} req/s \
+                         baseline in {path} (gate: >= 4x)",
+                        report.throughput_rps
+                    ));
+                } else {
+                    eprintln!(
+                        "throughput gate: {:.2} req/s = {ratio:.2}x the {base:.2} req/s baseline",
+                        report.throughput_rps
+                    );
+                }
+            }
+            _ => failures.push(format!("cannot read a throughput baseline from {path}")),
+        }
+    }
     if !failures.is_empty() {
         for failure in &failures {
             eprintln!("acceptance gate failed: {failure}");
@@ -139,10 +191,28 @@ fn main() {
         eprintln!("cannot create {}: {err}", opts.out_dir);
         std::process::exit(1);
     }
-    let path = format!("{}/BENCH_server.json", opts.out_dir);
+    let name = if opts.multiplex {
+        "BENCH_server.json"
+    } else {
+        "BENCH_server_scalar.json"
+    };
+    let path = format!("{}/{name}", opts.out_dir);
     if let Err(err) = std::fs::write(&path, report.to_json()) {
         eprintln!("cannot write {path}: {err}");
         std::process::exit(1);
+    }
+    if cfg.multiplex {
+        eprintln!(
+            "multiplexing: {} bucket(s) served {} request(s); flushes full {} / \
+             deadline {} / drain {}; fill mean {}‰ p50 {}‰",
+            report.mux_buckets,
+            report.mux_requests,
+            report.flush_full,
+            report.flush_deadline,
+            report.flush_drain,
+            report.mux_mean_fill_permille,
+            report.mux_p50_fill_permille
+        );
     }
     eprintln!(
         "completed {}/{} ({} verified), p50 {} us, p99 {} us, {:.1} req/s; \

@@ -23,8 +23,8 @@ COMMANDS:
   pipeline   [--params <set>] [--loss <p>] [--ber <p>] [--bandwidth <MB/s>]
              [--seed <n>] [--frames <n>] [--resolution <name>] [--fps <n>]
              [--pixels <n>] [--mtu <bytes>]
-  server     [--scale quick|full] [--seed <n>] [--devices <n>]
-             [--loss <p>] [--ber <p>]
+  server     [--scale quick|full] [--multiplex on|off] [--seed <n>]
+             [--devices <n>] [--loss <p>] [--ber <p>]
   info       [--params <set>]
   help
 
@@ -126,6 +126,8 @@ pub enum Command {
     Server {
         /// Run the committed-bench scenario instead of the CI smoke one.
         full: bool,
+        /// Serve same-domain tenants through shared multiplexed passes.
+        multiplex: bool,
         /// Simulation seed override.
         seed: Option<u64>,
         /// Device-fleet size override.
@@ -243,6 +245,13 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, String> {
                 Some("full") => true,
                 Some(other) => {
                     return Err(format!("--scale must be 'quick' or 'full', got '{other}'"))
+                }
+            },
+            multiplex: match flags.get("multiplex").copied() {
+                None | Some("off") => false,
+                Some("on") => true,
+                Some(other) => {
+                    return Err(format!("--multiplex must be 'on' or 'off', got '{other}'"))
                 }
             },
             seed: flags
@@ -496,6 +505,7 @@ mod tests {
             c,
             Command::Server {
                 full: false,
+                multiplex: false,
                 seed: None,
                 devices: None,
                 loss: None,
@@ -506,6 +516,8 @@ mod tests {
             "server",
             "--scale",
             "full",
+            "--multiplex",
+            "on",
             "--seed",
             "9",
             "--devices",
@@ -519,12 +531,14 @@ mod tests {
         match c {
             Command::Server {
                 full,
+                multiplex,
                 seed,
                 devices,
                 loss,
                 ber,
             } => {
                 assert!(full);
+                assert!(multiplex);
                 assert_eq!(seed, Some(9));
                 assert_eq!(devices, Some(100));
                 assert!((loss.unwrap() - 0.1).abs() < 1e-12);
@@ -535,6 +549,9 @@ mod tests {
         assert!(parse(&["server", "--scale", "medium"])
             .unwrap_err()
             .contains("--scale"));
+        assert!(parse(&["server", "--multiplex", "maybe"])
+            .unwrap_err()
+            .contains("--multiplex"));
         assert!(parse(&["server", "--loss", "2"])
             .unwrap_err()
             .contains("probability"));

@@ -160,15 +160,17 @@ pub fn execute(command: &Command) -> Result<String, String> {
         }
         Command::Server {
             full,
+            multiplex,
             seed,
             devices,
             loss,
             ber,
         } => {
-            let mut cfg = if *full {
-                pasta_server::LoadgenConfig::full()
-            } else {
-                pasta_server::LoadgenConfig::quick()
+            let mut cfg = match (*full, *multiplex) {
+                (true, true) => pasta_server::LoadgenConfig::full_mux(),
+                (true, false) => pasta_server::LoadgenConfig::full(),
+                (false, true) => pasta_server::LoadgenConfig::quick().with_multiplex(),
+                (false, false) => pasta_server::LoadgenConfig::quick(),
             };
             if let Some(seed) = seed {
                 cfg.seed = *seed;
@@ -210,6 +212,19 @@ pub fn execute(command: &Command) -> Result<String, String> {
                 report.worker_faults,
                 report.retries
             );
+            if cfg.multiplex {
+                let _ = writeln!(
+                    out,
+                    "multiplexed: {} bucket(s) for {} request(s); flushes full {} / deadline {} / drain {}; fill mean {} p50 {} permille",
+                    report.mux_buckets,
+                    report.mux_requests,
+                    report.flush_full,
+                    report.flush_deadline,
+                    report.flush_drain,
+                    report.mux_mean_fill_permille,
+                    report.mux_p50_fill_permille
+                );
+            }
             out.push_str(&report.to_json());
             Ok(out)
         }

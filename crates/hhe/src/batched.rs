@@ -126,7 +126,6 @@ impl BatchedHheServer {
         first_counter: u64,
         blocks: usize,
     ) -> BatchedEntry {
-        let t = self.params.t();
         // Raw material and matrices come from the shared block section —
         // the scalar and packed servers reuse the same entries.
         let per_block: Vec<Arc<BlockEntry>> = (0..blocks)
@@ -135,51 +134,7 @@ impl BatchedHheServer {
                     .block(&self.params, nonce, first_counter + s as u64)
             })
             .collect();
-        let layers = (0..self.params.affine_layers())
-            .map(|layer| {
-                let half = |is_left: bool| -> BatchedHalf {
-                    let cells: Vec<usize> = (0..t * t).collect();
-                    let weights = pasta_par::parallel_map(&cells, |_, &cell| {
-                        let (i, j) = (cell / t, cell % t);
-                        // Slot s carries block s's matrix entry (i, j).
-                        let slots: Vec<u64> = per_block
-                            .iter()
-                            .map(|b| {
-                                let m = &b.matrices[layer];
-                                if is_left {
-                                    m.left.get(i, j)
-                                } else {
-                                    m.right.get(i, j)
-                                }
-                            })
-                            .collect();
-                        ctx.prepare_plaintext(&self.encoder.encode(&slots))
-                    });
-                    let rc = (0..t)
-                        .map(|i| {
-                            let slots: Vec<u64> = per_block
-                                .iter()
-                                .map(|b| {
-                                    let l = &b.material.layers[layer];
-                                    if is_left {
-                                        l.rc_left[i]
-                                    } else {
-                                        l.rc_right[i]
-                                    }
-                                })
-                                .collect();
-                            ctx.prepare_plaintext(&self.encoder.encode(&slots))
-                        })
-                        .collect();
-                    BatchedHalf { weights, rc }
-                };
-                BatchedLayer {
-                    left: half(true),
-                    right: half(false),
-                }
-            })
-            .collect();
-        BatchedEntry { layers }
+        prepare_slotted_material(ctx, &self.params, &self.encoder, &per_block)
     }
 
     /// Homomorphically computes keystream blocks `first_counter ..
@@ -203,7 +158,6 @@ impl BatchedHheServer {
             )));
         }
         let t = self.params.t();
-        let r = self.params.rounds();
 
         // Prepared plaintext material: encode + forward NTT paid once
         // per (nonce, window), then served from the cache.
@@ -218,86 +172,16 @@ impl BatchedHheServer {
             self.prepare_batch(ctx, nonce, first_counter, blocks)
         });
 
-        let mut left = self.encrypted_key.elements[..t].to_vec();
-        let mut right = self.encrypted_key.elements[t..].to_vec();
-
-        for (layer, layer_prep) in prepared.layers.iter().enumerate() {
-            for is_left in [true, false] {
-                let half = if is_left { &left } else { &right };
-                let half_prep = if is_left {
-                    &layer_prep.left
-                } else {
-                    &layer_prep.right
-                };
-                if half.is_empty() {
-                    return Err(FheError::Incompatible(
-                        "affine layer applied to an empty state half".into(),
-                    ));
-                }
-                // Hoist the NTTs: each input ciphertext is converted
-                // once per layer instead of once per matrix entry.
-                let mut half_ntt = half.clone();
-                for ct in &mut half_ntt {
-                    ctx.to_ntt_ct(ct);
-                }
-                let rows: Vec<usize> = (0..t).collect();
-                let out: Vec<FheCiphertext> =
-                    pasta_par::parallel_map(&rows, |_, &i| -> Result<FheCiphertext, FheError> {
-                        let mut acc =
-                            ctx.mul_plain_prepared_ntt(&half_ntt[0], half_prep.weight(t, i, 0));
-                        for (j, ct) in half_ntt.iter().enumerate().skip(1) {
-                            ctx.add_mul_plain_ntt_assign(&mut acc, ct, half_prep.weight(t, i, j))?;
-                        }
-                        ctx.to_coeff_ct(&mut acc);
-                        // Batched round constant.
-                        ctx.add_plain_prepared_assign(&mut acc, &half_prep.rc[i]);
-                        Ok(acc)
-                    })
-                    .into_iter()
-                    .collect::<Result<_, _>>()?;
-                if is_left {
-                    left = out;
-                } else {
-                    right = out;
-                }
-            }
-
-            if layer < r {
-                // Mix (slot-wise adds).
-                for (l, rgt) in left.iter_mut().zip(right.iter_mut()) {
-                    let mut sum = l.clone();
-                    ctx.add_assign(&mut sum, rgt)?;
-                    ctx.add_assign(l, &sum)?;
-                    ctx.add_assign(rgt, &sum)?;
-                }
-                // S-box over the concatenated state; the squarings fan
-                // out across the worker pool.
-                let mut full: Vec<FheCiphertext> =
-                    left.iter().chain(right.iter()).cloned().collect();
-                if layer == r - 1 {
-                    full = pasta_par::parallel_map(&full, |_, x| {
-                        let sq = ctx.square_relin(x, &self.relin_key)?;
-                        ctx.mul_relin(&sq, x, &self.relin_key)
-                    })
-                    .into_iter()
-                    .collect::<Result<_, _>>()?;
-                } else {
-                    let squares: Vec<FheCiphertext> =
-                        pasta_par::parallel_map(&full[..2 * t - 1], |_, x| {
-                            ctx.square_relin(x, &self.relin_key)
-                        })
-                        .into_iter()
-                        .collect::<Result<_, _>>()?;
-                    for j in (1..2 * t).rev() {
-                        ctx.add_assign(&mut full[j], &squares[j - 1])?;
-                    }
-                }
-                left.clone_from_slice(&full[..t]);
-                right.clone_from_slice(&full[t..]);
-            }
-        }
+        let positions = eval_slotted_circuit(
+            ctx,
+            &self.params,
+            &self.relin_key,
+            &prepared,
+            &self.encrypted_key.elements[..t],
+            &self.encrypted_key.elements[t..],
+        )?;
         Ok(BatchedBlocks {
-            positions: left,
+            positions,
             first_counter,
             blocks,
         })
@@ -351,6 +235,167 @@ impl BatchedHheServer {
         let pt = ctx.decrypt(sk, &batch.positions[position]);
         self.encoder.decode(&pt)[..batch.blocks].to_vec()
     }
+}
+
+/// Builds the prepared plaintext material for a slot-parallel pass over
+/// arbitrary per-slot block material: per layer and half, the `t × t`
+/// slot-vector weights and `t` round constants, batch-encoded and
+/// NTT-prepared once. Slot `s` carries `per_slot[s]`'s matrix entries —
+/// the slots need not share a nonce or counter window, which is what
+/// lets the cross-tenant multiplexer reuse this builder. The `t × t`
+/// fan-out runs on the worker pool.
+pub(crate) fn prepare_slotted_material(
+    ctx: &BfvContext,
+    params: &PastaParams,
+    encoder: &BatchEncoder,
+    per_slot: &[Arc<BlockEntry>],
+) -> BatchedEntry {
+    let t = params.t();
+    let layers = (0..params.affine_layers())
+        .map(|layer| {
+            let half = |is_left: bool| -> BatchedHalf {
+                let cells: Vec<usize> = (0..t * t).collect();
+                let weights = pasta_par::parallel_map(&cells, |_, &cell| {
+                    let (i, j) = (cell / t, cell % t);
+                    // Slot s carries block s's matrix entry (i, j).
+                    let slots: Vec<u64> = per_slot
+                        .iter()
+                        .map(|b| {
+                            let m = &b.matrices[layer];
+                            if is_left {
+                                m.left.get(i, j)
+                            } else {
+                                m.right.get(i, j)
+                            }
+                        })
+                        .collect();
+                    ctx.prepare_plaintext(&encoder.encode(&slots))
+                });
+                let rc = (0..t)
+                    .map(|i| {
+                        let slots: Vec<u64> = per_slot
+                            .iter()
+                            .map(|b| {
+                                let l = &b.material.layers[layer];
+                                if is_left {
+                                    l.rc_left[i]
+                                } else {
+                                    l.rc_right[i]
+                                }
+                            })
+                            .collect();
+                        ctx.prepare_plaintext(&encoder.encode(&slots))
+                    })
+                    .collect();
+                BatchedHalf { weights, rc }
+            };
+            BatchedLayer {
+                left: half(true),
+                right: half(false),
+            }
+        })
+        .collect();
+    BatchedEntry { layers }
+}
+
+/// Evaluates the slot-parallel PASTA keystream circuit from prepared
+/// material and initial key-state halves, returning the `t` left
+/// positions after the final affine layer. Shared by the homogeneous
+/// batched server and the cross-tenant multiplexer (which feeds a
+/// slot-masked composed key instead of one tenant's replicated key).
+///
+/// # Errors
+///
+/// Returns [`FheError::Incompatible`] on malformed state halves;
+/// propagates FHE errors from the squarings.
+pub(crate) fn eval_slotted_circuit(
+    ctx: &BfvContext,
+    params: &PastaParams,
+    relin_key: &BfvRelinKey,
+    prepared: &BatchedEntry,
+    initial_left: &[FheCiphertext],
+    initial_right: &[FheCiphertext],
+) -> Result<Vec<FheCiphertext>, FheError> {
+    let t = params.t();
+    let r = params.rounds();
+    let mut left = initial_left.to_vec();
+    let mut right = initial_right.to_vec();
+
+    for (layer, layer_prep) in prepared.layers.iter().enumerate() {
+        for is_left in [true, false] {
+            let half = if is_left { &left } else { &right };
+            let half_prep = if is_left {
+                &layer_prep.left
+            } else {
+                &layer_prep.right
+            };
+            if half.is_empty() {
+                return Err(FheError::Incompatible(
+                    "affine layer applied to an empty state half".into(),
+                ));
+            }
+            // Hoist the NTTs: each input ciphertext is converted
+            // once per layer instead of once per matrix entry.
+            let mut half_ntt = half.clone();
+            for ct in &mut half_ntt {
+                ctx.to_ntt_ct(ct);
+            }
+            let rows: Vec<usize> = (0..t).collect();
+            let out: Vec<FheCiphertext> =
+                pasta_par::parallel_map(&rows, |_, &i| -> Result<FheCiphertext, FheError> {
+                    let mut acc =
+                        ctx.mul_plain_prepared_ntt(&half_ntt[0], half_prep.weight(t, i, 0));
+                    for (j, ct) in half_ntt.iter().enumerate().skip(1) {
+                        ctx.add_mul_plain_ntt_assign(&mut acc, ct, half_prep.weight(t, i, j))?;
+                    }
+                    ctx.to_coeff_ct(&mut acc);
+                    // Batched round constant.
+                    ctx.add_plain_prepared_assign(&mut acc, &half_prep.rc[i]);
+                    Ok(acc)
+                })
+                .into_iter()
+                .collect::<Result<_, _>>()?;
+            if is_left {
+                left = out;
+            } else {
+                right = out;
+            }
+        }
+
+        if layer < r {
+            // Mix (slot-wise adds).
+            for (l, rgt) in left.iter_mut().zip(right.iter_mut()) {
+                let mut sum = l.clone();
+                ctx.add_assign(&mut sum, rgt)?;
+                ctx.add_assign(l, &sum)?;
+                ctx.add_assign(rgt, &sum)?;
+            }
+            // S-box over the concatenated state; the squarings fan
+            // out across the worker pool.
+            let mut full: Vec<FheCiphertext> = left.iter().chain(right.iter()).cloned().collect();
+            if layer == r - 1 {
+                full = pasta_par::parallel_map(&full, |_, x| {
+                    let sq = ctx.square_relin(x, relin_key)?;
+                    ctx.mul_relin(&sq, x, relin_key)
+                })
+                .into_iter()
+                .collect::<Result<_, _>>()?;
+            } else {
+                let squares: Vec<FheCiphertext> =
+                    pasta_par::parallel_map(&full[..2 * t - 1], |_, x| {
+                        ctx.square_relin(x, relin_key)
+                    })
+                    .into_iter()
+                    .collect::<Result<_, _>>()?;
+                for j in (1..2 * t).rev() {
+                    ctx.add_assign(&mut full[j], &squares[j - 1])?;
+                }
+            }
+            left.clone_from_slice(&full[..t]);
+            right.clone_from_slice(&full[t..]);
+        }
+    }
+    Ok(left)
 }
 
 /// Provisions the PASTA key for the batched server: each key ciphertext

@@ -11,7 +11,7 @@
 //! material for every ciphertext that touches the same
 //! `(nonce, counter)` window.
 //!
-//! [`MaterialCache`] memoizes three shapes of derived material behind
+//! [`MaterialCache`] memoizes five shapes of derived material behind
 //! small LRU sections:
 //!
 //! - **blocks** — [`BlockEntry`]: the raw [`BlockMaterial`] plus the
@@ -26,6 +26,19 @@
 //!   (naive per-diagonal, or plaintext-pre-rotated into baby-step/
 //!   giant-step groups — see [`PackedStrategy`]) and the concatenated
 //!   round constant for the rotation-based server.
+//! - **composed keys** — [`ComposedKeyEntry`]: the slot-masked,
+//!   cross-tenant key ciphertexts of one multiplexing bucket
+//!   composition, keyed by [`CompositionKey`] (the ordered
+//!   `(tenant, blocks)` slot layout).
+//! - **slot material** — a [`BatchedEntry`] whose slot `s` carries an
+//!   *independent* `(nonce, counter)` coordinate, keyed by
+//!   [`SlotMaterialKey`] — the heterogeneous generalization of the
+//!   batched section used by the cross-tenant multiplexer.
+//!
+//! Every section is byte-budgeted: entries carry an approximate resident
+//! size (`approx_*_bytes`) and eviction fires on *either* the entry-count
+//! cap or the section's byte cap, so large prepared-plaintext shapes
+//! cannot evade a memory budget that was sized in block-entry units.
 //!
 //! Invalidation rules: entries never go stale — the material is a
 //! deterministic function of its key, so the only eviction is LRU
@@ -44,7 +57,7 @@
 use pasta_core::matrix::RowGenerator;
 use pasta_core::permutation::{derive_block_material, BlockMaterial};
 use pasta_core::PastaParams;
-use pasta_fhe::{BfvParams, PreparedPlaintext};
+use pasta_fhe::{BfvParams, Ciphertext as FheCiphertext, PreparedPlaintext};
 use pasta_math::linalg::Matrix;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
@@ -225,6 +238,48 @@ pub struct PackedEntry {
     pub layers: Vec<PackedLayer>,
 }
 
+/// Cache key for one multiplexing-bucket key composition: the ordered
+/// slot layout of the bucket. Member `m` occupies `members[m].1` slots
+/// starting at the prefix sum of the earlier members' block counts.
+///
+/// The tenant id stands in for the tenant's [`crate::EncryptedPastaKey`]
+/// in the key: within one cache domain the binding `tenant → key` is
+/// stable (a tenant provisions its key once), so two lookups with equal
+/// layouts compose bit-identical ciphertexts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompositionKey {
+    /// The PASTA parameter set (fixes the key length `2t`).
+    pub pasta: PastaParams,
+    /// The BFV parameters the masks were encoded under.
+    pub bfv: BfvParams,
+    /// `(tenant, blocks)` per member, in ascending slot order.
+    pub members: Vec<(u64, usize)>,
+}
+
+/// The slot-masked cross-tenant key of one bucket composition: element
+/// `j`'s slot `s` holds key element `j` of the member owning slot `s`
+/// (and `0` in unassigned slots).
+#[derive(Debug, Clone)]
+pub struct ComposedKeyEntry {
+    /// Composed key ciphertexts `K_0 … K_{2t−1}`.
+    pub elements: Vec<FheCiphertext>,
+}
+
+/// Cache key for heterogeneous per-slot batched material: slot `s`
+/// carries the affine material of coordinate `slots[s]` — unlike
+/// [`BatchKey`], the slots need not share a nonce or form a contiguous
+/// counter window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotMaterialKey {
+    /// The PASTA parameter set.
+    pub pasta: PastaParams,
+    /// The BFV parameters the plaintexts were encoded under.
+    pub bfv: BfvParams,
+    /// `(nonce, counter)` per occupied slot, in slot order (the
+    /// unoccupied tail is implicit).
+    pub slots: Vec<(u128, u64)>,
+}
+
 /// Hit/miss counters for one cache section (or the aggregate).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -236,27 +291,34 @@ pub struct CacheStats {
 
 /// A tiny move-to-front LRU over a `Vec` — the working sets here are a
 /// handful of entries, so linear scans beat a hash map plus ordering
-/// side-structure.
+/// side-structure. Each entry carries its approximate resident size;
+/// eviction fires on the entry-count cap *or* the byte cap, always
+/// keeping at least the most recent entry so a starved budget still
+/// yields a working single-entry cache.
 #[derive(Debug)]
 struct Lru<K, V> {
     cap: usize,
-    entries: Vec<(K, Arc<V>)>,
+    cap_bytes: usize,
+    entries: Vec<(K, Arc<V>, usize)>,
+    bytes: usize,
     hits: u64,
     misses: u64,
 }
 
 impl<K: PartialEq + Clone, V> Lru<K, V> {
-    fn new(cap: usize) -> Self {
+    fn new(cap: usize, cap_bytes: usize) -> Self {
         Lru {
             cap: cap.max(1),
+            cap_bytes: cap_bytes.max(1),
             entries: Vec::new(),
+            bytes: 0,
             hits: 0,
             misses: 0,
         }
     }
 
-    fn get_or_insert_with(&mut self, key: &K, build: impl FnOnce() -> V) -> Arc<V> {
-        if let Some(pos) = self.entries.iter().position(|(k, _)| k == key) {
+    fn get_or_insert_with(&mut self, key: &K, bytes: usize, build: impl FnOnce() -> V) -> Arc<V> {
+        if let Some(pos) = self.entries.iter().position(|(k, _, _)| k == key) {
             self.hits += 1;
             let entry = self.entries.remove(pos);
             let value = Arc::clone(&entry.1);
@@ -265,8 +327,16 @@ impl<K: PartialEq + Clone, V> Lru<K, V> {
         }
         self.misses += 1;
         let value = Arc::new(build());
-        self.entries.insert(0, (key.clone(), Arc::clone(&value)));
-        self.entries.truncate(self.cap);
+        self.entries
+            .insert(0, (key.clone(), Arc::clone(&value), bytes));
+        self.bytes += bytes;
+        while self.entries.len() > 1
+            && (self.entries.len() > self.cap || self.bytes > self.cap_bytes)
+        {
+            if let Some((_, _, freed)) = self.entries.pop() {
+                self.bytes = self.bytes.saturating_sub(freed);
+            }
+        }
         value
     }
 
@@ -285,6 +355,11 @@ pub const DEFAULT_BLOCK_CAPACITY: usize = 256;
 pub const DEFAULT_BATCHED_CAPACITY: usize = 8;
 /// Default capacity of the packed prepared-diagonal section.
 pub const DEFAULT_PACKED_CAPACITY: usize = 64;
+/// Default capacity of the composed-key section (one entry per live
+/// bucket composition; compositions repeat under steady load).
+pub const DEFAULT_COMPOSED_CAPACITY: usize = 8;
+/// Default capacity of the heterogeneous slot-material section.
+pub const DEFAULT_SLOT_MATERIAL_CAPACITY: usize = 8;
 
 /// The shared plaintext-material cache (see the module docs).
 #[derive(Debug)]
@@ -292,6 +367,8 @@ pub struct MaterialCache {
     blocks: Mutex<Lru<BlockKey, BlockEntry>>,
     batched: Mutex<Lru<BatchKey, BatchedEntry>>,
     packed: Mutex<Lru<PackedKey, PackedEntry>>,
+    composed: Mutex<Lru<CompositionKey, ComposedKeyEntry>>,
+    slot_material: Mutex<Lru<SlotMaterialKey, BatchedEntry>>,
 }
 
 impl Default for MaterialCache {
@@ -319,14 +396,37 @@ impl MaterialCache {
         )
     }
 
-    /// A cache with explicit per-section capacities (each clamped to at
-    /// least one entry).
+    /// A cache with explicit per-section entry capacities (each clamped
+    /// to at least one entry; byte caps unbounded). The multiplexer
+    /// sections get their default capacities.
     #[must_use]
     pub fn with_capacities(blocks: usize, batched: usize, packed: usize) -> Self {
         MaterialCache {
-            blocks: Mutex::new(Lru::new(blocks)),
-            batched: Mutex::new(Lru::new(batched)),
-            packed: Mutex::new(Lru::new(packed)),
+            blocks: Mutex::new(Lru::new(blocks, usize::MAX)),
+            batched: Mutex::new(Lru::new(batched, usize::MAX)),
+            packed: Mutex::new(Lru::new(packed, usize::MAX)),
+            composed: Mutex::new(Lru::new(DEFAULT_COMPOSED_CAPACITY, usize::MAX)),
+            slot_material: Mutex::new(Lru::new(DEFAULT_SLOT_MATERIAL_CAPACITY, usize::MAX)),
+        }
+    }
+
+    /// A cache bounded by an approximate total byte budget, split across
+    /// the sections (blocks ¼, batched ¼, packed ¼, composed keys ⅛,
+    /// slot material ⅛). Entry counts are generous — the byte caps
+    /// govern — and every section keeps at least its most recent entry,
+    /// so a starved budget degrades to single-entry memoization instead
+    /// of breaking.
+    #[must_use]
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        let budget = budget_bytes.max(1);
+        let quarter = (budget / 4).max(1);
+        let eighth = (budget / 8).max(1);
+        MaterialCache {
+            blocks: Mutex::new(Lru::new(4096, quarter)),
+            batched: Mutex::new(Lru::new(1024, quarter)),
+            packed: Mutex::new(Lru::new(1024, quarter)),
+            composed: Mutex::new(Lru::new(1024, eighth)),
+            slot_material: Mutex::new(Lru::new(1024, eighth)),
         }
     }
 
@@ -339,7 +439,9 @@ impl MaterialCache {
             nonce,
             counter,
         };
-        lock(&self.blocks).get_or_insert_with(&key, || BlockEntry::derive(params, nonce, counter))
+        let bytes = approx_block_entry_bytes(params);
+        lock(&self.blocks)
+            .get_or_insert_with(&key, bytes, || BlockEntry::derive(params, nonce, counter))
     }
 
     /// The batched prepared material for `key`, built by `build` on a
@@ -350,26 +452,68 @@ impl MaterialCache {
         key: &BatchKey,
         build: impl FnOnce() -> BatchedEntry,
     ) -> Arc<BatchedEntry> {
-        lock(&self.batched).get_or_insert_with(key, build)
+        let bytes = approx_batched_entry_bytes(&key.pasta, &key.bfv);
+        lock(&self.batched).get_or_insert_with(key, bytes, build)
     }
 
     /// The packed prepared material for `key`, built by `build` on a
     /// miss.
     #[must_use]
     pub fn packed(&self, key: &PackedKey, build: impl FnOnce() -> PackedEntry) -> Arc<PackedEntry> {
-        lock(&self.packed).get_or_insert_with(key, build)
+        let bytes = approx_packed_entry_bytes(&key.pasta, &key.bfv);
+        lock(&self.packed).get_or_insert_with(key, bytes, build)
     }
 
-    /// Aggregate hit/miss counters across all three sections.
+    /// The composed cross-tenant key for one bucket layout, built by
+    /// `build` on a miss.
+    #[must_use]
+    pub fn composed_key(
+        &self,
+        key: &CompositionKey,
+        build: impl FnOnce() -> ComposedKeyEntry,
+    ) -> Arc<ComposedKeyEntry> {
+        let bytes = approx_composed_key_bytes(&key.pasta, &key.bfv);
+        lock(&self.composed).get_or_insert_with(key, bytes, build)
+    }
+
+    /// The heterogeneous per-slot batched material for `key`, built by
+    /// `build` on a miss.
+    #[must_use]
+    pub fn slot_material(
+        &self,
+        key: &SlotMaterialKey,
+        build: impl FnOnce() -> BatchedEntry,
+    ) -> Arc<BatchedEntry> {
+        let bytes = approx_batched_entry_bytes(&key.pasta, &key.bfv);
+        lock(&self.slot_material).get_or_insert_with(key, bytes, build)
+    }
+
+    /// Aggregate hit/miss counters across all five sections.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        let b = lock(&self.blocks).stats();
-        let s = lock(&self.batched).stats();
-        let p = lock(&self.packed).stats();
-        CacheStats {
-            hits: b.hits + s.hits + p.hits,
-            misses: b.misses + s.misses + p.misses,
+        let sections = [
+            lock(&self.blocks).stats(),
+            lock(&self.batched).stats(),
+            lock(&self.packed).stats(),
+            lock(&self.composed).stats(),
+            lock(&self.slot_material).stats(),
+        ];
+        let mut out = CacheStats::default();
+        for s in sections {
+            out.hits += s.hits;
+            out.misses += s.misses;
         }
+        out
+    }
+
+    /// Approximate resident bytes across all five sections.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        lock(&self.blocks).bytes
+            + lock(&self.batched).bytes
+            + lock(&self.packed).bytes
+            + lock(&self.composed).bytes
+            + lock(&self.slot_material).bytes
     }
 }
 
@@ -386,13 +530,54 @@ pub fn approx_block_entry_bytes(params: &PastaParams) -> usize {
     layers * (2 * t * t + 4 * t) * 8
 }
 
+/// Approximate resident size (bytes) of one [`PreparedPlaintext`]: `N`
+/// coefficients across `prime_count` RNS limbs of 8 bytes each.
+#[must_use]
+pub fn approx_prepared_plaintext_bytes(bfv: &BfvParams) -> usize {
+    bfv.n * bfv.prime_count * 8
+}
+
+/// Approximate resident size (bytes) of one BFV ciphertext (two ring
+/// elements in RNS form).
+#[must_use]
+pub fn approx_ciphertext_bytes(bfv: &BfvParams) -> usize {
+    2 * bfv.n * bfv.prime_count * 8
+}
+
+/// Approximate resident size (bytes) of one [`BatchedEntry`] (also the
+/// slot-material shape): per layer and half, `t² + t` prepared
+/// plaintexts.
+#[must_use]
+pub fn approx_batched_entry_bytes(params: &PastaParams, bfv: &BfvParams) -> usize {
+    let t = params.t();
+    let layers = params.rounds() + 1;
+    layers * 2 * (t * t + t) * approx_prepared_plaintext_bytes(bfv)
+}
+
+/// Approximate resident size (bytes) of one [`PackedEntry`]: per layer,
+/// up to `2t` prepared diagonals plus the round-constant plaintext.
+#[must_use]
+pub fn approx_packed_entry_bytes(params: &PastaParams, bfv: &BfvParams) -> usize {
+    let t = params.t();
+    let layers = params.rounds() + 1;
+    layers * (2 * t + 1) * approx_prepared_plaintext_bytes(bfv)
+}
+
+/// Approximate resident size (bytes) of one [`ComposedKeyEntry`]: `2t`
+/// composed key ciphertexts.
+#[must_use]
+pub fn approx_composed_key_bytes(params: &PastaParams, bfv: &BfvParams) -> usize {
+    params.state_size() * approx_ciphertext_bytes(bfv)
+}
+
 /// Configuration of a [`ShardedCache`].
 #[derive(Debug, Clone, Copy)]
 pub struct ShardedCacheConfig {
     /// Total memory budget (bytes) across all resident tenant shards.
-    /// Each shard's block-section capacity is
-    /// `budget_bytes / max_resident / approx_block_entry_bytes(params)`,
-    /// clamped to at least one entry.
+    /// Each shard is a [`MaterialCache::with_budget`] of the slice
+    /// `budget_bytes / max_resident`, so *every* cache shape — raw block
+    /// entries, batched/packed prepared plaintexts, and the multiplexer's
+    /// composed keys and slot material — counts against the budget.
     pub budget_bytes: usize,
     /// Maximum number of tenant shards kept resident; the least recently
     /// used shard beyond this is evicted whole.
@@ -453,12 +638,12 @@ impl ShardedCache {
         &self.cfg
     }
 
-    /// The tenant's shard, created on first use with capacities sized
-    /// from the per-tenant budget slice and `params`. Touching a shard
-    /// moves it to the front of the eviction order; the least recently
-    /// used shard beyond `max_resident` is evicted whole.
+    /// The tenant's shard, created on first use as a byte-budgeted
+    /// [`MaterialCache`] over the per-tenant budget slice. Touching a
+    /// shard moves it to the front of the eviction order; the least
+    /// recently used shard beyond `max_resident` is evicted whole.
     #[must_use]
-    pub fn shard(&self, tenant: u64, params: &PastaParams) -> Arc<MaterialCache> {
+    pub fn shard(&self, tenant: u64) -> Arc<MaterialCache> {
         let mut guard = lock(&self.shards);
         let table = &mut *guard;
         if let Some(pos) = table.entries.iter().position(|(id, _)| *id == tenant) {
@@ -467,12 +652,8 @@ impl ShardedCache {
             table.entries.insert(0, entry);
             return shard;
         }
-        let per_tenant = self.cfg.budget_bytes / self.cfg.max_resident;
-        let blocks = (per_tenant / approx_block_entry_bytes(params)).max(1);
-        // The scalar server reads only the block section; the prepared
-        // SIMD sections stay minimal so a batched/packed tenant cannot
-        // blow past its slice with a handful of huge entries.
-        let shard = Arc::new(MaterialCache::with_capacities(blocks, 1, 2));
+        let per_tenant = (self.cfg.budget_bytes / self.cfg.max_resident).max(1);
+        let shard = Arc::new(MaterialCache::with_budget(per_tenant));
         table.entries.insert(0, (tenant, Arc::clone(&shard)));
         if table.entries.len() > self.cfg.max_resident {
             table.entries.truncate(self.cfg.max_resident);
@@ -569,10 +750,10 @@ mod tests {
             budget_bytes: 1 << 20,
             max_resident: 4,
         });
-        let a = sharded.shard(1, &params());
-        let a_again = sharded.shard(1, &params());
+        let a = sharded.shard(1);
+        let a_again = sharded.shard(1);
         assert!(Arc::ptr_eq(&a, &a_again), "same tenant, same shard");
-        let b = sharded.shard(2, &params());
+        let b = sharded.shard(2);
         assert!(!Arc::ptr_eq(&a, &b), "tenants must not share a shard");
         assert_eq!(sharded.resident(), 2);
         // Entries populated through one tenant's shard stay invisible to
@@ -588,32 +769,33 @@ mod tests {
             budget_bytes: 1 << 20,
             max_resident: 2,
         });
-        let one = sharded.shard(1, &params());
-        let _ = sharded.shard(2, &params());
-        let _ = sharded.shard(1, &params()); // touch: 2 becomes LRU
-        let _ = sharded.shard(3, &params()); // evicts tenant 2
+        let one = sharded.shard(1);
+        let _ = sharded.shard(2);
+        let _ = sharded.shard(1); // touch: 2 becomes LRU
+        let _ = sharded.shard(3); // evicts tenant 2
         assert_eq!(sharded.resident(), 2);
         assert_eq!(sharded.evictions(), 1);
-        let one_again = sharded.shard(1, &params());
+        let one_again = sharded.shard(1);
         assert!(Arc::ptr_eq(&one, &one_again), "survivor keeps its shard");
         // Tenant 2 comes back as a *fresh* shard.
-        let two = sharded.shard(2, &params());
+        let two = sharded.shard(2);
         assert_eq!(two.stats(), CacheStats::default());
     }
 
     #[test]
     fn shard_capacity_tracks_the_budget_slice() {
         let per_entry = approx_block_entry_bytes(&params());
-        // Budget for exactly 3 block entries per tenant across 2 shards.
+        // Blocks get ¼ of the per-tenant slice; budget 24 entries across
+        // 2 shards → 12 per tenant → cap 3 block entries.
         let sharded = ShardedCache::new(ShardedCacheConfig {
-            budget_bytes: per_entry * 6,
+            budget_bytes: per_entry * 24,
             max_resident: 2,
         });
-        let shard = sharded.shard(7, &params());
+        let shard = sharded.shard(7);
         for counter in 0..4 {
             let _ = shard.block(&params(), 1, counter);
         }
-        // Counter 0 must have been evicted by capacity pressure (cap 3).
+        // Counter 0 must have been evicted by byte pressure (cap 3).
         let before = shard.stats().misses;
         let _ = shard.block(&params(), 1, 0);
         assert_eq!(shard.stats().misses, before + 1, "cap must be 3");
@@ -622,9 +804,49 @@ mod tests {
             budget_bytes: 1,
             max_resident: 1,
         });
-        let s = tiny.shard(1, &params());
+        let s = tiny.shard(1);
         let _ = s.block(&params(), 1, 0);
         assert_eq!(s.stats().misses, 1);
+    }
+
+    #[test]
+    fn batched_entries_count_against_the_byte_budget() {
+        let p = params();
+        let bfv = BfvParams::test_tiny();
+        let per_batched = approx_batched_entry_bytes(&p, &bfv);
+        // A budget whose batched slice (¼) holds exactly one batched
+        // entry: a batched-heavy tenant must evict its older windows
+        // instead of accumulating them invisibly.
+        let sharded = ShardedCache::new(ShardedCacheConfig {
+            budget_bytes: per_batched * 6,
+            max_resident: 1,
+        });
+        let shard = sharded.shard(3);
+        let key = |first_counter: u64| BatchKey {
+            pasta: p,
+            bfv,
+            nonce: 5,
+            first_counter,
+            blocks: 2,
+        };
+        let entry = || BatchedEntry { layers: Vec::new() };
+        let a = shard.batched(&key(0), entry);
+        let _ = shard.batched(&key(2), entry); // evicts window 0 (bytes)
+        assert!(shard.approx_bytes() <= per_batched * 6);
+        let misses = shard.stats().misses;
+        let a_again = shard.batched(&key(0), entry);
+        assert_eq!(shard.stats().misses, misses + 1, "window 0 was evicted");
+        assert!(!Arc::ptr_eq(&a, &a_again));
+        // Composed-key entries are sized too.
+        let comp = CompositionKey {
+            pasta: p,
+            bfv,
+            members: vec![(1, 2), (2, 3)],
+        };
+        let _ = shard.composed_key(&comp, || ComposedKeyEntry {
+            elements: Vec::new(),
+        });
+        assert!(shard.approx_bytes() >= approx_composed_key_bytes(&p, &bfv));
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //!   the *transciphering* step that turns compact symmetric ciphertexts
 //!   into FHE ciphertexts the cloud can compute on;
 //! - [`batched`]: the SIMD throughput mode (`N` blocks per ciphertext);
+//! - [`mux`]: cross-tenant slot multiplexing — blocks from *different*
+//!   sessions packed into one shared batched pass via slot-masked key
+//!   composition;
 //! - [`packed`]: the latency mode (one block per ciphertext via the
 //!   rotation/diagonal method);
 //! - [`link`]: the §V communication model (ciphertext sizes, 5G
@@ -52,14 +55,17 @@ pub mod batched;
 pub mod cache;
 pub mod client;
 pub mod link;
+pub mod mux;
 pub mod packed;
 pub mod server;
 
 pub use batched::{provision_batched_key, BatchedHheServer};
 pub use cache::{
-    approx_block_entry_bytes, MaterialCache, PackedStrategy, ShardedCache, ShardedCacheConfig,
+    approx_batched_entry_bytes, approx_block_entry_bytes, approx_composed_key_bytes,
+    approx_packed_entry_bytes, MaterialCache, PackedStrategy, ShardedCache, ShardedCacheConfig,
 };
 pub use client::{EncryptedPastaKey, HheClient};
 pub use link::{figure8, Fig8Point, PastaLink, Resolution, RiseReference};
+pub use mux::{retrieve_muxed, MuxHheServer, MuxMember, MuxedBlocks, SlotRange};
 pub use packed::{required_shifts, BsgsPlan, PackedHheServer};
 pub use server::HheServer;

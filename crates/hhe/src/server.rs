@@ -93,6 +93,15 @@ impl HheServer {
         &self.cache
     }
 
+    /// The provisioned encrypted PASTA key. The multiplexing layer reads
+    /// it to slot-mask tenants' keys into a shared bucket key (a scalar
+    /// provisioned key already holds its element in every slot — the
+    /// constant polynomial evaluates equally at every root).
+    #[must_use]
+    pub fn encrypted_key(&self) -> &EncryptedPastaKey {
+        &self.encrypted_key
+    }
+
     /// Homomorphically computes the keystream block for
     /// `(nonce, counter)`: FHE ciphertexts of `KS_0 … KS_{t-1}`.
     ///

@@ -8,8 +8,11 @@
 //! - [`server`] — the [`PastaServer`]: per-tenant key provisioning with
 //!   noise-budget admission control, session establishment with replay
 //!   protection and idle expiry, bounded queues with backpressure NACKs,
-//!   deadline scheduling with oldest-deadline-first load shedding, and
-//!   worker-fault containment (panics caught, converted to typed NACKs);
+//!   deadline scheduling with oldest-deadline-first load shedding,
+//!   worker-fault containment (panics caught, converted to typed NACKs),
+//!   and cross-tenant slot multiplexing — same-FHE-domain tenants'
+//!   blocks packed into shared SIMD bucket passes with deadline-driven
+//!   flushing;
 //! - [`session`] — the nonce-keyed session registry;
 //! - [`clock`] — deterministic virtual time (no wall-clock reads; the
 //!   crate is enrolled in `pasta-audit`'s determinism sweep);
@@ -33,7 +36,7 @@ pub mod session;
 pub use clock::VirtualClock;
 pub use loadgen::{run as run_loadgen, LoadReport, LoadgenConfig};
 pub use server::{
-    Completion, PastaServer, ServerConfig, ServerEvent, ServerStats, SubmitOutcome, TenantId,
-    TenantProvision,
+    Completion, CompletionResult, MultiplexConfig, PastaServer, ServerConfig, ServerEvent,
+    ServerStats, SlotAssignment, SubmitOutcome, TenantId, TenantProvision,
 };
 pub use session::SessionTable;

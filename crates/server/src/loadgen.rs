@@ -17,7 +17,8 @@
 //! timeout, modeled directly as a scheduled retry.
 
 use crate::server::{
-    PastaServer, ServerConfig, ServerEvent, SubmitOutcome, TenantId, TenantProvision,
+    MultiplexConfig, PastaServer, ServerConfig, ServerEvent, SubmitOutcome, TenantId,
+    TenantProvision,
 };
 use pasta_core::PastaParams;
 use pasta_fhe::{BfvContext, BfvParams, BfvSecretKey};
@@ -57,6 +58,11 @@ pub struct LoadgenConfig {
     /// Also attempt to register one deliberately under-provisioned
     /// tenant, exercising the `BudgetRefused` admission path.
     pub starved_tenant: bool,
+    /// Run the fleet in cross-tenant multiplexing mode: all tenants
+    /// share one analyst FHE keypair (provisioned deterministically from
+    /// the seed), register into FHE domain 1, and are served through
+    /// shared slot-packed bucket passes instead of private scalar ones.
+    pub multiplex: bool,
     /// The service configuration under test.
     pub server: ServerConfig,
 }
@@ -80,6 +86,7 @@ impl LoadgenConfig {
             backoff_base_us: 4_000,
             inject_fault_on_seq: Some(1),
             starved_tenant: true,
+            multiplex: false,
             server: ServerConfig {
                 workers: 2,
                 queue_capacity: 3,
@@ -108,6 +115,7 @@ impl LoadgenConfig {
             backoff_base_us: 8_000,
             inject_fault_on_seq: Some(1),
             starved_tenant: true,
+            multiplex: false,
             server: ServerConfig {
                 workers: 8,
                 queue_capacity: 6,
@@ -117,6 +125,38 @@ impl LoadgenConfig {
                 ..ServerConfig::default()
             },
         }
+    }
+
+    /// Switches any scenario to multiplexed service: a shared FHE
+    /// domain, bucket passes of up to 4 blocks (small enough that the
+    /// quick scenario exercises the `Full` flush cause alongside
+    /// `Deadline` and `Drain`), and an 8 ms shared pass cost.
+    #[must_use]
+    pub fn with_multiplex(mut self) -> Self {
+        self.multiplex = true;
+        self.server.multiplex = MultiplexConfig {
+            enabled: true,
+            max_bucket_blocks: 4,
+            flush_margin_us: 6_000,
+            linger_us: 1_500,
+            service_us_per_pass: 8_000,
+        };
+        self
+    }
+
+    /// The committed-bench multiplexing scenario: the same service
+    /// footprint as [`LoadgenConfig::full`] (8 workers) but a 5× denser
+    /// arrival ramp — the load the scalar service cannot absorb and the
+    /// slot-packed service must (the ≥4× throughput gate in CI).
+    #[must_use]
+    pub fn full_mux() -> Self {
+        let mut cfg = LoadgenConfig::full().with_multiplex();
+        cfg.devices = 10_000;
+        cfg.inter_arrival_us = 80;
+        cfg.server.queue_capacity = 32;
+        cfg.server.multiplex.max_bucket_blocks = 32;
+        cfg.server.multiplex.flush_margin_us = 30_000;
+        cfg
     }
 }
 
@@ -162,6 +202,21 @@ pub struct LoadReport {
     /// Accepted requests that vanished without completion or NACK —
     /// must be zero (the no-silent-drops invariant).
     pub unaccounted: u64,
+    /// Multiplexed bucket passes flushed.
+    pub mux_buckets: u64,
+    /// Requests served inside multiplexed buckets.
+    pub mux_requests: u64,
+    /// Buckets flushed because they reached block capacity.
+    pub flush_full: u64,
+    /// Buckets flushed because a member's deadline came near.
+    pub flush_deadline: u64,
+    /// Buckets flushed because no compatible work arrived in time.
+    pub flush_drain: u64,
+    /// Mean slot occupancy over flushed buckets, in permille of bucket
+    /// capacity (0 when no bucket flushed).
+    pub mux_mean_fill_permille: u64,
+    /// Median slot occupancy over flushed buckets, permille.
+    pub mux_p50_fill_permille: u64,
     /// Median completion latency (first send → completion), virtual µs.
     pub p50_latency_us: u64,
     /// 99th-percentile completion latency, virtual µs.
@@ -204,6 +259,19 @@ impl LoadReport {
         field("gave_up", self.gave_up.to_string());
         field("sessions_reopened", self.sessions_reopened.to_string());
         field("unaccounted", self.unaccounted.to_string());
+        field("mux_buckets", self.mux_buckets.to_string());
+        field("mux_requests", self.mux_requests.to_string());
+        field("flush_full", self.flush_full.to_string());
+        field("flush_deadline", self.flush_deadline.to_string());
+        field("flush_drain", self.flush_drain.to_string());
+        field(
+            "mux_mean_fill_permille",
+            self.mux_mean_fill_permille.to_string(),
+        );
+        field(
+            "mux_p50_fill_permille",
+            self.mux_p50_fill_permille.to_string(),
+        );
         field("p50_latency_us", self.p50_latency_us.to_string());
         field("p99_latency_us", self.p99_latency_us.to_string());
         field("max_latency_us", self.max_latency_us.to_string());
@@ -285,23 +353,49 @@ fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
 /// *not* errors — they are the counters.
 pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, PipelineError> {
     let params = PastaParams::custom(4, 2, Modulus::PASTA_17_BIT)?;
-    let bfv = BfvParams::test_tiny();
+    // Multiplexing spends one extra multiplicative level on the slot
+    // masks composing the shared key, so its scenarios carry one more
+    // RNS prime than the scalar baseline.
+    let bfv = if cfg.multiplex {
+        BfvParams {
+            prime_count: 6,
+            ..BfvParams::test_tiny()
+        }
+    } else {
+        BfvParams::test_tiny()
+    };
     let mut server = PastaServer::new(cfg.server.clone());
     let mut tenants = Vec::with_capacity(cfg.tenants.max(1));
     for j in 0..cfg.tenants.max(1) {
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0xA5A5 + j as u64 * 0x9E37_79B9));
+        // In multiplex mode every tenant derives the *same* analyst FHE
+        // keypair (identical seed → identical keys): the shared-key
+        // trust prerequisite of domain registration, modeled without
+        // plumbing key objects between tenants. Each tenant still has
+        // its own PASTA key and its own provisioning randomness.
+        let fhe_seed = if cfg.multiplex {
+            cfg.seed ^ 0xA5A5
+        } else {
+            cfg.seed ^ (0xA5A5 + j as u64 * 0x9E37_79B9)
+        };
+        let mut rng = StdRng::seed_from_u64(fhe_seed);
         let ctx = BfvContext::new(bfv).map_err(PipelineError::Fhe)?;
         let sk = ctx.generate_secret_key(&mut rng);
         let pk = ctx.generate_public_key(&sk, &mut rng);
         let relin = ctx.generate_relin_key(&sk, &mut rng);
         let seed_bytes = (cfg.seed ^ j as u64).to_le_bytes();
         let client = HheClient::new(params, &seed_bytes);
-        let encrypted_key = client.provision_key(&ctx, &pk, &mut rng);
+        let mut prov_rng = StdRng::seed_from_u64(cfg.seed ^ (0x5EED + j as u64 * 0x9E37_79B9));
+        let encrypted_key = if cfg.multiplex {
+            client.provision_key(&ctx, &pk, &mut prov_rng)
+        } else {
+            client.provision_key(&ctx, &pk, &mut rng)
+        };
         let id = server.register_tenant(TenantProvision {
             pasta: params,
             bfv,
             relin_key: relin,
             encrypted_key,
+            fhe_domain: cfg.multiplex.then_some(1),
         })?;
         tenants.push(TenantSide {
             id,
@@ -337,6 +431,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, PipelineError> {
             bfv: starved_bfv,
             relin_key: probe_relin,
             encrypted_key: probe_key,
+            fhe_domain: None,
         }) {
             // Counted by the server's own refused_budget ledger.
             Err(PipelineError::Refused(RefusalReason::BudgetRefused { .. })) => {}
@@ -608,9 +703,10 @@ impl Sim {
         self.report.completed += 1;
         let d = &self.devices[device];
         let tenant = &self.tenants[d.tenant_idx];
-        let recovered = tenant
-            .client
-            .retrieve(&tenant.ctx, &tenant.sk, &completion.result);
+        let recovered = completion
+            .result
+            .retrieve(&tenant.ctx, &tenant.sk)
+            .unwrap_or_default();
         if recovered == d.message {
             self.report.correct += 1;
         }
@@ -637,6 +733,18 @@ impl Sim {
         self.report.unaccounted = stats
             .accepted
             .saturating_sub(stats.completed + stats.shed_deadline + stats.worker_faults);
+        self.report.mux_buckets = stats.mux_buckets;
+        self.report.mux_requests = stats.mux_requests;
+        self.report.flush_full = stats.flush_full;
+        self.report.flush_deadline = stats.flush_deadline;
+        self.report.flush_drain = stats.flush_drain;
+        let mut fills: Vec<u32> = self.server.bucket_fills().to_vec();
+        if !fills.is_empty() {
+            let sum: u64 = fills.iter().map(|&f| u64::from(f)).sum();
+            self.report.mux_mean_fill_permille = sum / fills.len() as u64;
+            fills.sort_unstable();
+            self.report.mux_p50_fill_permille = u64::from(fills[(fills.len() - 1) / 2]);
+        }
         self.latencies.sort_unstable();
         let pick = |sorted: &[u64], pct: u64| -> u64 {
             if sorted.is_empty() {

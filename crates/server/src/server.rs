@@ -20,33 +20,85 @@
 //!   inside the `pasta_par` pool and converted to `WorkerFault` NACKs;
 //! - **isolation** — per-tenant [`ShardedCache`] shards evict under a
 //!   global memory budget, so one tenant cannot starve the others of
-//!   cached plaintext material.
+//!   cached plaintext material;
+//! - **cross-tenant slot multiplexing** — tenants that registered into
+//!   the same *FHE domain* (one analyst keypair) opt into having their
+//!   queued blocks packed together into the slots of one shared
+//!   [`pasta_hhe::MuxHheServer`] pass; buckets flush when they fill,
+//!   when the oldest member's deadline nears, or when a linger timeout
+//!   says no more compatible work is coming (see [`MultiplexConfig`]).
 //!
 //! All time is virtual (see [`crate::clock`]): the caller stamps every
 //! `submit`/`poll` with a `u64` microsecond instant, and the scheduler's
-//! round structure is a pure function of those stamps — bit-identical
-//! across runs and `PASTA_THREADS` settings.
+//! round structure — including bucket membership and flush causes — is a
+//! pure function of those stamps — bit-identical across runs and
+//! `PASTA_THREADS` settings.
 
 use crate::session::SessionTable;
 use pasta_core::{Ciphertext as PastaCiphertext, PastaParams};
-use pasta_fhe::{BfvContext, BfvParams, BfvRelinKey, Ciphertext as FheCiphertext};
-use pasta_hhe::{EncryptedPastaKey, HheServer, ShardedCache, ShardedCacheConfig};
+use pasta_fhe::{
+    BfvContext, BfvParams, BfvRelinKey, BfvSecretKey, Ciphertext as FheCiphertext, FheError,
+};
+use pasta_hhe::{
+    retrieve_muxed, EncryptedPastaKey, HheServer, MuxHheServer, MuxMember, MuxedBlocks,
+    ShardedCache, ShardedCacheConfig, SlotRange,
+};
 use pasta_pipeline::guard::NoiseBudgetGuard;
 use pasta_pipeline::pack;
 use pasta_pipeline::wire::{FrameKind, WireFrame};
 use pasta_pipeline::{PipelineError, RefusalReason};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Tenant handle: assigned by [`PastaServer::register_tenant`].
 pub type TenantId = u64;
+
+/// Cache-shard id namespace for FHE domains (disjoint from tenant ids,
+/// which stay below the bit).
+const DOMAIN_SHARD_BIT: u64 = 1 << 63;
+
+/// Cross-tenant slot-multiplexing policy.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiplexConfig {
+    /// Whether queued requests of same-domain tenants are packed into
+    /// shared batched passes at all.
+    pub enabled: bool,
+    /// Upper bound on blocks per bucket (additionally clamped to the
+    /// domain's slot capacity `N`).
+    pub max_bucket_blocks: usize,
+    /// Flush a bucket once the oldest member's deadline is within this
+    /// margin of the round start (`flush_deadline`).
+    pub flush_margin_us: u64,
+    /// Flush a bucket once no new member has joined for this long —
+    /// the "no compatible work remains" drain rule, phrased as a pure
+    /// timestamp function so split and merged polls agree
+    /// (`flush_drain`).
+    pub linger_us: u64,
+    /// Virtual service time of one multiplexed pass, regardless of how
+    /// many slots it fills — the per-request → per-ciphertext cost move.
+    pub service_us_per_pass: u64,
+}
+
+impl Default for MultiplexConfig {
+    fn default() -> Self {
+        MultiplexConfig {
+            enabled: false,
+            max_bucket_blocks: 256,
+            flush_margin_us: 30_000,
+            linger_us: 2_000,
+            service_us_per_pass: 8_000,
+        }
+    }
+}
 
 /// Service configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker-pool width: requests served concurrently per scheduling
     /// round (virtual concurrency; the FHE math itself additionally fans
-    /// out across `PASTA_THREADS`).
+    /// out across `PASTA_THREADS`). A multiplexed bucket occupies one
+    /// worker slot no matter how many requests it carries.
     pub workers: usize,
     /// Per-tenant queue bound; a full queue answers `QueueFull`.
     pub queue_capacity: usize,
@@ -61,6 +113,8 @@ pub struct ServerConfig {
     pub admission: NoiseBudgetGuard,
     /// Memory budget for the per-tenant material-cache shards.
     pub cache: ShardedCacheConfig,
+    /// Cross-tenant slot-multiplexing policy.
+    pub multiplex: MultiplexConfig,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +127,7 @@ impl Default for ServerConfig {
             service_us_per_block: 2_000,
             admission: NoiseBudgetGuard::default(),
             cache: ShardedCacheConfig::default(),
+            multiplex: MultiplexConfig::default(),
         }
     }
 }
@@ -89,6 +144,13 @@ pub struct TenantProvision {
     pub relin_key: BfvRelinKey,
     /// The tenant's PASTA key, FHE-encrypted (`2t` ciphertexts).
     pub encrypted_key: EncryptedPastaKey,
+    /// The FHE domain this tenant's key material belongs to, if any.
+    /// Tenants sharing a domain declare that their PASTA keys are
+    /// encrypted under the *same* analyst FHE keypair — the trust
+    /// prerequisite for packing their blocks into one ciphertext (see
+    /// [`pasta_hhe::mux`]). Domains must be parameter-homogeneous: every
+    /// registrant must bring the same `(pasta, bfv)` pair.
+    pub fhe_domain: Option<u64>,
 }
 
 /// One accepted, not-yet-served request.
@@ -104,13 +166,69 @@ struct QueuedRequest {
     deadline_us: u64,
 }
 
+/// Why a planned bucket flushed (mirrored into [`ServerStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlushCause {
+    /// The bucket reached its block capacity.
+    Full,
+    /// The oldest member's deadline came within `flush_margin_us`.
+    Deadline,
+    /// No new compatible work arrived for `linger_us`.
+    Drain,
+}
+
+/// One planned multiplexed pass: the members it serves, their slot
+/// layout, and why it flushed.
+struct BucketPlan {
+    domain: u64,
+    cause: FlushCause,
+    members: Vec<QueuedRequest>,
+    assignments: Vec<SlotAssignment>,
+    total_blocks: usize,
+    capacity: usize,
+}
+
+/// One unit of work a scheduling round hands to a worker slot.
+enum RoundUnit {
+    /// A private per-tenant transcipher pass.
+    Scalar(QueuedRequest),
+    /// A shared cross-tenant multiplexed pass.
+    Bucket(BucketPlan),
+}
+
+/// What one worker slot produced, mirrored to the unit shape.
+enum UnitOutcome {
+    Scalar(Result<Vec<FheCiphertext>, RefusalReason>),
+    Bucket(Result<MuxedBlocks, RefusalReason>),
+}
+
 /// Per-tenant server-side state.
 struct Tenant {
     params: PastaParams,
     ctx: BfvContext,
     hhe: HheServer,
+    domain: Option<u64>,
     sessions: SessionTable,
     queue: VecDeque<QueuedRequest>,
+}
+
+/// Per-FHE-domain multiplexing state: the shared parameter pair every
+/// registrant must match, plus the mux evaluator (which carries the
+/// domain's relinearization key — one analyst keypair per domain).
+struct MuxDomain {
+    pasta: PastaParams,
+    bfv: BfvParams,
+    ctx: BfvContext,
+    mux: MuxHheServer,
+}
+
+impl std::fmt::Debug for MuxDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MuxDomain")
+            .field("pasta", &self.pasta)
+            .field("bfv", &self.bfv)
+            .finish_non_exhaustive()
+    }
 }
 
 impl std::fmt::Debug for Tenant {
@@ -142,6 +260,68 @@ pub enum SubmitOutcome {
     },
 }
 
+/// Where one multiplexed request's blocks live inside a shared pass —
+/// the demux bookkeeping that maps bucket output back to its tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotAssignment {
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Session (= PASTA nonce) the request belonged to.
+    pub session: u128,
+    /// Server-wide request sequence number.
+    pub seq: u64,
+    /// The slot range the request occupies in the shared ciphertexts.
+    pub range: SlotRange,
+}
+
+/// The transciphered payload of a completion: either a private scalar
+/// pass or one slot range of a shared multiplexed pass.
+#[derive(Debug)]
+pub enum CompletionResult {
+    /// One FHE ciphertext per message element (scalar pass).
+    Scalar(Vec<FheCiphertext>),
+    /// A slot range of a shared multiplexed pass: `positions` is the
+    /// whole bucket's output (shared among the bucket's completions via
+    /// [`Arc`]); `assignment.range` names this request's slots.
+    Muxed {
+        /// Position-major shared ciphertexts of the whole bucket.
+        positions: Arc<Vec<FheCiphertext>>,
+        /// This request's slot assignment inside the bucket.
+        assignment: SlotAssignment,
+    },
+}
+
+impl CompletionResult {
+    /// Decrypts the message elements with the FHE secret key (analyst
+    /// side): scalar results decrypt per-element, muxed results read the
+    /// request's slot range out of the shared pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FHE errors (muxed results whose range does not fit the
+    /// shared ciphertexts).
+    pub fn retrieve(&self, ctx: &BfvContext, sk: &BfvSecretKey) -> Result<Vec<u64>, FheError> {
+        match self {
+            CompletionResult::Scalar(cts) => {
+                Ok(cts.iter().map(|ct| ctx.decrypt(sk, ct).scalar()).collect())
+            }
+            CompletionResult::Muxed {
+                positions,
+                assignment,
+            } => retrieve_muxed(ctx, sk, positions, assignment.range),
+        }
+    }
+
+    /// Number of message elements the result carries.
+    #[must_use]
+    pub fn elements(&self) -> usize {
+        match self {
+            CompletionResult::Scalar(cts) => cts.len(),
+            CompletionResult::Muxed { assignment, .. } => assignment.range.elements,
+        }
+    }
+}
+
 /// A served request: the transciphered result plus its timeline.
 #[derive(Debug)]
 pub struct Completion {
@@ -155,8 +335,9 @@ pub struct Completion {
     pub frame_id: u32,
     /// First PASTA block counter of the payload.
     pub counter_base: u32,
-    /// FHE ciphertexts of the client's message elements.
-    pub result: Vec<FheCiphertext>,
+    /// FHE ciphertexts of the client's message elements (scalar or a
+    /// slot range of a shared multiplexed pass).
+    pub result: CompletionResult,
     /// When the request was accepted into the queue.
     pub accepted_us: u64,
     /// When service finished (virtual time).
@@ -210,6 +391,19 @@ pub struct ServerStats {
     pub worker_faults: u64,
     /// Sessions expired for idleness.
     pub sessions_expired: u64,
+    /// Multiplexed buckets flushed.
+    pub mux_buckets: u64,
+    /// Requests served through a multiplexed pass.
+    pub mux_requests: u64,
+    /// Blocks carried by multiplexed passes (slots actually occupied).
+    pub mux_blocks: u64,
+    /// Buckets flushed because they reached the block cap.
+    pub flush_full: u64,
+    /// Buckets flushed because the oldest member's deadline neared.
+    pub flush_deadline: u64,
+    /// Buckets flushed because no new member joined within the linger
+    /// window (drain).
+    pub flush_drain: u64,
 }
 
 /// The multi-tenant transciphering service.
@@ -217,12 +411,16 @@ pub struct ServerStats {
 pub struct PastaServer {
     cfg: ServerConfig,
     tenants: BTreeMap<TenantId, Tenant>,
+    domains: BTreeMap<u64, MuxDomain>,
     cache: ShardedCache,
     next_tenant: TenantId,
     next_seq: u64,
     pool_free_us: u64,
     fault_plan: BTreeSet<u64>,
     stats: ServerStats,
+    /// Slot fill (‰ of bucket capacity) of every flushed bucket, in
+    /// flush order — the occupancy histogram the load report summarizes.
+    bucket_fill_permille: Vec<u32>,
 }
 
 impl PastaServer {
@@ -233,13 +431,22 @@ impl PastaServer {
         PastaServer {
             cfg,
             tenants: BTreeMap::new(),
+            domains: BTreeMap::new(),
             cache,
             next_tenant: 1,
             next_seq: 1,
             pool_free_us: 0,
             fault_plan: BTreeSet::new(),
             stats: ServerStats::default(),
+            bucket_fill_permille: Vec::new(),
         }
+    }
+
+    /// Slot fill (‰ of bucket capacity) of every flushed bucket so far,
+    /// in flush order.
+    #[must_use]
+    pub fn bucket_fills(&self) -> &[u32] {
+        &self.bucket_fill_permille
     }
 
     /// The configuration the service runs under.
@@ -296,8 +503,11 @@ impl PastaServer {
     ///   predicts the transciphering circuit would exhaust the noise
     ///   budget under the tenant's BFV parameters (the refusal names the
     ///   prime count that would work);
-    /// - [`PipelineError::Fhe`] when the BFV parameters are invalid or
-    ///   the encrypted key has the wrong shape.
+    /// - [`PipelineError::Fhe`] when the BFV parameters are invalid, the
+    ///   encrypted key has the wrong shape, or the tenant asks to join an
+    ///   FHE domain whose `(pasta, bfv)` parameters differ from its own
+    ///   (domains must be parameter-homogeneous — bucket members share
+    ///   one slot layout and one evaluation circuit).
     pub fn register_tenant(&mut self, prov: TenantProvision) -> Result<TenantId, PipelineError> {
         if let Err(err) = self.cfg.admission.check(&prov.pasta, &prov.bfv) {
             self.stats.refused_budget += 1;
@@ -313,6 +523,29 @@ impl PastaServer {
             }));
         }
         let ctx = BfvContext::new(prov.bfv).map_err(PipelineError::Fhe)?;
+        if let Some(domain) = prov.fhe_domain {
+            if let Some(existing) = self.domains.get(&domain) {
+                if existing.pasta != prov.pasta || existing.bfv != prov.bfv {
+                    return Err(PipelineError::Fhe(FheError::Incompatible(format!(
+                        "FHE domain {domain} is parameter-homogeneous: registrant's \
+                         (pasta, bfv) differ from the domain's"
+                    ))));
+                }
+            } else {
+                let domain_ctx = BfvContext::new(prov.bfv).map_err(PipelineError::Fhe)?;
+                let mux = MuxHheServer::new(prov.pasta, &domain_ctx, prov.relin_key.clone())
+                    .map_err(PipelineError::Fhe)?;
+                self.domains.insert(
+                    domain,
+                    MuxDomain {
+                        pasta: prov.pasta,
+                        bfv: prov.bfv,
+                        ctx: domain_ctx,
+                        mux,
+                    },
+                );
+            }
+        }
         let hhe = HheServer::new(prov.pasta, prov.relin_key, prov.encrypted_key)
             .map_err(PipelineError::Fhe)?;
         let id = self.next_tenant;
@@ -323,6 +556,7 @@ impl PastaServer {
                 params: prov.pasta,
                 ctx,
                 hhe,
+                domain: prov.fhe_domain,
                 sessions: SessionTable::new(self.cfg.idle_timeout_us),
                 queue: VecDeque::new(),
             },
@@ -430,96 +664,251 @@ impl PastaServer {
     /// Scheduling is round-based: a round starts when the worker pool is
     /// free and at least one request is runnable, sheds every queued
     /// request whose deadline has already passed (oldest deadline
-    /// first), then serves up to `workers` requests picked round-robin
-    /// across tenants (FIFO — and therefore earliest-deadline-first —
-    /// within each tenant). The round structure depends only on virtual
+    /// first), then plans up to `workers` service units. With
+    /// multiplexing enabled, same-domain tenants' runnable requests are
+    /// packed into buckets first (each bucket one unit); remaining slots
+    /// fill with scalar requests picked round-robin across the other
+    /// tenants (FIFO — and therefore earliest-deadline-first — within
+    /// each tenant). A partial bucket whose flush triggers have not
+    /// fired yet *waits*: the round clock jumps to its next flush
+    /// decision instead of serving early. The round structure — bucket
+    /// membership, flush causes, timings — depends only on virtual
     /// timestamps, never on how often `poll` is called, so a run replays
     /// identically for any poll cadence and any `PASTA_THREADS`.
     pub fn poll(&mut self, now_us: u64) -> Vec<ServerEvent> {
         let mut events = Vec::new();
+        // Lower bound on the next round start, advanced past lingering
+        // buckets' flush-decision instants (re-derived per call: the
+        // triggers are pure timestamp functions, so split and merged
+        // polls reach identical rounds).
+        let mut floor = 0u64;
         while let Some(earliest) = self
             .tenants
             .values()
             .flat_map(|t| t.queue.iter().map(|r| r.enqueued_us))
             .min()
         {
-            let round_start = self.pool_free_us.max(earliest);
+            let round_start = self.pool_free_us.max(earliest).max(floor);
             if round_start >= now_us {
                 break;
             }
             self.shed_overdue(round_start, &mut events);
-            let batch = self.select_batch(round_start);
-            if batch.is_empty() {
-                // Everything runnable was shed; re-evaluate.
-                continue;
+            let (units, next_decision) = self.plan_round(round_start);
+            if units.is_empty() {
+                // Only lingering buckets are runnable. The next thing
+                // that can change the plan is either a flush trigger
+                // firing or a queued-but-not-yet-runnable request
+                // arriving — whichever comes first.
+                let next_arrival = self
+                    .tenants
+                    .values()
+                    .flat_map(|t| t.queue.iter().map(|r| r.enqueued_us))
+                    .filter(|&e| e > round_start)
+                    .min();
+                let wake = match (next_decision, next_arrival) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                match wake {
+                    // Jump the round clock to the next decision point.
+                    Some(at) if at < now_us => {
+                        floor = floor.max(at.max(round_start.saturating_add(1)));
+                        continue;
+                    }
+                    // The next decision point lies beyond `now`.
+                    Some(_) => break,
+                    // Everything runnable was shed; re-evaluate.
+                    None => continue,
+                }
             }
-            // Re-attach each involved tenant's cache shard so shard
-            // eviction between rounds actually frees memory.
-            for req in &batch {
-                if let Some(t) = self.tenants.get_mut(&req.tenant) {
-                    t.hhe.set_cache(self.cache.shard(req.tenant, &t.params));
+            // Re-attach the involved cache shards so shard eviction
+            // between rounds actually frees memory.
+            for unit in &units {
+                match unit {
+                    RoundUnit::Scalar(req) => {
+                        if let Some(t) = self.tenants.get_mut(&req.tenant) {
+                            t.hhe.set_cache(self.cache.shard(req.tenant));
+                        }
+                    }
+                    RoundUnit::Bucket(plan) => {
+                        if let Some(d) = self.domains.get_mut(&plan.domain) {
+                            d.mux
+                                .set_cache(self.cache.shard(DOMAIN_SHARD_BIT | plan.domain));
+                        }
+                    }
                 }
             }
             let tenants = &self.tenants;
-            let plan = &self.fault_plan;
+            let domains = &self.domains;
+            let fault_plan = &self.fault_plan;
             // The worker pool: the real FHE transciphering fans out
             // here. Panics — injected or real — are caught inside each
-            // per-item closure (a panic reaching the pool's scope join
-            // would take the whole service down).
-            let results: Vec<Result<Vec<FheCiphertext>, RefusalReason>> =
-                pasta_par::parallel_map(&batch, |_, req| {
-                    catch_unwind(AssertUnwindSafe(|| {
-                        if plan.contains(&req.seq) {
+            // per-unit closure (a panic reaching the pool's scope join
+            // would take the whole service down). A faulting bucket
+            // takes all its members down together — they shared one
+            // pass — and each gets a retryable WorkerFault NACK.
+            let results: Vec<UnitOutcome> = pasta_par::parallel_map(&units, |_, unit| {
+                catch_unwind(AssertUnwindSafe(|| match unit {
+                    RoundUnit::Scalar(req) => {
+                        if fault_plan.contains(&req.seq) {
                             // audit: allow(panic, reason = "fault-injection hook: the panic is contained by the surrounding catch_unwind and surfaced as a typed WorkerFault NACK")
                             panic!("injected worker fault on request {}", req.seq);
                         }
                         let Some(t) = tenants.get(&req.tenant) else {
-                            return Err(RefusalReason::WorkerFault);
+                            return UnitOutcome::Scalar(Err(RefusalReason::WorkerFault));
                         };
-                        t.hhe
-                            .transcipher(&t.ctx, &req.ct)
-                            .map_err(|_| RefusalReason::WorkerFault)
-                    }))
-                    .unwrap_or(Err(RefusalReason::WorkerFault))
-                });
-            let mut round_len_us = 1;
-            for (req, result) in batch.into_iter().zip(results) {
-                let block_size = self
-                    .tenants
-                    .get(&req.tenant)
-                    .map_or(1, |t| t.params.t().max(1));
-                let blocks = req.ct.len().div_ceil(block_size).max(1) as u64;
-                let service_us = blocks * self.cfg.service_us_per_block.max(1);
-                round_len_us = round_len_us.max(service_us);
-                let completed_us = round_start + service_us;
-                self.fault_plan.remove(&req.seq);
-                match result {
-                    Ok(result) => {
-                        self.stats.completed += 1;
-                        events.push(ServerEvent::Completed(Completion {
-                            seq: req.seq,
-                            tenant: req.tenant,
-                            nonce: req.nonce,
-                            frame_id: req.frame_id,
-                            counter_base: req.counter_base,
-                            result,
-                            accepted_us: req.enqueued_us,
-                            completed_us,
-                        }));
+                        UnitOutcome::Scalar(
+                            t.hhe
+                                .transcipher(&t.ctx, &req.ct)
+                                .map_err(|_| RefusalReason::WorkerFault),
+                        )
                     }
-                    Err(reason) => {
-                        self.stats.worker_faults += 1;
-                        events.push(ServerEvent::Refused {
-                            seq: req.seq,
-                            tenant: req.tenant,
-                            reason,
-                            nack: WireFrame::nack_with_reason(
-                                req.frame_id,
-                                req.counter_base,
-                                reason,
-                            ),
-                            at_us: completed_us,
-                        });
+                    RoundUnit::Bucket(plan) => {
+                        if let Some(req) = plan
+                            .members
+                            .iter()
+                            .find(|req| fault_plan.contains(&req.seq))
+                        {
+                            // audit: allow(panic, reason = "fault-injection hook: the panic is contained by the surrounding catch_unwind and surfaced as typed WorkerFault NACKs for every bucket member")
+                            panic!("injected worker fault on request {}", req.seq);
+                        }
+                        let Some(d) = domains.get(&plan.domain) else {
+                            return UnitOutcome::Bucket(Err(RefusalReason::WorkerFault));
+                        };
+                        let mut members = Vec::with_capacity(plan.members.len());
+                        for req in &plan.members {
+                            let Some(t) = tenants.get(&req.tenant) else {
+                                return UnitOutcome::Bucket(Err(RefusalReason::WorkerFault));
+                            };
+                            members.push(MuxMember {
+                                tenant: req.tenant,
+                                encrypted_key: t.hhe.encrypted_key(),
+                                ct: &req.ct,
+                            });
+                        }
+                        UnitOutcome::Bucket(
+                            d.mux
+                                .transcipher_mux(&d.ctx, &members)
+                                .map_err(|_| RefusalReason::WorkerFault),
+                        )
+                    }
+                }))
+                .unwrap_or(match unit {
+                    RoundUnit::Scalar(_) => UnitOutcome::Scalar(Err(RefusalReason::WorkerFault)),
+                    RoundUnit::Bucket(_) => UnitOutcome::Bucket(Err(RefusalReason::WorkerFault)),
+                })
+            });
+            let mut round_len_us = 1;
+            for (unit, outcome) in units.into_iter().zip(results) {
+                match unit {
+                    RoundUnit::Scalar(req) => {
+                        let block_size = self
+                            .tenants
+                            .get(&req.tenant)
+                            .map_or(1, |t| t.params.t().max(1));
+                        let blocks = req.ct.len().div_ceil(block_size).max(1) as u64;
+                        let service_us = blocks * self.cfg.service_us_per_block.max(1);
+                        round_len_us = round_len_us.max(service_us);
+                        let completed_us = round_start + service_us;
+                        self.fault_plan.remove(&req.seq);
+                        // A mismatched outcome cannot happen (the pool
+                        // preserves order) but must still NACK, never
+                        // drop: fold it into the fault path.
+                        let result = match outcome {
+                            UnitOutcome::Scalar(result) => result,
+                            UnitOutcome::Bucket(_) => Err(RefusalReason::WorkerFault),
+                        };
+                        match result {
+                            Ok(result) => {
+                                self.stats.completed += 1;
+                                events.push(ServerEvent::Completed(Completion {
+                                    seq: req.seq,
+                                    tenant: req.tenant,
+                                    nonce: req.nonce,
+                                    frame_id: req.frame_id,
+                                    counter_base: req.counter_base,
+                                    result: CompletionResult::Scalar(result),
+                                    accepted_us: req.enqueued_us,
+                                    completed_us,
+                                }));
+                            }
+                            Err(reason) => {
+                                self.stats.worker_faults += 1;
+                                events.push(ServerEvent::Refused {
+                                    seq: req.seq,
+                                    tenant: req.tenant,
+                                    reason,
+                                    nack: WireFrame::nack_with_reason(
+                                        req.frame_id,
+                                        req.counter_base,
+                                        reason,
+                                    ),
+                                    at_us: completed_us,
+                                });
+                            }
+                        }
+                    }
+                    RoundUnit::Bucket(plan) => {
+                        let service_us = self.cfg.multiplex.service_us_per_pass.max(1);
+                        round_len_us = round_len_us.max(service_us);
+                        let completed_us = round_start + service_us;
+                        for req in &plan.members {
+                            self.fault_plan.remove(&req.seq);
+                        }
+                        let result = match outcome {
+                            UnitOutcome::Bucket(result) => result,
+                            UnitOutcome::Scalar(_) => Err(RefusalReason::WorkerFault),
+                        };
+                        match result {
+                            Ok(muxed) => {
+                                self.stats.mux_buckets += 1;
+                                match plan.cause {
+                                    FlushCause::Full => self.stats.flush_full += 1,
+                                    FlushCause::Deadline => self.stats.flush_deadline += 1,
+                                    FlushCause::Drain => self.stats.flush_drain += 1,
+                                }
+                                self.stats.mux_blocks += plan.total_blocks as u64;
+                                let fill = (plan.total_blocks * 1000) / plan.capacity.max(1);
+                                self.bucket_fill_permille
+                                    .push(u32::try_from(fill).unwrap_or(0));
+                                let positions = Arc::new(muxed.positions);
+                                for (req, assignment) in
+                                    plan.members.into_iter().zip(plan.assignments)
+                                {
+                                    self.stats.completed += 1;
+                                    self.stats.mux_requests += 1;
+                                    events.push(ServerEvent::Completed(Completion {
+                                        seq: req.seq,
+                                        tenant: req.tenant,
+                                        nonce: req.nonce,
+                                        frame_id: req.frame_id,
+                                        counter_base: req.counter_base,
+                                        result: CompletionResult::Muxed {
+                                            positions: Arc::clone(&positions),
+                                            assignment,
+                                        },
+                                        accepted_us: req.enqueued_us,
+                                        completed_us,
+                                    }));
+                                }
+                            }
+                            Err(reason) => {
+                                for req in plan.members {
+                                    self.stats.worker_faults += 1;
+                                    events.push(ServerEvent::Refused {
+                                        seq: req.seq,
+                                        tenant: req.tenant,
+                                        reason,
+                                        nack: WireFrame::nack_with_reason(
+                                            req.frame_id,
+                                            req.counter_base,
+                                            reason,
+                                        ),
+                                        at_us: completed_us,
+                                    });
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -561,16 +950,263 @@ impl PastaServer {
         }
     }
 
-    /// Picks up to `workers` runnable requests round-robin across
-    /// tenants (one per tenant per sweep; FIFO within a tenant).
-    fn select_batch(&mut self, round_start: u64) -> Vec<QueuedRequest> {
+    /// Plans one round's worth of service units: multiplexed buckets
+    /// first (when enabled), then scalar requests filling the remaining
+    /// worker slots. Returns the units plus, when a partial bucket is
+    /// deliberately left lingering, the earliest future instant at
+    /// which one of its flush triggers will fire.
+    fn plan_round(&mut self, round_start: u64) -> (Vec<RoundUnit>, Option<u64>) {
         let workers = self.cfg.workers.max(1);
+        let mux_on = self.cfg.multiplex.enabled;
+        let mut units: Vec<RoundUnit> = Vec::new();
+        let mut next_decision: Option<u64> = None;
+        if mux_on {
+            let domain_ids: Vec<u64> = self.domains.keys().copied().collect();
+            for domain in domain_ids {
+                self.plan_domain(domain, round_start, workers, &mut units, &mut next_decision);
+            }
+        }
+        let remaining = workers.saturating_sub(units.len());
+        for req in self.select_scalar(round_start, remaining, mux_on) {
+            units.push(RoundUnit::Scalar(req));
+        }
+        (units, next_decision)
+    }
+
+    /// Packs one domain's runnable requests into buckets and appends the
+    /// flushable ones to `units` (bounded by `workers` slots).
+    ///
+    /// Candidates are every member tenant's runnable FIFO queue prefix,
+    /// gathered tenant-ascending, and greedily split in that order into
+    /// buckets of at most `cap` blocks. Every bucket but the last is
+    /// full by construction and flushes as [`FlushCause::Full`]; the
+    /// final (partial) bucket flushes only when the deadline or linger
+    /// trigger has fired, otherwise the earlier of the two trigger
+    /// instants is merged into `next_decision` and the bucket waits.
+    /// Served candidates always form a per-tenant queue prefix, so
+    /// popping by per-tenant count preserves FIFO order. A request too
+    /// large for any bucket (`blocks > cap`) becomes its own scalar
+    /// unit so it cannot starve the queue behind it.
+    fn plan_domain(
+        &mut self,
+        domain: u64,
+        round_start: u64,
+        workers: usize,
+        units: &mut Vec<RoundUnit>,
+        next_decision: &mut Option<u64>,
+    ) {
+        struct Cand {
+            tenant: TenantId,
+            blocks: usize,
+            elements: usize,
+            enqueued_us: u64,
+            deadline_us: u64,
+        }
+        enum Group {
+            Bucket {
+                cands: Vec<Cand>,
+                total_blocks: usize,
+                cause: FlushCause,
+            },
+            Oversized(Cand),
+        }
+        let Some(d) = self.domains.get(&domain) else {
+            return;
+        };
+        let t = d.pasta.t().max(1);
+        let cap = self
+            .cfg
+            .multiplex
+            .max_bucket_blocks
+            .max(1)
+            .min(d.mux.capacity().max(1));
+        let mut cands: Vec<Cand> = Vec::new();
+        for (&id, tenant) in &self.tenants {
+            if tenant.domain != Some(domain) {
+                continue;
+            }
+            for req in tenant
+                .queue
+                .iter()
+                .take_while(|r| r.enqueued_us <= round_start)
+            {
+                let elements = req.ct.len();
+                cands.push(Cand {
+                    tenant: id,
+                    blocks: elements.div_ceil(t).max(1),
+                    elements,
+                    enqueued_us: req.enqueued_us,
+                    deadline_us: req.deadline_us,
+                });
+            }
+        }
+        if cands.is_empty() {
+            return;
+        }
+        // Greedy split into groups, in candidate order.
+        let mut groups: Vec<Group> = Vec::new();
+        let mut current: Vec<Cand> = Vec::new();
+        let mut current_blocks = 0usize;
+        for cand in cands {
+            if cand.blocks > cap {
+                if !current.is_empty() {
+                    groups.push(Group::Bucket {
+                        cands: std::mem::take(&mut current),
+                        total_blocks: current_blocks,
+                        cause: FlushCause::Full,
+                    });
+                    current_blocks = 0;
+                }
+                groups.push(Group::Oversized(cand));
+                continue;
+            }
+            if current_blocks + cand.blocks > cap {
+                groups.push(Group::Bucket {
+                    cands: std::mem::take(&mut current),
+                    total_blocks: current_blocks,
+                    cause: FlushCause::Full,
+                });
+                current_blocks = 0;
+            }
+            current_blocks += cand.blocks;
+            current.push(cand);
+        }
+        if !current.is_empty() {
+            groups.push(Group::Bucket {
+                cands: current,
+                total_blocks: current_blocks,
+                cause: FlushCause::Full,
+            });
+        }
+        // Decide the trailing partial bucket's fate.
+        if let Some(Group::Bucket {
+            cands,
+            total_blocks,
+            cause,
+        }) = groups.last_mut()
+        {
+            if *total_blocks < cap {
+                let min_deadline = cands.iter().map(|c| c.deadline_us).min().unwrap_or(0);
+                let max_enqueued = cands.iter().map(|c| c.enqueued_us).max().unwrap_or(0);
+                let deadline_at = min_deadline.saturating_sub(self.cfg.multiplex.flush_margin_us);
+                let drain_at = max_enqueued.saturating_add(self.cfg.multiplex.linger_us);
+                if deadline_at <= round_start {
+                    *cause = FlushCause::Deadline;
+                } else if drain_at <= round_start {
+                    *cause = FlushCause::Drain;
+                } else {
+                    let at = deadline_at.min(drain_at);
+                    *next_decision = Some(next_decision.map_or(at, |cur| cur.min(at)));
+                    groups.pop();
+                }
+            }
+        }
+        // Serve groups in order, stopping at the first that does not
+        // fit: later candidates must not be served before earlier ones
+        // of the same tenant.
+        let mut served: Vec<Group> = Vec::new();
+        let mut pop_counts: BTreeMap<TenantId, usize> = BTreeMap::new();
+        for group in groups {
+            if units.len() + served.len() >= workers {
+                break;
+            }
+            match &group {
+                Group::Bucket { cands, .. } => {
+                    for c in cands {
+                        *pop_counts.entry(c.tenant).or_insert(0) += 1;
+                    }
+                }
+                Group::Oversized(c) => {
+                    *pop_counts.entry(c.tenant).or_insert(0) += 1;
+                }
+            }
+            served.push(group);
+        }
+        if served.is_empty() {
+            return;
+        }
+        // Pop each tenant's served prefix, then re-distribute the
+        // requests to their groups in candidate order.
+        let mut popped: BTreeMap<TenantId, VecDeque<QueuedRequest>> = BTreeMap::new();
+        for (&tenant, &count) in &pop_counts {
+            if let Some(t) = self.tenants.get_mut(&tenant) {
+                let mut reqs = VecDeque::with_capacity(count);
+                for _ in 0..count {
+                    if let Some(req) = t.queue.pop_front() {
+                        reqs.push_back(req);
+                    }
+                }
+                popped.insert(tenant, reqs);
+            }
+        }
+        for group in served {
+            match group {
+                Group::Bucket {
+                    cands,
+                    total_blocks,
+                    cause,
+                } => {
+                    let mut members = Vec::with_capacity(cands.len());
+                    let mut assignments = Vec::with_capacity(cands.len());
+                    let mut start = 0usize;
+                    for c in cands {
+                        let Some(req) = popped.get_mut(&c.tenant).and_then(VecDeque::pop_front)
+                        else {
+                            continue;
+                        };
+                        assignments.push(SlotAssignment {
+                            tenant: req.tenant,
+                            session: req.nonce,
+                            seq: req.seq,
+                            range: SlotRange {
+                                start,
+                                blocks: c.blocks,
+                                elements: c.elements,
+                            },
+                        });
+                        start += c.blocks;
+                        members.push(req);
+                    }
+                    units.push(RoundUnit::Bucket(BucketPlan {
+                        domain,
+                        cause,
+                        members,
+                        assignments,
+                        total_blocks,
+                        capacity: cap,
+                    }));
+                }
+                Group::Oversized(c) => {
+                    if let Some(req) = popped.get_mut(&c.tenant).and_then(VecDeque::pop_front) {
+                        units.push(RoundUnit::Scalar(req));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Picks up to `limit` runnable requests round-robin across tenants
+    /// (one per tenant per sweep; FIFO within a tenant). When
+    /// `skip_domains` is set, tenants belonging to a multiplexing
+    /// domain are left alone — their requests travel in buckets.
+    fn select_scalar(
+        &mut self,
+        round_start: u64,
+        limit: usize,
+        skip_domains: bool,
+    ) -> Vec<QueuedRequest> {
         let mut batch = Vec::new();
+        if limit == 0 {
+            return batch;
+        }
         loop {
             let mut picked_any = false;
             for t in self.tenants.values_mut() {
-                if batch.len() >= workers {
+                if batch.len() >= limit {
                     return batch;
+                }
+                if skip_domains && t.domain.is_some() {
+                    continue;
                 }
                 let runnable = t
                     .queue

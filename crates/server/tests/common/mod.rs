@@ -48,11 +48,53 @@ pub fn make_provision(
             bfv: claimed_bfv,
             relin_key: relin,
             encrypted_key,
+            fhe_domain: None,
         },
         client,
         ctx,
         sk,
     )
+}
+
+/// Registers `count` tenants into one shared FHE domain: all keys are
+/// generated under the *same* analyst keypair (the multiplexing trust
+/// prerequisite), each tenant keeping its own PASTA key.
+pub fn register_domain(
+    server: &mut PastaServer,
+    count: usize,
+    domain: u64,
+    bfv: BfvParams,
+    seed: u64,
+) -> Vec<ClientSide> {
+    let params = tiny_pasta();
+    let ctx = BfvContext::new(bfv).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sk = ctx.generate_secret_key(&mut rng);
+    let pk = ctx.generate_public_key(&sk, &mut rng);
+    (0..count)
+        .map(|j| {
+            let relin = ctx.generate_relin_key(&sk, &mut rng);
+            let key_seed = (seed ^ j as u64).to_le_bytes();
+            let client = HheClient::new(params, &key_seed);
+            let encrypted_key = client.provision_key(&ctx, &pk, &mut rng);
+            let tenant = server
+                .register_tenant(TenantProvision {
+                    pasta: params,
+                    bfv,
+                    relin_key: relin,
+                    encrypted_key,
+                    fhe_domain: Some(domain),
+                })
+                .unwrap();
+            ClientSide {
+                tenant,
+                client,
+                ctx: ctx.clone(),
+                sk: sk.clone(),
+                params,
+            }
+        })
+        .collect()
 }
 
 /// Registers one tenant with valid tiny parameters.

@@ -37,4 +37,18 @@ fn load_report_replays_bit_for_bit() {
         single.plaintext_digest, other.plaintext_digest,
         "a different seed must produce different traffic"
     );
+
+    // The multiplexed service — bucket membership, flush causes and all
+    // — must be just as replayable and thread-count independent.
+    let mux_cfg = LoadgenConfig::quick().with_multiplex();
+    let mux_single = with_threads("1", || run_loadgen(&mux_cfg).unwrap());
+    let mux_wide = with_threads("4", || run_loadgen(&mux_cfg).unwrap());
+    assert_eq!(
+        mux_single, mux_wide,
+        "the multiplexed report must not depend on PASTA_THREADS"
+    );
+    assert!(
+        mux_single.mux_buckets > 0 && mux_single.mux_requests > 0,
+        "the multiplexed scenario must actually multiplex"
+    );
 }

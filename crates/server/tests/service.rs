@@ -48,10 +48,7 @@ fn transciphers_end_to_end() {
             assert_eq!(c.frame_id, 5);
             assert_eq!(c.nonce, 77);
             assert!(c.completed_us > c.accepted_us);
-            let recovered = fx
-                .side
-                .client
-                .retrieve(&fx.side.ctx, &fx.side.sk, &c.result);
+            let recovered = c.result.retrieve(&fx.side.ctx, &fx.side.sk).unwrap();
             assert_eq!(recovered, msg, "completion must decrypt to the original");
         }
         other => panic!("expected a completion, got {other:?}"),
@@ -235,10 +232,7 @@ fn worker_fault_is_contained_and_transient() {
     let events = fx.server.poll(u64::MAX / 2);
     match events.as_slice() {
         [ServerEvent::Completed(c)] => {
-            let recovered = fx
-                .side
-                .client
-                .retrieve(&fx.side.ctx, &fx.side.sk, &c.result);
+            let recovered = c.result.retrieve(&fx.side.ctx, &fx.side.sk).unwrap();
             assert_eq!(recovered, msg);
         }
         other => panic!("expected a completion, got {other:?}"),
@@ -309,7 +303,7 @@ fn tenant_shards_evict_under_memory_pressure() {
                 } else {
                     (&second, &msg_two)
                 };
-                assert_eq!(&side.client.retrieve(&side.ctx, &side.sk, &c.result), msg);
+                assert_eq!(&c.result.retrieve(&side.ctx, &side.sk).unwrap(), msg);
                 served += 1;
             }
             other => panic!("no refusals expected, got {other:?}"),
