@@ -85,6 +85,26 @@ fn unsafe_locations() {
 }
 
 #[test]
+fn simd_intrinsics_unsafe_and_cast_coverage() {
+    // The fixture mirrors `pasta_math::simd::avx2`: run it under the
+    // real simd-module path to pin that intrinsics blocks without a
+    // `// SAFETY:` comment are flagged there, a preceding `// SAFETY:`
+    // silences the check, and narrowing casts stay audited.
+    let found = run(
+        "crates/math/src/simd.rs",
+        include_str!("fixtures/simd_intrinsics.rs.txt"),
+    );
+    assert_eq!(
+        found,
+        vec![
+            (8, "unsafe"), // _mm256_loadu_si256 without SAFETY
+            (9, "unsafe"), // _mm256_storeu_si256 without SAFETY
+            (23, "cast"),  // u64 -> u32 lane extraction
+        ]
+    );
+}
+
+#[test]
 fn cast_locations() {
     let found = run(
         "crates/math/src/fixture.rs",

@@ -22,7 +22,7 @@ use pasta_core::PastaParams;
 use pasta_fhe::ntt::NttTable;
 use pasta_fhe::{BfvContext, BfvParams};
 use pasta_hhe::{provision_batched_key, BatchedHheServer, HheClient, HheServer};
-use pasta_math::Modulus;
+use pasta_math::{simd, Modulus};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -91,13 +91,23 @@ fn bench_ntt(report: &mut BenchReport, phase: &str, quick: bool) {
         let mut buf: Vec<u64> = (0..n as u64)
             .map(|i| i.wrapping_mul(0x9E37_79B9) % p)
             .collect();
-        let ns = time_ns(window, || {
-            table.forward(black_box(&mut buf));
-            table.inverse(black_box(&mut buf));
-        });
-        println!("{id}: {ns:.0} ns/iter [{phase}]");
-        report.push(id, phase, ns);
+        // Measure every available SIMD backend in-process, so the JSON
+        // carries both the scalar and the AVX2 numbers for the same
+        // build. On non-AVX2 machines the forced-Avx2 leg resolves to
+        // scalar and is skipped.
+        for backend in [simd::Backend::Scalar, simd::Backend::Avx2] {
+            if simd::force_backend(Some(backend)) != backend {
+                continue;
+            }
+            let ns = time_ns(window, || {
+                table.forward(black_box(&mut buf));
+                table.inverse(black_box(&mut buf));
+            });
+            println!("{id}: {ns:.0} ns/iter [{phase}, {}]", backend.label());
+            report.push_backend(id, phase, backend.label(), ns);
+        }
     }
+    simd::force_backend(None);
 }
 
 fn bench_transcipher(report: &mut BenchReport, phase: &str, quick: bool) {
@@ -235,8 +245,11 @@ fn main() {
     emit(&tc, &tc_path);
 
     for (name, report) in [("ntt", &ntt), ("transcipher", &tc)] {
-        for (id, factor) in report.speedups() {
-            println!("speedup [{name}] {id}: {factor:.2}x");
+        for (id, backend, factor) in report.speedups() {
+            println!("speedup [{name}] {id} ({backend}): {factor:.2}x");
+        }
+        for (id, factor) in report.backend_speedups() {
+            println!("avx2-vs-scalar [{name}] {id}: {factor:.2}x");
         }
     }
 }

@@ -22,6 +22,7 @@
 
 use pasta_bench::report::BenchReport;
 use pasta_fhe::{BfvContext, BfvParams, Ciphertext, MUL_BACKEND_ENV};
+use pasta_math::simd;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -91,20 +92,29 @@ fn bench_set(report: &mut BenchReport, phase: &str, quick: bool, bfv: BfvParams,
     let b = random_ct(&mut rng);
     let reps: u64 = if quick { 2 } else { 20 };
 
-    let ops: [(&str, Box<dyn FnMut() -> Ciphertext>); 3] = [
-        ("mul", Box::new(|| ctx.mul(&a, &b).expect("mul"))),
-        ("square", Box::new(|| ctx.square(&a).expect("square"))),
-        (
-            "mul_relin",
-            Box::new(|| ctx.mul_relin(&a, &b, &rk).expect("mul_relin")),
-        ),
-    ];
-    for (op, f) in ops {
-        let ns = time_op(reps, f);
-        let id = format!("{op}/{tag}");
-        println!("{id}: {ns:.0} ns/iter [{phase}]");
-        report.push(id, phase, ns);
+    // Measure every available SIMD backend in-process; on non-AVX2
+    // machines the forced-Avx2 leg resolves to scalar and is skipped.
+    for backend in [simd::Backend::Scalar, simd::Backend::Avx2] {
+        if simd::force_backend(Some(backend)) != backend {
+            continue;
+        }
+        type Op<'a> = Box<dyn FnMut() -> Ciphertext + 'a>;
+        let ops: [(&str, Op); 3] = [
+            ("mul", Box::new(|| ctx.mul(&a, &b).expect("mul"))),
+            ("square", Box::new(|| ctx.square(&a).expect("square"))),
+            (
+                "mul_relin",
+                Box::new(|| ctx.mul_relin(&a, &b, &rk).expect("mul_relin")),
+            ),
+        ];
+        for (op, f) in ops {
+            let ns = time_op(reps, f);
+            let id = format!("{op}/{tag}");
+            println!("{id}: {ns:.0} ns/iter [{phase}, {}]", backend.label());
+            report.push_backend(id, phase, backend.label(), ns);
+        }
     }
+    simd::force_backend(None);
 }
 
 fn main() {
@@ -155,7 +165,10 @@ fn main() {
 
     std::fs::write(&path, report.to_json()).expect("write bench report");
     println!("wrote {path}");
-    for (id, factor) in report.speedups() {
-        println!("speedup {id}: {factor:.2}x");
+    for (id, backend, factor) in report.speedups() {
+        println!("speedup {id} ({backend}): {factor:.2}x");
+    }
+    for (id, factor) in report.backend_speedups() {
+        println!("avx2-vs-scalar {id}: {factor:.2}x");
     }
 }

@@ -231,7 +231,7 @@ fn main() {
 
     std::fs::write(&path, report.to_json()).expect("write bench report");
     println!("wrote {path}");
-    for (id, factor) in report.speedups() {
-        println!("speedup {id}: {factor:.2}x");
+    for (id, backend, factor) in report.speedups() {
+        println!("speedup {id} ({backend}): {factor:.2}x");
     }
 }

@@ -107,6 +107,11 @@ pub struct BenchEntry {
     pub id: String,
     /// Measurement phase: `before` (pre-optimization baseline) or `after`.
     pub phase: String,
+    /// SIMD backend (`"scalar"` / `"avx2"`) the measurement ran under.
+    /// Entries parsed from reports predating the backend dimension
+    /// default to `"scalar"` — everything before the SIMD backend
+    /// existed was scalar by construction.
+    pub backend: String,
     /// Nanoseconds per iteration.
     pub ns: f64,
 }
@@ -137,12 +142,31 @@ impl BenchReport {
         }
     }
 
-    /// Appends one measurement, replacing any existing entry with the same
-    /// `(id, phase)` so re-runs update in place.
+    /// Appends one measurement under the SIMD backend currently selected
+    /// by `pasta_math::simd`, replacing any existing entry with the same
+    /// `(id, phase, backend)` so re-runs update in place.
     pub fn push(&mut self, id: impl Into<String>, phase: impl Into<String>, ns: f64) {
-        let (id, phase) = (id.into(), phase.into());
-        self.entries.retain(|e| !(e.id == id && e.phase == phase));
-        self.entries.push(BenchEntry { id, phase, ns });
+        self.push_backend(id, phase, pasta_math::simd::backend_label(), ns);
+    }
+
+    /// Appends one measurement with an explicit backend label, replacing
+    /// any existing entry with the same `(id, phase, backend)`.
+    pub fn push_backend(
+        &mut self,
+        id: impl Into<String>,
+        phase: impl Into<String>,
+        backend: impl Into<String>,
+        ns: f64,
+    ) {
+        let (id, phase, backend) = (id.into(), phase.into(), backend.into());
+        self.entries
+            .retain(|e| !(e.id == id && e.phase == phase && e.backend == backend));
+        self.entries.push(BenchEntry {
+            id,
+            phase,
+            backend,
+            ns,
+        });
     }
 
     /// Imports all entries of `phase` from a previously rendered report
@@ -151,26 +175,57 @@ impl BenchReport {
     pub fn merge_phase_from(&mut self, json: &str, phase: &str) {
         for e in Self::parse_entries(json) {
             if e.phase == phase {
-                self.push(e.id, e.phase, e.ns);
+                self.push_backend(e.id, e.phase, e.backend, e.ns);
             }
         }
     }
 
-    /// `before/after` speedup factors for every id present in both phases.
+    /// `before/after` speedup factors as `(id, backend, factor)` for
+    /// every `(id, backend)` present in both phases. An `after` entry
+    /// with no same-backend `before` falls back to the scalar `before`
+    /// baseline — measurements predating the backend dimension were
+    /// scalar by construction, so that is the honest trajectory pairing.
     #[must_use]
-    pub fn speedups(&self) -> Vec<(String, f64)> {
+    pub fn speedups(&self) -> Vec<(String, String, f64)> {
         let mut out = Vec::new();
         for e in &self.entries {
             if e.phase != "after" {
                 continue;
             }
+            let same_backend =
+                |b: &&BenchEntry| b.phase == "before" && b.id == e.id && b.backend == e.backend;
+            let scalar =
+                |b: &&BenchEntry| b.phase == "before" && b.id == e.id && b.backend == "scalar";
             if let Some(before) = self
                 .entries
                 .iter()
-                .find(|b| b.phase == "before" && b.id == e.id)
+                .find(same_backend)
+                .or_else(|| self.entries.iter().find(scalar))
             {
                 if e.ns > 0.0 {
-                    out.push((e.id.clone(), before.ns / e.ns));
+                    out.push((e.id.clone(), e.backend.clone(), before.ns / e.ns));
+                }
+            }
+        }
+        out
+    }
+
+    /// Scalar-vs-AVX2 speedup factors over the `after` phase: for every
+    /// id measured under both backends, `scalar_ns / avx2_ns`.
+    #[must_use]
+    pub fn backend_speedups(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for e in &self.entries {
+            if e.phase != "after" || e.backend != "avx2" {
+                continue;
+            }
+            if let Some(s) = self
+                .entries
+                .iter()
+                .find(|s| s.phase == "after" && s.id == e.id && s.backend == "scalar")
+            {
+                if e.ns > 0.0 {
+                    out.push((e.id.clone(), s.ns / e.ns));
                 }
             }
         }
@@ -189,15 +244,24 @@ impl BenchReport {
         for (i, e) in self.entries.iter().enumerate() {
             let comma = if i + 1 < self.entries.len() { "," } else { "" };
             out.push_str(&format!(
-                "    {{\"id\": \"{}\", \"phase\": \"{}\", \"ns\": {:.1}}}{comma}\n",
-                e.id, e.phase, e.ns
+                "    {{\"id\": \"{}\", \"phase\": \"{}\", \"backend\": \"{}\", \"ns\": {:.1}}}{comma}\n",
+                e.id, e.phase, e.backend, e.ns
             ));
         }
         out.push_str("  ],\n");
         out.push_str("  \"speedup\": [\n");
         let ups = self.speedups();
-        for (i, (id, factor)) in ups.iter().enumerate() {
+        for (i, (id, backend, factor)) in ups.iter().enumerate() {
             let comma = if i + 1 < ups.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"id\": \"{id}\", \"backend\": \"{backend}\", \"factor\": {factor:.2}}}{comma}\n"
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"backend_speedup\": [\n");
+        let bups = self.backend_speedups();
+        for (i, (id, factor)) in bups.iter().enumerate() {
+            let comma = if i + 1 < bups.len() { "," } else { "" };
             out.push_str(&format!(
                 "    {{\"id\": \"{id}\", \"factor\": {factor:.2}}}{comma}\n"
             ));
@@ -223,6 +287,9 @@ impl BenchReport {
                 Some(BenchEntry {
                     id: field(l, "id")?.to_string(),
                     phase: field(l, "phase")?.to_string(),
+                    // Reports predating the backend dimension carry no
+                    // backend key; those measurements were scalar.
+                    backend: field(l, "backend").unwrap_or("scalar").to_string(),
                     ns: field(l, "ns")?.parse().ok()?,
                 })
             })
@@ -237,9 +304,9 @@ mod tests {
     #[test]
     fn bench_report_roundtrips_through_json() {
         let mut r = BenchReport::new("ntt", "forward+inverse");
-        r.push("ntt/n=1024", "before", 1234.5);
-        r.push("ntt/n=1024", "after", 400.0);
-        r.push("ntt/n=4096", "before", 9000.0);
+        r.push_backend("ntt/n=1024", "before", "scalar", 1234.5);
+        r.push_backend("ntt/n=1024", "after", "scalar", 400.0);
+        r.push_backend("ntt/n=4096", "before", "scalar", 9000.0);
         let json = r.to_json();
         let parsed = BenchReport::parse_entries(&json);
         assert_eq!(parsed, r.entries);
@@ -249,19 +316,54 @@ mod tests {
     #[test]
     fn bench_report_push_replaces_and_merges() {
         let mut old = BenchReport::new("x", "");
-        old.push("a", "before", 100.0);
-        old.push("a", "after", 50.0);
+        old.push_backend("a", "before", "scalar", 100.0);
+        old.push_backend("a", "after", "scalar", 50.0);
         let mut fresh = BenchReport::new("x", "");
-        fresh.push("a", "after", 25.0);
+        fresh.push_backend("a", "after", "scalar", 25.0);
         fresh.merge_phase_from(&old.to_json(), "before");
         assert_eq!(fresh.entries.len(), 2);
-        assert_eq!(fresh.speedups(), vec![("a".to_string(), 4.0)]);
-        // Re-pushing the same (id, phase) replaces.
-        fresh.push("a", "after", 20.0);
+        assert_eq!(
+            fresh.speedups(),
+            vec![("a".to_string(), "scalar".to_string(), 4.0)]
+        );
+        // Re-pushing the same (id, phase, backend) replaces.
+        fresh.push_backend("a", "after", "scalar", 20.0);
         assert_eq!(
             fresh.entries.iter().filter(|e| e.phase == "after").count(),
             1
         );
+    }
+
+    #[test]
+    fn backend_dimension_defaults_and_speedups() {
+        // A report predating the backend dimension parses as scalar.
+        let legacy = "{\"id\": \"a\", \"phase\": \"before\", \"ns\": 100.0}";
+        let parsed = BenchReport::parse_entries(legacy);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].backend, "scalar");
+
+        // An avx2 `after` with only a scalar `before` pairs with it
+        // (the fallback trajectory), and after-scalar vs after-avx2
+        // shows up in the backend_speedup section.
+        let mut r = BenchReport::new("x", "");
+        r.push_backend("a", "before", "scalar", 100.0);
+        r.push_backend("a", "after", "scalar", 40.0);
+        r.push_backend("a", "after", "avx2", 20.0);
+        assert_eq!(
+            r.speedups(),
+            vec![
+                ("a".to_string(), "scalar".to_string(), 2.5),
+                ("a".to_string(), "avx2".to_string(), 5.0),
+            ]
+        );
+        assert_eq!(r.backend_speedups(), vec![("a".to_string(), 2.0)]);
+        let json = r.to_json();
+        assert!(json.contains("\"backend\": \"avx2\""), "{json}");
+        assert!(json.contains("\"backend_speedup\""), "{json}");
+        // push() stamps the live backend label — one of the two.
+        let mut live = BenchReport::new("y", "");
+        live.push("b", "after", 1.0);
+        assert!(["scalar", "avx2"].contains(&live.entries[0].backend.as_str()));
     }
 
     #[test]

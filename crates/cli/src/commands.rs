@@ -150,6 +150,11 @@ pub fn execute(command: &Command) -> Result<String, String> {
             let _ = writeln!(out, "{params}");
             let _ = writeln!(
                 out,
+                "simd backend: {} (PASTA_SIMD=auto|scalar|avx2)",
+                pasta_math::simd::backend_label()
+            );
+            let _ = writeln!(
+                out,
                 "link: {:.1} MB/s, loss {:.2}%, BER {:.0e}, seed {seed}",
                 bandwidth_mbps,
                 loss * 100.0,
@@ -188,8 +193,8 @@ pub fn execute(command: &Command) -> Result<String, String> {
             let mut out = String::new();
             let _ = writeln!(
                 out,
-                "multi-tenant transciphering service: {} devices, seed {}",
-                report.devices, report.seed
+                "multi-tenant transciphering service: {} devices, seed {}, simd backend {}",
+                report.devices, report.seed, report.simd_backend
             );
             let _ = writeln!(
                 out,

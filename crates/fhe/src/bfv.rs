@@ -265,7 +265,14 @@ impl BfvContext {
                 .sub(&self.basis, &a.mul(&self.basis, &sk.s).add(&self.basis, &e));
             components.push((b, a));
         }
-        BfvRelinKey { components }
+        let components_shoup = components
+            .iter()
+            .map(|(b, a)| (b.shoup_rows(&self.basis), a.shoup_rows(&self.basis)))
+            .collect();
+        BfvRelinKey {
+            components,
+            components_shoup,
+        }
     }
 
     /// Encodes a scalar into a constant plaintext polynomial.
@@ -325,8 +332,10 @@ impl BfvContext {
     pub fn prepare_plaintext(&self, pt: &Plaintext) -> PreparedPlaintext {
         let mut ntt = RnsPoly::from_u64_coeffs(&self.basis, &pt.coeffs);
         ntt.to_ntt(&self.basis);
+        let ntt_shoup = ntt.shoup_rows(&self.basis);
         PreparedPlaintext {
             ntt,
+            ntt_shoup,
             delta_m: self.delta_times_plain(pt),
         }
     }
@@ -555,7 +564,7 @@ impl BfvContext {
             .map(|p| {
                 let mut r = p.clone();
                 r.to_ntt(&self.basis);
-                r.pointwise_mul_assign(&self.basis, &prep.ntt);
+                r.pointwise_mul_shoup_assign(&self.basis, &prep.ntt, &prep.ntt_shoup);
                 r.to_coeff(&self.basis);
                 r
             })
@@ -592,7 +601,7 @@ impl BfvContext {
             .iter()
             .map(|p| {
                 let mut r = p.clone();
-                r.pointwise_mul_assign(&self.basis, &prep.ntt);
+                r.pointwise_mul_shoup_assign(&self.basis, &prep.ntt, &prep.ntt_shoup);
                 r
             })
             .collect();
@@ -619,7 +628,7 @@ impl BfvContext {
             return Err(FheError::Incompatible("component count differs".into()));
         }
         for (a, c) in acc.polys.iter_mut().zip(ct.polys.iter()) {
-            a.add_mul_assign(&self.basis, c, &prep.ntt);
+            a.add_mul_shoup_assign(&self.basis, c, &prep.ntt, &prep.ntt_shoup);
         }
         Ok(())
     }
@@ -865,14 +874,19 @@ impl BfvContext {
         let mut c1 = ct.polys[1].clone();
         c0.to_ntt(&self.basis);
         c1.to_ntt(&self.basis);
-        for (j, (b, a)) in rk.components.iter().enumerate() {
+        for (j, ((b, a), (b_sh, a_sh))) in rk
+            .components
+            .iter()
+            .zip(rk.components_shoup.iter())
+            .enumerate()
+        {
             // d_j: the j-th RNS digit of c2 as a small-coefficient poly,
             // represented in every prime.
             let digits: Vec<u64> = c2.row(j).to_vec();
             let mut d = RnsPoly::from_u64_coeffs(&self.basis, &digits);
             d.to_ntt(&self.basis);
-            c0.add_mul_assign(&self.basis, &d, b);
-            c1.add_mul_assign(&self.basis, &d, a);
+            c0.add_mul_shoup_assign(&self.basis, &d, b, b_sh);
+            c1.add_mul_shoup_assign(&self.basis, &d, a, a_sh);
         }
         c0.to_coeff(&self.basis);
         c1.to_coeff(&self.basis);
@@ -914,9 +928,14 @@ impl BfvContext {
                 .sub(&self.basis, &a.mul(&self.basis, &sk.s).add(&self.basis, &e));
             components.push((b, a));
         }
+        let components_shoup = components
+            .iter()
+            .map(|(b, a)| (b.shoup_rows(&self.basis), a.shoup_rows(&self.basis)))
+            .collect();
         Ok(BfvGaloisKey {
             g,
             components,
+            components_shoup,
             ntt_perm: galois_slot_permutation(self.params.n, g % (2 * self.params.n)),
         })
     }
@@ -980,13 +999,17 @@ impl BfvContext {
         }
         let mut out0 = hoisted.c0.permute_slots(&self.basis, &gk.ntt_perm);
         let mut out1: Option<RnsPoly> = None;
-        for (d, (b, a)) in hoisted.digits.iter().zip(gk.components.iter()) {
+        for (d, ((b, a), (b_sh, a_sh))) in hoisted
+            .digits
+            .iter()
+            .zip(gk.components.iter().zip(gk.components_shoup.iter()))
+        {
             let sigma_d = d.permute_slots(&self.basis, &gk.ntt_perm);
-            out0.add_mul_assign(&self.basis, &sigma_d, b);
+            out0.add_mul_shoup_assign(&self.basis, &sigma_d, b, b_sh);
             out1 = Some(match out1 {
                 None => sigma_d.mul(&self.basis, a),
                 Some(mut acc) => {
-                    acc.add_mul_assign(&self.basis, &sigma_d, a);
+                    acc.add_mul_shoup_assign(&self.basis, &sigma_d, a, a_sh);
                     acc
                 }
             });
@@ -1134,6 +1157,10 @@ impl Plaintext {
 pub struct PreparedPlaintext {
     /// Encoded plaintext in NTT domain.
     ntt: RnsPoly,
+    /// Per-prime Shoup companions of `ntt`'s rows, so repeated
+    /// multiplications run the SIMD Shoup kernels (one high-half
+    /// multiply per product) instead of a generic Barrett reduction.
+    ntt_shoup: Vec<Vec<u64>>,
     /// `Δ·m` in coefficient domain.
     delta_m: RnsPoly,
 }
@@ -1157,10 +1184,17 @@ pub struct BfvPublicKey {
     a: RnsPoly,
 }
 
+/// Per-component Shoup companions `(b_shoup, a_shoup)` of a key-switch
+/// key's rows: for each component, one companion row per RNS prime.
+type KeyShoupRows = Vec<(Vec<Vec<u64>>, Vec<Vec<u64>>)>;
+
 /// A relinearization key: one `(b_j, a_j)` pair per RNS prime.
 #[derive(Debug, Clone)]
 pub struct BfvRelinKey {
     components: Vec<(RnsPoly, RnsPoly)>,
+    /// Shoup companions of the key rows, precomputed at keygen so the
+    /// key-switch inner loop runs the SIMD Shoup MAC kernel.
+    components_shoup: KeyShoupRows,
 }
 
 /// A Galois key for the automorphism `X ↦ X^g` (slot permutations),
@@ -1172,6 +1206,9 @@ pub struct BfvRelinKey {
 pub struct BfvGaloisKey {
     g: usize,
     components: Vec<(RnsPoly, RnsPoly)>,
+    /// Per-component Shoup companions `(b_shoup, a_shoup)`; see
+    /// [`BfvRelinKey::components_shoup`].
+    components_shoup: KeyShoupRows,
     /// `NTT(σ_g(a))[i] = NTT(a)[ntt_perm[i]]` (see
     /// [`galois_slot_permutation`]).
     ntt_perm: Vec<usize>,

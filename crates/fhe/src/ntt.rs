@@ -8,7 +8,7 @@
 //! inverse with ψ-power tables), so one forward + one inverse transform
 //! costs `N log N` butterflies.
 
-use pasta_math::{MathError, Modulus, Zp};
+use pasta_math::{simd, MathError, Modulus, Zp};
 
 /// Precomputed NTT tables for one prime and ring degree.
 ///
@@ -72,8 +72,17 @@ impl NttTable {
             *iv = ipowers[r];
         }
         let n_inv = zp.inv(n as u64 % zp.p())?;
-        let fwd_shoup: Vec<u64> = fwd.iter().map(|&w| zp.shoup(w)).collect();
-        let inv_shoup: Vec<u64> = inv.iter().map(|&w| zp.shoup(w)).collect();
+        // Butterfly twiddles carry radix-aware Shoup companions (β = 2³²
+        // below the small-modulus bound); the N⁻¹ scaling goes through
+        // the wide-radix broadcast kernel and keeps `Zp::shoup`.
+        let fwd_shoup: Vec<u64> = fwd
+            .iter()
+            .map(|&w| simd::twiddle_shoup(zp.p(), w))
+            .collect();
+        let inv_shoup: Vec<u64> = inv
+            .iter()
+            .map(|&w| simd::twiddle_shoup(zp.p(), w))
+            .collect();
         let n_inv_shoup = zp.shoup(n_inv);
         Ok(NttTable {
             zp,
@@ -111,37 +120,19 @@ impl NttTable {
     /// Panics if `a.len() != n`.
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "NTT input length mismatch");
-        let zp = &self.zp;
-        let p = zp.p();
-        let two_p = 2 * p;
+        let p = self.zp.p();
+        let be = simd::backend();
         let mut t = self.n;
         let mut m = 1usize;
         while m < self.n {
             t /= 2;
-            for i in 0..m {
-                let j1 = 2 * i * t;
-                let w = self.fwd[m + i];
-                let w_shoup = self.fwd_shoup[m + i];
-                for j in j1..j1 + t {
-                    let mut u = a[j];
-                    if u >= two_p {
-                        u -= two_p;
-                    }
-                    let v = zp.mul_shoup_lazy(a[j + t], w, w_shoup);
-                    a[j] = u + v;
-                    a[j + t] = u + two_p - v;
-                }
-            }
+            // Stage i uses the contiguous twiddle block fwd[m..2m]; one
+            // stage-level dispatch covers all m groups (the short final
+            // stages vectorize across groups inside the kernel).
+            simd::fwd_stage_with(be, p, &self.fwd[m..2 * m], &self.fwd_shoup[m..2 * m], t, a);
             m *= 2;
         }
-        for x in a.iter_mut() {
-            if *x >= two_p {
-                *x -= two_p;
-            }
-            if *x >= p {
-                *x -= p;
-            }
-        }
+        simd::canonicalize_with(be, p, a);
     }
 
     /// In-place inverse negacyclic NTT — Harvey/Shoup lazy-reduction
@@ -155,34 +146,19 @@ impl NttTable {
     /// Panics if `a.len() != n`.
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "NTT input length mismatch");
-        let zp = &self.zp;
-        let two_p = 2 * zp.p();
+        let p = self.zp.p();
+        let be = simd::backend();
         let mut t = 1usize;
         let mut m = self.n;
         while m > 1 {
             let h = m / 2;
-            let mut j1 = 0usize;
-            for i in 0..h {
-                let w = self.inv[h + i];
-                let w_shoup = self.inv_shoup[h + i];
-                for j in j1..j1 + t {
-                    let u = a[j];
-                    let v = a[j + t];
-                    let mut s = u + v;
-                    if s >= two_p {
-                        s -= two_p;
-                    }
-                    a[j] = s;
-                    a[j + t] = zp.mul_shoup_lazy(u + two_p - v, w, w_shoup);
-                }
-                j1 += 2 * t;
-            }
+            // Stage uses the contiguous twiddle block inv[h..2h]; one
+            // stage-level dispatch covers all h groups.
+            simd::inv_stage_with(be, p, &self.inv[h..2 * h], &self.inv_shoup[h..2 * h], t, a);
             t *= 2;
             m = h;
         }
-        for x in a.iter_mut() {
-            *x = zp.mul_shoup(*x, self.n_inv, self.n_inv_shoup);
-        }
+        simd::mul_const_shoup_with(be, p, self.n_inv, self.n_inv_shoup, a);
     }
 
     /// The pre-optimization forward transform (one full Barrett/add-shift
@@ -475,7 +451,7 @@ mod tests {
                 .collect();
             let mut ntt_a = a.clone();
             t.forward(&mut ntt_a);
-            for g in [3usize, 5, 9, 2 * n - 1, (3usize.pow(7)) % (2 * n) | 1] {
+            for g in [3usize, 5, 9, 2 * n - 1, ((3usize.pow(7)) % (2 * n)) | 1] {
                 let perm = galois_slot_permutation(n, g);
                 // Bijection check.
                 let mut seen = vec![false; n];

@@ -8,7 +8,7 @@
 
 use crate::bigint::UBig;
 use crate::ntt::NttTable;
-use pasta_math::{is_prime_u64, MathError, Modulus, Zp};
+use pasta_math::{is_prime_u64, simd, MathError, Modulus, Zp};
 use rand::Rng;
 
 /// Minimum ring degree before the per-prime transforms fan out across
@@ -442,6 +442,87 @@ impl RnsPoly {
         }
     }
 
+    /// Per-prime Shoup companions (`⌊w·2⁶⁴/p_i⌋` for every residue) of
+    /// this polynomial's rows — precomputed once for long-lived
+    /// operands (prepared plaintexts, relinearization and Galois key
+    /// components) so the affine/key-switch inner loops can run the
+    /// SIMD Shoup kernels instead of a generic Barrett reduction.
+    ///
+    /// Residues must be canonical (they always are outside the lazy
+    /// NTT interior).
+    #[must_use]
+    pub fn shoup_rows(&self, basis: &RnsBasis) -> Vec<Vec<u64>> {
+        self.coeffs
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let zp = basis.zp(i);
+                row.iter().map(|&w| zp.shoup(w)).collect()
+            })
+            .collect()
+    }
+
+    /// `self ∘= other` pointwise against a Shoup-prepared operand
+    /// (`other_shoup` from [`RnsPoly::shoup_rows`]). Bit-identical to
+    /// [`RnsPoly::pointwise_mul_assign`] — `mul_shoup` and the Barrett
+    /// reducer agree on every canonical product — but dispatches to the
+    /// SIMD backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is in coefficient domain.
+    pub fn pointwise_mul_shoup_assign(
+        &mut self,
+        basis: &RnsBasis,
+        other: &RnsPoly,
+        other_shoup: &[Vec<u64>],
+    ) {
+        assert!(self.is_ntt && other.is_ntt, "ring mul requires NTT domain");
+        let be = simd::backend();
+        for (i, row) in self.coeffs.iter_mut().enumerate() {
+            simd::pointwise_mul_shoup_with(
+                be,
+                basis.zp(i).p(),
+                row,
+                &other.coeffs[i],
+                &other_shoup[i],
+            );
+        }
+    }
+
+    /// Fused multiply–accumulate `self += a ∘ b` against a
+    /// Shoup-prepared `b` (`b_shoup` from [`RnsPoly::shoup_rows`]).
+    /// Bit-identical to [`RnsPoly::add_mul_assign`], dispatched to the
+    /// SIMD backend — the hoisted key-switch and cached-material affine
+    /// accumulation primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is in coefficient domain.
+    pub fn add_mul_shoup_assign(
+        &mut self,
+        basis: &RnsBasis,
+        a: &RnsPoly,
+        b: &RnsPoly,
+        b_shoup: &[Vec<u64>],
+    ) {
+        assert!(
+            self.is_ntt && a.is_ntt && b.is_ntt,
+            "fused multiply-accumulate requires NTT domain"
+        );
+        let be = simd::backend();
+        for (i, row) in self.coeffs.iter_mut().enumerate() {
+            simd::mac_shoup_with(
+                be,
+                basis.zp(i).p(),
+                row,
+                &a.coeffs[i],
+                &b.coeffs[i],
+                &b_shoup[i],
+            );
+        }
+    }
+
     /// Adds `c[i]` to the constant coefficient of prime row `i` — O(k)
     /// work, used to inject `Δ·scalar` constants without touching the
     /// other `N−1` coefficients.
@@ -463,13 +544,12 @@ impl RnsPoly {
 
     /// `self ·= c` in place for a small scalar `c` (domain-agnostic).
     pub fn mul_scalar_assign(&mut self, basis: &RnsBasis, c: u64) {
+        let be = simd::backend();
         for (i, row) in self.coeffs.iter_mut().enumerate() {
             let zp = basis.zp(i);
             let cm = c % zp.p();
             let cm_shoup = zp.shoup(cm);
-            for a in row.iter_mut() {
-                *a = zp.mul_shoup(*a, cm, cm_shoup);
-            }
+            simd::mul_const_shoup_with(be, zp.p(), cm, cm_shoup, row);
         }
     }
 
@@ -480,13 +560,12 @@ impl RnsPoly {
     /// Panics if `c.len() != k`.
     pub fn mul_scalar_rns_assign(&mut self, basis: &RnsBasis, c: &[u64]) {
         assert_eq!(c.len(), basis.len(), "per-prime scalar count mismatch");
+        let be = simd::backend();
         for (i, row) in self.coeffs.iter_mut().enumerate() {
             let zp = basis.zp(i);
             let cm = c[i];
             let cm_shoup = zp.shoup(cm);
-            for a in row.iter_mut() {
-                *a = zp.mul_shoup(*a, cm, cm_shoup);
-            }
+            simd::mul_const_shoup_with(be, zp.p(), cm, cm_shoup, row);
         }
     }
 
@@ -811,24 +890,41 @@ mod tests {
 
     #[test]
     fn parallel_transforms_match_serial() {
-        // A ring degree above the parallel threshold, toggling the
-        // thread override: results must be bit-identical.
+        // A ring degree above the parallel threshold, crossing the
+        // thread override with the SIMD backend override: all four
+        // (threads × backend) combinations must produce bit-identical
+        // transforms. On machines without AVX2 the forced-Avx2 legs
+        // fall back to scalar and the test degenerates to the
+        // thread-only check.
         let b = RnsBasis::with_generated_primes(2048, 50, 3).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         let poly = RnsPoly::random_uniform(&b, &mut rng);
-        std::env::set_var(pasta_par::THREADS_ENV, "1");
-        let mut serial = poly.clone();
-        serial.to_ntt(&b);
-        std::env::set_var(pasta_par::THREADS_ENV, "4");
-        let mut parallel = poly.clone();
-        parallel.to_ntt(&b);
-        assert_eq!(serial, parallel);
-        serial.to_coeff(&b);
-        std::env::set_var(pasta_par::THREADS_ENV, "1");
-        parallel.to_coeff(&b);
+        let mut outputs = Vec::new();
+        for threads in ["1", "4"] {
+            for backend in [simd::Backend::Scalar, simd::Backend::Avx2] {
+                std::env::set_var(pasta_par::THREADS_ENV, threads);
+                let got = simd::force_backend(Some(backend));
+                let mut fwd = poly.clone();
+                fwd.to_ntt(&b);
+                let mut round = fwd.clone();
+                round.to_coeff(&b);
+                outputs.push((threads, got.label(), fwd, round));
+            }
+        }
+        simd::force_backend(None);
         std::env::remove_var(pasta_par::THREADS_ENV);
-        assert_eq!(serial, parallel);
-        assert_eq!(serial, poly);
+        let (_, _, fwd0, round0) = &outputs[0];
+        assert_eq!(round0, &poly, "NTT round-trip must be the identity");
+        for (threads, backend, fwd, round) in &outputs[1..] {
+            assert_eq!(
+                fwd, fwd0,
+                "forward NTT differs for threads={threads}, backend={backend}"
+            );
+            assert_eq!(
+                round, round0,
+                "inverse NTT differs for threads={threads}, backend={backend}"
+            );
+        }
     }
 
     #[test]

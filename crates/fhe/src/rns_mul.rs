@@ -41,7 +41,7 @@
 
 use crate::bigint::UBig;
 use crate::ring::{generate_ntt_primes, RnsBasis, RnsPoly, PAR_MIN_RING_DEGREE};
-use pasta_math::MathError;
+use pasta_math::{simd, MathError};
 
 /// The power-of-two correction channel `m̃` of the SmMRq lift.
 const MTILDE_BITS: u32 = 16;
@@ -365,17 +365,15 @@ impl RnsMulContext {
         let r_tilde: Vec<u64> = r_chunks.concat();
 
         // y_p = Σ_i ξ_i·[q̂_i]_p; x̃_p = [(y_p ± r·q)·m̃^{-1}]_p.
+        let be = simd::backend();
         let rows = Self::par_chunked(self.aux.len(), n, parallel, |j, start, end| {
             let zp = self.aux.zp(j);
-            let p = u128::from(zp.p());
             let conv = &self.conv_q_to_aux[j];
+            let xi_chunk: Vec<&[u64]> = xi.iter().map(|row| &row[start..end]).collect();
+            let mut ys = vec![0u64; end - start];
+            simd::dot_mod_with(be, zp.p(), &xi_chunk, conv, &mut ys);
             let mut buf = Vec::with_capacity(end - start);
-            for c in start..end {
-                let mut acc = 0u128;
-                for (row, &m) in xi.iter().zip(conv.iter()) {
-                    acc += u128::from(row[c]) * u128::from(m);
-                }
-                let y = (acc % p) as u64;
+            for (y, c) in ys.into_iter().zip(start..end) {
                 let r = r_tilde[c];
                 let v = if r <= MTILDE / 2 {
                     zp.add(
@@ -428,18 +426,16 @@ impl RnsMulContext {
         // Per auxiliary prime: d = [(t·c − y)·q^{-1}]_p with y the fast
         // base conversion of ξ. Rows j < l store η_j = [d·(P/p_j)^{-1}]
         // (ready for Shenoy–Kumaresan); row l (m_sk) stores d itself.
+        let be = simd::backend();
         let eta = Self::par_chunked(l + 1, n, parallel, |j, start, end| {
             let zp = self.aux.zp(j);
-            let p = u128::from(zp.p());
             let conv = &self.conv_q_to_aux[j];
             let aux_row = c_aux.row(j);
+            let xi_chunk: Vec<&[u64]> = xi.iter().map(|row| &row[start..end]).collect();
+            let mut ys = vec![0u64; end - start];
+            simd::dot_mod_with(be, zp.p(), &xi_chunk, conv, &mut ys);
             let mut buf = Vec::with_capacity(end - start);
-            for c in start..end {
-                let mut acc = 0u128;
-                for (row, &m) in xi.iter().zip(conv.iter()) {
-                    acc += u128::from(row[c]) * u128::from(m);
-                }
-                let y = (acc % p) as u64;
+            for (y, c) in ys.into_iter().zip(start..end) {
                 let tc = zp.mul_shoup(aux_row[c], self.t_mod_aux[j], self.t_mod_aux_shoup[j]);
                 let d = zp.mul_shoup(zp.sub(tc, y), self.q_inv_aux[j], self.q_inv_aux_shoup[j]);
                 buf.push(if j < l {
@@ -454,17 +450,15 @@ impl RnsMulContext {
         // Shenoy–Kumaresan: the m_sk channel yields the exact multiple
         // of P to subtract, α_sk = [(z_sk − d_sk)·P^{-1}]_{m_sk} ≤ l.
         let msk_zp = self.aux.zp(l);
-        let msk = u128::from(msk_zp.p());
         let starts: Vec<usize> = (0..n).step_by(CHUNK).collect();
         let alpha_chunks = pasta_par::maybe_parallel_map(parallel, &starts, |_, &s| {
             let end = (s + CHUNK).min(n);
-            (s..end)
-                .map(|c| {
-                    let mut acc = 0u128;
-                    for (row, &m) in eta[..l].iter().zip(self.conv_b_to_msk.iter()) {
-                        acc += u128::from(row[c]) * u128::from(m);
-                    }
-                    let z_sk = (acc % msk) as u64;
+            let eta_chunk: Vec<&[u64]> = eta[..l].iter().map(|row| &row[s..end]).collect();
+            let mut zs = vec![0u64; end - s];
+            simd::dot_mod_with(be, msk_zp.p(), &eta_chunk, &self.conv_b_to_msk, &mut zs);
+            zs.into_iter()
+                .zip(s..end)
+                .map(|(z_sk, c)| {
                     let a = msk_zp.mul_shoup(
                         msk_zp.sub(z_sk, eta[l][c]),
                         self.p_inv_msk,
@@ -479,21 +473,19 @@ impl RnsMulContext {
 
         let rows = Self::par_chunked(k, n, parallel, |i, start, end| {
             let zp = basis.zp(i);
-            let p = u128::from(zp.p());
             let conv = &self.conv_b_to_q[i];
-            let mut buf = Vec::with_capacity(end - start);
-            for c in start..end {
-                let mut acc = 0u128;
-                for (row, &m) in eta[..l].iter().zip(conv.iter()) {
-                    acc += u128::from(row[c]) * u128::from(m);
-                }
-                let z = (acc % p) as u64;
-                buf.push(zp.sub(
-                    z,
-                    zp.mul_shoup(alpha[c], self.p_mod_q[i], self.p_mod_q_shoup[i]),
-                ));
-            }
-            buf
+            let eta_chunk: Vec<&[u64]> = eta[..l].iter().map(|row| &row[start..end]).collect();
+            let mut zs = vec![0u64; end - start];
+            simd::dot_mod_with(be, zp.p(), &eta_chunk, conv, &mut zs);
+            zs.into_iter()
+                .zip(start..end)
+                .map(|(z, c)| {
+                    zp.sub(
+                        z,
+                        zp.mul_shoup(alpha[c], self.p_mod_q[i], self.p_mod_q_shoup[i]),
+                    )
+                })
+                .collect()
         });
         RnsPoly::from_rows(rows, false)
     }
@@ -551,7 +543,7 @@ mod tests {
             .shr(1)
             .add(&q.mul_u64(k as u64 + 1).shr(MTILDE_BITS as usize))
             .add(&UBig::one());
-        for c in 0..n {
+        for (c, expected) in padded.iter().enumerate() {
             let residues: Vec<u64> = (0..ctx.aux().len()).map(|j| lifted.row(j)[c]).collect();
             let (got_mag, got_neg) = centered_value(ctx.aux(), &residues);
             // Congruence: x̃ ≡ x (mod q).
@@ -563,7 +555,7 @@ mod tests {
                     r
                 }
             };
-            assert_eq!(got_mod_q, padded[c], "coefficient {c} congruence mod q");
+            assert_eq!(&got_mod_q, expected, "coefficient {c} congruence mod q");
             // Near-centered magnitude bound.
             assert!(
                 got_mag.cmp_big(&bound) != std::cmp::Ordering::Greater,
@@ -630,10 +622,9 @@ mod tests {
         let c_q = RnsPoly::from_rows(q_rows, false);
         let c_aux = RnsPoly::from_rows(aux_rows, false);
         let out = ctx.scale_to_q(basis, &c_q, &c_aux);
-        for c in 0..n {
+        for (c, (mag, neg)) in padded.iter().enumerate() {
             let residues: Vec<u64> = (0..k).map(|i| out.row(i)[c]).collect();
             let got = basis.crt_reconstruct(&residues);
-            let (mag, neg) = &padded[c];
             let want = exact_floor_mod_q(basis, mag, *neg);
             // got = want − α mod q with α ∈ [0, k).
             let diff = if want.cmp_big(&got) == std::cmp::Ordering::Less {

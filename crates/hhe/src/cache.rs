@@ -531,10 +531,12 @@ pub fn approx_block_entry_bytes(params: &PastaParams) -> usize {
 }
 
 /// Approximate resident size (bytes) of one [`PreparedPlaintext`]: `N`
-/// coefficients across `prime_count` RNS limbs of 8 bytes each.
+/// coefficients across `prime_count` RNS limbs of 8 bytes each, times
+/// three resident arrays (the NTT-domain rows, their Shoup companions
+/// precomputed for the SIMD multiply kernels, and `Δ·m`).
 #[must_use]
 pub fn approx_prepared_plaintext_bytes(bfv: &BfvParams) -> usize {
-    bfv.n * bfv.prime_count * 8
+    3 * bfv.n * bfv.prime_count * 8
 }
 
 /// Approximate resident size (bytes) of one BFV ciphertext (two ring

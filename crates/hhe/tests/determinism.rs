@@ -1,7 +1,12 @@
-//! Thread-count determinism: the parallel fan-outs (`pasta-par`) must
-//! be bit-exact for any worker count. `PASTA_THREADS=1` and `=4` have to
-//! produce *identical* transciphered ciphertexts — not just ciphertexts
-//! that decrypt to the same message.
+//! Thread-count and SIMD-backend determinism: the parallel fan-outs
+//! (`pasta-par`) must be bit-exact for any worker count, and the
+//! vectorized arithmetic kernels (`pasta_math::simd`) for any backend.
+//! `PASTA_THREADS=1` and `=4` — and the scalar vs AVX2 kernels — have
+//! to produce *identical* transciphered ciphertexts, not just
+//! ciphertexts that decrypt to the same message. The serial legs here
+//! force the scalar backend and the threaded legs force AVX2 (which
+//! falls back to scalar off x86), so one comparison pins both
+//! dimensions at once.
 //!
 //! These tests live in their own integration-test binary so mutating the
 //! `PASTA_THREADS` process environment cannot race against unrelated
@@ -10,13 +15,21 @@
 use pasta_core::PastaParams;
 use pasta_fhe::{BfvContext, BfvParams, Ciphertext as FheCiphertext};
 use pasta_hhe::{provision_batched_key, BatchedHheServer, HheClient, HheServer, PackedHheServer};
-use pasta_math::Modulus;
+use pasta_math::{simd, Modulus};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Runs `f` under a forced thread count AND a forced SIMD backend:
+/// `"1"` pairs with the scalar kernels, everything else with AVX2.
 fn with_threads<T>(n: &str, f: impl FnOnce() -> T) -> T {
     std::env::set_var(pasta_par::THREADS_ENV, n);
+    simd::force_backend(Some(if n == "1" {
+        simd::Backend::Scalar
+    } else {
+        simd::Backend::Avx2
+    }));
     let out = f();
+    simd::force_backend(None);
     std::env::remove_var(pasta_par::THREADS_ENV);
     out
 }
@@ -60,7 +73,7 @@ fn batched_transcipher_is_thread_count_invariant() {
     assert_eq!(serial.blocks, 3);
     assert_eq!(
         serial.positions, threaded.positions,
-        "PASTA_THREADS=1 and =4 must produce identical ciphertexts"
+        "PASTA_THREADS=1/scalar and =4/avx2 must produce identical ciphertexts"
     );
 
     // And re-running on the same (warm) server stays identical too.
@@ -132,7 +145,7 @@ fn packed_bsgs_transcipher_is_thread_count_invariant() {
     });
     assert_eq!(
         serial, cold,
-        "PASTA_THREADS=1 and =4 must produce identical packed ciphertexts"
+        "PASTA_THREADS=1/scalar and =4/avx2 must produce identical packed ciphertexts"
     );
 
     // Warm-cache pass: re-running on the already-populated server stays

@@ -30,13 +30,17 @@
 //! # Ok::<(), pasta_math::MathError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the `simd` module — the single audited home
+// of every `unsafe` intrinsics block — can opt in; all other modules
+// stay unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod linalg;
 pub mod mont;
 pub mod prime;
 pub mod reduce;
+pub mod simd;
 pub mod zp;
 
 pub use prime::{is_prime_u64, Modulus, StructuredForm};

@@ -169,6 +169,9 @@ pub struct LoadReport {
     pub seed: u64,
     /// Devices simulated.
     pub devices: u64,
+    /// SIMD backend label (`"scalar"` / `"avx2"`) the server's
+    /// arithmetic kernels resolved to for this run.
+    pub simd_backend: &'static str,
     /// Requests the fleet intended to make.
     pub requests_intended: u64,
     /// Data frames actually transmitted (including retries).
@@ -243,6 +246,7 @@ impl LoadReport {
         };
         field("seed", self.seed.to_string());
         field("devices", self.devices.to_string());
+        field("simd_backend", format!("\"{}\"", self.simd_backend));
         field("requests_intended", self.requests_intended.to_string());
         field("frames_sent", self.frames_sent.to_string());
         field("link_dropped", self.link_dropped.to_string());
@@ -723,6 +727,7 @@ impl Sim {
     /// Folds the tallies into the final report.
     fn finish(mut self) -> LoadReport {
         let stats = self.server.stats();
+        self.report.simd_backend = stats.simd_backend;
         self.report.accepted = stats.accepted;
         self.report.refused_queue_full = stats.refused_queue_full;
         self.report.refused_budget = stats.refused_budget;

@@ -404,6 +404,10 @@ pub struct ServerStats {
     /// Buckets flushed because no new member joined within the linger
     /// window (drain).
     pub flush_drain: u64,
+    /// Label of the SIMD backend (`"scalar"` / `"avx2"`) the arithmetic
+    /// kernels under this server resolved to — recorded so every stats
+    /// snapshot and bench JSON says which backend produced the numbers.
+    pub simd_backend: &'static str,
 }
 
 /// The multi-tenant transciphering service.
@@ -437,7 +441,10 @@ impl PastaServer {
             next_seq: 1,
             pool_free_us: 0,
             fault_plan: BTreeSet::new(),
-            stats: ServerStats::default(),
+            stats: ServerStats {
+                simd_backend: pasta_math::simd::backend_label(),
+                ..ServerStats::default()
+            },
             bucket_fill_permille: Vec::new(),
         }
     }

@@ -1,19 +1,39 @@
 //! Determinism under load: same seed and same `PASTA_THREADS` must
 //! reproduce the identical `LoadReport` — counters, latency percentiles,
 //! and the plaintext digest — bit for bit; and the report must not
-//! depend on the thread count at all.
+//! depend on the thread count or the SIMD backend at all. The serial
+//! legs force the scalar kernels and the threaded legs force AVX2
+//! (falling back to scalar off x86), so the digest comparison pins
+//! both dimensions at once.
 //!
 //! Lives in its own integration-test binary (single `#[test]`) because
 //! it mutates the `PASTA_THREADS` environment variable, which would race
 //! with any parallel test in the same process.
 
-use pasta_server::{run_loadgen, LoadgenConfig};
+use pasta_math::simd;
+use pasta_server::{run_loadgen, LoadReport, LoadgenConfig};
 
 fn with_threads<T>(n: &str, f: impl FnOnce() -> T) -> T {
     std::env::set_var(pasta_par::THREADS_ENV, n);
+    simd::force_backend(Some(if n == "1" {
+        simd::Backend::Scalar
+    } else {
+        simd::Backend::Avx2
+    }));
     let out = f();
+    simd::force_backend(None);
     std::env::remove_var(pasta_par::THREADS_ENV);
     out
+}
+
+/// The report records which backend produced it, so reports from
+/// different backends differ in exactly that label; erase it before
+/// comparing everything else bit for bit.
+fn sans_backend(report: &LoadReport) -> LoadReport {
+    LoadReport {
+        simd_backend: "",
+        ..report.clone()
+    }
 }
 
 #[test]
@@ -25,9 +45,14 @@ fn load_report_replays_bit_for_bit() {
 
     let wide = with_threads("4", || run_loadgen(&cfg).unwrap());
     assert_eq!(
-        single, wide,
+        single.simd_backend, "scalar",
+        "forced backend must be recorded"
+    );
+    assert_eq!(
+        sans_backend(&single),
+        sans_backend(&wide),
         "the report (counters, latencies, plaintext digest) must not \
-         depend on PASTA_THREADS"
+         depend on PASTA_THREADS or the SIMD backend"
     );
 
     let mut reseeded = LoadgenConfig::quick();
@@ -44,8 +69,10 @@ fn load_report_replays_bit_for_bit() {
     let mux_single = with_threads("1", || run_loadgen(&mux_cfg).unwrap());
     let mux_wide = with_threads("4", || run_loadgen(&mux_cfg).unwrap());
     assert_eq!(
-        mux_single, mux_wide,
-        "the multiplexed report must not depend on PASTA_THREADS"
+        sans_backend(&mux_single),
+        sans_backend(&mux_wide),
+        "the multiplexed report must not depend on PASTA_THREADS or the \
+         SIMD backend"
     );
     assert!(
         mux_single.mux_buckets > 0 && mux_single.mux_requests > 0,
