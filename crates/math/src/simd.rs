@@ -12,7 +12,9 @@
 //! * `PASTA_SIMD=avx2` requests AVX2 (silently falling back to scalar if
 //!   the CPU lacks it),
 //! * `PASTA_SIMD=auto` (or unset) picks AVX2 when
-//!   `is_x86_feature_detected!("avx2")` reports support.
+//!   `is_x86_feature_detected!("avx2")` reports support,
+//! * any other value panics at first dispatch — a typo must not
+//!   silently defeat a backend gate (e.g. a CI scalar leg).
 //!
 //! **Outputs are bit-identical across backends.** Every kernel computes
 //! an *exact* value — either the canonical residue in `[0, p)` or the
@@ -96,13 +98,18 @@ pub fn avx2_available() -> bool {
 fn resolve_from_env() -> Backend {
     match std::env::var(SIMD_ENV).ok().as_deref() {
         Some("scalar") => Backend::Scalar,
-        Some("avx2") | Some("auto") | None | Some(_) => {
+        Some("avx2") | Some("auto") | None => {
             if avx2_available() {
                 Backend::Avx2
             } else {
                 Backend::Scalar
             }
         }
+        // audit: allow(panic, reason = "fail-fast on a misconfigured environment: a typo like PASTA_SIMD=sclar silently selecting AVX2 would defeat a CI scalar-backend gate with no diagnostic")
+        Some(other) => panic!(
+            "{SIMD_ENV}={other:?} is not a recognized backend \
+             (expected \"auto\", \"scalar\" or \"avx2\")"
+        ),
     }
 }
 
@@ -219,7 +226,7 @@ pub fn fwd_butterfly_with(
     lo: &mut [u64],
     hi: &mut [u64],
 ) {
-    debug_assert_eq!(lo.len(), hi.len());
+    assert_eq!(lo.len(), hi.len());
     dispatch!(
         backend,
         scalar::fwd_butterfly(p, w, w_shoup, lo, hi),
@@ -243,7 +250,7 @@ pub fn inv_butterfly_with(
     lo: &mut [u64],
     hi: &mut [u64],
 ) {
-    debug_assert_eq!(lo.len(), hi.len());
+    assert_eq!(lo.len(), hi.len());
     dispatch!(
         backend,
         scalar::inv_butterfly(p, w, w_shoup, lo, hi),
@@ -272,8 +279,8 @@ pub fn fwd_stage_with(
     t: usize,
     a: &mut [u64],
 ) {
-    debug_assert_eq!(twiddles.len(), twiddles_shoup.len());
-    debug_assert_eq!(a.len(), 2 * t * twiddles.len());
+    assert_eq!(twiddles.len(), twiddles_shoup.len());
+    assert_eq!(a.len(), 2 * t * twiddles.len());
     dispatch!(
         backend,
         scalar::fwd_stage(p, twiddles, twiddles_shoup, t, a),
@@ -298,8 +305,8 @@ pub fn inv_stage_with(
     t: usize,
     a: &mut [u64],
 ) {
-    debug_assert_eq!(twiddles.len(), twiddles_shoup.len());
-    debug_assert_eq!(a.len(), 2 * t * twiddles.len());
+    assert_eq!(twiddles.len(), twiddles_shoup.len());
+    assert_eq!(a.len(), 2 * t * twiddles.len());
     dispatch!(
         backend,
         scalar::inv_stage(p, twiddles, twiddles_shoup, t, a),
@@ -352,8 +359,8 @@ pub fn pointwise_mul_shoup_with(
     w: &[u64],
     w_shoup: &[u64],
 ) {
-    debug_assert_eq!(a.len(), w.len());
-    debug_assert_eq!(a.len(), w_shoup.len());
+    assert_eq!(a.len(), w.len());
+    assert_eq!(a.len(), w_shoup.len());
     dispatch!(
         backend,
         scalar::pointwise_mul_shoup(p, a, w, w_shoup),
@@ -377,9 +384,9 @@ pub fn mac_shoup_with(
     w: &[u64],
     w_shoup: &[u64],
 ) {
-    debug_assert_eq!(acc.len(), a.len());
-    debug_assert_eq!(acc.len(), w.len());
-    debug_assert_eq!(acc.len(), w_shoup.len());
+    assert_eq!(acc.len(), a.len());
+    assert_eq!(acc.len(), w.len());
+    assert_eq!(acc.len(), w_shoup.len());
     dispatch!(
         backend,
         scalar::mac_shoup(p, acc, a, w, w_shoup),
@@ -399,8 +406,8 @@ pub fn mac_shoup(p: u64, acc: &mut [u64], a: &[u64], w: &[u64], w_shoup: &[u64])
 ///
 /// Each `rows[i]` must have at least `out.len()` elements.
 pub fn dot_mod_with(backend: Backend, p: u64, rows: &[&[u64]], weights: &[u64], out: &mut [u64]) {
-    debug_assert_eq!(rows.len(), weights.len());
-    debug_assert!(rows.iter().all(|r| r.len() >= out.len()));
+    assert_eq!(rows.len(), weights.len());
+    assert!(rows.iter().all(|r| r.len() >= out.len()));
     dispatch!(
         backend,
         scalar::dot_mod(p, rows, weights, out, 0),
@@ -433,7 +440,7 @@ mod scalar {
     /// exactly, so no wrapping arithmetic is needed.
     #[inline]
     pub(super) fn mul_shoup_lazy32(p: u64, a: u64, w: u64, w_shoup: u64) -> u64 {
-        debug_assert!(a <= 1 << 32);
+        debug_assert!(a < 1u64 << 32);
         let q = (a * w_shoup) >> 32;
         a * w - q * p
     }

@@ -405,8 +405,10 @@ pub struct ServerStats {
     /// window (drain).
     pub flush_drain: u64,
     /// Label of the SIMD backend (`"scalar"` / `"avx2"`) the arithmetic
-    /// kernels under this server resolved to — recorded so every stats
-    /// snapshot and bench JSON says which backend produced the numbers.
+    /// kernels under this server resolved to — sampled when the snapshot
+    /// is taken ([`PastaServer::stats`]), so bench JSON says which
+    /// backend actually produced the numbers even if a test or bench
+    /// switched backends after the server was constructed.
     pub simd_backend: &'static str,
 }
 
@@ -441,10 +443,7 @@ impl PastaServer {
             next_seq: 1,
             pool_free_us: 0,
             fault_plan: BTreeSet::new(),
-            stats: ServerStats {
-                simd_backend: pasta_math::simd::backend_label(),
-                ..ServerStats::default()
-            },
+            stats: ServerStats::default(),
             bucket_fill_permille: Vec::new(),
         }
     }
@@ -466,6 +465,7 @@ impl PastaServer {
     #[must_use]
     pub fn stats(&self) -> ServerStats {
         let mut stats = self.stats;
+        stats.simd_backend = pasta_math::simd::backend_label();
         stats.sessions_expired = self
             .tenants
             .values()
