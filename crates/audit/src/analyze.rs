@@ -42,10 +42,14 @@ pub const SECRET_CRATES: &[&str] = &["core", "keccak"];
 /// kernels. The SIMD dispatch module is listed explicitly even though
 /// the crate scope already reaches it, so a future move of the
 /// intrinsics out of `crates/math` cannot silently drop coverage.
+/// The worker pool and scratch allocator sit on the same hot path
+/// (chunk arithmetic, byte-size accounting) and are enrolled too.
 pub const CAST_FILES: &[&str] = &[
     "crates/fhe/src/ntt.rs",
     "crates/fhe/src/rns_mul.rs",
+    "crates/fhe/src/scratch.rs",
     "crates/math/src/simd.rs",
+    "crates/par/src/pool.rs",
 ];
 
 /// Identifiers forbidden by the determinism check. `Instant` /

@@ -131,33 +131,54 @@ fn bench_transcipher(report: &mut BenchReport, phase: &str, quick: bool) {
         .map(|i| (i * 991 + 5) % 65_537)
         .collect();
 
-    let reps: u64 = if quick { 1 } else { 3 };
+    // Each row records the *minimum* per-pass wall time over `reps`
+    // passes — the noise-robust estimator on a shared/1-core box,
+    // where a mean folds in scheduler preemptions.
+    let reps: u64 = if quick { 1 } else { 5 };
+    let min_of = |mut pass: Box<dyn FnMut() + '_>| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let start = Instant::now();
+            pass();
+            best = best.min(start.elapsed().as_nanos() as f64);
+        }
+        best
+    };
     // Cold: a fresh nonce every call, so per-block material can never be
     // reused across iterations.
     let mut nonce = 0x1000u128;
     let warm_up = client.encrypt(nonce, &message).expect("encrypt");
     black_box(scalar.transcipher(&ctx, &warm_up).expect("transcipher"));
-    let start = Instant::now();
-    for _ in 0..reps {
+    let scalar_cold = min_of(Box::new(|| {
         nonce += 1;
         let ct = client.encrypt(nonce, &message).expect("encrypt");
         black_box(scalar.transcipher(&ctx, &ct).expect("transcipher"));
-    }
-    let scalar_cold = start.elapsed().as_nanos() as f64 / reps as f64;
+    }));
     println!("transcipher/scalar/2blocks/cold: {scalar_cold:.0} ns/iter [{phase}]");
     report.push("transcipher/scalar/2blocks/cold", phase, scalar_cold);
 
     // Warm: repeated nonce — models the pipeline crate's ARQ
     // retransmissions, where the same frame is transciphered again.
+    // Extra un-timed passes first so the scratch pool reaches steady
+    // state (worker-allocated rows recirculate through the global bin),
+    // then the measured passes double as the zero-allocation /
+    // spawn-free probe for the report's `meta` counters.
     let warm_ct = client.encrypt(0xF1F1, &message).expect("encrypt");
-    black_box(scalar.transcipher(&ctx, &warm_ct).expect("transcipher"));
-    let start = Instant::now();
-    for _ in 0..reps {
+    for _ in 0..4 {
         black_box(scalar.transcipher(&ctx, &warm_ct).expect("transcipher"));
     }
-    let scalar_warm = start.elapsed().as_nanos() as f64 / reps as f64;
+    let misses_before = pasta_fhe::scratch::stats().misses;
+    let spawns_before = pasta_par::pool::stats().spawn_events;
+    let scalar_warm = min_of(Box::new(|| {
+        black_box(scalar.transcipher(&ctx, &warm_ct).expect("transcipher"));
+    }));
+    let warm_allocs = pasta_fhe::scratch::stats().misses - misses_before;
+    let warm_spawns = pasta_par::pool::stats().spawn_events - spawns_before;
     println!("transcipher/scalar/2blocks/warm: {scalar_warm:.0} ns/iter [{phase}]");
+    println!("warm_allocs: {warm_allocs} (pool misses over {reps} warm passes)");
     report.push("transcipher/scalar/2blocks/warm", phase, scalar_warm);
+    report.set_meta("warm_allocs", warm_allocs.to_string());
+    report.set_meta("warm_spawn_events", warm_spawns.to_string());
 
     // Batched server: 8 blocks per SIMD pass (extra prime for the
     // batched noise growth, mirroring the batched server tests).
@@ -188,8 +209,7 @@ fn bench_transcipher(report: &mut BenchReport, phase: &str, quick: bool) {
                 .transcipher_batched(&bctx, &fixed)
                 .expect("transcipher"),
         );
-        let start = Instant::now();
-        for _ in 0..reps {
+        min_of(Box::new(|| {
             let ct = if fresh_nonce {
                 bnonce += 1;
                 client.encrypt(bnonce, &long_message).expect("encrypt")
@@ -201,8 +221,7 @@ fn bench_transcipher(report: &mut BenchReport, phase: &str, quick: bool) {
                     .transcipher_batched(&bctx, &ct)
                     .expect("transcipher"),
             );
-        }
-        start.elapsed().as_nanos() as f64 / reps as f64
+        }))
     };
     let batched_cold = run_batched(true);
     println!("transcipher/batched/8blocks/cold: {batched_cold:.0} ns/iter [{phase}]");
@@ -210,6 +229,32 @@ fn bench_transcipher(report: &mut BenchReport, phase: &str, quick: bool) {
     let batched_warm = run_batched(false);
     println!("transcipher/batched/8blocks/warm: {batched_warm:.0} ns/iter [{phase}]");
     report.push("transcipher/batched/8blocks/warm", phase, batched_warm);
+
+    // Steady-state pool probe, last so its passes cannot perturb the
+    // timed rows above. Those rows run at whatever width the
+    // environment resolves (a 1-core container resolves to 1 and
+    // bypasses the pool entirely), so this probe forces the narrowest
+    // parallel width and drives warm passes through it: the pool must
+    // spawn each worker exactly once, ever, and serve every further
+    // dispatch from parked threads.
+    let prev = std::env::var(pasta_par::THREADS_ENV).ok();
+    let pool_width = pasta_par::threads().max(2);
+    std::env::set_var(pasta_par::THREADS_ENV, pool_width.to_string());
+    for _ in 0..4 {
+        black_box(scalar.transcipher(&ctx, &warm_ct).expect("transcipher"));
+    }
+    match prev {
+        Some(v) => std::env::set_var(pasta_par::THREADS_ENV, v),
+        None => std::env::remove_var(pasta_par::THREADS_ENV),
+    }
+    let pool = pasta_par::pool::stats();
+    println!(
+        "pool: {} spawn events over {} dispatches ({pool_width} workers)",
+        pool.spawn_events, pool.dispatches
+    );
+    report.set_meta("pool_threads", pool_width.to_string());
+    report.set_meta("spawn_events", pool.spawn_events.to_string());
+    report.set_meta("pool_dispatches", pool.dispatches.to_string());
 }
 
 fn emit(report: &BenchReport, path: &str) {
@@ -238,6 +283,15 @@ fn main() {
             tc.merge_phase_from(&prev, "before");
         }
     }
+
+    // Spawn the full worker pool once up front — the steady-state
+    // service posture, where every later dispatch reuses parked
+    // threads. The meta counters emitted by the transcipher bench
+    // prove it stays that way. (Resolves serial on a 1-core box; the
+    // pool probe in `bench_transcipher` covers that case.)
+    let threads = pasta_par::threads();
+    let warm: Vec<usize> = (0..threads).collect();
+    black_box(pasta_par::parallel_map(&warm, |_, &i| i));
 
     bench_ntt(&mut ntt, &opts.phase, opts.quick);
     emit(&ntt, &ntt_path);

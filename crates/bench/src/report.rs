@@ -129,6 +129,10 @@ pub struct BenchReport {
     pub description: String,
     /// Entries, in insertion order.
     pub entries: Vec<BenchEntry>,
+    /// Run-level counters rendered as a `"meta"` object — raw JSON
+    /// values keyed by name, in insertion order (a sorted `Vec`, not a
+    /// map, keeps the rendering deterministic).
+    pub meta: Vec<(String, String)>,
 }
 
 impl BenchReport {
@@ -139,6 +143,19 @@ impl BenchReport {
             bench: bench.into(),
             description: description.into(),
             entries: Vec::new(),
+            meta: Vec::new(),
+        }
+    }
+
+    /// Records a run-level counter under `"meta"`. `value` is rendered
+    /// verbatim, so pass a JSON literal (`"0"`, `"\"avx2\""`).
+    /// Re-setting a key replaces its value in place.
+    pub fn set_meta(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        let (key, value) = (key.into(), value.into());
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.meta.push((key, value));
         }
     }
 
@@ -240,6 +257,14 @@ impl BenchReport {
         out.push_str(&format!("  \"bench\": \"{}\",\n", self.bench));
         out.push_str(&format!("  \"description\": \"{}\",\n", self.description));
         out.push_str("  \"unit\": \"ns/iter\",\n");
+        if !self.meta.is_empty() {
+            out.push_str("  \"meta\": {\n");
+            for (i, (k, v)) in self.meta.iter().enumerate() {
+                let comma = if i + 1 < self.meta.len() { "," } else { "" };
+                out.push_str(&format!("    \"{k}\": {v}{comma}\n"));
+            }
+            out.push_str("  },\n");
+        }
         out.push_str("  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             let comma = if i + 1 < self.entries.len() { "," } else { "" };
@@ -364,6 +389,23 @@ mod tests {
         let mut live = BenchReport::new("y", "");
         live.push("b", "after", 1.0);
         assert!(["scalar", "avx2"].contains(&live.entries[0].backend.as_str()));
+    }
+
+    #[test]
+    fn meta_renders_and_does_not_confuse_entry_parsing() {
+        let mut r = BenchReport::new("x", "");
+        r.set_meta("spawn_events", "4");
+        r.set_meta("warm_allocs", "0");
+        r.set_meta("spawn_events", "8"); // replaces in place
+        r.push_backend("a", "after", "scalar", 10.0);
+        let json = r.to_json();
+        assert!(json.contains("\"meta\": {"), "{json}");
+        assert!(json.contains("\"spawn_events\": 8,"), "{json}");
+        assert!(json.contains("\"warm_allocs\": 0\n"), "{json}");
+        // Meta lines are not mistaken for measurement entries.
+        assert_eq!(BenchReport::parse_entries(&json).len(), 1);
+        // A report with no meta renders none.
+        assert!(!BenchReport::new("y", "").to_json().contains("\"meta\""));
     }
 
     #[test]

@@ -881,9 +881,9 @@ impl BfvContext {
             .enumerate()
         {
             // d_j: the j-th RNS digit of c2 as a small-coefficient poly,
-            // represented in every prime.
-            let digits: Vec<u64> = c2.row(j).to_vec();
-            let mut d = RnsPoly::from_u64_coeffs(&self.basis, &digits);
+            // represented in every prime (straight from the row — no
+            // intermediate copy).
+            let mut d = RnsPoly::from_u64_coeffs(&self.basis, c2.row(j));
             d.to_ntt(&self.basis);
             c0.add_mul_shoup_assign(&self.basis, &d, b, b_sh);
             c1.add_mul_shoup_assign(&self.basis, &d, a, a_sh);
@@ -1044,8 +1044,7 @@ impl BfvContext {
         let mut out1: Option<RnsPoly> = None;
         // Key-switch σ(c1)·σ(s) onto s via the RNS digits of σ(c1).
         for (j, (b, a)) in gk.components.iter().enumerate() {
-            let digits: Vec<u64> = sigma_c1.row(j).to_vec();
-            let mut d = RnsPoly::from_u64_coeffs(&self.basis, &digits);
+            let mut d = RnsPoly::from_u64_coeffs(&self.basis, sigma_c1.row(j));
             d.to_ntt(&self.basis);
             out0 = out0.add(&self.basis, &d.mul(&self.basis, b));
             let term = d.mul(&self.basis, a);
@@ -1279,6 +1278,9 @@ mod tests {
     /// Serializes tests that twiddle the `PASTA_MUL` backend override
     /// so the allocation-counter assertions cannot race it.
     static BACKEND_ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// Serializes tests that twiddle `PASTA_THREADS`.
+    static THREADS_ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     /// A plaintext with every coefficient drawn uniformly from `Z_t`.
     fn random_plaintext(ctx: &BfvContext, rng: &mut StdRng) -> Plaintext {
@@ -1591,6 +1593,7 @@ mod tests {
 
     #[test]
     fn bigint_oracle_is_thread_count_invariant() {
+        let _guard = THREADS_ENV_LOCK.lock().unwrap();
         // N = 1024 crosses the parallel threshold, so the oracle's
         // chunked lift/scale loops actually fan out.
         let params = BfvParams {
@@ -1609,6 +1612,66 @@ mod tests {
         let parallel = ctx.mul_exact_bigint(&a, &b).unwrap();
         std::env::remove_var(pasta_par::THREADS_ENV);
         assert_eq!(serial, parallel, "oracle output depends on thread count");
+    }
+
+    #[test]
+    fn rns_mul_is_thread_count_invariant() {
+        let _guard = THREADS_ENV_LOCK.lock().unwrap();
+        // The fast BEHZ path through the persistent worker pool: serial,
+        // moderately parallel, and oversubscribed (16 threads) runs must
+        // be bit-identical — chunk boundaries are a pure function of
+        // (len, resolved threads), never of scheduling.
+        let params = BfvParams {
+            n: 1_024,
+            ..BfvParams::test_tiny()
+        };
+        let ctx = BfvContext::new(params).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let sk = ctx.generate_secret_key(&mut rng);
+        let pk = ctx.generate_public_key(&sk, &mut rng);
+        let a = ctx.encrypt(&pk, &random_plaintext(&ctx, &mut rng), &mut rng);
+        let b = ctx.encrypt(&pk, &random_plaintext(&ctx, &mut rng), &mut rng);
+        std::env::set_var(pasta_par::THREADS_ENV, "1");
+        let serial = ctx.mul_rns(&a, Some(&b));
+        for threads in ["4", "16"] {
+            std::env::set_var(pasta_par::THREADS_ENV, threads);
+            let parallel = ctx.mul_rns(&a, Some(&b));
+            assert_eq!(
+                serial, parallel,
+                "RNS mul output depends on thread count ({threads})"
+            );
+        }
+        std::env::remove_var(pasta_par::THREADS_ENV);
+    }
+
+    #[test]
+    fn warm_mul_relin_allocates_no_poly_rows_or_bigints() {
+        let _guard = BACKEND_ENV_LOCK.lock().unwrap();
+        std::env::remove_var(MUL_BACKEND_ENV);
+        let (ctx, sk, pk, rk, mut rng) = setup();
+        let a = ctx.encrypt(&pk, &random_plaintext(&ctx, &mut rng), &mut rng);
+        let b = ctx.encrypt(&pk, &random_plaintext(&ctx, &mut rng), &mut rng);
+        // Cold passes populate the scratch pool with every buffer shape
+        // the multiply + relinearize pipeline needs...
+        let _ = ctx.mul_relin(&a, &b, &rk).unwrap();
+        let _ = ctx.mul_relin(&a, &b, &rk).unwrap();
+        // ...after which a warm pass must allocate nothing: N = 256
+        // keeps the whole pipeline on this thread, so the thread-local
+        // counters see every allocation.
+        let rows_before = crate::scratch::poly_alloc_count();
+        let ubig_before = crate::bigint::ubig_alloc_count();
+        let prod = ctx.mul_relin(&a, &b, &rk).unwrap();
+        let rows_after = crate::scratch::poly_alloc_count();
+        let ubig_after = crate::bigint::ubig_alloc_count();
+        assert_eq!(prod.components(), 2);
+        assert_eq!(ctx.decrypt(&sk, &prod).coeffs.len(), ctx.params().n);
+        if cfg!(debug_assertions) {
+            assert_eq!(
+                rows_after, rows_before,
+                "warm mul_relin allocated fresh coefficient rows"
+            );
+            assert_eq!(ubig_after, ubig_before, "warm mul_relin allocated bigints");
+        }
     }
 
     mod properties {

@@ -51,6 +51,7 @@ pub mod noise;
 pub mod ntt;
 pub mod ring;
 pub mod rns_mul;
+pub mod scratch;
 
 pub use bfv::{
     BfvContext, BfvGaloisKey, BfvParams, BfvPublicKey, BfvRelinKey, BfvSecretKey, Ciphertext,

@@ -200,10 +200,37 @@ pub(crate) fn generate_ntt_primes(
 ///
 /// `coeffs[i][j]` is coefficient `j` modulo prime `i`. The `is_ntt` flag
 /// tracks the domain; mixing domains is a programming error and asserts.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct RnsPoly {
     coeffs: Vec<Vec<u64>>,
     is_ntt: bool,
+}
+
+/// Clones take their rows from [`crate::scratch`] (and return them
+/// there on drop), so a warm clone allocates nothing.
+impl Clone for RnsPoly {
+    fn clone(&self) -> Self {
+        let rows = self.coeffs.len();
+        let row_len = self.coeffs.first().map_or(0, Vec::len);
+        let mut coeffs = crate::scratch::take_rows(rows, row_len);
+        for (dst, src) in coeffs.iter_mut().zip(&self.coeffs) {
+            dst.copy_from_slice(src);
+        }
+        RnsPoly {
+            coeffs,
+            is_ntt: self.is_ntt,
+        }
+    }
+}
+
+/// Dropping a polynomial recycles its coefficient rows through
+/// [`crate::scratch`] for the next constructor to reuse.
+impl Drop for RnsPoly {
+    fn drop(&mut self) {
+        if !self.coeffs.is_empty() {
+            crate::scratch::put_rows(std::mem::take(&mut self.coeffs));
+        }
+    }
 }
 
 impl RnsPoly {
@@ -211,7 +238,7 @@ impl RnsPoly {
     #[must_use]
     pub fn zero(basis: &RnsBasis) -> Self {
         RnsPoly {
-            coeffs: vec![vec![0; basis.n()]; basis.len()],
+            coeffs: crate::scratch::take_rows_zeroed(basis.len(), basis.n()),
             is_ntt: false,
         }
     }
@@ -682,11 +709,12 @@ impl RnsPoly {
     pub fn permute_slots(&self, basis: &RnsBasis, perm: &[usize]) -> RnsPoly {
         assert!(self.is_ntt, "slot permutation requires NTT domain");
         assert_eq!(perm.len(), basis.n(), "permutation length mismatch");
-        let coeffs = self
-            .coeffs
-            .iter()
-            .map(|row| perm.iter().map(|&s| row[s]).collect())
-            .collect();
+        let mut coeffs = crate::scratch::take_rows(self.coeffs.len(), basis.n());
+        for (dst, row) in coeffs.iter_mut().zip(&self.coeffs) {
+            for (d, &s) in dst.iter_mut().zip(perm.iter()) {
+                *d = row[s];
+            }
+        }
         RnsPoly {
             coeffs,
             is_ntt: true,

@@ -34,13 +34,16 @@
 //! All conversion matrices (`[q̂_i]_{p_j}`, `[P/p_j]_{q_i}`) and scalar
 //! constants (with Shoup precomputation where they multiply vectors)
 //! are built once in [`RnsMulContext::new`]; the per-call kernels
-//! allocate no big integers. Base conversion parallelizes over *both*
+//! allocate no big integers, and every row/chunk temporary is a
+//! recycled [`crate::scratch`] buffer — a warm multiplication performs
+//! zero heap allocations here. Base conversion parallelizes over *both*
 //! primes and fixed-size coefficient chunks via [`pasta_par`] — every
 //! output element is a pure function of the inputs, so results are
 //! bit-identical for any `PASTA_THREADS` setting.
 
 use crate::bigint::UBig;
 use crate::ring::{generate_ntt_primes, RnsBasis, RnsPoly, PAR_MIN_RING_DEGREE};
+use crate::scratch;
 use pasta_math::{simd, MathError};
 
 /// The power-of-two correction channel `m̃` of the SmMRq lift.
@@ -295,14 +298,15 @@ impl RnsMulContext {
         self.l
     }
 
-    /// Runs `f(row, chunk_start, chunk_end) -> Vec<u64>` over every
+    /// Runs `f(row, chunk_start, chunk_end) -> ChunkBuf` over every
     /// (row, coefficient-chunk) pair — possibly in parallel — and
-    /// stitches the chunk buffers back into `n_rows` rows of length `n`.
-    /// Tasks are independent pure functions, so the result is identical
-    /// for any thread count.
+    /// stitches the chunk buffers back into `n_rows` pooled rows of
+    /// length `n` (the caller recycles them, typically via
+    /// `RnsPoly::drop`). Tasks are independent pure functions, so the
+    /// result is identical for any thread count.
     fn par_chunked<F>(n_rows: usize, n: usize, parallel: bool, f: F) -> Vec<Vec<u64>>
     where
-        F: Fn(usize, usize, usize) -> Vec<u64> + Sync,
+        F: Fn(usize, usize, usize) -> scratch::ChunkBuf + Sync,
     {
         let tasks: Vec<(usize, usize)> = (0..n_rows)
             .flat_map(|r| (0..n).step_by(CHUNK).map(move |s| (r, s)))
@@ -310,9 +314,9 @@ impl RnsMulContext {
         let bufs = pasta_par::maybe_parallel_map(parallel, &tasks, |_, &(r, start)| {
             f(r, start, (start + CHUNK).min(n))
         });
-        let mut rows: Vec<Vec<u64>> = (0..n_rows).map(|_| Vec::with_capacity(n)).collect();
-        for (&(r, _), buf) in tasks.iter().zip(bufs) {
-            rows[r].extend_from_slice(&buf);
+        let mut rows = scratch::take_rows(n_rows, n);
+        for (&(r, start), buf) in tasks.iter().zip(&bufs) {
+            rows[r][start..start + buf.len()].copy_from_slice(buf);
         }
         rows
     }
@@ -336,14 +340,16 @@ impl RnsMulContext {
 
         // ξ_i = [x_i·m̃·q̃_i]_{q_i}, prime-row parallel.
         let row_idx: Vec<usize> = (0..k).collect();
-        let xi: Vec<Vec<u64>> = pasta_par::maybe_parallel_map(parallel, &row_idx, |_, &i| {
-            let zp = basis.zp(i);
-            let (w, ws) = (self.lift_w[i], self.lift_w_shoup[i]);
-            poly.row(i)
-                .iter()
-                .map(|&x| zp.mul_shoup(x, w, ws))
-                .collect()
-        });
+        let xi: Vec<scratch::ChunkBuf> =
+            pasta_par::maybe_parallel_map(parallel, &row_idx, |_, &i| {
+                let zp = basis.zp(i);
+                let (w, ws) = (self.lift_w[i], self.lift_w_shoup[i]);
+                let mut row = scratch::take_chunk(n);
+                for (dst, &x) in row.iter_mut().zip(poly.row(i)) {
+                    *dst = zp.mul_shoup(x, w, ws);
+                }
+                row
+            });
 
         // Correction r̃ = [−y_m̃·q^{-1}]_{m̃} per coefficient from the
         // power-of-two channel: wrapping u64 arithmetic + masks. Taken
@@ -352,17 +358,21 @@ impl RnsMulContext {
         let starts: Vec<usize> = (0..n).step_by(CHUNK).collect();
         let r_chunks = pasta_par::maybe_parallel_map(parallel, &starts, |_, &s| {
             let end = (s + CHUNK).min(n);
-            (s..end)
-                .map(|c| {
-                    let mut acc = 0u64;
-                    for (row, &conv) in xi.iter().zip(self.conv_q_to_mtilde.iter()) {
-                        acc = acc.wrapping_add(row[c].wrapping_mul(conv));
-                    }
-                    (acc & MTILDE_MASK).wrapping_mul(self.neg_q_inv_mtilde) & MTILDE_MASK
-                })
-                .collect::<Vec<u64>>()
+            let mut buf = scratch::take_chunk(end - s);
+            for (idx, c) in (s..end).enumerate() {
+                let mut acc = 0u64;
+                for (row, &conv) in xi.iter().zip(self.conv_q_to_mtilde.iter()) {
+                    acc = acc.wrapping_add(row[c].wrapping_mul(conv));
+                }
+                buf[idx] = (acc & MTILDE_MASK).wrapping_mul(self.neg_q_inv_mtilde) & MTILDE_MASK;
+            }
+            buf
         });
-        let r_tilde: Vec<u64> = r_chunks.concat();
+        let mut r_tilde = scratch::take_chunk(n);
+        for (chunk, &s) in r_chunks.iter().zip(&starts) {
+            r_tilde[s..s + chunk.len()].copy_from_slice(chunk);
+        }
+        drop(r_chunks);
 
         // y_p = Σ_i ξ_i·[q̂_i]_p; x̃_p = [(y_p ± r·q)·m̃^{-1}]_p.
         let be = simd::backend();
@@ -370,10 +380,13 @@ impl RnsMulContext {
             let zp = self.aux.zp(j);
             let conv = &self.conv_q_to_aux[j];
             let xi_chunk: Vec<&[u64]> = xi.iter().map(|row| &row[start..end]).collect();
-            let mut ys = vec![0u64; end - start];
+            // `dot_mod_with` fully overwrites `ys`, so the recycled
+            // scratch row needs no zeroing.
+            let mut ys = scratch::take_chunk(end - start);
             simd::dot_mod_with(be, zp.p(), &xi_chunk, conv, &mut ys);
-            let mut buf = Vec::with_capacity(end - start);
-            for (y, c) in ys.into_iter().zip(start..end) {
+            let mut buf = scratch::take_chunk(end - start);
+            for (idx, c) in (start..end).enumerate() {
+                let y = ys[idx];
                 let r = r_tilde[c];
                 let v = if r <= MTILDE / 2 {
                     zp.add(
@@ -386,7 +399,7 @@ impl RnsMulContext {
                         zp.mul_shoup(MTILDE - r, self.q_mod_aux[j], self.q_mod_aux_shoup[j]),
                     )
                 };
-                buf.push(zp.mul_shoup(v, self.mtilde_inv_aux[j], self.mtilde_inv_aux_shoup[j]));
+                buf[idx] = zp.mul_shoup(v, self.mtilde_inv_aux[j], self.mtilde_inv_aux_shoup[j]);
             }
             buf
         });
@@ -417,11 +430,16 @@ impl RnsMulContext {
 
         // ξ_i = [c_i·t·q̃_i]_{q_i}, prime-row parallel.
         let row_idx: Vec<usize> = (0..k).collect();
-        let xi: Vec<Vec<u64>> = pasta_par::maybe_parallel_map(parallel, &row_idx, |_, &i| {
-            let zp = basis.zp(i);
-            let (w, ws) = (self.tq_inv[i], self.tq_inv_shoup[i]);
-            c_q.row(i).iter().map(|&x| zp.mul_shoup(x, w, ws)).collect()
-        });
+        let xi: Vec<scratch::ChunkBuf> =
+            pasta_par::maybe_parallel_map(parallel, &row_idx, |_, &i| {
+                let zp = basis.zp(i);
+                let (w, ws) = (self.tq_inv[i], self.tq_inv_shoup[i]);
+                let mut row = scratch::take_chunk(n);
+                for (dst, &x) in row.iter_mut().zip(c_q.row(i)) {
+                    *dst = zp.mul_shoup(x, w, ws);
+                }
+                row
+            });
 
         // Per auxiliary prime: d = [(t·c − y)·q^{-1}]_p with y the fast
         // base conversion of ξ. Rows j < l store η_j = [d·(P/p_j)^{-1}]
@@ -432,17 +450,18 @@ impl RnsMulContext {
             let conv = &self.conv_q_to_aux[j];
             let aux_row = c_aux.row(j);
             let xi_chunk: Vec<&[u64]> = xi.iter().map(|row| &row[start..end]).collect();
-            let mut ys = vec![0u64; end - start];
+            let mut ys = scratch::take_chunk(end - start);
             simd::dot_mod_with(be, zp.p(), &xi_chunk, conv, &mut ys);
-            let mut buf = Vec::with_capacity(end - start);
-            for (y, c) in ys.into_iter().zip(start..end) {
+            let mut buf = scratch::take_chunk(end - start);
+            for (idx, c) in (start..end).enumerate() {
+                let y = ys[idx];
                 let tc = zp.mul_shoup(aux_row[c], self.t_mod_aux[j], self.t_mod_aux_shoup[j]);
                 let d = zp.mul_shoup(zp.sub(tc, y), self.q_inv_aux[j], self.q_inv_aux_shoup[j]);
-                buf.push(if j < l {
+                buf[idx] = if j < l {
                     zp.mul_shoup(d, self.p_tilde[j], self.p_tilde_shoup[j])
                 } else {
                     d
-                });
+                };
             }
             buf
         });
@@ -454,39 +473,42 @@ impl RnsMulContext {
         let alpha_chunks = pasta_par::maybe_parallel_map(parallel, &starts, |_, &s| {
             let end = (s + CHUNK).min(n);
             let eta_chunk: Vec<&[u64]> = eta[..l].iter().map(|row| &row[s..end]).collect();
-            let mut zs = vec![0u64; end - s];
+            let mut zs = scratch::take_chunk(end - s);
             simd::dot_mod_with(be, msk_zp.p(), &eta_chunk, &self.conv_b_to_msk, &mut zs);
-            zs.into_iter()
-                .zip(s..end)
-                .map(|(z_sk, c)| {
-                    let a = msk_zp.mul_shoup(
-                        msk_zp.sub(z_sk, eta[l][c]),
-                        self.p_inv_msk,
-                        self.p_inv_msk_shoup,
-                    );
-                    debug_assert!(a <= l as u64, "S-K correction must stay below l + 1");
-                    a
-                })
-                .collect::<Vec<u64>>()
+            let mut buf = scratch::take_chunk(end - s);
+            for (idx, c) in (s..end).enumerate() {
+                let a = msk_zp.mul_shoup(
+                    msk_zp.sub(zs[idx], eta[l][c]),
+                    self.p_inv_msk,
+                    self.p_inv_msk_shoup,
+                );
+                debug_assert!(a <= l as u64, "S-K correction must stay below l + 1");
+                buf[idx] = a;
+            }
+            buf
         });
-        let alpha: Vec<u64> = alpha_chunks.concat();
+        let mut alpha = scratch::take_chunk(n);
+        for (chunk, &s) in alpha_chunks.iter().zip(&starts) {
+            alpha[s..s + chunk.len()].copy_from_slice(chunk);
+        }
+        drop(alpha_chunks);
 
         let rows = Self::par_chunked(k, n, parallel, |i, start, end| {
             let zp = basis.zp(i);
             let conv = &self.conv_b_to_q[i];
             let eta_chunk: Vec<&[u64]> = eta[..l].iter().map(|row| &row[start..end]).collect();
-            let mut zs = vec![0u64; end - start];
+            let mut zs = scratch::take_chunk(end - start);
             simd::dot_mod_with(be, zp.p(), &eta_chunk, conv, &mut zs);
-            zs.into_iter()
-                .zip(start..end)
-                .map(|(z, c)| {
-                    zp.sub(
-                        z,
-                        zp.mul_shoup(alpha[c], self.p_mod_q[i], self.p_mod_q_shoup[i]),
-                    )
-                })
-                .collect()
+            let mut buf = scratch::take_chunk(end - start);
+            for (idx, c) in (start..end).enumerate() {
+                buf[idx] = zp.sub(
+                    zs[idx],
+                    zp.mul_shoup(alpha[c], self.p_mod_q[i], self.p_mod_q_shoup[i]),
+                );
+            }
+            buf
         });
+        scratch::put_rows(eta);
         RnsPoly::from_rows(rows, false)
     }
 }

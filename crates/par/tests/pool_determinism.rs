@@ -1,0 +1,49 @@
+//! Pool-based `parallel_map` / `parallel_for_each_mut` must be
+//! bit-identical to the serial loop for any length and thread count —
+//! including a `PASTA_THREADS` change between two consecutive calls,
+//! which forces the persistent pool to grow or mask workers mid-run.
+//!
+//! This file is its own test binary and contains a single test, so its
+//! `PASTA_THREADS` writes cannot race another test's reads.
+
+use proptest::prelude::*;
+
+/// A cheap but index- and value-sensitive mixer; any scheduling or
+/// chunking mistake (skipped index, double-processed item, transposed
+/// slot) changes the output.
+fn mix(i: usize, x: u64) -> u64 {
+    (x ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)).rotate_left((i % 63) as u32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn pool_matches_serial_across_thread_count_changes(
+        len in 0usize..400,
+        threads_a in 1usize..=16,
+        threads_b in 1usize..=16,
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let items: Vec<u64> = (0..len as u64)
+            .map(|i| i.wrapping_mul(seed | 1).wrapping_add(seed >> 7))
+            .collect();
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| mix(i, x))
+            .collect();
+
+        for t in [threads_a, threads_b] {
+            // Re-resolved on every call: the pool grows (or masks
+            // workers) to match the new value between the two passes.
+            std::env::set_var(pasta_par::THREADS_ENV, t.to_string());
+            let mapped = pasta_par::parallel_map(&items, |i, &x| mix(i, x));
+            prop_assert_eq!(&mapped, &serial);
+
+            let mut in_place = items.clone();
+            pasta_par::parallel_for_each_mut(&mut in_place, |i, x| *x = mix(i, *x));
+            prop_assert_eq!(&in_place, &serial);
+        }
+        std::env::remove_var(pasta_par::THREADS_ENV);
+    }
+}
