@@ -1,12 +1,15 @@
 //! Token-stream analysis: annotation parsing, test-code scoping, and the
-//! five audit checks.
+//! per-file audit checks.
 //!
-//! The checks work on the [`crate::lexer`] token stream plus light
-//! structural passes — brace matching, `fn` body spans, `if`/`while`
-//! condition and `match` scrutinee spans, slice-index spans — rather
-//! than a full syntax tree. That is enough for line-accurate findings
-//! because every property audited here is lexical: which identifier
-//! appears inside which bracket-delimited region of which function.
+//! The checks here work on the [`crate::lexer`] token stream plus light
+//! structural passes — brace matching and test-span scoping. That is
+//! enough for the lexical properties (panics, missing `SAFETY:`,
+//! narrowing casts, nondeterminism sources, annotation hygiene). The
+//! flow-sensitive checks — interprocedural secret taint
+//! ([`crate::taint`]), atomics ordering and unsafe preconditions
+//! ([`crate::ordering`]) — run over the [`crate::parse`] item trees and
+//! the [`crate::callgraph`] workspace call graph, but share this
+//! module's annotation vocabulary, test scoping and suppression rules.
 //!
 //! # Annotation grammar
 //!
@@ -14,6 +17,7 @@
 //! |------------------------------------------------|--------|
 //! | `// audit: secret`                             | the next declaration (struct/enum, field, `let`, `static`) holds secret material |
 //! | `// audit: secret(a, b)`                       | the named parameters of the next `fn` hold secret material |
+//! | `// audit: sanitizes(a, b)`                    | the next `fn` declassifies the named parameters: their taint does not reach its return value. `sanitizes(return)` declassifies the whole return value |
 //! | `// audit: allow(<check>, reason = "…")`       | suppress `<check>` findings on this line and the next code line; the reason must be non-empty |
 //! | `// SAFETY: …`                                 | safety argument for an `unsafe` block on the same or one of the next three lines |
 //!
@@ -35,7 +39,7 @@ pub const DETERMINISM_CRATES: &[&str] = &["fhe", "hw", "par", "pipeline", "serve
 
 /// Crates in which `audit: secret` annotations are collected and
 /// secret-flow (check 1) is enforced.
-pub const SECRET_CRATES: &[&str] = &["core", "keccak"];
+pub const SECRET_CRATES: &[&str] = &["core", "keccak", "rasta"];
 
 /// Files covered by the lossy-cast check (check 4) in addition to the
 /// blanket `crates/math` crate scope: the NTT and RNS-multiplication
@@ -48,6 +52,7 @@ pub const CAST_FILES: &[&str] = &[
     "crates/fhe/src/ntt.rs",
     "crates/fhe/src/rns_mul.rs",
     "crates/fhe/src/scratch.rs",
+    "crates/hhe/src/mux.rs",
     "crates/math/src/simd.rs",
     "crates/par/src/pool.rs",
 ];
@@ -81,18 +86,18 @@ const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 /// Valid check names inside `audit: allow(...)`.
-pub const ALLOW_NAMES: &[&str] = &["secret-branch", "panic", "unsafe", "cast", "determinism"];
-
-/// Identifiers that may precede `[` without making it an indexing
-/// expression (they end a statement/keyword position, not a value).
-const NON_VALUE_IDENTS: &[&str] = &[
-    "if", "else", "while", "match", "return", "in", "let", "mut", "as", "move", "ref", "dyn",
-    "break", "continue", "where", "impl", "for", "fn", "use", "pub", "const", "static", "type",
-    "struct", "enum", "mod", "unsafe", "loop", "crate",
+pub const ALLOW_NAMES: &[&str] = &[
+    "secret-branch",
+    "panic",
+    "unsafe",
+    "cast",
+    "determinism",
+    "ordering",
+    "unsafe-precondition",
 ];
 
-/// Which of the five checks (plus the meta `annotation` check) a
-/// finding belongs to.
+/// Which of the checks (plus the meta `annotation` check) a finding
+/// belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Check {
     /// Check 1: secret material feeding control flow or addressing.
@@ -105,6 +110,12 @@ pub enum Check {
     Cast,
     /// Check 5: nondeterminism source in a determinism-critical crate.
     Determinism,
+    /// Check 6: `Ordering::Relaxed` on a non-counter atomic without a
+    /// justifying annotation.
+    Ordering,
+    /// Check 7: an `unsafe` block whose `// SAFETY:` precondition is
+    /// not guarded by an assert in the function or its callers.
+    UnsafePrecondition,
     /// Malformed or reason-less `audit:` annotation (not suppressible).
     Annotation,
 }
@@ -119,6 +130,8 @@ impl Check {
             Check::Unsafe => "unsafe",
             Check::Cast => "cast",
             Check::Determinism => "determinism",
+            Check::Ordering => "ordering",
+            Check::UnsafePrecondition => "unsafe-precondition",
             Check::Annotation => "annotation",
         }
     }
@@ -133,6 +146,8 @@ impl Check {
             Check::Unsafe => Some("unsafe"),
             Check::Cast => Some("cast"),
             Check::Determinism => Some("determinism"),
+            Check::Ordering => Some("ordering"),
+            Check::UnsafePrecondition => Some("unsafe-precondition"),
             Check::Annotation => None,
         }
     }
@@ -169,11 +184,14 @@ impl Finding {
 
 /// A parsed `audit:` / `SAFETY:` annotation comment.
 #[derive(Debug, Clone)]
-enum Ann {
+pub(crate) enum Ann {
     /// `// audit: secret` — applies to the next declaration.
     SecretDecl { tok: usize },
     /// `// audit: secret(a, b)` — applies to the next `fn`'s params.
     SecretParams { tok: usize, names: Vec<String> },
+    /// `// audit: sanitizes(a, b)` / `sanitizes(return)` — the next
+    /// `fn` declassifies the named parameters (or its whole return).
+    Sanitizes { tok: usize, names: Vec<String> },
     /// `// audit: allow(name, reason = "...")`.
     Allow { line: usize, name: String },
     /// `// SAFETY: ...`.
@@ -201,7 +219,7 @@ pub struct SourceFile {
     pub lines: Vec<String>,
     /// The token stream, comments included.
     pub toks: Vec<Token>,
-    anns: Vec<Ann>,
+    pub(crate) anns: Vec<Ann>,
     ann_findings: Vec<Finding>,
     /// Whole file is test code (`#![cfg(test)]` or a tests/ path).
     test_all: bool,
@@ -238,7 +256,7 @@ impl SourceFile {
     }
 
     /// Whether token `i` lies in test code.
-    fn tok_is_test(&self, i: usize) -> bool {
+    pub(crate) fn tok_is_test(&self, i: usize) -> bool {
         self.test_all || self.test_spans.iter().any(|&(s, e)| s <= i && i <= e)
     }
 
@@ -253,7 +271,7 @@ impl SourceFile {
 
     /// Whether an `audit: allow` for `check` covers `line` (the
     /// annotation's own line or the next code line after it).
-    fn allowed(&self, check: Check, line: usize) -> bool {
+    pub(crate) fn allowed(&self, check: Check, line: usize) -> bool {
         let Some(name) = check.allow_name() else {
             return false;
         };
@@ -268,7 +286,7 @@ impl SourceFile {
     /// Whether a `// SAFETY:` comment covers `line`: on the same line,
     /// or above it with only comment/blank lines in between (so a
     /// multi-line safety argument directly over the `unsafe` counts).
-    fn safety_near(&self, line: usize) -> bool {
+    pub(crate) fn safety_near(&self, line: usize) -> bool {
         self.anns.iter().any(|a| match a {
             Ann::Safety { line: sl } => {
                 *sl <= line
@@ -289,7 +307,7 @@ impl SourceFile {
             .unwrap_or_default()
     }
 
-    fn finding(&self, line: usize, check: Check, message: String) -> Finding {
+    pub(crate) fn finding(&self, line: usize, check: Check, message: String) -> Finding {
         Finding {
             file: self.rel.clone(),
             line,
@@ -498,6 +516,21 @@ fn parse_annotations(rel: &str, toks: &[Token], src: &str) -> (Vec<Ann>, Vec<Fin
             } else {
                 anns.push(Ann::SecretParams { tok: i, names });
             }
+        } else if let Some(arg) = parenthesized(rest, "sanitizes") {
+            let names: Vec<String> = arg
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if names.is_empty() {
+                bad(
+                    t.line,
+                    "audit: sanitizes(...) names no parameters (use `return` for the whole value)"
+                        .to_string(),
+                );
+            } else {
+                anns.push(Ann::Sanitizes { tok: i, names });
+            }
         } else if let Some(arg) = parenthesized(rest, "allow") {
             match parse_allow(arg) {
                 Ok(name) => anns.push(Ann::Allow { line: t.line, name }),
@@ -522,35 +555,76 @@ fn parenthesized<'a>(s: &'a str, head: &str) -> Option<&'a str> {
 }
 
 /// Parses the inside of `allow(name, reason = "...")`, validating the
-/// check name and requiring a non-empty reason.
+/// check name and requiring a non-empty reason. Diagnostics name the
+/// offending key and suggest the nearest valid check name so the
+/// vocabulary never has to be recovered from this source file.
 fn parse_allow(arg: &str) -> Result<String, String> {
     let (name, rest) = arg
         .split_once(',')
         .ok_or_else(|| "audit: allow(...) is missing `reason = \"...\"`".to_string())?;
     let name = name.trim();
     if !ALLOW_NAMES.contains(&name) {
-        return Err(format!(
+        let mut msg = format!(
             "unknown allow name `{name}` (expected one of: {})",
             ALLOW_NAMES.join(", ")
-        ));
+        );
+        if let Some(near) = nearest_allow_name(name) {
+            msg.push_str(&format!("; did you mean `{near}`?"));
+        }
+        return Err(msg);
     }
     let rest = rest.trim();
-    let reason = rest
-        .strip_prefix("reason")
-        .map(str::trim_start)
-        .and_then(|r| r.strip_prefix('='))
-        .map(str::trim)
-        .and_then(|r| r.strip_prefix('"'))
-        .and_then(|r| r.rfind('"').map(|q| &r[..q]))
+    let (key, value) = rest
+        .split_once('=')
         .ok_or_else(|| "audit: allow(...) reason must be `reason = \"...\"`".to_string())?;
+    let key = key.trim();
+    if key != "reason" {
+        return Err(format!(
+            "unexpected key `{key}` in audit: allow(...); the only valid key is `reason`"
+        ));
+    }
+    let value = value.trim();
+    let reason = value
+        .strip_prefix('"')
+        .and_then(|r| r.rfind('"').map(|q| &r[..q]))
+        .ok_or_else(|| {
+            "audit: allow(...) reason must be a quoted string: `reason = \"...\"`".to_string()
+        })?;
     if reason.trim().is_empty() {
         return Err("audit: allow(...) has an empty reason".to_string());
     }
     Ok(name.to_string())
 }
 
+/// The valid allow name closest to `name` by edit distance, when it is
+/// close enough to be a plausible typo (distance ≤ half its length).
+fn nearest_allow_name(name: &str) -> Option<&'static str> {
+    ALLOW_NAMES
+        .iter()
+        .map(|&cand| (edit_distance(name, cand), cand))
+        .min()
+        .filter(|&(d, cand)| d <= cand.len().max(name.len()) / 2)
+        .map(|(_, cand)| cand)
+}
+
+/// Classic Levenshtein distance over bytes (the vocabulary is ASCII).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
 /// What an `audit: secret` annotation attached itself to.
-enum SecretTarget {
+pub(crate) enum SecretTarget {
     /// A struct/enum; named fields (if any) listed.
     Type { name: String, fields: Vec<String> },
     /// A single struct field.
@@ -566,7 +640,7 @@ enum SecretTarget {
 }
 
 /// Classifies the declaration following the annotation at token `ann`.
-fn classify_secret_decl(toks: &[Token], ann: usize) -> SecretTarget {
+pub(crate) fn classify_secret_decl(toks: &[Token], ann: usize) -> SecretTarget {
     let mut i = next_code(toks, ann + 1);
     // Skip attributes.
     while i < toks.len() && toks[i].is_punct('#') {
@@ -719,115 +793,12 @@ pub fn collect_secrets<'a, I: IntoIterator<Item = &'a SourceFile>>(files: I) -> 
     secrets
 }
 
-/// One function body: `fn` keyword token, body braces (inclusive).
-struct FnSpan {
-    open: usize,
-    close: usize,
-}
-
-/// Finds every `fn` body in the token stream.
-fn fn_spans(toks: &[Token]) -> Vec<FnSpan> {
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < toks.len() {
-        if toks[i].kind != TokKind::Comment && toks[i].is_ident("fn") {
-            // Scan to the body `{` (or `;` for bodiless trait methods).
-            let mut j = i + 1;
-            let mut depth = 0i64;
-            let mut open = None;
-            while j < toks.len() {
-                let t = &toks[j];
-                if t.kind != TokKind::Comment {
-                    if t.is_punct('(') || t.is_punct('[') {
-                        depth += 1;
-                    } else if t.is_punct(')') || t.is_punct(']') {
-                        depth -= 1;
-                    } else if depth == 0 && t.is_punct('{') {
-                        open = Some(j);
-                        break;
-                    } else if depth == 0 && t.is_punct(';') {
-                        break;
-                    }
-                }
-                j += 1;
-            }
-            if let Some(open) = open {
-                out.push(FnSpan {
-                    open,
-                    close: matching(toks, open),
-                });
-                i = open + 1;
-                continue;
-            }
-            i = j + 1;
-            continue;
-        }
-        i += 1;
-    }
-    out
-}
-
-/// Expression spans inspected by the secret-flow check: token ranges
-/// (inclusive) plus a description of what they are.
-fn expr_spans(toks: &[Token]) -> Vec<(usize, usize, &'static str)> {
-    let mut out = Vec::new();
-    for (i, t) in toks.iter().enumerate() {
-        if t.kind == TokKind::Comment {
-            continue;
-        }
-        let desc = if t.is_ident("if") {
-            "an `if` condition"
-        } else if t.is_ident("while") {
-            "a `while` condition"
-        } else if t.is_ident("match") {
-            "a `match` scrutinee"
-        } else if t.is_punct('[') {
-            // Indexing only when the `[` follows a value-ending token.
-            let is_index = prev_code(toks, i).is_some_and(|p| {
-                let pt = &toks[p];
-                (pt.kind == TokKind::Ident && !NON_VALUE_IDENTS.contains(&pt.text.as_str()))
-                    || pt.is_punct(')')
-                    || pt.is_punct(']')
-            });
-            if is_index {
-                let close = matching(toks, i);
-                if close > i + 1 {
-                    out.push((i + 1, close - 1, "a slice index"));
-                }
-            }
-            continue;
-        } else {
-            continue;
-        };
-        // Condition/scrutinee: runs to the body `{` at bracket depth 0
-        // (Rust forbids bare struct literals there, so the first such
-        // `{` is the body).
-        let mut j = i + 1;
-        let mut depth = 0i64;
-        while j < toks.len() {
-            let t = &toks[j];
-            if t.kind != TokKind::Comment {
-                if t.is_punct('(') || t.is_punct('[') {
-                    depth += 1;
-                } else if t.is_punct(')') || t.is_punct(']') {
-                    depth -= 1;
-                } else if depth == 0 && (t.is_punct('{') || t.is_punct(';')) {
-                    break;
-                }
-            }
-            j += 1;
-        }
-        if j > i + 1 {
-            out.push((i + 1, j - 1, desc));
-        }
-    }
-    out
-}
-
-/// Runs every applicable check over one file. `secrets` is the global
-/// vocabulary from [`collect_secrets`]; suppressions are applied here.
+/// Runs the per-file lexical checks over one file; suppressions are
+/// applied here. The flow-sensitive checks (taint, ordering, unsafe
+/// preconditions) run in the workspace pass — see
+/// [`crate::workspace_checks`].
 #[must_use]
-pub fn check_file(sf: &SourceFile, secrets: &Secrets) -> Vec<Finding> {
+pub fn check_file(sf: &SourceFile) -> Vec<Finding> {
     let mut out = sf.ann_findings.clone();
     let mut raw: Vec<Finding> = Vec::new();
     let toks = &sf.toks;
@@ -905,7 +876,7 @@ pub fn check_file(sf: &SourceFile, secrets: &Secrets) -> Vec<Finding> {
     }
 
     if SECRET_CRATES.contains(&crate_name) {
-        secret_flow(sf, secrets, &mut raw);
+        secret_ann_misuse(sf, &mut raw);
     }
 
     for f in raw {
@@ -916,85 +887,29 @@ pub fn check_file(sf: &SourceFile, secrets: &Secrets) -> Vec<Finding> {
     out
 }
 
-/// The secret-flow check: secret names and dot-accessed secret fields
-/// may not appear inside conditions, scrutinees or slice indices.
-fn secret_flow(sf: &SourceFile, secrets: &Secrets, raw: &mut Vec<Finding>) {
-    let toks = &sf.toks;
-    let fns = fn_spans(toks);
-    // Scope of the innermost fn body containing `tok` (fall back to the
-    // whole file for module-level code).
-    let scope_of = |tok: usize| -> (usize, usize) {
-        fns.iter()
-            .filter(|f| f.open <= tok && tok <= f.close)
-            .map(|f| (f.open, f.close))
-            .min_by_key(|(o, c)| c - o)
-            .unwrap_or((0, toks.len()))
-    };
-    // (name, token-index scope) pairs of secret locals/params/statics.
-    let mut scoped: Vec<(String, (usize, usize))> = Vec::new();
+/// Reports `audit: secret` annotations that attached to nothing the
+/// taint engine can use (a bare `fn`, or no recognizable declaration).
+/// The flow analysis itself lives in [`crate::taint`].
+fn secret_ann_misuse(sf: &SourceFile, raw: &mut Vec<Finding>) {
     for ann in &sf.anns {
-        match ann {
-            Ann::SecretDecl { tok } => match classify_secret_decl(toks, *tok) {
-                SecretTarget::Let { name, tok } => scoped.push((name, scope_of(tok))),
-                SecretTarget::Static(name) => scoped.push((name, (0, toks.len()))),
-                SecretTarget::Fn => raw.push(
-                    sf.finding(
-                        toks[*tok].line,
-                        Check::Annotation,
-                        "`audit: secret` on a fn — name the parameters with audit: secret(a, b)"
-                            .to_string(),
-                    ),
-                ),
-                SecretTarget::Unknown => raw.push(sf.finding(
-                    toks[*tok].line,
-                    Check::Annotation,
-                    "`audit: secret` is not followed by a recognizable declaration".to_string(),
-                )),
-                // Types/fields were collected globally.
-                SecretTarget::Type { .. } | SecretTarget::Field(_) => {}
-            },
-            Ann::SecretParams { tok, names } => {
-                // Attach to the first fn body opening after the comment.
-                if let Some(f) = fns.iter().filter(|f| f.open > *tok).min_by_key(|f| f.open) {
-                    for name in names {
-                        scoped.push((name.clone(), (f.open, f.close)));
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-
-    for (start, end, desc) in expr_spans(toks) {
-        if sf.tok_is_test(start) {
+        let Ann::SecretDecl { tok } = ann else {
             continue;
-        }
-        let mut seen: BTreeSet<String> = BTreeSet::new();
-        for k in start..=end.min(toks.len().saturating_sub(1)) {
-            let t = &toks[k];
-            if t.kind != TokKind::Ident {
-                continue;
-            }
-            let after_dot = prev_code(toks, k).is_some_and(|p| toks[p].is_punct('.'));
-            if after_dot {
-                if secrets.fields.contains(&t.text) && seen.insert(format!(".{}", t.text)) {
-                    raw.push(sf.finding(
-                        t.line,
-                        Check::SecretFlow,
-                        format!("secret field `.{}` feeds {desc}", t.text),
-                    ));
-                }
-            } else if scoped
-                .iter()
-                .any(|(n, (s, e))| n == &t.text && *s <= k && k <= *e)
-                && seen.insert(t.text.clone())
-            {
-                raw.push(sf.finding(
-                    t.line,
-                    Check::SecretFlow,
-                    format!("secret value `{}` feeds {desc}", t.text),
-                ));
-            }
+        };
+        match classify_secret_decl(&sf.toks, *tok) {
+            SecretTarget::Fn => raw.push(
+                sf.finding(
+                    sf.toks[*tok].line,
+                    Check::Annotation,
+                    "`audit: secret` on a fn — name the parameters with audit: secret(a, b)"
+                        .to_string(),
+                ),
+            ),
+            SecretTarget::Unknown => raw.push(sf.finding(
+                sf.toks[*tok].line,
+                Check::Annotation,
+                "`audit: secret` is not followed by a recognizable declaration".to_string(),
+            )),
+            _ => {}
         }
     }
 }

@@ -140,7 +140,7 @@ pub fn render_report(new: &[Finding], baselined: usize) -> String {
 }
 
 /// JSON string escaping (control characters, quotes, backslashes).
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

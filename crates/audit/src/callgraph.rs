@@ -1,0 +1,315 @@
+//! Workspace call graph over the parsed item trees.
+//!
+//! Functions from every file are flattened into one global list and
+//! indexed two ways: by bare name and by `Type::name` qualification
+//! (from the enclosing `impl`/`trait` block). Call sites resolve
+//! through the qualified map first — `SecretKey::new(..)` and
+//! `Self::permute(..)` bind exactly — and fall back to merging every
+//! bare-name candidate, which is deliberately conservative: a taint
+//! summary applied through an over-approximated edge can only *add*
+//! taint, never hide it. Edges are recorded in both directions so the
+//! unsafe-precondition pass can search transitive callers.
+
+use crate::parse::{Expr, ExprKind, FileAst, Stmt, StmtKind};
+use std::collections::BTreeMap;
+
+/// A function's position: file index and index within that file's AST.
+#[derive(Debug, Clone, Copy)]
+pub struct FnKey {
+    /// Index into the workspace file list.
+    pub file: usize,
+    /// Index into that file's [`FileAst::fns`].
+    pub idx: usize,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    /// Global function list; positions index into the caller's
+    /// file/AST slices.
+    pub fns: Vec<FnKey>,
+    /// Bare name → global fn ids.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// `Type::name` → global fn ids.
+    pub by_qual: BTreeMap<String, Vec<usize>>,
+    /// Per-fn resolved callee ids (deduplicated).
+    pub callees: Vec<Vec<usize>>,
+    /// Per-fn resolved caller ids (inverse of `callees`).
+    pub callers: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph for `asts` (one entry per workspace file).
+    #[must_use]
+    pub fn build(asts: &[FileAst]) -> CallGraph {
+        let mut fns = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut by_qual: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (file, ast) in asts.iter().enumerate() {
+            for (idx, f) in ast.fns.iter().enumerate() {
+                let id = fns.len();
+                fns.push(FnKey { file, idx });
+                by_name.entry(f.name.clone()).or_default().push(id);
+                if let Some(q) = &f.qual {
+                    by_qual.entry(q.clone()).or_default().push(id);
+                }
+            }
+        }
+        let mut g = CallGraph {
+            fns,
+            by_name,
+            by_qual,
+            callees: Vec::new(),
+            callers: Vec::new(),
+        };
+        let mut callees: Vec<Vec<usize>> = vec![Vec::new(); g.fns.len()];
+        for (id, key) in g.fns.iter().enumerate() {
+            let def = &asts[key.file].fns[key.idx];
+            let self_ty = def.qual.as_deref().and_then(|q| q.split("::").next());
+            let mut out = Vec::new();
+            walk_stmts(&def.body, &mut |e: &Expr| match &e.kind {
+                ExprKind::Call { callee, .. } => {
+                    if let ExprKind::Path(segs) = &callee.kind {
+                        out.extend(g.resolve_path(segs, self_ty));
+                    }
+                }
+                ExprKind::MethodCall { name, .. } => {
+                    out.extend(g.resolve_method(name));
+                }
+                _ => {}
+            });
+            out.sort_unstable();
+            out.dedup();
+            callees[id] = out;
+        }
+        let mut callers: Vec<Vec<usize>> = vec![Vec::new(); g.fns.len()];
+        for (id, cs) in callees.iter().enumerate() {
+            for &c in cs {
+                callers[c].push(id);
+            }
+        }
+        g.callees = callees;
+        g.callers = callers;
+        g
+    }
+
+    /// Resolves a call through a path. `self_ty` is the enclosing
+    /// `impl` type, used for `Self::name` and unqualified names.
+    #[must_use]
+    pub fn resolve_path(&self, segs: &[String], self_ty: Option<&str>) -> Vec<usize> {
+        if segs.is_empty() {
+            return Vec::new();
+        }
+        let name = segs.last().expect("non-empty");
+        if segs.len() >= 2 {
+            let ty = &segs[segs.len() - 2];
+            let ty = if ty == "Self" {
+                self_ty.unwrap_or(ty.as_str())
+            } else {
+                ty.as_str()
+            };
+            if let Some(ids) = self.by_qual.get(&format!("{ty}::{name}")) {
+                return ids.clone();
+            }
+            // A capitalized qualifier is a type; missing the qualified
+            // map means the method lives outside the workspace
+            // (`Vec::new`, `Mutex::new`, …) — merging every same-named
+            // workspace fn would wire unrelated constructors together.
+            if ty.starts_with(|c: char| c.is_ascii_uppercase()) {
+                return Vec::new();
+            }
+            // `module::free_fn(..)` — the second-to-last segment is a
+            // module, not a type; fall through to the bare name.
+        }
+        self.by_name.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Resolves a method call by bare name, merging every candidate
+    /// (receiver types are unknown at this layer).
+    #[must_use]
+    pub fn resolve_method(&self, name: &str) -> Vec<usize> {
+        self.by_name.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Breadth-first transitive callers of `id` up to `depth` hops,
+    /// restricted to functions in the same file. Includes `id` itself.
+    #[must_use]
+    pub fn callers_within_file(&self, id: usize, depth: usize) -> Vec<usize> {
+        let file = self.fns[id].file;
+        let mut seen = vec![id];
+        let mut frontier = vec![id];
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for &f in &frontier {
+                for &c in &self.callers[f] {
+                    if self.fns[c].file == file && !seen.contains(&c) {
+                        seen.push(c);
+                        next.push(c);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        seen
+    }
+}
+
+/// Visits every expression under `stmts` in preorder.
+pub fn walk_stmts(stmts: &[Stmt], f: &mut impl FnMut(&Expr)) {
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Let {
+                init, else_block, ..
+            } => {
+                if let Some(e) = init {
+                    walk_expr(e, f);
+                }
+                if let Some(b) = else_block {
+                    walk_stmts(b, f);
+                }
+            }
+            StmtKind::Assign { target, value, .. } => {
+                walk_expr(target, f);
+                walk_expr(value, f);
+            }
+            StmtKind::Expr { expr, .. } => walk_expr(expr, f),
+            StmtKind::While { cond, body, .. } => {
+                walk_expr(cond, f);
+                walk_stmts(body, f);
+            }
+            StmtKind::For { iter, body, .. } => {
+                walk_expr(iter, f);
+                walk_stmts(body, f);
+            }
+            StmtKind::Loop { body } => walk_stmts(body, f),
+            StmtKind::Item => {}
+        }
+    }
+}
+
+/// Visits `e` and every sub-expression in preorder.
+pub fn walk_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    match &e.kind {
+        ExprKind::Field { base, .. } | ExprKind::Unary { expr: base } => walk_expr(base, f),
+        ExprKind::Call { callee, args } => {
+            walk_expr(callee, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        ExprKind::MethodCall { recv, args, .. } => {
+            walk_expr(recv, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        ExprKind::Macro { args, .. } => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        ExprKind::Index { base, index } => {
+            walk_expr(base, f);
+            walk_expr(index, f);
+        }
+        ExprKind::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        ExprKind::If {
+            cond, then, els, ..
+        } => {
+            walk_expr(cond, f);
+            walk_stmts(then, f);
+            if let Some(e) = els {
+                walk_expr(e, f);
+            }
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            walk_expr(scrutinee, f);
+            for arm in arms {
+                if let Some(g) = &arm.guard {
+                    walk_expr(g, f);
+                }
+                walk_expr(&arm.body, f);
+            }
+        }
+        ExprKind::Block(stmts) => walk_stmts(stmts, f),
+        ExprKind::Closure { body, .. } => walk_expr(body, f),
+        ExprKind::StructLit { fields, base, .. } => {
+            for (_, v) in fields {
+                walk_expr(v, f);
+            }
+            if let Some(b) = base {
+                walk_expr(b, f);
+            }
+        }
+        ExprKind::Tuple(items) => {
+            for it in items {
+                walk_expr(it, f);
+            }
+        }
+        ExprKind::Ret { value } => {
+            if let Some(v) = value {
+                walk_expr(v, f);
+            }
+        }
+        ExprKind::Path(_) | ExprKind::Lit(_) | ExprKind::Unknown => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_file;
+
+    fn graph(srcs: &[&str]) -> (Vec<FileAst>, CallGraph) {
+        let asts: Vec<FileAst> = srcs.iter().map(|s| parse_file(&lex(s))).collect();
+        let g = CallGraph::build(&asts);
+        (asts, g)
+    }
+
+    fn id_of(g: &CallGraph, asts: &[FileAst], name: &str) -> usize {
+        (0..g.fns.len())
+            .find(|&i| asts[g.fns[i].file].fns[g.fns[i].idx].name == name)
+            .expect("fn present")
+    }
+
+    #[test]
+    fn qualified_resolution_beats_bare_name() {
+        let (asts, g) = graph(&[
+            "impl Foo { fn go(&self) {} } impl Bar { fn go(&self) {} } fn top() { Foo::go(); }",
+        ]);
+        let top = id_of(&g, &asts, "top");
+        assert_eq!(g.callees[top].len(), 1);
+        let callee = g.callees[top][0];
+        assert_eq!(
+            asts[g.fns[callee].file].fns[g.fns[callee].idx]
+                .qual
+                .as_deref(),
+            Some("Foo::go")
+        );
+    }
+
+    #[test]
+    fn cross_file_edges_and_callers() {
+        let (asts, g) = graph(&["fn callee() {}", "fn caller() { callee(); }"]);
+        let caller = id_of(&g, &asts, "caller");
+        let callee = id_of(&g, &asts, "callee");
+        assert_eq!(g.callees[caller], vec![callee]);
+        assert_eq!(g.callers[callee], vec![caller]);
+    }
+
+    #[test]
+    fn callers_within_file_stops_at_depth_and_handles_cycles() {
+        let (asts, g) = graph(&["fn a() { b(); } fn b() { a(); c(); } fn c() {}"]);
+        let c = id_of(&g, &asts, "c");
+        let reach = g.callers_within_file(c, 3);
+        // c ← b ← a, cycle a ↔ b must not loop forever.
+        assert_eq!(reach.len(), 3);
+    }
+}

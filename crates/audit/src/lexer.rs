@@ -44,6 +44,10 @@ pub struct Token {
     pub text: String,
     /// 1-based line of the token's first character.
     pub line: usize,
+    /// Byte offset of the token's first character in the source. Lets
+    /// the parser join multi-character operators (`==`, `::`, `&&`, …)
+    /// exactly: two puncts form one operator iff they are adjacent.
+    pub pos: usize,
 }
 
 impl Token {
@@ -105,7 +109,12 @@ impl Lexer<'_> {
 
     fn push(&mut self, kind: TokKind, start: usize, line: usize) {
         let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
-        self.toks.push(Token { kind, text, line });
+        self.toks.push(Token {
+            kind,
+            text,
+            line,
+            pos: start,
+        });
     }
 
     fn run(mut self) -> Vec<Token> {
@@ -233,6 +242,7 @@ impl Lexer<'_> {
                     kind: TokKind::Ident,
                     text,
                     line,
+                    pos: start,
                 });
                 return true;
             }

@@ -6,30 +6,46 @@
 //! data-dependent control flow or addressing, and the cycle-accurate
 //! model plus parallel layer must stay bit-deterministic. This crate
 //! walks every workspace `.rs` file with a hand-rolled lexer
-//! ([`lexer`]) and enforces five checks ([`analyze`]):
+//! ([`lexer`]), parses each into a lightweight item tree ([`parse`]),
+//! links a workspace call graph ([`callgraph`]) and enforces seven
+//! checks:
 //!
-//! 1. **secret-flow** — `// audit: secret` material in `pasta-core` /
-//!    `pasta-keccak` may not feed `if`/`while`/`match` conditions or
-//!    slice indices;
+//! 1. **secret-flow** — interprocedural taint ([`taint`]):
+//!    `// audit: secret` material in `pasta-core` / `pasta-keccak` /
+//!    `pasta-rasta` may not feed `if`/`while`/`match` conditions,
+//!    slice indices, `/`/`%` operands or early-exit comparisons, even
+//!    through call chains; `// audit: sanitizes(x)` declassifies at
+//!    encryption boundaries;
 //! 2. **panic** — no `unwrap`/`expect`/`panic!`-family calls in
 //!    non-test kernel-crate code;
 //! 3. **unsafe** — every `unsafe` block carries a `// SAFETY:` comment;
 //! 4. **cast** — no narrowing `as` casts in the modular-arithmetic
 //!    kernels;
 //! 5. **determinism** — no wall clocks, default-hasher collections or
-//!    ambient entropy in the determinism-critical crates.
+//!    ambient entropy in the determinism-critical crates;
+//! 6. **ordering** — `Ordering::Relaxed` on non-counter atomics in
+//!    `pasta-par` needs a justifying annotation ([`ordering`]);
+//! 7. **unsafe-precondition** — `pasta_math::simd` `unsafe` blocks
+//!    stating data preconditions must be backed by an assert in the
+//!    function or its callers ([`ordering`]).
 //!
 //! By-design exceptions are annotated in-source
 //! (`// audit: allow(<check>, reason = "...")`); a committed
 //! `audit-baseline.json` gives the CI gate `-D new` semantics
-//! ([`baseline`]). The crate is dependency-free so the audit itself
-//! needs no vetting and runs in the offline build environment.
+//! ([`baseline`]). Findings also render as SARIF 2.1.0 and GitHub
+//! annotations ([`sarif`]). The crate is dependency-free so the audit
+//! itself needs no vetting and runs in the offline build environment.
 
 #![warn(missing_docs)]
 
 pub mod analyze;
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
+pub mod ordering;
+pub mod parse;
+pub mod sarif;
+pub mod taint;
 
 use analyze::{check_file, collect_secrets, Finding, SourceFile, SECRET_CRATES};
 use std::path::{Path, PathBuf};
@@ -81,6 +97,43 @@ fn rel_path(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
+/// Runs every check — per-file lexical plus the workspace-wide parser/
+/// call-graph/taint pipeline — over an already-parsed file set, and
+/// returns findings sorted by `(file, line, check, message)` with
+/// `audit: allow` suppressions applied.
+#[must_use]
+pub fn workspace_checks(files: &[SourceFile]) -> Vec<Finding> {
+    let asts: Vec<parse::FileAst> = files.iter().map(|sf| parse::parse_file(&sf.toks)).collect();
+    let cg = callgraph::CallGraph::build(&asts);
+    let secrets = collect_secrets(
+        files
+            .iter()
+            .filter(|sf| SECRET_CRATES.contains(&sf.crate_name.as_str())),
+    );
+    let mut findings = Vec::new();
+    for sf in files {
+        findings.extend(check_file(sf));
+    }
+    // Workspace passes return raw findings; apply suppression here.
+    let by_rel: std::collections::BTreeMap<&str, &SourceFile> =
+        files.iter().map(|sf| (sf.rel.as_str(), sf)).collect();
+    let mut raw = taint::taint_pass(files, &asts, &cg, &secrets);
+    raw.extend(ordering::ordering_pass(files, &asts));
+    raw.extend(ordering::unsafe_precondition_pass(files, &asts, &cg));
+    for f in raw {
+        let suppressed = by_rel
+            .get(f.file.as_str())
+            .is_some_and(|sf| sf.allowed(f.check, f.line));
+        if !suppressed {
+            findings.push(f);
+        }
+    }
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.check, &a.message).cmp(&(&b.file, b.line, b.check, &b.message))
+    });
+    findings
+}
+
 /// Walks the tree under `root` and runs every check, returning findings
 /// sorted by `(file, line, check)`.
 ///
@@ -99,17 +152,5 @@ pub fn analyze_tree(root: &Path) -> Result<Vec<Finding>, String> {
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         parsed.push(SourceFile::parse(&rel_path(root, path), &src));
     }
-    let secrets = collect_secrets(
-        parsed
-            .iter()
-            .filter(|sf| SECRET_CRATES.contains(&sf.crate_name.as_str())),
-    );
-    let mut findings = Vec::new();
-    for sf in &parsed {
-        findings.extend(check_file(sf, &secrets));
-    }
-    findings.sort_by(|a, b| {
-        (&a.file, a.line, a.check, &a.message).cmp(&(&b.file, b.line, b.check, &b.message))
-    });
-    Ok(findings)
+    Ok(workspace_checks(&parsed))
 }

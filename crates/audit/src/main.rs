@@ -1,12 +1,14 @@
 //! CLI driver: `cargo run -p pasta-audit -- check [options]`.
 
 use pasta_audit::baseline::{render_baseline, render_report, Baseline};
+use pasta_audit::sarif::{render_github, render_sarif};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-pasta-audit — workspace static analysis (secret-flow, panic-freedom,
-unsafe hygiene, lossy casts, determinism)
+pasta-audit — workspace static analysis (interprocedural secret taint,
+panic-freedom, unsafe hygiene, lossy casts, determinism, atomics
+ordering, unsafe preconditions)
 
 USAGE:
     cargo run -p pasta-audit -- check [OPTIONS]
@@ -14,7 +16,7 @@ USAGE:
 OPTIONS:
     --root <PATH>        workspace root (default: the workspace this
                          binary was built from)
-    --format <text|json> output format (default: text)
+    --format <FORMAT>    text | json | sarif | github (default: text)
     --baseline <PATH>    baseline file (default: <root>/audit-baseline.json
                          when it exists)
     --write-baseline     rewrite the baseline from the current findings
@@ -37,6 +39,8 @@ struct Options {
 enum Format {
     Text,
     Json,
+    Sarif,
+    Github,
 }
 
 fn main() -> ExitCode {
@@ -67,7 +71,11 @@ fn parse_args() -> Result<Options, String> {
                 format = match next_value(&mut args, "--format")?.as_str() {
                     "text" => Format::Text,
                     "json" => Format::Json,
-                    other => return Err(format!("unknown format `{other}` (text|json)")),
+                    "sarif" => Format::Sarif,
+                    "github" => Format::Github,
+                    other => {
+                        return Err(format!("unknown format `{other}` (text|json|sarif|github)"))
+                    }
                 }
             }
             "--baseline" => {
@@ -134,6 +142,8 @@ fn run() -> Result<ExitCode, String> {
 
     match opts.format {
         Format::Json => print!("{}", render_report(&new, baselined)),
+        Format::Sarif => print!("{}", render_sarif(&new)),
+        Format::Github => print!("{}", render_github(&new)),
         Format::Text => {
             for f in &new {
                 println!("{}", f.render());

@@ -1,0 +1,2088 @@
+//! A lightweight recursive-descent parser over the [`crate::lexer`]
+//! token stream.
+//!
+//! The parser produces, per file, a list of function definitions with
+//! parameter names and statement/expression trees — just enough
+//! structure for the interprocedural taint pass ([`crate::taint`]) and
+//! the IR-based checks ([`crate::ordering`]): `let` bindings,
+//! assignments, calls and method calls (macro invocations included),
+//! field projections, indexing, conditions/scrutinees with their
+//! pattern bindings, closures, and binary operators classified into the
+//! sink-relevant groups (`/`/`%`, comparisons, short-circuit).
+//!
+//! It is deliberately *not* a full Rust grammar: types, generics,
+//! attributes, lifetimes and patterns are skipped or reduced to their
+//! binding names, operator precedence is collapsed to three levels
+//! (short-circuit < comparison < everything else — all the taint pass
+//! distinguishes), and any construct the parser does not recognize
+//! degrades to [`ExprKind::Unknown`] while guaranteeing forward
+//! progress. Multi-character operators are joined exactly using the
+//! lexer's byte offsets, so `a == b` and `a = = b` (never valid Rust)
+//! cannot be confused, and `..=` / `=>` / `::` never masquerade as `=`.
+
+use crate::lexer::{TokKind, Token};
+
+/// Binary operator classes. Only the sink-relevant distinctions are
+/// kept; everything arithmetic/bitwise/range is [`BinOp::Other`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `/` or `%` — variable-latency on secret operands.
+    DivRem,
+    /// `==`, `!=`, `<`, `>`, `<=`, `>=`.
+    Cmp,
+    /// `&&` or `||` — evaluation order depends on the left value.
+    ShortCircuit,
+    /// Any other binary operator.
+    Other,
+}
+
+/// The parse result for one file: every `fn` found anywhere in it
+/// (top level, `impl`/`trait` blocks, nested modules, nested fns).
+#[derive(Debug, Default)]
+pub struct FileAst {
+    /// Functions in source order.
+    pub fns: Vec<FnDef>,
+}
+
+/// One parsed function.
+#[derive(Debug)]
+pub struct FnDef {
+    /// The bare function name.
+    pub name: String,
+    /// `Type::name` when defined inside `impl Type` / `trait Type`.
+    pub qual: Option<String>,
+    /// Line of the `fn` keyword.
+    pub line: usize,
+    /// Raw token index of the `fn` keyword (for test-span scoping).
+    pub fn_tok: usize,
+    /// Raw token indices of the body `{` and `}` (inclusive).
+    pub body_span: (usize, usize),
+    /// Parameter binding names in order (`self` included when present).
+    pub params: Vec<String>,
+    /// The body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// One statement.
+#[derive(Debug)]
+pub struct Stmt {
+    /// Line of the statement's first token.
+    pub line: usize,
+    /// The statement payload.
+    pub kind: StmtKind,
+}
+
+/// Statement payloads.
+#[derive(Debug)]
+pub enum StmtKind {
+    /// `let <pat> = init;` — `names` are the pattern's bindings.
+    Let {
+        /// Names bound by the pattern.
+        names: Vec<String>,
+        /// Initializer, when present.
+        init: Option<Expr>,
+        /// `let ... else { ... }` diverging block.
+        else_block: Option<Vec<Stmt>>,
+    },
+    /// `target = value;` or a compound assignment (`+=`, …).
+    Assign {
+        /// Assignment target expression.
+        target: Expr,
+        /// Right-hand side.
+        value: Expr,
+        /// True for `op=` forms (target keeps its old taint too).
+        compound: bool,
+    },
+    /// An expression statement; `semi == false` marks a tail expression.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Whether a `;` followed (tail expressions return the value).
+        semi: bool,
+    },
+    /// `while [let <pat> =] cond { body }`.
+    While {
+        /// Bindings of a `while let` pattern (empty otherwise).
+        bindings: Vec<String>,
+        /// The loop condition / scrutinee.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for <pat> in iter { body }`.
+    For {
+        /// Names bound by the loop pattern.
+        names: Vec<String>,
+        /// The iterated expression.
+        iter: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `loop { body }`.
+    Loop {
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// A nested non-`fn` item (skipped; nested `fn`s are lifted into
+    /// [`FileAst::fns`]).
+    Item,
+}
+
+/// One expression node.
+#[derive(Debug)]
+pub struct Expr {
+    /// Line of the expression's first token.
+    pub line: usize,
+    /// The expression payload.
+    pub kind: ExprKind,
+}
+
+/// Expression payloads.
+#[derive(Debug)]
+pub enum ExprKind {
+    /// A (possibly qualified) path: `x`, `mod::f`, `Type::CONST`.
+    Path(Vec<String>),
+    /// Any literal; the token text is kept so constant-value checks
+    /// (e.g. power-of-two divisors) can see it. Empty for synthesized
+    /// literals (`()`, bare ranges).
+    Lit(String),
+    /// `base.name` (numeric tuple fields keep their digits as `name`).
+    Field {
+        /// The projected-from expression.
+        base: Box<Expr>,
+        /// Field name.
+        name: String,
+    },
+    /// `callee(args)` where `callee` is an arbitrary expression
+    /// (usually a [`ExprKind::Path`]).
+    Call {
+        /// The called expression.
+        callee: Box<Expr>,
+        /// Arguments in order.
+        args: Vec<Expr>,
+    },
+    /// `recv.name(args)`.
+    MethodCall {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Arguments in order (receiver not included).
+        args: Vec<Expr>,
+    },
+    /// `name!(args)` — arguments parsed best-effort as expressions so
+    /// taint can see through `assert!`/`vec!`-style macros.
+    Macro {
+        /// Macro name (last path segment).
+        name: String,
+        /// Best-effort parsed arguments.
+        args: Vec<Expr>,
+    },
+    /// `base[index]`.
+    Index {
+        /// Indexed expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// A binary operation (three-level precedence; left-associative).
+    Binary {
+        /// Operator class.
+        op: BinOp,
+        /// The operator's source text (for messages).
+        op_text: String,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A prefix operator (`!`, `-`, `*`, `&`, `..`) — taint-transparent.
+    Unary {
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// `if [let <pat> =] cond { then } [else <els>]`.
+    If {
+        /// Bindings of an `if let` pattern (empty otherwise).
+        bindings: Vec<String>,
+        /// Condition / scrutinee.
+        cond: Box<Expr>,
+        /// Then-block statements.
+        then: Vec<Stmt>,
+        /// `else` branch: a block or a chained `if`.
+        els: Option<Box<Expr>>,
+    },
+    /// `match scrutinee { arms }`.
+    Match {
+        /// The matched expression.
+        scrutinee: Box<Expr>,
+        /// The arms in order.
+        arms: Vec<Arm>,
+    },
+    /// A block (incl. `unsafe { .. }` and loop expressions, wrapped).
+    Block(Vec<Stmt>),
+    /// `|params| body` / `move |params| body`.
+    Closure {
+        /// Parameter binding names.
+        params: Vec<String>,
+        /// Body expression.
+        body: Box<Expr>,
+    },
+    /// `Name { field: expr, .., ..base }`.
+    StructLit {
+        /// The struct's (last) path segment.
+        name: String,
+        /// Field initializers (shorthand `x` becomes `(x, Path(x))`).
+        fields: Vec<(String, Expr)>,
+        /// `..base` functional-update expression.
+        base: Option<Box<Expr>>,
+    },
+    /// A tuple or array literal (`(a, b)`, `[a, b]`, `[x; n]`).
+    Tuple(Vec<Expr>),
+    /// `return e` / `break e` / `continue` in expression position.
+    Ret {
+        /// The returned value, when present.
+        value: Option<Box<Expr>>,
+    },
+    /// Anything the parser could not recognize.
+    Unknown,
+}
+
+/// One `match` arm.
+#[derive(Debug)]
+pub struct Arm {
+    /// Names bound by the arm's pattern.
+    pub bindings: Vec<String>,
+    /// The `if` guard, when present.
+    pub guard: Option<Expr>,
+    /// The arm body.
+    pub body: Expr,
+    /// Line of the pattern's first token.
+    pub line: usize,
+}
+
+/// Parses one file's token stream (comments included — they are
+/// filtered internally) into its function list.
+#[must_use]
+pub fn parse_file(toks: &[Token]) -> FileAst {
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| toks[i].kind != TokKind::Comment)
+        .collect();
+    let mut p = Parser {
+        toks,
+        code,
+        i: 0,
+        fns: Vec::new(),
+        depth: 0,
+    };
+    let end = p.code.len();
+    p.parse_items(end, None);
+    FileAst { fns: p.fns }
+}
+
+/// Multi-character operators, longest first so greedy matching is
+/// unambiguous (`..=` before `..`, `<<=` before `<<` before `<`).
+const OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "<<", ">>", "..", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Keywords and non-binding identifiers excluded by the pattern-binding
+/// collector.
+const PAT_KEYWORDS: &[&str] = &[
+    "mut", "ref", "box", "move", "if", "else", "match", "return", "break", "continue", "in", "let",
+    "as", "dyn", "fn", "impl", "for", "while", "loop", "true", "false", "self", "crate", "super",
+    "where", "pub", "use", "mod", "static", "const", "struct", "enum", "trait", "type", "unsafe",
+    "await", "async", "_",
+];
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    /// Indices of non-comment tokens.
+    code: Vec<usize>,
+    /// Cursor into `code`.
+    i: usize,
+    fns: Vec<FnDef>,
+    depth: u32,
+}
+
+impl Parser<'_> {
+    fn tok(&self, k: usize) -> Option<&Token> {
+        self.code.get(k).map(|&r| &self.toks[r])
+    }
+
+    fn cur(&self) -> Option<&Token> {
+        self.tok(self.i)
+    }
+
+    fn line(&self) -> usize {
+        self.cur()
+            .map_or_else(|| self.toks.last().map_or(1, |t| t.line), |t| t.line)
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.cur().is_some_and(|t| t.is_ident(s))
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        self.cur().is_some_and(|t| t.is_punct(c))
+    }
+
+    fn bump(&mut self) {
+        self.i += 1;
+    }
+
+    /// Whether code tokens `a` and `a + 1` are byte-adjacent.
+    fn glued(&self, a: usize) -> bool {
+        match (self.tok(a), self.tok(a + 1)) {
+            (Some(x), Some(y)) => x.pos + x.text.len() == y.pos,
+            _ => false,
+        }
+    }
+
+    /// The longest operator starting at code index `k`, with its token
+    /// count. Single punctuation characters match as themselves.
+    fn op_at(&self, k: usize) -> Option<(String, usize)> {
+        let first = self.tok(k)?;
+        if first.kind != TokKind::Punct {
+            return None;
+        }
+        'op: for op in OPS {
+            let chars: Vec<char> = op.chars().collect();
+            for (j, &c) in chars.iter().enumerate() {
+                let Some(t) = self.tok(k + j) else {
+                    continue 'op;
+                };
+                if !t.is_punct(c) || (j + 1 < chars.len() && !self.glued(k + j)) {
+                    continue 'op;
+                }
+            }
+            return Some(((*op).to_string(), chars.len()));
+        }
+        Some((first.text.clone(), 1))
+    }
+
+    /// The operator at the cursor.
+    fn peek_op(&self) -> Option<(String, usize)> {
+        self.op_at(self.i)
+    }
+
+    /// Consumes the operator `op` if it is at the cursor.
+    fn eat_op(&mut self, op: &str) -> bool {
+        if let Some((o, n)) = self.peek_op() {
+            if o == op {
+                self.i += n;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the cursor sits at a token that ends any expression.
+    fn at_expr_end(&self) -> bool {
+        let Some(t) = self.cur() else {
+            return true;
+        };
+        if t.kind == TokKind::Punct {
+            if matches!(t.text.as_bytes()[0], b';' | b',' | b')' | b']' | b'}') {
+                return true;
+            }
+            if let Some((op, _)) = self.peek_op() {
+                if op == "=>" {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Skips a balanced `( .. )` / `[ .. ]` / `{ .. }` group whose
+    /// opener is at the cursor. Never loops: always advances.
+    fn skip_group(&mut self) {
+        let Some(t) = self.cur() else {
+            return;
+        };
+        let (o, c) = match t.text.as_bytes().first() {
+            Some(b'(') => ('(', ')'),
+            Some(b'[') => ('[', ']'),
+            Some(b'{') => ('{', '}'),
+            _ => {
+                self.bump();
+                return;
+            }
+        };
+        let mut depth = 0usize;
+        while let Some(t) = self.cur() {
+            if t.is_punct(o) {
+                depth += 1;
+            } else if t.is_punct(c) {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips a generic-argument group whose `<` is at the cursor,
+    /// counting each `<` / `>` character and guarding `->` arrows.
+    fn skip_angles(&mut self) {
+        let mut depth = 0i64;
+        while let Some((op, n)) = self.peek_op() {
+            match op.as_str() {
+                "<" | "<<" => depth += op.len() as i64,
+                ">" | ">>" => depth -= op.len() as i64,
+                "->" | "=>" => {}
+                "(" | "[" | "{" => {
+                    self.skip_group();
+                    continue;
+                }
+                _ => {}
+            }
+            self.i += n;
+            if depth <= 0 {
+                return;
+            }
+            // Idents/literals inside the generics.
+            while self.cur().is_some_and(|t| t.kind != TokKind::Punct) {
+                self.bump();
+            }
+        }
+    }
+
+    /// Skips one type (after `as`, or a return type): pointers,
+    /// references, paths with generics, parenthesized/fn-pointer types.
+    fn skip_type(&mut self) {
+        loop {
+            let Some(t) = self.cur() else {
+                return;
+            };
+            match t.kind {
+                TokKind::Punct => match t.text.as_bytes()[0] {
+                    b'&' | b'*' => self.bump(),
+                    b'(' | b'[' => self.skip_group(),
+                    b'<' => self.skip_angles(),
+                    _ => return,
+                },
+                TokKind::Lifetime => self.bump(),
+                TokKind::Ident => {
+                    if matches!(
+                        t.text.as_str(),
+                        "mut" | "const" | "dyn" | "impl" | "as" | "fn"
+                    ) {
+                        self.bump();
+                        continue;
+                    }
+                    // A path segment; `::` continues it, `<` opens
+                    // generics attached to it.
+                    self.bump();
+                    loop {
+                        if self.eat_op("::") {
+                            if self.at_punct('<') {
+                                self.skip_angles();
+                            } else {
+                                self.bump();
+                            }
+                            continue;
+                        }
+                        if self.at_punct('<') {
+                            self.skip_angles();
+                            continue;
+                        }
+                        break;
+                    }
+                    // `Fn(..) -> R` / trait-object `+` continuations.
+                    if self.at_punct('(') {
+                        self.skip_group();
+                    }
+                    if self.eat_op("->") {
+                        continue;
+                    }
+                    if self.at_punct('+') {
+                        self.bump();
+                        continue;
+                    }
+                    return;
+                }
+                TokKind::Literal | TokKind::Comment => return,
+            }
+        }
+    }
+
+    /// Collects pattern binding names in code-index range `[a, b)`:
+    /// lowercase/underscore-starting identifiers that are not keywords,
+    /// path segments, call/struct heads, or struct-pattern field names.
+    fn pattern_bindings(&self, a: usize, b: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        for k in a..b.min(self.code.len()) {
+            let Some(t) = self.tok(k) else { continue };
+            if t.kind != TokKind::Ident || PAT_KEYWORDS.contains(&t.text.as_str()) {
+                continue;
+            }
+            let first = t.text.chars().next().unwrap_or('_');
+            if !(first.is_ascii_lowercase() || first == '_') {
+                continue;
+            }
+            // Skip path segments (`a::b`), call heads (`f(`), struct
+            // heads (`s {`), macro names (`m!`).
+            if k > a {
+                if let Some((op, _)) = self.op_at(k.wrapping_sub(2)) {
+                    if op == "::" {
+                        continue;
+                    }
+                }
+            }
+            if k + 1 < b {
+                if let Some((op, _)) = self.op_at(k + 1) {
+                    match op.as_str() {
+                        "::" | "(" | "{" | "!" => continue,
+                        // Struct-pattern field name `x: pat` — the
+                        // binding is the pattern, not the field.
+                        ":" => continue,
+                        _ => {}
+                    }
+                }
+            }
+            out.push(t.text.clone());
+        }
+        out
+    }
+
+    /// Scans from the cursor for the first occurrence of terminator
+    /// operator `what` (e.g. `"="`) at bracket depth 0, also stopping at
+    /// `;`, `{` (depth 0) or end of input. Returns the code index.
+    fn find_at_depth0(&self, what: &[&str]) -> usize {
+        let mut k = self.i;
+        let mut depth = 0i64;
+        while k < self.code.len() {
+            let Some((op, n)) = self.op_at(k) else {
+                k += 1;
+                continue;
+            };
+            match op.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 && !what.contains(&"{") => return k,
+                "{" => depth += 1,
+                "}" => depth -= 1,
+                ";" if depth == 0 => return k,
+                _ => {}
+            }
+            if depth == 0 && what.contains(&op.as_str()) {
+                return k;
+            }
+            if depth < 0 {
+                return k;
+            }
+            k += n;
+        }
+        k
+    }
+
+    // ----- items ---------------------------------------------------
+
+    /// Parses items until code index `end`, registering every `fn`.
+    /// `self_ty` is the enclosing `impl`/`trait` type name.
+    fn parse_items(&mut self, end: usize, self_ty: Option<&str>) {
+        while self.i < end {
+            let before = self.i;
+            self.parse_item(end, self_ty);
+            if self.i == before {
+                self.bump();
+            }
+        }
+    }
+
+    fn parse_item(&mut self, end: usize, self_ty: Option<&str>) {
+        // Attributes.
+        while self.at_punct('#') {
+            self.bump();
+            if self.at_punct('!') {
+                self.bump();
+            }
+            if self.at_punct('[') {
+                self.skip_group();
+            }
+        }
+        // Visibility and qualifiers that may precede `fn`/`impl`/...
+        while self.cur().is_some_and(|t| {
+            t.is_ident("pub")
+                || t.is_ident("async")
+                || t.is_ident("unsafe")
+                || t.is_ident("default")
+        }) {
+            self.bump();
+            if self.at_punct('(') {
+                self.skip_group(); // pub(crate)
+            }
+        }
+        if self.at_ident("extern") {
+            self.bump();
+            if self.cur().is_some_and(|t| t.kind == TokKind::Literal) {
+                self.bump(); // "C"
+            }
+            if self.at_punct('{') {
+                self.skip_group(); // extern block
+                return;
+            }
+        }
+        if self.at_ident("const") || self.at_ident("static") {
+            // `const fn` continues below; `const NAME: ...` is an item.
+            if !self.tok(self.i + 1).is_some_and(|t| t.is_ident("fn")) {
+                self.skip_to_item_end(end);
+                return;
+            }
+            self.bump();
+        }
+        let Some(t) = self.cur() else { return };
+        if t.is_ident("fn") {
+            self.parse_fn(self_ty);
+            return;
+        }
+        if t.is_ident("impl") || t.is_ident("trait") {
+            let is_impl = t.is_ident("impl");
+            self.bump();
+            if self.at_punct('<') {
+                self.skip_angles();
+            }
+            // Collect path segments up to `for`, `{` or `where`; the
+            // last segment before the body names the implemented type.
+            let mut name = String::new();
+            while self.i < end {
+                let Some(t) = self.cur() else { break };
+                if t.is_punct('{') {
+                    break;
+                }
+                if t.kind == TokKind::Ident {
+                    if t.is_ident("where") {
+                        // Bounds; the name is already decided.
+                        while self.i < end && !self.at_punct('{') {
+                            if self.at_punct('<') {
+                                self.skip_angles();
+                            } else if self.at_punct('(') || self.at_punct('[') {
+                                self.skip_group();
+                            } else {
+                                self.bump();
+                            }
+                        }
+                        break;
+                    }
+                    if t.is_ident("for") {
+                        name.clear(); // `impl Trait for Type` — restart
+                        self.bump();
+                        continue;
+                    }
+                    name = t.text.clone();
+                    self.bump();
+                    continue;
+                }
+                if self.at_punct('<') {
+                    self.skip_angles();
+                    continue;
+                }
+                self.bump();
+            }
+            if self.at_punct('{') {
+                let close = self.matching_close();
+                self.bump();
+                let ty = if is_impl || !name.is_empty() {
+                    Some(name)
+                } else {
+                    None
+                };
+                self.parse_items(close, ty.as_deref().filter(|s| !s.is_empty()));
+                if self.at_punct('}') {
+                    self.bump();
+                }
+            }
+            return;
+        }
+        if t.is_ident("mod") {
+            self.bump();
+            if self.cur().is_some_and(|t| t.kind == TokKind::Ident) {
+                self.bump();
+            }
+            if self.at_punct('{') {
+                let close = self.matching_close();
+                self.bump();
+                self.parse_items(close, self_ty);
+                if self.at_punct('}') {
+                    self.bump();
+                }
+            } else if self.at_punct(';') {
+                self.bump();
+            }
+            return;
+        }
+        // Any other item: skip to its end.
+        self.skip_to_item_end(end);
+    }
+
+    /// Code index of the `}` matching the `{` at the cursor.
+    fn matching_close(&self) -> usize {
+        let mut depth = 0usize;
+        let mut k = self.i;
+        while k < self.code.len() {
+            let t = self.tok(k).expect("bounded");
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            k += 1;
+        }
+        self.code.len()
+    }
+
+    /// Skips to the end of the current item: a top-level `;`, or past
+    /// the brace block that forms its body.
+    fn skip_to_item_end(&mut self, end: usize) {
+        let mut depth = 0i64;
+        while self.i < end {
+            let Some(t) = self.cur() else { return };
+            match t.text.as_bytes().first() {
+                Some(b'(' | b'[') if t.kind == TokKind::Punct => depth += 1,
+                Some(b')' | b']') if t.kind == TokKind::Punct => depth -= 1,
+                Some(b'{') if t.kind == TokKind::Punct && depth == 0 => {
+                    self.skip_group();
+                    return;
+                }
+                Some(b';') if t.kind == TokKind::Punct && depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Parses `fn name(params) -> Ret { body }`; the cursor is at `fn`.
+    fn parse_fn(&mut self, self_ty: Option<&str>) {
+        let fn_tok = self.code[self.i];
+        let line = self.toks[fn_tok].line;
+        self.bump(); // fn
+        let name = match self.cur() {
+            Some(t) if t.kind == TokKind::Ident => {
+                let n = t.text.clone();
+                self.bump();
+                n
+            }
+            _ => return,
+        };
+        if self.at_punct('<') {
+            self.skip_angles();
+        }
+        let mut params = Vec::new();
+        if self.at_punct('(') {
+            let close = {
+                // Find the matching `)`.
+                let mut depth = 0i64;
+                let mut k = self.i;
+                loop {
+                    let Some(t) = self.tok(k) else { break k };
+                    if t.is_punct('(') || t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break k;
+                        }
+                    }
+                    k += 1;
+                }
+            };
+            params = self.parse_params(self.i + 1, close);
+            self.i = close + 1;
+        }
+        // Return type / where clause: skip to the body `{` or a `;`.
+        loop {
+            let Some(t) = self.cur() else { return };
+            if t.is_punct(';') {
+                self.bump();
+                return; // trait method without a body
+            }
+            if t.is_punct('{') {
+                break;
+            }
+            if t.is_punct('<') {
+                self.skip_angles();
+            } else if t.is_punct('(') || t.is_punct('[') {
+                self.skip_group();
+            } else {
+                self.bump();
+            }
+        }
+        let open = self.code[self.i];
+        let close_code = self.matching_close();
+        let close = self
+            .code
+            .get(close_code)
+            .copied()
+            .unwrap_or_else(|| self.toks.len().saturating_sub(1));
+        let body = self.parse_block();
+        self.fns.push(FnDef {
+            qual: self_ty.map(|t| format!("{t}::{name}")),
+            name,
+            line,
+            fn_tok,
+            body_span: (open, close),
+            params,
+            body,
+        });
+    }
+
+    /// Parses parameter names in the code range `(a, close)` (exclusive
+    /// of the parens). Tracks angle depth so commas inside generic
+    /// types do not split parameters.
+    fn parse_params(&self, a: usize, close: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut chunk_start = a;
+        let mut depth = 0i64;
+        let mut angles = 0i64;
+        let mut k = a;
+        let flush = |s: usize, e: usize, out: &mut Vec<String>, p: &Self| {
+            if e <= s {
+                return;
+            }
+            // Pattern part: before the first top-level single `:`.
+            let mut pat_end = e;
+            let mut d = 0i64;
+            let mut j = s;
+            while j < e {
+                let Some((op, n)) = p.op_at(j) else {
+                    j += 1;
+                    continue;
+                };
+                match op.as_str() {
+                    "(" | "[" | "{" => d += 1,
+                    ")" | "]" | "}" => d -= 1,
+                    ":" if d == 0 => {
+                        pat_end = j;
+                        break;
+                    }
+                    _ => {}
+                }
+                j += n;
+            }
+            let has_self = (s..pat_end).any(|j| p.tok(j).is_some_and(|t| t.is_ident("self")));
+            if has_self {
+                out.push("self".to_string());
+                return;
+            }
+            let mut names = p.pattern_bindings(s, pat_end);
+            out.append(&mut names);
+        };
+        while k < close {
+            let Some((op, n)) = self.op_at(k) else {
+                k += 1;
+                continue;
+            };
+            match op.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "<" | "<<" => angles += op.len() as i64,
+                ">" | ">>" => angles -= op.len() as i64,
+                "->" | "=>" => {}
+                "," if depth == 0 && angles <= 0 => {
+                    flush(chunk_start, k, &mut out, self);
+                    chunk_start = k + 1;
+                    if angles < 0 {
+                        angles = 0;
+                    }
+                }
+                _ => {}
+            }
+            k += n;
+        }
+        flush(chunk_start, close, &mut out, self);
+        out
+    }
+
+    // ----- statements ----------------------------------------------
+
+    /// Parses `{ stmt* }`; the cursor is at `{`. Consumes the `}`.
+    fn parse_block(&mut self) -> Vec<Stmt> {
+        let close = self.matching_close();
+        self.bump(); // {
+        let mut out = Vec::new();
+        while self.i < close {
+            let before = self.i;
+            if let Some(stmt) = self.parse_stmt(close) {
+                out.push(stmt);
+            }
+            if self.i == before {
+                self.bump();
+            }
+        }
+        if self.at_punct('}') {
+            self.bump();
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_lines)] // one arm per statement form
+    fn parse_stmt(&mut self, end: usize) -> Option<Stmt> {
+        while self.at_punct('#') {
+            self.bump();
+            if self.at_punct('!') {
+                self.bump();
+            }
+            if self.at_punct('[') {
+                self.skip_group();
+            }
+        }
+        if self.i >= end {
+            return None;
+        }
+        let line = self.line();
+        if self.at_punct(';') {
+            self.bump();
+            return None;
+        }
+        if self.at_ident("let") {
+            self.bump();
+            let eq = self.find_at_depth0(&["="]);
+            // Pattern ends at the first top-level `:` (type) or the `=`.
+            let colon = self.find_at_depth0(&[":", "="]);
+            let pat_end = colon.min(eq);
+            let names = self.pattern_bindings(self.i, pat_end);
+            self.i = eq;
+            let mut init = None;
+            let mut else_block = None;
+            if self.eat_op("=") {
+                init = Some(self.parse_expr(false));
+                if self.at_ident("else") {
+                    self.bump();
+                    if self.at_punct('{') {
+                        else_block = Some(self.parse_block());
+                    }
+                }
+            }
+            if self.at_punct(';') {
+                self.bump();
+            }
+            return Some(Stmt {
+                line,
+                kind: StmtKind::Let {
+                    names,
+                    init,
+                    else_block,
+                },
+            });
+        }
+        if self.at_ident("while") {
+            self.bump();
+            let mut bindings = Vec::new();
+            if self.at_ident("let") {
+                self.bump();
+                let eq = self.find_at_depth0(&["="]);
+                bindings = self.pattern_bindings(self.i, eq);
+                self.i = eq;
+                self.eat_op("=");
+            }
+            let cond = self.parse_expr(true);
+            let body = if self.at_punct('{') {
+                self.parse_block()
+            } else {
+                Vec::new()
+            };
+            return Some(Stmt {
+                line,
+                kind: StmtKind::While {
+                    bindings,
+                    cond,
+                    body,
+                },
+            });
+        }
+        if self.at_ident("for") {
+            self.bump();
+            let in_kw = {
+                let mut k = self.i;
+                let mut depth = 0i64;
+                loop {
+                    let Some(t) = self.tok(k) else { break k };
+                    if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                        depth -= 1;
+                    } else if depth == 0 && t.is_ident("in") {
+                        break k;
+                    }
+                    k += 1;
+                }
+            };
+            let names = self.pattern_bindings(self.i, in_kw);
+            self.i = in_kw;
+            if self.at_ident("in") {
+                self.bump();
+            }
+            let iter = self.parse_expr(true);
+            let body = if self.at_punct('{') {
+                self.parse_block()
+            } else {
+                Vec::new()
+            };
+            return Some(Stmt {
+                line,
+                kind: StmtKind::For { names, iter, body },
+            });
+        }
+        if self.at_ident("loop") {
+            self.bump();
+            let body = if self.at_punct('{') {
+                self.parse_block()
+            } else {
+                Vec::new()
+            };
+            return Some(Stmt {
+                line,
+                kind: StmtKind::Loop { body },
+            });
+        }
+        // Loop labels: `'outer: loop { ... }`.
+        if self.cur().is_some_and(|t| t.kind == TokKind::Lifetime)
+            && self.tok(self.i + 1).is_some_and(|t| t.is_punct(':'))
+        {
+            self.bump();
+            self.bump();
+            return self.parse_stmt(end);
+        }
+        if self.at_ident("return") || self.at_ident("break") || self.at_ident("continue") {
+            let keep = self.at_ident("return") || self.at_ident("break");
+            self.bump();
+            if self.cur().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                self.bump(); // break 'label
+            }
+            let value = if keep && !self.at_expr_end() {
+                Some(self.parse_expr(false))
+            } else {
+                None
+            };
+            if self.at_punct(';') {
+                self.bump();
+            }
+            return Some(Stmt {
+                line,
+                kind: StmtKind::Expr {
+                    expr: Expr {
+                        line,
+                        kind: ExprKind::Ret {
+                            value: value.map(Box::new),
+                        },
+                    },
+                    semi: true,
+                },
+            });
+        }
+        // Nested items inside a body.
+        if self.at_ident("fn")
+            || (self.at_ident("const") && self.tok(self.i + 1).is_some_and(|t| t.is_ident("fn")))
+        {
+            if self.at_ident("const") {
+                self.bump();
+            }
+            self.parse_fn(None);
+            return Some(Stmt {
+                line,
+                kind: StmtKind::Item,
+            });
+        }
+        if self.at_ident("struct")
+            || self.at_ident("enum")
+            || self.at_ident("impl")
+            || self.at_ident("trait")
+            || self.at_ident("mod")
+            || self.at_ident("use")
+            || self.at_ident("type")
+            || self.at_ident("static")
+            || self.at_ident("macro_rules")
+            || (self.at_ident("const")
+                && self
+                    .tok(self.i + 1)
+                    .is_some_and(|t| t.kind == TokKind::Ident && !t.is_ident("fn")))
+        {
+            self.skip_to_item_end(end);
+            return Some(Stmt {
+                line,
+                kind: StmtKind::Item,
+            });
+        }
+        // Expression statement, possibly an assignment.
+        let expr = self.parse_expr(false);
+        if let Some((op, n)) = self.peek_op() {
+            let compound = matches!(
+                op.as_str(),
+                "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<=" | ">>="
+            );
+            if op == "=" || compound {
+                self.i += n;
+                let value = self.parse_expr(false);
+                if self.at_punct(';') {
+                    self.bump();
+                }
+                return Some(Stmt {
+                    line,
+                    kind: StmtKind::Assign {
+                        target: expr,
+                        value,
+                        compound,
+                    },
+                });
+            }
+        }
+        let semi = self.at_punct(';');
+        if semi {
+            self.bump();
+        }
+        Some(Stmt {
+            line,
+            kind: StmtKind::Expr { expr, semi },
+        })
+    }
+
+    // ----- expressions ---------------------------------------------
+
+    /// Full expression: short-circuit level (lowest precedence kept).
+    fn parse_expr(&mut self, no_struct: bool) -> Expr {
+        self.depth += 1;
+        let e = if self.depth > 200 {
+            let line = self.line();
+            if !self.at_expr_end() {
+                self.bump();
+            }
+            Expr {
+                line,
+                kind: ExprKind::Unknown,
+            }
+        } else {
+            self.parse_or(no_struct)
+        };
+        self.depth -= 1;
+        e
+    }
+
+    fn parse_or(&mut self, no_struct: bool) -> Expr {
+        let mut lhs = self.parse_cmp(no_struct);
+        while let Some((op, n)) = self.peek_op() {
+            if op != "&&" && op != "||" {
+                break;
+            }
+            self.i += n;
+            let rhs = self.parse_cmp(no_struct);
+            let line = lhs.line;
+            lhs = Expr {
+                line,
+                kind: ExprKind::Binary {
+                    op: BinOp::ShortCircuit,
+                    op_text: op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+            };
+        }
+        lhs
+    }
+
+    fn parse_cmp(&mut self, no_struct: bool) -> Expr {
+        let mut lhs = self.parse_arith(no_struct);
+        while let Some((op, n)) = self.peek_op() {
+            if !matches!(op.as_str(), "==" | "!=" | "<" | ">" | "<=" | ">=") {
+                break;
+            }
+            self.i += n;
+            let rhs = self.parse_arith(no_struct);
+            let line = lhs.line;
+            lhs = Expr {
+                line,
+                kind: ExprKind::Binary {
+                    op: BinOp::Cmp,
+                    op_text: op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+            };
+        }
+        lhs
+    }
+
+    fn parse_arith(&mut self, no_struct: bool) -> Expr {
+        let mut lhs = self.parse_unary(no_struct);
+        loop {
+            if self.at_expr_end() {
+                break;
+            }
+            let Some((op, n)) = self.peek_op() else { break };
+            let class = match op.as_str() {
+                "/" | "%" => BinOp::DivRem,
+                "+" | "-" | "*" | "^" | "&" | "|" | "<<" | ">>" | ".." | "..=" => BinOp::Other,
+                _ => break,
+            };
+            self.i += n;
+            // `a..` / range with no upper bound.
+            if (op == ".." || op == "..=") && (self.at_expr_end() || self.at_punct('{')) {
+                let line = lhs.line;
+                lhs = Expr {
+                    line,
+                    kind: ExprKind::Unary {
+                        expr: Box::new(lhs),
+                    },
+                };
+                break;
+            }
+            let rhs = self.parse_unary(no_struct);
+            let line = lhs.line;
+            lhs = Expr {
+                line,
+                kind: ExprKind::Binary {
+                    op: class,
+                    op_text: op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+            };
+        }
+        lhs
+    }
+
+    #[allow(clippy::too_many_lines)] // one arm per primary form
+    fn parse_unary(&mut self, no_struct: bool) -> Expr {
+        self.depth += 1;
+        let e = self.parse_unary_inner(no_struct);
+        self.depth -= 1;
+        e
+    }
+
+    fn parse_unary_inner(&mut self, no_struct: bool) -> Expr {
+        let line = self.line();
+        if self.depth > 200 {
+            if !self.at_expr_end() {
+                self.bump();
+            }
+            return Expr {
+                line,
+                kind: ExprKind::Unknown,
+            };
+        }
+        // Prefix operators.
+        if let Some((op, n)) = self.peek_op() {
+            match op.as_str() {
+                "!" | "-" | "*" | "&" | "&&" | ".." | "..=" => {
+                    self.i += n;
+                    if op == "&" || op == "&&" {
+                        if self.at_ident("mut") {
+                            self.bump();
+                        }
+                        if self.cur().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                            self.bump();
+                        }
+                    }
+                    if (op == ".." || op == "..=") && self.at_expr_end() {
+                        return Expr {
+                            line,
+                            kind: ExprKind::Lit(String::new()),
+                        };
+                    }
+                    let inner = self.parse_unary(no_struct);
+                    return Expr {
+                        line,
+                        kind: ExprKind::Unary {
+                            expr: Box::new(inner),
+                        },
+                    };
+                }
+                "|" | "||" => return self.parse_closure(),
+                _ => {}
+            }
+        }
+        let primary = self.parse_primary(no_struct);
+        self.parse_postfix(primary, no_struct)
+    }
+
+    fn parse_closure(&mut self) -> Expr {
+        let line = self.line();
+        let mut params = Vec::new();
+        if self.eat_op("||") {
+            // Zero-parameter closure.
+        } else {
+            self.bump(); // opening |
+            let close = {
+                let mut k = self.i;
+                let mut depth = 0i64;
+                loop {
+                    let Some(t) = self.tok(k) else { break k };
+                    if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                        depth -= 1;
+                    } else if depth == 0 && t.is_punct('|') {
+                        break k;
+                    }
+                    k += 1;
+                }
+            };
+            params = self.parse_params(self.i, close);
+            self.i = close + 1;
+        }
+        // Optional `-> Type` before a block body.
+        if self.eat_op("->") {
+            self.skip_type();
+        }
+        let body = if self.at_punct('{') {
+            Expr {
+                line: self.line(),
+                kind: ExprKind::Block(self.parse_block()),
+            }
+        } else {
+            self.parse_expr(false)
+        };
+        Expr {
+            line,
+            kind: ExprKind::Closure {
+                params,
+                body: Box::new(body),
+            },
+        }
+    }
+
+    #[allow(clippy::too_many_lines)] // one arm per primary form
+    fn parse_primary(&mut self, no_struct: bool) -> Expr {
+        let line = self.line();
+        let Some(t) = self.cur() else {
+            return Expr {
+                line,
+                kind: ExprKind::Unknown,
+            };
+        };
+        match t.kind {
+            TokKind::Literal => {
+                let text = t.text.clone();
+                self.bump();
+                Expr {
+                    line,
+                    kind: ExprKind::Lit(text),
+                }
+            }
+            TokKind::Lifetime => {
+                // Loop label in expression position: `'a: loop { ... }`.
+                self.bump();
+                if self.at_punct(':') {
+                    self.bump();
+                }
+                self.parse_primary(no_struct)
+            }
+            TokKind::Punct => match t.text.as_bytes()[0] {
+                b'(' => {
+                    self.bump();
+                    let mut items = Vec::new();
+                    while !self.at_punct(')') && self.cur().is_some() {
+                        let before = self.i;
+                        items.push(self.parse_expr(false));
+                        if self.at_punct(',') {
+                            self.bump();
+                        }
+                        if self.i == before {
+                            self.bump();
+                        }
+                    }
+                    if self.at_punct(')') {
+                        self.bump();
+                    }
+                    match items.len() {
+                        0 => Expr {
+                            line,
+                            kind: ExprKind::Lit(String::new()),
+                        },
+                        1 => items.pop().expect("len checked"),
+                        _ => Expr {
+                            line,
+                            kind: ExprKind::Tuple(items),
+                        },
+                    }
+                }
+                b'[' => {
+                    self.bump();
+                    let mut items = Vec::new();
+                    while !self.at_punct(']') && self.cur().is_some() {
+                        let before = self.i;
+                        items.push(self.parse_expr(false));
+                        if self.at_punct(',') || self.at_punct(';') {
+                            self.bump();
+                        }
+                        if self.i == before {
+                            self.bump();
+                        }
+                    }
+                    if self.at_punct(']') {
+                        self.bump();
+                    }
+                    Expr {
+                        line,
+                        kind: ExprKind::Tuple(items),
+                    }
+                }
+                b'{' => Expr {
+                    line,
+                    kind: ExprKind::Block(self.parse_block()),
+                },
+                _ => {
+                    // Unrecognized punctuation: consume to guarantee
+                    // progress.
+                    self.bump();
+                    Expr {
+                        line,
+                        kind: ExprKind::Unknown,
+                    }
+                }
+            },
+            TokKind::Ident => self.parse_ident_primary(no_struct),
+            TokKind::Comment => {
+                self.bump();
+                Expr {
+                    line,
+                    kind: ExprKind::Unknown,
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)] // keyword dispatch + path forms
+    fn parse_ident_primary(&mut self, no_struct: bool) -> Expr {
+        let line = self.line();
+        let t = self.cur().expect("caller checked");
+        if t.is_ident("if") {
+            return self.parse_if();
+        }
+        if t.is_ident("match") {
+            return self.parse_match();
+        }
+        if t.is_ident("unsafe") {
+            self.bump();
+            if self.at_punct('{') {
+                return Expr {
+                    line,
+                    kind: ExprKind::Block(self.parse_block()),
+                };
+            }
+            return Expr {
+                line,
+                kind: ExprKind::Unknown,
+            };
+        }
+        if t.is_ident("loop") || t.is_ident("while") || t.is_ident("for") {
+            // Loop in expression position: reuse the statement parser
+            // and wrap the result.
+            let end = self.code.len();
+            let stmt = self.parse_stmt(end);
+            return Expr {
+                line,
+                kind: ExprKind::Block(stmt.into_iter().collect()),
+            };
+        }
+        if t.is_ident("move") {
+            self.bump();
+            if self.at_punct('|') || self.peek_op().is_some_and(|(o, _)| o == "||") {
+                return self.parse_closure();
+            }
+            if self.at_punct('{') {
+                return Expr {
+                    line,
+                    kind: ExprKind::Block(self.parse_block()),
+                };
+            }
+            return Expr {
+                line,
+                kind: ExprKind::Unknown,
+            };
+        }
+        if t.is_ident("return") || t.is_ident("break") {
+            self.bump();
+            if self.cur().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                self.bump();
+            }
+            let value = if self.at_expr_end() || self.at_punct('{') {
+                None
+            } else {
+                Some(Box::new(self.parse_expr(no_struct)))
+            };
+            return Expr {
+                line,
+                kind: ExprKind::Ret { value },
+            };
+        }
+        if t.is_ident("continue") {
+            self.bump();
+            return Expr {
+                line,
+                kind: ExprKind::Ret { value: None },
+            };
+        }
+        // A path: `seg (:: seg | ::<...>)*`.
+        let mut segs = vec![t.text.clone()];
+        self.bump();
+        while let Some((op, n)) = self.peek_op() {
+            if op != "::" {
+                break;
+            }
+            self.i += n;
+            if self.at_punct('<') {
+                self.skip_angles(); // turbofish
+                continue;
+            }
+            match self.cur() {
+                Some(t) if t.kind == TokKind::Ident => {
+                    segs.push(t.text.clone());
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        // Macro invocation: `name!(...)`, `name![...]`, `name!{...}`.
+        if self.at_punct('!')
+            && self
+                .tok(self.i + 1)
+                .is_some_and(|t| t.is_punct('(') || t.is_punct('[') || t.is_punct('{'))
+        {
+            self.bump(); // !
+            let open_char = self.cur().map_or('(', |t| {
+                char::from(*t.text.as_bytes().first().unwrap_or(&b'('))
+            });
+            let close_char = match open_char {
+                '[' => ']',
+                '{' => '}',
+                _ => ')',
+            };
+            let close = {
+                let mut k = self.i;
+                let mut depth = 0i64;
+                loop {
+                    let Some(t) = self.tok(k) else { break k };
+                    if t.is_punct(open_char) {
+                        depth += 1;
+                    } else if t.is_punct(close_char) {
+                        depth -= 1;
+                        if depth == 0 {
+                            break k;
+                        }
+                    }
+                    k += 1;
+                }
+            };
+            self.bump(); // opener
+            let mut args = Vec::new();
+            while self.i < close {
+                let before = self.i;
+                args.push(self.parse_expr(false));
+                if self.at_punct(',') || self.at_punct(';') {
+                    self.bump();
+                }
+                if self.i == before {
+                    self.bump();
+                }
+            }
+            self.i = close + 1;
+            return Expr {
+                line,
+                kind: ExprKind::Macro {
+                    name: segs.last().cloned().unwrap_or_default(),
+                    args,
+                },
+            };
+        }
+        // Struct literal: `Name { field: e, .. }` outside condition
+        // position, with an uppercase head segment.
+        let head_upper = segs
+            .last()
+            .and_then(|s| s.chars().next())
+            .is_some_and(char::is_uppercase);
+        if !no_struct && head_upper && self.at_punct('{') {
+            let close = self.matching_close();
+            self.bump(); // {
+            let mut fields = Vec::new();
+            let mut base = None;
+            while self.i < close {
+                let before = self.i;
+                if self.eat_op("..") {
+                    base = Some(Box::new(self.parse_expr(false)));
+                } else if self.cur().is_some_and(|t| t.kind == TokKind::Ident) {
+                    let fname = self.cur().expect("checked").text.clone();
+                    let fline = self.line();
+                    self.bump();
+                    if self.at_punct(':')
+                        && !matches!(self.peek_op(), Some((ref o, _)) if o == "::")
+                    {
+                        self.bump();
+                        let value = self.parse_expr(false);
+                        fields.push((fname, value));
+                    } else {
+                        // Shorthand `Name { x }`.
+                        let value = Expr {
+                            line: fline,
+                            kind: ExprKind::Path(vec![fname.clone()]),
+                        };
+                        fields.push((fname, value));
+                    }
+                }
+                if self.at_punct(',') {
+                    self.bump();
+                }
+                if self.i == before {
+                    self.bump();
+                }
+            }
+            if self.at_punct('}') {
+                self.bump();
+            }
+            return Expr {
+                line,
+                kind: ExprKind::StructLit {
+                    name: segs.last().cloned().unwrap_or_default(),
+                    fields,
+                    base,
+                },
+            };
+        }
+        Expr {
+            line,
+            kind: ExprKind::Path(segs),
+        }
+    }
+
+    /// Postfix chain: field access, method calls, calls, indexing, `?`,
+    /// `as` casts, `.await`.
+    fn parse_postfix(&mut self, mut e: Expr, no_struct: bool) -> Expr {
+        while let Some(t) = self.cur() {
+            if t.is_punct('?') {
+                self.bump();
+                continue;
+            }
+            if t.is_ident("as") {
+                self.bump();
+                self.skip_type();
+                continue;
+            }
+            if t.is_punct('.') {
+                // Not `..` — ranges are handled by the binary level.
+                if let Some((op, _)) = self.peek_op() {
+                    if op == ".." || op == "..=" {
+                        break;
+                    }
+                }
+                self.bump();
+                let Some(nt) = self.cur() else { break };
+                let line = nt.line;
+                if nt.kind == TokKind::Literal {
+                    let name = nt.text.clone();
+                    self.bump();
+                    e = Expr {
+                        line,
+                        kind: ExprKind::Field {
+                            base: Box::new(e),
+                            name,
+                        },
+                    };
+                    continue;
+                }
+                if nt.kind == TokKind::Ident {
+                    let name = nt.text.clone();
+                    self.bump();
+                    if name == "await" {
+                        continue;
+                    }
+                    // Optional turbofish between name and `(`.
+                    if matches!(self.peek_op(), Some((ref o, _)) if o == "::") {
+                        let save = self.i;
+                        self.eat_op("::");
+                        if self.at_punct('<') {
+                            self.skip_angles();
+                        } else {
+                            self.i = save;
+                        }
+                    }
+                    if self.at_punct('(') {
+                        let args = self.parse_call_args();
+                        e = Expr {
+                            line,
+                            kind: ExprKind::MethodCall {
+                                recv: Box::new(e),
+                                name,
+                                args,
+                            },
+                        };
+                    } else {
+                        e = Expr {
+                            line,
+                            kind: ExprKind::Field {
+                                base: Box::new(e),
+                                name,
+                            },
+                        };
+                    }
+                    continue;
+                }
+                break;
+            }
+            if t.is_punct('(') {
+                let line = e.line;
+                let args = self.parse_call_args();
+                e = Expr {
+                    line,
+                    kind: ExprKind::Call {
+                        callee: Box::new(e),
+                        args,
+                    },
+                };
+                continue;
+            }
+            if t.is_punct('[') {
+                let line = t.line;
+                self.bump();
+                let index = self.parse_expr(false);
+                if self.at_punct(']') {
+                    self.bump();
+                }
+                e = Expr {
+                    line,
+                    kind: ExprKind::Index {
+                        base: Box::new(e),
+                        index: Box::new(index),
+                    },
+                };
+                continue;
+            }
+            let _ = no_struct;
+            break;
+        }
+        e
+    }
+
+    /// Parses `( arg, arg, ... )`; the cursor is at `(`.
+    fn parse_call_args(&mut self) -> Vec<Expr> {
+        self.bump(); // (
+        let mut args = Vec::new();
+        while !self.at_punct(')') && self.cur().is_some() {
+            let before = self.i;
+            args.push(self.parse_expr(false));
+            if self.at_punct(',') {
+                self.bump();
+            }
+            if self.i == before {
+                self.bump();
+            }
+        }
+        if self.at_punct(')') {
+            self.bump();
+        }
+        args
+    }
+
+    /// Parses `if [let pat =] cond { then } [else ...]`; cursor at `if`.
+    fn parse_if(&mut self) -> Expr {
+        let line = self.line();
+        self.bump(); // if
+        let mut bindings = Vec::new();
+        if self.at_ident("let") {
+            self.bump();
+            let eq = self.find_at_depth0(&["="]);
+            bindings = self.pattern_bindings(self.i, eq);
+            self.i = eq;
+            self.eat_op("=");
+        }
+        let cond = self.parse_expr(true);
+        let then = if self.at_punct('{') {
+            self.parse_block()
+        } else {
+            Vec::new()
+        };
+        let els = if self.at_ident("else") {
+            self.bump();
+            if self.at_ident("if") {
+                Some(Box::new(self.parse_if()))
+            } else if self.at_punct('{') {
+                Some(Box::new(Expr {
+                    line: self.line(),
+                    kind: ExprKind::Block(self.parse_block()),
+                }))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Expr {
+            line,
+            kind: ExprKind::If {
+                bindings,
+                cond: Box::new(cond),
+                then,
+                els,
+            },
+        }
+    }
+
+    /// Parses `match scrutinee { pat [if guard] => body, ... }`.
+    fn parse_match(&mut self) -> Expr {
+        let line = self.line();
+        self.bump(); // match
+        let scrutinee = self.parse_expr(true);
+        if !self.at_punct('{') {
+            return Expr {
+                line,
+                kind: ExprKind::Match {
+                    scrutinee: Box::new(scrutinee),
+                    arms: Vec::new(),
+                },
+            };
+        }
+        let close = self.matching_close();
+        self.bump(); // {
+        let mut arms = Vec::new();
+        while self.i < close {
+            let before = self.i;
+            let arm_line = self.line();
+            // Pattern: to the first depth-0 `=>` or guard `if`.
+            let mut k = self.i;
+            let mut depth = 0i64;
+            let mut guard_at = None;
+            let arrow = loop {
+                if k >= close {
+                    break k;
+                }
+                if let Some(t) = self.tok(k) {
+                    if depth == 0 && t.is_ident("if") {
+                        guard_at = Some(k);
+                        // Continue scanning for the `=>`.
+                    }
+                }
+                let Some((op, n)) = self.op_at(k) else {
+                    k += 1;
+                    continue;
+                };
+                match op.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "=>" if depth == 0 => break k,
+                    _ => {}
+                }
+                k += n;
+            };
+            let pat_end = guard_at.unwrap_or(arrow);
+            let bindings = self.pattern_bindings(self.i, pat_end);
+            let guard = guard_at.map(|g| {
+                self.i = g + 1; // past `if`
+                self.parse_expr(true)
+            });
+            self.i = arrow;
+            if !self.eat_op("=>") {
+                // Malformed arm; skip one token and retry.
+                if self.i == before {
+                    self.bump();
+                }
+                continue;
+            }
+            let body = self.parse_expr(false);
+            if self.at_punct(',') {
+                self.bump();
+            }
+            arms.push(Arm {
+                bindings,
+                guard,
+                body,
+                line: arm_line,
+            });
+            if self.i == before {
+                self.bump();
+            }
+        }
+        if self.at_punct('}') {
+            self.bump();
+        }
+        Expr {
+            line,
+            kind: ExprKind::Match {
+                scrutinee: Box::new(scrutinee),
+                arms,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> FileAst {
+        parse_file(&lex(src))
+    }
+
+    #[test]
+    fn fn_names_params_and_impl_qualification() {
+        let ast = parse(
+            "fn free(a: u64, b: &mut [u64]) {}\n\
+             impl Foo { pub fn method(&self, x: u64) -> u64 { x } }\n\
+             impl Bar for Foo { fn trait_method(self) {} }",
+        );
+        let names: Vec<_> = ast.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["free", "method", "trait_method"]);
+        assert_eq!(ast.fns[0].params, vec!["a", "b"]);
+        assert_eq!(ast.fns[1].params, vec!["self", "x"]);
+        assert_eq!(ast.fns[1].qual.as_deref(), Some("Foo::method"));
+        assert_eq!(ast.fns[2].qual.as_deref(), Some("Foo::trait_method"));
+    }
+
+    #[test]
+    fn generic_params_do_not_split_on_inner_commas() {
+        let ast = parse("fn f(m: Map<K, V>, n: u32) {}");
+        assert_eq!(ast.fns[0].params, vec!["m", "n"]);
+    }
+
+    #[test]
+    fn let_collects_pattern_bindings() {
+        let ast = parse("fn f() { let (a, b) = g(); let Some(x) = h() else { return; }; }");
+        let body = &ast.fns[0].body;
+        let StmtKind::Let { names, .. } = &body[0].kind else {
+            panic!("expected let: {body:?}");
+        };
+        assert_eq!(names, &["a", "b"]);
+        let StmtKind::Let {
+            names, else_block, ..
+        } = &body[1].kind
+        else {
+            panic!("expected let-else");
+        };
+        assert_eq!(names, &["x"]);
+        assert!(else_block.is_some());
+    }
+
+    #[test]
+    fn operators_are_joined_and_classified() {
+        let ast = parse("fn f(a: u64, b: u64) -> bool { a / b == a % b && a <= b }");
+        let StmtKind::Expr { expr, semi } = &ast.fns[0].body[0].kind else {
+            panic!("expected tail expr");
+        };
+        assert!(!semi);
+        let ExprKind::Binary { op, .. } = &expr.kind else {
+            panic!("expected binary: {expr:?}");
+        };
+        assert_eq!(*op, BinOp::ShortCircuit);
+    }
+
+    #[test]
+    fn if_let_and_match_bindings() {
+        let ast = parse(
+            "fn f(o: Option<u64>) -> u64 {\n\
+               if let Some(v) = o { v } else { 0 };\n\
+               match o { Some(w) if w > 1 => w, _ => 0 }\n\
+             }",
+        );
+        let body = &ast.fns[0].body;
+        let StmtKind::Expr { expr, .. } = &body[0].kind else {
+            panic!("expected if stmt");
+        };
+        let ExprKind::If { bindings, .. } = &expr.kind else {
+            panic!("expected if: {expr:?}");
+        };
+        assert_eq!(bindings, &["v"]);
+        let StmtKind::Expr { expr, .. } = &body[1].kind else {
+            panic!("expected match stmt");
+        };
+        let ExprKind::Match { arms, .. } = &expr.kind else {
+            panic!("expected match: {expr:?}");
+        };
+        assert_eq!(arms.len(), 2);
+        assert_eq!(arms[0].bindings, vec!["w"]);
+        assert!(arms[0].guard.is_some());
+    }
+
+    #[test]
+    fn method_chains_calls_and_indexing() {
+        let ast =
+            parse("fn f(v: Vec<u64>) -> u64 { v.iter().map(|x| x + 1).collect::<Vec<_>>()[0] }");
+        let StmtKind::Expr { expr, .. } = &ast.fns[0].body[0].kind else {
+            panic!("expected tail");
+        };
+        let ExprKind::Index { base, .. } = &expr.kind else {
+            panic!("expected index: {expr:?}");
+        };
+        let ExprKind::MethodCall { name, .. } = &base.kind else {
+            panic!("expected method call");
+        };
+        assert_eq!(name, "collect");
+    }
+
+    #[test]
+    fn struct_literals_and_macros() {
+        let ast = parse("fn f(x: u64) -> Foo { assert!(x > 0); Foo { a: x, b } }");
+        let body = &ast.fns[0].body;
+        let StmtKind::Expr { expr, .. } = &body[0].kind else {
+            panic!("expected macro stmt");
+        };
+        let ExprKind::Macro { name, args } = &expr.kind else {
+            panic!("expected macro: {expr:?}");
+        };
+        assert_eq!(name, "assert");
+        assert_eq!(args.len(), 1);
+        let StmtKind::Expr { expr, .. } = &body[1].kind else {
+            panic!("expected struct lit");
+        };
+        let ExprKind::StructLit { name, fields, .. } = &expr.kind else {
+            panic!("expected struct lit: {expr:?}");
+        };
+        assert_eq!(name, "Foo");
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[1].0, "b"); // shorthand
+    }
+
+    #[test]
+    fn condition_position_blocks_struct_literals() {
+        // `if x { ... }` — the `{` opens the then-block, not a literal.
+        let ast = parse("fn f(x: bool) { if x { g(); } }");
+        let StmtKind::Expr { expr, .. } = &ast.fns[0].body[0].kind else {
+            panic!("expected if");
+        };
+        let ExprKind::If { cond, then, .. } = &expr.kind else {
+            panic!("expected if: {expr:?}");
+        };
+        assert!(matches!(cond.kind, ExprKind::Path(_)));
+        assert_eq!(then.len(), 1);
+    }
+
+    #[test]
+    fn nested_fns_are_lifted_and_loops_parse() {
+        let ast = parse(
+            "fn outer() { fn inner(q: u64) {} for i in 0..4 { inner(i); } while go() { step(); } }",
+        );
+        let names: Vec<_> = ast.fns.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"outer") && names.contains(&"inner"));
+        let outer = ast.fns.iter().find(|f| f.name == "outer").expect("outer");
+        assert!(outer
+            .body
+            .iter()
+            .any(|s| matches!(s.kind, StmtKind::For { .. })));
+        assert!(outer
+            .body
+            .iter()
+            .any(|s| matches!(s.kind, StmtKind::While { .. })));
+    }
+
+    #[test]
+    fn recovery_never_hangs_on_malformed_source() {
+        // Unbalanced/garbled input must still terminate.
+        for src in [
+            "fn f( { ) } ",
+            "fn f() { let = ; match { } }",
+            "impl { fn g() { if { } } }",
+            "fn f() { a.. ; ..b; .. }",
+            "fn f() { x | | y; }",
+        ] {
+            let _ = parse(src);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! SARIF 2.1.0 and GitHub-annotation rendering (`--format sarif` /
+//! `--format github`).
+//!
+//! The SARIF document is hand-rendered (the crate is dependency-free)
+//! with the minimal shape GitHub code scanning ingests: one run, one
+//! driver, one rule per check label, one result per finding with a
+//! `physicalLocation`. The `github` format prints workflow commands
+//! (`::error file=...,line=...::...`) so findings surface as inline PR
+//! annotations even without a SARIF upload step.
+
+use crate::analyze::Finding;
+use crate::baseline::escape;
+
+/// Renders `findings` as a SARIF 2.1.0 document.
+#[must_use]
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut rules: Vec<&'static str> = findings.iter().map(|f| f.check.label()).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    let mut out = String::from("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"pasta-audit\",\n");
+    out.push_str("          \"informationUri\": \"ARCHITECTURE.md\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in rules.iter().enumerate() {
+        let comma = if i + 1 == rules.len() { "" } else { "," };
+        out.push_str(&format!(
+            "            {{ \"id\": {} }}{comma}\n",
+            escape(rule)
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let comma = if i + 1 == findings.len() { "" } else { "," };
+        out.push_str("        {\n");
+        out.push_str(&format!(
+            "          \"ruleId\": {},\n",
+            escape(f.check.label())
+        ));
+        out.push_str("          \"level\": \"error\",\n");
+        out.push_str(&format!(
+            "          \"message\": {{ \"text\": {} }},\n",
+            escape(&f.message)
+        ));
+        out.push_str("          \"locations\": [\n            {\n");
+        out.push_str("              \"physicalLocation\": {\n");
+        out.push_str(&format!(
+            "                \"artifactLocation\": {{ \"uri\": {} }},\n",
+            escape(&f.file)
+        ));
+        out.push_str(&format!(
+            "                \"region\": {{ \"startLine\": {} }}\n",
+            f.line
+        ));
+        out.push_str("              }\n            }\n          ]\n");
+        out.push_str(&format!("        }}{comma}\n"));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// Renders `findings` as GitHub Actions workflow commands, one
+/// annotation per finding.
+#[must_use]
+pub fn render_github(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        // Workflow-command message escaping: %, CR, LF.
+        let msg = format!("[{}] {}", f.check.label(), f.message)
+            .replace('%', "%25")
+            .replace('\r', "%0D")
+            .replace('\n', "%0A");
+        out.push_str(&format!(
+            "::error file={},line={}::{}\n",
+            f.file, f.line, msg
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{Check, Finding};
+
+    fn finding() -> Finding {
+        Finding {
+            file: "crates/core/src/cipher.rs".to_string(),
+            line: 7,
+            check: Check::SecretFlow,
+            message: "secret value `key` feeds an `if` condition".to_string(),
+            text: "if key[0] == 0 {".to_string(),
+        }
+    }
+
+    #[test]
+    fn sarif_has_schema_rule_and_location() {
+        let doc = render_sarif(&[finding()]);
+        assert!(doc.contains("\"version\": \"2.1.0\""));
+        assert!(doc.contains("\"ruleId\": \"secret-flow\""));
+        assert!(doc.contains("\"uri\": \"crates/core/src/cipher.rs\""));
+        assert!(doc.contains("\"startLine\": 7"));
+        // Minimal well-formedness: balanced braces/brackets.
+        let bal = |open: char, close: char| {
+            doc.chars().filter(|&c| c == open).count()
+                == doc.chars().filter(|&c| c == close).count()
+        };
+        assert!(bal('{', '}') && bal('[', ']'));
+    }
+
+    #[test]
+    fn sarif_empty_run_is_valid() {
+        let doc = render_sarif(&[]);
+        assert!(doc.contains("\"results\": [\n      ]"));
+    }
+
+    #[test]
+    fn github_format_escapes_newlines() {
+        let mut f = finding();
+        f.message = "line1\nline2".to_string();
+        let text = render_github(&[f]);
+        assert!(text.starts_with("::error file=crates/core/src/cipher.rs,line=7::"));
+        assert!(text.contains("%0A") && !text.trim_end().contains('\n'));
+    }
+}

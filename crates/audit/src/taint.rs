@@ -1,0 +1,912 @@
+//! Interprocedural secret-taint dataflow.
+//!
+//! Taint starts at `// audit: secret` roots — annotated struct fields,
+//! `let` bindings, statics, and `// audit: secret(a, b)` function
+//! parameters — and propagates through bindings, assignments, call
+//! arguments, return values and field projections until fixpoint.
+//! The abstract value per expression is a pair of 64-bit sets: bit 0
+//! is ROOT ("depends on annotated secret state"), bit `j + 1` is
+//! "depends on parameter `j` of the enclosing function". The `direct`
+//! set is taint carried by the value itself; the `held` set is taint
+//! wrapped inside a struct's fields (a `Keystream` *contains* the key
+//! but *is not* the key), built when a struct literal packs tainted
+//! values. Only `direct` taint fires sinks: branching on
+//! `self.position` of a key-holding struct is fine, while the key
+//! itself re-emerges as direct taint through its annotated field
+//! projections (`.elements`, `.cache`, …). Function summaries map both
+//! sets through call sites, so a secret flowing through two layers of
+//! helpers into a branch is still caught; the per-function sets only
+//! ever grow, which makes the fixpoint terminate even on call-graph
+//! cycles.
+//!
+//! Sinks — flagged only in non-test code of the [`SECRET_CRATES`] —
+//! are the places where a secret-dependent value changes timing or
+//! addressing on the paper's edge target: `if`/`while` conditions,
+//! `match` scrutinees and guards, slice indices, `/` and `%` operands,
+//! and comparisons in early-`return`/tail/short-circuit position.
+//! `// audit: sanitizes(x)` on a function declassifies parameter `x`'s
+//! contribution to the return value (ciphertext leaving an encryption
+//! boundary); `sanitizes(return)` declassifies the whole return value.
+//! Rebinding a name to public data (`let key = 0;`) overwrites its
+//! taint — shadowing is not a leak.
+
+use crate::analyze::{
+    classify_secret_decl, Ann, Check, Finding, SecretTarget, Secrets, SourceFile, SECRET_CRATES,
+};
+use crate::callgraph::CallGraph;
+use crate::parse::{BinOp, Expr, ExprKind, FileAst, FnDef, Stmt, StmtKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Bit 0 of a taint set: depends on annotated secret state.
+const ROOT: u64 = 1;
+
+/// Methods whose return value is public metadata of any receiver.
+const NEUTRAL_METHODS: &[&str] = &["len", "is_empty", "capacity"];
+
+/// Ubiquitous std method names treated as identity passthrough (result =
+/// union of receiver and arguments) and never resolved to workspace
+/// definitions. A workspace type that happens to define one of these
+/// (e.g. a manual `Clone` impl, or a parser with an `expect` method)
+/// would otherwise capture every same-name call in the workspace via
+/// bare-name resolution — yielding both false param marks and, worse,
+/// silently *dropped* taint when the impostor's summary differs from
+/// the std semantics.
+const PASSTHROUGH_METHODS: &[&str] = &[
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "clone",
+    "cloned",
+    "copied",
+    "expect",
+    "into",
+    "to_owned",
+    "to_vec",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+];
+
+/// Iteration cap for the interprocedural fixpoint — a backstop far
+/// above what the monotone lattice (64 bits per function) can need.
+const MAX_ITERS: usize = 100;
+
+/// One abstract taint value: `direct` is taint carried by the value
+/// itself (fires sinks), `held` is taint wrapped inside the value's
+/// struct fields (a container of secrets, not itself a secret), plus a
+/// best-effort witness naming the secret source (for messages; never
+/// affects the lattice).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Taint {
+    direct: u64,
+    held: u64,
+    wit: Option<String>,
+}
+
+impl Taint {
+    fn root(wit: String) -> Taint {
+        Taint {
+            direct: ROOT,
+            held: 0,
+            wit: Some(wit),
+        }
+    }
+
+    fn param(j: usize) -> Taint {
+        if j < 63 {
+            Taint {
+                direct: 1 << (j + 1),
+                held: 0,
+                wit: None,
+            }
+        } else {
+            Taint::default()
+        }
+    }
+
+    fn union(&mut self, other: &Taint) {
+        self.direct |= other.direct;
+        self.held |= other.held;
+        if self.wit.is_none() {
+            self.wit.clone_from(&other.wit);
+        }
+    }
+
+    /// Folds `other` in as *contents*: whatever `other` is — secret or
+    /// container — the receiver merely holds it behind a field.
+    fn absorb(&mut self, other: &Taint) {
+        self.held |= other.direct | other.held;
+        if self.wit.is_none() {
+            self.wit.clone_from(&other.wit);
+        }
+    }
+}
+
+/// Sink-position flags threaded through expression evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+struct Ctx {
+    /// Inside an `if`/`while`/`match` condition that is flagged as a
+    /// whole — suppresses nested comparison findings.
+    in_cond: bool,
+    /// In return/tail/closure-body position — an early-exit comparison
+    /// here is an observable timing signal.
+    ret_pos: bool,
+    /// Direct operand of `&&`/`||` — evaluation short-circuits.
+    under_sc: bool,
+}
+
+impl Ctx {
+    /// The context for ordinary sub-expressions: position flags do not
+    /// survive into arguments/operands, condition membership does.
+    fn sub(self) -> Ctx {
+        Ctx {
+            in_cond: self.in_cond,
+            ret_pos: false,
+            under_sc: false,
+        }
+    }
+}
+
+/// Per-file taint roots derived from annotations.
+#[derive(Default)]
+struct FileRoots {
+    /// `let` line → bound name, for `// audit: secret` on a local.
+    secret_lets: BTreeMap<usize, String>,
+    /// Names of `// audit: secret` statics/consts (file scope).
+    secret_statics: BTreeSet<String>,
+}
+
+/// Per-function evaluation frame.
+struct Frame {
+    file: usize,
+    fn_id: usize,
+    self_ty: Option<String>,
+    env: BTreeMap<String, Taint>,
+    ret: Taint,
+    report: bool,
+}
+
+struct Engine<'a> {
+    files: &'a [SourceFile],
+    asts: &'a [FileAst],
+    cg: &'a CallGraph,
+    secrets: &'a Secrets,
+    roots: Vec<FileRoots>,
+    /// Whether each file's roots/sinks are live (crate ∈ SECRET_CRATES).
+    secret_file: Vec<bool>,
+    /// Per-fn return-taint summary.
+    summaries: Vec<Taint>,
+    /// Per-fn, per-param: is this parameter fed secret data anywhere?
+    param_secret: Vec<Vec<bool>>,
+    /// Per-fn extra secret names from `secret(...)` that are not
+    /// parameters (locals the annotation vouches for).
+    extra_secret: BTreeMap<usize, Vec<String>>,
+    /// Per-fn declassification list from `sanitizes(...)`.
+    sanitize: BTreeMap<usize, Vec<String>>,
+    changed: bool,
+    findings: Vec<Finding>,
+    seen: BTreeSet<(usize, usize, String)>,
+}
+
+/// Runs the interprocedural taint analysis over the whole workspace and
+/// returns the sink findings (unfiltered — the caller applies
+/// `audit: allow` suppression).
+#[must_use]
+pub fn taint_pass(
+    files: &[SourceFile],
+    asts: &[FileAst],
+    cg: &CallGraph,
+    secrets: &Secrets,
+) -> Vec<Finding> {
+    let mut eng = Engine::new(files, asts, cg, secrets);
+    for _ in 0..MAX_ITERS {
+        eng.changed = false;
+        for id in 0..cg.fns.len() {
+            eng.eval_fn(id, false);
+        }
+        if !eng.changed {
+            break;
+        }
+    }
+    for id in 0..cg.fns.len() {
+        let key = cg.fns[id];
+        let def = &asts[key.file].fns[key.idx];
+        if eng.secret_file[key.file] && !files[key.file].tok_is_test(def.fn_tok) {
+            eng.eval_fn(id, true);
+        }
+    }
+    eng.findings
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        files: &'a [SourceFile],
+        asts: &'a [FileAst],
+        cg: &'a CallGraph,
+        secrets: &'a Secrets,
+    ) -> Engine<'a> {
+        let secret_file: Vec<bool> = files
+            .iter()
+            .map(|sf| SECRET_CRATES.contains(&sf.crate_name.as_str()))
+            .collect();
+        let mut roots: Vec<FileRoots> = Vec::with_capacity(files.len());
+        let mut param_secret: Vec<Vec<bool>> = cg
+            .fns
+            .iter()
+            .map(|k| vec![false; asts[k.file].fns[k.idx].params.len()])
+            .collect();
+        let mut extra_secret: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        let mut sanitize: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        // Global id of the first fn in `file` whose `fn` token follows
+        // the annotation token — the fn an annotation attaches to.
+        let fn_after = |file: usize, tok: usize| -> Option<usize> {
+            (0..cg.fns.len())
+                .filter(|&id| cg.fns[id].file == file)
+                .filter(|&id| {
+                    let k = cg.fns[id];
+                    asts[k.file].fns[k.idx].fn_tok > tok
+                })
+                .min_by_key(|&id| {
+                    let k = cg.fns[id];
+                    asts[k.file].fns[k.idx].fn_tok
+                })
+        };
+        for (fi, sf) in files.iter().enumerate() {
+            let mut fr = FileRoots::default();
+            for ann in &sf.anns {
+                match ann {
+                    Ann::SecretDecl { tok } if secret_file[fi] => {
+                        match classify_secret_decl(&sf.toks, *tok) {
+                            SecretTarget::Let { name, tok } => {
+                                fr.secret_lets.insert(sf.toks[tok].line, name);
+                            }
+                            SecretTarget::Static(name) => {
+                                fr.secret_statics.insert(name);
+                            }
+                            _ => {}
+                        }
+                    }
+                    Ann::SecretParams { tok, names } if secret_file[fi] => {
+                        if let Some(id) = fn_after(fi, *tok) {
+                            let k = cg.fns[id];
+                            let def = &asts[k.file].fns[k.idx];
+                            for n in names {
+                                if let Some(j) = def.params.iter().position(|p| p == n) {
+                                    param_secret[id][j] = true;
+                                } else {
+                                    extra_secret.entry(id).or_default().push(n.clone());
+                                }
+                            }
+                        }
+                    }
+                    Ann::Sanitizes { tok, names } => {
+                        if let Some(id) = fn_after(fi, *tok) {
+                            sanitize
+                                .entry(id)
+                                .or_default()
+                                .extend(names.iter().cloned());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            roots.push(fr);
+        }
+        Engine {
+            files,
+            asts,
+            cg,
+            secrets,
+            roots,
+            secret_file,
+            summaries: vec![Taint::default(); cg.fns.len()],
+            param_secret,
+            extra_secret,
+            sanitize,
+            changed: false,
+            findings: Vec::new(),
+            seen: BTreeSet::new(),
+        }
+    }
+
+    fn def(&self, id: usize) -> &'a FnDef {
+        let k = self.cg.fns[id];
+        &self.asts[k.file].fns[k.idx]
+    }
+
+    /// Evaluates one function body; updates its summary and, when
+    /// `report` is set, emits sink findings.
+    fn eval_fn(&mut self, id: usize, report: bool) {
+        let key = self.cg.fns[id];
+        let def = self.def(id);
+        let mut fr = Frame {
+            file: key.file,
+            fn_id: id,
+            self_ty: def
+                .qual
+                .as_deref()
+                .and_then(|q| q.split("::").next())
+                .map(str::to_string),
+            env: BTreeMap::new(),
+            ret: Taint::default(),
+            report,
+        };
+        for (j, p) in def.params.iter().enumerate() {
+            fr.env.insert(p.clone(), Taint::param(j));
+        }
+        if let Some(extras) = self.extra_secret.get(&id) {
+            for n in extras.clone() {
+                fr.env.insert(n.clone(), Taint::root(n));
+            }
+        }
+        // The body's tail is the function's *only* exit, not an early
+        // one — a tail `parity == 1` is branchless materialization, so
+        // `tail_ret` stays false; explicit `return` and closure bodies
+        // (callback-driven early exit in `find`/`position`/`any`) set
+        // their own return position.
+        let tail = self.eval_stmts(&mut fr, &def.body, false);
+        fr.ret.union(&tail);
+        let mut sum = fr.ret;
+        if let Some(names) = self.sanitize.get(&id) {
+            for n in names {
+                if n == "return" {
+                    sum = Taint::default();
+                } else if let Some(j) = def.params.iter().position(|p| p == n) {
+                    if j < 63 {
+                        sum.direct &= !(1 << (j + 1));
+                        sum.held &= !(1 << (j + 1));
+                    }
+                }
+            }
+        }
+        let old = &self.summaries[id];
+        let grew = sum.direct != old.direct || sum.held != old.held;
+        if grew {
+            self.changed = true;
+        }
+        if grew || old.wit.is_none() {
+            self.summaries[id] = sum;
+        }
+    }
+
+    /// Whether `t` is directly secret in `fr`'s calling context: ROOT,
+    /// or a parameter that phase-2 secrecy marked. Held (container)
+    /// taint does not count — branching on a key-holder's public field
+    /// is fine.
+    fn is_secret(&self, fr: &Frame, t: &Taint) -> bool {
+        if t.direct & ROOT != 0 {
+            return true;
+        }
+        let ps = &self.param_secret[fr.fn_id];
+        (0..ps.len().min(63)).any(|j| ps[j] && t.direct & (1 << (j + 1)) != 0)
+    }
+
+    /// A display name for the secret source behind `t`.
+    fn witness(&self, fr: &Frame, t: &Taint) -> String {
+        if t.direct & ROOT != 0 {
+            if let Some(w) = &t.wit {
+                return w.clone();
+            }
+        }
+        let def = self.def(fr.fn_id);
+        let ps = &self.param_secret[fr.fn_id];
+        for (j, secret) in ps.iter().enumerate().take(63) {
+            if *secret && t.direct & (1 << (j + 1)) != 0 {
+                return def.params[j].clone();
+            }
+        }
+        t.wit.clone().unwrap_or_else(|| "secret data".to_string())
+    }
+
+    /// Emits a sink finding (report mode only, deduplicated).
+    fn flag(&mut self, fr: &Frame, line: usize, t: &Taint, desc: &str) {
+        if !fr.report {
+            return;
+        }
+        let wit = self.witness(fr, t);
+        let noun = if wit.starts_with('.') {
+            "secret field"
+        } else {
+            "secret value"
+        };
+        let message = format!("{noun} `{wit}` feeds {desc}");
+        if self.seen.insert((fr.file, line, message.clone())) {
+            self.findings
+                .push(self.files[fr.file].finding(line, Check::SecretFlow, message));
+        }
+    }
+
+    /// At a call site: mark callee parameters that receive concretely
+    /// secret arguments (drives the phase-2 fixpoint).
+    ///
+    /// Only frames inside the audited crates feed parameters. Sinks are
+    /// reported in those crates alone, so marks originating elsewhere
+    /// can never contribute to a reportable flow — they only amplify
+    /// bare-name method conflation (e.g. a bench binary's
+    /// `Result::expect` on a key handle marking an unrelated workspace
+    /// method that happens to be called `expect`).
+    fn feed_params(&mut self, fr: &Frame, callee: usize, actuals: &[Taint]) {
+        if !self.secret_file[fr.file] {
+            return;
+        }
+        for (j, a) in actuals.iter().enumerate() {
+            if j < self.param_secret[callee].len()
+                && !self.param_secret[callee][j]
+                && self.is_secret(fr, a)
+            {
+                self.param_secret[callee][j] = true;
+                if std::env::var_os("PASTA_AUDIT_DEBUG").is_some() {
+                    eprintln!(
+                        "debug: {} (in {}) marks param {j} of {} secret",
+                        self.files[fr.file].rel,
+                        {
+                            let k = &self.cg.fns[fr.fn_id];
+                            &self.asts[k.file].fns[k.idx].name
+                        },
+                        {
+                            let k = &self.cg.fns[callee];
+                            &self.asts[k.file].fns[k.idx].name
+                        }
+                    );
+                }
+                self.changed = true;
+            }
+        }
+    }
+
+    /// Applies `callee`'s return summary to the actual argument taints:
+    /// direct summary bits pass the actual through unchanged, held bits
+    /// wrap it (the callee packed that argument into a struct).
+    fn apply_summary(&self, callee: usize, actuals: &[Taint]) -> Taint {
+        let sum = &self.summaries[callee];
+        let mut out = Taint::default();
+        if sum.direct & ROOT != 0 {
+            out.direct |= ROOT;
+            out.wit.clone_from(&sum.wit);
+        }
+        if sum.held & ROOT != 0 {
+            out.held |= ROOT;
+            if out.wit.is_none() {
+                out.wit.clone_from(&sum.wit);
+            }
+        }
+        for (j, a) in actuals.iter().enumerate().take(63) {
+            let bit = 1 << (j + 1);
+            if sum.direct & bit != 0 {
+                out.union(a);
+            }
+            if sum.held & bit != 0 {
+                out.absorb(a);
+            }
+        }
+        out
+    }
+
+    /// Evaluates a statement list; returns the tail expression's taint.
+    /// `tail_ret` marks the block's tail as return position.
+    fn eval_stmts(&mut self, fr: &mut Frame, stmts: &[Stmt], tail_ret: bool) -> Taint {
+        let mut val = Taint::default();
+        let n = stmts.len();
+        for (k, s) in stmts.iter().enumerate() {
+            let is_tail = k + 1 == n;
+            match &s.kind {
+                StmtKind::Let {
+                    names,
+                    init,
+                    else_block,
+                } => {
+                    let mut t = init
+                        .as_ref()
+                        .map(|e| self.eval(fr, e, Ctx::default()))
+                        .unwrap_or_default();
+                    if let Some(name) = self.roots[fr.file].secret_lets.get(&s.line).cloned() {
+                        t.union(&Taint::root(name));
+                    }
+                    // Plain (re)binding overwrites: shadowing a secret
+                    // name with public data is not a leak.
+                    for name in names {
+                        fr.env.insert(name.clone(), t.clone());
+                    }
+                    if let Some(b) = else_block {
+                        self.eval_stmts(fr, b, false);
+                    }
+                }
+                StmtKind::Assign {
+                    target,
+                    value,
+                    compound,
+                } => {
+                    let v = self.eval(fr, value, Ctx::default());
+                    // Evaluate the target too: `table[secret] = x` is an
+                    // addressing sink even on the left-hand side.
+                    self.eval(fr, target, Ctx::default());
+                    if let Some(name) = base_name(target) {
+                        let whole = matches!(target.kind, ExprKind::Path(_)) && !compound;
+                        if whole {
+                            fr.env.insert(name, v);
+                        } else {
+                            fr.env.entry(name).or_default().union(&v);
+                        }
+                    }
+                }
+                StmtKind::Expr { expr, semi } => {
+                    let ctx = if is_tail && !semi {
+                        Ctx {
+                            ret_pos: tail_ret,
+                            ..Ctx::default()
+                        }
+                    } else {
+                        Ctx::default()
+                    };
+                    let t = self.eval(fr, expr, ctx);
+                    if is_tail && !semi {
+                        val = t;
+                    }
+                }
+                StmtKind::While {
+                    bindings,
+                    cond,
+                    body,
+                } => {
+                    // Two passes so taint assigned late in the body
+                    // reaches uses earlier in it.
+                    for _ in 0..2 {
+                        let ct = self.eval_cond(fr, cond, "a `while` condition");
+                        for b in bindings {
+                            fr.env.insert(b.clone(), ct.clone());
+                        }
+                        self.eval_stmts(fr, body, false);
+                    }
+                }
+                StmtKind::For { names, iter, body } => {
+                    // `for (i, x) in xs.iter().enumerate()` — the
+                    // position counter is public regardless of what the
+                    // iterator yields.
+                    let enumerated = names.len() >= 2
+                        && matches!(&iter.kind,
+                            ExprKind::MethodCall { name, .. } if name == "enumerate");
+                    for _ in 0..2 {
+                        let it = self.eval(fr, iter, Ctx::default());
+                        for (k, name) in names.iter().enumerate() {
+                            let t = if enumerated && k == 0 {
+                                Taint::default()
+                            } else {
+                                it.clone()
+                            };
+                            fr.env.insert(name.clone(), t);
+                        }
+                        self.eval_stmts(fr, body, false);
+                    }
+                }
+                StmtKind::Loop { body } => {
+                    for _ in 0..2 {
+                        self.eval_stmts(fr, body, false);
+                    }
+                }
+                StmtKind::Item => {}
+            }
+        }
+        val
+    }
+
+    /// Evaluates a condition/scrutinee, flagging it when secret.
+    fn eval_cond(&mut self, fr: &mut Frame, cond: &Expr, desc: &str) -> Taint {
+        let t = self.eval(
+            fr,
+            cond,
+            Ctx {
+                in_cond: true,
+                ret_pos: false,
+                under_sc: false,
+            },
+        );
+        if self.is_secret(fr, &t) {
+            self.flag(fr, cond.line, &t, desc);
+        }
+        t
+    }
+
+    #[allow(clippy::too_many_lines)] // one arm per expression form
+    fn eval(&mut self, fr: &mut Frame, e: &Expr, ctx: Ctx) -> Taint {
+        match &e.kind {
+            ExprKind::Lit(_) | ExprKind::Unknown => Taint::default(),
+            ExprKind::Path(segs) => {
+                if segs.len() == 1 {
+                    let name = &segs[0];
+                    if let Some(t) = fr.env.get(name) {
+                        return t.clone();
+                    }
+                    if self.roots[fr.file].secret_statics.contains(name) {
+                        return Taint::root(name.clone());
+                    }
+                }
+                Taint::default()
+            }
+            ExprKind::Field { base, name } => {
+                let mut t = self.eval(fr, base, ctx.sub());
+                if self.secret_file[fr.file] && self.secrets.fields.contains(name) {
+                    t.union(&Taint::root(format!(".{name}")));
+                }
+                t
+            }
+            ExprKind::Index { base, index } => {
+                let it = self.eval(fr, index, ctx.sub());
+                if self.is_secret(fr, &it) {
+                    self.flag(fr, index.line, &it, "a slice index");
+                }
+                let mut t = self.eval(fr, base, ctx.sub());
+                t.union(&it);
+                t
+            }
+            ExprKind::Binary {
+                op,
+                op_text,
+                lhs,
+                rhs,
+            } => match op {
+                BinOp::ShortCircuit => {
+                    let sc = Ctx {
+                        in_cond: ctx.in_cond,
+                        ret_pos: false,
+                        under_sc: true,
+                    };
+                    let mut t = self.eval(fr, lhs, sc);
+                    t.union(&self.eval(fr, rhs, sc));
+                    t
+                }
+                BinOp::Cmp => {
+                    let mut t = self.eval(fr, lhs, ctx.sub());
+                    t.union(&self.eval(fr, rhs, ctx.sub()));
+                    if (ctx.ret_pos || ctx.under_sc) && !ctx.in_cond && self.is_secret(fr, &t) {
+                        self.flag(
+                            fr,
+                            e.line,
+                            &t,
+                            &format!("an early-exit `{op_text}` comparison"),
+                        );
+                    }
+                    t
+                }
+                BinOp::DivRem => {
+                    let lt = self.eval(fr, lhs, ctx.sub());
+                    let rt = self.eval(fr, rhs, ctx.sub());
+                    let mut t = lt.clone();
+                    t.union(&rt);
+                    // `x / 64`, `x % 8`: a power-of-two literal divisor
+                    // compiles to a shift/mask — constant latency.
+                    if !lit_pow2(rhs) && self.is_secret(fr, &t) {
+                        self.flag(
+                            fr,
+                            e.line,
+                            &t,
+                            &format!("a variable-latency `{op_text}` operand"),
+                        );
+                    }
+                    t
+                }
+                BinOp::Other => {
+                    let mut t = self.eval(fr, lhs, ctx.sub());
+                    t.union(&self.eval(fr, rhs, ctx.sub()));
+                    t
+                }
+            },
+            ExprKind::Unary { expr } => self.eval(fr, expr, ctx),
+            ExprKind::If {
+                bindings,
+                cond,
+                then,
+                els,
+            } => {
+                let ct = self.eval_cond(fr, cond, "an `if` condition");
+                for b in bindings {
+                    fr.env.insert(b.clone(), ct.clone());
+                }
+                let mut t = self.eval_stmts(fr, then, ctx.ret_pos);
+                if let Some(els) = els {
+                    t.union(&self.eval(fr, els, ctx));
+                }
+                t
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                let st = self.eval_cond(fr, scrutinee, "a `match` scrutinee");
+                let mut t = Taint::default();
+                for arm in arms {
+                    for b in &arm.bindings {
+                        fr.env.insert(b.clone(), st.clone());
+                    }
+                    if let Some(g) = &arm.guard {
+                        let gt = self.eval(
+                            fr,
+                            g,
+                            Ctx {
+                                in_cond: true,
+                                ret_pos: false,
+                                under_sc: false,
+                            },
+                        );
+                        if self.is_secret(fr, &gt) {
+                            self.flag(fr, g.line, &gt, "a `match` guard");
+                        }
+                    }
+                    t.union(&self.eval(
+                        fr,
+                        &arm.body,
+                        Ctx {
+                            ret_pos: ctx.ret_pos,
+                            ..Ctx::default()
+                        },
+                    ));
+                }
+                t
+            }
+            ExprKind::Call { callee, args } => {
+                let actuals: Vec<Taint> =
+                    args.iter().map(|a| self.eval(fr, a, ctx.sub())).collect();
+                let ids = if let ExprKind::Path(segs) = &callee.kind {
+                    self.cg.resolve_path(segs, fr.self_ty.as_deref())
+                } else {
+                    self.eval(fr, callee, ctx.sub());
+                    Vec::new()
+                };
+                self.call_result(fr, &ids, &actuals, None)
+            }
+            ExprKind::MethodCall { recv, name, args } => {
+                let rt = self.eval(fr, recv, ctx.sub());
+                let actuals: Vec<Taint> =
+                    args.iter().map(|a| self.eval(fr, a, ctx.sub())).collect();
+                if NEUTRAL_METHODS.contains(&name.as_str()) {
+                    return Taint::default();
+                }
+                if PASSTHROUGH_METHODS.contains(&name.as_str()) {
+                    let mut t = rt;
+                    for a in &actuals {
+                        t.union(a);
+                    }
+                    return t;
+                }
+                let ids = self.cg.resolve_method(name);
+                self.call_result(fr, &ids, &actuals, Some(&rt))
+            }
+            ExprKind::Macro { args, .. } => {
+                let mut t = Taint::default();
+                for a in args {
+                    t.union(&self.eval(fr, a, ctx.sub()));
+                }
+                t
+            }
+            ExprKind::Block(stmts) => self.eval_stmts(fr, stmts, ctx.ret_pos),
+            ExprKind::Closure { params, body } => {
+                for p in params {
+                    fr.env.insert(p.clone(), Taint::default());
+                }
+                // The body's taint IS what the closure produces per
+                // element, so combinators like `.map(|i| secret_bit(i))`
+                // see it through the argument union at the call site.
+                self.eval(
+                    fr,
+                    body,
+                    Ctx {
+                        ret_pos: true,
+                        ..Ctx::default()
+                    },
+                )
+            }
+            ExprKind::StructLit { fields, base, .. } => {
+                // Packing values behind named fields builds a container:
+                // the literal *holds* its fields' taint, it is not itself
+                // the secret. A `..base` of the same struct type keeps
+                // its layout as-is.
+                let mut t = Taint::default();
+                for (_, v) in fields {
+                    let ft = self.eval(fr, v, ctx.sub());
+                    t.absorb(&ft);
+                }
+                if let Some(b) = base {
+                    t.union(&self.eval(fr, b, ctx.sub()));
+                }
+                t
+            }
+            ExprKind::Tuple(items) => {
+                let mut t = Taint::default();
+                for it in items {
+                    t.union(&self.eval(fr, it, ctx.sub()));
+                }
+                t
+            }
+            ExprKind::Ret { value } => {
+                if let Some(v) = value {
+                    let t = self.eval(
+                        fr,
+                        v,
+                        Ctx {
+                            ret_pos: true,
+                            ..Ctx::default()
+                        },
+                    );
+                    fr.ret.union(&t);
+                }
+                Taint::default()
+            }
+        }
+    }
+
+    /// The taint of a call's result: summaries applied over every
+    /// resolved callee, or the union of the inputs for unknown callees.
+    fn call_result(
+        &mut self,
+        fr: &Frame,
+        ids: &[usize],
+        args: &[Taint],
+        recv: Option<&Taint>,
+    ) -> Taint {
+        let mut t = Taint::default();
+        let mut matched = false;
+        for &id in ids {
+            let def = self.def(id);
+            let takes_self = def.params.first().is_some_and(|p| p == "self");
+            let mut actuals: Vec<Taint> = Vec::with_capacity(args.len() + 1);
+            if takes_self {
+                actuals.push(recv.cloned().unwrap_or_default());
+            }
+            actuals.extend(args.iter().cloned());
+            // Arity is the cheapest type proxy we have: same-named
+            // methods on different types (`get`, `new`, `keystream_block`)
+            // almost always differ in parameter count, and feeding a
+            // wrong-arity candidate poisons an unrelated type's params.
+            if actuals.len() != def.params.len() {
+                continue;
+            }
+            matched = true;
+            self.feed_params(fr, id, &actuals);
+            t.union(&self.apply_summary(id, &actuals));
+        }
+        if !matched {
+            // Unknown (or only wrong-arity) callee: assume the result
+            // unions whatever went in.
+            t = recv.cloned().unwrap_or_default();
+            for a in args {
+                t.union(a);
+            }
+        }
+        t
+    }
+}
+
+/// Whether `e` is an integer literal whose value is a power of two
+/// (`64`, `0x40`, `1_024`, with or without a type suffix).
+fn lit_pow2(e: &Expr) -> bool {
+    let ExprKind::Lit(text) = &e.kind else {
+        return false;
+    };
+    let raw: String = text.chars().filter(|c| *c != '_').collect();
+    let digits = raw
+        .trim_end_matches(|c: char| c.is_ascii_alphabetic())
+        .trim_end_matches(['u', 'i'])
+        .to_string();
+    let v = if let Some(hex) = digits
+        .strip_prefix("0x")
+        .or_else(|| digits.strip_prefix("0X"))
+    {
+        u64::from_str_radix(hex, 16).ok()
+    } else if let Some(bin) = digits
+        .strip_prefix("0b")
+        .or_else(|| digits.strip_prefix("0B"))
+    {
+        u64::from_str_radix(bin, 2).ok()
+    } else {
+        digits.parse::<u64>().ok()
+    };
+    v.is_some_and(|v| v != 0 && v & (v - 1) == 0)
+}
+
+/// The root identifier a place expression writes through (`x`, `x.f`,
+/// `x[i]`, `*x`, `x.f[i].g` all root at `x`).
+fn base_name(e: &Expr) -> Option<String> {
+    match &e.kind {
+        ExprKind::Path(segs) if segs.len() == 1 => Some(segs[0].clone()),
+        ExprKind::Field { base, .. } | ExprKind::Index { base, .. } => base_name(base),
+        ExprKind::Unary { expr } => base_name(expr),
+        _ => None,
+    }
+}

@@ -4,17 +4,19 @@
 //! out-of-scope negatives.
 //!
 //! The fixtures carry a `.txt` extension so the workspace walk (and
-//! rustc) never picks them up as real sources; the tests lex them under
-//! a synthetic kernel-crate path instead.
+//! rustc) never picks them up as real sources; the tests parse them
+//! under a synthetic kernel-crate path instead and run the full
+//! workspace pipeline (lexer → parser → call graph → taint/ordering/
+//! precondition passes) over the one-file "workspace".
 
-use pasta_audit::analyze::{check_file, collect_secrets, SourceFile};
+use pasta_audit::analyze::SourceFile;
+use pasta_audit::workspace_checks;
 
-/// Runs all checks on `src` as if it lived at `rel`, returning sorted
+/// Runs every check on `src` as if it lived at `rel`, returning sorted
 /// `(line, check-label)` pairs.
 fn run(rel: &str, src: &str) -> Vec<(usize, &'static str)> {
     let sf = SourceFile::parse(rel, src);
-    let secrets = collect_secrets([&sf]);
-    let mut found: Vec<(usize, &'static str)> = check_file(&sf, &secrets)
+    let mut found: Vec<(usize, &'static str)> = workspace_checks(&[sf])
         .into_iter()
         .map(|f| (f.line, f.check.label()))
         .collect();
@@ -33,7 +35,7 @@ fn secret_flow_locations() {
         vec![
             (10, "secret-flow"), // if k.elements[0] > 7
             (18, "secret-flow"), // table[k.elements[0] as usize]
-            (22, "secret-flow"), // match k.elements.len()
+            (22, "secret-flow"), // match k.elements[0]
             (38, "secret-flow"), // if key[0] == 0 under audit: secret(key)
         ]
     );
@@ -47,6 +49,75 @@ fn secret_flow_only_applies_to_secret_crates() {
         include_str!("fixtures/secret_flow.rs.txt"),
     );
     assert_eq!(found, vec![]);
+}
+
+#[test]
+fn interprocedural_taint_locations() {
+    // The secret reaches the branch only through two layers of calls
+    // (`leak_through_two_calls` → `load` → `mix`): an annotation-local
+    // checker that inspects one function at a time cannot see it.
+    let found = run(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/taint_interproc.rs.txt"),
+    );
+    assert_eq!(
+        found,
+        vec![
+            (18, "secret-flow"), // if x > 7, x = load(k) = mix(k.elements[0])
+            (59, "secret-flow"), // if y == 0, y through the ping/pong cycle
+        ],
+        "sanitizes(return) must declassify, rebinding must shadow, and \
+         the ping/pong call-graph cycle must still converge and flag"
+    );
+}
+
+#[test]
+fn taint_crosses_files_through_the_call_graph() {
+    let key_rs = "pub struct Key {\n    // audit: secret\n    elements: Vec<u64>,\n}\n\npub fn first(k: &Key) -> u64 {\n    k.elements[0]\n}\n";
+    let user_rs = "pub fn branch(k: &Key) -> u64 {\n    if first(k) > 0 {\n        return 1;\n    }\n    0\n}\n";
+    let files = vec![
+        SourceFile::parse("crates/core/src/key.rs", key_rs),
+        SourceFile::parse("crates/core/src/user.rs", user_rs),
+    ];
+    let found: Vec<(String, usize, &'static str)> = workspace_checks(&files)
+        .into_iter()
+        .map(|f| (f.file, f.line, f.check.label()))
+        .collect();
+    assert_eq!(
+        found,
+        vec![("crates/core/src/user.rs".to_string(), 2, "secret-flow")]
+    );
+}
+
+#[test]
+fn ordering_locations() {
+    let found = run(
+        "crates/par/src/fixture.rs",
+        include_str!("fixtures/ordering.rs.txt"),
+    );
+    // Line 10 (counter allowlist), 19 (audit: allow) and 23 (SeqCst)
+    // must stay silent.
+    assert_eq!(found, vec![(14, "ordering")]);
+}
+
+#[test]
+fn ordering_check_is_scoped_to_the_parallel_layer() {
+    let found = run(
+        "crates/cli/src/fixture.rs",
+        include_str!("fixtures/ordering.rs.txt"),
+    );
+    assert_eq!(found, vec![]);
+}
+
+#[test]
+fn unsafe_precondition_locations() {
+    let found = run(
+        "crates/math/src/simd.rs",
+        include_str!("fixtures/unsafe_precondition.rs.txt"),
+    );
+    // Line 13 (assert in the same fn), 20 (debug_assert in the caller)
+    // and 32 (capability-class SAFETY) must stay silent.
+    assert_eq!(found, vec![(5, "unsafe-precondition")]);
 }
 
 #[test]
@@ -89,7 +160,8 @@ fn simd_intrinsics_unsafe_and_cast_coverage() {
     // The fixture mirrors `pasta_math::simd::avx2`: run it under the
     // real simd-module path to pin that intrinsics blocks without a
     // `// SAFETY:` comment are flagged there, a preceding `// SAFETY:`
-    // silences the check, and narrowing casts stay audited.
+    // downgrades them to the precondition check (which wants an assert
+    // backing the stated lane bounds), and narrowing casts stay audited.
     let found = run(
         "crates/math/src/simd.rs",
         include_str!("fixtures/simd_intrinsics.rs.txt"),
@@ -97,9 +169,11 @@ fn simd_intrinsics_unsafe_and_cast_coverage() {
     assert_eq!(
         found,
         vec![
-            (8, "unsafe"), // _mm256_loadu_si256 without SAFETY
-            (9, "unsafe"), // _mm256_storeu_si256 without SAFETY
-            (23, "cast"),  // u64 -> u32 lane extraction
+            (8, "unsafe"),               // _mm256_loadu_si256 without SAFETY
+            (9, "unsafe"),               // _mm256_storeu_si256 without SAFETY
+            (17, "unsafe-precondition"), // SAFETY states lane bounds, no assert
+            (19, "unsafe-precondition"), // same
+            (23, "cast"),                // u64 -> u32 lane extraction
         ]
     );
 }
@@ -164,5 +238,37 @@ fn malformed_annotations_do_not_suppress() {
             (14, "annotation"), // missing reason
             (15, "panic"),
         ]
+    );
+}
+
+#[test]
+fn allow_diagnostics_name_the_key_and_suggest_the_nearest_check() {
+    let src = "pub fn f(x: Option<u64>) -> u64 {\n    // audit: allow(orderring, reason = \"typo\")\n    x.unwrap()\n}\n";
+    let findings = workspace_checks(&[SourceFile::parse("crates/hw/src/fixture.rs", src)]);
+    let ann = findings
+        .iter()
+        .find(|f| f.check.label() == "annotation")
+        .expect("malformed allow must be diagnosed");
+    assert!(
+        ann.message.contains("unknown allow name `orderring`"),
+        "message names the offending key: {}",
+        ann.message
+    );
+    assert!(
+        ann.message.contains("did you mean `ordering`?"),
+        "message suggests the nearest valid check: {}",
+        ann.message
+    );
+
+    let src2 = "pub fn f(x: Option<u64>) -> u64 {\n    // audit: allow(panic, reson = \"oops\")\n    x.unwrap()\n}\n";
+    let findings2 = workspace_checks(&[SourceFile::parse("crates/hw/src/fixture.rs", src2)]);
+    let ann2 = findings2
+        .iter()
+        .find(|f| f.check.label() == "annotation")
+        .expect("bad key must be diagnosed");
+    assert!(
+        ann2.message.contains("unexpected key `reson`") && ann2.message.contains("`reason`"),
+        "message names the bad key and the valid one: {}",
+        ann2.message
     );
 }

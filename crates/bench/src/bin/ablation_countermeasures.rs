@@ -12,7 +12,7 @@ fn main() {
     let key = SecretKey::from_seed(&params, b"cm-ablation");
 
     println!("Fault-attack surface (single transient fault, PASTA-4):\n");
-    let clean = permute(&params, key.elements(), 1, 0).expect("valid key");
+    let clean = permute(&params, key.expose_elements(), 1, 0).expect("valid key");
     let mut surface = TextTable::new(vec!["fault target", "keystream elements corrupted"]);
     let cases = [
         (

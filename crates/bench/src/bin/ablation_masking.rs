@@ -33,7 +33,7 @@ fn main() {
         let zp = params.field();
         let key = SecretKey::from_seed(&params, b"masking");
         let material = derive_block_material(&params, 0xAB1A, 0);
-        let shared = SharedState::share(&zp, key.elements(), splitmix(1, zp.p()));
+        let shared = SharedState::share(&zp, key.expose_elements(), splitmix(1, zp.p()));
         let (_, ops) =
             masked_permute(&params, &shared, &material, splitmix(2, zp.p())).expect("valid");
         let unmasked = encryption_op_count(&params);

@@ -75,7 +75,7 @@ fn main() {
         pasta,
         &ctx,
         relin.clone(),
-        provision_batched_key(client.cipher().key().elements(), &ctx, &pk, &mut rng)
+        provision_batched_key(client.cipher().key().expose_elements(), &ctx, &pk, &mut rng)
             .expect("provision batched key"),
     )
     .expect("batched server");
@@ -98,8 +98,14 @@ fn main() {
     ]);
 
     // Packed.
-    let packed = PackedHheServer::new(pasta, &ctx, &sk, client.cipher().key().elements(), &mut rng)
-        .expect("packed server");
+    let packed = PackedHheServer::new(
+        pasta,
+        &ctx,
+        &sk,
+        client.cipher().key().expose_elements(),
+        &mut rng,
+    )
+    .expect("packed server");
     let t2 = Instant::now();
     let one = packed
         .transcipher_packed(&ctx, &pasta_ct, 0)

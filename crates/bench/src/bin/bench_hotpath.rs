@@ -194,8 +194,13 @@ fn bench_transcipher(report: &mut BenchReport, phase: &str, quick: bool) {
         pasta,
         &bctx,
         brelin,
-        provision_batched_key(client.cipher().key().elements(), &bctx, &bpk, &mut rng)
-            .expect("provision batched key"),
+        provision_batched_key(
+            client.cipher().key().expose_elements(),
+            &bctx,
+            &bpk,
+            &mut rng,
+        )
+        .expect("provision batched key"),
     )
     .expect("batched server");
     let blocks = 8usize;

@@ -88,7 +88,7 @@ fn build(pasta: PastaParams, bfv: BfvParams, strategy: PackedStrategy, seed: u64
         pasta,
         &ctx,
         &sk,
-        client.cipher().key().elements(),
+        client.cipher().key().expose_elements(),
         strategy,
         &mut rng,
     )

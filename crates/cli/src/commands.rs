@@ -18,7 +18,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
         Command::Help => Ok(USAGE.to_string()),
         Command::Keygen { params, seed, out } => {
             let key = SecretKey::from_seed(params, seed.as_bytes());
-            let text = elements_to_text(key.elements());
+            let text = elements_to_text(key.expose_elements());
             write_or_return(out.as_deref(), text)
         }
         Command::Encrypt {

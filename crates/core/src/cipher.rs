@@ -20,7 +20,7 @@ use pasta_keccak::Shake256;
 /// use pasta_core::{PastaParams, SecretKey};
 /// let params = PastaParams::pasta4_17bit();
 /// let key = SecretKey::from_seed(&params, b"demo seed");
-/// assert_eq!(key.elements().len(), params.state_size());
+/// assert_eq!(key.expose_elements().len(), params.state_size());
 /// ```
 // audit: secret
 #[derive(Clone, PartialEq, Eq)]
@@ -84,10 +84,12 @@ impl SecretKey {
         SecretKey { elements }
     }
 
-    /// The key elements (needed by the HHE client to FHE-encrypt the key
-    /// for the server).
+    /// Exposes the raw key elements (needed by the HHE client to
+    /// FHE-encrypt the key for the server, and by the hardware model to
+    /// load the key registers). The explicit name marks every site
+    /// where key material leaves the wrapper.
     #[must_use]
-    pub fn elements(&self) -> &[u64] {
+    pub fn expose_elements(&self) -> &[u64] {
         &self.elements
     }
 }
@@ -100,7 +102,7 @@ impl SecretKey {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ciphertext {
     nonce: u128,
-    elements: Vec<u64>,
+    payload: Vec<u64>,
 }
 
 impl Ciphertext {
@@ -113,19 +115,19 @@ impl Ciphertext {
     /// The encrypted elements.
     #[must_use]
     pub fn elements(&self) -> &[u64] {
-        &self.elements
+        &self.payload
     }
 
     /// Number of encrypted elements.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.elements.len()
+        self.payload.len()
     }
 
     /// Whether the ciphertext is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.elements.is_empty()
+        self.payload.is_empty()
     }
 
     /// Bit-packs the ciphertext elements at `⌈log2 p⌉` bits each — the
@@ -133,7 +135,7 @@ impl Ciphertext {
     /// (one PASTA-4 block at 33 bits = 132 bytes).
     #[must_use]
     pub fn to_packed_bytes(&self, params: &PastaParams) -> Vec<u8> {
-        pack_bits(&self.elements, params.modulus().bits())
+        pack_bits(&self.payload, params.modulus().bits())
     }
 
     /// Reconstructs a ciphertext from the bit-packed wire format.
@@ -153,7 +155,10 @@ impl Ciphertext {
         if let Some(&bad) = elements.iter().find(|&&x| x >= p) {
             return Err(PastaError::ElementOutOfRange(bad));
         }
-        Ok(Ciphertext { nonce, elements })
+        Ok(Ciphertext {
+            nonce,
+            payload: elements,
+        })
     }
 }
 
@@ -203,7 +208,7 @@ impl PastaCipher {
     /// Propagates [`PastaError`] from the permutation (cannot occur for a
     /// key built through [`SecretKey`]'s validated constructors).
     pub fn keystream_block(&self, nonce: u128, counter: u64) -> Result<Vec<u64>, PastaError> {
-        permute(&self.params, self.key.elements(), nonce, counter)
+        permute(&self.params, self.key.expose_elements(), nonce, counter)
     }
 
     /// Encrypts `message` (any number of elements in `[0, p)`) under
@@ -223,7 +228,10 @@ impl PastaCipher {
             let ks = self.keystream_block(nonce, counter as u64)?;
             elements.extend(block.iter().zip(ks.iter()).map(|(&m, &k)| zp.add(m, k)));
         }
-        Ok(Ciphertext { nonce, elements })
+        Ok(Ciphertext {
+            nonce,
+            payload: elements,
+        })
     }
 
     /// Decrypts a ciphertext produced by [`PastaCipher::encrypt`].
@@ -234,7 +242,7 @@ impl PastaCipher {
     pub fn decrypt(&self, ciphertext: &Ciphertext) -> Result<Vec<u64>, PastaError> {
         let zp = self.params.field();
         let mut message = Vec::with_capacity(ciphertext.len());
-        for (counter, block) in ciphertext.elements.chunks(self.params.t()).enumerate() {
+        for (counter, block) in ciphertext.payload.chunks(self.params.t()).enumerate() {
             let ks = self.keystream_block(ciphertext.nonce, counter as u64)?;
             message.extend(block.iter().zip(ks.iter()).map(|(&c, &k)| zp.sub(c, k)));
         }
@@ -351,7 +359,7 @@ mod tests {
             Err(PastaError::ElementOutOfRange(70_000))
         ));
         let ok = SecretKey::from_seed(&params, b"s");
-        assert!(ok.elements().iter().all(|&x| x < 65_537));
+        assert!(ok.expose_elements().iter().all(|&x| x < 65_537));
     }
 
     #[test]
@@ -360,7 +368,7 @@ mod tests {
         let key = SecretKey::from_seed(&params, b"secret");
         let dbg = format!("{key:?}");
         assert!(dbg.contains("redacted"));
-        for &e in key.elements().iter().take(4) {
+        for &e in key.expose_elements().iter().take(4) {
             assert!(
                 !dbg.contains(&format!("{e}, ")),
                 "debug must not leak elements"

@@ -74,9 +74,15 @@ impl Keystream {
         let offset = (self.position % t) as usize;
         // audit: allow(secret-branch, reason = "the match inspects only the cached block's public counter, never keystream values")
         let block = match &mut self.cache {
+            // audit: allow(secret-branch, reason = "the guard compares the cached counter (public stream position), not keystream material")
             Some((c, block)) if *c == counter => block,
             cache => {
-                let block = permute(&self.params, self.key.elements(), self.nonce, counter)?;
+                let block = permute(
+                    &self.params,
+                    self.key.expose_elements(),
+                    self.nonce,
+                    counter,
+                )?;
                 &mut cache.insert((counter, block)).1
             }
         };

@@ -294,10 +294,10 @@ mod tests {
             let key = SecretKey::from_seed(&params, b"mask");
             let zp = params.field();
             let material = derive_block_material(&params, 0xAB, 0);
-            let shared = SharedState::share(&zp, key.elements(), rng_stream(3, zp.p()));
+            let shared = SharedState::share(&zp, key.expose_elements(), rng_stream(3, zp.p()));
             let (masked_ks, ops) =
                 masked_permute(&params, &shared, &material, rng_stream(4, zp.p())).unwrap();
-            let expect = permute(&params, key.elements(), 0xAB, 0).unwrap();
+            let expect = permute(&params, key.expose_elements(), 0xAB, 0).unwrap();
             assert_eq!(masked_ks.unmask(&zp), expect, "{params}");
             assert!(ops.randomness > 0, "S-boxes must consume fresh randomness");
         }
@@ -312,7 +312,7 @@ mod tests {
         let material = derive_block_material(&params, 5, 0);
         let mut results = Vec::new();
         for seed in [10u64, 20, 30] {
-            let shared = SharedState::share(&zp, key.elements(), rng_stream(seed, zp.p()));
+            let shared = SharedState::share(&zp, key.expose_elements(), rng_stream(seed, zp.p()));
             let (ks, _) =
                 masked_permute(&params, &shared, &material, rng_stream(seed + 1, zp.p())).unwrap();
             results.push(ks.unmask(&zp));
@@ -330,7 +330,7 @@ mod tests {
         let zp = params.field();
         let material = derive_block_material(&params, 6, 0);
         let run = |seed: u64| {
-            let shared = SharedState::share(&zp, key.elements(), rng_stream(seed, zp.p()));
+            let shared = SharedState::share(&zp, key.expose_elements(), rng_stream(seed, zp.p()));
             masked_permute(&params, &shared, &material, rng_stream(seed * 7, zp.p()))
                 .unwrap()
                 .0

@@ -48,7 +48,7 @@ impl SamplerStats {
 /// use pasta_core::{PastaParams, sampler::XofSampler};
 /// let params = PastaParams::pasta4_17bit();
 /// let mut s = XofSampler::for_block(&params, 42, 0);
-/// let x = s.next_element();
+/// let x = s.next_accepted();
 /// assert!(x < params.modulus().value());
 /// ```
 #[derive(Debug, Clone)]
@@ -88,7 +88,7 @@ impl XofSampler {
 
     /// Draws the next accepted field element in `[0, p)`.
     #[must_use]
-    pub fn next_element(&mut self) -> u64 {
+    pub fn next_accepted(&mut self) -> u64 {
         loop {
             let word = self.reader.next_u64();
             self.stats.words_drawn += 1;
@@ -108,7 +108,7 @@ impl XofSampler {
     #[must_use]
     pub fn next_nonzero_element(&mut self) -> u64 {
         loop {
-            let x = self.next_element();
+            let x = self.next_accepted();
             if x != 0 {
                 return x;
             }
@@ -118,7 +118,7 @@ impl XofSampler {
     /// Draws a vector of `n` accepted elements.
     #[must_use]
     pub fn next_vector(&mut self, n: usize) -> Vec<u64> {
-        (0..n).map(|_| self.next_element()).collect()
+        (0..n).map(|_| self.next_accepted()).collect()
     }
 
     /// Draws a matrix seed row: first element nonzero, remaining uniform.
@@ -127,7 +127,7 @@ impl XofSampler {
         let mut row = Vec::with_capacity(t);
         row.push(self.next_nonzero_element());
         for _ in 1..t {
-            row.push(self.next_element());
+            row.push(self.next_accepted());
         }
         row
     }
@@ -155,7 +155,7 @@ mod tests {
         let params = PastaParams::pasta4_17bit();
         let mut s = XofSampler::for_block(&params, 1, 2);
         for _ in 0..5_000 {
-            assert!(s.next_element() < params.modulus().value());
+            assert!(s.next_accepted() < params.modulus().value());
         }
     }
 
@@ -224,7 +224,7 @@ mod tests {
         let n = 64_000;
         let mut buckets = [0u64; 16];
         for _ in 0..n {
-            let x = s.next_element();
+            let x = s.next_accepted();
             buckets[(x / 4_097).min(15) as usize] += 1;
         }
         let expect = f64::from(n) / 16.0;

@@ -454,7 +454,8 @@ mod tests {
         let relin = ctx.generate_relin_key(&sk, &mut rng);
         let client = HheClient::new(params, b"batched");
         let ek =
-            provision_batched_key(client.cipher().key().elements(), &ctx, &pk, &mut rng).unwrap();
+            provision_batched_key(client.cipher().key().expose_elements(), &ctx, &pk, &mut rng)
+                .unwrap();
         let server = BatchedHheServer::new(params, &ctx, relin, ek).unwrap();
         World {
             ctx,

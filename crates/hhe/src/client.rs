@@ -70,7 +70,7 @@ impl HheClient {
         let elements = self
             .cipher
             .key()
-            .elements()
+            .expose_elements()
             .iter()
             .map(|&k| ctx.encrypt(pk, &ctx.encode_scalar(k), rng))
             .collect();
@@ -124,7 +124,11 @@ mod tests {
         let ek = client.provision_key(&ctx, &pk, &mut rng);
         assert_eq!(ek.elements.len(), 8);
         // Each provisioned element decrypts to the PASTA key element.
-        for (ct, &k) in ek.elements.iter().zip(client.cipher().key().elements()) {
+        for (ct, &k) in ek
+            .elements
+            .iter()
+            .zip(client.cipher().key().expose_elements())
+        {
             assert_eq!(ctx.decrypt(&sk, ct).scalar(), k);
         }
         assert!(ek.size_bytes(&ctx) > 0);

@@ -744,7 +744,7 @@ mod tests {
             params,
             &ctx,
             &sk,
-            client.cipher().key().elements(),
+            client.cipher().key().expose_elements(),
             strategy,
             &mut rng,
         )

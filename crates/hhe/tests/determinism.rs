@@ -47,7 +47,8 @@ fn batched_transcipher_is_thread_count_invariant() {
     let pk = ctx.generate_public_key(&sk, &mut rng);
     let relin = ctx.generate_relin_key(&sk, &mut rng);
     let client = HheClient::new(params, b"determinism");
-    let ek = provision_batched_key(client.cipher().key().elements(), &ctx, &pk, &mut rng).unwrap();
+    let ek = provision_batched_key(client.cipher().key().expose_elements(), &ctx, &pk, &mut rng)
+        .unwrap();
     let server = BatchedHheServer::new(params, &ctx, relin, ek).unwrap();
 
     // Three blocks (12 elements / t = 4) so the batch genuinely spans
@@ -64,8 +65,13 @@ fn batched_transcipher_is_thread_count_invariant() {
         let pk2 = ctx.generate_public_key(&sk2, &mut rng);
         let relin2 = ctx.generate_relin_key(&sk2, &mut rng);
         let client2 = HheClient::new(params, b"determinism");
-        let ek2 =
-            provision_batched_key(client2.cipher().key().elements(), &ctx, &pk2, &mut rng).unwrap();
+        let ek2 = provision_batched_key(
+            client2.cipher().key().expose_elements(),
+            &ctx,
+            &pk2,
+            &mut rng,
+        )
+        .unwrap();
         let server2 = BatchedHheServer::new(params, &ctx, relin2, ek2).unwrap();
         server2.transcipher_batched(&ctx, &pasta_ct).unwrap()
     });
@@ -126,7 +132,7 @@ fn packed_bsgs_transcipher_is_thread_count_invariant() {
             params,
             &ctx,
             &sk,
-            client.cipher().key().elements(),
+            client.cipher().key().expose_elements(),
             &mut rng,
         )
         .unwrap();

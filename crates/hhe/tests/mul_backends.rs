@@ -73,7 +73,8 @@ fn batched_transcipher_decrypts_identically_on_both_backends() {
     let pk = ctx.generate_public_key(&sk, &mut rng);
     let relin = ctx.generate_relin_key(&sk, &mut rng);
     let client = HheClient::new(params, b"mul-backends");
-    let ek = provision_batched_key(client.cipher().key().elements(), &ctx, &pk, &mut rng).unwrap();
+    let ek = provision_batched_key(client.cipher().key().expose_elements(), &ctx, &pk, &mut rng)
+        .unwrap();
 
     let message: Vec<u64> = (0..12u64).map(|i| (i * 3_141 + 59) % 65_537).collect();
     let pasta_ct = client.encrypt(0xBEEF, &message).unwrap();

@@ -111,7 +111,7 @@ pub fn faulty_keystream(
 ) -> Result<Vec<u64>, PastaError> {
     let mut material = derive_block_material(params, nonce, counter);
     fault_material(params, &mut material, fault);
-    let mut ks = permute_with_trace(params, key.elements(), &material)?.keystream;
+    let mut ks = permute_with_trace(params, key.expose_elements(), &material)?.keystream;
     if let FaultTarget::KeystreamElement { index } = fault.target {
         let p = params.modulus().value();
         ks[index] = (ks[index] ^ fault.mask) % p;
@@ -214,7 +214,7 @@ pub fn protected_keystream(
     fault: Option<&FaultSpec>,
     countermeasure: Countermeasure,
 ) -> Result<Option<Vec<u64>>, PastaError> {
-    let clean = pasta_core::permute(params, key.elements(), nonce, counter)?;
+    let clean = pasta_core::permute(params, key.expose_elements(), nonce, counter)?;
     let Some(fault) = fault else {
         return Ok(Some(clean)); // no fault: every countermeasure accepts
     };
@@ -241,7 +241,7 @@ mod tests {
     #[test]
     fn faults_corrupt_the_keystream() {
         let (params, key) = setup();
-        let clean = permute(&params, key.elements(), 1, 0).unwrap();
+        let clean = permute(&params, key.expose_elements(), 1, 0).unwrap();
         for target in [
             FaultTarget::MatrixSeed {
                 layer: 0,
@@ -267,7 +267,7 @@ mod tests {
         // on α), so almost all keystream elements change — the avalanche
         // SASTA exploits.
         let (params, key) = setup();
-        let clean = permute(&params, key.elements(), 2, 0).unwrap();
+        let clean = permute(&params, key.expose_elements(), 2, 0).unwrap();
         let fault = FaultSpec {
             target: FaultTarget::MatrixSeed {
                 layer: 0,
@@ -291,7 +291,7 @@ mod tests {
         // exactly one keystream element — the low-diffusion window SASTA
         // targets.
         let (params, key) = setup();
-        let clean = permute(&params, key.elements(), 3, 0).unwrap();
+        let clean = permute(&params, key.expose_elements(), 3, 0).unwrap();
         let fault = FaultSpec {
             target: FaultTarget::RoundConstant {
                 layer: 4,
@@ -334,7 +334,7 @@ mod tests {
     #[test]
     fn protected_pipeline_accepts_clean_and_rejects_faulted() {
         let (params, key) = setup();
-        let clean = permute(&params, key.elements(), 4, 0).unwrap();
+        let clean = permute(&params, key.expose_elements(), 4, 0).unwrap();
         // Clean run is accepted.
         let ok = protected_keystream(
             &params,

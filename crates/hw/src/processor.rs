@@ -224,10 +224,10 @@ impl PastaProcessor {
         counter: u64,
         message: Option<&[u64]>,
     ) -> Result<(HwBlockResult, Vec<crate::schedule::TraceEvent>), PastaError> {
-        if key.elements().len() != self.params.state_size() {
+        if key.expose_elements().len() != self.params.state_size() {
             return Err(PastaError::InvalidKey {
                 expected: self.params.state_size(),
-                found: key.elements().len(),
+                found: key.expose_elements().len(),
             });
         }
         let mut xof = XofUnit::new(self.core, nonce, counter);
@@ -237,7 +237,7 @@ impl PastaProcessor {
             self.params.modulus().bits(),
             self.params.affine_layers(),
         );
-        let mut schedule = BlockSchedule::new(self.params, key.elements());
+        let mut schedule = BlockSchedule::new(self.params, key.expose_elements());
         let mut cycle = 0u64;
         let mut xof_last_word = 0u64;
         loop {
@@ -380,7 +380,7 @@ mod tests {
         let proc = PastaProcessor::new(params);
         for (nonce, counter) in [(0u128, 0u64), (1, 0), (0xFFFF_FFFF, 42), (u128::MAX, 7)] {
             let hw = proc.keystream_block(&k, nonce, counter).unwrap();
-            let sw = permute(&params, k.elements(), nonce, counter).unwrap();
+            let sw = permute(&params, k.expose_elements(), nonce, counter).unwrap();
             assert_eq!(hw.keystream, sw, "nonce={nonce} counter={counter}");
         }
     }
@@ -497,7 +497,7 @@ mod tests {
         let hw = PastaProcessor::new(params)
             .keystream_block(&k, 0xF00, 2)
             .unwrap();
-        let sw = permute(&params, k.elements(), 0xF00, 2).unwrap();
+        let sw = permute(&params, k.expose_elements(), 0xF00, 2).unwrap();
         assert_eq!(hw.keystream, sw);
     }
 

@@ -371,8 +371,8 @@ mod tests {
     fn pasta4_keystream_matches_software() {
         let params = PastaParams::pasta4_17bit();
         let key = SecretKey::from_seed(&params, b"hw-check");
-        let (ks, cycles) = simulate(params, key.elements(), 0xCAFE, 1);
-        let expect = permute(&params, key.elements(), 0xCAFE, 1).unwrap();
+        let (ks, cycles) = simulate(params, key.expose_elements(), 0xCAFE, 1);
+        let expect = permute(&params, key.expose_elements(), 0xCAFE, 1).unwrap();
         assert_eq!(ks, expect, "hardware schedule must match software π");
         assert!(
             cycles > 1_000 && cycles < 2_000,
@@ -384,8 +384,8 @@ mod tests {
     fn pasta3_keystream_matches_software() {
         let params = PastaParams::pasta3_17bit();
         let key = SecretKey::from_seed(&params, b"hw-check-3");
-        let (ks, cycles) = simulate(params, key.elements(), 0xBEEF, 0);
-        let expect = permute(&params, key.elements(), 0xBEEF, 0).unwrap();
+        let (ks, cycles) = simulate(params, key.expose_elements(), 0xBEEF, 0);
+        let expect = permute(&params, key.expose_elements(), 0xBEEF, 0).unwrap();
         assert_eq!(ks, expect);
         assert!(
             cycles > 4_000 && cycles < 5_600,
@@ -403,7 +403,7 @@ mod tests {
         let mut total = 0u64;
         let n = 10;
         for counter in 0..n {
-            total += simulate(params, key.elements(), 0x7AB2, counter).1;
+            total += simulate(params, key.expose_elements(), 0x7AB2, counter).1;
         }
         let avg = total as f64 / n as f64;
         let err = (avg - 1_591.0).abs() / 1_591.0;
@@ -419,7 +419,7 @@ mod tests {
         let key = SecretKey::from_seed(&params, b"jobs");
         let mut xof = XofUnit::new(XofCoreKind::SqueezeParallel, 5, 5);
         let mut datagen = DataGen::new(32, 65_537, 17, 5);
-        let mut schedule = BlockSchedule::new(params, key.elements());
+        let mut schedule = BlockSchedule::new(params, key.expose_elements());
         let mut cycle = 0u64;
         while !schedule.is_done(cycle) {
             schedule.tick(cycle, &mut datagen);

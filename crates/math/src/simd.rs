@@ -118,6 +118,7 @@ fn store_backend(b: Backend) {
         Backend::Scalar => BACKEND_SCALAR,
         Backend::Avx2 => BACKEND_AVX2,
     };
+    // audit: allow(ordering, reason = "idempotent dispatch cache: racing initializers all derive the same value from CPUID, so no ordering is needed")
     BACKEND.store(code, Ordering::Relaxed);
 }
 
@@ -125,6 +126,7 @@ fn store_backend(b: Backend) {
 /// first call, cached afterwards).
 #[must_use]
 pub fn backend() -> Backend {
+    // audit: allow(ordering, reason = "reads the idempotent dispatch cache: a stale miss only repeats the CPUID probe and stores the same value")
     match BACKEND.load(Ordering::Relaxed) {
         BACKEND_SCALAR => Backend::Scalar,
         BACKEND_AVX2 => Backend::Avx2,

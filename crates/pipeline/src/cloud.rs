@@ -53,7 +53,7 @@ impl CloudReceiver {
         let fhe_pk = ctx.generate_public_key(&fhe_sk, &mut rng);
         let relin = ctx.generate_relin_key(&fhe_sk, &mut rng);
         let elements = pasta_key
-            .elements()
+            .expose_elements()
             .iter()
             .map(|&k| ctx.encrypt(&fhe_pk, &ctx.encode_scalar(k), &mut rng))
             .collect();

@@ -197,6 +197,7 @@ pub fn chi(x: &BitVec) -> BitVec {
 }
 
 /// The RASTA keyed permutation: keystream block for `(key, material)`.
+// audit: secret(key)
 #[must_use]
 pub fn keystream_block(key: &BitVec, material: &RastaMaterial) -> BitVec {
     let mut state = key.clone();
@@ -222,6 +223,7 @@ pub fn keystream_block(key: &BitVec, material: &RastaMaterial) -> BitVec {
 #[derive(Clone)]
 pub struct RastaCipher {
     params: RastaParams,
+    // audit: secret
     key: BitVec,
 }
 
@@ -254,6 +256,7 @@ impl RastaCipher {
         xof.absorb(b"rasta-key");
         xof.absorb(seed);
         let mut reader = xof.finalize();
+        // audit: secret
         let words: Vec<u64> = (0..params.n().div_ceil(64))
             .map(|_| reader.next_u64())
             .collect();

@@ -24,13 +24,14 @@ impl BitVec {
     }
 
     /// Builds from individual bits.
+    ///
+    /// Branch-free: the bits may be keystream state, so each one is
+    /// OR-merged into its limb instead of gating a store on its value.
     #[must_use]
     pub fn from_bits(bits: &[bool]) -> Self {
         let mut v = BitVec::zeros(bits.len());
         for (i, &b) in bits.iter().enumerate() {
-            if b {
-                v.set(i, true);
-            }
+            v.limbs[i / 64] |= u64::from(b) << (i % 64);
         }
         v
     }
@@ -72,16 +73,16 @@ impl BitVec {
 
     /// Bit setter.
     ///
+    /// Branch-free on `value` (clear the slot, then OR the bit in), so
+    /// setting keystream-derived bits leaves no value-dependent trace.
+    ///
     /// # Panics
     ///
     /// Panics if `i >= len`.
     pub fn set(&mut self, i: usize, value: bool) {
         assert!(i < self.len, "bit index out of range");
-        if value {
-            self.limbs[i / 64] |= 1 << (i % 64);
-        } else {
-            self.limbs[i / 64] &= !(1 << (i % 64));
-        }
+        let limb = &mut self.limbs[i / 64];
+        *limb = (*limb & !(1 << (i % 64))) | (u64::from(value) << (i % 64));
     }
 
     /// In-place XOR.

@@ -173,7 +173,7 @@ pub fn encrypt_on_soc(
 
     // Key as (lo, hi) pairs.
     let key_words: Vec<u32> = key
-        .elements()
+        .expose_elements()
         .iter()
         .flat_map(|&k| [k as u32, (k >> 32) as u32])
         .collect();
@@ -372,7 +372,7 @@ mod tests {
         soc.load_program(layout.text, &program);
         soc.load_program(0x200, &handler_words);
         let key_words: Vec<u32> = key
-            .elements()
+            .expose_elements()
             .iter()
             .flat_map(|&k| [k as u32, (k >> 32) as u32])
             .collect();
@@ -431,7 +431,7 @@ mod tests {
         let mut soc = Soc::new(params, 1 << 20);
         soc.load_program(layout.text, &program);
         let key_words: Vec<u32> = key
-            .elements()
+            .expose_elements()
             .iter()
             .flat_map(|&k| [k as u32, (k >> 32) as u32])
             .collect();
@@ -463,7 +463,7 @@ mod tests {
         let mut soc = Soc::new(params, 1 << 20);
         soc.load_program(layout.text, &program);
         let key_words: Vec<u32> = key
-            .elements()
+            .expose_elements()
             .iter()
             .flat_map(|&k| [k as u32, (k >> 32) as u32])
             .collect();

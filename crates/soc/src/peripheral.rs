@@ -256,7 +256,7 @@ mod tests {
         let params = PastaParams::pasta4_17bit();
         let key = SecretKey::from_seed(&params, b"periph");
         let mut p = PastaPeripheral::new(params);
-        load_key(&mut p, key.elements());
+        load_key(&mut p, key.expose_elements());
         let _ = p.write_reg(0x14, 0xDEAD_BEEF);
         let _ = p.write_reg(0x18, 0x0000_CAFE);
         assert_eq!(p.nonce(), 0x0000_CAFE_DEAD_BEEF);
@@ -306,7 +306,7 @@ mod tests {
         let key = SecretKey::from_seed(&params, b"serial");
         let run = |nelems: u32| -> u64 {
             let mut p = PastaPeripheral::new(params);
-            load_key(&mut p, key.elements());
+            load_key(&mut p, key.expose_elements());
             let _ = p.write_reg(0x10, nelems);
             p.start(0, |_| Some(1), |_, _| true)
         };
@@ -333,7 +333,7 @@ mod tests {
         let params = PastaParams::pasta4_17bit();
         let key = SecretKey::from_seed(&params, b"fault");
         let mut p = PastaPeripheral::new(params);
-        load_key(&mut p, key.elements());
+        load_key(&mut p, key.expose_elements());
         let _ = p.write_reg(0x10, 4);
         let cycles = p.start(0, |_| None, |_, _| true);
         assert_eq!(cycles, 0);
@@ -345,7 +345,7 @@ mod tests {
         let params = PastaParams::pasta4_17bit();
         let key = SecretKey::from_seed(&params, b"range");
         let mut p = PastaPeripheral::new(params);
-        load_key(&mut p, key.elements());
+        load_key(&mut p, key.expose_elements());
         let _ = p.write_reg(0x10, 1);
         let cycles = p.start(0, |_| Some(70_000), |_, _| true);
         assert_eq!(cycles, 0);

@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let p = zp.p();
         move || r.gen_range(0..p)
     };
-    let shared_key = SharedState::share(&zp, key.elements(), &mut fresh);
+    let shared_key = SharedState::share(&zp, key.expose_elements(), &mut fresh);
     println!("Key split into two shares; neither share equals the key.");
 
     // Encrypt a block with the masked datapath and verify against the
@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (masked_ks, ops) = masked_permute(&params, &shared_key, &material, &mut fresh)?;
     let masked_time = t0.elapsed();
     let t1 = Instant::now();
-    let plain_ks = permute(&params, key.elements(), nonce, 0)?;
+    let plain_ks = permute(&params, key.expose_elements(), nonce, 0)?;
     let plain_time = t1.elapsed();
 
     assert_eq!(masked_ks.unmask(&zp), plain_ks);

@@ -153,5 +153,5 @@ fn provisioned_key_is_faithful() {
         .iter()
         .map(|c| ctx.decrypt(&fhe_sk, c).scalar())
         .collect();
-    assert_eq!(decrypted, client.cipher().key().elements());
+    assert_eq!(decrypted, client.cipher().key().expose_elements());
 }

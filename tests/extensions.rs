@@ -26,7 +26,8 @@ fn noise_model_sized_batched_pipeline() {
     let relin = ctx.generate_relin_key(&sk, &mut rng);
 
     let client = HheClient::new(pasta, b"ext");
-    let ek = provision_batched_key(client.cipher().key().elements(), &ctx, &pk, &mut rng).unwrap();
+    let ek = provision_batched_key(client.cipher().key().expose_elements(), &ctx, &pk, &mut rng)
+        .unwrap();
     let server = BatchedHheServer::new(pasta, &ctx, relin, ek).unwrap();
 
     // Encrypt 3 blocks on the hardware model (streaming mode).

@@ -43,22 +43,22 @@ fn software_keystream_vectors() {
     let p3 = PastaParams::pasta3_17bit();
     let k3 = counting_key(&p3);
     assert_eq!(
-        permute(&p3, k3.elements(), NONCE, 0).unwrap()[..8],
+        permute(&p3, k3.expose_elements(), NONCE, 0).unwrap()[..8],
         PASTA3_KS_HEAD
     );
     assert_eq!(
-        permute(&p3, k3.elements(), 1, 1).unwrap()[..8],
+        permute(&p3, k3.expose_elements(), 1, 1).unwrap()[..8],
         PASTA3_N1C1_HEAD
     );
 
     let p4 = PastaParams::pasta4_17bit();
     let k4 = counting_key(&p4);
     assert_eq!(
-        permute(&p4, k4.elements(), NONCE, 0).unwrap()[..8],
+        permute(&p4, k4.expose_elements(), NONCE, 0).unwrap()[..8],
         PASTA4_KS_HEAD
     );
     assert_eq!(
-        permute(&p4, k4.elements(), 1, 1).unwrap()[..8],
+        permute(&p4, k4.expose_elements(), 1, 1).unwrap()[..8],
         PASTA4_N1C1_HEAD
     );
 }
@@ -86,7 +86,7 @@ fn soc_matches_vectors() {
 fn seed_derived_key_vector() {
     let p4 = PastaParams::pasta4_17bit();
     let key = SecretKey::from_seed(&p4, b"kat-seed");
-    assert_eq!(key.elements()[..8], SEED_KEY_HEAD);
+    assert_eq!(key.expose_elements()[..8], SEED_KEY_HEAD);
 }
 
 #[test]
